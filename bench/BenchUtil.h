@@ -1,0 +1,67 @@
+//===- BenchUtil.h - Shared bench-harness helpers ---------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Repeat-and-take-best measurement for the table harnesses. Analyses are
+/// fast on modern hardware, so each one runs several times and the run
+/// with the smallest total is reported (phases from that same run, so the
+/// columns stay mutually consistent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_BENCH_BENCHUTIL_H
+#define LPA_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace lpa {
+
+/// Phase timings of one measured analysis run (milliseconds).
+struct MeasuredRow {
+  double PreprocMs = 0;
+  double AnalysisMs = 0;
+  double CollectMs = 0;
+  double totalMs() const { return PreprocMs + AnalysisMs + CollectMs; }
+  size_t TableBytes = 0;
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Runs \p Fn (returning MeasuredRow) \p Reps times; keeps the best total.
+template <typename Func>
+MeasuredRow bestOf(int Reps, Func &&Fn) {
+  MeasuredRow Best;
+  for (int I = 0; I < Reps; ++I) {
+    MeasuredRow R = Fn();
+    if (!R.Ok)
+      return R;
+    if (!Best.Ok || R.totalMs() < Best.totalMs())
+      Best = R;
+  }
+  return Best;
+}
+
+/// Formats "a.bc" with 2 decimals (ms values).
+inline std::string ms(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", V);
+  return Buf;
+}
+
+/// Formats a paper value in seconds, or "-" when unavailable.
+inline std::string paperSec(double V) {
+  if (V < 0)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", V);
+  return Buf;
+}
+
+} // namespace lpa
+
+#endif // LPA_BENCH_BENCHUTIL_H

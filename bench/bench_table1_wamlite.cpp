@@ -1,0 +1,111 @@
+//===- bench_table1_wamlite.cpp - Compile-vs-analyze ablation ---*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Section 4 of the paper weighs full WAM compilation against dynamic
+// loading ("assert") as the way to prepare programs for analysis, and
+// Table 1's "compile time increase" column measures analysis cost against
+// full compilation. This harness reproduces both: per benchmark it times
+//   (a) assert-style loading (parse + clause database),
+//   (b) WAM-lite compilation (parse + register allocation + code gen),
+//   (c) the full groundness analysis (preproc + eval + collect),
+// and prints the analysis-to-compile ratio next to the paper's column.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "corpus/Corpus.h"
+#include "prop/Groundness.h"
+#include "support/Stopwatch.h"
+#include "support/TableFormat.h"
+#include "wamlite/WamCompiler.h"
+
+#include <cstdio>
+
+using namespace lpa;
+
+int main() {
+  std::printf("Table 1 companion: analysis time relative to compilation "
+              "(Section 4's compile-vs-assert tradeoff)\n\n");
+
+  TextTable Out;
+  Out.addRow({"Program", "Assert(ms)", "WamC(ms)", "Instrs", "Code(B)",
+              "Analysis(ms)", "Incr(%)", "|", "paperIncr(%)"});
+
+  int Failures = 0;
+  for (const CorpusProgram &P : prologBenchmarks()) {
+    // (a) Assert-style loading.
+    double AssertMs = -1;
+    for (int I = 0; I < 5; ++I) {
+      SymbolTable Syms;
+      Database DB(Syms);
+      Stopwatch W;
+      auto R = DB.consult(P.Source);
+      double Ms = W.elapsedMillis();
+      if (!R) {
+        ++Failures;
+        break;
+      }
+      if (AssertMs < 0 || Ms < AssertMs)
+        AssertMs = Ms;
+    }
+
+    // (b) Full WAM-lite compilation.
+    double CompileMs = -1;
+    size_t Instrs = 0, Bytes = 0;
+    for (int I = 0; I < 5; ++I) {
+      SymbolTable Syms;
+      WamCompiler C(Syms);
+      Stopwatch W;
+      auto R = C.compileText(P.Source);
+      double Ms = W.elapsedMillis();
+      if (!R) {
+        std::fprintf(stderr, "%s: %s\n", P.Name, R.getError().str().c_str());
+        ++Failures;
+        break;
+      }
+      Instrs = R->totalInstructions();
+      Bytes = R->codeBytes();
+      if (CompileMs < 0 || Ms < CompileMs)
+        CompileMs = Ms;
+    }
+
+    // (c) The analysis itself.
+    MeasuredRow Analysis = bestOf(5, [&]() {
+      MeasuredRow Row;
+      SymbolTable Syms;
+      GroundnessAnalyzer A(Syms);
+      auto R = A.analyze(P.Source);
+      if (!R) {
+        Row.Error = R.getError().str();
+        return Row;
+      }
+      Row.PreprocMs = R->PreprocSeconds * 1e3;
+      Row.AnalysisMs = R->AnalysisSeconds * 1e3;
+      Row.CollectMs = R->CollectSeconds * 1e3;
+      Row.Ok = true;
+      return Row;
+    });
+    if (!Analysis.Ok || CompileMs < 0 || AssertMs < 0)
+      continue;
+
+    double Incr = 100.0 * Analysis.totalMs() / CompileMs;
+    Out.addRow({P.Name, ms(AssertMs), ms(CompileMs),
+                std::to_string(Instrs), std::to_string(Bytes),
+                ms(Analysis.totalMs()), ms(Incr), "|",
+                paperSec(P.Table1.CompileIncreasePct)});
+  }
+
+  std::printf("%s\n", Out.render().c_str());
+  std::printf(
+      "Notes:\n"
+      " * 'Incr' = analysis total / WAM-lite compile time. The paper's\n"
+      "   22-64%% used real XSB compilation; our compiler is leaner, so\n"
+      "   expect larger ratios — the reproduction target is the trend\n"
+      "   (analysis within a small multiple of compilation) and the\n"
+      "   assert-vs-compile gap.\n"
+      " * Assert loading beats full compilation on every row, which is\n"
+      "   Section 4's argument for the dynamic-code configuration.\n");
+  return Failures;
+}

@@ -1,0 +1,112 @@
+//===- bench_table2_vs_baseline.cpp - Regenerate Table 2 --------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Table 2: "Comparison of XSB and GAIA" — total analysis time of the
+// general-purpose tabled engine versus a special-purpose analyzer on the
+// same benchmarks, with identical results. Our GAIA stand-in is the
+// bitmask bottom-up evaluator in src/baseline. The harness also reports
+// the semi-naive vs naive ablation for the baseline (the paper's
+// delta-set discussion in Section 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GaiaLike.h"
+#include "bench/BenchUtil.h"
+#include "corpus/Corpus.h"
+#include "prop/Groundness.h"
+#include "support/TableFormat.h"
+
+#include <cstdio>
+
+using namespace lpa;
+
+int main() {
+  std::printf("Table 2: tabled engine (XSB role) vs special-purpose "
+              "baseline (GAIA role), total analysis time\n"
+              "(ours in ms; paper columns in seconds)\n\n");
+
+  TextTable Out;
+  Out.addRow({"Program", "Engine", "Baseline", "Base(naive)", "Identical",
+              "|", "paperXSB(s)", "paperGAIA(s)"});
+
+  int Failures = 0;
+  for (const CorpusProgram &P : prologBenchmarks()) {
+    GroundnessResult EngineResult;
+    MeasuredRow Engine = bestOf(5, [&]() {
+      MeasuredRow Row;
+      SymbolTable Symbols;
+      GroundnessAnalyzer Analyzer(Symbols);
+      auto R = Analyzer.analyze(P.Source);
+      if (!R) {
+        Row.Error = R.getError().str();
+        return Row;
+      }
+      EngineResult = std::move(*R);
+      Row.PreprocMs = EngineResult.PreprocSeconds * 1e3;
+      Row.AnalysisMs = EngineResult.AnalysisSeconds * 1e3;
+      Row.CollectMs = EngineResult.CollectSeconds * 1e3;
+      Row.Ok = true;
+      return Row;
+    });
+
+    BaselineResult BaselineRes;
+    auto RunBaseline = [&](bool Seminaive) {
+      return bestOf(5, [&]() {
+        MeasuredRow Row;
+        SymbolTable Symbols;
+        GaiaLikeAnalyzer::Options Opts;
+        Opts.Seminaive = Seminaive;
+        GaiaLikeAnalyzer Analyzer(Symbols, Opts);
+        auto R = Analyzer.analyze(P.Source);
+        if (!R) {
+          Row.Error = R.getError().str();
+          return Row;
+        }
+        if (Seminaive)
+          BaselineRes = std::move(*R);
+        Row.PreprocMs = R->PreprocSeconds * 1e3;
+        Row.AnalysisMs = R->AnalysisSeconds * 1e3;
+        Row.CollectMs = R->CollectSeconds * 1e3;
+        Row.Ok = true;
+        return Row;
+      });
+    };
+    MeasuredRow Baseline = RunBaseline(/*Seminaive=*/true);
+    MeasuredRow BaselineNaive = RunBaseline(/*Seminaive=*/false);
+
+    if (!Engine.Ok || !Baseline.Ok || !BaselineNaive.Ok) {
+      std::fprintf(stderr, "%s failed: %s%s\n", P.Name,
+                   Engine.Error.c_str(), Baseline.Error.c_str());
+      ++Failures;
+      continue;
+    }
+
+    // The paper: "The results obtained on the two systems are identical."
+    bool Identical = EngineResult.Predicates.size() ==
+                     BaselineRes.Predicates.size();
+    for (size_t I = 0; Identical && I < EngineResult.Predicates.size(); ++I)
+      Identical = EngineResult.Predicates[I].SuccessSet ==
+                  BaselineRes.Predicates[I].SuccessSet;
+    if (!Identical)
+      ++Failures;
+
+    Out.addRow({P.Name, ms(Engine.totalMs()), ms(Baseline.totalMs()),
+                ms(BaselineNaive.totalMs()), Identical ? "yes" : "NO!", "|",
+                paperSec(P.Table1.Total), paperSec(P.GaiaSeconds)});
+  }
+
+  std::printf("%s\n", Out.render().c_str());
+  std::printf(
+      "Notes:\n"
+      " * 'Identical' checks success-set equality predicate by predicate\n"
+      "   (the paper's central Table 2 claim).\n"
+      " * In the paper the general-purpose engine beats GAIA on most rows\n"
+      "   (e.g. press1: 1.82s vs 5.96s); our baseline is a from-scratch\n"
+      "   stand-in, so compare trends per row, not absolute ratios.\n"
+      " * 'Base(naive)' re-derives everything each round (no delta sets);\n"
+      "   the gap to 'Baseline' shows the semi-naive win the paper credits\n"
+      "   its incremental engine for.\n");
+  return Failures;
+}

@@ -1,0 +1,64 @@
+//===- demand_dataflow.cpp - Section 7: dataflow as a database --*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Section 7's direction: encode an imperative program's CFG as a logic
+// database and answer dataflow queries on demand. This example builds a
+// small structured program, prints its reaching-definitions relation from
+// both solvers (identical), and contrasts exhaustive vs demand query cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/ReachingDefs.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+
+using namespace lpa;
+
+int main() {
+  // A small structured program (seeded generator): ~30 statements over 3
+  // variables with an if and a loop mixed in.
+  Cfg G = randomStructuredCfg(7, 30, 3);
+  std::printf("CFG: %zu nodes over %d variables\n", G.size(), G.NumVars);
+
+  auto L = reachingDefsLogic(G);
+  if (!L) {
+    std::fprintf(stderr, "logic analysis failed: %s\n",
+                 L.getError().str().c_str());
+    return 1;
+  }
+  ReachResult W = reachingDefsWorklist(G);
+
+  std::printf("reaching-definitions pairs: logic=%zu worklist=%zu (%s)\n",
+              L->Reaches.size(), W.Reaches.size(),
+              L->Reaches == W.Reaches ? "identical" : "MISMATCH");
+
+  // Show the definitions reaching a mid-program node.
+  uint32_t Node = static_cast<uint32_t>(G.size() / 2);
+  auto At = reachingDefsAtLogic(G, Node);
+  if (!At) {
+    std::fprintf(stderr, "demand query failed\n");
+    return 1;
+  }
+  std::printf("definitions reaching node %u:", Node);
+  for (uint32_t D : *At)
+    std::printf(" n%u(v%d)", D, G.Nodes[D].DefVar);
+  std::printf("\n");
+
+  // Demand vs exhaustive on a bigger graph.
+  Cfg Big = randomStructuredCfg(3, 300, 5);
+  Stopwatch Watch;
+  auto Full = reachingDefsLogic(Big);
+  double FullMs = Watch.elapsedMillis();
+  Watch.restart();
+  auto Point = reachingDefsAtLogic(Big, static_cast<uint32_t>(30));
+  double PointMs = Watch.elapsedMillis();
+  if (Full && Point)
+    std::printf("300-node graph: exhaustive %.2f ms, demand point query "
+                "%.2f ms (goal-directed tabling explores only the "
+                "backward slice)\n",
+                FullMs, PointMs);
+  return 0;
+}

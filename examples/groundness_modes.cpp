@@ -1,0 +1,68 @@
+//===- groundness_modes.cpp - Analyze a corpus benchmark --------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Runs Prop groundness on one of the embedded Table 1 benchmarks (or all
+// of them) and prints per-predicate modes, the analysis a compiler would
+// consume to pick clause-indexing and argument-passing strategies.
+//
+// Usage: groundness_modes [benchmark-name]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "prop/Groundness.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace lpa;
+
+static int analyzeOne(const CorpusProgram &Program, bool Verbose) {
+  SymbolTable Symbols;
+  GroundnessAnalyzer Analyzer(Symbols);
+  auto R = Analyzer.analyze(Program.Source);
+  if (!R) {
+    std::fprintf(stderr, "%s: %s\n", Program.Name,
+                 R.getError().str().c_str());
+    return 1;
+  }
+
+  std::printf("== %s (%d lines) ==\n", Program.Name, Program.sourceLines());
+  std::printf("   total %.2f ms (preproc %.2f, analysis %.2f, collect "
+              "%.2f), tables %zu bytes, %llu subgoals, %llu answers\n",
+              R->totalSeconds() * 1e3, R->PreprocSeconds * 1e3,
+              R->AnalysisSeconds * 1e3, R->CollectSeconds * 1e3,
+              R->TableSpaceBytes,
+              static_cast<unsigned long long>(R->Stats.SubgoalsCreated),
+              static_cast<unsigned long long>(R->Stats.AnswersRecorded));
+  for (const PredGroundness &P : R->Predicates) {
+    std::printf("   %-40s%s\n", P.modeString().c_str(),
+                P.CanSucceed ? "" : "   (never succeeds)");
+    if (Verbose)
+      std::printf("     success set: %s\n",
+                  formatTruthTable(P.SuccessSet).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc > 1) {
+    const CorpusProgram *P = findBenchmark(Argv[1]);
+    if (!P) {
+      std::fprintf(stderr,
+                   "unknown benchmark '%s'; available:", Argv[1]);
+      for (const CorpusProgram &B : prologBenchmarks())
+        std::fprintf(stderr, " %s", B.Name);
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    return analyzeOne(*P, /*Verbose=*/true);
+  }
+  int Failures = 0;
+  for (const CorpusProgram &P : prologBenchmarks())
+    Failures += analyzeOne(P, /*Verbose=*/false);
+  return Failures;
+}

@@ -1,0 +1,111 @@
+//===- repl.cpp - Interactive tabled-Prolog toplevel ------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// A small interactive toplevel over the tabled engine. Clauses typed at
+// the prompt are asserted (the paper's dynamic-code configuration);
+// "?- Goal." queries them. Try:
+//
+//   :- table path/2.
+//   path(X, Y) :- path(X, Z), edge(Z, Y).
+//   path(X, Y) :- edge(X, Y).
+//   edge(a, b). edge(b, c). edge(c, a).
+//   ?- path(a, X).
+//
+// Left recursion over a cyclic graph — it terminates here.
+// Commands: "stats." prints engine counters, "halt." exits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Solver.h"
+#include "reader/Parser.h"
+#include "term/TermWriter.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace lpa;
+
+int main() {
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  Solver Engine(DB);
+
+  std::printf("lpa toplevel — tabled logic engine "
+              "(clauses to assert, '?- G.' to query, 'halt.' to quit)\n");
+
+  std::string Buffer;
+  std::string Line;
+  while (true) {
+    std::printf("%s", Buffer.empty() ? "| ?> " : "|    ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, Line))
+      break;
+    Buffer += Line + "\n";
+    // A clause/query ends with '.' at end of line.
+    std::string Trimmed = Line;
+    while (!Trimmed.empty() && std::isspace(
+               static_cast<unsigned char>(Trimmed.back())))
+      Trimmed.pop_back();
+    if (Trimmed.empty() || Trimmed.back() != '.')
+      continue;
+
+    std::string Input = Buffer;
+    Buffer.clear();
+
+    // Strip leading whitespace for command detection.
+    size_t Start = Input.find_first_not_of(" \t\r\n");
+    if (Start == std::string::npos)
+      continue;
+
+    if (Input.compare(Start, 5, "halt.") == 0)
+      break;
+    if (Input.compare(Start, 6, "stats.") == 0) {
+      const EvalStats &S = Engine.stats();
+      std::printf("  subgoals=%llu answers=%llu resolutions=%llu "
+                  "table-bytes=%zu\n",
+                  static_cast<unsigned long long>(S.SubgoalsCreated),
+                  static_cast<unsigned long long>(S.AnswersRecorded),
+                  static_cast<unsigned long long>(S.ClauseResolutions),
+                  Engine.tableSpaceBytes());
+      continue;
+    }
+
+    if (Input.compare(Start, 2, "?-") == 0) {
+      // Query: show up to 10 solutions.
+      std::string GoalText = Input.substr(Start + 2);
+      auto Goal = Parser::parseTerm(Symbols, Engine.store(), GoalText);
+      if (!Goal) {
+        std::printf("  syntax error: %s\n", Goal.getError().str().c_str());
+        continue;
+      }
+      size_t Shown = 0;
+      size_t Total = Engine.solve(*Goal, [&]() {
+        if (Shown < 10)
+          std::printf("  %s\n",
+                      TermWriter::toString(Symbols, Engine.storeConst(),
+                                           *Goal)
+                          .c_str());
+        ++Shown;
+        return false;
+      });
+      if (Total == 0)
+        std::printf("  no.\n");
+      else if (Total > 10)
+        std::printf("  ... %zu solutions total.\n", Total);
+      else
+        std::printf("  yes (%zu solution%s).\n", Total,
+                    Total == 1 ? "" : "s");
+      continue;
+    }
+
+    // Otherwise: assert clauses.
+    auto R = DB.consult(Input);
+    if (!R)
+      std::printf("  error: %s\n", R.getError().str().c_str());
+  }
+  std::printf("bye.\n");
+  return 0;
+}

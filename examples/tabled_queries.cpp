@@ -1,0 +1,95 @@
+//===- tabled_queries.cpp - Using the tabled engine directly ----*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// The substrate on its own: an XSB-style tabled logic engine. This example
+// shows the two properties the paper's analyses rely on —
+//   (1) completeness: left-recursive transitive closure terminates;
+//   (2) call capture: the subgoal table records every call pattern.
+// It also runs tabled Fibonacci to show memoization turning an exponential
+// computation linear.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Solver.h"
+#include "reader/Parser.h"
+#include "support/Stopwatch.h"
+#include "term/TermWriter.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace lpa;
+
+int main() {
+  SymbolTable Symbols;
+  Database DB(Symbols);
+
+  // A cyclic graph plus left-recursive reachability: a program that loops
+  // forever under plain Prolog evaluation but completes under tabling.
+  std::string Graph = ":- table path/2.\n"
+                      "path(X, Y) :- path(X, Z), edge(Z, Y).\n"
+                      "path(X, Y) :- edge(X, Y).\n";
+  for (int I = 0; I < 60; ++I)
+    Graph += "edge(n" + std::to_string(I) + ", n" + std::to_string(I + 1) +
+             ").\n";
+  Graph += "edge(n60, n0).\n"; // Close the cycle.
+  Graph += ":- table fib/2.\n"
+           "fib(0, 0).\n"
+           "fib(1, 1).\n"
+           "fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n"
+           "             fib(N1, F1), fib(N2, F2), F is F1 + F2.\n";
+
+  auto Loaded = DB.consult(Graph);
+  if (!Loaded) {
+    std::fprintf(stderr, "consult failed: %s\n",
+                 Loaded.getError().str().c_str());
+    return 1;
+  }
+
+  Solver Engine(DB);
+
+  // (1) Left recursion over a cyclic graph.
+  Stopwatch Watch;
+  auto Goal = Parser::parseTerm(Symbols, Engine.store(), "path(n0, X)");
+  size_t Count = Engine.solve(*Goal, nullptr);
+  std::printf("path(n0, X) over a 61-node cycle: %zu reachable nodes "
+              "in %.2f ms (left recursion, cyclic graph -- terminates "
+              "because path/2 is tabled)\n",
+              Count, Watch.elapsedMillis());
+
+  // (2) The call table captured every subgoal variant.
+  std::printf("subgoal table: %zu entries, %llu answers, %zu bytes\n",
+              Engine.subgoals().size(),
+              static_cast<unsigned long long>(Engine.stats().AnswersRecorded),
+              Engine.tableSpaceBytes());
+
+  // Show a few call patterns with their answer counts.
+  int Shown = 0;
+  for (const Subgoal *SG : Engine.subgoals()) {
+    if (++Shown > 3)
+      break;
+    std::printf("  call %-14s -> %zu answers (complete=%s)\n",
+                TermWriter::toString(Symbols, Engine.tableStore(),
+                                     SG->CallTerm)
+                    .c_str(),
+                SG->Answers.size(), SG->Complete ? "yes" : "no");
+  }
+
+  // (3) Tabled Fibonacci: one subgoal per distinct call.
+  Engine.resetStats();
+  Watch.restart();
+  auto Fib = Parser::parseTerm(Symbols, Engine.store(), "fib(30, F)");
+  std::string Result;
+  Engine.solve(*Fib, [&]() {
+    Result = TermWriter::toString(Symbols, Engine.storeConst(), *Fib);
+    return true;
+  });
+  std::printf("%s computed in %.2f ms with %llu tabled subgoals "
+              "(memoized: linear, not exponential)\n",
+              Result.c_str(), Watch.elapsedMillis(),
+              static_cast<unsigned long long>(
+                  Engine.stats().SubgoalsCreated));
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- typecheck.cpp - Section 6.1: types from unification ------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Section 6.1 observes that Hindley-Milner type analysis is "equations
+// over the domain of equality constraints" whose only engine requirement
+// is unification with occur check. This example infers principal types
+// for a small FL program — including a deliberately ill-typed function to
+// show the occur check catching an infinite type.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeInference.h"
+
+#include <cstdio>
+
+using namespace lpa;
+
+int main() {
+  const char *Program = R"(
+    :- adt(tree(A), [tip, node(tree(A), A, tree(A))]).
+
+    if(true, t, e) = t.
+    if(false, t, e) = e.
+
+    id(x) = x.
+
+    ap(nil, ys) = ys.
+    ap(cons(x, xs), ys) = cons(x, ap(xs, ys)).
+
+    len(nil) = 0.
+    len(cons(x, xs)) = 1 + len(xs).
+
+    insert(x, tip) = node(tip, x, tip).
+    insert(x, node(l, v, r)) =
+        if(x < v, node(insert(x, l), v, r), node(l, v, insert(x, r))).
+
+    flatten(tip) = nil.
+    flatten(node(l, v, r)) = ap(flatten(l), cons(v, flatten(r))).
+
+    % Ill-typed: x would need the infinite type A = list(A).
+    selfcons(x) = cons(x, x).
+  )";
+
+  auto R = TypeInference::inferText(Program);
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", R.getError().str().c_str());
+    return 1;
+  }
+
+  std::printf("Inferred principal types:\n");
+  for (const FuncType &F : R->Functions) {
+    if (F.Ok)
+      std::printf("  %-10s : %s\n", F.Name.c_str(), F.Rendered.c_str());
+    else
+      std::printf("  %-10s : TYPE ERROR — %s\n", F.Name.c_str(),
+                  F.Error.c_str());
+  }
+  std::printf("\n(The analysis is plain unification with occur check over "
+              "type terms,\n exactly the Section 6.1 recipe; no tabling "
+              "needed.)\n");
+  return 0;
+}

@@ -1,0 +1,432 @@
+//===- GaiaLike.cpp - Special-purpose Prop groundness baseline ----------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GaiaLike.h"
+
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace lpa;
+
+const PredGroundness *BaselineResult::find(const std::string &Name,
+                                           uint32_t Arity) const {
+  for (const PredGroundness &P : Predicates)
+    if (P.Name == Name && P.Arity == Arity)
+      return &P;
+  return nullptr;
+}
+
+namespace {
+
+/// A partial boolean assignment over clause variables (bit I describes
+/// clause variable I).
+struct Assign {
+  uint64_t Mask = 0;   ///< Assigned positions.
+  uint64_t Values = 0; ///< Their values (0 outside Mask).
+
+  bool operator==(const Assign &O) const {
+    return Mask == O.Mask && Values == O.Values;
+  }
+  bool operator<(const Assign &O) const {
+    return Mask != O.Mask ? Mask < O.Mask : Values < O.Values;
+  }
+};
+
+/// iff(Lhs, Rhs...) over clause variable indexes.
+struct IffConstraint {
+  uint8_t Lhs;
+  std::vector<uint8_t> Rhs;
+};
+
+/// gp_q(Args...) body call.
+struct BodyCall {
+  uint32_t Pred; ///< Dense predicate index.
+  std::vector<uint8_t> Args;
+};
+
+/// One clause step, in source order (the paper: goal order matters for
+/// join sizes).
+struct Step {
+  enum Kind : uint8_t { Iff, Call } K;
+  uint32_t Index; ///< Into Iffs or Calls.
+};
+
+/// Compiled clause.
+struct ClauseIR {
+  uint32_t Pred = 0;
+  std::vector<uint8_t> HeadArgs;
+  uint32_t NumVars = 0;
+  std::vector<IffConstraint> Iffs;
+  std::vector<BodyCall> Calls;
+  std::vector<Step> Steps;
+  bool Fails = false;
+};
+
+/// A relation: set of rows (bitmask over argument positions) plus the
+/// semi-naive delta.
+struct Relation {
+  std::unordered_set<uint32_t> Rows;
+  std::vector<uint32_t> Delta;
+};
+
+/// Compiles Figure-1 abstract clauses to ClauseIR.
+class Compiler {
+public:
+  Compiler(SymbolTable &Symbols, const TermStore &Store)
+      : Symbols(Symbols), Store(Store) {}
+
+  ErrorOr<std::vector<ClauseIR>> run(const PropProgram &Program);
+
+  /// Dense predicate index for an abstract symbol/arity.
+  uint32_t predIndex(SymbolId Sym, uint32_t Arity) {
+    uint64_t Key = (uint64_t(Sym) << 32) | Arity;
+    auto [It, Inserted] = PredMap.emplace(Key, PredMap.size());
+    (void)Inserted;
+    return It->second;
+  }
+  size_t numPreds() const { return PredMap.size(); }
+
+private:
+  ErrorOr<ClauseIR> compileClause(TermRef Clause);
+  ErrorOr<uint8_t> varId(TermRef T, ClauseIR &C,
+                         std::unordered_map<TermRef, uint8_t> &Map);
+
+  SymbolTable &Symbols;
+  const TermStore &Store;
+  std::unordered_map<uint64_t, uint32_t> PredMap;
+};
+
+ErrorOr<uint8_t> Compiler::varId(TermRef T, ClauseIR &C,
+                                 std::unordered_map<TermRef, uint8_t> &Map) {
+  T = Store.deref(T);
+  if (Store.tag(T) != TermTag::Ref)
+    return Diagnostic("baseline compiler expects only variables in "
+                      "abstract clause arguments");
+  auto It = Map.find(T);
+  if (It != Map.end())
+    return It->second;
+  if (C.NumVars >= 64)
+    return Diagnostic("clause has more than 64 boolean variables");
+  uint8_t Id = static_cast<uint8_t>(C.NumVars++);
+  Map.emplace(T, Id);
+  return Id;
+}
+
+ErrorOr<ClauseIR> Compiler::compileClause(TermRef Clause) {
+  ClauseIR C;
+  std::unordered_map<TermRef, uint8_t> Map;
+
+  TermRef D = Store.deref(Clause);
+  TermRef Head = D;
+  std::vector<TermRef> Goals;
+  if (Store.tag(D) == TermTag::Struct && Store.symbol(D) == Symbols.Neck &&
+      Store.arity(D) == 2) {
+    Head = Store.deref(Store.arg(D, 0));
+    flattenConjunction(Store, Symbols, Store.arg(D, 1), Goals);
+  }
+
+  C.Pred = predIndex(Store.symbol(Head), Store.arity(Head));
+  for (uint32_t I = 0, E = Store.arity(Head); I < E; ++I) {
+    auto Id = varId(Store.arg(Head, I), C, Map);
+    if (!Id)
+      return Id.getError();
+    C.HeadArgs.push_back(*Id);
+  }
+
+  for (TermRef G : Goals) {
+    TermRef GD = Store.deref(G);
+    TermTag Tag = Store.tag(GD);
+    if (Tag == TermTag::Atom && Store.symbol(GD) == Symbols.Fail) {
+      C.Fails = true;
+      continue;
+    }
+    if (Tag != TermTag::Struct && Tag != TermTag::Atom)
+      return Diagnostic("unexpected abstract goal");
+    SymbolId Sym = Store.symbol(GD);
+    uint32_t Arity = Store.arity(GD);
+    if (Sym == Symbols.Iff) {
+      IffConstraint Iff;
+      auto L = varId(Store.arg(GD, 0), C, Map);
+      if (!L)
+        return L.getError();
+      Iff.Lhs = *L;
+      for (uint32_t I = 1; I < Arity; ++I) {
+        auto R = varId(Store.arg(GD, I), C, Map);
+        if (!R)
+          return R.getError();
+        Iff.Rhs.push_back(*R);
+      }
+      C.Steps.push_back({Step::Iff, static_cast<uint32_t>(C.Iffs.size())});
+      C.Iffs.push_back(std::move(Iff));
+      continue;
+    }
+    // Body call.
+    BodyCall Call;
+    Call.Pred = predIndex(Sym, Arity);
+    for (uint32_t I = 0; I < Arity; ++I) {
+      auto A = varId(Store.arg(GD, I), C, Map);
+      if (!A)
+        return A.getError();
+      Call.Args.push_back(*A);
+    }
+    C.Steps.push_back({Step::Call, static_cast<uint32_t>(C.Calls.size())});
+    C.Calls.push_back(std::move(Call));
+  }
+  return C;
+}
+
+ErrorOr<std::vector<ClauseIR>> Compiler::run(const PropProgram &Program) {
+  // Touch every predicate so relations exist even for undefined callees.
+  std::vector<ClauseIR> Out;
+  for (TermRef Clause : Program.Clauses) {
+    auto C = compileClause(Clause);
+    if (!C)
+      return C.getError();
+    Out.push_back(std::move(*C));
+  }
+  return Out;
+}
+
+/// Extends each assignment in \p In with the satisfying rows of \p Iff,
+/// appending to \p Out. Mirrors the engine's native iff enumeration.
+void applyIff(const IffConstraint &Iff, const std::vector<Assign> &In,
+              std::vector<Assign> &Out) {
+  for (const Assign &A : In) {
+    auto TrySet = [](Assign B, uint8_t Var, bool Value,
+                     bool &Ok) -> Assign {
+      uint64_t Bit = uint64_t(1) << Var;
+      if (B.Mask & Bit) {
+        Ok = ((B.Values >> Var) & 1) == static_cast<uint64_t>(Value);
+        return B;
+      }
+      Ok = true;
+      B.Mask |= Bit;
+      if (Value)
+        B.Values |= Bit;
+      return B;
+    };
+
+    // Row 1: everything true.
+    {
+      bool Ok = true;
+      Assign B = TrySet(A, Iff.Lhs, true, Ok);
+      for (size_t I = 0; Ok && I < Iff.Rhs.size(); ++I)
+        B = TrySet(B, Iff.Rhs[I], true, Ok);
+      if (Ok)
+        Out.push_back(B);
+    }
+    if (Iff.Rhs.empty())
+      continue; // iff(X): X must be true.
+
+    // Rows with Lhs false and at least one false conjunct.
+    bool Ok = true;
+    Assign Base = TrySet(A, Iff.Lhs, false, Ok);
+    if (!Ok)
+      continue;
+    // DFS over conjuncts.
+    struct Frame {
+      Assign B;
+      size_t I;
+      bool AnyFalse;
+    };
+    std::vector<Frame> Stack{{Base, 0, false}};
+    while (!Stack.empty()) {
+      Frame F = Stack.back();
+      Stack.pop_back();
+      if (F.I == Iff.Rhs.size()) {
+        if (F.AnyFalse)
+          Out.push_back(F.B);
+        continue;
+      }
+      for (bool V : {true, false}) {
+        bool Ok2 = true;
+        Assign B2 = TrySet(F.B, Iff.Rhs[F.I], V, Ok2);
+        if (Ok2)
+          Stack.push_back({B2, F.I + 1, F.AnyFalse || !V});
+      }
+    }
+  }
+}
+
+/// Joins each assignment with the rows of \p Rel for call \p Call.
+void applyJoin(const BodyCall &Call, const std::vector<uint32_t> &Rows,
+               const std::vector<Assign> &In, std::vector<Assign> &Out) {
+  for (const Assign &A : In) {
+    for (uint32_t Row : Rows) {
+      Assign B = A;
+      bool Ok = true;
+      for (size_t I = 0; Ok && I < Call.Args.size(); ++I) {
+        uint8_t Var = Call.Args[I];
+        bool Value = (Row >> I) & 1;
+        uint64_t Bit = uint64_t(1) << Var;
+        if (B.Mask & Bit) {
+          Ok = ((B.Values >> Var) & 1) == static_cast<uint64_t>(Value);
+        } else {
+          B.Mask |= Bit;
+          if (Value)
+            B.Values |= Bit;
+        }
+      }
+      if (Ok)
+        Out.push_back(B);
+    }
+  }
+}
+
+void dedup(std::vector<Assign> &V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+}
+
+/// Evaluates one clause, using \p DeltaCall (if >= 0) as the call position
+/// joined against the delta rather than the full relation. New head rows
+/// are added to \p NewRows.
+void evalClause(const ClauseIR &C, const std::vector<Relation> &Rels,
+                int DeltaCall, std::vector<uint32_t> &NewRows) {
+  if (C.Fails)
+    return;
+  std::vector<Assign> Cur{Assign{}};
+  std::vector<Assign> Next;
+  int CallIdx = -1;
+  for (const Step &S : C.Steps) {
+    Next.clear();
+    if (S.K == Step::Iff) {
+      applyIff(C.Iffs[S.Index], Cur, Next);
+    } else {
+      ++CallIdx;
+      const BodyCall &Call = C.Calls[S.Index];
+      const Relation &Rel = Rels[Call.Pred];
+      if (CallIdx == DeltaCall) {
+        applyJoin(Call, Rel.Delta, Cur, Next);
+      } else {
+        std::vector<uint32_t> Rows(Rel.Rows.begin(), Rel.Rows.end());
+        applyJoin(Call, Rows, Cur, Next);
+      }
+    }
+    dedup(Next);
+    Cur.swap(Next);
+    if (Cur.empty())
+      return;
+  }
+
+  // Project onto head arguments, expanding unassigned ones both ways.
+  for (const Assign &A : Cur) {
+    std::vector<uint8_t> Free;
+    for (uint8_t Var : C.HeadArgs)
+      if (!(A.Mask & (uint64_t(1) << Var)))
+        Free.push_back(Var);
+    // Deduplicate free vars (a head var may repeat).
+    std::sort(Free.begin(), Free.end());
+    Free.erase(std::unique(Free.begin(), Free.end()), Free.end());
+    for (uint64_t M = 0; M < (uint64_t(1) << Free.size()); ++M) {
+      Assign B = A;
+      for (size_t I = 0; I < Free.size(); ++I) {
+        B.Mask |= uint64_t(1) << Free[I];
+        if ((M >> I) & 1)
+          B.Values |= uint64_t(1) << Free[I];
+      }
+      uint32_t Row = 0;
+      for (size_t I = 0; I < C.HeadArgs.size(); ++I)
+        if ((B.Values >> C.HeadArgs[I]) & 1)
+          Row |= uint32_t(1) << I;
+      NewRows.push_back(Row);
+    }
+  }
+}
+
+} // namespace
+
+ErrorOr<BaselineResult> GaiaLikeAnalyzer::analyze(std::string_view Source) {
+  BaselineResult Result;
+  Stopwatch Phase;
+
+  //--- Preprocessing: parse + Figure-1 transform + compile to IR. ---------
+  TermStore AbsStore;
+  PropTransformer Transformer(Symbols);
+  auto Program = Transformer.transformText(Source, AbsStore);
+  if (!Program)
+    return Program.getError();
+  Compiler Comp(Symbols, AbsStore);
+  auto Clauses = Comp.run(*Program);
+  if (!Clauses)
+    return Clauses.getError();
+
+  // Resolve the dense index of each concrete predicate's abstraction.
+  std::vector<uint32_t> OpenPreds;
+  for (PredKey P : Program->Predicates)
+    OpenPreds.push_back(
+        Comp.predIndex(Transformer.abstractSymbol(P.Sym), P.Arity));
+  Result.PreprocSeconds = Phase.elapsedSeconds();
+
+  //--- Analysis: semi-naive bottom-up fixpoint. ----------------------------
+  Phase.restart();
+  std::vector<Relation> Rels(Comp.numPreds());
+  std::vector<std::vector<uint32_t>> Pending(Comp.numPreds());
+
+  auto Commit = [&]() {
+    bool Any = false;
+    for (size_t P = 0; P < Rels.size(); ++P) {
+      Rels[P].Delta.clear();
+      for (uint32_t Row : Pending[P])
+        if (Rels[P].Rows.insert(Row).second) {
+          Rels[P].Delta.push_back(Row);
+          Any = true;
+        }
+      Pending[P].clear();
+    }
+    return Any;
+  };
+
+  // Round 0: clauses with no calls seed the relations.
+  for (const ClauseIR &C : *Clauses)
+    if (C.Calls.empty())
+      evalClause(C, Rels, -1, Pending[C.Pred]);
+  Commit();
+  ++Result.Iterations;
+
+  while (true) {
+    for (const ClauseIR &C : *Clauses) {
+      if (C.Calls.empty())
+        continue;
+      if (Opts.Seminaive) {
+        // One pass per call position restricted to the delta.
+        for (int J = 0, E = static_cast<int>(C.Calls.size()); J < E; ++J)
+          evalClause(C, Rels, J, Pending[C.Pred]);
+      } else {
+        evalClause(C, Rels, -1, Pending[C.Pred]);
+      }
+    }
+    ++Result.Iterations;
+    if (!Commit())
+      break;
+  }
+  Result.AnalysisSeconds = Phase.elapsedSeconds();
+
+  //--- Collection. ----------------------------------------------------------
+  Phase.restart();
+  for (size_t I = 0; I < Program->Predicates.size(); ++I) {
+    PredKey P = Program->Predicates[I];
+    PredGroundness PG;
+    PG.Name = Symbols.name(P.Sym);
+    PG.Arity = P.Arity;
+    const Relation &Rel = Rels[OpenPreds[I]];
+    for (uint32_t Row : Rel.Rows) {
+      BoolTuple Tuple;
+      for (uint32_t A = 0; A < P.Arity; ++A)
+        Tuple.push_back((Row >> A) & 1);
+      PG.SuccessSet.insert(std::move(Tuple));
+    }
+    Result.RowsDerived += Rel.Rows.size();
+    PG.computeMeets();
+    Result.Predicates.push_back(std::move(PG));
+  }
+  Result.CollectSeconds = Phase.elapsedSeconds();
+  return Result;
+}

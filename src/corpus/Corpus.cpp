@@ -1,0 +1,142 @@
+//===- Corpus.cpp - Embedded benchmark programs -------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Assembles the corpus tables together with the paper's published
+// measurements (Tables 1-4), which the bench harnesses print beside our
+// measured numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+namespace lpa {
+namespace corpus {
+extern const char *QSortSrc;
+extern const char *QueensSrc;
+extern const char *PGSrc;
+extern const char *PlanSrc;
+extern const char *GabrielSrc;
+extern const char *DisjSrc;
+extern const char *CSSrc;
+extern const char *KalahSrc;
+extern const char *PeepSrc;
+extern const char *ReadSrc;
+const char *press1Source();
+const char *press2Source();
+
+extern const char *EuSrc;
+extern const char *EventSrc;
+extern const char *FftSrc;
+extern const char *ListcomprSrc;
+extern const char *MergesortSrc;
+extern const char *NqSrc;
+extern const char *OdproveSrc;
+extern const char *PcproveSrc;
+extern const char *QuicksortFLSrc;
+extern const char *StrassenSrc;
+} // namespace corpus
+} // namespace lpa
+
+using namespace lpa;
+
+int CorpusProgram::sourceLines() const {
+  int Lines = 0;
+  for (const char *P = Source; *P; ++P)
+    if (*P == '\n')
+      ++Lines;
+  return Lines;
+}
+
+namespace {
+
+PaperRow row(double Pre, double Ana, double Col, double Tot, double Inc,
+             long Bytes) {
+  return PaperRow{Pre, Ana, Col, Tot, Inc, Bytes};
+}
+
+PaperRow noRow() { return PaperRow{}; }
+
+} // namespace
+
+const std::vector<CorpusProgram> &lpa::prologBenchmarks() {
+  // Table 1 rows: Preproc / Analysis / Collection / Total / increase% /
+  // table bytes. Table 2 GAIA totals. Table 4 rows (depth-k) where the
+  // paper reports them (it drops Gabriel, Plan, Press1, Press2).
+  static const std::vector<CorpusProgram> Benchmarks = {
+      {"cs", corpus::CSSrc, 182,
+       row(0.31, 0.11, 0.15, 0.57, 22.1, 8056), 1.34,
+       row(0.16, 0.03, 0.07, 0.26, 16, 12988)},
+      {"disj", corpus::DisjSrc, 172,
+       row(0.27, 0.03, 0.10, 0.40, 26.9, 5768), 1.01,
+       row(0.14, 0.03, 0.06, 0.23, 23, 9552)},
+      {"gabriel", corpus::GabrielSrc, 122,
+       row(0.20, 0.05, 0.11, 0.36, 43.6, 6912), 0.47, noRow()},
+      {"kalah", corpus::KalahSrc, 278,
+       row(0.48, 0.06, 0.23, 0.77, 37.4, 10580), 0.93,
+       row(0.24, 0.05, 0.11, 0.40, 29, 17068)},
+      {"peep", corpus::PeepSrc, 369,
+       row(0.84, 0.16, 0.09, 1.09, 23.4, 5800), 1.16,
+       row(0.44, 0.08, 0.05, 0.57, 18, 12784)},
+      {"pg", corpus::PGSrc, 53,
+       row(0.10, 0.01, 0.02, 0.13, 31.0, 2332), 0.16,
+       row(0.05, 0.01, 0.02, 0.08, 29, 4136)},
+      {"plan", corpus::PlanSrc, 84,
+       row(0.14, 0.01, 0.03, 0.18, 30.8, 2888), 0.12,
+       row(0.08, 0.01, 0.02, 0.11, 29, 5324)},
+      {"press1", corpus::press1Source(), 349,
+       row(0.62, 0.38, 0.82, 1.82, 59.5, 29400), 5.96, noRow()},
+      {"press2", corpus::press2Source(), 351,
+       row(0.60, 0.41, 0.83, 1.84, 60.7, 29400), 6.03, noRow()},
+      {"qsort", corpus::QSortSrc, 21,
+       row(0.04, 0.00, 0.01, 0.05, 33.3, 916), 0.05,
+       row(0.02, 0.01, 0.02, 0.05, 56, 1684)},
+      {"queens", corpus::QueensSrc, 33,
+       row(0.04, 0.00, 0.01, 0.05, 27.8, 976), 0.04,
+       row(0.03, 0.00, 0.01, 0.04, 33, 1740)},
+      {"read", corpus::ReadSrc, 443,
+       row(0.72, 0.60, 0.70, 2.02, 64.4, 26528), 1.66,
+       row(0.36, 0.25, 0.43, 1.04, 50, 52508)},
+  };
+  return Benchmarks;
+}
+
+const std::vector<CorpusProgram> &lpa::flBenchmarks() {
+  // Table 3 rows. The paper's "eu" row is partially garbled in our source
+  // text; the preprocessing entry (0.12) is reconstructed so the phases
+  // sum to the printed total.
+  static const std::vector<CorpusProgram> Benchmarks = {
+      {"eu", corpus::EuSrc, 67,
+       row(0.12, 0.03, 0.01, 0.16, -1, 2852), -1, noRow()},
+      {"event", corpus::EventSrc, 384,
+       row(0.67, 0.63, 0.08, 1.38, -1, 22056), -1, noRow()},
+      {"fft", corpus::FftSrc, 343,
+       row(0.63, 0.19, 0.06, 0.88, -1, 15780), -1, noRow()},
+      {"listcompr", corpus::ListcomprSrc, 241,
+       row(0.75, 0.07, 0.02, 0.84, -1, 4688), -1, noRow()},
+      {"mergesort", corpus::MergesortSrc, 65,
+       row(0.11, 0.02, 0.01, 0.14, -1, 2332), -1, noRow()},
+      {"nq", corpus::NqSrc, 90,
+       row(0.20, 0.12, 0.02, 0.34, -1, 8912), -1, noRow()},
+      {"odprove", corpus::OdproveSrc, 160,
+       row(0.39, 0.17, 0.02, 0.58, -1, 3776), -1, noRow()},
+      {"pcprove", corpus::PcproveSrc, 595,
+       row(1.01, 1.60, 0.10, 2.71, -1, 25972), -1, noRow()},
+      {"quicksort", corpus::QuicksortFLSrc, 70,
+       row(0.10, 0.03, 0.01, 0.14, -1, 2660), -1, noRow()},
+      {"strassen", corpus::StrassenSrc, 93,
+       row(0.09, 0.08, 0.01, 0.18, -1, 2760), -1, noRow()},
+  };
+  return Benchmarks;
+}
+
+const CorpusProgram *lpa::findBenchmark(const std::string &Name) {
+  for (const CorpusProgram &P : prologBenchmarks())
+    if (Name == P.Name)
+      return &P;
+  for (const CorpusProgram &P : flBenchmarks())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}

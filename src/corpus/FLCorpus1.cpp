@@ -1,0 +1,323 @@
+//===- FLCorpus1.cpp - eu, event, fft, listcompr, mergesort ------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Functional benchmarks in the EQUALS-like equational syntax consumed by
+// src/fl. All arithmetic is over integers (fixed-point where the original
+// used floats); conditionals are the user-defined if/3 matched on
+// true/false.
+//
+//===----------------------------------------------------------------------===//
+
+namespace lpa {
+namespace corpus {
+
+/// eu: Euler-method integration of a simple ODE (paper size: 67 lines).
+const char *EuSrc = R"FL(
+% eu -- Euler integration of y' = y over fixed-point integers.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+scale = 1000.
+
+% One Euler step: y + h*y / scale.
+step(y, h) = y + ((h * y) // scale).
+
+% Iterate n steps.
+euler(y, h, 0) = y.
+euler(y, h, n) = euler(step(y, h), h, n - 1).
+
+% Integrate from 1.0 with step h over n steps.
+integrate(h, n) = euler(scale, h, n).
+
+% Richardson-style refinement: halve the step, double the count.
+refine(h, n, 0) = integrate(h, n).
+refine(h, n, k) = combine(refine(h, n, k - 1), integrate(h // 2, n * 2)).
+
+combine(a, b) = (2 * b) - a.
+
+% Error estimate against a reference value.
+err(approx, ref) = abs(approx - ref).
+
+converged(h, n, tol) = if(err(integrate(h, n), integrate(h // 2, n * 2)) < tol,
+                          true, false).
+
+% Adaptive driver: shrink the step until converged (bounded by fuel).
+adapt(h, n, tol, 0) = integrate(h, n).
+adapt(h, n, tol, fuel) = if(converged(h, n, tol),
+                            integrate(h, n),
+                            adapt(h // 2, n * 2, tol, fuel - 1)).
+
+main = adapt(100, 10, 5, 6).
+)FL";
+
+/// event: discrete-event simulator over a sorted event queue (paper: 384).
+const char *EventSrc = R"FL(
+% event -- discrete-event simulation with a sorted pending-event queue.
+
+:- data ev/3, sim/3, stats/4.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+% Event: ev(time, kind, payload). Kinds: 1 = arrival, 2 = service,
+% 3 = departure.
+
+time(ev(t, k, p)) = t.
+kind(ev(t, k, p)) = k.
+payload(ev(t, k, p)) = p.
+
+% Queue operations: insert keeps the list sorted by time.
+insert(e, nil) = cons(e, nil).
+insert(e, cons(f, q)) = if(time(e) =< time(f),
+                           cons(e, cons(f, q)),
+                           cons(f, insert(e, q))).
+
+insert_all(nil, q) = q.
+insert_all(cons(e, es), q) = insert_all(es, insert(e, q)).
+
+% State: sim(clock, busy, queue_length).
+clock(sim(c, b, q)) = c.
+busy(sim(c, b, q)) = b.
+qlen(sim(c, b, q)) = q.
+
+% Handling one event yields a new state and a list of new events.
+handle(e, s) = dispatch(kind(e), e, s).
+
+dispatch(1, e, s) = arrive(e, s).
+dispatch(2, e, s) = serve(e, s).
+dispatch(3, e, s) = depart(e, s).
+
+arrive(e, sim(c, b, q)) =
+    pair(sim(time(e), b, q + 1),
+         if(b == 0,
+            cons(ev(time(e) + 1, 2, payload(e)), nil),
+            nil)).
+
+serve(e, sim(c, b, q)) =
+    pair(sim(time(e), 1, q),
+         cons(ev(time(e) + service_time(payload(e)), 3, payload(e)), nil)).
+
+depart(e, sim(c, b, q)) =
+    pair(sim(time(e), next_busy(q), q - 1),
+         if(q > 1,
+            cons(ev(time(e) + 1, 2, payload(e) + 1), nil),
+            nil)).
+
+next_busy(q) = if(q > 1, 1, 0).
+
+service_time(p) = 1 + (p mod 3).
+
+fst(pair(a, b)) = a.
+snd(pair(a, b)) = b.
+
+% Main loop: pop the earliest event, handle it, merge new events.
+run(nil, s, fuel) = s.
+run(cons(e, q), s, 0) = s.
+run(cons(e, q), s, fuel) =
+    run(insert_all(snd(handle(e, s)), q),
+        fst(handle(e, s)),
+        fuel - 1).
+
+% Initial workload: n arrivals at increasing times.
+workload(0) = nil.
+workload(n) = cons(ev(n * 2, 1, n), workload(n - 1)).
+
+% Statistics over the final state.
+utilization(s) = if(busy(s) == 1, 100, 0).
+backlog(s) = qlen(s).
+
+summary(s) = stats(clock(s), utilization(s), backlog(s), 0).
+
+main = summary(run(workload(8), sim(0, 0, 0), 64)).
+)FL";
+
+/// fft: radix-2 FFT over fixed-point complex pairs (paper size: 343).
+const char *FftSrc = R"FL(
+% fft -- radix-2 decimation-in-time FFT, complex numbers as cx(re, im)
+% in fixed-point with scale 1024.
+
+:- data cx/2.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+scale = 1024.
+
+re(cx(r, i)) = r.
+im(cx(r, i)) = i.
+
+cadd(a, b) = cx(re(a) + re(b), im(a) + im(b)).
+csub(a, b) = cx(re(a) - re(b), im(a) - im(b)).
+cmul(a, b) = cx(((re(a) * re(b)) - (im(a) * im(b))) // scale,
+                ((re(a) * im(b)) + (im(a) * re(b))) // scale).
+
+% Twiddle factors from a small cosine table (quarter wave, scaled).
+costab(0) = 1024.
+costab(1) = 724.
+costab(2) = 0.
+costab(3) = 0 - 724.
+costab(4) = 0 - 1024.
+costab(k) = costab(k mod 4).
+
+sintab(k) = costab(k + 2) * (0 - 1).
+
+twiddle(k, n) = cx(costab((4 * k) // n), sintab((4 * k) // n)).
+
+% Split a list into even- and odd-indexed elements.
+evens(nil) = nil.
+evens(cons(x, nil)) = cons(x, nil).
+evens(cons(x, cons(y, r))) = cons(x, evens(r)).
+
+odds(nil) = nil.
+odds(cons(x, nil)) = nil.
+odds(cons(x, cons(y, r))) = cons(y, odds(r)).
+
+len(nil) = 0.
+len(cons(x, r)) = 1 + len(r).
+
+% Zip the butterflies back together.
+combine(nil, nil, k, n) = nil.
+combine(cons(e, es), cons(o, os), k, n) =
+    cons(cadd(e, cmul(twiddle(k, n), o)),
+         combine(es, os, k + 1, n)).
+
+combine2(nil, nil, k, n) = nil.
+combine2(cons(e, es), cons(o, os), k, n) =
+    cons(csub(e, cmul(twiddle(k, n), o)),
+         combine2(es, os, k + 1, n)).
+
+append(nil, ys) = ys.
+append(cons(x, xs), ys) = cons(x, append(xs, ys)).
+
+fft(cons(x, nil)) = cons(x, nil).
+fft(xs) = step(fft(evens(xs)), fft(odds(xs)), len(xs)).
+
+step(es, os, n) = append(combine(es, os, 0, n), combine2(es, os, 0, n)).
+
+% Inverse transform via conjugation.
+conj(cx(r, i)) = cx(r, 0 - i).
+
+mapconj(nil) = nil.
+mapconj(cons(x, r)) = cons(conj(x), mapconj(r)).
+
+ifft(xs) = mapconj(fft(mapconj(xs))).
+
+% Signal generators and energy measure.
+impulse(0) = nil.
+impulse(n) = cons(cx(if(n == 8, scale, 0), 0), impulse(n - 1)).
+
+energy(nil) = 0.
+energy(cons(x, r)) = ((re(x) * re(x) + im(x) * im(x)) // scale) + energy(r).
+
+main = energy(fft(impulse(8))).
+)FL";
+
+/// listcompr: desugared list-comprehension pipelines (paper size: 241).
+const char *ListcomprSrc = R"FL(
+% listcompr -- map/filter/zip pipelines as produced by desugaring
+% list comprehensions.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+append(nil, ys) = ys.
+append(cons(x, xs), ys) = cons(x, append(xs, ys)).
+
+upto(lo, hi) = if(lo > hi, nil, cons(lo, upto(lo + 1, hi))).
+
+sum(nil) = 0.
+sum(cons(x, xs)) = x + sum(xs).
+
+len(nil) = 0.
+len(cons(x, xs)) = 1 + len(xs).
+
+% [ x*x | x <- [1..n] ]
+squares(n) = squares_go(upto(1, n)).
+squares_go(nil) = nil.
+squares_go(cons(x, xs)) = cons(x * x, squares_go(xs)).
+
+% [ x | x <- xs, x mod 2 == 0 ]
+filter_even(nil) = nil.
+filter_even(cons(x, xs)) = if(x mod 2 == 0,
+                              cons(x, filter_even(xs)),
+                              filter_even(xs)).
+
+% [ pair(x, y) | x <- xs, y <- ys ]
+pairs(nil, ys) = nil.
+pairs(cons(x, xs), ys) = append(pair_with(x, ys), pairs(xs, ys)).
+
+pair_with(x, nil) = nil.
+pair_with(x, cons(y, ys)) = cons(pair(x, y), pair_with(x, ys)).
+
+% [ x + y | pair(x, y) <- zip(xs, ys) ]
+zipsum(nil, ys) = nil.
+zipsum(xs, nil) = nil.
+zipsum(cons(x, xs), cons(y, ys)) = cons(x + y, zipsum(xs, ys)).
+
+% Pythagorean triples up to n (triple generator with guards).
+triples(n) = tri_a(upto(1, n), n).
+tri_a(nil, n) = nil.
+tri_a(cons(a, as), n) = append(tri_b(a, upto(a, n), n), tri_a(as, n)).
+tri_b(a, nil, n) = nil.
+tri_b(a, cons(b, bs), n) = append(tri_c(a, b, upto(b, n)), tri_b(a, bs, n)).
+tri_c(a, b, nil) = nil.
+tri_c(a, b, cons(c, cs)) = if(a * a + b * b == c * c,
+                              cons(triple(a, b, c), tri_c(a, b, cs)),
+                              tri_c(a, b, cs)).
+
+% Concatenated map over nested lists.
+concatmap_sq(nil) = nil.
+concatmap_sq(cons(xs, xss)) = append(squares_go(xs), concatmap_sq(xss)).
+
+chunks(0, xs) = nil.
+chunks(n, xs) = cons(xs, chunks(n - 1, xs)).
+
+main = sum(filter_even(squares(12)))
+       + len(pairs(upto(1, 5), upto(1, 4)))
+       + sum(zipsum(upto(1, 9), upto(1, 9)))
+       + len(triples(13))
+       + sum(concatmap_sq(chunks(3, upto(1, 4)))).
+)FL";
+
+/// mergesort (paper size: 65 lines).
+const char *MergesortSrc = R"FL(
+% mergesort -- top-down merge sort on integer lists.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+merge(nil, ys) = ys.
+merge(xs, nil) = xs.
+merge(cons(x, xs), cons(y, ys)) =
+    if(x =< y,
+       cons(x, merge(xs, cons(y, ys))),
+       cons(y, merge(cons(x, xs), ys))).
+
+split(nil) = pair(nil, nil).
+split(cons(x, nil)) = pair(cons(x, nil), nil).
+split(cons(x, cons(y, r))) = glue(x, y, split(r)).
+
+glue(x, y, pair(a, b)) = pair(cons(x, a), cons(y, b)).
+
+fst(pair(a, b)) = a.
+snd(pair(a, b)) = b.
+
+msort(nil) = nil.
+msort(cons(x, nil)) = cons(x, nil).
+msort(xs) = merge(msort(fst(split(xs))), msort(snd(split(xs)))).
+
+sorted(nil) = true.
+sorted(cons(x, nil)) = true.
+sorted(cons(x, cons(y, r))) = if(x =< y, sorted(cons(y, r)), false).
+
+gen(0) = nil.
+gen(n) = cons((n * 17) mod 31, gen(n - 1)).
+
+main = sorted(msort(gen(20))).
+)FL";
+
+} // namespace corpus
+} // namespace lpa

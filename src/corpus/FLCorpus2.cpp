@@ -1,0 +1,384 @@
+//===- FLCorpus2.cpp - nq, odprove, pcprove, quicksort, strassen -------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+namespace lpa {
+namespace corpus {
+
+/// nq: n-queens in the lazy functional style (paper size: 90 lines).
+const char *NqSrc = R"FL(
+% nq -- n-queens via lazy candidate filtering.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+and(true, b) = b.
+and(false, b) = false.
+
+not(true) = false.
+not(false) = true.
+
+append(nil, ys) = ys.
+append(cons(x, xs), ys) = cons(x, append(xs, ys)).
+
+len(nil) = 0.
+len(cons(x, xs)) = 1 + len(xs).
+
+upto(lo, hi) = if(lo > hi, nil, cons(lo, upto(lo + 1, hi))).
+
+% A placement is a list of columns, most recent row first.
+safe(q, d, nil) = true.
+safe(q, d, cons(p, ps)) =
+    and(not(q == p),
+        and(not(q == p + d),
+            and(not(q == p - d),
+                safe(q, d + 1, ps)))).
+
+% Extend every partial placement by every safe column.
+extend(n, ps) = ext_cols(upto(1, n), ps).
+
+ext_cols(nil, ps) = nil.
+ext_cols(cons(q, qs), ps) =
+    if(safe(q, 1, ps),
+       cons(cons(q, ps), ext_cols(qs, ps)),
+       ext_cols(qs, ps)).
+
+extend_all(n, nil) = nil.
+extend_all(n, cons(ps, pss)) = append(extend(n, ps), extend_all(n, pss)).
+
+% Breadth-first generation of all solutions.
+place(n, 0) = cons(nil, nil).
+place(n, k) = extend_all(n, place(n, k - 1)).
+
+solutions(n) = len(place(n, n)).
+
+first(cons(x, xs)) = x.
+
+main = solutions(6) + len(first(place(6, 6))).
+)FL";
+
+/// odprove: ordered propositional prover (paper size: 160 lines).
+const char *OdproveSrc = R"FL(
+% odprove -- Wang-style sequent prover for propositional formulas.
+% Formulas: v(n) | neg(f) | conj(f, g) | disj(f, g) | imp(f, g).
+
+:- data v/1, neg/1, conj/2, disj/2, imp/2, seq/2.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+and(true, b) = b.
+and(false, b) = false.
+
+or(true, b) = true.
+or(false, b) = b.
+
+member(x, nil) = false.
+member(x, cons(y, ys)) = if(x == y, true, member(x, ys)).
+
+% prove(seq(gamma, delta)): all of gamma entails some of delta.
+% Sequent rules applied left-first; atoms accumulate in order.
+prove(s) = pr(s, 8).
+
+pr(seq(gamma, delta), 0) = false.
+pr(seq(gamma, delta), fuel) = step_l(gamma, nil, delta, fuel).
+
+% Scan the antecedent for a compound formula.
+step_l(nil, atoms, delta, fuel) = step_r(delta, nil, atoms, fuel).
+step_l(cons(v(n), gs), atoms, delta, fuel) =
+    step_l(gs, cons(v(n), atoms), delta, fuel).
+step_l(cons(neg(f), gs), atoms, delta, fuel) =
+    pr(seq(append(gs, atoms), cons(f, delta)), fuel - 1).
+step_l(cons(conj(f, g), gs), atoms, delta, fuel) =
+    pr(seq(cons(f, cons(g, append(gs, atoms))), delta), fuel - 1).
+step_l(cons(disj(f, g), gs), atoms, delta, fuel) =
+    and(pr(seq(cons(f, append(gs, atoms)), delta), fuel - 1),
+        pr(seq(cons(g, append(gs, atoms)), delta), fuel - 1)).
+step_l(cons(imp(f, g), gs), atoms, delta, fuel) =
+    and(pr(seq(cons(g, append(gs, atoms)), delta), fuel - 1),
+        pr(seq(append(gs, atoms), cons(f, delta)), fuel - 1)).
+
+% Scan the succedent likewise.
+step_r(nil, atoms_r, atoms_l, fuel) = closes(atoms_l, atoms_r).
+step_r(cons(v(n), ds), atoms_r, atoms_l, fuel) =
+    step_r(ds, cons(v(n), atoms_r), atoms_l, fuel).
+step_r(cons(neg(f), ds), atoms_r, atoms_l, fuel) =
+    pr(seq(cons(f, atoms_l), append(ds, atoms_r)), fuel - 1).
+step_r(cons(conj(f, g), ds), atoms_r, atoms_l, fuel) =
+    and(pr(seq(atoms_l, cons(f, append(ds, atoms_r))), fuel - 1),
+        pr(seq(atoms_l, cons(g, append(ds, atoms_r))), fuel - 1)).
+step_r(cons(disj(f, g), ds), atoms_r, atoms_l, fuel) =
+    pr(seq(atoms_l, cons(f, cons(g, append(ds, atoms_r)))), fuel - 1).
+step_r(cons(imp(f, g), ds), atoms_r, atoms_l, fuel) =
+    pr(seq(cons(f, atoms_l), cons(g, append(ds, atoms_r))), fuel - 1).
+
+% An axiom sequent shares an atom between the two sides.
+closes(nil, atoms_r) = false.
+closes(cons(a, as), atoms_r) = or(member(a, atoms_r), closes(as, atoms_r)).
+
+append(nil, ys) = ys.
+append(cons(x, xs), ys) = cons(x, append(xs, ys)).
+
+% Test formulas.
+taut1 = imp(conj(v(1), v(2)), v(1)).
+taut2 = imp(v(1), disj(v(1), v(2))).
+taut3 = imp(imp(v(1), v(2)), imp(neg(v(2)), neg(v(1)))).
+nontaut = imp(disj(v(1), v(2)), v(1)).
+
+check(f) = prove(seq(nil, cons(f, nil))).
+
+count(nil) = 0.
+count(cons(b, bs)) = if(b, 1 + count(bs), count(bs)).
+
+main = count(cons(check(taut1),
+             cons(check(taut2),
+             cons(check(taut3),
+             cons(check(nontaut), nil))))).
+)FL";
+
+/// pcprove: predicate-calculus prover with unification-free ground
+/// instantiation (paper size: 595 lines; the largest FL benchmark).
+const char *PcproveSrc = R"FL(
+% pcprove -- prover for a quantifier-free predicate calculus fragment:
+% ground the universally quantified clauses over a finite domain, then run
+% a DPLL-style satisfiability check on the negated goal.
+
+:- data p/2, neg/1, conj/2, disj/2, imp/2, forall/2, lit/2, cl/1.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+and(true, b) = b.
+and(false, b) = false.
+
+or(true, b) = true.
+or(false, b) = b.
+
+not(true) = false.
+not(false) = true.
+
+append(nil, ys) = ys.
+append(cons(x, xs), ys) = cons(x, append(xs, ys)).
+
+member(x, nil) = false.
+member(x, cons(y, ys)) = if(x == y, true, member(x, ys)).
+
+len(nil) = 0.
+len(cons(x, xs)) = 1 + len(xs).
+
+% --- formula -> negation normal form --------------------------------------
+
+nnf(p(s, t)) = p(s, t).
+nnf(neg(p(s, t))) = neg(p(s, t)).
+nnf(neg(neg(f))) = nnf(f).
+nnf(neg(conj(f, g))) = disj(nnf(neg(f)), nnf(neg(g))).
+nnf(neg(disj(f, g))) = conj(nnf(neg(f)), nnf(neg(g))).
+nnf(neg(imp(f, g))) = conj(nnf(f), nnf(neg(g))).
+nnf(neg(forall(x, f))) = forall(x, nnf(neg(f))).
+nnf(conj(f, g)) = conj(nnf(f), nnf(g)).
+nnf(disj(f, g)) = disj(nnf(f), nnf(g)).
+nnf(imp(f, g)) = disj(nnf(neg(f)), nnf(g)).
+nnf(forall(x, f)) = forall(x, nnf(f)).
+
+% --- ground a quantified formula over the domain --------------------------
+
+domain = cons(1, cons(2, cons(3, nil))).
+
+ground(forall(x, f), d) = ground_all(x, f, domain, d).
+ground(conj(f, g), d) = conj(ground(f, d), ground(g, d)).
+ground(disj(f, g), d) = disj(ground(f, d), ground(g, d)).
+ground(p(s, t), d) = p(subst(s, d), subst(t, d)).
+ground(neg(f), d) = neg(ground(f, d)).
+
+ground_all(x, f, nil, d) = p(0, 0).
+ground_all(x, f, cons(v, nil), d) = ground(f, cons(pair(x, v), d)).
+ground_all(x, f, cons(v, vs), d) =
+    conj(ground(f, cons(pair(x, v), d)), ground_all(x, f, vs, d)).
+
+subst(s, nil) = s.
+subst(s, cons(pair(x, v), d)) = if(s == x, v, subst(s, d)).
+
+% --- formula -> clause set (CNF) -------------------------------------------
+
+cnf(conj(f, g)) = append(cnf(f), cnf(g)).
+cnf(disj(f, g)) = cross(cnf(f), cnf(g)).
+cnf(p(s, t)) = cons(cl(cons(lit(p(s, t), true), nil)), nil).
+cnf(neg(p(s, t))) = cons(cl(cons(lit(p(s, t), false), nil)), nil).
+
+cross(nil, cs) = nil.
+cross(cons(cl(ls), as), cs) = append(cross_one(ls, cs), cross(as, cs)).
+
+cross_one(ls, nil) = nil.
+cross_one(ls, cons(cl(ms), cs)) =
+    cons(cl(append(ls, ms)), cross_one(ls, cs)).
+
+% --- DPLL over ground clauses ----------------------------------------------
+
+atoms_of(nil) = nil.
+atoms_of(cons(cl(ls), cs)) = merge_atoms(lits_atoms(ls), atoms_of(cs)).
+
+lits_atoms(nil) = nil.
+lits_atoms(cons(lit(a, s), ls)) = cons(a, lits_atoms(ls)).
+
+merge_atoms(nil, bs) = bs.
+merge_atoms(cons(a, as), bs) =
+    if(member(a, bs), merge_atoms(as, bs), cons(a, merge_atoms(as, bs))).
+
+% Assign the first atom both ways and simplify.
+sat(nil) = true.
+sat(cs) = sat_split(cs, atoms_of(cs)).
+
+sat_split(cs, nil) = not(has_empty(cs)).
+sat_split(cs, cons(a, as)) =
+    if(has_empty(cs),
+       false,
+       or(sat(assign(cs, a, true)), sat(assign(cs, a, false)))).
+
+has_empty(nil) = false.
+has_empty(cons(cl(nil), cs)) = true.
+has_empty(cons(cl(cons(l, ls)), cs)) = has_empty(cs).
+
+% assign: drop satisfied clauses, shrink falsified literals.
+assign(nil, a, v) = nil.
+assign(cons(cl(ls), cs), a, v) =
+    assign_clause(shrink(ls, a, v), ls, a, v, cs).
+
+assign_clause(sat_clause, ls, a, v, cs) = assign(cs, a, v).
+assign_clause(kept(ms), ls, a, v, cs) = cons(cl(ms), assign(cs, a, v)).
+
+:- data sat_clause/0, kept/1.
+
+shrink(nil, a, v) = kept(nil).
+shrink(cons(lit(b, s), ls), a, v) =
+    if(b == a,
+       if(s == v, sat_clause, shrink(ls, a, v)),
+       keep_lit(lit(b, s), shrink(ls, a, v))).
+
+keep_lit(l, sat_clause) = sat_clause.
+keep_lit(l, kept(ms)) = kept(cons(l, ms)).
+
+% --- proving ----------------------------------------------------------------
+
+% f is valid iff neg(f) grounds to an unsatisfiable clause set.
+valid(f) = not(sat(cnf(ground(nnf(neg(f)), nil)))).
+
+% Test formulas over a 3-element domain.
+refl = forall(7, p(7, 7)).
+sym = forall(7, forall(8, imp(p(7, 8), p(8, 7)))).
+goal1 = imp(refl, forall(9, disj(p(9, 9), p(9, 1)))).
+goal2 = imp(conj(refl, sym), forall(9, p(9, 9))).
+goal3 = forall(7, imp(p(7, 7), disj(p(7, 7), p(7, 1)))).
+
+count(nil) = 0.
+count(cons(b, bs)) = if(b, 1 + count(bs), count(bs)).
+
+main = count(cons(valid(goal1),
+             cons(valid(goal2),
+             cons(valid(goal3), nil)))).
+)FL";
+
+/// quicksort (paper size: 70 lines).
+const char *QuicksortFLSrc = R"FL(
+% quicksort -- functional quicksort with explicit partition.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+append(nil, ys) = ys.
+append(cons(x, xs), ys) = cons(x, append(xs, ys)).
+
+filter_le(p, nil) = nil.
+filter_le(p, cons(x, xs)) = if(x =< p,
+                               cons(x, filter_le(p, xs)),
+                               filter_le(p, xs)).
+
+filter_gt(p, nil) = nil.
+filter_gt(p, cons(x, xs)) = if(x > p,
+                               cons(x, filter_gt(p, xs)),
+                               filter_gt(p, xs)).
+
+qsort(nil) = nil.
+qsort(cons(p, xs)) =
+    append(qsort(filter_le(p, xs)),
+           cons(p, qsort(filter_gt(p, xs)))).
+
+sorted(nil) = true.
+sorted(cons(x, nil)) = true.
+sorted(cons(x, cons(y, r))) = if(x =< y, sorted(cons(y, r)), false).
+
+len(nil) = 0.
+len(cons(x, xs)) = 1 + len(xs).
+
+gen(0) = nil.
+gen(n) = cons((n * 13) mod 29, gen(n - 1)).
+
+check(xs) = if(sorted(qsort(xs)), len(xs), 0 - 1).
+
+main = check(gen(24)).
+)FL";
+
+/// strassen: 2x2 block Strassen matrix multiplication (paper size: 93).
+const char *StrassenSrc = R"FL(
+% strassen -- Strassen multiplication on quad-tree matrices.
+% A matrix is either sc(x) (scalar leaf) or qd(a, b, c, d) (quadrants).
+
+:- data sc/1, qd/4.
+
+if(true, t, e) = t.
+if(false, t, e) = e.
+
+madd(sc(x), sc(y)) = sc(x + y).
+madd(qd(a1, b1, c1, d1), qd(a2, b2, c2, d2)) =
+    qd(madd(a1, a2), madd(b1, b2), madd(c1, c2), madd(d1, d2)).
+
+msub(sc(x), sc(y)) = sc(x - y).
+msub(qd(a1, b1, c1, d1), qd(a2, b2, c2, d2)) =
+    qd(msub(a1, a2), msub(b1, b2), msub(c1, c2), msub(d1, d2)).
+
+% Quadrant accessors let the seven Strassen products be shared through
+% small helper functions (as the lazy source language would via bindings).
+qa(qd(a, b, c, d)) = a.
+qb(qd(a, b, c, d)) = b.
+qc(qd(a, b, c, d)) = c.
+qdd(qd(a, b, c, d)) = d.
+
+m1(x, y) = mmul(madd(qa(x), qdd(x)), madd(qa(y), qdd(y))).
+m2(x, y) = mmul(madd(qc(x), qdd(x)), qa(y)).
+m3(x, y) = mmul(qa(x), msub(qb(y), qdd(y))).
+m4(x, y) = mmul(qdd(x), msub(qc(y), qa(y))).
+m5(x, y) = mmul(madd(qa(x), qb(x)), qdd(y)).
+m6(x, y) = mmul(msub(qc(x), qa(x)), madd(qa(y), qb(y))).
+m7(x, y) = mmul(msub(qb(x), qdd(x)), madd(qc(y), qdd(y))).
+
+mmul(sc(x), sc(y)) = sc(x * y).
+mmul(qd(a1, b1, c1, d1), qd(a2, b2, c2, d2)) =
+    quads(qd(a1, b1, c1, d1), qd(a2, b2, c2, d2)).
+
+quads(x, y) =
+    qd(madd(msub(madd(m1(x, y), m4(x, y)), m5(x, y)), m7(x, y)),
+       madd(m3(x, y), m5(x, y)),
+       madd(m2(x, y), m4(x, y)),
+       madd(msub(madd(m1(x, y), m3(x, y)), m2(x, y)), m6(x, y))).
+
+% Build a 2^k square matrix filled from a seed.
+build(0, s) = sc(s).
+build(k, s) = qd(build(k - 1, s),
+                 build(k - 1, s + 1),
+                 build(k - 1, s + 2),
+                 build(k - 1, s + 3)).
+
+trace(sc(x)) = x.
+trace(qd(a, b, c, d)) = trace(a) + trace(d).
+
+norm(sc(x)) = abs(x).
+norm(qd(a, b, c, d)) = norm(a) + norm(b) + norm(c) + norm(d).
+
+main = trace(mmul(build(3, 1), build(3, 2)))
+       + norm(msub(build(2, 5), build(2, 3))).
+)FL";
+
+} // namespace corpus
+} // namespace lpa

@@ -1,0 +1,302 @@
+//===- PrologCorpusMedium.cpp - CS and Kalah benchmarks ----------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+namespace lpa {
+namespace corpus {
+
+/// CS: cutting-stock style optimization program (paper size: 182 lines).
+const char *CSSrc = R"PL(
+% cs -- cutting stock: cover demands by cutting patterns from stock rolls.
+
+cutstock(Demands, Width, Plan, Cost) :-
+    patterns(Demands, Width, Pats),
+    cover(Demands, Pats, Plan),
+    plan_cost(Plan, Cost).
+
+% Enumerate maximal cutting patterns for the given roll width.
+patterns(Demands, Width, Pats) :-
+    item_sizes(Demands, Sizes),
+    gen_patterns(Sizes, Width, Pats).
+
+item_sizes([], []).
+item_sizes([demand(Item, _)|Ds], [size(Item, W)|Ss]) :-
+    item_width(Item, W),
+    item_sizes(Ds, Ss).
+
+gen_patterns(Sizes, Width, [pat(Cuts, Waste)|Ps]) :-
+    gen_pattern(Sizes, Width, Cuts, Used),
+    Waste is Width - Used,
+    gen_rest(Sizes, Width, Cuts, Ps).
+gen_patterns(_, _, []).
+
+gen_rest(Sizes, Width, Prev, Ps) :-
+    gen_patterns(Sizes, Width, Ps0),
+    drop_pattern(Prev, Ps0, Ps).
+
+drop_pattern(_, [], []).
+drop_pattern(Cuts, [pat(Cuts, _)|Ps], Qs) :- !, drop_pattern(Cuts, Ps, Qs).
+drop_pattern(Cuts, [P|Ps], [P|Qs]) :- drop_pattern(Cuts, Ps, Qs).
+
+gen_pattern([], _, [], 0).
+gen_pattern([size(Item, W)|Ss], Width, [cut(Item, N)|Cs], Used) :-
+    MaxN is Width // W,
+    count_up(0, MaxN, N),
+    Rest is Width - N * W,
+    Rest >= 0,
+    gen_pattern(Ss, Rest, Cs, Used0),
+    Used is Used0 + N * W.
+
+count_up(L, _, L).
+count_up(L, H, N) :- L < H, L1 is L + 1, count_up(L1, H, N).
+
+% Cover all demands with multiples of patterns.
+cover(Demands, Pats, Plan) :-
+    cover_loop(Demands, Pats, [], Plan).
+
+cover_loop(Demands, _, Plan, Plan) :-
+    all_satisfied(Demands, Plan), !.
+cover_loop(Demands, Pats, Acc, Plan) :-
+    pick_pattern(Pats, P),
+    cover_loop(Demands, Pats, [P|Acc], Plan).
+
+pick_pattern([P|_], P).
+pick_pattern([_|Ps], P) :- pick_pattern(Ps, P).
+
+all_satisfied([], _).
+all_satisfied([demand(Item, Need)|Ds], Plan) :-
+    produced(Item, Plan, Got),
+    Got >= Need,
+    all_satisfied(Ds, Plan).
+
+produced(_, [], 0).
+produced(Item, [pat(Cuts, _)|Ps], Got) :-
+    cuts_of(Item, Cuts, N),
+    produced(Item, Ps, Got0),
+    Got is Got0 + N.
+
+cuts_of(_, [], 0).
+cuts_of(Item, [cut(Item, N)|_], N) :- !.
+cuts_of(Item, [_|Cs], N) :- cuts_of(Item, Cs, N).
+
+plan_cost([], 0).
+plan_cost([pat(_, Waste)|Ps], Cost) :-
+    plan_cost(Ps, Cost0),
+    Cost is Cost0 + Waste + 10.
+
+% Improvement loop: try to find a cheaper plan.
+improve(Demands, Width, Plan0, Cost0, Plan, Cost) :-
+    cutstock(Demands, Width, Plan1, Cost1),
+    Cost1 < Cost0, !,
+    improve(Demands, Width, Plan1, Cost1, Plan, Cost).
+improve(_, _, Plan, Cost, Plan, Cost).
+
+% Bounds for pruning.
+lower_bound(Demands, Width, LB) :-
+    total_area(Demands, Area),
+    LB is (Area + Width - 1) // Width.
+
+total_area([], 0).
+total_area([demand(Item, Need)|Ds], Area) :-
+    item_width(Item, W),
+    total_area(Ds, Area0),
+    Area is Area0 + Need * W.
+
+length_of([], 0).
+length_of([_|L], N) :- length_of(L, M), N is M + 1.
+
+rolls_used(Plan, N) :- length_of(Plan, N).
+
+within_bound(Demands, Width, Plan) :-
+    lower_bound(Demands, Width, LB),
+    rolls_used(Plan, N),
+    Slack is N - LB,
+    Slack =< 2.
+
+item_width(narrow, 3).
+item_width(medium, 5).
+item_width(wide, 7).
+item_width(jumbo, 9).
+
+demands([demand(narrow, 4), demand(medium, 3),
+         demand(wide, 2), demand(jumbo, 1)]).
+
+go(Plan, Cost) :-
+    demands(Ds),
+    cutstock(Ds, 20, Plan0, Cost0),
+    improve(Ds, 20, Plan0, Cost0, Plan, Cost),
+    within_bound(Ds, 20, Plan).
+)PL";
+
+/// Kalah: the Kalah game player from the Aquarius suite (paper: 278).
+const char *KalahSrc = R"PL(
+% kalah -- alpha-beta game player for kalah (disjunction-free rendering).
+
+play(Result) :-
+    initialize(Board),
+    game(Board, computer, Result).
+
+game(Board, Player, Result) :-
+    finished(Board), !,
+    outcome(Board, Result).
+game(Board, computer, Result) :-
+    lookahead(Depth),
+    alpha_beta(Depth, Board, -1000, 1000, Move, _),
+    move_rules(Move, Board, computer, Board1),
+    game(Board1, opponent, Result).
+game(Board, opponent, Result) :-
+    reply_move(Board, Move),
+    move_rules(Move, Board, opponent, Board1),
+    game(Board1, computer, Result).
+
+lookahead(3).
+
+finished(board(Hs1, K1, Hs2, K2)) :-
+    all_empty(Hs1),
+    total(Hs2, K2, T2),
+    total(Hs1, K1, T1),
+    Sum is T1 + T2,
+    Sum >= 0.
+finished(board(_, K1, _, _)) :- K1 > 36.
+finished(board(_, _, _, K2)) :- K2 > 36.
+
+all_empty([]).
+all_empty([0|Hs]) :- all_empty(Hs).
+
+outcome(board(_, K1, _, K2), win) :- K1 > K2.
+outcome(board(_, K1, _, K2), lose) :- K1 < K2.
+outcome(board(_, K1, _, K2), draw) :- K1 =:= K2.
+
+total([], K, K).
+total([H|Hs], K, T) :- total(Hs, K, T0), T is T0 + H.
+
+% Alpha-beta search over legal moves.
+alpha_beta(0, Board, _, _, none, Value) :- !,
+    evaluate(Board, Value).
+alpha_beta(Depth, Board, Alpha, Beta, Move, Value) :-
+    legal_moves(Board, Moves),
+    best_move(Moves, Board, Depth, Alpha, Beta, none, Move, Value).
+
+best_move([], Board, _, Alpha, _, Best, Best, Alpha) :-
+    nonvar(Board).
+best_move([M|Ms], Board, Depth, Alpha, Beta, Best0, Best, Value) :-
+    move_rules(M, Board, computer, Board1),
+    swap_board(Board1, Board2),
+    D1 is Depth - 1,
+    NegBeta is 0 - Beta,
+    NegAlpha is 0 - Alpha,
+    alpha_beta(D1, Board2, NegBeta, NegAlpha, _, V0),
+    V is 0 - V0,
+    update_best(V, M, Alpha, Beta, Ms, Board, Depth, Best0, Best, Value).
+
+update_best(V, M, Alpha, Beta, _, _, _, _, M, V) :-
+    V >= Beta, !.
+update_best(V, M, Alpha, Beta, Ms, Board, Depth, _, Best, Value) :-
+    V > Alpha, !,
+    best_move(Ms, Board, Depth, V, Beta, M, Best, Value).
+update_best(_, _, Alpha, Beta, Ms, Board, Depth, Best0, Best, Value) :-
+    best_move(Ms, Board, Depth, Alpha, Beta, Best0, Best, Value).
+
+swap_board(board(Hs1, K1, Hs2, K2), board(Hs2, K2, Hs1, K1)).
+
+evaluate(board(Hs1, K1, Hs2, K2), Value) :-
+    total(Hs1, K1, T1),
+    total(Hs2, K2, T2),
+    Value is T1 - T2 + 2 * (K1 - K2).
+
+legal_moves(board(Hs, _, _, _), Moves) :-
+    nonempty_houses(Hs, 1, Moves).
+
+nonempty_houses([], _, []).
+nonempty_houses([H|Hs], I, [I|Ms]) :-
+    H > 0, !,
+    I1 is I + 1,
+    nonempty_houses(Hs, I1, Ms).
+nonempty_houses([_|Hs], I, Ms) :-
+    I1 is I + 1,
+    nonempty_houses(Hs, I1, Ms).
+
+% Applying a move: sow stones counterclockwise, with capture rules.
+move_rules(none, Board, _, Board) :- !.
+move_rules(M, board(Hs, K, Hs2, K2), computer, Board1) :-
+    pick_stones(M, Hs, Stones, Hs0),
+    sow(Stones, M, Hs0, K, Hs2, Hs1, K1, Hs3),
+    capture(M, Stones, Hs1, K1, Hs3, HsC, KC, Hs3C),
+    Board1 = board(HsC, KC, Hs3C, K2).
+move_rules(M, board(Hs, K, Hs2, K2), opponent, board(Hs, K, HsB, KB)) :-
+    pick_stones(M, Hs2, Stones, Hs0),
+    distribute(Stones, Hs0, HsB0),
+    KB is K2 + 1,
+    HsB = HsB0.
+
+pick_stones(1, [S|Hs], S, [0|Hs]).
+pick_stones(N, [H|Hs], S, [H|Hs1]) :-
+    N > 1,
+    N1 is N - 1,
+    pick_stones(N1, Hs, S, Hs1).
+
+sow(0, _, Hs, K, Hs2, Hs, K, Hs2) :- !.
+sow(Stones, Pos, Hs, K, Hs2, Hs1, K1, Hs3) :-
+    Stones > 0,
+    Pos1 is Pos + 1,
+    drop_one(Pos1, Hs, HsA, Overflow),
+    continue_sow(Overflow, Stones, Pos1, HsA, K, Hs2, Hs1, K1, Hs3).
+
+continue_sow(0, Stones, Pos, Hs, K, Hs2, Hs1, K1, Hs3) :-
+    S1 is Stones - 1,
+    sow(S1, Pos, Hs, K, Hs2, Hs1, K1, Hs3).
+continue_sow(1, Stones, _, Hs, K, Hs2, Hs1, K1, Hs3) :-
+    K0 is K + 1,
+    S1 is Stones - 1,
+    distribute(S1, Hs2, Hs2A),
+    Hs1 = Hs, K1 = K0, Hs3 = Hs2A.
+
+drop_one(Pos, Hs, Hs1, 0) :-
+    add_at(Pos, Hs, Hs1), !.
+drop_one(_, Hs, Hs, 1).
+
+add_at(1, [H|Hs], [H1|Hs]) :- H1 is H + 1.
+add_at(N, [H|Hs], [H|Hs1]) :- N > 1, N1 is N - 1, add_at(N1, Hs, Hs1).
+
+distribute(0, Hs, Hs) :- !.
+distribute(N, [H|Hs], [H1|Hs1]) :-
+    N > 0,
+    H1 is H + 1,
+    N1 is N - 1,
+    distribute(N1, Hs, Hs1).
+distribute(N, [], []) :- N > 0.
+
+capture(Pos, Stones, Hs, K, Hs2, HsC, KC, Hs2C) :-
+    Landing is Pos + Stones,
+    Landing =< 6,
+    house_value(Landing, Hs, 1), !,
+    opposite(Landing, Opp),
+    house_value(Opp, Hs2, Captured),
+    zero_house(Opp, Hs2, Hs2C),
+    zero_house(Landing, Hs, HsC),
+    KC is K + Captured + 1.
+capture(_, _, Hs, K, Hs2, Hs, K, Hs2).
+
+house_value(1, [H|_], H).
+house_value(N, [_|Hs], V) :- N > 1, N1 is N - 1, house_value(N1, Hs, V).
+
+zero_house(1, [_|Hs], [0|Hs]).
+zero_house(N, [H|Hs], [H|Hs1]) :- N > 1, N1 is N - 1, zero_house(N1, Hs, Hs1).
+
+opposite(N, M) :- M is 7 - N.
+
+% A deterministic opponent: picks the first legal house.
+reply_move(board(_, _, Hs2, _), M) :-
+    nonempty_houses(Hs2, 1, [M|_]), !.
+reply_move(_, 1).
+
+initialize(board([6, 6, 6, 6, 6, 6], 0, [6, 6, 6, 6, 6, 6], 0)).
+
+go(R) :- play(R).
+)PL";
+
+} // namespace corpus
+} // namespace lpa

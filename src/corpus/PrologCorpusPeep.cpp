@@ -1,0 +1,187 @@
+//===- PrologCorpusPeep.cpp - Peep benchmark ----------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+namespace lpa {
+namespace corpus {
+
+/// Peep: peephole optimizer over three-address-style instruction lists
+/// (paper size: 369 lines).
+const char *PeepSrc = R"PL(
+% peep -- peephole optimization of an abstract machine instruction stream.
+% Patterns are applied repeatedly until a fixed point is reached.
+
+peephole(Code, Opt) :-
+    pass(Code, Code1, Changed),
+    continue(Changed, Code1, Opt).
+
+continue(no, Code, Code).
+continue(yes, Code, Opt) :- peephole(Code, Opt).
+
+pass([], [], no).
+pass(Code, Opt, yes) :-
+    rule(Code, Code1), !,
+    pass(Code1, Opt, _).
+pass([I|Code], [I|Opt], Changed) :-
+    pass(Code, Opt, Changed).
+
+% --- rewrite rules --------------------------------------------------------
+
+% Redundant moves.
+rule([move(R, R)|Rest], Rest).
+rule([move(R1, R2), move(R2, R1)|Rest], [move(R1, R2)|Rest]).
+rule([move(R1, R2), move(R1, R2)|Rest], [move(R1, R2)|Rest]).
+
+% Store followed by load of the same cell.
+rule([store(R, M), load(M, R)|Rest], [store(R, M)|Rest]).
+rule([load(M, R), store(R, M)|Rest], [load(M, R)|Rest]).
+
+% Double negation and arithmetic identities.
+rule([neg(R), neg(R)|Rest], Rest).
+rule([addi(R, 0)|Rest], Rest).
+rule([subi(R, 0)|Rest], Rest).
+rule([muli(R, 1)|Rest], Rest).
+rule([divi(R, 1)|Rest], Rest).
+rule([muli(R, 0)|Rest], [loadi(0, R)|Rest]).
+
+% Combine immediate arithmetic.
+rule([addi(R, A), addi(R, B)|Rest], [addi(R, C)|Rest]) :- C is A + B.
+rule([subi(R, A), subi(R, B)|Rest], [subi(R, C)|Rest]) :- C is A + B.
+rule([addi(R, A), subi(R, B)|Rest], [addi(R, C)|Rest]) :-
+    A >= B, C is A - B.
+rule([muli(R, A), muli(R, B)|Rest], [muli(R, C)|Rest]) :- C is A * B.
+rule([loadi(A, R), addi(R, B)|Rest], [loadi(C, R)|Rest]) :- C is A + B.
+rule([loadi(A, R), muli(R, B)|Rest], [loadi(C, R)|Rest]) :- C is A * B.
+
+% Jump threading.
+rule([jump(L), label(L)|Rest], [label(L)|Rest]).
+rule([jumpz(R, L), label(L)|Rest], [label(L)|Rest]).
+rule([jump(L1), jump(_)|Rest], [jump(L1)|Rest]).
+
+% Dead code between a jump and the next label.
+rule([jump(L), I|Rest], [jump(L)|Rest]) :- \+ is_label(I).
+
+% Strength reduction.
+rule([muli(R, 2)|Rest], [shl(R, 1)|Rest]).
+rule([muli(R, 4)|Rest], [shl(R, 2)|Rest]).
+rule([muli(R, 8)|Rest], [shl(R, 3)|Rest]).
+rule([divi(R, 2)|Rest], [shr(R, 1)|Rest]).
+rule([divi(R, 4)|Rest], [shr(R, 2)|Rest]).
+
+% Push/pop pairs.
+rule([push(R), pop(R)|Rest], Rest).
+rule([pop(R), push(R)|Rest], Rest).
+rule([push(R1), pop(R2)|Rest], [move(R1, R2)|Rest]).
+
+% Compare-with-zero after load immediate.
+rule([loadi(0, R), cmp(R, R2)|Rest], [test(R2)|Rest]).
+rule([cmp(R, R), jumpnz(_, _)|Rest], Rest).
+
+is_label(label(_)).
+
+% --- liveness-based dead store elimination --------------------------------
+
+optimize(Code, Opt) :-
+    peephole(Code, Code1),
+    dead_stores(Code1, Code2),
+    peephole(Code2, Opt).
+
+dead_stores(Code, Opt) :-
+    live_out(Code, Live),
+    remove_dead(Code, Live, Opt).
+
+live_out(Code, Live) :- collect_uses(Code, [], Live).
+
+collect_uses([], Acc, Acc).
+collect_uses([I|Code], Acc, Live) :-
+    uses(I, Us),
+    union_regs(Us, Acc, Acc1),
+    collect_uses(Code, Acc1, Live).
+
+uses(move(R, _), [R]).
+uses(load(_, _), []).
+uses(store(R, _), [R]).
+uses(addi(R, _), [R]).
+uses(subi(R, _), [R]).
+uses(muli(R, _), [R]).
+uses(divi(R, _), [R]).
+uses(neg(R), [R]).
+uses(add(R1, R2, _), [R1, R2]).
+uses(sub(R1, R2, _), [R1, R2]).
+uses(mul(R1, R2, _), [R1, R2]).
+uses(cmp(R1, R2), [R1, R2]).
+uses(test(R), [R]).
+uses(push(R), [R]).
+uses(pop(_), []).
+uses(jump(_), []).
+uses(jumpz(R, _), [R]).
+uses(jumpnz(R, _), [R]).
+uses(label(_), []).
+uses(loadi(_, _), []).
+uses(shl(R, _), [R]).
+uses(shr(R, _), [R]).
+
+defs(move(_, R), [R]).
+defs(load(_, R), [R]).
+defs(loadi(_, R), [R]).
+defs(add(_, _, R), [R]).
+defs(sub(_, _, R), [R]).
+defs(mul(_, _, R), [R]).
+defs(pop(R), [R]).
+defs(_, []).
+
+union_regs([], Acc, Acc).
+union_regs([R|Rs], Acc, Out) :-
+    member_reg(R, Acc), !,
+    union_regs(Rs, Acc, Out).
+union_regs([R|Rs], Acc, Out) :-
+    union_regs(Rs, [R|Acc], Out).
+
+member_reg(R, [R|_]).
+member_reg(R, [_|T]) :- member_reg(R, T).
+
+remove_dead([], _, []).
+remove_dead([I|Code], Live, Opt) :-
+    defs(I, [R]),
+    \+ member_reg(R, Live),
+    pure_instr(I), !,
+    remove_dead(Code, Live, Opt).
+remove_dead([I|Code], Live, [I|Opt]) :-
+    remove_dead(Code, Live, Opt).
+
+pure_instr(move(_, _)).
+pure_instr(loadi(_, _)).
+pure_instr(load(_, _)).
+
+% --- sample instruction streams -------------------------------------------
+
+sample(1, [move(r1, r1), addi(r2, 0), loadi(3, r1), addi(r1, 4),
+           muli(r1, 2), push(r1), pop(r1), jump(l1), move(r9, r8),
+           label(l1), store(r1, m1), load(m1, r1)]).
+sample(2, [loadi(0, r3), cmp(r3, r4), muli(r5, 8), divi(r6, 2),
+           store(r5, m2), load(m2, r5), neg(r7), neg(r7)]).
+sample(3, [push(r1), pop(r2), addi(r2, 5), subi(r2, 5),
+           jump(l2), addi(r9, 1), label(l2), muli(r2, 4)]).
+
+run_samples([], []).
+run_samples([I|Is], [out(I, Opt)|Os]) :-
+    sample(I, Code),
+    optimize(Code, Opt),
+    run_samples(Is, Os).
+
+code_length([], 0).
+code_length([_|Code], N) :- code_length(Code, M), N is M + 1.
+
+improvement(Code, Opt, Saved) :-
+    code_length(Code, N0),
+    code_length(Opt, N1),
+    Saved is N0 - N1.
+
+go(Os) :- run_samples([1, 2, 3], Os).
+)PL";
+
+} // namespace corpus
+} // namespace lpa

@@ -1,0 +1,312 @@
+//===- PrologCorpusPress.cpp - Press1 and Press2 benchmarks ------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// PRESS (PRolog Equation Solving System) style symbolic equation solving.
+// Press1 and Press2 are two variants of the same solver (the paper's rows
+// differ only marginally); Press2 adds a logarithm/substitution stage.
+//
+//===----------------------------------------------------------------------===//
+
+#include <string>
+
+namespace lpa {
+namespace corpus {
+
+/// Shared core of the PRESS-style solver.
+static const char *PressCommon = R"PL(
+% press -- symbolic equation solver over x.
+
+solve_equation(Eq, X, Solution) :-
+    single_occurrence(X, Eq), !,
+    isolate(X, Eq, Solution).
+solve_equation(Eq, X, Solution) :-
+    is_polynomial(Eq, X), !,
+    poly_normal_form(Eq, X, Poly),
+    solve_polynomial(Poly, X, Solution).
+solve_equation(Eq, X, Solution) :-
+    homogenize(Eq, X, NewEq, Sub),
+    solve_equation(NewEq, Sub, SubSol),
+    solve_sub(Sub, SubSol, X, Solution).
+
+% --- occurrence counting -------------------------------------------------
+single_occurrence(X, Eq) :- occurrences(X, Eq, 1).
+
+occurrences(X, X, 1) :- !.
+occurrences(X, T, 0) :- atomic_term(T), !, X \== T.
+occurrences(X, T + U, N) :- !, occ2(X, T, U, N).
+occurrences(X, T - U, N) :- !, occ2(X, T, U, N).
+occurrences(X, T * U, N) :- !, occ2(X, T, U, N).
+occurrences(X, T / U, N) :- !, occ2(X, T, U, N).
+occurrences(X, T ^ U, N) :- !, occ2(X, T, U, N).
+occurrences(X, eq(T, U), N) :- !, occ2(X, T, U, N).
+occurrences(X, f(T), N) :- !, occurrences(X, T, N).
+occurrences(_, _, 0).
+
+occ2(X, T, U, N) :-
+    occurrences(X, T, N1),
+    occurrences(X, U, N2),
+    N is N1 + N2.
+
+atomic_term(T) :- atom(T).
+atomic_term(T) :- integer(T).
+
+% --- isolation -----------------------------------------------------------
+isolate(X, eq(Lhs, Rhs), Solution) :-
+    position(X, Lhs, Pos), !,
+    maneuver(Pos, eq(Lhs, Rhs), Iso),
+    Solution = Iso.
+isolate(X, eq(Lhs, Rhs), Solution) :-
+    isolate(X, eq(Rhs, Lhs), Solution).
+
+position(X, X, []) :- !.
+position(X, T + _, [1|P]) :- occurrences(X, T, N), N > 0, !, position(X, T, P).
+position(X, _ + U, [2|P]) :- !, position(X, U, P).
+position(X, T - _, [1|P]) :- occurrences(X, T, N), N > 0, !, position(X, T, P).
+position(X, _ - U, [2|P]) :- !, position(X, U, P).
+position(X, T * _, [1|P]) :- occurrences(X, T, N), N > 0, !, position(X, T, P).
+position(X, _ * U, [2|P]) :- !, position(X, U, P).
+position(X, T / _, [1|P]) :- occurrences(X, T, N), N > 0, !, position(X, T, P).
+position(X, _ / U, [2|P]) :- !, position(X, U, P).
+position(X, T ^ _, [1|P]) :- occurrences(X, T, N), N > 0, !, position(X, T, P).
+position(X, _ ^ U, [2|P]) :- !, position(X, U, P).
+position(X, f(T), [1|P]) :- position(X, T, P).
+
+maneuver([], Eq, Eq).
+maneuver([Side|Pos], Eq, Iso) :-
+    invert(Side, Eq, Eq1),
+    maneuver(Pos, Eq1, Iso).
+
+invert(1, eq(T + U, R), eq(T, R - U)).
+invert(2, eq(T + U, R), eq(U, R - T)).
+invert(1, eq(T - U, R), eq(T, R + U)).
+invert(2, eq(T - U, R), eq(U, T - R)).
+invert(1, eq(T * U, R), eq(T, R / U)).
+invert(2, eq(T * U, R), eq(U, R / T)).
+invert(1, eq(T / U, R), eq(T, R * U)).
+invert(2, eq(T / U, R), eq(U, T / R)).
+invert(1, eq(T ^ N, R), eq(T, root(N, R))).
+invert(2, eq(B ^ T, R), eq(T, logb(B, R))).
+invert(1, eq(f(T), R), eq(T, finv(R))).
+
+% --- polynomial recognition and normal form ------------------------------
+is_polynomial(eq(L, R), X) :- poly_term(L, X), poly_term(R, X).
+
+poly_term(X, X) :- !.
+poly_term(T, _) :- atomic_term(T), !.
+poly_term(T + U, X) :- !, poly_term(T, X), poly_term(U, X).
+poly_term(T - U, X) :- !, poly_term(T, X), poly_term(U, X).
+poly_term(T * U, X) :- !, poly_term(T, X), poly_term(U, X).
+poly_term(T ^ N, X) :- !, integer(N), poly_term(T, X).
+poly_term(_, _) :- fail.
+
+poly_normal_form(eq(L, R), X, Poly) :-
+    poly_rep(L, X, PL),
+    poly_rep(R, X, PR),
+    poly_sub(PL, PR, Poly).
+
+poly_rep(X, X, [mono(1, 1)]) :- !.
+poly_rep(T, _, [mono(T, 0)]) :- atomic_term(T), !.
+poly_rep(T + U, X, P) :- !,
+    poly_rep(T, X, PT), poly_rep(U, X, PU), poly_add(PT, PU, P).
+poly_rep(T - U, X, P) :- !,
+    poly_rep(T, X, PT), poly_rep(U, X, PU), poly_sub(PT, PU, P).
+poly_rep(T * U, X, P) :- !,
+    poly_rep(T, X, PT), poly_rep(U, X, PU), poly_mul(PT, PU, P).
+poly_rep(T ^ N, X, P) :- !,
+    poly_rep(T, X, PT), poly_pow(PT, N, P).
+
+poly_add([], P, P).
+poly_add([M|Ms], P, [M1|R]) :-
+    grab_degree(M, P, M1, P1),
+    poly_add(Ms, P1, R).
+
+grab_degree(mono(C, D), P, mono(C1, D), P1) :-
+    take_degree(D, P, C0, P1), !,
+    C1 = C + C0.
+grab_degree(M, P, M, P).
+
+take_degree(D, [mono(C, D)|P], C, P) :- !.
+take_degree(D, [M|P], C, [M|P1]) :- take_degree(D, P, C, P1).
+
+poly_sub(P, [], P).
+poly_sub(P, [mono(C, D)|Ms], R) :-
+    poly_add(P, [mono(0 - C, D)], P1),
+    poly_sub(P1, Ms, R).
+
+poly_mul([], _, []).
+poly_mul([M|Ms], P, R) :-
+    mono_mul(M, P, R1),
+    poly_mul(Ms, P, R2),
+    poly_add(R1, R2, R).
+
+mono_mul(_, [], []).
+mono_mul(mono(C, D), [mono(C1, D1)|P], [mono(C * C1, D2)|R]) :-
+    D2 is D + D1,
+    mono_mul(mono(C, D), P, R).
+
+poly_pow(_, 0, [mono(1, 0)]) :- !.
+poly_pow(P, N, R) :-
+    N > 0,
+    N1 is N - 1,
+    poly_pow(P, N1, R1),
+    poly_mul(P, R1, R).
+
+solve_polynomial(Poly, X, Solution) :-
+    degree_of(Poly, Deg),
+    solve_by_degree(Deg, Poly, X, Solution).
+
+degree_of([], 0).
+degree_of([mono(_, D)|Ms], Deg) :-
+    degree_of(Ms, D1),
+    max_deg(D, D1, Deg).
+
+max_deg(A, B, A) :- A >= B, !.
+max_deg(_, B, B).
+
+solve_by_degree(1, Poly, X, eq(X, 0 - (B / A))) :-
+    coeff(Poly, 1, A),
+    coeff(Poly, 0, B).
+solve_by_degree(2, Poly, X, eq(X, quadratic(A, B, C))) :-
+    coeff(Poly, 2, A),
+    coeff(Poly, 1, B),
+    coeff(Poly, 0, C).
+
+coeff([], _, 0).
+coeff([mono(C, D)|_], D, C) :- !.
+coeff([_|Ms], D, C) :- coeff(Ms, D, C).
+
+% --- homogenization ------------------------------------------------------
+homogenize(eq(L, R), X, eq(L1, R1), Sub) :-
+    offenders(eq(L, R), X, Offs),
+    choose_sub(Offs, X, Sub),
+    rewrite(L, Sub, u, L1),
+    rewrite(R, Sub, u, R1).
+
+offenders(T, X, Offs) :- collect_offenders(T, X, [], Offs).
+
+collect_offenders(X, X, Acc, Acc) :- !.
+collect_offenders(T, _, Acc, Acc) :- atomic_term(T), !.
+collect_offenders(T + U, X, Acc, Out) :- !, coll2(T, U, X, Acc, Out).
+collect_offenders(T - U, X, Acc, Out) :- !, coll2(T, U, X, Acc, Out).
+collect_offenders(T * U, X, Acc, Out) :- !, coll2(T, U, X, Acc, Out).
+collect_offenders(T / U, X, Acc, Out) :- !, coll2(T, U, X, Acc, Out).
+collect_offenders(B ^ T, X, Acc, [B ^ T|Acc]) :-
+    occurrences(X, T, N), N > 0, !.
+collect_offenders(T ^ _, X, Acc, Out) :- !, collect_offenders(T, X, Acc, Out).
+collect_offenders(eq(T, U), X, Acc, Out) :- !, coll2(T, U, X, Acc, Out).
+collect_offenders(f(T), X, Acc, [f(T)|Acc]) :-
+    occurrences(X, T, N), N > 0, !.
+collect_offenders(_, _, Acc, Acc).
+
+coll2(T, U, X, Acc, Out) :-
+    collect_offenders(T, X, Acc, Acc1),
+    collect_offenders(U, X, Acc1, Out).
+
+choose_sub([Off|_], _, Off).
+choose_sub([_|Offs], X, Sub) :- choose_sub(Offs, X, Sub).
+
+rewrite(T, T, V, V) :- !.
+rewrite(T, _, _, T) :- atomic_term(T), !.
+rewrite(T + U, Sub, V, T1 + U1) :- !, rw2(T, U, Sub, V, T1, U1).
+rewrite(T - U, Sub, V, T1 - U1) :- !, rw2(T, U, Sub, V, T1, U1).
+rewrite(T * U, Sub, V, T1 * U1) :- !, rw2(T, U, Sub, V, T1, U1).
+rewrite(T / U, Sub, V, T1 / U1) :- !, rw2(T, U, Sub, V, T1, U1).
+rewrite(T ^ U, Sub, V, T1 ^ U1) :- !, rw2(T, U, Sub, V, T1, U1).
+rewrite(f(T), Sub, V, f(T1)) :- !, rewrite(T, Sub, V, T1).
+rewrite(T, _, _, T).
+
+rw2(T, U, Sub, V, T1, U1) :-
+    rewrite(T, Sub, V, T1),
+    rewrite(U, Sub, V, U1).
+
+solve_sub(Sub, eq(_, Val), X, Solution) :-
+    solve_equation(eq(Sub, Val), X, Solution).
+)PL";
+
+static const char *Press1Extra = R"PL(
+% press1 -- driver with a fixed test-equation set.
+
+test_eq(1, eq(x + 3, 7)).
+test_eq(2, eq(2 * x + 1, 9)).
+test_eq(3, eq(x * x + 2 * x + 1, 0)).
+test_eq(4, eq(2 ^ (x + 1), 8)).
+test_eq(5, eq(f(x) + 2, 5)).
+
+solve_all([], []).
+solve_all([I|Is], [sol(I, S)|Ss]) :-
+    test_eq(I, Eq),
+    solve_equation(Eq, x, S),
+    solve_all(Is, Ss).
+
+go(Ss) :- solve_all([1, 2, 3, 4, 5], Ss).
+)PL";
+
+static const char *Press2Extra = R"PL(
+% press2 -- variant driver with logarithm rewriting before solving.
+
+log_rewrite(eq(L, R), eq(L1, R1)) :-
+    log_side(L, L1),
+    log_side(R, R1).
+
+log_side(B ^ T, T * logb(B, B)) :- !.
+log_side(T + U, T1 + U1) :- !, log_side(T, T1), log_side(U, U1).
+log_side(T * U, T1 * U1) :- !, log_side(T, T1), log_side(U, U1).
+log_side(T, T).
+
+simplify_log(logb(B, B), 1) :- !.
+simplify_log(T, T).
+
+presolve(Eq, Eq1) :-
+    log_rewrite(Eq, Eq0),
+    simp_eq(Eq0, Eq1).
+
+simp_eq(eq(L, R), eq(L1, R1)) :-
+    simp_term(L, L1),
+    simp_term(R, R1).
+
+simp_term(T + U, V) :- !,
+    simp_term(T, T1), simp_term(U, U1), simp_plus(T1, U1, V).
+simp_term(T * U, V) :- !,
+    simp_term(T, T1), simp_term(U, U1), simp_times(T1, U1, V).
+simp_term(T, T1) :- simplify_log(T, T1).
+
+simp_plus(0, U, U) :- !.
+simp_plus(T, 0, T) :- !.
+simp_plus(T, U, T + U).
+
+simp_times(0, _, 0) :- !.
+simp_times(_, 0, 0) :- !.
+simp_times(1, U, U) :- !.
+simp_times(T, 1, T) :- !.
+simp_times(T, U, T * U).
+
+test_eq(1, eq(2 ^ x, 16)).
+test_eq(2, eq(3 ^ (x + 1), 27)).
+test_eq(3, eq(x + 3, 7)).
+test_eq(4, eq(x * x - 4, 0)).
+test_eq(5, eq(f(x + 1), 9)).
+
+solve_all([], []).
+solve_all([I|Is], [sol(I, S)|Ss]) :-
+    test_eq(I, Eq),
+    presolve(Eq, Eq1),
+    solve_equation(Eq1, x, S),
+    solve_all(Is, Ss).
+
+go(Ss) :- solve_all([1, 2, 3, 4, 5], Ss).
+)PL";
+
+// Assembled sources (static locals keep initialization lazy and ordered).
+const char *press1Source() {
+  static const std::string Src = std::string(PressCommon) + Press1Extra;
+  return Src.c_str();
+}
+const char *press2Source() {
+  static const std::string Src = std::string(PressCommon) + Press2Extra;
+  return Src.c_str();
+}
+
+} // namespace corpus
+} // namespace lpa

@@ -1,0 +1,256 @@
+//===- PrologCorpusRead.cpp - Read benchmark ----------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+namespace lpa {
+namespace corpus {
+
+/// Read: a tokenizer and operator-precedence term reader over character
+/// code lists (paper size: 443 lines).
+const char *ReadSrc = R"PL(
+% read -- tokenize a character-code list and parse a term.
+
+read_term(Chars, Term) :-
+    tokenize(Chars, Tokens),
+    parse(Tokens, Term, []).
+
+% --- tokenizer -------------------------------------------------------------
+
+tokenize([], []).
+tokenize([C|Cs], Tokens) :-
+    white(C), !,
+    tokenize(Cs, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    digit(C), !,
+    D0 is C - 48,
+    scan_number(Cs, D0, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    lower(C), !,
+    scan_name(Cs, [C], Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    upper(C), !,
+    scan_var(Cs, [C], Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [punct(P)|Tokens]) :-
+    punct_char(C, P), !,
+    tokenize(Cs, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    symbol_char(C), !,
+    scan_symbol(Cs, [C], Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([_|Cs], Tokens) :-
+    tokenize(Cs, Tokens).
+
+scan_number([C|Cs], Acc, Token, Rest) :-
+    digit(C), !,
+    Acc1 is Acc * 10 + C - 48,
+    scan_number(Cs, Acc1, Token, Rest).
+scan_number(Cs, Acc, int(Acc), Cs).
+
+scan_name([C|Cs], Acc, Token, Rest) :-
+    alnum(C), !,
+    append_codes(Acc, [C], Acc1),
+    scan_name(Cs, Acc1, Token, Rest).
+scan_name(Cs, Acc, name(Acc), Cs).
+
+scan_var([C|Cs], Acc, Token, Rest) :-
+    alnum(C), !,
+    append_codes(Acc, [C], Acc1),
+    scan_var(Cs, Acc1, Token, Rest).
+scan_var(Cs, Acc, var(Acc), Cs).
+
+scan_symbol([C|Cs], Acc, Token, Rest) :-
+    symbol_char(C), !,
+    append_codes(Acc, [C], Acc1),
+    scan_symbol(Cs, Acc1, Token, Rest).
+scan_symbol(Cs, Acc, sym(Acc), Cs).
+
+append_codes([], L, L).
+append_codes([X|Xs], L, [X|Zs]) :- append_codes(Xs, L, Zs).
+
+% character classes over codes
+white(32).
+white(9).
+white(10).
+white(13).
+
+digit(C) :- C >= 48, C =< 57.
+lower(C) :- C >= 97, C =< 122.
+upper(C) :- C >= 65, C =< 90.
+upper(95).
+alnum(C) :- digit(C).
+alnum(C) :- lower(C).
+alnum(C) :- upper(C).
+
+punct_char(40, lparen).
+punct_char(41, rparen).
+punct_char(91, lbracket).
+punct_char(93, rbracket).
+punct_char(44, comma).
+punct_char(124, bar).
+
+symbol_char(43).
+symbol_char(45).
+symbol_char(42).
+symbol_char(47).
+symbol_char(60).
+symbol_char(61).
+symbol_char(62).
+symbol_char(58).
+symbol_char(46).
+symbol_char(94).
+
+% --- operator table ---------------------------------------------------------
+
+prefix_op([45], 200, 200).
+prefix_op([43], 200, 200).
+
+infix_op([43], 500, 499, 500).         % + yfx
+infix_op([45], 500, 499, 500).         % - yfx
+infix_op([42], 400, 399, 400).         % * yfx
+infix_op([47], 400, 399, 400).         % / yfx
+infix_op([94], 200, 199, 200).         % ^ xfy
+infix_op([61], 700, 699, 699).         % = xfx
+infix_op([60], 700, 699, 699).         % < xfx
+infix_op([62], 700, 699, 699).         % > xfx
+
+% --- parser ------------------------------------------------------------------
+
+parse(Tokens, Term, Rest) :- expr(1200, Tokens, Term, Rest).
+
+expr(Max, Tokens, Term, Rest) :-
+    primary(Tokens, Left, LeftPrec, Rest0),
+    LeftPrec =< Max,
+    expr_rest(Max, Left, Rest0, Term, Rest).
+
+expr_rest(Max, Left, [sym(Op)|Ts], Term, Rest) :-
+    infix_op(Op, P, LMax, RMax),
+    P =< Max,
+    prec_of(Left, LP),
+    LP =< LMax, !,
+    expr(RMax, Ts, Right, Rest1),
+    mk_binary(Op, Left, Right, Node),
+    expr_rest(Max, Node, Rest1, Term, Rest).
+expr_rest(_, Left, Ts, Left, Ts).
+
+prec_of(op2(_, _, _, P), P) :- !.
+prec_of(op1(_, _, P), P) :- !.
+prec_of(_, 0).
+
+mk_binary(Op, L, R, op2(Op, L, R, P)) :- infix_op(Op, P, _, _).
+
+primary([int(N)|Ts], num(N), 0, Ts).
+primary([var(V)|Ts], variable(V), 0, Ts).
+primary([name(F), punct(lparen)|Ts], Term, 0, Rest) :- !,
+    arg_list(Ts, Args, Rest),
+    Term = compound(F, Args).
+primary([name(A)|Ts], atom(A), 0, Ts).
+primary([punct(lparen)|Ts], Term, 0, Rest) :- !,
+    expr(1200, Ts, Term, [punct(rparen)|Rest]).
+primary([punct(lbracket), punct(rbracket)|Ts], nil, 0, Ts) :- !.
+primary([punct(lbracket)|Ts], List, 0, Rest) :- !,
+    list_items(Ts, List, Rest).
+primary([sym(Op)|Ts], op1(Op, Arg, P), P, Rest) :-
+    prefix_op(Op, P, ArgMax),
+    expr(ArgMax, Ts, Arg, Rest).
+
+arg_list(Ts, [A|As], Rest) :-
+    expr(999, Ts, A, Rest0),
+    arg_tail(Rest0, As, Rest).
+
+arg_tail([punct(comma)|Ts], [A|As], Rest) :- !,
+    expr(999, Ts, A, Rest0),
+    arg_tail(Rest0, As, Rest).
+arg_tail([punct(rparen)|Ts], [], Ts).
+
+list_items(Ts, cons(A, As), Rest) :-
+    expr(999, Ts, A, Rest0),
+    list_tail(Rest0, As, Rest).
+
+list_tail([punct(comma)|Ts], cons(A, As), Rest) :- !,
+    expr(999, Ts, A, Rest0),
+    list_tail(Rest0, As, Rest).
+list_tail([punct(bar)|Ts], Tail, Rest) :- !,
+    expr(999, Ts, Tail, [punct(rbracket)|Rest]).
+list_tail([punct(rbracket)|Ts], nil, Ts).
+
+% --- post-processing ---------------------------------------------------------
+
+term_vars(variable(V), [V]) :- !.
+term_vars(compound(_, Args), Vs) :- !, args_vars(Args, Vs).
+term_vars(op2(_, L, R, _), Vs) :- !,
+    term_vars(L, V1),
+    term_vars(R, V2),
+    append_codes(V1, V2, Vs).
+term_vars(op1(_, A, _), Vs) :- !, term_vars(A, Vs).
+term_vars(cons(H, T), Vs) :- !,
+    term_vars(H, V1),
+    term_vars(T, V2),
+    append_codes(V1, V2, Vs).
+term_vars(_, []).
+
+args_vars([], []).
+args_vars([A|As], Vs) :-
+    term_vars(A, V1),
+    args_vars(As, V2),
+    append_codes(V1, V2, Vs).
+
+term_depth(num(_), 1).
+term_depth(atom(_), 1).
+term_depth(variable(_), 1).
+term_depth(nil, 1).
+term_depth(compound(_, Args), D) :- args_depth(Args, D0), D is D0 + 1.
+term_depth(op2(_, L, R, _), D) :-
+    term_depth(L, DL),
+    term_depth(R, DR),
+    max_d(DL, DR, D0),
+    D is D0 + 1.
+term_depth(op1(_, A, _), D) :- term_depth(A, D0), D is D0 + 1.
+term_depth(cons(H, T), D) :-
+    term_depth(H, DH),
+    term_depth(T, DT),
+    max_d(DH, DT, D0),
+    D is D0 + 1.
+
+args_depth([], 0).
+args_depth([A|As], D) :-
+    term_depth(A, DA),
+    args_depth(As, DRest),
+    max_d(DA, DRest, D).
+
+max_d(A, B, A) :- A >= B, !.
+max_d(_, B, B).
+
+% Validate: every variable list entry is a var token's code list.
+well_formed(Term) :-
+    term_vars(Term, Vs),
+    all_nonempty(Vs).
+
+all_nonempty([]).
+all_nonempty([[_|_]|Vs]) :- all_nonempty(Vs).
+all_nonempty([C|Vs]) :- integer(C), all_nonempty(Vs).
+
+% --- test inputs ------------------------------------------------------------
+
+input(1, "foo(X, bar(Y), [1,2|Z]) = X + Y * 3").
+input(2, "quux(A) < g(h(A), [a,b,c])").
+input(3, "-X + (Y ^ 2) > f(1, 2, 3)").
+
+read_all([], []).
+read_all([I|Is], [t(I, T, D)|Ts]) :-
+    input(I, Chars),
+    read_term(Chars, T),
+    well_formed(T),
+    term_depth(T, D),
+    read_all(Is, Ts).
+
+go(Ts) :- read_all([1, 2, 3], Ts).
+)PL";
+
+} // namespace corpus
+} // namespace lpa

@@ -1,0 +1,368 @@
+//===- PrologCorpusSmall.cpp - QSort, Queens, PG, Plan, Gabriel, Disj --------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// The six smaller logic-program benchmarks. Pure Horn clauses (plus cut,
+// negation and arithmetic) in the style of the GAIA/Aquarius suite; see
+// DESIGN.md for the substitution rationale.
+//
+//===----------------------------------------------------------------------===//
+
+namespace lpa {
+namespace corpus {
+
+/// QSort: the classic quicksort benchmark (paper size: 21 lines).
+const char *QSortSrc = R"PL(
+% qsort -- quicksort with explicit partition, difference-free version.
+
+qsort(L, S) :- qsort_acc(L, S, []).
+
+qsort_acc([], R, R).
+qsort_acc([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qsort_acc(L2, R1, R0),
+    qsort_acc(L1, R, [X|R1]).
+
+partition([], _, [], []).
+partition([X|L], Y, [X|L1], L2) :-
+    X =< Y, !,
+    partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :-
+    partition(L, Y, L1, L2).
+
+sorted([]).
+sorted([_]).
+sorted([X, Y|R]) :- X =< Y, sorted([Y|R]).
+
+go(S) :- data(L), qsort(L, S).
+data([27, 74, 17, 33, 94, 18, 46, 83, 65, 2, 32, 53, 28, 85, 99, 47, 28]).
+)PL";
+
+/// Queens: N-queens with arithmetic safety checks (paper size: 33 lines).
+const char *QueensSrc = R"PL(
+% queens -- place N queens via permutation generation and safety check.
+
+queens(N, Qs) :-
+    range(1, N, Ns),
+    permute(Ns, Qs),
+    safe(Qs).
+
+range(L, H, []) :- L > H.
+range(L, H, [L|Ns]) :- L =< H, L1 is L + 1, range(L1, H, Ns).
+
+permute([], []).
+permute(Xs, [X|Ys]) :-
+    select(X, Xs, Rest),
+    permute(Rest, Ys).
+
+select(X, [X|Xs], Xs).
+select(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).
+
+safe([]).
+safe([Q|Qs]) :- no_attack(Q, Qs, 1), safe(Qs).
+
+no_attack(_, [], _).
+no_attack(Q, [Q1|Qs], D) :-
+    Q =\= Q1 + D,
+    Q =\= Q1 - D,
+    D1 is D + 1,
+    no_attack(Q, Qs, D1).
+
+go(Qs) :- queens(8, Qs).
+)PL";
+
+/// PG: a small projective-geometry style search program (paper size: 53).
+const char *PGSrc = R"PL(
+% pg -- incidence structure search: find lines through point sets.
+
+pg(N, Lines) :-
+    points(N, Ps),
+    lines(Ps, Ls),
+    check_all(Ls, Ps),
+    count(Ls, Lines).
+
+points(0, []).
+points(N, [p(N)|Ps]) :- N > 0, N1 is N - 1, points(N1, Ps).
+
+lines([], []).
+lines([P|Ps], [line(P, Qs)|Ls]) :-
+    span(P, Ps, Qs),
+    lines(Ps, Ls).
+
+span(_, [], []).
+span(P, [Q|Qs], [Q|Rs]) :-
+    incident(P, Q), !,
+    span(P, Qs, Rs).
+span(P, [_|Qs], Rs) :-
+    span(P, Qs, Rs).
+
+incident(p(N), p(M)) :- K is (N + M) mod 3, K =:= 0.
+incident(p(N), p(M)) :- K is (N * M) mod 7, K =:= 1.
+
+check_all([], _).
+check_all([line(P, Qs)|Ls], Ps) :-
+    member(P, Ps),
+    subset(Qs, Ps),
+    check_all(Ls, Ps).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+subset([], _).
+subset([X|Xs], Ys) :- member(X, Ys), subset(Xs, Ys).
+
+count([], 0).
+count([_|L], N) :- count(L, M), N is M + 1.
+
+go(N) :- pg(7, N).
+)PL";
+
+/// Plan: a blocks-world planner (paper size: 84 lines).
+const char *PlanSrc = R"PL(
+% plan -- linear blocks-world planner with goal regression.
+
+plan(State, Goals, Plan) :- solve(Goals, State, [], Plan).
+
+solve([], _, Plan, Plan).
+solve([G|Gs], State, Acc, Plan) :-
+    holds(G, State), !,
+    solve(Gs, State, Acc, Plan).
+solve([G|Gs], State, Acc, Plan) :-
+    achieves(Action, G),
+    preconds(Action, Pre),
+    solve(Pre, State, Acc, Acc1),
+    apply_action(Action, State, State1),
+    solve(Gs, State1, [Action|Acc1], Plan).
+
+holds(F, State) :- member(F, State).
+
+achieves(stack(X, Y), on(X, Y)).
+achieves(unstack(X, Y), clear(Y)) :- block(X), on_somewhere(X, Y).
+achieves(pickup(X), holding(X)).
+achieves(putdown(X), ontable(X)).
+
+on_somewhere(X, Y) :- block(X), block(Y).
+
+preconds(stack(X, Y), [holding(X), clear(Y)]).
+preconds(unstack(X, Y), [on(X, Y), clear(X), handempty]).
+preconds(pickup(X), [clear(X), ontable(X), handempty]).
+preconds(putdown(X), [holding(X)]).
+
+apply_action(Action, State, State1) :-
+    dels(Action, DelList),
+    adds(Action, AddList),
+    remove_all(DelList, State, S1),
+    add_all(AddList, S1, State1).
+
+dels(stack(X, Y), [holding(X), clear(Y)]).
+dels(unstack(X, Y), [on(X, Y), clear(X), handempty]).
+dels(pickup(X), [clear(X), ontable(X), handempty]).
+dels(putdown(X), [holding(X)]).
+
+adds(stack(X, Y), [on(X, Y), clear(X), handempty]).
+adds(unstack(X, Y), [holding(X), clear(Y)]).
+adds(pickup(X), [holding(X)]).
+adds(putdown(X), [clear(X), ontable(X), handempty]).
+
+remove_all([], S, S).
+remove_all([F|Fs], S, S2) :- delete_one(F, S, S1), remove_all(Fs, S1, S2).
+
+delete_one(_, [], []).
+delete_one(F, [F|S], S) :- !.
+delete_one(F, [G|S], [G|S1]) :- delete_one(F, S, S1).
+
+add_all([], S, S).
+add_all([F|Fs], S, [F|S1]) :- add_all(Fs, S, S1).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+block(a).
+block(b).
+block(c).
+block(d).
+
+initial([ontable(a), on(b, a), clear(b), ontable(c), clear(c),
+         ontable(d), clear(d), handempty]).
+goal([on(a, b), on(b, c)]).
+
+go(Plan) :- initial(S), goal(G), plan(S, G, Plan).
+)PL";
+
+/// Gabriel: the browse benchmark from the Gabriel suite (paper: 122).
+const char *GabrielSrc = R"PL(
+% gabriel -- the 'browse' pattern matcher over property-list databases.
+
+browse(Units, Answer) :-
+    init(Units, Db),
+    investigate(Db, Patterns, 0, Answer),
+    patterns(Patterns).
+
+init(0, []).
+init(N, [unit(N, Props)|Db]) :-
+    N > 0,
+    properties(N, Props),
+    N1 is N - 1,
+    init(N1, Db).
+
+properties(N, [pattern(K, Tree)|Ps]) :-
+    K is N mod 4,
+    seed_tree(K, Tree),
+    K1 is N mod 3,
+    fill(K1, Ps).
+
+fill(0, []).
+fill(N, [dummy(N)|Ps]) :- N > 0, N1 is N - 1, fill(N1, Ps).
+
+seed_tree(0, leaf(a)).
+seed_tree(1, node(leaf(a), leaf(b))).
+seed_tree(2, node(node(leaf(a), star), leaf(c))).
+seed_tree(3, node(star, node(leaf(b), star))).
+
+patterns([node(leaf(a), star),
+          node(star, leaf(c)),
+          node(node(star, leaf(b)), star),
+          leaf(star)]).
+
+investigate([], _, Acc, Acc).
+investigate([unit(_, Props)|Db], Patterns, Acc, Answer) :-
+    property_match(Props, Patterns, Acc, Acc1),
+    investigate(Db, Patterns, Acc1, Answer).
+
+property_match([], _, Acc, Acc).
+property_match([pattern(_, Tree)|Ps], Patterns, Acc, Out) :-
+    match_any(Patterns, Tree, Acc, Acc1),
+    property_match(Ps, Patterns, Acc1, Out).
+property_match([dummy(_)|Ps], Patterns, Acc, Out) :-
+    property_match(Ps, Patterns, Acc, Out).
+
+match_any([], _, Acc, Acc).
+match_any([P|Ps], Tree, Acc, Out) :-
+    match(P, Tree), !,
+    Acc1 is Acc + 1,
+    match_any(Ps, Tree, Acc1, Out).
+match_any([_|Ps], Tree, Acc, Out) :-
+    match_any(Ps, Tree, Acc, Out).
+
+match(star, _).
+match(leaf(star), leaf(_)).
+match(leaf(X), leaf(X)) :- atom(X).
+match(node(P1, P2), node(T1, T2)) :-
+    match(P1, T1),
+    match(P2, T2).
+
+equal_tree(leaf(X), leaf(X)).
+equal_tree(node(A1, B1), node(A2, B2)) :-
+    equal_tree(A1, A2),
+    equal_tree(B1, B2).
+
+tree_size(leaf(_), 1).
+tree_size(node(A, B), N) :-
+    tree_size(A, NA),
+    tree_size(B, NB),
+    N is NA + NB + 1.
+
+go(Answer) :- browse(12, Answer).
+)PL";
+
+/// Disj: disjunctive-scheduling constraint program (paper size: 172).
+const char *DisjSrc = R"PL(
+% disj -- schedule tasks on a single machine with precedence and
+% disjunctive (no-overlap) constraints, searching over orderings.
+
+schedule(Tasks, Horizon, Sched) :-
+    starts(Tasks, Horizon, Sched),
+    precedences(Prec),
+    check_prec(Prec, Sched),
+    no_overlap(Sched).
+
+starts([], _, []).
+starts([task(Id, Dur)|Ts], Horizon, [start(Id, S, Dur)|Ss]) :-
+    Max is Horizon - Dur,
+    choose_start(0, Max, S),
+    starts(Ts, Horizon, Ss).
+
+choose_start(L, H, L) :- L =< H.
+choose_start(L, H, S) :- L < H, L1 is L + 1, choose_start(L1, H, S).
+
+check_prec([], _).
+check_prec([before(A, B)|Ps], Sched) :-
+    find_start(A, Sched, SA, DA),
+    find_start(B, Sched, SB, _),
+    EndA is SA + DA,
+    EndA =< SB,
+    check_prec(Ps, Sched).
+
+find_start(Id, [start(Id, S, D)|_], S, D) :- !.
+find_start(Id, [_|Ss], S, D) :- find_start(Id, Ss, S, D).
+
+no_overlap([]).
+no_overlap([T|Ts]) :- disjoint_all(T, Ts), no_overlap(Ts).
+
+disjoint_all(_, []).
+disjoint_all(T, [U|Us]) :- disjoint(T, U), disjoint_all(T, Us).
+
+% The disjunction 'A ends before B starts OR B ends before A starts'
+% is modelled by two clauses.
+disjoint(start(_, SA, DA), start(_, SB, _)) :-
+    EndA is SA + DA, EndA =< SB.
+disjoint(start(_, SA, _), start(_, SB, DB)) :-
+    EndB is SB + DB, EndB =< SA.
+
+makespan([], 0).
+makespan([start(_, S, D)|Ss], M) :-
+    makespan(Ss, M1),
+    End is S + D,
+    max_of(End, M1, M).
+
+max_of(A, B, A) :- A >= B, !.
+max_of(_, B, B).
+
+optimal(Tasks, Horizon, Best) :-
+    schedule(Tasks, Horizon, Sched),
+    makespan(Sched, Best),
+    \+ better_exists(Tasks, Horizon, Best).
+
+better_exists(Tasks, Horizon, Bound) :-
+    schedule(Tasks, Horizon, Sched),
+    makespan(Sched, M),
+    M < Bound.
+
+tasks([task(t1, 3), task(t2, 2), task(t3, 4), task(t4, 1), task(t5, 2)]).
+
+precedences([before(t1, t3), before(t2, t4), before(t3, t5)]).
+
+resource_ok([], _).
+resource_ok([start(Id, S, D)|Ss], Cap) :-
+    demand(Id, R),
+    R =< Cap,
+    End is S + D,
+    End >= 0,
+    resource_ok(Ss, Cap).
+
+demand(t1, 2).
+demand(t2, 1).
+demand(t3, 3).
+demand(t4, 1).
+demand(t5, 2).
+
+feasible(Sched) :- resource_ok(Sched, 3).
+
+window(start(_, S, D), Lo, Hi) :-
+    S >= Lo,
+    End is S + D,
+    End =< Hi.
+
+within_windows([], _, _).
+within_windows([T|Ts], Lo, Hi) :-
+    window(T, Lo, Hi),
+    within_windows(Ts, Lo, Hi).
+
+go(Best) :-
+    tasks(Ts),
+    optimal(Ts, 12, Best).
+)PL";
+
+} // namespace corpus
+} // namespace lpa

@@ -1,0 +1,129 @@
+//===- Cfg.cpp - Imperative control-flow graphs --------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Cfg.h"
+
+using namespace lpa;
+
+std::string Cfg::toFacts() const {
+  std::string Out;
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    const CfgNode &Node = Nodes[N];
+    if (Node.DefVar >= 0)
+      Out += "defs(" + std::to_string(N) + ", v" +
+             std::to_string(Node.DefVar) + ").\n";
+    for (int U : Node.UseVars)
+      Out += "use(" + std::to_string(N) + ", v" + std::to_string(U) +
+             ").\n";
+    for (uint32_t S : Node.Succs)
+      Out += "edge(" + std::to_string(N) + ", " + std::to_string(S) +
+             ").\n";
+  }
+  return Out;
+}
+
+Cfg lpa::linearCfg(std::initializer_list<int> DefVarPerNode) {
+  Cfg G;
+  uint32_t Prev = UINT32_MAX;
+  for (int Def : DefVarPerNode) {
+    uint32_t N = G.addNode(Def);
+    if (Def >= 0)
+      G.NumVars = std::max(G.NumVars, Def + 1);
+    if (Prev != UINT32_MAX)
+      G.addEdge(Prev, N);
+    Prev = N;
+  }
+  return G;
+}
+
+namespace {
+
+/// Recursive structured generator; returns (entry, exit) of the region.
+struct Generator {
+  Cfg &G;
+  std::mt19937 Rng;
+  size_t Budget;
+  int NumVars;
+
+  uint32_t stmtNode() {
+    // Most statements define a variable; some also use a couple.
+    int Def = static_cast<int>(Rng() % NumVars);
+    uint32_t N = G.addNode(Def);
+    for (int U = 0; U < 2; ++U)
+      if (Rng() % 2)
+        G.Nodes[N].UseVars.push_back(static_cast<int>(Rng() % NumVars));
+    return N;
+  }
+
+  /// Generates a region; returns {entry, exit}.
+  std::pair<uint32_t, uint32_t> region(int Depth) {
+    uint32_t Entry = stmtNode();
+    uint32_t Cur = Entry;
+    if (Budget > 0)
+      --Budget;
+    int Len = 1 + static_cast<int>(Rng() % 4);
+    for (int I = 0; I < Len && Budget > 0; ++I) {
+      int Kind = Depth > 0 ? static_cast<int>(Rng() % 4) : 0;
+      switch (Kind) {
+      case 1: { // if-diamond
+        uint32_t Cond = stmtNode();
+        auto [TE, TX] = region(Depth - 1);
+        auto [EE, EX] = region(Depth - 1);
+        uint32_t Join = stmtNode();
+        G.addEdge(Cur, Cond);
+        G.addEdge(Cond, TE);
+        G.addEdge(Cond, EE);
+        G.addEdge(TX, Join);
+        G.addEdge(EX, Join);
+        Cur = Join;
+        break;
+      }
+      case 2: { // while loop
+        uint32_t Head = stmtNode();
+        auto [BE, BX] = region(Depth - 1);
+        uint32_t Exit = stmtNode();
+        G.addEdge(Cur, Head);
+        G.addEdge(Head, BE);
+        G.addEdge(BX, Head);
+        G.addEdge(Head, Exit);
+        Cur = Exit;
+        break;
+      }
+      default: { // plain statement
+        uint32_t N = stmtNode();
+        G.addEdge(Cur, N);
+        Cur = N;
+        break;
+      }
+      }
+      if (Budget > 0)
+        --Budget;
+    }
+    return {Entry, Cur};
+  }
+};
+
+} // namespace
+
+Cfg lpa::randomStructuredCfg(unsigned Seed, size_t TargetNodes,
+                             int NumVars) {
+  Cfg G;
+  G.NumVars = NumVars;
+  Generator Gen{G, std::mt19937(Seed), TargetNodes, NumVars};
+  // Node 0 (the first statement of the first region) is the entry; chain
+  // regions until the node budget is spent.
+  auto [FirstEntry, Exit] = Gen.region(3);
+  (void)FirstEntry;
+  uint32_t Cur = Exit;
+  while (G.size() < TargetNodes) {
+    Gen.Budget = TargetNodes - G.size();
+    auto [E, X] = Gen.region(3);
+    G.addEdge(Cur, E);
+    Cur = X;
+  }
+  return G;
+}

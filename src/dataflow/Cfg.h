@@ -1,0 +1,63 @@
+//===- Cfg.h - Imperative control-flow graphs -------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs for the Section 7 experiment (dataflow analysis of
+/// imperative programs as queries over a logic database, after Reps).
+/// Nodes carry at most one definition and a set of uses; edges are the
+/// flow relation. A structured random generator synthesizes program-like
+/// CFGs (sequences, diamonds, loops) since the paper's imperative corpus
+/// is not available.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_DATAFLOW_CFG_H
+#define LPA_DATAFLOW_CFG_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// One CFG node: a statement.
+struct CfgNode {
+  int DefVar = -1;           ///< Variable defined here (-1: none).
+  std::vector<int> UseVars;  ///< Variables used here.
+  std::vector<uint32_t> Succs;
+};
+
+/// A whole graph. Node 0 is the entry.
+struct Cfg {
+  std::vector<CfgNode> Nodes;
+  int NumVars = 0;
+
+  uint32_t addNode(int DefVar = -1) {
+    Nodes.push_back(CfgNode{DefVar, {}, {}});
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+  void addEdge(uint32_t From, uint32_t To) {
+    Nodes[From].Succs.push_back(To);
+  }
+  size_t size() const { return Nodes.size(); }
+
+  /// Renders the graph as Prolog facts: edge/2, defs/2 (node defines
+  /// var), use/2 — the logic-database encoding of Section 7.
+  std::string toFacts() const;
+};
+
+/// Builds a random structured CFG with roughly \p TargetNodes nodes over
+/// \p NumVars variables: nested sequences, if-diamonds and while-loops.
+Cfg randomStructuredCfg(unsigned Seed, size_t TargetNodes, int NumVars);
+
+/// Handcrafted graphs for tests.
+Cfg linearCfg(std::initializer_list<int> DefVarPerNode);
+
+} // namespace lpa
+
+#endif // LPA_DATAFLOW_CFG_H

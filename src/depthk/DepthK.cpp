@@ -1,0 +1,498 @@
+//===- DepthK.cpp - Depth-k groundness analyzer -------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "depthk/DepthK.h"
+
+#include "reader/Parser.h"
+#include "support/Stopwatch.h"
+#include "term/TermCopy.h"
+#include "term/TermWriter.h"
+#include "term/Variant.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+using namespace lpa;
+
+const DepthKPred *DepthKResult::find(const std::string &Name,
+                                     uint32_t Arity) const {
+  for (const DepthKPred &P : Predicates)
+    if (P.Name == Name && P.Arity == Arity)
+      return &P;
+  return nullptr;
+}
+
+namespace {
+
+/// The tabled abstract interpreter. Call/answer patterns live in a table
+/// store; clause execution happens in a scratch heap with mark/undo.
+///
+/// Evaluation is worklist-driven and semi-naive at entry granularity: an
+/// entry's producer re-runs only when an entry it consumed from gained
+/// answers. Two widenings keep the tables small on large programs (the
+/// paper's Section 6 widening discussion): an entry whose answer set
+/// outgrows MaxAnswersPerCall collapses to the answers' least general
+/// generalization, and a predicate with too many call patterns routes new
+/// calls to its open (most general) pattern.
+class AbsInterp {
+public:
+  AbsInterp(SymbolTable &Symbols, const Database &DB,
+            const DepthKAnalyzer::Options &Opts)
+      : Symbols(Symbols), DB(DB), Domain(Symbols, Opts.Depth), Opts(Opts) {}
+
+  struct Entry {
+    PredKey Pred;
+    TermRef CallTuple; ///< Abstract call term in the table store.
+    std::string Key;
+    std::vector<TermRef> Answers;
+    std::unordered_set<std::string> AnswerKeys;
+    std::unordered_set<Entry *> Dependents;
+    bool InWorklist = false;
+    bool Widened = false;
+  };
+
+  /// Creates (or finds) the entry for the open call of \p Pred and drains
+  /// the worklist.
+  void analyzePredicate(PredKey Pred);
+
+  const std::vector<Entry *> &entries() const { return Order; }
+  const TermStore &tableStore() const { return Tables; }
+  const Entry *openEntry(PredKey Pred) const {
+    auto It = OpenEntries.find(keyOf(Pred));
+    return It == OpenEntries.end() ? nullptr : It->second;
+  }
+
+  size_t tableSpaceBytes() const;
+  uint64_t numAnswers() const;
+  uint64_t ProducerRuns = 0;
+  uint64_t Widenings = 0;
+
+private:
+  static uint64_t keyOf(PredKey P) {
+    return (uint64_t(P.Sym) << 32) | P.Arity;
+  }
+
+  /// Finds or creates the entry for the abstract call \p Call (a term in
+  /// Heap, already depth-cut). Applies the call-pattern widening.
+  Entry &ensureEntry(PredKey Pred, TermRef Call);
+
+  /// Creates the open (all-variables) entry of \p Pred.
+  Entry &ensureOpenEntry(PredKey Pred);
+
+  void enqueue(Entry &E) {
+    if (E.InWorklist)
+      return;
+    E.InWorklist = true;
+    Worklist.push_back(&E);
+  }
+  void drainWorklist();
+
+  /// Re-runs clause resolution for one entry; records new answers.
+  void runEntry(Entry &E);
+
+  /// Records one instantiated answer pattern (term in Heap) for \p E.
+  void recordAnswer(Entry &E, TermRef AnsPattern);
+
+  /// Notifies dependents that \p E gained answers.
+  void wake(Entry &E) {
+    for (Entry *D : E.Dependents)
+      enqueue(*D);
+  }
+
+  /// Solves the single goal \p G in the current heap bindings; calls
+  /// \p OnSolution for each (abstract) solution, bindings in place.
+  void solveGoal(Entry &Producer, TermRef G,
+                 const std::function<void()> &OnSolution);
+
+  /// Handles one builtin goal; \p Known is false for user predicates.
+  bool applyBuiltin(TermRef Goal, bool &Known);
+
+  SymbolTable &Symbols;
+  const Database &DB;
+  AbstractDomain Domain;
+  DepthKAnalyzer::Options Opts;
+
+  TermStore Heap;
+  TermStore Tables;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> Table;
+  std::vector<Entry *> Order;
+  std::unordered_map<uint64_t, Entry *> OpenEntries;
+  std::unordered_map<uint64_t, uint32_t> CallsPerPred;
+  std::deque<Entry *> Worklist;
+};
+
+AbsInterp::Entry &AbsInterp::ensureOpenEntry(PredKey Pred) {
+  auto It = OpenEntries.find(keyOf(Pred));
+  if (It != OpenEntries.end())
+    return *It->second;
+  auto M = Heap.mark();
+  TermRef Call;
+  if (Pred.Arity == 0) {
+    Call = Heap.mkAtom(Pred.Sym);
+  } else {
+    std::vector<TermRef> Args;
+    for (uint32_t I = 0; I < Pred.Arity; ++I)
+      Args.push_back(Heap.mkVar());
+    Call = Heap.mkStruct(Pred.Sym, Args);
+  }
+  Entry &E = ensureEntry(Pred, Call);
+  OpenEntries.emplace(keyOf(Pred), &E);
+  Heap.undoTo(M);
+  return E;
+}
+
+AbsInterp::Entry &AbsInterp::ensureEntry(PredKey Pred, TermRef Call) {
+  std::string Key = canonicalKey(Heap, Call);
+  auto It = Table.find(Key);
+  if (It != Table.end())
+    return *It->second;
+
+  // Call-pattern widening: too many patterns for one predicate fall back
+  // to the open call (unless this *is* an open call being created, which
+  // must go through so ensureOpenEntry cannot recurse forever).
+  uint32_t &Count = CallsPerPred[keyOf(Pred)];
+  bool IsOpen = true;
+  if (Pred.Arity == 0) {
+    IsOpen = Heap.tag(Heap.deref(Call)) == TermTag::Atom;
+  } else {
+    std::unordered_set<TermRef> SeenVars;
+    for (uint32_t I = 0; I < Pred.Arity && IsOpen; ++I) {
+      TermRef A = Heap.deref(Heap.arg(Heap.deref(Call), I));
+      IsOpen = Heap.tag(A) == TermTag::Ref && SeenVars.insert(A).second;
+    }
+  }
+  if (!IsOpen && Count >= Opts.MaxCallsPerPred)
+    return ensureOpenEntry(Pred);
+  ++Count;
+
+  auto Owned = std::make_unique<Entry>();
+  Entry &E = *Owned;
+  E.Pred = Pred;
+  E.Key = Key;
+  E.CallTuple = copyTerm(Heap, Call, Tables);
+  Table.emplace(E.Key, std::move(Owned));
+  Order.push_back(&E);
+  enqueue(E);
+  return E;
+}
+
+bool AbsInterp::applyBuiltin(TermRef Goal, bool &Known) {
+  Known = true;
+  TermRef G = Heap.deref(Goal);
+  TermTag Tag = Heap.tag(G);
+  if (Tag != TermTag::Atom && Tag != TermTag::Struct) {
+    Known = false;
+    return false;
+  }
+  const std::string &Name = Symbols.name(Heap.symbol(G));
+  uint32_t Arity = Heap.arity(G);
+
+  if (Arity == 0) {
+    if (Name == "true" || Name == "!" || Name == "nl")
+      return true;
+    if (Name == "fail" || Name == "false")
+      return false;
+    Known = false;
+    return false;
+  }
+  if (Arity == 2 && Name == "=")
+    return Domain.unifyAbstract(Heap, Heap.arg(G, 0), Heap.arg(G, 1));
+  if ((Arity == 2 &&
+       (Name == "is" || Name == "<" || Name == ">" || Name == "=<" ||
+        Name == ">=" || Name == "=:=" || Name == "=\\=")) ||
+      (Arity == 3 && Name == "between")) {
+    // Arithmetic succeeds only over ground numbers.
+    Domain.groundify(Heap, G);
+    return true;
+  }
+  if (Arity == 1 && (Name == "atom" || Name == "integer" ||
+                     Name == "atomic" || Name == "number" ||
+                     Name == "ground")) {
+    Domain.groundify(Heap, G);
+    return true;
+  }
+  if ((Arity == 1 && (Name == "var" || Name == "nonvar" ||
+                      Name == "compound" || Name == "\\+" || Name == "not" ||
+                      Name == "write" || Name == "print")) ||
+      (Arity == 2 && (Name == "==" || Name == "\\==" || Name == "\\=" ||
+                      Name == "@<" || Name == "@>" || Name == "@=<" ||
+                      Name == "@>=")) ||
+      (Arity == 3 && Name == "arg") || (Arity == 2 && Name == "=.."))
+    return true;
+  if (Arity == 3 && Name == "functor") {
+    Domain.groundify(Heap, Heap.arg(G, 1));
+    Domain.groundify(Heap, Heap.arg(G, 2));
+    return true;
+  }
+  Known = false;
+  return false;
+}
+
+void AbsInterp::solveGoal(Entry &Producer, TermRef G,
+                          const std::function<void()> &OnSolution) {
+  G = Heap.deref(G);
+
+  bool Known = false;
+  {
+    auto M = Heap.mark();
+    bool Ok = applyBuiltin(G, Known);
+    if (Known) {
+      if (Ok)
+        OnSolution();
+      Heap.undoTo(M);
+      return;
+    }
+    Heap.undoTo(M);
+  }
+
+  // User predicate: form the abstract call pattern (depth cut), register
+  // the dependency, and resolve against the entry's current answers.
+  TermTag Tag = Heap.tag(G);
+  if (Tag != TermTag::Atom && Tag != TermTag::Struct)
+    return; // Ill-formed goal: fail.
+  PredKey Pred{Heap.symbol(G), Heap.arity(G)};
+  if (!DB.lookup(Pred))
+    return; // Undefined predicate: fail.
+
+  TermRef CutCall;
+  {
+    std::unordered_map<TermRef, TermRef> CutRenaming;
+    if (Pred.Arity == 0) {
+      CutCall = Heap.mkAtom(Pred.Sym);
+    } else {
+      std::vector<TermRef> Args;
+      for (uint32_t I = 0; I < Pred.Arity; ++I)
+        Args.push_back(Domain.depthCut(Heap, Heap.arg(G, I), Heap,
+                                       CutRenaming));
+      CutCall = Heap.mkStruct(Pred.Sym, Args);
+    }
+  }
+  Entry &E = ensureEntry(Pred, CutCall);
+  E.Dependents.insert(&Producer);
+
+  for (size_t I = 0; I < E.Answers.size(); ++I) {
+    auto M = Heap.mark();
+    TermRef Ans = copyTerm(Tables, E.Answers[I], Heap);
+    if (Domain.unifyAbstract(Heap, G, Ans))
+      OnSolution();
+    Heap.undoTo(M);
+  }
+}
+
+void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern) {
+  if (E.Widened) {
+    // Check subsumption against the widened pattern(s); only genuinely
+    // new behaviour re-widens.
+    for (TermRef Existing : E.Answers) {
+      auto M = Heap.mark();
+      TermRef Pat = copyTerm(Tables, Existing, Heap);
+      bool Covered = Domain.subsumes(Heap, Pat, AnsPattern);
+      Heap.undoTo(M);
+      if (Covered)
+        return;
+    }
+  }
+  std::string AKey = canonicalKey(Heap, AnsPattern);
+  if (E.AnswerKeys.count(AKey))
+    return;
+  TermRef Stored = copyTerm(Heap, AnsPattern, Tables);
+  E.AnswerKeys.insert(std::move(AKey));
+  E.Answers.push_back(Stored);
+
+  // Answer widening: collapse an oversized answer set to its lgg.
+  if (E.Answers.size() > Opts.MaxAnswersPerCall) {
+    ++Widenings;
+    TermRef Folded = E.Answers[0];
+    for (size_t I = 1; I < E.Answers.size(); ++I)
+      Folded = Domain.lgg(Tables, Folded, E.Answers[I], Tables);
+    E.Answers.clear();
+    E.AnswerKeys.clear();
+    E.Answers.push_back(Folded);
+    E.AnswerKeys.insert(canonicalKey(Tables, Folded));
+    E.Widened = true;
+  }
+  wake(E);
+}
+
+void AbsInterp::runEntry(Entry &E) {
+  const Predicate *P = DB.lookup(E.Pred);
+  if (!P)
+    return;
+  ++ProducerRuns;
+  SymbolId StateSym = Symbols.intern("$state");
+
+  for (const Clause &C : P->Clauses) {
+    auto M = Heap.mark();
+    TermRef Call = copyTerm(Tables, E.CallTuple, Heap);
+    VarRenaming Renaming;
+    TermRef Head = copyTerm(DB.store(), C.Head, Heap, Renaming);
+    if (!Domain.unifyAbstract(Heap, Call, Head)) {
+      Heap.undoTo(M);
+      continue;
+    }
+
+    // Set-at-a-time evaluation (the paper's footnote on join sizes): a
+    // state is a snapshot of $state(Call, G1..Gn); after each goal the
+    // reached states are deduplicated by variant key, which caps the
+    // cross-product of answer choices at the number of distinct abstract
+    // states.
+    std::vector<TermRef> StateArgs{Call};
+    for (TermRef Gl : C.Body)
+      StateArgs.push_back(copyTerm(DB.store(), Gl, Heap, Renaming));
+    TermRef StateTerm = Heap.mkStruct(StateSym, StateArgs);
+
+    TermStore StatesA, StatesB;
+    TermStore *Cur = &StatesA, *Next = &StatesB;
+    std::vector<TermRef> CurStates{copyTerm(Heap, StateTerm, *Cur)};
+    Heap.undoTo(M);
+
+    size_t NumGoals = C.Body.size();
+    for (size_t GoalIdx = 0; GoalIdx < NumGoals && !CurStates.empty();
+         ++GoalIdx) {
+      std::vector<TermRef> NextStates;
+      std::unordered_set<std::string> Seen;
+      for (TermRef S : CurStates) {
+        auto M2 = Heap.mark();
+        TermRef Live = copyTerm(*Cur, S, Heap);
+        TermRef Goal = Heap.arg(Live, static_cast<uint32_t>(GoalIdx + 1));
+        solveGoal(E, Goal, [&]() {
+          // canonicalKey dereferences, so the key reflects the goal's
+          // bindings without an intermediate snapshot.
+          std::string Key = canonicalKey(Heap, Live);
+          if (Seen.insert(Key).second)
+            NextStates.push_back(copyTerm(Heap, Live, *Next));
+        });
+        Heap.undoTo(M2);
+      }
+      // Retire the consumed generation and make its store the next
+      // scratch target.
+      Cur->clear();
+      CurStates = std::move(NextStates);
+      std::swap(Cur, Next);
+    }
+
+    // Surviving states yield answer patterns.
+    for (TermRef S : CurStates) {
+      auto M2 = Heap.mark();
+      TermRef Live = copyTerm(*Cur, S, Heap);
+      TermRef FinalCall = Heap.deref(Heap.arg(Live, 0));
+      std::unordered_map<TermRef, TermRef> CutRenaming;
+      TermRef AnsPattern;
+      if (E.Pred.Arity == 0) {
+        AnsPattern = Heap.mkAtom(E.Pred.Sym);
+      } else {
+        std::vector<TermRef> Args;
+        for (uint32_t I = 0; I < E.Pred.Arity; ++I)
+          Args.push_back(Domain.depthCut(Heap, Heap.arg(FinalCall, I), Heap,
+                                         CutRenaming));
+        AnsPattern = Heap.mkStruct(E.Pred.Sym, Args);
+      }
+      recordAnswer(E, AnsPattern);
+      Heap.undoTo(M2);
+    }
+  }
+}
+
+void AbsInterp::drainWorklist() {
+  while (!Worklist.empty()) {
+    Entry *E = Worklist.front();
+    Worklist.pop_front();
+    E->InWorklist = false;
+    runEntry(*E);
+  }
+}
+
+void AbsInterp::analyzePredicate(PredKey Pred) {
+  ensureOpenEntry(Pred);
+  drainWorklist();
+}
+
+size_t AbsInterp::tableSpaceBytes() const {
+  size_t Bytes = Tables.memoryBytes();
+  for (const Entry *E : Order) {
+    Bytes += sizeof(Entry);
+    Bytes += E->Key.capacity();
+    Bytes += E->Answers.capacity() * sizeof(TermRef);
+    for (const auto &K : E->AnswerKeys)
+      Bytes += K.capacity() + sizeof(void *) * 2;
+    Bytes += E->Dependents.size() * sizeof(void *) * 2;
+  }
+  Bytes += Table.size() * (sizeof(void *) * 4);
+  return Bytes;
+}
+
+uint64_t AbsInterp::numAnswers() const {
+  uint64_t N = 0;
+  for (const Entry *E : Order)
+    N += E->Answers.size();
+  return N;
+}
+
+} // namespace
+
+ErrorOr<DepthKResult> DepthKAnalyzer::analyze(std::string_view Source) {
+  DepthKResult Result;
+  Stopwatch Phase;
+
+  //--- Preprocessing: read + load the concrete program. -------------------
+  Database DB(Symbols);
+  auto Loaded = DB.consult(Source);
+  if (!Loaded)
+    return Loaded.getError();
+  Result.PreprocSeconds = Phase.elapsedSeconds();
+
+  //--- Analysis: abstract interpretation to fixpoint. ---------------------
+  Phase.restart();
+  AbsInterp Interp(Symbols, DB, Opts);
+  for (PredKey Pred : DB.predicates())
+    Interp.analyzePredicate(Pred);
+  Result.AnalysisSeconds = Phase.elapsedSeconds();
+
+  //--- Collection. ---------------------------------------------------------
+  Phase.restart();
+  Result.TableSpaceBytes = Interp.tableSpaceBytes();
+  Result.NumCallPatterns = Interp.entries().size();
+  Result.NumAnswers = Interp.numAnswers();
+  Result.FixpointRounds = Interp.ProducerRuns;
+  Result.Widenings = Interp.Widenings;
+
+  const TermStore &TS = Interp.tableStore();
+  for (PredKey Pred : DB.predicates()) {
+    DepthKPred Out;
+    Out.Name = Symbols.name(Pred.Sym);
+    Out.Arity = Pred.Arity;
+    Out.GroundOnSuccess.assign(Pred.Arity, 1);
+
+    const AbsInterp::Entry *E = Interp.openEntry(Pred);
+    if (E) {
+      AbstractDomain Dom(Symbols, Opts.Depth);
+      for (TermRef Ans : E->Answers) {
+        Out.AnswerPatterns.push_back(
+            TermWriter::toString(Symbols, TS, Ans));
+        TermRef A = TS.deref(Ans);
+        for (uint32_t I = 0; I < Pred.Arity; ++I)
+          if (!Dom.isGroundAbstract(TS, TS.arg(A, I)))
+            Out.GroundOnSuccess[I] = 0;
+      }
+      Out.CanSucceed = !E->Answers.empty();
+    }
+    if (!Out.CanSucceed)
+      Out.GroundOnSuccess.assign(Pred.Arity, 0);
+
+    // All call patterns of this predicate.
+    for (const AbsInterp::Entry *CE : Interp.entries())
+      if (CE->Pred == Pred)
+        Out.CallPatterns.push_back(
+            TermWriter::toString(Symbols, TS, CE->CallTuple));
+
+    Result.Predicates.push_back(std::move(Out));
+  }
+  Result.CollectSeconds = Phase.elapsedSeconds();
+  return Result;
+}

@@ -1,0 +1,94 @@
+//===- DepthK.h - Depth-k groundness analyzer -------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5's non-enumerative groundness analysis: a tabled abstract
+/// interpretation over the depth-k term domain. Call patterns and answer
+/// patterns are abstract argument tuples (cut at depth k); clause bodies
+/// are executed left-to-right with abstract unification, and the whole
+/// table is driven to a global fixpoint. Table 4 reports this analysis on
+/// the Table 1 benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_DEPTHK_DEPTHK_H
+#define LPA_DEPTHK_DEPTHK_H
+
+#include "depthk/AbstractDomain.h"
+#include "engine/Database.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lpa {
+
+/// Per-predicate result of the depth-k analysis.
+struct DepthKPred {
+  std::string Name;
+  uint32_t Arity = 0;
+  /// Rendered abstract answer patterns of the open call, e.g.
+  /// "qsort($gamma,$gamma)".
+  std::vector<std::string> AnswerPatterns;
+  /// Rendered distinct call patterns.
+  std::vector<std::string> CallPatterns;
+  /// Argument is ground (only gamma/constants) in every answer pattern.
+  std::vector<uint8_t> GroundOnSuccess;
+  bool CanSucceed = false;
+};
+
+/// Full result with the usual phase metrics.
+struct DepthKResult {
+  std::vector<DepthKPred> Predicates;
+
+  double PreprocSeconds = 0;
+  double AnalysisSeconds = 0;
+  double CollectSeconds = 0;
+  double totalSeconds() const {
+    return PreprocSeconds + AnalysisSeconds + CollectSeconds;
+  }
+
+  size_t TableSpaceBytes = 0;
+  uint64_t NumCallPatterns = 0;
+  uint64_t NumAnswers = 0;
+  uint64_t FixpointRounds = 0; ///< Producer (re-)runs of the worklist.
+  uint64_t Widenings = 0;      ///< Answer-set widenings applied.
+
+  const DepthKPred *find(const std::string &Name, uint32_t Arity) const;
+};
+
+/// Runs the depth-k groundness analysis.
+class DepthKAnalyzer {
+public:
+  struct Options {
+    unsigned Depth = 2; ///< k: maximum abstract term depth.
+    /// Widening thresholds (Section 6: on-the-fly approximation). An
+    /// entry whose answers outgrow the first bound collapses to their
+    /// least general generalization; a predicate with more call patterns
+    /// than the second routes further calls to its open pattern.
+    size_t MaxAnswersPerCall = 16;
+    size_t MaxCallsPerPred = 32;
+  };
+
+  explicit DepthKAnalyzer(SymbolTable &Symbols)
+      : DepthKAnalyzer(Symbols, Options()) {}
+  DepthKAnalyzer(SymbolTable &Symbols, Options Opts)
+      : Symbols(Symbols), Opts(Opts) {}
+
+  /// Analyzes Prolog source text.
+  ErrorOr<DepthKResult> analyze(std::string_view Source);
+
+private:
+  SymbolTable &Symbols;
+  Options Opts;
+};
+
+} // namespace lpa
+
+#endif // LPA_DEPTHK_DEPTHK_H

@@ -1,0 +1,54 @@
+//===- Builtins.cpp - Builtin predicate classification ----------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Builtins.h"
+
+using namespace lpa;
+
+BuiltinTable::BuiltinTable(SymbolTable &Symbols) {
+  auto Add = [&](const char *Name, uint32_t Arity, BuiltinKind Kind) {
+    Map.emplace(key(Symbols.intern(Name), Arity), Kind);
+  };
+  Add("true", 0, BuiltinKind::True);
+  Add("fail", 0, BuiltinKind::Fail);
+  Add("false", 0, BuiltinKind::Fail);
+  Add("!", 0, BuiltinKind::Cut);
+  Add("=", 2, BuiltinKind::Unify);
+  Add("\\=", 2, BuiltinKind::NotUnify);
+  Add("==", 2, BuiltinKind::Equal);
+  Add("\\==", 2, BuiltinKind::NotEqual);
+  Add("var", 1, BuiltinKind::Var);
+  Add("nonvar", 1, BuiltinKind::NonVar);
+  Add("atom", 1, BuiltinKind::Atom);
+  Add("integer", 1, BuiltinKind::Integer);
+  Add("atomic", 1, BuiltinKind::Atomic);
+  Add("compound", 1, BuiltinKind::Compound);
+  Add("is", 2, BuiltinKind::Is);
+  Add("<", 2, BuiltinKind::Lt);
+  Add("=<", 2, BuiltinKind::Le);
+  Add(">", 2, BuiltinKind::Gt);
+  Add(">=", 2, BuiltinKind::Ge);
+  Add("=:=", 2, BuiltinKind::ArithEq);
+  Add("=\\=", 2, BuiltinKind::ArithNe);
+  Add("\\+", 1, BuiltinKind::Not);
+  Add("not", 1, BuiltinKind::Not);
+  Add(";", 2, BuiltinKind::Disj);
+  Add("->", 2, BuiltinKind::IfThen);
+  Add("call", 1, BuiltinKind::Call);
+  Add("between", 3, BuiltinKind::Between);
+  Add("functor", 3, BuiltinKind::Functor);
+  Add("arg", 3, BuiltinKind::Arg);
+  Add("=..", 2, BuiltinKind::Univ);
+  IffSym = Symbols.intern("iff");
+}
+
+BuiltinKind BuiltinTable::classify(SymbolId Sym, uint32_t Arity) const {
+  if (Sym == IffSym && Arity >= 1)
+    return BuiltinKind::Iff;
+  auto It = Map.find(key(Sym, Arity));
+  return It == Map.end() ? BuiltinKind::None : It->second;
+}

@@ -1,0 +1,80 @@
+//===- Builtins.h - Builtin predicate classification ------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builtin predicates recognized by the solver. Control constructs (cut,
+/// negation, disjunction, if-then-else, call/1) are handled inline by the
+/// solver; the rest are simple deterministic or finitely nondeterministic
+/// tests. iff/N is the paper's Prop truth-table literal, implemented
+/// natively (Section 3.1 / Section 4 "Efficiency Issues").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_ENGINE_BUILTINS_H
+#define LPA_ENGINE_BUILTINS_H
+
+#include "term/Symbol.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace lpa {
+
+/// Identifies a builtin.
+enum class BuiltinKind : uint8_t {
+  None,
+  True,      ///< true/0
+  Fail,      ///< fail/0, false/0
+  Cut,       ///< !/0
+  Unify,     ///< =/2
+  NotUnify,  ///< \=/2
+  Equal,     ///< ==/2
+  NotEqual,  ///< \==/2
+  Var,       ///< var/1
+  NonVar,    ///< nonvar/1
+  Atom,      ///< atom/1
+  Integer,   ///< integer/1
+  Atomic,    ///< atomic/1
+  Compound,  ///< compound/1
+  Is,        ///< is/2
+  Lt,        ///< </2 (arithmetic)
+  Le,        ///< =</2
+  Gt,        ///< >/2
+  Ge,        ///< >=/2
+  ArithEq,   ///< =:=/2
+  ArithNe,   ///< =\=/2
+  Not,       ///< \+/1 and not/1
+  Disj,      ///< ;/2 (also carries if-then-else)
+  IfThen,    ///< ->/2 (bare if-then)
+  Call,      ///< call/1
+  Iff,       ///< iff/N, N >= 1 (Prop truth table)
+  Between,   ///< between/3 (workload generators in benches)
+  Functor,   ///< functor/3
+  Arg,       ///< arg/3
+  Univ,      ///< =../2
+};
+
+/// Maps (symbol, arity) to BuiltinKind for one SymbolTable.
+class BuiltinTable {
+public:
+  explicit BuiltinTable(SymbolTable &Symbols);
+
+  /// Classifies a goal with functor \p Sym and arity \p Arity.
+  BuiltinKind classify(SymbolId Sym, uint32_t Arity) const;
+
+private:
+  std::unordered_map<uint64_t, BuiltinKind> Map;
+  SymbolId IffSym;
+
+  static uint64_t key(SymbolId Sym, uint32_t Arity) {
+    return (uint64_t(Sym) << 32) | Arity;
+  }
+};
+
+} // namespace lpa
+
+#endif // LPA_ENGINE_BUILTINS_H

@@ -1,0 +1,185 @@
+//===- Database.cpp - Dynamic clause database -------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Database.h"
+
+#include "reader/Parser.h"
+#include "term/TermCopy.h"
+#include "term/TermWriter.h"
+
+using namespace lpa;
+
+void lpa::flattenConjunction(const TermStore &Store,
+                             const SymbolTable &Symbols, TermRef Body,
+                             std::vector<TermRef> &Goals) {
+  TermRef Cur = Store.deref(Body);
+  while (Store.tag(Cur) == TermTag::Struct &&
+         Store.symbol(Cur) == Symbols.Comma && Store.arity(Cur) == 2) {
+    flattenConjunction(Store, Symbols, Store.arg(Cur, 0), Goals);
+    Cur = Store.deref(Store.arg(Cur, 1));
+  }
+  // 'true' goals contribute nothing.
+  if (Store.tag(Cur) == TermTag::Atom && Store.symbol(Cur) == Symbols.True)
+    return;
+  Goals.push_back(Cur);
+}
+
+uint64_t Database::firstArgKey(const TermStore &Store, TermRef Arg) {
+  TermRef D = Store.deref(Arg);
+  switch (Store.tag(D)) {
+  case TermTag::Ref:
+    return 0;
+  case TermTag::Atom:
+    return (uint64_t(1) << 62) | Store.symbol(D);
+  case TermTag::Int:
+    return (uint64_t(2) << 62) |
+           (static_cast<uint64_t>(Store.intValue(D)) & ((uint64_t(1) << 62) - 1));
+  case TermTag::Struct:
+    return (uint64_t(3) << 62) | (uint64_t(Store.arity(D)) << 32) |
+           Store.symbol(D);
+  }
+  return 0;
+}
+
+ErrorOr<bool> Database::handleTableSpec(const TermStore &Src, TermRef Spec) {
+  TermRef D = Src.deref(Spec);
+  // A list of specs.
+  while (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Symbols.Cons &&
+         Src.arity(D) == 2) {
+    auto Res = handleTableSpec(Src, Src.arg(D, 0));
+    if (!Res)
+      return Res;
+    D = Src.deref(Src.arg(D, 1));
+  }
+  if (Src.tag(D) == TermTag::Atom && Src.symbol(D) == Symbols.Nil)
+    return true;
+  // p/N.
+  SymbolId Slash = Symbols.intern("/");
+  if (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Slash &&
+      Src.arity(D) == 2) {
+    TermRef NameT = Src.deref(Src.arg(D, 0));
+    TermRef ArityT = Src.deref(Src.arg(D, 1));
+    if (Src.tag(NameT) == TermTag::Atom && Src.tag(ArityT) == TermTag::Int) {
+      setTabled(Src.symbol(NameT),
+                static_cast<uint32_t>(Src.intValue(ArityT)));
+      return true;
+    }
+  }
+  return Diagnostic("malformed table declaration");
+}
+
+ErrorOr<bool> Database::handleDirective(const TermStore &Src, TermRef Body) {
+  TermRef D = Src.deref(Body);
+  SymbolId Table = Symbols.intern("table");
+  if (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Table)
+    return handleTableSpec(Src, Src.arg(D, 0));
+  // Other directives are ignored.
+  return true;
+}
+
+ErrorOr<bool> Database::loadClause(const TermStore &Src, TermRef ClauseTerm) {
+  TermRef D = Src.deref(ClauseTerm);
+
+  // Directive ":- Body."
+  if (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Symbols.Neck &&
+      Src.arity(D) == 1)
+    return handleDirective(Src, Src.arg(D, 0));
+
+  // Copy the whole clause into our store first so head and body share
+  // variables.
+  TermRef Local = copyTerm(Src, D, ClauseStore);
+
+  TermRef Head = Local;
+  TermRef Body = InvalidTerm;
+  if (ClauseStore.tag(Local) == TermTag::Struct &&
+      ClauseStore.symbol(Local) == Symbols.Neck &&
+      ClauseStore.arity(Local) == 2) {
+    Head = ClauseStore.deref(ClauseStore.arg(Local, 0));
+    Body = ClauseStore.deref(ClauseStore.arg(Local, 1));
+  }
+
+  TermTag HT = ClauseStore.tag(Head);
+  if (HT != TermTag::Atom && HT != TermTag::Struct)
+    return Diagnostic("clause head must be an atom or compound term");
+
+  PredKey Key{ClauseStore.symbol(Head), ClauseStore.arity(Head)};
+  auto [It, Inserted] = Preds.try_emplace(Key);
+  Predicate &P = It->second;
+  if (Inserted) {
+    P.Key = Key;
+    PredOrder.push_back(Key);
+    auto TD = TabledDecls.find(Key);
+    if (TD != TabledDecls.end())
+      P.Tabled = true;
+  }
+
+  Clause C;
+  C.Head = Head;
+  if (Body != InvalidTerm)
+    flattenConjunction(ClauseStore, Symbols, Body, C.Body);
+  C.FirstArgKey =
+      Key.Arity == 0 ? 0 : firstArgKey(ClauseStore, ClauseStore.arg(Head, 0));
+  P.Clauses.push_back(std::move(C));
+  return true;
+}
+
+ErrorOr<bool> Database::loadProgram(const TermStore &Src,
+                                    const std::vector<TermRef> &Clauses) {
+  for (TermRef C : Clauses) {
+    auto Res = loadClause(Src, C);
+    if (!Res)
+      return Res;
+  }
+  return true;
+}
+
+ErrorOr<bool> Database::consult(std::string_view Text) {
+  TermStore Scratch;
+  Parser P(Symbols, Scratch, Text);
+  while (true) {
+    auto Clause = P.nextClause();
+    if (!Clause)
+      return Clause.getError();
+    if (*Clause == InvalidTerm)
+      return true;
+    auto Res = loadClause(Scratch, *Clause);
+    if (!Res)
+      return Res;
+  }
+}
+
+void Database::setTabled(SymbolId Sym, uint32_t Arity) {
+  PredKey Key{Sym, Arity};
+  TabledDecls[Key] = true;
+  auto It = Preds.find(Key);
+  if (It != Preds.end())
+    It->second.Tabled = true;
+}
+
+void Database::tableAllPredicates() {
+  for (auto &KV : Preds) {
+    KV.second.Tabled = true;
+    TabledDecls[KV.first] = true;
+  }
+}
+
+const Predicate *Database::lookup(PredKey Key) const {
+  auto It = Preds.find(Key);
+  return It == Preds.end() ? nullptr : &It->second;
+}
+
+bool Database::isTabled(PredKey Key) const {
+  auto It = TabledDecls.find(Key);
+  return It != TabledDecls.end() && It->second;
+}
+
+size_t Database::numClauses() const {
+  size_t N = 0;
+  for (const auto &KV : Preds)
+    N += KV.second.Clauses.size();
+  return N;
+}

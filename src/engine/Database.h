@@ -1,0 +1,128 @@
+//===- Database.h - Dynamic clause database ---------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic clause database. The paper's analyzers load transformed
+/// programs as *dynamic code* (XSB's assert) rather than compiling them,
+/// because preprocessing time dominates total analysis time; our database
+/// is exactly that: clause terms held in a store, resolved by renaming.
+/// Predicates may be marked tabled, either programmatically or with a
+/// ":- table p/N." directive in the source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_ENGINE_DATABASE_H
+#define LPA_ENGINE_DATABASE_H
+
+#include "support/Error.h"
+#include "term/Symbol.h"
+#include "term/TermStore.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lpa {
+
+/// Identifies a predicate by functor symbol and arity.
+struct PredKey {
+  SymbolId Sym;
+  uint32_t Arity;
+
+  bool operator==(const PredKey &O) const {
+    return Sym == O.Sym && Arity == O.Arity;
+  }
+};
+
+struct PredKeyHash {
+  size_t operator()(const PredKey &K) const {
+    return std::hash<uint64_t>()((uint64_t(K.Sym) << 32) | K.Arity);
+  }
+};
+
+/// One stored clause. Head and Body live in the database's own store.
+/// FirstArgKey enables cheap clause filtering on the first argument's
+/// principal functor (0 when the first argument is a variable or the
+/// predicate is atomic).
+struct Clause {
+  TermRef Head;
+  std::vector<TermRef> Body; ///< Flattened conjunction of goals.
+  uint64_t FirstArgKey;      ///< 0 = matches anything.
+};
+
+/// All clauses of one predicate.
+struct Predicate {
+  PredKey Key;
+  std::vector<Clause> Clauses;
+  bool Tabled = false;
+};
+
+/// A set of predicates with their clauses, plus tabling declarations.
+class Database {
+public:
+  explicit Database(SymbolTable &Symbols) : Symbols(Symbols) {}
+
+  /// Loads one clause term (fact, Head :- Body rule, or directive) that
+  /// lives in \p Src. Directives handled: ":- table p/N." (single spec or
+  /// list). Unknown directives are ignored, matching a lenient toplevel.
+  ErrorOr<bool> loadClause(const TermStore &Src, TermRef ClauseTerm);
+
+  /// Loads every clause of \p Clauses (in order).
+  ErrorOr<bool> loadProgram(const TermStore &Src,
+                            const std::vector<TermRef> &Clauses);
+
+  /// Parses and loads Prolog source text.
+  ErrorOr<bool> consult(std::string_view Text);
+
+  /// Marks \p Sym / \p Arity as tabled.
+  void setTabled(SymbolId Sym, uint32_t Arity);
+
+  /// Marks every currently-defined predicate as tabled. The abstract
+  /// programs of the paper's analyses table all predicates.
+  void tableAllPredicates();
+
+  /// \returns the predicate entry, or nullptr if it has no clauses.
+  const Predicate *lookup(PredKey Key) const;
+
+  /// \returns true if the predicate is declared tabled.
+  bool isTabled(PredKey Key) const;
+
+  /// Iterates over all predicates in definition order.
+  const std::vector<PredKey> &predicates() const { return PredOrder; }
+
+  /// The store holding clause terms.
+  const TermStore &store() const { return ClauseStore; }
+
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// Number of clauses across all predicates.
+  size_t numClauses() const;
+
+  /// Computes the first-argument filter key of a call with first argument
+  /// \p Arg (0 if unbound).
+  static uint64_t firstArgKey(const TermStore &Store, TermRef Arg);
+
+private:
+  ErrorOr<bool> handleDirective(const TermStore &Src, TermRef Body);
+  ErrorOr<bool> handleTableSpec(const TermStore &Src, TermRef Spec);
+
+  SymbolTable &Symbols;
+  TermStore ClauseStore;
+  std::unordered_map<PredKey, Predicate, PredKeyHash> Preds;
+  std::vector<PredKey> PredOrder;
+  /// Tabling declarations may precede clauses, so they are kept separately.
+  std::unordered_map<PredKey, bool, PredKeyHash> TabledDecls;
+};
+
+/// Flattens a (possibly nested) ','/2 conjunction into a goal list.
+void flattenConjunction(const TermStore &Store, const SymbolTable &Symbols,
+                        TermRef Body, std::vector<TermRef> &Goals);
+
+} // namespace lpa
+
+#endif // LPA_ENGINE_DATABASE_H

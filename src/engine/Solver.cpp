@@ -1,0 +1,1126 @@
+//===- Solver.cpp - Tabled SLD resolution engine ----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Solver.h"
+
+#include "reader/Parser.h"
+#include "term/TermCopy.h"
+#include "term/Unify.h"
+#include "term/Variant.h"
+
+#include <algorithm>
+
+using namespace lpa;
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+std::optional<int64_t> lpa::evalArith(const TermStore &Store,
+                                      const SymbolTable &Symbols, TermRef T) {
+  T = Store.deref(T);
+  switch (Store.tag(T)) {
+  case TermTag::Int:
+    return Store.intValue(T);
+  case TermTag::Ref:
+  case TermTag::Atom:
+    return std::nullopt;
+  case TermTag::Struct:
+    break;
+  }
+
+  const std::string &Name = Symbols.name(Store.symbol(T));
+  uint32_t Arity = Store.arity(T);
+  auto Eval = [&](uint32_t I) {
+    return evalArith(Store, Symbols, Store.arg(T, I));
+  };
+
+  if (Arity == 1) {
+    auto A = Eval(0);
+    if (!A)
+      return std::nullopt;
+    if (Name == "-")
+      return -*A;
+    if (Name == "+")
+      return *A;
+    if (Name == "abs")
+      return *A < 0 ? -*A : *A;
+    return std::nullopt;
+  }
+  if (Arity != 2)
+    return std::nullopt;
+  auto A = Eval(0), B = Eval(1);
+  if (!A || !B)
+    return std::nullopt;
+  if (Name == "+")
+    return *A + *B;
+  if (Name == "-")
+    return *A - *B;
+  if (Name == "*")
+    return *A * *B;
+  if (Name == "//" || Name == "/") {
+    if (*B == 0)
+      return std::nullopt;
+    return *A / *B;
+  }
+  if (Name == "mod") {
+    if (*B == 0)
+      return std::nullopt;
+    int64_t M = *A % *B;
+    // Prolog's mod follows the divisor's sign.
+    if (M != 0 && ((M < 0) != (*B < 0)))
+      M += *B;
+    return M;
+  }
+  if (Name == "rem") {
+    if (*B == 0)
+      return std::nullopt;
+    return *A % *B;
+  }
+  if (Name == "min")
+    return std::min(*A, *B);
+  if (Name == "max")
+    return std::max(*A, *B);
+  if (Name == ">>")
+    return *A >> *B;
+  if (Name == "<<")
+    return *A << *B;
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and small helpers
+//===----------------------------------------------------------------------===//
+
+Solver::Solver(Database &DB) : Solver(DB, Options()) {}
+
+Solver::Solver(Database &DB, Options Opts)
+    : DB(DB), Symbols(DB.symbols()), Opts(Opts), Builtins(DB.symbols()) {}
+
+const Solver::GoalNode *Solver::makeGoal(TermRef Goal, const GoalNode *Tail) {
+  GoalArena.push_back(std::make_unique<GoalNode>(GoalNode{Goal, Tail}));
+  return GoalArena.back().get();
+}
+
+const Solver::GoalNode *Solver::makeGoals(const std::vector<TermRef> &Goals,
+                                          const GoalNode *Tail) {
+  const GoalNode *List = Tail;
+  for (size_t I = Goals.size(); I-- > 0;)
+    List = makeGoal(Goals[I], List);
+  return List;
+}
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+size_t Solver::solve(TermRef Goal, const SolutionFn &OnSolution) {
+  size_t Count = 0;
+  auto Wrapped = [&]() -> bool {
+    ++Count;
+    return OnSolution ? OnSolution() : false;
+  };
+  const GoalNode *G = makeGoal(Goal, nullptr);
+  solveGoals(G, 0, ++CutCounter, Wrapped);
+  // Goal nodes are only reachable during the query; recycle them when no
+  // producer is active (i.e. this was an outermost query).
+  if (ProducerStack.empty() && CompletionStack.empty())
+    GoalArena.clear();
+  return Count;
+}
+
+std::vector<TermRef> Solver::solveAll(TermRef Goal, TermStore &Out,
+                                      size_t Limit) {
+  assert(&Out != &Heap && "snapshots cannot live in the scratch heap");
+  std::vector<TermRef> Results;
+  solve(Goal, [&]() {
+    Results.push_back(copyTerm(Heap, Goal, Out));
+    return Results.size() >= Limit;
+  });
+  return Results;
+}
+
+bool Solver::solveOnce(TermRef Goal) {
+  return solve(Goal, []() { return true; }) > 0;
+}
+
+ErrorOr<size_t> Solver::solveText(std::string_view GoalText,
+                                  const SolutionFn &OnSolution) {
+  auto Goal = Parser::parseTerm(Symbols, Heap, GoalText);
+  if (!Goal)
+    return Goal.getError();
+  return solve(*Goal, OnSolution);
+}
+
+const Subgoal *Solver::findSubgoal(TermRef Call) const {
+  auto It = SubgoalTable.find(canonicalKey(Heap, Call));
+  return It == SubgoalTable.end() ? nullptr : It->second.get();
+}
+
+size_t ClauseFrontier::memoryBytes() const {
+  size_t Bytes = Store.memoryBytes() + sizeof(ClauseFrontier);
+  for (const auto &L : Levels)
+    Bytes += L.capacity() * sizeof(TermRef);
+  for (const auto &KS : Keys)
+    for (const auto &K : KS)
+      Bytes += K.capacity() + sizeof(void *) * 2;
+  return Bytes;
+}
+
+size_t Solver::tableSpaceBytes() const {
+  // The paper's "Table space" column: memory held by call and answer
+  // tables. We count the table store's cells, variant keys, answer vectors
+  // and an estimate of hash-node overhead.
+  size_t Bytes = Tables.memoryBytes();
+  for (const Subgoal *SG : SubgoalOrder) {
+    Bytes += sizeof(Subgoal);
+    Bytes += SG->Key.capacity();
+    Bytes += SG->Answers.capacity() * sizeof(TermRef);
+    Bytes += SG->AnswerSeq.capacity() * sizeof(uint64_t);
+    for (const auto &K : SG->AnswerKeys)
+      Bytes += K.capacity() + sizeof(void *) * 2;
+    for (const auto &CF : SG->Frontiers)
+      if (CF)
+        Bytes += CF->memoryBytes();
+  }
+  Bytes += SubgoalTable.size() * (sizeof(void *) * 4);
+  return Bytes;
+}
+
+void Solver::clearTables() {
+  assert(ProducerStack.empty() && CompletionStack.empty() &&
+         "cannot clear tables during evaluation");
+  SubgoalTable.clear();
+  SubgoalOrder.clear();
+  Tables.clear();
+  DfnCounter = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Core resolution
+//===----------------------------------------------------------------------===//
+
+Solver::Signal Solver::solveGoals(const GoalNode *Goals, size_t Depth,
+                                  uint64_t CutLevel,
+                                  const SolutionFn &OnSolution) {
+  if (!Goals)
+    return OnSolution() ? Signal::stop() : Signal::exhausted();
+  if (Depth > Opts.MaxDepth) {
+    ++Stats.DepthLimitHits;
+    return Signal::exhausted();
+  }
+  TermRef G = Heap.deref(Goals->Goal);
+  return solveCall(G, Goals->Next, Depth, CutLevel, OnSolution);
+}
+
+Solver::Signal Solver::solveCall(TermRef Goal, const GoalNode *Rest,
+                                 size_t Depth, uint64_t CutLevel,
+                                 const SolutionFn &OnSolution) {
+  TermTag T = Heap.tag(Goal);
+  if (T == TermTag::Ref || T == TermTag::Int)
+    return Signal::exhausted(); // Ill-typed goal: fail.
+
+  SymbolId Sym = Heap.symbol(Goal);
+  uint32_t Arity = Heap.arity(Goal);
+
+  // Inline conjunctions into the resolvent.
+  if (Sym == Symbols.Comma && Arity == 2)
+    return solveGoals(
+        makeGoal(Heap.arg(Goal, 0), makeGoal(Heap.arg(Goal, 1), Rest)), Depth,
+        CutLevel, OnSolution);
+
+  BuiltinKind BK = Builtins.classify(Sym, Arity);
+  if (BK != BuiltinKind::None)
+    return solveBuiltin(BK, Goal, Rest, Depth, CutLevel, OnSolution);
+
+  const Predicate *P = DB.lookup({Sym, Arity});
+  if (!P)
+    return Signal::exhausted(); // Undefined predicate: fail.
+  if (P->Tabled)
+    return solveTabled(*P, Goal, Rest, Depth, CutLevel, OnSolution);
+  return solveNontabled(*P, Goal, Rest, Depth, OnSolution);
+}
+
+Solver::Signal Solver::solveNontabled(const Predicate &P, TermRef Goal,
+                                      const GoalNode *Rest, size_t Depth,
+                                      const SolutionFn &OnSolution) {
+  uint64_t MyLevel = ++CutCounter;
+  uint64_t CallKey =
+      P.Key.Arity == 0 ? 0 : Database::firstArgKey(Heap, Heap.arg(Goal, 0));
+
+  for (const Clause &C : P.Clauses) {
+    // First-argument filtering: skip clauses that cannot match.
+    if (CallKey != 0 && C.FirstArgKey != 0 && C.FirstArgKey != CallKey)
+      continue;
+    ++Stats.ClauseResolutions;
+
+    auto M = Heap.mark();
+    VarRenaming Renaming;
+    TermRef Head = copyTerm(DB.store(), C.Head, Heap, Renaming);
+    Signal S = Signal::exhausted();
+    if (unify(Heap, Goal, Head, Opts.OccursCheck)) {
+      const GoalNode *BodyGoals = Rest;
+      for (size_t I = C.Body.size(); I-- > 0;)
+        BodyGoals =
+            makeGoal(copyTerm(DB.store(), C.Body[I], Heap, Renaming),
+                     BodyGoals);
+      S = solveGoals(BodyGoals, Depth + 1, MyLevel, OnSolution);
+    }
+    Heap.undoTo(M);
+
+    if (S.K == Signal::Stop)
+      return S;
+    if (S.K == Signal::CutTo) {
+      if (S.Level == MyLevel)
+        return Signal::exhausted(); // Our alternatives were cut away.
+      assert(S.Level < MyLevel && "cut to an inner level escaped its loop");
+      return S; // An outer cut keeps propagating.
+    }
+  }
+  return Signal::exhausted();
+}
+
+//===----------------------------------------------------------------------===//
+// Tabling
+//===----------------------------------------------------------------------===//
+
+void Solver::setAnswerJoin(PredKey Pred, AnswerJoinFn Join) {
+  AnswerJoins[(uint64_t(Pred.Sym) << 32) | Pred.Arity] = std::move(Join);
+}
+
+bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
+  // Aggregated predicates keep a single joined answer per subgoal.
+  auto JIt = AnswerJoins.find((uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity);
+  if (JIt != AnswerJoins.end()) {
+    TermRef Stored = copyTerm(Heap, Instance, Tables);
+    if (SG.Answers.empty()) {
+      SG.Answers.push_back(Stored);
+      SG.AnswerSeq.push_back(++AnswerSeqCounter);
+    } else {
+      TermRef Joined = JIt->second(Tables, SG.Answers[0], Stored);
+      if (isVariant(Tables, Joined, SG.Answers[0])) {
+        ++Stats.AnswersDuplicate;
+        return false; // The join absorbed the new derivation.
+      }
+      SG.Answers[0] = Joined;
+      SG.AnswerSeq[0] = ++AnswerSeqCounter;
+    }
+    PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
+        AnswerSeqCounter;
+    ++Stats.AnswersRecorded;
+    for (Subgoal *C : SG.Consumers)
+      C->Dirty = true;
+    return true;
+  }
+
+  std::string AKey = canonicalKey(Heap, Instance);
+  if (SG.AnswerKeys.count(AKey)) {
+    ++Stats.AnswersDuplicate;
+    return false;
+  }
+  TermRef Stored = copyTerm(Heap, Instance, Tables);
+  SG.AnswerKeys.insert(std::move(AKey));
+  SG.Answers.push_back(Stored);
+  SG.AnswerSeq.push_back(++AnswerSeqCounter);
+  PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
+      AnswerSeqCounter;
+  ++Stats.AnswersRecorded;
+  // Semi-naive scheduling: everyone who consumed from this table has
+  // potentially more derivations now.
+  for (Subgoal *C : SG.Consumers)
+    C->Dirty = true;
+  return true;
+}
+
+bool Solver::clauseIsPure(const Clause &C) const {
+  const TermStore &CS = DB.store();
+  for (TermRef G : C.Body) {
+    TermRef D = CS.deref(G);
+    TermTag T = CS.tag(D);
+    if (T != TermTag::Atom && T != TermTag::Struct)
+      return false; // Variable or number goal: metacall territory.
+    switch (Builtins.classify(CS.symbol(D), CS.arity(D))) {
+    case BuiltinKind::Cut:
+    case BuiltinKind::Not:
+    case BuiltinKind::Disj:
+    case BuiltinKind::IfThen:
+    case BuiltinKind::Call:
+      return false;
+    default:
+      break;
+    }
+  }
+  return true;
+}
+
+bool Solver::isStaticPred(PredKey Key) {
+  uint64_t K = (uint64_t(Key.Sym) << 32) | Key.Arity;
+  auto It = StaticPredCache.find(K);
+  if (It != StaticPredCache.end())
+    return It->second;
+  // Greatest fixpoint: assume static while visiting, so nontabled cycles
+  // without tabled members come out static.
+  StaticPredCache[K] = true;
+  bool Static = true;
+  if (DB.isTabled(Key)) {
+    Static = false;
+  } else if (const Predicate *P = DB.lookup(Key)) {
+    if (P->Tabled)
+      Static = false;
+    for (const Clause &C : P->Clauses) {
+      for (TermRef G : C.Body) {
+        const TermStore &CS = DB.store();
+        TermRef D = CS.deref(G);
+        TermTag T = CS.tag(D);
+        if (T != TermTag::Atom && T != TermTag::Struct) {
+          Static = false; // Metacall: anything can happen.
+          break;
+        }
+        PredKey GK{CS.symbol(D), CS.arity(D)};
+        BuiltinKind BK = Builtins.classify(GK.Sym, GK.Arity);
+        if (BK == BuiltinKind::Call) {
+          Static = false;
+          break;
+        }
+        if (BK != BuiltinKind::None)
+          continue; // Other builtins are timeless.
+        if (!isStaticPred(GK)) {
+          Static = false;
+          break;
+        }
+      }
+      if (!Static)
+        break;
+    }
+  }
+  StaticPredCache[K] = Static;
+  return Static;
+}
+
+void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
+                           const std::function<void()> &OnSolution) {
+  G = Heap.deref(G);
+  TermTag T = Heap.tag(G);
+  if (T != TermTag::Atom && T != TermTag::Struct)
+    return; // Pure clauses contain no metacalls.
+
+  PredKey Key{Heap.symbol(G), Heap.arity(G)};
+  BuiltinKind BK = Builtins.classify(Key.Sym, Key.Arity);
+  if (BK != BuiltinKind::None) {
+    // Builtins are deterministic in their inputs: an old state times an
+    // unchanged builtin was fully explored in an earlier pass.
+    if (MinSeq > 0)
+      return;
+    GoalNode Node{G, nullptr};
+    solveGoals(&Node, /*Depth=*/1, ++CutCounter, [&]() {
+      OnSolution();
+      return false;
+    });
+    return;
+  }
+
+  const Predicate *P = DB.lookup(Key);
+  if (!P)
+    return;
+
+  if (!P->Tabled) {
+    if (MinSeq > 0 && isStaticPred(Key))
+      return; // Static facts cannot yield anything new.
+    GoalNode Node{G, nullptr};
+    solveGoals(&Node, /*Depth=*/1, ++CutCounter, [&]() {
+      OnSolution();
+      return false;
+    });
+    return;
+  }
+
+  // Tabled: consume (a slice of) the answer table.
+  ++Stats.TabledCalls;
+  Subgoal &SG = ensureSubgoal(G, Key);
+  if (!SG.Complete && !ProducerStack.empty()) {
+    Subgoal *Parent = ProducerStack.back();
+    Parent->MinLink = std::min(Parent->MinLink, SG.MinLink);
+    SG.Consumers.insert(Parent);
+  }
+  // AnswerSeq is strictly increasing: jump straight to the new slice.
+  size_t Start =
+      std::upper_bound(SG.AnswerSeq.begin(), SG.AnswerSeq.end(), MinSeq) -
+      SG.AnswerSeq.begin();
+  for (size_t I = Start; I < SG.Answers.size(); ++I) {
+    auto M = Heap.mark();
+    TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);
+    if (unify(Heap, G, Ans, /*OccursCheck=*/false))
+      OnSolution();
+    Heap.undoTo(M);
+  }
+}
+
+namespace {
+
+/// Collects the distinct unbound variables of \p T (in \p Store) into
+/// \p Vars, in first-occurrence order.
+void collectTemplateVars(const TermStore &Store, TermRef T,
+                         std::vector<TermRef> &Vars) {
+  // Depth-first, left-to-right for deterministic ordering.
+  std::vector<TermRef> Stack;
+  Stack.push_back(T);
+  while (!Stack.empty()) {
+    TermRef Cur = Store.deref(Stack.back());
+    Stack.pop_back();
+    switch (Store.tag(Cur)) {
+    case TermTag::Ref:
+      if (std::find(Vars.begin(), Vars.end(), Cur) == Vars.end())
+        Vars.push_back(Cur);
+      break;
+    case TermTag::Struct:
+      for (uint32_t I = Store.arity(Cur); I-- > 0;)
+        Stack.push_back(Store.arg(Cur, I));
+      break;
+    case TermTag::Atom:
+    case TermTag::Int:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
+                                    size_t ClauseIdx, size_t NumClauses) {
+  ++Stats.ClauseResolutions;
+  SymbolId StateSym = Symbols.intern("$state");
+  size_t NumGoals = C.Body.size();
+
+  if (SG.Frontiers.size() < NumClauses)
+    SG.Frontiers.resize(NumClauses);
+  if (!SG.Frontiers[ClauseIdx]) {
+    SG.Frontiers[ClauseIdx] = std::make_unique<ClauseFrontier>();
+    SG.Frontiers[ClauseIdx]->Levels.resize(NumGoals + 1);
+    SG.Frontiers[ClauseIdx]->Keys.resize(NumGoals + 1);
+  }
+  ClauseFrontier &CF = *SG.Frontiers[ClauseIdx];
+  if (CF.HeadFailed)
+    return;
+
+  // Snapshot the old/new boundary *before* initialization so the level-0
+  // seed counts as new on the first run (facts must record answers).
+  std::vector<size_t> OldCount(NumGoals + 1);
+  for (size_t J = 0; J <= NumGoals; ++J)
+    OldCount[J] = CF.Levels[J].size();
+
+  if (!CF.Initialized) {
+    CF.Initialized = true;
+
+    // Liveness of clause variables: LiveIdx[J] = vars of goals >= J.
+    for (TermRef G : C.Body)
+      collectTemplateVars(DB.store(), G, CF.TemplateVars);
+    CF.LiveIdx.assign(NumGoals + 1, {});
+    std::vector<std::vector<TermRef>> GoalVars(NumGoals);
+    for (size_t J = 0; J < NumGoals; ++J)
+      collectTemplateVars(DB.store(), C.Body[J], GoalVars[J]);
+    for (uint32_t VI = 0; VI < CF.TemplateVars.size(); ++VI) {
+      // Live at J iff it occurs in some goal >= J.
+      size_t LastUse = 0;
+      bool Used = false;
+      for (size_t J = 0; J < NumGoals; ++J)
+        if (std::find(GoalVars[J].begin(), GoalVars[J].end(),
+                      CF.TemplateVars[VI]) != GoalVars[J].end()) {
+          LastUse = J;
+          Used = true;
+        }
+      if (!Used)
+        continue;
+      for (size_t J = 0; J <= LastUse; ++J)
+        CF.LiveIdx[J].push_back(VI);
+    }
+
+    auto M = Heap.mark();
+    TermRef Call = copyTerm(Tables, SG.CallTerm, Heap);
+    VarRenaming Renaming;
+    TermRef Head = copyTerm(DB.store(), C.Head, Heap, Renaming);
+    if (!unify(Heap, Call, Head, Opts.OccursCheck)) {
+      CF.HeadFailed = true;
+      Heap.undoTo(M);
+      return;
+    }
+    // Level-0 state: $state(Call, live vars). Head variables shared with
+    // body goals map through Renaming; body-only variables start fresh.
+    std::vector<TermRef> StateArgs{Call};
+    for (uint32_t VI : CF.LiveIdx[0]) {
+      TermRef TV = CF.TemplateVars[VI];
+      auto It = Renaming.find(TV);
+      if (It == Renaming.end())
+        It = Renaming.emplace(TV, Heap.mkVar()).first;
+      StateArgs.push_back(It->second);
+    }
+    TermRef State = Heap.mkStruct(StateSym, StateArgs);
+    CF.Keys[0].insert(canonicalKey(Heap, State));
+    CF.Levels[0].push_back(copyTerm(Heap, State, CF.Store));
+    Heap.undoTo(M);
+  }
+
+  // States present before this run are "old": they only need the answers
+  // that arrived since the previous run. States appended during this run
+  // are "new": they see everything.
+  uint64_t PrevWatermark = CF.Watermark;
+  CF.Watermark = AnswerSeqCounter;
+
+  for (size_t J = 0; J < NumGoals; ++J) {
+    // The J-th goal's predicate is determined by the clause alone, so old
+    // states can be skipped wholesale when that predicate has not gained
+    // an answer since the previous run.
+    enum class OldPolicy { Skip, CheckPred, Process } Policy =
+        OldPolicy::Process;
+    {
+      const TermStore &CS = DB.store();
+      TermRef GT = CS.deref(C.Body[J]);
+      if (CS.tag(GT) == TermTag::Atom || CS.tag(GT) == TermTag::Struct) {
+        PredKey GK{CS.symbol(GT), CS.arity(GT)};
+        if (Builtins.classify(GK.Sym, GK.Arity) != BuiltinKind::None) {
+          Policy = OldPolicy::Skip; // Builtins never yield anything new.
+        } else if (DB.isTabled(GK)) {
+          auto It = PredMaxAnswerSeq.find((uint64_t(GK.Sym) << 32) |
+                                          GK.Arity);
+          uint64_t MaxSeq = It == PredMaxAnswerSeq.end() ? 0 : It->second;
+          Policy = MaxSeq > PrevWatermark ? OldPolicy::CheckPred
+                                          : OldPolicy::Skip;
+        } else if (isStaticPred(GK)) {
+          Policy = OldPolicy::Skip;
+        }
+      }
+    }
+    // Levels[J] does not grow while processing level J (solutions land in
+    // J+1), so the plain loop bound is safe.
+    const std::vector<uint32_t> &LiveHere = CF.LiveIdx[J];
+    const std::vector<uint32_t> &LiveNext = CF.LiveIdx[J + 1];
+    for (size_t Idx = 0; Idx < CF.Levels[J].size(); ++Idx) {
+      bool IsOld = Idx < OldCount[J];
+      uint64_t MinSeq = IsOld ? PrevWatermark : 0;
+      if (IsOld && Policy == OldPolicy::Skip)
+        continue;
+      auto M = Heap.mark();
+      TermRef Live = copyTerm(CF.Store, CF.Levels[J][Idx], Heap);
+      // Rebuild goal J from its template under this state's bindings.
+      VarRenaming GoalRenaming;
+      for (uint32_t K = 0; K < LiveHere.size(); ++K)
+        GoalRenaming.emplace(CF.TemplateVars[LiveHere[K]],
+                             Heap.arg(Live, K + 1));
+      TermRef Goal = copyTerm(DB.store(), C.Body[J], Heap, GoalRenaming);
+      solveSemiGoal(Goal, MinSeq, [&]() {
+        // Project onto the variables still live after this goal.
+        auto M2 = Heap.mark();
+        std::vector<TermRef> Rest{Heap.arg(Live, 0)};
+        for (uint32_t VI : LiveNext) {
+          // LiveNext is a subset of LiveHere; find its slot.
+          size_t Slot =
+              std::lower_bound(LiveHere.begin(), LiveHere.end(), VI) -
+              LiveHere.begin();
+          Rest.push_back(Heap.arg(Live, static_cast<uint32_t>(Slot + 1)));
+        }
+        TermRef Next = Heap.mkStruct(StateSym, Rest);
+        std::string Key = canonicalKey(Heap, Next);
+        if (CF.Keys[J + 1].insert(std::move(Key)).second)
+          CF.Levels[J + 1].push_back(copyTerm(Heap, Next, CF.Store));
+        Heap.undoTo(M2);
+      });
+      Heap.undoTo(M);
+    }
+  }
+
+  // New final states become answers (old ones were recorded previously).
+  for (size_t Idx = OldCount[NumGoals]; Idx < CF.Levels[NumGoals].size();
+       ++Idx) {
+    auto M = Heap.mark();
+    TermRef Live = copyTerm(CF.Store, CF.Levels[NumGoals][Idx], Heap);
+    recordAnswer(SG, Heap.deref(Heap.arg(Live, 0)));
+    Heap.undoTo(M);
+  }
+}
+
+bool Solver::runProducer(Subgoal &SG) {
+  const Predicate *P = DB.lookup(SG.Pred);
+  if (!P)
+    return false;
+
+  size_t Before = SG.Answers.size();
+  auto M = Heap.mark();
+  TermRef Call = copyTerm(Tables, SG.CallTerm, Heap);
+  uint64_t MyLevel = ++CutCounter;
+  uint64_t CallKey =
+      P->Key.Arity == 0 ? 0 : Database::firstArgKey(Heap, Heap.arg(Call, 0));
+
+  for (size_t ClauseIdx = 0; ClauseIdx < P->Clauses.size(); ++ClauseIdx) {
+    const Clause &C = P->Clauses[ClauseIdx];
+    if (CallKey != 0 && C.FirstArgKey != 0 && C.FirstArgKey != CallKey)
+      continue;
+
+    if (Opts.SupplementaryTabling && clauseIsPure(C)) {
+      runClauseSupplementary(SG, C, ClauseIdx, P->Clauses.size());
+      continue;
+    }
+
+    // Impure clause (cut/negation/...): tuple-at-a-time SLD, with one cut
+    // barrier shared across the producer's clause alternatives.
+    ++Stats.ClauseResolutions;
+    auto M2 = Heap.mark();
+    VarRenaming Renaming;
+    TermRef Head = copyTerm(DB.store(), C.Head, Heap, Renaming);
+    Signal S = Signal::exhausted();
+    if (unify(Heap, Call, Head, Opts.OccursCheck)) {
+      const GoalNode *BodyGoals = nullptr;
+      for (size_t I = C.Body.size(); I-- > 0;)
+        BodyGoals = makeGoal(copyTerm(DB.store(), C.Body[I], Heap, Renaming),
+                             BodyGoals);
+      S = solveGoals(BodyGoals, /*Depth=*/1, MyLevel, [&]() {
+        recordAnswer(SG, Call);
+        return false;
+      });
+    }
+    Heap.undoTo(M2);
+    if (S.K == Signal::CutTo && S.Level == MyLevel)
+      break; // A cut pruned the remaining clause alternatives.
+  }
+  Heap.undoTo(M);
+  return SG.Answers.size() > Before;
+}
+
+Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key) {
+  std::string CallKey = canonicalKey(Heap, Goal);
+  auto It = SubgoalTable.find(CallKey);
+  if (It != SubgoalTable.end())
+    return *It->second;
+
+  ++Stats.SubgoalsCreated;
+  auto Owned = std::make_unique<Subgoal>();
+  Subgoal &SG = *Owned;
+  SG.Pred = Key;
+  SG.Key = CallKey;
+  SG.CallTerm = copyTerm(Heap, Goal, Tables);
+  SG.Dfn = SG.MinLink = ++DfnCounter;
+  SG.OnStack = true;
+  SG.StackPos = CompletionStack.size();
+  CompletionStack.push_back(&SG);
+  SubgoalTable.emplace(SG.Key, std::move(Owned));
+  SubgoalOrder.push_back(&SG);
+
+  // Initial producer run. Dependencies on incomplete subgoals found during
+  // the run lower SG.MinLink (see solveTabled).
+  SG.Dirty = false;
+  ProducerStack.push_back(&SG);
+  runProducer(SG);
+  ProducerStack.pop_back();
+
+  if (SG.MinLink == SG.Dfn) {
+    // SG leads its SCC. Re-run members (the stack from SG upward, which
+    // may grow as evaluation exposes new call patterns), but only those
+    // marked dirty by a dependency gaining answers, until the component
+    // is quiescent; then complete it wholesale.
+    bool Any = true;
+    while (Any) {
+      Any = false;
+      ++Stats.FixpointRounds;
+      for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I) {
+        Subgoal *Member = CompletionStack[I];
+        if (!Member->Dirty)
+          continue;
+        Member->Dirty = false;
+        Any = true;
+        ProducerStack.push_back(Member);
+        runProducer(*Member);
+        ProducerStack.pop_back();
+      }
+    }
+    for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I) {
+      CompletionStack[I]->Complete = true;
+      CompletionStack[I]->OnStack = false;
+      // Producers never re-run once complete; release the supplementary
+      // tables.
+      CompletionStack[I]->Frontiers.clear();
+    }
+    CompletionStack.resize(SG.StackPos);
+  }
+  return SG;
+}
+
+Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
+                                   const GoalNode *Rest, size_t Depth,
+                                   uint64_t CutLevel,
+                                   const SolutionFn &OnSolution) {
+  ++Stats.TabledCalls;
+  Subgoal &SG = ensureSubgoal(Goal, P.Key);
+
+  // Record the SCC dependency of the producer that issued this call, and
+  // subscribe it to future answers for semi-naive re-running.
+  if (!SG.Complete && !ProducerStack.empty()) {
+    Subgoal *Parent = ProducerStack.back();
+    Parent->MinLink = std::min(Parent->MinLink, SG.MinLink);
+    SG.Consumers.insert(Parent);
+  }
+
+  // Consume answers. The index re-reads size() so answers added while this
+  // consumer is active (fixpoint rounds of an enclosing SCC) are picked up;
+  // answers added after we return are replayed by producer re-runs.
+  for (size_t I = 0; I < SG.Answers.size(); ++I) {
+    auto M = Heap.mark();
+    TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);
+    Signal S = Signal::exhausted();
+    if (unify(Heap, Goal, Ans, /*OccursCheck=*/false))
+      S = solveGoals(Rest, Depth + 1, CutLevel, OnSolution);
+    Heap.undoTo(M);
+    if (S.K != Signal::Exhausted)
+      return S;
+  }
+  return Signal::exhausted();
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins
+//===----------------------------------------------------------------------===//
+
+Solver::Signal Solver::solveBuiltin(BuiltinKind Kind, TermRef Goal,
+                                    const GoalNode *Rest, size_t Depth,
+                                    uint64_t CutLevel,
+                                    const SolutionFn &OnSolution) {
+  auto Proceed = [&]() {
+    return solveGoals(Rest, Depth + 1, CutLevel, OnSolution);
+  };
+  // Runs Cont with Mark-scoped bindings; undoes them; propagates signals.
+  auto Scoped = [&](auto &&Try) -> Signal {
+    auto M = Heap.mark();
+    Signal S = Try() ? Proceed() : Signal::exhausted();
+    Heap.undoTo(M);
+    return S;
+  };
+  auto Arg = [&](uint32_t I) { return Heap.arg(Goal, I); };
+
+  switch (Kind) {
+  case BuiltinKind::None:
+    assert(false && "solveBuiltin called with None");
+    return Signal::exhausted();
+
+  case BuiltinKind::True:
+    return Proceed();
+  case BuiltinKind::Fail:
+    return Signal::exhausted();
+
+  case BuiltinKind::Cut: {
+    Signal S = Proceed();
+    if (S.K == Signal::Stop)
+      return S;
+    if (S.K == Signal::CutTo && S.Level < CutLevel)
+      return S; // An outer cut dominates.
+    return Signal::cutTo(CutLevel);
+  }
+
+  case BuiltinKind::Unify:
+    return Scoped(
+        [&] { return unify(Heap, Arg(0), Arg(1), Opts.OccursCheck); });
+
+  case BuiltinKind::NotUnify: {
+    auto M = Heap.mark();
+    bool Ok = unify(Heap, Arg(0), Arg(1), Opts.OccursCheck);
+    Heap.undoTo(M);
+    return Ok ? Signal::exhausted() : Proceed();
+  }
+
+  case BuiltinKind::Equal:
+    return termsEqual(Heap, Arg(0), Arg(1)) ? Proceed() : Signal::exhausted();
+  case BuiltinKind::NotEqual:
+    return termsEqual(Heap, Arg(0), Arg(1)) ? Signal::exhausted() : Proceed();
+
+  case BuiltinKind::Var:
+    return Heap.isUnboundVar(Arg(0)) ? Proceed() : Signal::exhausted();
+  case BuiltinKind::NonVar:
+    return Heap.isUnboundVar(Arg(0)) ? Signal::exhausted() : Proceed();
+  case BuiltinKind::Atom:
+    return Heap.tag(Heap.deref(Arg(0))) == TermTag::Atom
+               ? Proceed()
+               : Signal::exhausted();
+  case BuiltinKind::Integer:
+    return Heap.tag(Heap.deref(Arg(0))) == TermTag::Int
+               ? Proceed()
+               : Signal::exhausted();
+  case BuiltinKind::Atomic: {
+    TermTag T = Heap.tag(Heap.deref(Arg(0)));
+    return (T == TermTag::Atom || T == TermTag::Int) ? Proceed()
+                                                     : Signal::exhausted();
+  }
+  case BuiltinKind::Compound:
+    return Heap.tag(Heap.deref(Arg(0))) == TermTag::Struct
+               ? Proceed()
+               : Signal::exhausted();
+
+  case BuiltinKind::Is: {
+    auto V = evalArith(Heap, Symbols, Arg(1));
+    if (!V)
+      return Signal::exhausted();
+    return Scoped([&] { return unify(Heap, Arg(0), Heap.mkInt(*V)); });
+  }
+
+  case BuiltinKind::Lt:
+  case BuiltinKind::Le:
+  case BuiltinKind::Gt:
+  case BuiltinKind::Ge:
+  case BuiltinKind::ArithEq:
+  case BuiltinKind::ArithNe: {
+    auto A = evalArith(Heap, Symbols, Arg(0));
+    auto B = evalArith(Heap, Symbols, Arg(1));
+    if (!A || !B)
+      return Signal::exhausted();
+    bool Holds = false;
+    switch (Kind) {
+    case BuiltinKind::Lt: Holds = *A < *B; break;
+    case BuiltinKind::Le: Holds = *A <= *B; break;
+    case BuiltinKind::Gt: Holds = *A > *B; break;
+    case BuiltinKind::Ge: Holds = *A >= *B; break;
+    case BuiltinKind::ArithEq: Holds = *A == *B; break;
+    case BuiltinKind::ArithNe: Holds = *A != *B; break;
+    default: break;
+    }
+    return Holds ? Proceed() : Signal::exhausted();
+  }
+
+  case BuiltinKind::Not: {
+    // Negation as failure; the subgoal runs in its own cut scope and its
+    // bindings never escape.
+    auto M = Heap.mark();
+    bool Found = false;
+    solveGoals(makeGoal(Arg(0), nullptr), Depth + 1, ++CutCounter,
+               [&]() {
+                 Found = true;
+                 return true;
+               });
+    Heap.undoTo(M);
+    return Found ? Signal::exhausted() : Proceed();
+  }
+
+  case BuiltinKind::IfThen:
+  case BuiltinKind::Disj: {
+    TermRef L = Heap.deref(Arg(0));
+    TermRef R = InvalidTerm;
+    if (Kind == BuiltinKind::Disj)
+      R = Arg(1);
+
+    // If-then-else: (Cond -> Then ; Else), or bare (Cond -> Then).
+    SymbolId Arrow = Symbols.intern("->");
+    bool IsIte = Kind == BuiltinKind::IfThen ||
+                 (Heap.tag(L) == TermTag::Struct && Heap.symbol(L) == Arrow &&
+                  Heap.arity(L) == 2);
+    if (IsIte) {
+      TermRef Cond, Then;
+      if (Kind == BuiltinKind::IfThen) {
+        Cond = Arg(0);
+        Then = Arg(1);
+      } else {
+        Cond = Heap.arg(L, 0);
+        Then = Heap.arg(L, 1);
+      }
+      auto M = Heap.mark();
+      bool CondHeld = false;
+      Signal Inner = Signal::exhausted();
+      // Then runs inside the callback so it sees the condition's bindings;
+      // returning true commits to the first solution of the condition.
+      solveGoals(makeGoal(Cond, nullptr), Depth + 1, ++CutCounter, [&]() {
+        CondHeld = true;
+        Inner = solveGoals(makeGoal(Then, Rest), Depth + 1, CutLevel,
+                           OnSolution);
+        return true;
+      });
+      Heap.undoTo(M);
+      if (CondHeld)
+        return Inner;
+      if (R == InvalidTerm)
+        return Signal::exhausted();
+      return solveGoals(makeGoal(R, Rest), Depth + 1, CutLevel, OnSolution);
+    }
+
+    // Plain disjunction.
+    Signal S =
+        solveGoals(makeGoal(Arg(0), Rest), Depth + 1, CutLevel, OnSolution);
+    if (S.K != Signal::Exhausted)
+      return S;
+    return solveGoals(makeGoal(Arg(1), Rest), Depth + 1, CutLevel,
+                      OnSolution);
+  }
+
+  case BuiltinKind::Call: {
+    // Cut inside call/1 is local to it.
+    uint64_t Level = ++CutCounter;
+    Signal S = solveGoals(makeGoal(Arg(0), Rest), Depth + 1, Level,
+                          OnSolution);
+    if (S.K == Signal::CutTo && S.Level == Level)
+      return Signal::exhausted();
+    return S;
+  }
+
+  case BuiltinKind::Iff:
+    return solveIff(Goal, Rest, Depth, CutLevel, OnSolution);
+
+  case BuiltinKind::Between: {
+    auto Lo = evalArith(Heap, Symbols, Arg(0));
+    auto Hi = evalArith(Heap, Symbols, Arg(1));
+    if (!Lo || !Hi)
+      return Signal::exhausted();
+    for (int64_t V = *Lo; V <= *Hi; ++V) {
+      Signal S = Scoped([&] { return unify(Heap, Arg(2), Heap.mkInt(V)); });
+      if (S.K != Signal::Exhausted)
+        return S;
+    }
+    return Signal::exhausted();
+  }
+
+  case BuiltinKind::Functor: {
+    TermRef T = Heap.deref(Arg(0));
+    switch (Heap.tag(T)) {
+    case TermTag::Atom:
+      return Scoped([&] {
+        return unify(Heap, Arg(1), Heap.mkAtom(Heap.symbol(T))) &&
+               unify(Heap, Arg(2), Heap.mkInt(0));
+      });
+    case TermTag::Int:
+      return Scoped([&] {
+        return unify(Heap, Arg(1), Heap.mkInt(Heap.intValue(T))) &&
+               unify(Heap, Arg(2), Heap.mkInt(0));
+      });
+    case TermTag::Struct:
+      return Scoped([&] {
+        return unify(Heap, Arg(1), Heap.mkAtom(Heap.symbol(T))) &&
+               unify(Heap, Arg(2), Heap.mkInt(Heap.arity(T)));
+      });
+    case TermTag::Ref: {
+      // Construction mode: functor(T, Name, Arity) with Name/Arity bound.
+      TermRef NameT = Heap.deref(Arg(1));
+      TermRef ArityT = Heap.deref(Arg(2));
+      if (Heap.tag(ArityT) != TermTag::Int)
+        return Signal::exhausted();
+      int64_t N = Heap.intValue(ArityT);
+      if (N == 0)
+        return Scoped([&] { return unify(Heap, Arg(0), NameT); });
+      if (Heap.tag(NameT) != TermTag::Atom || N < 0)
+        return Signal::exhausted();
+      return Scoped([&] {
+        std::vector<TermRef> Args;
+        for (int64_t I = 0; I < N; ++I)
+          Args.push_back(Heap.mkVar());
+        return unify(Heap, Arg(0), Heap.mkStruct(Heap.symbol(NameT), Args));
+      });
+    }
+    }
+    return Signal::exhausted();
+  }
+
+  case BuiltinKind::Arg: {
+    TermRef NT = Heap.deref(Arg(0));
+    TermRef T = Heap.deref(Arg(1));
+    if (Heap.tag(NT) != TermTag::Int || Heap.tag(T) != TermTag::Struct)
+      return Signal::exhausted();
+    int64_t N = Heap.intValue(NT);
+    if (N < 1 || N > static_cast<int64_t>(Heap.arity(T)))
+      return Signal::exhausted();
+    return Scoped([&] {
+      return unify(Heap, Arg(2), Heap.arg(T, static_cast<uint32_t>(N - 1)));
+    });
+  }
+
+  case BuiltinKind::Univ: {
+    TermRef T = Heap.deref(Arg(0));
+    if (Heap.tag(T) != TermTag::Ref) {
+      // Decomposition: T =.. [Name|Args].
+      std::vector<TermRef> Elems;
+      if (Heap.tag(T) == TermTag::Struct) {
+        Elems.push_back(Heap.mkAtom(Heap.symbol(T)));
+        for (uint32_t I = 0, E = Heap.arity(T); I < E; ++I)
+          Elems.push_back(Heap.arg(T, I));
+      } else {
+        Elems.push_back(T);
+      }
+      return Scoped([&] {
+        return unify(Heap, Arg(1), Heap.mkList(Symbols, Elems));
+      });
+    }
+    // Construction: walk the (proper) list.
+    std::vector<TermRef> Elems;
+    TermRef L = Heap.deref(Arg(1));
+    while (Heap.tag(L) == TermTag::Struct &&
+           Heap.symbol(L) == Symbols.Cons && Heap.arity(L) == 2) {
+      Elems.push_back(Heap.arg(L, 0));
+      L = Heap.deref(Heap.arg(L, 1));
+    }
+    if (!(Heap.tag(L) == TermTag::Atom && Heap.symbol(L) == Symbols.Nil) ||
+        Elems.empty())
+      return Signal::exhausted();
+    TermRef Functor = Heap.deref(Elems[0]);
+    if (Elems.size() == 1)
+      return Scoped([&] { return unify(Heap, Arg(0), Functor); });
+    if (Heap.tag(Functor) != TermTag::Atom)
+      return Signal::exhausted();
+    return Scoped([&] {
+      std::span<const TermRef> Args(Elems.data() + 1, Elems.size() - 1);
+      return unify(Heap, Arg(0), Heap.mkStruct(Heap.symbol(Functor), Args));
+    });
+  }
+  }
+  return Signal::exhausted();
+}
+
+Solver::Signal Solver::solveIff(TermRef Goal, const GoalNode *Rest,
+                                size_t Depth, uint64_t CutLevel,
+                                const SolutionFn &OnSolution) {
+  // iff(X, Y1, ..., Yk) is the truth table of X <-> (Y1 /\ ... /\ Yk)
+  // (Section 3.1). Rather than materializing 2^k facts we enumerate
+  // satisfying rows natively with early pruning: the X=true row forces
+  // every conjunct true; the X=false rows need at least one false
+  // conjunct. This is still the enumerative Prop representation -- the
+  // answer tables below stay truth tables -- only the literal is native.
+  uint32_t Arity = Heap.arity(Goal);
+  auto Proceed = [&]() {
+    return solveGoals(Rest, Depth + 1, CutLevel, OnSolution);
+  };
+
+  TermRef TrueAtom = Heap.mkAtom(Symbols.BoolTrue);
+  TermRef FalseAtom = Heap.mkAtom(Symbols.BoolFalse);
+
+  // Row 1: everything true.
+  {
+    auto M = Heap.mark();
+    bool Ok = true;
+    for (uint32_t I = 0; I < Arity && Ok; ++I)
+      Ok = unify(Heap, Heap.arg(Goal, I), TrueAtom);
+    Signal S = Ok ? Proceed() : Signal::exhausted();
+    Heap.undoTo(M);
+    if (S.K != Signal::Exhausted)
+      return S;
+  }
+
+  if (Arity == 1)
+    return Signal::exhausted(); // iff(X): empty conjunction is true.
+
+  // Rows with X=false: enumerate conjunct assignments with >= 1 false.
+  auto M = Heap.mark();
+  Signal Out = Signal::exhausted();
+  if (unify(Heap, Heap.arg(Goal, 0), FalseAtom)) {
+    // Recursive enumeration over conjuncts 1..Arity-1.
+    std::function<Signal(uint32_t, bool)> Enum =
+        [&](uint32_t I, bool AnyFalse) -> Signal {
+      if (I == Arity)
+        return AnyFalse ? Proceed() : Signal::exhausted();
+      for (bool Val : {true, false}) {
+        auto M2 = Heap.mark();
+        Signal S = Signal::exhausted();
+        if (unify(Heap, Heap.arg(Goal, I), Val ? TrueAtom : FalseAtom))
+          S = Enum(I + 1, AnyFalse || !Val);
+        Heap.undoTo(M2);
+        if (S.K != Signal::Exhausted)
+          return S;
+      }
+      return Signal::exhausted();
+    };
+    Out = Enum(1, false);
+  }
+  Heap.undoTo(M);
+  return Out;
+}

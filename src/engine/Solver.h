@@ -1,0 +1,322 @@
+//===- Solver.h - Tabled SLD resolution engine ------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation engine: SLD resolution with XSB-style variant tabling.
+///
+/// Nontabled predicates resolve against program clauses by ordinary
+/// backtracking. A call to a *tabled* predicate first looks for a variant
+/// of itself in the subgoal table: on a hit it resolves against the
+/// recorded answers; on a miss the subgoal is entered, its answers are
+/// produced by clause resolution (deduplicated by variant checks), and
+/// mutually recursive subgoals are driven to fixpoint per strongly
+/// connected component before being marked complete.
+///
+/// This gives the two properties the paper leans on:
+///   * completeness — the minimal model of a finite-domain program is
+///     computed in full, and evaluation terminates;
+///   * call capture — every subgoal encountered under the left-to-right
+///     selection rule is recorded, so input patterns (e.g. input
+///     groundness) come for free from the call table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_ENGINE_SOLVER_H
+#define LPA_ENGINE_SOLVER_H
+
+#include "engine/Builtins.h"
+#include "engine/Database.h"
+#include "term/TermStore.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lpa {
+
+/// Counters describing one evaluation (the paper reports table space and
+/// uses call/answer tables as the analysis result).
+struct EvalStats {
+  uint64_t ClauseResolutions = 0; ///< Program-clause resolution attempts.
+  uint64_t TabledCalls = 0;       ///< Tabled call sites executed.
+  uint64_t SubgoalsCreated = 0;   ///< Distinct tabled subgoals (variants).
+  uint64_t AnswersRecorded = 0;   ///< Unique answers entered in tables.
+  uint64_t AnswersDuplicate = 0;  ///< Answers rejected by variant check.
+  uint64_t FixpointRounds = 0;    ///< SCC iteration rounds.
+  uint64_t DepthLimitHits = 0;    ///< Searches pruned by the depth limit.
+};
+
+/// One tabled subgoal: the canonicalized call, its answers, and SCC
+/// bookkeeping used for completion.
+/// Persistent intermediate state of evaluating one pure clause for one
+/// subgoal: the deduplicated set of partial derivations ("supplementary
+/// tables", the optimization the paper points to for deep clause bodies).
+/// Levels[j] holds the states with the first j body goals solved; a
+/// producer re-run pushes only *new* answers through these frontiers.
+struct ClauseFrontier {
+  TermStore Store;
+  /// Levels[j]: states with the first j body goals solved. A state is
+  /// $state(Call, V...) carrying the call instance plus the bindings of
+  /// exactly the clause variables still *live* (occurring in a goal >= j);
+  /// goals themselves are rebuilt from the clause templates, so states
+  /// stay small and dead bindings do not defeat deduplication.
+  std::vector<std::vector<TermRef>> Levels;
+  std::vector<std::unordered_set<std::string>> Keys;
+  /// Distinct variables of the clause body, in the database store.
+  std::vector<TermRef> TemplateVars;
+  /// LiveIdx[j]: indices into TemplateVars of the variables live at j.
+  std::vector<std::vector<uint32_t>> LiveIdx;
+  uint64_t Watermark = 0; ///< Global answer seq at the previous run's start.
+  bool Initialized = false;
+  bool HeadFailed = false;
+
+  size_t memoryBytes() const;
+};
+
+struct Subgoal {
+  PredKey Pred;
+  TermRef CallTerm; ///< Copy of the call in the table store.
+  std::string Key;  ///< Canonical (variant) key of the call.
+  std::vector<TermRef> Answers; ///< Instances of CallTerm, table store.
+  std::vector<uint64_t> AnswerSeq; ///< Global sequence number per answer.
+  std::unordered_set<std::string> AnswerKeys;
+  bool Complete = false;
+
+  // Completion (approximate Tarjan SCC) machinery.
+  uint64_t Dfn = 0;
+  uint64_t MinLink = 0;
+  bool OnStack = false;
+  size_t StackPos = 0;
+
+  // Semi-naive scheduling: producers that consumed our answers while we
+  // were incomplete; they re-run only when we gain an answer.
+  std::unordered_set<Subgoal *> Consumers;
+  bool Dirty = true;
+
+  /// Supplementary tables, one per pure clause (freed on completion).
+  std::vector<std::unique_ptr<ClauseFrontier>> Frontiers;
+};
+
+/// Evaluation engine over one Database.
+///
+/// The solver owns a scratch heap for resolution (exposed via store()) and
+/// a table store holding subgoals and answers, which persist across solve()
+/// calls until clearTables().
+class Solver {
+public:
+  /// Tunables.
+  struct Options {
+    /// Maximum resolution depth for nontabled recursion; exceeding it
+    /// fails that branch and sets EvalStats::DepthLimitHits (a safety
+    /// valve, not part of the paper's semantics).
+    size_t MaxDepth = 100000;
+    /// Perform the occur check in unification (Section 6 discussion).
+    bool OccursCheck = false;
+    /// Evaluate pure clause bodies of tabled predicates set-at-a-time
+    /// with persistent intermediate frontiers, pushing only new answers
+    /// through on re-runs ("supplementary tabling", Section 4.2's
+    /// suggested optimization). Off = plain tuple-at-a-time re-runs (the
+    /// ablation the benches report).
+    bool SupplementaryTabling = true;
+  };
+
+  explicit Solver(Database &DB);
+  Solver(Database &DB, Options Opts);
+
+  /// The scratch store in which callers build query goals.
+  TermStore &store() { return Heap; }
+  const TermStore &storeConst() const { return Heap; }
+
+  /// Called on each solution; return true to stop the search.
+  using SolutionFn = std::function<bool()>;
+
+  /// Proves \p Goal (a term in store()). \p OnSolution fires with the
+  /// goal's variables bound; bindings are undone as the search backtracks,
+  /// so callers must copy out what they need.
+  /// \returns the number of solutions delivered.
+  size_t solve(TermRef Goal, const SolutionFn &OnSolution);
+
+  /// Proves \p Goal, collecting up to \p Limit solution snapshots (resolved
+  /// copies of the goal) into \p Out. Snapshots must not be collected into
+  /// store() itself: the solver truncates its scratch heap on backtracking.
+  std::vector<TermRef> solveAll(TermRef Goal, TermStore &Out,
+                                size_t Limit = SIZE_MAX);
+
+  /// True if \p Goal has at least one solution.
+  bool solveOnce(TermRef Goal);
+
+  /// Parses \p GoalText and proves it. Convenience for tests/examples.
+  ErrorOr<size_t> solveText(std::string_view GoalText,
+                            const SolutionFn &OnSolution);
+
+  /// \name Table inspection (the analysis result interface).
+  /// @{
+
+  /// The store holding subgoal call terms and answers.
+  const TermStore &tableStore() const { return Tables; }
+
+  /// Iterates all subgoals in creation order.
+  const std::vector<Subgoal *> &subgoals() const { return SubgoalOrder; }
+
+  /// \returns the completed subgoal variant of \p Call (a term in
+  /// store()), or nullptr if that variant was never called.
+  const Subgoal *findSubgoal(TermRef Call) const;
+
+  /// Bytes attributable to the tables: call/answer terms, variant keys,
+  /// index structures. This is the paper's "Table space" column.
+  size_t tableSpaceBytes() const;
+
+  /// Drops all tables (subgoals and answers).
+  void clearTables();
+
+  /// @}
+
+  /// \name Answer aggregation (Section 6.2).
+  ///
+  /// A predicate with a registered join keeps ONE answer per subgoal: the
+  /// lattice join of everything derived so far, recomputed on each new
+  /// derivation and replaced when it grows. Joins must be monotone
+  /// over-approximations (e.g. anti-unification), which keeps fixpoint
+  /// computation terminating and sound. This is the paper's "answer
+  /// collection via generic aggregation" realized as mode-directed
+  /// tabling: analyses that only need per-argument summaries trade the
+  /// full truth tables for constant-size answer entries.
+  /// @{
+
+  /// Joins two answers (both terms in \p Store); returns the join, built
+  /// in \p Store.
+  using AnswerJoinFn =
+      std::function<TermRef(TermStore &Store, TermRef A, TermRef B)>;
+
+  /// Registers \p Join for \p Pred. Must be called before the predicate
+  /// is first evaluated.
+  void setAnswerJoin(PredKey Pred, AnswerJoinFn Join);
+
+  /// @}
+
+  /// Resets the scratch heap. Invalidates terms previously built in
+  /// store(); tables are unaffected.
+  void resetHeap() { Heap.clear(); }
+
+  const EvalStats &stats() const { return Stats; }
+  void resetStats() { Stats = EvalStats(); }
+
+private:
+  /// Linked-list resolvent; nodes live in GoalArena for the duration of a
+  /// query.
+  struct GoalNode {
+    TermRef Goal;
+    const GoalNode *Next;
+  };
+
+  /// Result of exploring a branch: how backtracking should proceed.
+  struct Signal {
+    enum Kind : uint8_t {
+      Exhausted, ///< All alternatives tried; keep backtracking normally.
+      Stop,      ///< A callback asked to end the whole search.
+      CutTo,     ///< A cut fired; unwind clause choices up to Level.
+    } K = Exhausted;
+    uint64_t Level = 0;
+
+    static Signal exhausted() { return {Exhausted, 0}; }
+    static Signal stop() { return {Stop, 0}; }
+    static Signal cutTo(uint64_t L) { return {CutTo, L}; }
+  };
+
+  Signal solveGoals(const GoalNode *Goals, size_t Depth, uint64_t CutLevel,
+                    const SolutionFn &OnSolution);
+  Signal solveCall(TermRef Goal, const GoalNode *Rest, size_t Depth,
+                   uint64_t CutLevel, const SolutionFn &OnSolution);
+  Signal solveNontabled(const Predicate &P, TermRef Goal,
+                        const GoalNode *Rest, size_t Depth,
+                        const SolutionFn &OnSolution);
+  Signal solveTabled(const Predicate &P, TermRef Goal, const GoalNode *Rest,
+                     size_t Depth, uint64_t CutLevel,
+                     const SolutionFn &OnSolution);
+  Signal solveBuiltin(BuiltinKind Kind, TermRef Goal, const GoalNode *Rest,
+                      size_t Depth, uint64_t CutLevel,
+                      const SolutionFn &OnSolution);
+  Signal solveIff(TermRef Goal, const GoalNode *Rest, size_t Depth,
+                  uint64_t CutLevel, const SolutionFn &OnSolution);
+
+  /// Runs the clause-resolution producer for \p SG once; new answers go to
+  /// the table. \returns true if any new answer was recorded. With
+  /// supplementary tabling on, pure clause bodies (no cut/negation/
+  /// disjunction/metacall) evaluate through persistent state frontiers so
+  /// re-runs cost only the propagation of new answers; impure bodies fall
+  /// back to tuple-at-a-time SLD.
+  bool runProducer(Subgoal &SG);
+
+  /// Semi-naive evaluation of pure clause \p C (index \p ClauseIdx in its
+  /// predicate) for \p SG, through the subgoal's ClauseFrontier.
+  void runClauseSupplementary(Subgoal &SG, const Clause &C, size_t ClauseIdx,
+                              size_t NumClauses);
+
+  /// Solves the single pure goal \p G under the current heap bindings.
+  /// \p MinSeq > 0 marks a re-propagation pass: only tabled answers with
+  /// sequence number above it are consumed, and goals whose solutions
+  /// cannot have changed (builtins, static nontabled predicates) yield
+  /// nothing.
+  void solveSemiGoal(TermRef G, uint64_t MinSeq,
+                     const std::function<void()> &OnSolution);
+
+  /// \returns true if every body goal of \p C is free of control
+  /// constructs (evaluable set-at-a-time).
+  bool clauseIsPure(const Clause &C) const;
+
+  /// \returns true if the solutions of nontabled \p Key can never change
+  /// (no tabled predicate reachable from it).
+  bool isStaticPred(PredKey Key);
+
+  /// Creates/loads the subgoal for \p Goal and drives it as far toward
+  /// completion as its SCC allows.
+  Subgoal &ensureSubgoal(TermRef Goal, PredKey Key);
+
+  /// Records \p Instance (resolved call in Heap) as an answer of \p SG.
+  bool recordAnswer(Subgoal &SG, TermRef Instance);
+
+  const GoalNode *makeGoals(const std::vector<TermRef> &Goals,
+                            const GoalNode *Tail);
+  const GoalNode *makeGoal(TermRef Goal, const GoalNode *Tail);
+
+  Database &DB;
+  SymbolTable &Symbols;
+  Options Opts;
+  BuiltinTable Builtins;
+
+  TermStore Heap;   ///< Scratch resolution heap.
+  TermStore Tables; ///< Call/answer terms.
+
+  std::unordered_map<std::string, std::unique_ptr<Subgoal>> SubgoalTable;
+  std::vector<Subgoal *> SubgoalOrder;
+  std::vector<Subgoal *> CompletionStack;
+  std::vector<Subgoal *> ProducerStack;
+  uint64_t DfnCounter = 0;
+  uint64_t CutCounter = 0;
+  uint64_t AnswerSeqCounter = 0;
+  std::unordered_map<uint64_t, bool> StaticPredCache;
+  /// Highest answer sequence per predicate (for frontier skip checks).
+  std::unordered_map<uint64_t, uint64_t> PredMaxAnswerSeq;
+  /// Per-predicate answer joins (Section 6.2 aggregation).
+  std::unordered_map<uint64_t, AnswerJoinFn> AnswerJoins;
+
+  std::vector<std::unique_ptr<GoalNode>> GoalArena;
+  EvalStats Stats;
+};
+
+/// Evaluates an arithmetic expression over integers (is/2 and comparisons).
+/// \returns std::nullopt on type errors or unbound variables.
+std::optional<int64_t> evalArith(const TermStore &Store,
+                                 const SymbolTable &Symbols, TermRef T);
+
+} // namespace lpa
+
+#endif // LPA_ENGINE_SOLVER_H

@@ -1,0 +1,124 @@
+//===- FLAst.h - Lazy functional language AST -------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the small lazy first-order functional language the strictness
+/// analysis of Section 3.2 consumes (an EQUALS-like equational language):
+/// programs are sets of equations f(p1..pn) = expr with constructor
+/// patterns on the left and applications, constructors, primitives and
+/// literals on the right.
+///
+/// Concrete syntax example (see src/corpus for complete programs):
+/// \code
+///   ap(nil, ys) = ys.
+///   ap(cons(x, xs), ys) = cons(x, ap(xs, ys)).
+///   len(nil) = 0.
+///   len(cons(x, xs)) = 1 + len(xs).
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_FL_FLAST_H
+#define LPA_FL_FLAST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// A left-hand-side pattern.
+struct FLPattern {
+  enum class Kind : uint8_t {
+    Var,    ///< Pattern variable.
+    Ctor,   ///< Constructor application (possibly 0-ary).
+    IntLit, ///< Integer literal.
+  };
+
+  Kind K;
+  std::string Name; ///< Variable or constructor name.
+  int64_t IntValue = 0;
+  std::vector<FLPattern> Args; ///< Constructor arguments.
+
+  static FLPattern var(std::string Name) {
+    return {Kind::Var, std::move(Name), 0, {}};
+  }
+  static FLPattern ctor(std::string Name, std::vector<FLPattern> Args = {}) {
+    return {Kind::Ctor, std::move(Name), 0, std::move(Args)};
+  }
+  static FLPattern lit(int64_t V) { return {Kind::IntLit, "", V, {}}; }
+};
+
+/// A right-hand-side expression.
+struct FLExpr {
+  enum class Kind : uint8_t {
+    Var,    ///< Reference to a pattern variable.
+    Call,   ///< Application of a user-defined function.
+    Ctor,   ///< Constructor application (possibly 0-ary).
+    Prim,   ///< Primitive (strict) operator: + - * // mod < =< ...
+    IntLit, ///< Integer literal.
+  };
+
+  Kind K;
+  std::string Name;
+  int64_t IntValue = 0;
+  std::vector<FLExpr> Args;
+};
+
+/// One defining equation of a function.
+struct FLEquation {
+  std::string Func;
+  std::vector<FLPattern> Params;
+  FLExpr Rhs;
+};
+
+/// An algebraic-data-type declaration: ":- adt(tree, [leaf, node(tree,
+/// tree)])." — constructor field specs are type names, nested type
+/// applications, or (Prolog-style, uppercase) type variables that must
+/// appear in the declared head.
+struct FLAdtDecl {
+  std::string Name;
+  std::vector<std::string> Params; ///< Type-variable names of the head.
+  struct Ctor {
+    std::string Name;
+    /// Field types rendered as terms over Params and other ADT names,
+    /// e.g. "list(A)" or "tree"; kept as source text and re-parsed by the
+    /// type checker into its own store.
+    std::vector<std::string> Fields;
+  };
+  std::vector<Ctor> Ctors;
+};
+
+/// A whole program.
+struct FLProgram {
+  std::vector<FLEquation> Equations;
+
+  /// ADT declarations (for the Section 6.1 type analysis).
+  std::vector<FLAdtDecl> Adts;
+
+  /// Function names with arities, in definition order.
+  std::vector<std::pair<std::string, uint32_t>> Functions;
+
+  /// Constructor names with arities used anywhere in the program.
+  std::vector<std::pair<std::string, uint32_t>> Constructors;
+
+  /// Primitive operators used (name, arity).
+  std::vector<std::pair<std::string, uint32_t>> Primitives;
+
+  /// \returns the arity of function \p Name, or -1 if undefined.
+  int functionArity(const std::string &Name) const {
+    for (const auto &[F, A] : Functions)
+      if (F == Name)
+        return static_cast<int>(A);
+    return -1;
+  }
+};
+
+} // namespace lpa
+
+#endif // LPA_FL_FLAST_H

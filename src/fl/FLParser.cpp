@@ -1,0 +1,341 @@
+//===- FLParser.cpp - Functional language frontend ----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fl/FLParser.h"
+
+#include "reader/Parser.h"
+#include "term/TermWriter.h"
+#include "term/Symbol.h"
+#include "term/TermStore.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lpa;
+
+bool FLParser::isBuiltinNullaryCtor(const std::string &Name) {
+  static const std::set<std::string> Builtin{
+      "nil", "true", "false", "nothing", "empty", "leaf", "unit", "zero"};
+  return Builtin.count(Name) > 0;
+}
+
+bool FLParser::isPrimitive(const std::string &Name, uint32_t Arity) {
+  static const std::set<std::string> Binary{
+      "+", "-", "*", "//", "/", "mod", "rem", "<", "=<",
+      ">", ">=", "==", "\\==", "min", "max"};
+  static const std::set<std::string> Unary{"-", "abs"};
+  if (Arity == 2)
+    return Binary.count(Name) > 0;
+  if (Arity == 1)
+    return Unary.count(Name) > 0;
+  return false;
+}
+
+namespace {
+
+/// Builder holding the name environment while converting parsed terms.
+class FLBuilder {
+public:
+  FLBuilder(SymbolTable &Syms, const TermStore &Store)
+      : Syms(Syms), Store(Store) {}
+
+  ErrorOr<FLProgram> run(const std::vector<TermRef> &Clauses);
+
+private:
+  ErrorOr<bool> scanClause(TermRef Clause);
+  ErrorOr<bool> handleAdtDecl(TermRef Decl);
+  ErrorOr<bool> buildEquation(TermRef Lhs, TermRef Rhs);
+  ErrorOr<FLPattern> buildPattern(TermRef T, std::set<std::string> &Vars);
+  ErrorOr<FLExpr> buildExpr(TermRef T, const std::set<std::string> &Vars);
+  ErrorOr<bool> handleDataDecl(TermRef Spec);
+
+  void registerCtor(const std::string &Name, uint32_t Arity) {
+    Ctors.insert({Name, Arity});
+  }
+  bool isCtor(const std::string &Name, uint32_t Arity) const {
+    if (Ctors.count({Name, Arity}))
+      return true;
+    return Arity == 0 && FLParser::isBuiltinNullaryCtor(Name);
+  }
+  bool isFunction(const std::string &Name, uint32_t Arity) const {
+    auto It = Funcs.find(Name);
+    return It != Funcs.end() && It->second == Arity;
+  }
+
+  SymbolTable &Syms;
+  const TermStore &Store;
+  std::map<std::string, uint32_t> Funcs; ///< name -> arity
+  std::vector<std::string> FuncOrder;
+  std::set<std::pair<std::string, uint32_t>> Ctors;
+  std::set<std::pair<std::string, uint32_t>> PrimsUsed;
+  FLProgram Program;
+};
+
+ErrorOr<bool> FLBuilder::handleDataDecl(TermRef Spec) {
+  TermRef D = Store.deref(Spec);
+  // Comma-separated list of name/arity specs.
+  if (Store.tag(D) == TermTag::Struct && Store.symbol(D) == Syms.Comma &&
+      Store.arity(D) == 2) {
+    auto L = handleDataDecl(Store.arg(D, 0));
+    if (!L)
+      return L;
+    return handleDataDecl(Store.arg(D, 1));
+  }
+  SymbolId Slash = Syms.intern("/");
+  if (Store.tag(D) == TermTag::Struct && Store.symbol(D) == Slash &&
+      Store.arity(D) == 2) {
+    TermRef NameT = Store.deref(Store.arg(D, 0));
+    TermRef ArityT = Store.deref(Store.arg(D, 1));
+    if (Store.tag(NameT) == TermTag::Atom && Store.tag(ArityT) == TermTag::Int) {
+      registerCtor(Syms.name(Store.symbol(NameT)),
+                   static_cast<uint32_t>(Store.intValue(ArityT)));
+      return true;
+    }
+  }
+  return Diagnostic("malformed data declaration; expected name/arity");
+}
+
+ErrorOr<bool> FLBuilder::handleAdtDecl(TermRef Decl) {
+  TermRef D = Store.deref(Decl);
+  if (!(Store.tag(D) == TermTag::Struct && Store.arity(D) == 2))
+    return Diagnostic("adt declaration must be adt(Head, [Ctors...])");
+
+  FLAdtDecl Adt;
+  TermWriter W(Syms, Store); // One writer keeps type-var names coherent.
+
+  TermRef Head = Store.deref(Store.arg(D, 0));
+  if (Store.tag(Head) == TermTag::Atom) {
+    Adt.Name = Syms.name(Store.symbol(Head));
+  } else if (Store.tag(Head) == TermTag::Struct) {
+    Adt.Name = Syms.name(Store.symbol(Head));
+    for (uint32_t I = 0, E = Store.arity(Head); I < E; ++I) {
+      TermRef P = Store.deref(Store.arg(Head, I));
+      if (Store.tag(P) != TermTag::Ref)
+        return Diagnostic("adt head parameters must be type variables");
+      Adt.Params.push_back(W.str(P));
+    }
+  } else {
+    return Diagnostic("adt head must be a name or name(Vars...)");
+  }
+
+  TermRef L = Store.deref(Store.arg(D, 1));
+  while (Store.tag(L) == TermTag::Struct && Store.symbol(L) == Syms.Cons &&
+         Store.arity(L) == 2) {
+    TermRef C = Store.deref(Store.arg(L, 0));
+    TermTag CT = Store.tag(C);
+    if (CT != TermTag::Atom && CT != TermTag::Struct)
+      return Diagnostic("adt constructor spec must be c or c(Types...)");
+    FLAdtDecl::Ctor Ctor;
+    Ctor.Name = Syms.name(Store.symbol(C));
+    for (uint32_t I = 0, E = Store.arity(C); I < E; ++I)
+      Ctor.Fields.push_back(W.str(Store.arg(C, I)));
+    registerCtor(Ctor.Name, Store.arity(C));
+    Adt.Ctors.push_back(std::move(Ctor));
+    L = Store.deref(Store.arg(L, 1));
+  }
+  Program.Adts.push_back(std::move(Adt));
+  return true;
+}
+
+ErrorOr<bool> FLBuilder::scanClause(TermRef Clause) {
+  TermRef D = Store.deref(Clause);
+  // Directive?
+  if (Store.tag(D) == TermTag::Struct && Store.symbol(D) == Syms.Neck &&
+      Store.arity(D) == 1) {
+    TermRef Body = Store.deref(Store.arg(D, 0));
+    SymbolId Data = Syms.intern("data");
+    SymbolId Adt = Syms.intern("adt");
+    if (Store.tag(Body) == TermTag::Struct && Store.symbol(Body) == Data)
+      return handleDataDecl(Store.arg(Body, 0));
+    if (Store.tag(Body) == TermTag::Struct && Store.symbol(Body) == Adt)
+      return handleAdtDecl(Body);
+    return true; // Other directives ignored.
+  }
+
+  SymbolId Eq = Syms.intern("=");
+  if (!(Store.tag(D) == TermTag::Struct && Store.symbol(D) == Eq &&
+        Store.arity(D) == 2))
+    return Diagnostic("every FL clause must be an equation lhs = rhs");
+
+  TermRef Lhs = Store.deref(Store.arg(D, 0));
+  TermTag LT = Store.tag(Lhs);
+  if (LT != TermTag::Atom && LT != TermTag::Struct)
+    return Diagnostic("equation left-hand side must be f(patterns...)");
+
+  std::string Name = Syms.name(Store.symbol(Lhs));
+  uint32_t Arity = Store.arity(Lhs);
+  auto [It, Inserted] = Funcs.emplace(Name, Arity);
+  if (Inserted)
+    FuncOrder.push_back(Name);
+  else if (It->second != Arity)
+    return Diagnostic("function '" + Name + "' defined at two arities");
+
+  // Register every compound subterm of the patterns as a constructor.
+  std::vector<TermRef> Work;
+  for (uint32_t I = 0; I < Arity; ++I)
+    Work.push_back(Store.arg(Lhs, I));
+  while (!Work.empty()) {
+    TermRef T = Store.deref(Work.back());
+    Work.pop_back();
+    if (Store.tag(T) != TermTag::Struct)
+      continue;
+    registerCtor(Syms.name(Store.symbol(T)), Store.arity(T));
+    for (uint32_t I = 0, E = Store.arity(T); I < E; ++I)
+      Work.push_back(Store.arg(T, I));
+  }
+  return true;
+}
+
+ErrorOr<FLPattern> FLBuilder::buildPattern(TermRef T,
+                                           std::set<std::string> &Vars) {
+  T = Store.deref(T);
+  switch (Store.tag(T)) {
+  case TermTag::Ref:
+    return Diagnostic("FL variables are lowercase; found a Prolog-style "
+                      "uppercase variable in a pattern");
+  case TermTag::Int:
+    return FLPattern::lit(Store.intValue(T));
+  case TermTag::Atom: {
+    std::string Name = Syms.name(Store.symbol(T));
+    if (isCtor(Name, 0)) {
+      registerCtor(Name, 0); // Builtin 0-ary ctors reach the program list.
+      return FLPattern::ctor(Name);
+    }
+    if (Funcs.count(Name))
+      return Diagnostic("function '" + Name + "' used in a pattern");
+    if (!Vars.insert(Name).second)
+      return Diagnostic("non-linear pattern: variable '" + Name +
+                        "' repeats");
+    return FLPattern::var(Name);
+  }
+  case TermTag::Struct: {
+    std::string Name = Syms.name(Store.symbol(T));
+    uint32_t Arity = Store.arity(T);
+    if (isFunction(Name, Arity))
+      return Diagnostic("function '" + Name + "' used in a pattern");
+    std::vector<FLPattern> Args;
+    for (uint32_t I = 0; I < Arity; ++I) {
+      auto Sub = buildPattern(Store.arg(T, I), Vars);
+      if (!Sub)
+        return Sub.getError();
+      Args.push_back(std::move(*Sub));
+    }
+    return FLPattern::ctor(Name, std::move(Args));
+  }
+  }
+  return Diagnostic("unsupported pattern");
+}
+
+ErrorOr<FLExpr> FLBuilder::buildExpr(TermRef T,
+                                     const std::set<std::string> &Vars) {
+  T = Store.deref(T);
+  switch (Store.tag(T)) {
+  case TermTag::Ref:
+    return Diagnostic("FL variables are lowercase; found a Prolog-style "
+                      "uppercase variable in an expression");
+  case TermTag::Int:
+    return FLExpr{FLExpr::Kind::IntLit, "", Store.intValue(T), {}};
+  case TermTag::Atom: {
+    std::string Name = Syms.name(Store.symbol(T));
+    if (Vars.count(Name))
+      return FLExpr{FLExpr::Kind::Var, Name, 0, {}};
+    if (isFunction(Name, 0))
+      return FLExpr{FLExpr::Kind::Call, Name, 0, {}};
+    if (isCtor(Name, 0)) {
+      Ctors.insert({Name, 0});
+      return FLExpr{FLExpr::Kind::Ctor, Name, 0, {}};
+    }
+    return Diagnostic("unknown name '" + Name +
+                      "' in expression (not a pattern variable, function, "
+                      "or declared constructor)");
+  }
+  case TermTag::Struct: {
+    std::string Name = Syms.name(Store.symbol(T));
+    uint32_t Arity = Store.arity(T);
+    std::vector<FLExpr> Args;
+    for (uint32_t I = 0; I < Arity; ++I) {
+      auto Sub = buildExpr(Store.arg(T, I), Vars);
+      if (!Sub)
+        return Sub.getError();
+      Args.push_back(std::move(*Sub));
+    }
+    if (isFunction(Name, Arity))
+      return FLExpr{FLExpr::Kind::Call, Name, 0, std::move(Args)};
+    if (FLParser::isPrimitive(Name, Arity)) {
+      PrimsUsed.insert({Name, Arity});
+      return FLExpr{FLExpr::Kind::Prim, Name, 0, std::move(Args)};
+    }
+    if (isCtor(Name, Arity))
+      return FLExpr{FLExpr::Kind::Ctor, Name, 0, std::move(Args)};
+    if (Funcs.count(Name))
+      return Diagnostic("function '" + Name + "' applied at wrong arity");
+    // New constructor used only on a right-hand side: register it.
+    Ctors.insert({Name, Arity});
+    return FLExpr{FLExpr::Kind::Ctor, Name, 0, std::move(Args)};
+  }
+  }
+  return Diagnostic("unsupported expression");
+}
+
+ErrorOr<bool> FLBuilder::buildEquation(TermRef Lhs, TermRef Rhs) {
+  FLEquation Eq;
+  Eq.Func = Syms.name(Store.symbol(Lhs));
+  std::set<std::string> Vars;
+  for (uint32_t I = 0, E = Store.arity(Lhs); I < E; ++I) {
+    auto P = buildPattern(Store.arg(Lhs, I), Vars);
+    if (!P)
+      return P.getError();
+    Eq.Params.push_back(std::move(*P));
+  }
+  auto R = buildExpr(Rhs, Vars);
+  if (!R)
+    return R.getError();
+  Eq.Rhs = std::move(*R);
+  Program.Equations.push_back(std::move(Eq));
+  return true;
+}
+
+ErrorOr<FLProgram> FLBuilder::run(const std::vector<TermRef> &Clauses) {
+  // Pass 1: function names and pattern constructors.
+  for (TermRef C : Clauses) {
+    auto R = scanClause(C);
+    if (!R)
+      return R.getError();
+  }
+  // Pass 2: equations.
+  SymbolId Eq = Syms.intern("=");
+  for (TermRef C : Clauses) {
+    TermRef D = Store.deref(C);
+    if (Store.tag(D) == TermTag::Struct && Store.symbol(D) == Syms.Neck)
+      continue; // Directive, handled in pass 1.
+    auto R = buildEquation(Store.deref(Store.arg(D, 0)),
+                           Store.deref(Store.arg(D, 1)));
+    if (!R)
+      return R.getError();
+    (void)Eq;
+  }
+
+  for (const std::string &F : FuncOrder)
+    Program.Functions.emplace_back(F, Funcs[F]);
+  for (const auto &C : Ctors)
+    Program.Constructors.push_back(C);
+  for (const auto &P : PrimsUsed)
+    Program.Primitives.push_back(P);
+  return std::move(Program);
+}
+
+} // namespace
+
+ErrorOr<FLProgram> FLParser::parse(std::string_view Source) {
+  SymbolTable Syms;
+  TermStore Store;
+  auto Clauses = Parser::parseProgram(Syms, Store, Source);
+  if (!Clauses)
+    return Clauses.getError();
+  FLBuilder Builder(Syms, Store);
+  return Builder.run(*Clauses);
+}

@@ -1,0 +1,50 @@
+//===- FLParser.h - Functional language frontend ----------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses EQUALS-like equational programs. The concrete syntax reuses the
+/// Prolog reader (equations are '='/2 terms); this module resolves names:
+///
+///  * a name defined by some equation head is a *function*;
+///  * a compound term in a pattern is a *constructor* (auto-registered);
+///  * 0-ary constructors come from a builtin table (nil, true, false, ...)
+///    or a ":- data name/arity, ..." declaration;
+///  * any other lowercase name in a pattern is a *pattern variable*;
+///  * in an expression, pattern variables shadow everything, then defined
+///    functions, then constructors; unknown applied names are errors;
+///  * arithmetic/comparison operators are strict *primitives*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_FL_FLPARSER_H
+#define LPA_FL_FLPARSER_H
+
+#include "fl/FLAst.h"
+#include "support/Error.h"
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace lpa {
+
+/// Parses FL source text into an FLProgram.
+class FLParser {
+public:
+  /// Parses \p Source; returns the program or a diagnostic.
+  static ErrorOr<FLProgram> parse(std::string_view Source);
+
+  /// \returns true if \p Name is a builtin 0-ary constructor.
+  static bool isBuiltinNullaryCtor(const std::string &Name);
+
+  /// \returns true if \p Name/\p Arity is a strict primitive operator.
+  static bool isPrimitive(const std::string &Name, uint32_t Arity);
+};
+
+} // namespace lpa
+
+#endif // LPA_FL_FLPARSER_H

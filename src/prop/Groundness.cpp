@@ -1,0 +1,196 @@
+//===- Groundness.cpp - Prop groundness analyzer -----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prop/Groundness.h"
+
+#include "reader/Parser.h"
+#include "support/Stopwatch.h"
+
+#include <unordered_map>
+
+using namespace lpa;
+
+const PredGroundness *GroundnessResult::find(const std::string &Name,
+                                             uint32_t Arity) const {
+  for (const PredGroundness &P : Predicates)
+    if (P.Name == Name && P.Arity == Arity)
+      return &P;
+  return nullptr;
+}
+
+void lpa::expandAnswerTuple(const TermStore &Store, const SymbolTable &Symbols,
+                            const std::vector<TermRef> &Args,
+                            TruthTable &Table) {
+  // Classify each argument: fixed truth value or a variable index. Shared
+  // variables receive the same index so they expand consistently.
+  std::unordered_map<TermRef, size_t> VarIndex;
+  struct Slot {
+    bool IsVar;
+    bool Value;   // When !IsVar.
+    size_t Index; // When IsVar.
+  };
+  std::vector<Slot> Slots;
+  for (TermRef A : Args) {
+    TermRef D = Store.deref(A);
+    if (Store.tag(D) == TermTag::Ref) {
+      auto [It, _] = VarIndex.emplace(D, VarIndex.size());
+      Slots.push_back({true, false, It->second});
+      continue;
+    }
+    // Anything that is not the atom 'true' counts as false; the abstract
+    // program only ever binds arguments to true/false.
+    bool V = Store.tag(D) == TermTag::Atom &&
+             Store.symbol(D) == Symbols.BoolTrue;
+    Slots.push_back({false, V, 0});
+  }
+
+  size_t NumVars = VarIndex.size();
+  assert(NumVars < 24 && "unreasonable number of free answer variables");
+  for (uint64_t Mask = 0; Mask < (uint64_t(1) << NumVars); ++Mask) {
+    BoolTuple Row;
+    Row.reserve(Slots.size());
+    for (const Slot &S : Slots)
+      Row.push_back(S.IsVar ? ((Mask >> S.Index) & 1) != 0 : S.Value);
+    Table.insert(std::move(Row));
+  }
+}
+
+ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
+  GroundnessResult Result;
+  Stopwatch Phase;
+
+  //--- Preprocessing: read, transform (Figure 1), load as dynamic code. ---
+  TermStore AbsStore;
+  PropTransformer Transformer(Symbols);
+  auto Program = Transformer.transformText(Source, AbsStore);
+  if (!Program)
+    return Program.getError();
+
+  Database AbsDB(Symbols);
+  auto Loaded = AbsDB.loadProgram(AbsStore, Program->Clauses);
+  if (!Loaded)
+    return Loaded.getError();
+  AbsDB.tableAllPredicates();
+  Result.PreprocSeconds = Phase.elapsedSeconds();
+
+  //--- Analysis: evaluate the open call of every predicate. --------------
+  Phase.restart();
+  Solver Engine(AbsDB);
+  if (Opts.AggregateModes) {
+    // Section 6.2: one joined answer per subgoal. The join is the
+    // pointwise least upper bound of boolean tuples: agreeing positions
+    // keep their value, disagreeing ones widen to a fresh variable
+    // ("either value").
+    Solver::AnswerJoinFn Join = [](TermStore &TS, TermRef A,
+                                   TermRef B) -> TermRef {
+      TermRef DA = TS.deref(A), DB2 = TS.deref(B);
+      if (TS.tag(DA) != TermTag::Struct)
+        return DA; // 0-ary predicates: nothing to join.
+      std::vector<TermRef> Args;
+      bool Same = true;
+      for (uint32_t I = 0, E = TS.arity(DA); I < E; ++I) {
+        TermRef X = TS.deref(TS.arg(DA, I));
+        TermRef Y = TS.deref(TS.arg(DB2, I));
+        bool BothAtoms =
+            TS.tag(X) == TermTag::Atom && TS.tag(Y) == TermTag::Atom;
+        if (BothAtoms && TS.symbol(X) == TS.symbol(Y)) {
+          Args.push_back(X);
+        } else if (TS.tag(X) == TermTag::Ref) {
+          Args.push_back(X); // Already "either value".
+        } else {
+          Args.push_back(TS.mkVar());
+          Same = false;
+        }
+      }
+      if (Same)
+        return DA;
+      return TS.mkStruct(TS.symbol(DA), Args);
+    };
+    for (PredKey P : Program->Predicates)
+      Engine.setAnswerJoin(
+          {Transformer.abstractSymbol(P.Sym), P.Arity}, Join);
+  }
+  std::vector<std::pair<PredKey, TermRef>> OpenCalls;
+  for (PredKey P : Program->Predicates) {
+    SymbolId AbsSym = Transformer.abstractSymbol(P.Sym);
+    TermRef Call;
+    if (P.Arity == 0) {
+      Call = Engine.store().mkAtom(AbsSym);
+    } else {
+      std::vector<TermRef> Args;
+      for (uint32_t I = 0; I < P.Arity; ++I)
+        Args.push_back(Engine.store().mkVar());
+      Call = Engine.store().mkStruct(AbsSym, Args);
+    }
+    OpenCalls.emplace_back(P, Call);
+    Engine.solve(Call, nullptr); // Run to completion; answers go to tables.
+  }
+  Result.AnalysisSeconds = Phase.elapsedSeconds();
+
+  //--- Collection: fold tables into groundness results. ------------------
+  Phase.restart();
+  Result.TableSpaceBytes = Engine.tableSpaceBytes();
+  Result.Stats = Engine.stats();
+
+  // Output groundness from the open call's answer table.
+  std::unordered_map<SymbolId, size_t> ByAbsSym;
+  for (auto &[Pred, Call] : OpenCalls) {
+    PredGroundness PG;
+    PG.Name = Symbols.name(Pred.Sym);
+    PG.Arity = Pred.Arity;
+    const Subgoal *SG = Engine.findSubgoal(Call);
+    if (SG) {
+      const TermStore &TS = Engine.tableStore();
+      for (TermRef Ans : SG->Answers) {
+        std::vector<TermRef> Args;
+        for (uint32_t I = 0; I < Pred.Arity; ++I)
+          Args.push_back(TS.arg(TS.deref(Ans), I));
+        expandAnswerTuple(TS, Symbols, Args, PG.SuccessSet);
+      }
+    }
+    ByAbsSym.emplace(Transformer.abstractSymbol(Pred.Sym),
+                     Result.Predicates.size());
+    Result.Predicates.push_back(std::move(PG));
+  }
+
+  // Input groundness from the call table: every recorded subgoal is a call
+  // pattern (left-to-right evaluation; Section 3.1 "Input and Output
+  // Groundness").
+  const TermStore &TS = Engine.tableStore();
+  for (const Subgoal *SG : Engine.subgoals()) {
+    auto It = ByAbsSym.find(SG->Pred.Sym);
+    if (It == ByAbsSym.end())
+      continue;
+    PredGroundness &PG = Result.Predicates[It->second];
+    if (SG->Pred.Arity != PG.Arity)
+      continue;
+    TermRef Call = TS.deref(SG->CallTerm);
+    BoolTuple Pattern;
+    for (uint32_t I = 0; I < PG.Arity; ++I) {
+      TermRef A = TS.deref(TS.arg(Call, I));
+      // An argument is a ground *input* only when the call binds it true.
+      Pattern.push_back(TS.tag(A) == TermTag::Atom &&
+                        TS.symbol(A) == Symbols.BoolTrue);
+    }
+    PG.CallPatterns.insert(std::move(Pattern));
+  }
+
+  for (PredGroundness &PG : Result.Predicates)
+    PG.computeMeets();
+  Result.CollectSeconds = Phase.elapsedSeconds();
+  return Result;
+}
+
+ErrorOr<double> GroundnessAnalyzer::measureCompileSeconds(
+    std::string_view Source) {
+  Stopwatch Watch;
+  Database DB(Symbols);
+  auto R = DB.consult(Source);
+  if (!R)
+    return R.getError();
+  return Watch.elapsedSeconds();
+}

@@ -1,0 +1,60 @@
+//===- PropResult.cpp - Groundness analysis results --------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prop/PropResult.h"
+
+using namespace lpa;
+
+void PredGroundness::computeMeets() {
+  GroundOnSuccess.assign(Arity, 1);
+  CanSucceed = !SuccessSet.empty();
+  if (SuccessSet.empty())
+    GroundOnSuccess.assign(Arity, 0);
+  for (const BoolTuple &Row : SuccessSet)
+    for (uint32_t I = 0; I < Arity; ++I)
+      if (!Row[I])
+        GroundOnSuccess[I] = 0;
+
+  GroundOnCall.assign(Arity, CallPatterns.empty() ? 0 : 1);
+  for (const BoolTuple &Row : CallPatterns)
+    for (uint32_t I = 0; I < Arity; ++I)
+      if (!Row[I])
+        GroundOnCall[I] = 0;
+}
+
+std::string PredGroundness::modeString() const {
+  auto Render = [&](const std::vector<uint8_t> &Flags) {
+    std::string Out = Name + "(";
+    for (uint32_t I = 0; I < Arity; ++I) {
+      if (I)
+        Out += ",";
+      Out += (I < Flags.size() && Flags[I]) ? "g" : "?";
+    }
+    Out += ")";
+    return Out;
+  };
+  return Render(GroundOnSuccess) + " <- " + Render(GroundOnCall);
+}
+
+std::string lpa::formatTruthTable(const TruthTable &T) {
+  std::string Out = "{";
+  bool FirstRow = true;
+  for (const BoolTuple &Row : T) {
+    if (!FirstRow)
+      Out += ",";
+    FirstRow = false;
+    Out += "(";
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Row[I] ? "t" : "f";
+    }
+    Out += ")";
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- PropResult.h - Groundness analysis results ---------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result representation shared by the tabled-engine groundness analyzer
+/// (src/prop) and the GAIA-like special-purpose baseline (src/baseline), so
+/// Table 2's "the results obtained on the two systems are identical" claim
+/// can be checked structurally.
+///
+/// The Prop domain represents boolean functions over argument positions by
+/// their truth tables (sets of boolean tuples); see Section 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_PROP_PROPRESULT_H
+#define LPA_PROP_PROPRESULT_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// One row of a truth table: one boolean per argument position.
+using BoolTuple = std::vector<uint8_t>;
+
+/// Truth table = set of satisfying rows, ordered for canonical comparison.
+using TruthTable = std::set<BoolTuple>;
+
+/// Groundness information for one predicate of the analyzed program.
+struct PredGroundness {
+  std::string Name;
+  uint32_t Arity = 0;
+
+  /// Output groundness: the success set of the abstract predicate — the
+  /// truth table of the Prop formula describing which argument groundness
+  /// combinations are possible on success (Figure 2's example: for append
+  /// this is the table of x /\ y <-> z).
+  TruthTable SuccessSet;
+
+  /// Input groundness: the distinct call patterns recorded in the call
+  /// table. 1 = called ground, 0 = called possibly nonground. With the
+  /// tabled engine these come free from the subgoal table (Section 3.1).
+  TruthTable CallPatterns;
+
+  /// Per-argument meet over SuccessSet: argument is ground in every
+  /// solution.
+  std::vector<uint8_t> GroundOnSuccess;
+
+  /// Per-argument meet over CallPatterns: argument is ground at every call.
+  std::vector<uint8_t> GroundOnCall;
+
+  /// False when the abstract predicate has an empty success set (the
+  /// concrete predicate can never succeed).
+  bool CanSucceed = false;
+
+  /// Renders e.g. "ap(g,g,g) <- ap(g,g,?)" mode summaries.
+  std::string modeString() const;
+
+  /// Recomputes the per-argument meets from the truth tables.
+  void computeMeets();
+
+  bool operator==(const PredGroundness &O) const {
+    return Name == O.Name && Arity == O.Arity && SuccessSet == O.SuccessSet;
+  }
+};
+
+/// Renders a truth table like {(t,f,t),(f,f,f)} for diagnostics and tests.
+std::string formatTruthTable(const TruthTable &T);
+
+} // namespace lpa
+
+#endif // LPA_PROP_PROPRESULT_H

@@ -1,0 +1,87 @@
+//===- Lexer.h - Prolog tokenizer -------------------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Prolog subset the analyzers read: named/anonymous
+/// variables, integers, plain/quoted/symbolic atoms, punctuation, strings,
+/// %-comments and /* */ comments, and the clause terminator "." (a full
+/// stop followed by layout or end of input).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_READER_LEXER_H
+#define LPA_READER_LEXER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lpa {
+
+/// Kinds of Prolog tokens.
+enum class TokenKind : uint8_t {
+  Atom,      ///< foo, 'quoted atom', + - =.. etc.
+  Var,       ///< X, _Foo, _
+  Int,       ///< 42
+  Str,       ///< "abc" (reads as a code list)
+  LParen,    ///< (
+  RParen,    ///< )
+  LBracket,  ///< [
+  RBracket,  ///< ]
+  Comma,     ///< ,
+  Bar,       ///< |
+  End,       ///< . followed by layout (clause terminator)
+  EndOfFile, ///< end of input
+  Error,     ///< lexical error; Text holds the message
+};
+
+/// One token with its text and source position.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;          ///< Atom/Var name, digits, string body.
+  int64_t IntValue = 0;      ///< For Int tokens.
+  SourcePos Pos;             ///< Start position.
+  bool PrecededByLayout = true; ///< Whitespace/comment before this token?
+};
+
+/// Produces Tokens from a source buffer, one at a time.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  /// Scans and returns the next token.
+  Token next();
+
+  /// Current position (for diagnostics).
+  SourcePos pos() const { return {Line, column()}; }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Offset + Ahead < Text.size() ? Text[Offset + Ahead] : '\0';
+  }
+  char advance();
+  bool skipLayout(); ///< \returns true if any layout was skipped.
+  unsigned column() const {
+    return static_cast<unsigned>(Offset - LineStart + 1);
+  }
+  Token make(TokenKind Kind, std::string TokText = "");
+  Token lexQuoted(char Quote);
+
+  std::string_view Text;
+  size_t Offset = 0;
+  size_t LineStart = 0;
+  unsigned Line = 1;
+};
+
+/// \returns true if \p C may appear in a symbolic atom like ":-" or "=..".
+bool isSymbolChar(char C);
+
+} // namespace lpa
+
+#endif // LPA_READER_LEXER_H

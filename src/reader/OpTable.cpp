@@ -1,0 +1,73 @@
+//===- OpTable.cpp - Prolog operator table ---------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reader/OpTable.h"
+
+using namespace lpa;
+
+OpTable::OpTable() {
+  add(":-", 1200, OpType::XFX);
+  add("-->", 1200, OpType::XFX);
+  add(":-", 1200, OpType::FX);
+  add("?-", 1200, OpType::FX);
+  // Declaration operators (XSB-style): ":- table p/2." etc.
+  add("table", 1150, OpType::FX);
+  add("dynamic", 1150, OpType::FX);
+  add("discontiguous", 1150, OpType::FX);
+  add("data", 1150, OpType::FX); // FL constructor declarations.
+  add(";", 1100, OpType::XFY);
+  add("->", 1050, OpType::XFY);
+  add(",", 1000, OpType::XFY);
+  add("\\+", 900, OpType::FY);
+  add("not", 900, OpType::FY);
+
+  for (const char *Cmp : {"=", "\\=", "==", "\\==", "is", "=..", "=:=", "=\\=",
+                          "<", ">", "=<", ">=", "@<", "@>", "@=<", "@>="})
+    add(Cmp, 700, OpType::XFX);
+
+  add("+", 500, OpType::YFX);
+  add("-", 500, OpType::YFX);
+  add("/\\", 500, OpType::YFX);
+  add("\\/", 500, OpType::YFX);
+  add("xor", 500, OpType::YFX);
+
+  add("*", 400, OpType::YFX);
+  add("/", 400, OpType::YFX);
+  add("//", 400, OpType::YFX);
+  add("mod", 400, OpType::YFX);
+  add("rem", 400, OpType::YFX);
+  add("<<", 400, OpType::YFX);
+  add(">>", 400, OpType::YFX);
+
+  add("**", 200, OpType::XFX);
+  add("^", 200, OpType::XFY);
+  add("-", 200, OpType::FY);
+  add("+", 200, OpType::FY);
+  add("\\", 200, OpType::FY);
+}
+
+void OpTable::add(std::string_view Name, int Priority, OpType Type) {
+  OpDef Def{Priority, Type};
+  if (Type == OpType::FY || Type == OpType::FX)
+    Prefix[std::string(Name)] = Def;
+  else
+    Infix[std::string(Name)] = Def;
+}
+
+std::optional<OpDef> OpTable::infix(std::string_view Name) const {
+  auto It = Infix.find(std::string(Name));
+  if (It == Infix.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<OpDef> OpTable::prefix(std::string_view Name) const {
+  auto It = Prefix.find(std::string(Name));
+  if (It == Prefix.end())
+    return std::nullopt;
+  return It->second;
+}

@@ -1,0 +1,55 @@
+//===- OpTable.h - Prolog operator table ------------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard operator table (the subset the benchmark corpus needs).
+/// Priorities and types follow ISO Prolog: xfx/xfy/yfx infix, fy/fx prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_READER_OPTABLE_H
+#define LPA_READER_OPTABLE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lpa {
+
+/// Operator fixity classes.
+enum class OpType : uint8_t { XFX, XFY, YFX, FY, FX };
+
+/// One operator definition.
+struct OpDef {
+  int Priority;
+  OpType Type;
+};
+
+/// Maps operator names to their prefix and/or infix definitions.
+class OpTable {
+public:
+  /// Builds the standard table.
+  OpTable();
+
+  /// \returns the infix definition of \p Name, if any.
+  std::optional<OpDef> infix(std::string_view Name) const;
+
+  /// \returns the prefix definition of \p Name, if any.
+  std::optional<OpDef> prefix(std::string_view Name) const;
+
+  /// Registers or replaces an operator (op/3-style extension point).
+  void add(std::string_view Name, int Priority, OpType Type);
+
+private:
+  std::unordered_map<std::string, OpDef> Infix;
+  std::unordered_map<std::string, OpDef> Prefix;
+};
+
+} // namespace lpa
+
+#endif // LPA_READER_OPTABLE_H

@@ -1,0 +1,225 @@
+//===- StrictTransform.cpp - Figure 3: demand propagation --------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "strictness/StrictTransform.h"
+
+using namespace lpa;
+
+TermRef StrictTransformer::mkClause(TermStore &Dst, TermRef Head,
+                                    const std::vector<TermRef> &Goals) {
+  if (Goals.empty())
+    return Head;
+  TermRef Conj = Goals.back();
+  for (size_t I = Goals.size() - 1; I-- > 0;)
+    Conj = Dst.mkStruct2(Symbols.Comma, Goals[I], Conj);
+  return Dst.mkStruct2(Symbols.Neck, Head, Conj);
+}
+
+void StrictTransformer::translateExpr(
+    const FLExpr &E, TermRef Demand, TermStore &Dst,
+    std::unordered_map<std::string, TermRef> &Tau,
+    std::vector<TermRef> &Goals) {
+  switch (E.K) {
+  case FLExpr::Kind::Var: {
+    // E[x]a: Tx = a. The first occurrence simply names the demand.
+    auto It = Tau.find(E.Name);
+    if (It == Tau.end()) {
+      Tau.emplace(E.Name, Demand);
+      return;
+    }
+    Goals.push_back(
+        Dst.mkStruct2(Symbols.Unify, It->second, Demand));
+    return;
+  }
+  case FLExpr::Kind::IntLit:
+    // A literal satisfies any demand; nothing propagates.
+    return;
+  case FLExpr::Kind::Ctor:
+  case FLExpr::Kind::Call:
+  case FLExpr::Kind::Prim: {
+    if (E.Args.empty())
+      return; // 0-ary constructor/function value: no components to demand.
+    // E[g(e1..ek)]a: sp_g(a, b1..bk), E[e1]b1, ..., E[ek]bk.
+    std::vector<TermRef> SpArgs{Demand};
+    std::vector<TermRef> Sub;
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      TermRef B = Dst.mkVar();
+      SpArgs.push_back(B);
+      Sub.push_back(B);
+    }
+    Goals.push_back(Dst.mkStruct(Symbols.intern(spName(E.Name)), SpArgs));
+    for (size_t I = 0; I < E.Args.size(); ++I)
+      translateExpr(E.Args[I], Sub[I], Dst, Tau, Goals);
+    return;
+  }
+  }
+}
+
+TermRef StrictTransformer::translatePattern(
+    const FLPattern &P, TermStore &Dst,
+    std::unordered_map<std::string, TermRef> &Tau,
+    std::vector<TermRef> &Goals) {
+  switch (P.K) {
+  case FLPattern::Kind::Var: {
+    // The slot *is* tau(x); the rhs translation may already have bound the
+    // name to a demand variable.
+    auto It = Tau.find(P.Name);
+    if (It == Tau.end())
+      It = Tau.emplace(P.Name, Dst.mkVar()).first;
+    return It->second;
+  }
+  case FLPattern::Kind::IntLit: {
+    TermRef X = Dst.mkVar();
+    Goals.push_back(Dst.mkStruct(Symbols.intern("pm_lit"),
+                                 std::span<const TermRef>(&X, 1)));
+    return X;
+  }
+  case FLPattern::Kind::Ctor: {
+    // Extents flow bottom-up: sub-patterns first, then pm_c.
+    std::vector<TermRef> SubSlots;
+    for (const FLPattern &Sub : P.Args)
+      SubSlots.push_back(translatePattern(Sub, Dst, Tau, Goals));
+    TermRef X = Dst.mkVar();
+    std::vector<TermRef> PmArgs{X};
+    PmArgs.insert(PmArgs.end(), SubSlots.begin(), SubSlots.end());
+    Goals.push_back(Dst.mkStruct(Symbols.intern(pmName(P.Name)), PmArgs));
+    return X;
+  }
+  }
+  return InvalidTerm;
+}
+
+ErrorOr<bool> StrictTransformer::transformEquation(const FLEquation &Eq,
+                                                   TermStore &Dst,
+                                                   StrictProgram &Out) {
+  std::unordered_map<std::string, TermRef> Tau;
+  std::vector<TermRef> Goals;
+
+  // Demand flows top-down through the rhs first (Figure 4's goal order,
+  // which the paper notes is what makes the clauses efficient).
+  TermRef D = Dst.mkVar();
+  translateExpr(Eq.Rhs, D, Dst, Tau, Goals);
+
+  // Then extents flow bottom-up through the lhs patterns.
+  std::vector<TermRef> Slots;
+  for (const FLPattern &P : Eq.Params)
+    Slots.push_back(translatePattern(P, Dst, Tau, Goals));
+
+  std::vector<TermRef> HeadArgs{D};
+  HeadArgs.insert(HeadArgs.end(), Slots.begin(), Slots.end());
+  TermRef Head = Dst.mkStruct(Symbols.intern(spName(Eq.Func)), HeadArgs);
+  Out.Clauses.push_back(mkClause(Dst, Head, Goals));
+  return true;
+}
+
+void StrictTransformer::emitSupportClauses(const FLProgram &Program,
+                                           TermStore &Dst,
+                                           StrictProgram &Out) {
+  TermRef E = Dst.mkAtom(Symbols.intern("e"));
+  TermRef Dd = Dst.mkAtom(Symbols.intern("d"));
+  TermRef N = Dst.mkAtom(Symbols.intern("n"));
+  SymbolId DemSym = Symbols.intern("dem");
+  SymbolId LowSym = Symbols.intern("low");
+
+  auto Fact1 = [&](SymbolId P, TermRef A) {
+    Out.Clauses.push_back(Dst.mkStruct(P, std::span<const TermRef>(&A, 1)));
+  };
+
+  // dem/1 and low/1: full and sub-e demand enumerations.
+  Fact1(DemSym, E);
+  Fact1(DemSym, Dd);
+  Fact1(DemSym, N);
+  Fact1(LowSym, Dd);
+  Fact1(LowSym, N);
+
+  // pm_lit/1: matching a literal evaluates the value completely, so the
+  // extent is exactly e (the bottom-up rule with zero components).
+  SymbolId PmLit = Symbols.intern("pm_lit");
+  Fact1(PmLit, E);
+
+  // Constructors.
+  for (const auto &[Name, Arity] : Program.Constructors) {
+    SymbolId Sp = Symbols.intern(spName(Name));
+    SymbolId Pm = Symbols.intern(pmName(Name));
+    if (Arity == 0) {
+      // A matched 0-ary constructor is completely evaluated: extent e
+      // only ("pm_c(e, e..e)" with zero components). Rhs occurrences need
+      // no sp clause (translateExpr emits no goal).
+      Fact1(Pm, E);
+      continue;
+    }
+    // sp_c(e, e..e).
+    {
+      std::vector<TermRef> Args(Arity + 1, E);
+      Out.Clauses.push_back(Dst.mkStruct(Sp, Args));
+    }
+    // sp_c(d, _.._). and sp_c(n, _.._).
+    for (TermRef Dem : {Dd, N}) {
+      std::vector<TermRef> Args{Dem};
+      for (uint32_t I = 0; I < Arity; ++I)
+        Args.push_back(Dst.mkVar());
+      Out.Clauses.push_back(Dst.mkStruct(Sp, Args));
+    }
+    // pm_c(e, e..e).
+    {
+      std::vector<TermRef> Args(Arity + 1, E);
+      Out.Clauses.push_back(Dst.mkStruct(Pm, Args));
+    }
+    // pm_c(d, X1..Xm) :- dem(X1), .., low(Xi), .., dem(Xm).  (for each i)
+    for (uint32_t Low = 0; Low < Arity; ++Low) {
+      std::vector<TermRef> Args{Dd};
+      std::vector<TermRef> Goals;
+      for (uint32_t I = 0; I < Arity; ++I) {
+        TermRef V = Dst.mkVar();
+        Args.push_back(V);
+        Goals.push_back(Dst.mkStruct(I == Low ? LowSym : DemSym,
+                                     std::span<const TermRef>(&V, 1)));
+      }
+      Out.Clauses.push_back(mkClause(Dst, Dst.mkStruct(Pm, Args), Goals));
+    }
+  }
+
+  // Primitives: strict in every argument under any real demand.
+  for (const auto &[Name, Arity] : Program.Primitives) {
+    SymbolId Sp = Symbols.intern(spName(Name));
+    for (TermRef Dem : {E, Dd}) {
+      std::vector<TermRef> Args{Dem};
+      for (uint32_t I = 0; I < Arity; ++I)
+        Args.push_back(E);
+      Out.Clauses.push_back(Dst.mkStruct(Sp, Args));
+    }
+    std::vector<TermRef> Args{N};
+    for (uint32_t I = 0; I < Arity; ++I)
+      Args.push_back(Dst.mkVar());
+    Out.Clauses.push_back(Dst.mkStruct(Sp, Args));
+  }
+}
+
+ErrorOr<StrictProgram> StrictTransformer::transform(const FLProgram &Program,
+                                                    TermStore &Dst) {
+  StrictProgram Out;
+  Out.Functions = Program.Functions;
+
+  for (const FLEquation &Eq : Program.Equations) {
+    auto R = transformEquation(Eq, Dst, Out);
+    if (!R)
+      return R.getError();
+  }
+
+  // The non-strictness clause sp_f(n, _..._) for every function.
+  TermRef N = Dst.mkAtom(Symbols.intern("n"));
+  for (const auto &[Name, Arity] : Program.Functions) {
+    std::vector<TermRef> Args{N};
+    for (uint32_t I = 0; I < Arity; ++I)
+      Args.push_back(Dst.mkVar());
+    SymbolId Sp = Symbols.intern(spName(Name));
+    Out.Clauses.push_back(Dst.mkStruct(Sp, Args));
+  }
+
+  emitSupportClauses(Program, Dst, Out);
+  return Out;
+}

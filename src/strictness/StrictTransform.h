@@ -1,0 +1,91 @@
+//===- StrictTransform.h - Figure 3: demand propagation ---------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformation of Figure 3: an FL program becomes a logic program
+/// over the demand domain {e, d, n} (normal form, head normal form, null)
+/// whose minimal model encodes demand propagation (Sekar & Ramakrishnan's
+/// strictness analysis, generalizing Mycroft to non-flat domains).
+///
+/// For each equation f(p1..pn) = rhs we derive (see Figure 4):
+///
+///   sp_f(D, X1..Xn) :- <rhs goals at demand D>, <pattern goals>.
+///
+/// where expressions propagate demand top-down (an application g(e) with
+/// demand a yields sp_g(a, b), then e at demand b) and patterns propagate
+/// evaluation extents bottom-up via pm_c predicates. Each function also
+/// gets the non-strictness clause sp_f(n, _, ..., _).
+///
+/// Constructor demand transfer (sp_c) and pattern matching (pm_c) tables:
+///
+///   sp_c(e, e, ..., e).         e-demand forces all components to e
+///   sp_c(d, _, ..., _).         hnf demand leaves components undemanded
+///   sp_c(n, _, ..., _).
+///   pm_c(e, e, ..., e).         extent e iff every component extent is e
+///   pm_c(d, ...) :- some component extent below e
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_STRICTNESS_STRICTTRANSFORM_H
+#define LPA_STRICTNESS_STRICTTRANSFORM_H
+
+#include "fl/FLAst.h"
+#include "support/Error.h"
+#include "term/Symbol.h"
+#include "term/TermStore.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lpa {
+
+/// Result of transforming one FL program.
+struct StrictProgram {
+  /// Logic clauses (terms in the store given to the transformer).
+  std::vector<TermRef> Clauses;
+  /// Functions of the FL program (name, arity), definition order.
+  std::vector<std::pair<std::string, uint32_t>> Functions;
+};
+
+/// Performs the Figure-3 transformation.
+class StrictTransformer {
+public:
+  explicit StrictTransformer(SymbolTable &Symbols) : Symbols(Symbols) {}
+
+  /// Transforms \p Program into logic clauses built in \p Dst.
+  ErrorOr<StrictProgram> transform(const FLProgram &Program, TermStore &Dst);
+
+  /// Name of the demand-propagation predicate of function \p F ("sp_" + F).
+  std::string spName(const std::string &F) const { return "sp_" + F; }
+  /// Name of the pattern-match predicate of constructor \p C ("pm_" + C).
+  std::string pmName(const std::string &C) const { return "pm_" + C; }
+
+private:
+  ErrorOr<bool> transformEquation(const FLEquation &Eq, TermStore &Dst,
+                                  StrictProgram &Out);
+  /// E[expr]a: emits demand-propagation goals for \p E under demand
+  /// \p Demand.
+  void translateExpr(const FLExpr &E, TermRef Demand, TermStore &Dst,
+                     std::unordered_map<std::string, TermRef> &Tau,
+                     std::vector<TermRef> &Goals);
+  /// P[pat]: emits extent goals; \returns the head-argument slot.
+  TermRef translatePattern(const FLPattern &P, TermStore &Dst,
+                           std::unordered_map<std::string, TermRef> &Tau,
+                           std::vector<TermRef> &Goals);
+  /// Emits the sp_c / pm_c / sp_prim support clauses.
+  void emitSupportClauses(const FLProgram &Program, TermStore &Dst,
+                          StrictProgram &Out);
+  TermRef mkClause(TermStore &Dst, TermRef Head,
+                   const std::vector<TermRef> &Goals);
+
+  SymbolTable &Symbols;
+};
+
+} // namespace lpa
+
+#endif // LPA_STRICTNESS_STRICTTRANSFORM_H

@@ -1,0 +1,93 @@
+//===- Error.h - Lightweight recoverable-error handling ---------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small Expected-style error type. Library code never throws; fallible
+/// operations (parsing, loading) return ErrorOr<T> carrying either a value
+/// or a diagnostic message with a source position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_SUPPORT_ERROR_H
+#define LPA_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lpa {
+
+/// A position in an input text, 1-based. Line 0 means "unknown".
+struct SourcePos {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// A diagnostic produced by a fallible operation.
+struct Diagnostic {
+  std::string Message;
+  SourcePos Pos;
+
+  Diagnostic() = default;
+  Diagnostic(std::string Message, SourcePos Pos = SourcePos())
+      : Message(std::move(Message)), Pos(Pos) {}
+
+  /// Renders "line L, column C: message" (or just the message when the
+  /// position is unknown).
+  std::string str() const {
+    if (!Pos.isValid())
+      return Message;
+    return "line " + std::to_string(Pos.Line) + ", column " +
+           std::to_string(Pos.Column) + ": " + Message;
+  }
+};
+
+/// Either a value of type T or a Diagnostic explaining why none could be
+/// produced. Mirrors the shape of llvm::Expected without the unchecked-
+/// error machinery (we have no destructor-time enforcement).
+template <typename T> class ErrorOr {
+public:
+  /// Constructs a success value.
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+
+  /// Constructs a failure value.
+  ErrorOr(Diagnostic Diag) : Storage(std::move(Diag)) {}
+
+  /// True when a value is present.
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  bool hasValue() const { return std::holds_alternative<T>(Storage); }
+
+  T &get() {
+    assert(hasValue() && "accessing value of failed ErrorOr");
+    return std::get<T>(Storage);
+  }
+  const T &get() const {
+    assert(hasValue() && "accessing value of failed ErrorOr");
+    return std::get<T>(Storage);
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  const Diagnostic &getError() const {
+    assert(!hasValue() && "accessing error of successful ErrorOr");
+    return std::get<Diagnostic>(Storage);
+  }
+
+private:
+  std::variant<T, Diagnostic> Storage;
+};
+
+} // namespace lpa
+
+#endif // LPA_SUPPORT_ERROR_H

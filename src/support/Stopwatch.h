@@ -1,0 +1,76 @@
+//===- Stopwatch.h - Wall-clock timing utilities ----------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timers used by the benchmark harnesses to measure
+/// the paper's three analysis phases (preprocessing, analysis, collection).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_SUPPORT_STOPWATCH_H
+#define LPA_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace lpa {
+
+/// A simple monotonic stopwatch.
+///
+/// The watch starts running on construction; \c elapsedSeconds() may be
+/// queried repeatedly and \c restart() resets the origin.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Resets the origin to the current instant.
+  void restart() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last restart().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns milliseconds elapsed since construction or the last restart().
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates time across several disjoint intervals.
+///
+/// Used to attribute time to a phase that is entered and left repeatedly,
+/// e.g. collection interleaved with per-predicate analysis.
+class PhaseTimer {
+public:
+  /// Starts (or re-starts) an interval.
+  void begin() { Watch.restart(); Running = true; }
+
+  /// Ends the current interval, adding it to the total.
+  void end() {
+    if (!Running)
+      return;
+    Total += Watch.elapsedSeconds();
+    Running = false;
+  }
+
+  /// Total accumulated seconds over all closed intervals.
+  double seconds() const { return Total; }
+
+  /// Clears the accumulated total.
+  void reset() { Total = 0.0; Running = false; }
+
+private:
+  Stopwatch Watch;
+  double Total = 0.0;
+  bool Running = false;
+};
+
+} // namespace lpa
+
+#endif // LPA_SUPPORT_STOPWATCH_H

@@ -1,0 +1,63 @@
+//===- TableFormat.cpp - Plain-text table rendering -----------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormat.h"
+
+#include <cstdio>
+
+using namespace lpa;
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  if (Rows.empty())
+    return "";
+
+  // Compute per-column widths.
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+
+  std::string Out;
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        Out += "  ";
+      Out += Row[I];
+      if (I + 1 < Row.size())
+        Out.append(Widths[I] - Row[I].size(), ' ');
+    }
+    Out += '\n';
+  };
+
+  emitRow(Rows.front());
+  size_t RuleWidth = 0;
+  for (size_t I = 0; I < Widths.size(); ++I)
+    RuleWidth += Widths[I] + (I ? 2 : 0);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (size_t I = 1; I < Rows.size(); ++I)
+    emitRow(Rows[I]);
+  return Out;
+}
+
+std::string TextTable::fmt(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string TextTable::fmt(unsigned long long Value) {
+  return std::to_string(Value);
+}

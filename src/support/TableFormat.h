@@ -1,0 +1,44 @@
+//===- TableFormat.h - Plain-text table rendering ---------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table writer used by the benchmark harnesses to
+/// print the same rows the paper's Tables 1-4 report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_SUPPORT_TABLEFORMAT_H
+#define LPA_SUPPORT_TABLEFORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// Collects rows of cells and renders them with columns padded to the
+/// widest entry. The first row added is treated as the header.
+class TextTable {
+public:
+  /// Adds one row; all rows should have the same number of cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table; the header row is separated by a dashed rule.
+  std::string render() const;
+
+  /// Formats a double with \p Decimals fraction digits.
+  static std::string fmt(double Value, int Decimals = 2);
+
+  /// Formats an integer with no grouping.
+  static std::string fmt(unsigned long long Value);
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace lpa
+
+#endif // LPA_SUPPORT_TABLEFORMAT_H

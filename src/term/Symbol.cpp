@@ -1,0 +1,45 @@
+//===- Symbol.cpp - Interned atom/functor names ---------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Symbol.h"
+
+#include <cassert>
+
+using namespace lpa;
+
+SymbolTable::SymbolTable() {
+  Nil = intern("[]");
+  Cons = intern(".");
+  Comma = intern(",");
+  True = intern("true");
+  Fail = intern("fail");
+  Neck = intern(":-");
+  Unify = intern("=");
+  BoolTrue = True;
+  BoolFalse = intern("false");
+  Iff = intern("iff");
+}
+
+SymbolId SymbolTable::intern(std::string_view Name) {
+  auto It = Index.find(std::string(Name));
+  if (It != Index.end())
+    return It->second;
+  SymbolId Id = static_cast<SymbolId>(Names.size());
+  Names.emplace_back(Name);
+  Index.emplace(Names.back(), Id);
+  return Id;
+}
+
+SymbolId SymbolTable::lookup(std::string_view Name) const {
+  auto It = Index.find(std::string(Name));
+  return It == Index.end() ? NotFound : It->second;
+}
+
+const std::string &SymbolTable::name(SymbolId Id) const {
+  assert(Id < Names.size() && "symbol id out of range");
+  return Names[Id];
+}

@@ -1,0 +1,73 @@
+//===- Symbol.h - Interned atom/functor names -------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interning of atom and functor names. A SymbolId is a dense index; atoms
+/// are symbols used at arity 0 and compound terms pair a symbol with an
+/// explicit arity, so "foo" the atom and "foo/2" the functor share one id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TERM_SYMBOL_H
+#define LPA_TERM_SYMBOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lpa {
+
+/// Dense identifier for an interned name.
+using SymbolId = uint32_t;
+
+/// Interns strings to dense SymbolIds and maps them back.
+///
+/// A SymbolTable is shared by every term store, database and analyzer that
+/// participates in one analysis session.
+class SymbolTable {
+public:
+  SymbolTable();
+
+  /// Returns the id for \p Name, interning it on first use.
+  SymbolId intern(std::string_view Name);
+
+  /// Returns the id for \p Name if already interned, or NotFound.
+  SymbolId lookup(std::string_view Name) const;
+
+  /// Returns the text of symbol \p Id.
+  const std::string &name(SymbolId Id) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return Names.size(); }
+
+  /// Sentinel returned by lookup() for unknown names.
+  static constexpr SymbolId NotFound = ~SymbolId(0);
+
+  /// \name Well-known symbols, interned eagerly by the constructor.
+  /// @{
+  SymbolId Nil;        ///< "[]"
+  SymbolId Cons;       ///< "." (list constructor)
+  SymbolId Comma;      ///< ","
+  SymbolId True;       ///< "true"
+  SymbolId Fail;       ///< "fail"
+  SymbolId Neck;       ///< ":-"
+  SymbolId Unify;      ///< "="
+  SymbolId BoolTrue;   ///< "true" (Prop domain); alias of True
+  SymbolId BoolFalse;  ///< "false" (Prop domain)
+  SymbolId Iff;        ///< "iff" (Prop truth-table literal)
+  /// @}
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, SymbolId> Index;
+};
+
+} // namespace lpa
+
+#endif // LPA_TERM_SYMBOL_H

@@ -1,0 +1,143 @@
+//===- TermCopy.cpp - Copying terms across stores --------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/TermCopy.h"
+
+#include <memory>
+
+#include <vector>
+
+using namespace lpa;
+
+namespace {
+
+/// Memo for shared subterms. Most copied terms are tiny, so a linear
+/// vector handles the common case; past a threshold it upgrades to a hash
+/// map (long lists, big answers).
+class CopyMemo {
+public:
+  TermRef find(TermRef Key) const {
+    if (Big)
+      return lookupBig(Key);
+    for (const auto &[K, V] : Small)
+      if (K == Key)
+        return V;
+    return InvalidTerm;
+  }
+
+  void insert(TermRef Key, TermRef Value) {
+    if (!Big) {
+      if (Small.size() < 32) {
+        Small.emplace_back(Key, Value);
+        return;
+      }
+      Big = std::make_unique<std::unordered_map<TermRef, TermRef>>(
+          Small.begin(), Small.end());
+    }
+    Big->emplace(Key, Value);
+  }
+
+private:
+  TermRef lookupBig(TermRef Key) const {
+    auto It = Big->find(Key);
+    return It == Big->end() ? InvalidTerm : It->second;
+  }
+
+  std::vector<std::pair<TermRef, TermRef>> Small;
+  std::unique_ptr<std::unordered_map<TermRef, TermRef>> Big;
+};
+
+} // namespace
+
+TermRef lpa::copyTerm(const TermStore &Src, TermRef T, TermStore &Dst,
+                      VarRenaming &Renaming) {
+  // Iterative post-order construction; recursion would overflow on the long
+  // right-nested lists and conjunctions the corpus programs build.
+  struct Frame {
+    TermRef Node;               // Dereferenced Struct in Src.
+    std::vector<TermRef> Args;  // Copies produced so far.
+  };
+  // Preserves sharing of compound subterms within this copy.
+  CopyMemo Memo;
+
+  std::vector<Frame> Stack;
+  TermRef Pending = T;
+  TermRef Done = InvalidTerm;
+
+  while (true) {
+    // Phase 1: resolve Pending into Done, or open a frame for a struct.
+    while (Pending != InvalidTerm) {
+      TermRef D = Src.deref(Pending);
+      Pending = InvalidTerm;
+      switch (Src.tag(D)) {
+      case TermTag::Ref: {
+        auto It = Renaming.find(D);
+        if (It == Renaming.end())
+          It = Renaming.emplace(D, Dst.mkVar()).first;
+        Done = It->second;
+        break;
+      }
+      case TermTag::Atom:
+        Done = Dst.mkAtom(Src.symbol(D));
+        break;
+      case TermTag::Int:
+        Done = Dst.mkInt(Src.intValue(D));
+        break;
+      case TermTag::Struct: {
+        TermRef Hit = Memo.find(D);
+        if (Hit != InvalidTerm) {
+          Done = Hit;
+          break;
+        }
+        Stack.push_back({D, {}});
+        Stack.back().Args.reserve(Src.arity(D));
+        Pending = Src.arg(D, 0);
+        break;
+      }
+      }
+    }
+    if (Done == InvalidTerm)
+      continue; // A frame was opened; its first argument is now Pending.
+
+    // Phase 2: deliver Done upward.
+    if (Stack.empty())
+      return Done;
+    Frame &F = Stack.back();
+    F.Args.push_back(Done);
+    Done = InvalidTerm;
+    uint32_t Arity = Src.arity(F.Node);
+    if (F.Args.size() < Arity) {
+      Pending = Src.arg(F.Node, static_cast<uint32_t>(F.Args.size()));
+      continue;
+    }
+    TermRef Copy = Dst.mkStruct(Src.symbol(F.Node), F.Args);
+    Memo.insert(F.Node, Copy);
+    Stack.pop_back();
+    Done = Copy;
+  }
+}
+
+TermRef lpa::copyTerm(const TermStore &Src, TermRef T, TermStore &Dst) {
+  VarRenaming Renaming;
+  return copyTerm(Src, T, Dst, Renaming);
+}
+
+size_t lpa::termSizeCells(const TermStore &Store, TermRef T) {
+  size_t Count = 0;
+  std::vector<TermRef> Work{T};
+  while (!Work.empty()) {
+    TermRef Cur = Store.deref(Work.back());
+    Work.pop_back();
+    ++Count;
+    if (Store.tag(Cur) == TermTag::Struct) {
+      Count += Store.arity(Cur); // Argument slots.
+      for (uint32_t I = 0, E = Store.arity(Cur); I < E; ++I)
+        Work.push_back(Store.arg(Cur, I));
+    }
+  }
+  return Count;
+}

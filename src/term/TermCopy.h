@@ -1,0 +1,47 @@
+//===- TermCopy.h - Copying terms across stores -----------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Copies terms between stores (or within one), resolving bindings as it
+/// goes and renaming unbound variables apart. This is the engine's clause
+/// renaming (program clause -> solver heap) and answer freezing (solver
+/// heap -> table store).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TERM_TERMCOPY_H
+#define LPA_TERM_TERMCOPY_H
+
+#include "term/TermStore.h"
+
+#include <unordered_map>
+
+namespace lpa {
+
+/// Maps source-store variables to their fresh copies in the destination.
+/// Reusing one map across several copyTerm calls preserves variable sharing
+/// between the copied terms (e.g. head and body of one clause).
+using VarRenaming = std::unordered_map<TermRef, TermRef>;
+
+/// Copies \p T from \p Src into \p Dst.
+///
+/// Bound variables are chased, so the copy is the *resolved* term. Unbound
+/// variables become fresh Dst variables, consistently via \p Renaming.
+/// \p Src and \p Dst may alias (used by the solver to snapshot answers).
+TermRef copyTerm(const TermStore &Src, TermRef T, TermStore &Dst,
+                 VarRenaming &Renaming);
+
+/// Convenience overload with a throwaway renaming.
+TermRef copyTerm(const TermStore &Src, TermRef T, TermStore &Dst);
+
+/// \returns the number of cells (nodes) of the resolved term \p T, counting
+/// shared subterms once per occurrence. Used for table-space accounting.
+size_t termSizeCells(const TermStore &Store, TermRef T);
+
+} // namespace lpa
+
+#endif // LPA_TERM_TERMCOPY_H

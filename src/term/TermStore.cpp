@@ -1,0 +1,63 @@
+//===- TermStore.cpp - Cell-based term representation ---------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/TermStore.h"
+
+using namespace lpa;
+
+TermRef TermStore::mkVar() {
+  TermRef T = static_cast<TermRef>(Cells.size());
+  Cells.push_back({TermTag::Ref, 0, 0, static_cast<int64_t>(T)});
+  return T;
+}
+
+TermRef TermStore::mkAtom(SymbolId S) {
+  TermRef T = static_cast<TermRef>(Cells.size());
+  Cells.push_back({TermTag::Atom, S, 0, 0});
+  return T;
+}
+
+TermRef TermStore::mkInt(int64_t Value) {
+  TermRef T = static_cast<TermRef>(Cells.size());
+  Cells.push_back({TermTag::Int, 0, 0, Value});
+  return T;
+}
+
+TermRef TermStore::mkStruct(SymbolId S, std::span<const TermRef> Args) {
+  assert(!Args.empty() && "use mkAtom for arity 0");
+  // Argument slots are Ref cells pre-bound to the given terms; they are
+  // never unbound, so they need no trailing.
+  TermRef ArgBase = static_cast<TermRef>(Cells.size() + 1);
+  TermRef T = static_cast<TermRef>(Cells.size());
+  Cells.push_back({TermTag::Struct, S, static_cast<uint32_t>(Args.size()),
+                   static_cast<int64_t>(ArgBase)});
+  for (TermRef A : Args)
+    Cells.push_back({TermTag::Ref, 0, 0, static_cast<int64_t>(A)});
+  return T;
+}
+
+TermRef TermStore::mkList(const SymbolTable &Symbols,
+                          std::span<const TermRef> Elems, TermRef Tail) {
+  // Lists are built back to front so each cons can reference the next.
+  TermRef List = Tail;
+  if (List == InvalidTerm)
+    List = mkAtom(Symbols.Nil);
+  for (size_t I = Elems.size(); I-- > 0;)
+    List = mkStruct2(Symbols.Cons, Elems[I], List);
+  return List;
+}
+
+void TermStore::undoTo(Mark M) {
+  assert(M.TrailSize <= Trail.size() && M.HeapSize <= Cells.size() &&
+         "mark is newer than current state");
+  while (Trail.size() > M.TrailSize) {
+    TermRef Var = Trail.back();
+    Trail.pop_back();
+    Cells[Var].Val = static_cast<int64_t>(Var);
+  }
+  Cells.resize(M.HeapSize);
+}

@@ -1,0 +1,143 @@
+//===- TermWriter.cpp - Rendering terms as text ----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/TermWriter.h"
+
+#include <cctype>
+
+using namespace lpa;
+
+namespace {
+
+/// True if \p Name prints as a bare (unquoted) atom.
+bool isPlainAtom(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  if (Name == "[]" || Name == "!" || Name == ";")
+    return true;
+  if (std::islower(static_cast<unsigned char>(Name[0]))) {
+    for (char C : Name)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+        return false;
+    return true;
+  }
+  // Symbolic atoms made purely of operator characters print bare too.
+  static const std::string SymChars = "+-*/\\^<>=~:.?@#&";
+  for (char C : Name)
+    if (SymChars.find(C) == std::string::npos)
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::string TermWriter::varName(TermRef Var) {
+  auto It = VarNames.find(Var);
+  if (It != VarNames.end())
+    return It->second;
+  // _A, _B, ..., _Z, _A1, _B1, ...
+  size_t N = VarNames.size();
+  std::string Name = "_";
+  Name += static_cast<char>('A' + N % 26);
+  if (N >= 26)
+    Name += std::to_string(N / 26);
+  VarNames.emplace(Var, Name);
+  return Name;
+}
+
+void TermWriter::writeAtomText(const std::string &Name, std::string &Out) {
+  if (isPlainAtom(Name)) {
+    Out += Name;
+    return;
+  }
+  Out += '\'';
+  for (char C : Name) {
+    if (C == '\'' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '\'';
+}
+
+void TermWriter::write(TermRef T, std::string &Out) { writeRec(T, Out, 0); }
+
+void TermWriter::writeRec(TermRef T, std::string &Out, int Depth) {
+  // Guard against pathological cyclic terms built without occur-check.
+  if (Depth > 10000) {
+    Out += "...";
+    return;
+  }
+  T = Store.deref(T);
+  switch (Store.tag(T)) {
+  case TermTag::Ref:
+    Out += varName(T);
+    return;
+  case TermTag::Int:
+    Out += std::to_string(Store.intValue(T));
+    return;
+  case TermTag::Atom:
+    writeAtomText(Symbols.name(Store.symbol(T)), Out);
+    return;
+  case TermTag::Struct:
+    break;
+  }
+
+  SymbolId Sym = Store.symbol(T);
+  uint32_t Arity = Store.arity(T);
+
+  // List notation. The tail loop keeps long lists from recursing deeply.
+  if (Sym == Symbols.Cons && Arity == 2) {
+    Out += '[';
+    writeRec(Store.arg(T, 0), Out, Depth + 1);
+    TermRef Tail = Store.deref(Store.arg(T, 1));
+    while (Store.tag(Tail) == TermTag::Struct &&
+           Store.symbol(Tail) == Symbols.Cons && Store.arity(Tail) == 2) {
+      Out += ',';
+      writeRec(Store.arg(Tail, 0), Out, Depth + 1);
+      Tail = Store.deref(Store.arg(Tail, 1));
+    }
+    if (!(Store.tag(Tail) == TermTag::Atom &&
+          Store.symbol(Tail) == Symbols.Nil)) {
+      Out += '|';
+      writeRec(Tail, Out, Depth + 1);
+    }
+    Out += ']';
+    return;
+  }
+
+  // Conjunctions print as (A,B); clauses as Head :- Body.
+  if (Sym == Symbols.Comma && Arity == 2) {
+    Out += '(';
+    writeRec(Store.arg(T, 0), Out, Depth + 1);
+    TermRef Rest = Store.deref(Store.arg(T, 1));
+    while (Store.tag(Rest) == TermTag::Struct &&
+           Store.symbol(Rest) == Symbols.Comma && Store.arity(Rest) == 2) {
+      Out += ", ";
+      writeRec(Store.arg(Rest, 0), Out, Depth + 1);
+      Rest = Store.deref(Store.arg(Rest, 1));
+    }
+    Out += ", ";
+    writeRec(Rest, Out, Depth + 1);
+    Out += ')';
+    return;
+  }
+  if (Sym == Symbols.Neck && Arity == 2) {
+    writeRec(Store.arg(T, 0), Out, Depth + 1);
+    Out += " :- ";
+    writeRec(Store.arg(T, 1), Out, Depth + 1);
+    return;
+  }
+
+  writeAtomText(Symbols.name(Sym), Out);
+  Out += '(';
+  for (uint32_t I = 0; I < Arity; ++I) {
+    if (I)
+      Out += ',';
+    writeRec(Store.arg(T, I), Out, Depth + 1);
+  }
+  Out += ')';
+}

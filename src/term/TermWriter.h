@@ -1,0 +1,63 @@
+//===- TermWriter.h - Rendering terms as text -------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms in Prolog syntax: lists as [a,b|T], conjunctions as
+/// comma-separated goals, quoted atoms where needed, variables named in
+/// order of appearance (_A, _B, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TERM_TERMWRITER_H
+#define LPA_TERM_TERMWRITER_H
+
+#include "term/Symbol.h"
+#include "term/TermStore.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace lpa {
+
+/// Stateful writer; variable names are stable across writes made through
+/// one TermWriter instance, so the bindings of one answer print
+/// consistently.
+class TermWriter {
+public:
+  TermWriter(const SymbolTable &Symbols, const TermStore &Store)
+      : Symbols(Symbols), Store(Store) {}
+
+  /// Renders \p T; appends to \p Out.
+  void write(TermRef T, std::string &Out);
+
+  /// Renders \p T into a fresh string.
+  std::string str(TermRef T) {
+    std::string Out;
+    write(T, Out);
+    return Out;
+  }
+
+  /// One-shot convenience with a throwaway writer.
+  static std::string toString(const SymbolTable &Symbols,
+                              const TermStore &Store, TermRef T) {
+    TermWriter W(Symbols, Store);
+    return W.str(T);
+  }
+
+private:
+  void writeRec(TermRef T, std::string &Out, int Depth);
+  void writeAtomText(const std::string &Name, std::string &Out);
+  std::string varName(TermRef Var);
+
+  const SymbolTable &Symbols;
+  const TermStore &Store;
+  std::unordered_map<TermRef, std::string> VarNames;
+};
+
+} // namespace lpa
+
+#endif // LPA_TERM_TERMWRITER_H

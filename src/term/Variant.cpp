@@ -1,0 +1,116 @@
+//===- Variant.cpp - Variant checks and canonical keys --------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Variant.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+using namespace lpa;
+
+bool lpa::isVariant(const TermStore &Store, TermRef A, TermRef B) {
+  // Two-way variable correspondence maps.
+  std::unordered_map<TermRef, TermRef> AToB, BToA;
+  std::vector<std::pair<TermRef, TermRef>> Work{{A, B}};
+  while (!Work.empty()) {
+    auto [X, Y] = Work.back();
+    Work.pop_back();
+    X = Store.deref(X);
+    Y = Store.deref(Y);
+
+    TermTag TX = Store.tag(X), TY = Store.tag(Y);
+    if (TX != TY)
+      return false;
+    switch (TX) {
+    case TermTag::Ref: {
+      auto ItA = AToB.find(X);
+      auto ItB = BToA.find(Y);
+      if (ItA == AToB.end() && ItB == BToA.end()) {
+        AToB.emplace(X, Y);
+        BToA.emplace(Y, X);
+        break;
+      }
+      if (ItA == AToB.end() || ItB == BToA.end() || ItA->second != Y ||
+          ItB->second != X)
+        return false;
+      break;
+    }
+    case TermTag::Atom:
+      if (Store.symbol(X) != Store.symbol(Y))
+        return false;
+      break;
+    case TermTag::Int:
+      if (Store.intValue(X) != Store.intValue(Y))
+        return false;
+      break;
+    case TermTag::Struct:
+      if (Store.symbol(X) != Store.symbol(Y) ||
+          Store.arity(X) != Store.arity(Y))
+        return false;
+      // Push in reverse so arguments are visited left to right; the order
+      // matters because variable numbering must be consistent.
+      for (uint32_t I = Store.arity(X); I-- > 0;)
+        Work.push_back({Store.arg(X, I), Store.arg(Y, I)});
+      break;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Appends raw bytes of \p V to \p Out.
+template <typename T> void appendBytes(std::string &Out, T V) {
+  char Buf[sizeof(T)];
+  std::memcpy(Buf, &V, sizeof(T));
+  Out.append(Buf, sizeof(T));
+}
+
+} // namespace
+
+void lpa::appendCanonicalKey(const TermStore &Store, TermRef T,
+                             std::string &Out) {
+  std::unordered_map<TermRef, uint32_t> VarNum;
+  std::vector<TermRef> Work{T};
+  while (!Work.empty()) {
+    TermRef Cur = Store.deref(Work.back());
+    Work.pop_back();
+    switch (Store.tag(Cur)) {
+    case TermTag::Ref: {
+      auto [It, Inserted] =
+          VarNum.emplace(Cur, static_cast<uint32_t>(VarNum.size()));
+      Out.push_back('V');
+      appendBytes(Out, It->second);
+      (void)Inserted;
+      break;
+    }
+    case TermTag::Atom:
+      Out.push_back('A');
+      appendBytes(Out, Store.symbol(Cur));
+      break;
+    case TermTag::Int:
+      Out.push_back('I');
+      appendBytes(Out, Store.intValue(Cur));
+      break;
+    case TermTag::Struct:
+      Out.push_back('S');
+      appendBytes(Out, Store.symbol(Cur));
+      appendBytes(Out, Store.arity(Cur));
+      // Reverse push for left-to-right traversal (variable numbering).
+      for (uint32_t I = Store.arity(Cur); I-- > 0;)
+        Work.push_back(Store.arg(Cur, I));
+      break;
+    }
+  }
+}
+
+std::string lpa::canonicalKey(const TermStore &Store, TermRef T) {
+  std::string Out;
+  appendCanonicalKey(Store, T, Out);
+  return Out;
+}

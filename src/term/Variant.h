@@ -1,0 +1,41 @@
+//===- Variant.h - Variant checks and canonical keys ------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variant checking is the heart of XSB-style tabling: a tabled subgoal hits
+/// the table when a *variant* of it (identical up to variable renaming) was
+/// called before, and only non-variant answers are entered. We implement
+/// both a direct two-term check and a canonical byte-string encoding whose
+/// equality coincides with variance, used as the hash key of subgoal and
+/// answer tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TERM_VARIANT_H
+#define LPA_TERM_VARIANT_H
+
+#include "term/TermStore.h"
+
+#include <string>
+
+namespace lpa {
+
+/// \returns true iff \p A and \p B are identical up to consistent renaming
+/// of unbound variables.
+bool isVariant(const TermStore &Store, TermRef A, TermRef B);
+
+/// Encodes \p T as a byte string such that two terms have equal encodings
+/// iff they are variants. Variables are numbered in order of first
+/// occurrence (left-to-right, depth-first).
+std::string canonicalKey(const TermStore &Store, TermRef T);
+
+/// As canonicalKey, but appends to \p Out (avoids reallocation in loops).
+void appendCanonicalKey(const TermStore &Store, TermRef T, std::string &Out);
+
+} // namespace lpa
+
+#endif // LPA_TERM_VARIANT_H

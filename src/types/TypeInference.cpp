@@ -1,0 +1,460 @@
+//===- TypeInference.cpp - Hindley-Milner types via unification ---------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeInference.h"
+
+#include "fl/FLParser.h"
+#include "reader/Parser.h"
+#include "term/Symbol.h"
+#include "term/TermCopy.h"
+#include "term/TermStore.h"
+#include "term/Unify.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace lpa;
+
+const FuncType *TypeResult::find(const std::string &Name) const {
+  for (const FuncType &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+bool TypeResult::allOk() const {
+  return std::all_of(Functions.begin(), Functions.end(),
+                     [](const FuncType &F) { return F.Ok; });
+}
+
+namespace {
+
+/// Renders a type term with variables named A, B, C, ...
+class TypeRenderer {
+public:
+  TypeRenderer(const SymbolTable &Syms, const TermStore &TS)
+      : Syms(Syms), TS(TS) {}
+
+  std::string render(TermRef T) {
+    T = TS.deref(T);
+    switch (TS.tag(T)) {
+    case TermTag::Ref: {
+      auto [It, _] = Names.emplace(T, Names.size());
+      std::string N(1, static_cast<char>('A' + It->second % 26));
+      if (It->second >= 26)
+        N += std::to_string(It->second / 26);
+      return N;
+    }
+    case TermTag::Atom:
+      return Syms.name(TS.symbol(T));
+    case TermTag::Int:
+      return std::to_string(TS.intValue(T));
+    case TermTag::Struct: {
+      std::string Out = Syms.name(TS.symbol(T)) + "(";
+      for (uint32_t I = 0, E = TS.arity(T); I < E; ++I) {
+        if (I)
+          Out += ", ";
+        Out += render(TS.arg(T, I));
+      }
+      return Out + ")";
+    }
+    }
+    return "?";
+  }
+
+private:
+  const SymbolTable &Syms;
+  const TermStore &TS;
+  std::map<TermRef, size_t> Names;
+};
+
+/// The inference engine.
+class Inferencer {
+public:
+  explicit Inferencer(const FLProgram &Program) : Program(Program) {}
+
+  ErrorOr<TypeResult> run();
+
+private:
+  struct CtorSig {
+    TermRef Result = InvalidTerm;
+    std::vector<TermRef> Fields; // Templates; instantiate per use.
+  };
+  struct FuncSig {
+    std::vector<TermRef> Args;
+    TermRef Result = InvalidTerm;
+    bool Generalized = false;
+    bool Failed = false;
+    std::string Error;
+  };
+
+  ErrorOr<bool> buildCtorSigs();
+  const CtorSig *ctorSig(const std::string &Name, uint32_t Arity);
+  /// Instantiates (renames apart) a constructor signature.
+  CtorSig instantiateCtor(const CtorSig &Template);
+
+  /// Fails the whole current SCC with \p Message attributed to \p Func.
+  void fail(const std::string &Func, const std::string &Message);
+
+  bool unifyTypes(TermRef A, TermRef B, const std::string &Func,
+                  const std::string &Where);
+
+  TermRef typeOfPattern(const FLPattern &P, const std::string &Func,
+                        std::map<std::string, TermRef> &Env);
+  TermRef typeOfExpr(const FLExpr &E, const std::string &Func,
+                     std::map<std::string, TermRef> &Env);
+
+  const FLProgram &Program;
+  SymbolTable Syms;
+  TermStore TS;
+  std::map<std::pair<std::string, uint32_t>, CtorSig> CtorSigs;
+  std::map<std::string, FuncSig> FuncSigs;
+  std::set<std::string> CurrentScc;
+};
+
+void Inferencer::fail(const std::string &Func, const std::string &Message) {
+  for (const std::string &F : CurrentScc) {
+    FuncSig &S = FuncSigs[F];
+    if (S.Failed)
+      continue;
+    S.Failed = true;
+    S.Error = F == Func ? Message : "mutually recursive with ill-typed " +
+                                        Func;
+  }
+}
+
+ErrorOr<bool> Inferencer::buildCtorSigs() {
+  // Builtins: lists and booleans.
+  {
+    TermRef A = TS.mkVar();
+    TermRef ListA = TS.mkStruct(Syms.intern("list"),
+                                std::span<const TermRef>(&A, 1));
+    CtorSigs[{"nil", 0}] = {ListA, {}};
+    TermRef B = TS.mkVar();
+    TermRef ListB = TS.mkStruct(Syms.intern("list"),
+                                std::span<const TermRef>(&B, 1));
+    CtorSigs[{"cons", 2}] = {ListB, {B, ListB}};
+    TermRef BoolT = TS.mkAtom(Syms.intern("bool"));
+    CtorSigs[{"true", 0}] = {BoolT, {}};
+    CtorSigs[{"false", 0}] = {BoolT, {}};
+  }
+
+  // Declared ADTs: reassemble one parseable term per declaration so type
+  // variables shared between the head and the fields resolve by name.
+  for (const FLAdtDecl &Adt : Program.Adts) {
+    std::string Text = "'$sig'(";
+    if (Adt.Params.empty()) {
+      Text += Adt.Name;
+    } else {
+      Text += Adt.Name + "(";
+      for (size_t I = 0; I < Adt.Params.size(); ++I)
+        Text += (I ? "," : "") + Adt.Params[I];
+      Text += ")";
+    }
+    for (const auto &Ctor : Adt.Ctors)
+      for (const std::string &F : Ctor.Fields)
+        Text += ", " + F;
+    Text += ")";
+    // Underscore-led names parse as Prolog variables, which is exactly
+    // what the FLParser produced for type variables.
+    auto Parsed = Parser::parseTerm(Syms, TS, Text);
+    if (!Parsed)
+      return Diagnostic("adt " + Adt.Name +
+                        ": malformed type expression: " +
+                        Parsed.getError().str());
+    TermRef Sig = TS.deref(*Parsed);
+    TermRef Result = TS.arg(Sig, 0);
+    uint32_t Slot = 1;
+    for (const auto &Ctor : Adt.Ctors) {
+      CtorSig CS;
+      CS.Result = Result;
+      for (size_t I = 0; I < Ctor.Fields.size(); ++I)
+        CS.Fields.push_back(TS.arg(Sig, Slot++));
+      CtorSigs[{Ctor.Name, static_cast<uint32_t>(Ctor.Fields.size())}] =
+          std::move(CS);
+    }
+  }
+  return true;
+}
+
+const Inferencer::CtorSig *Inferencer::ctorSig(const std::string &Name,
+                                               uint32_t Arity) {
+  auto It = CtorSigs.find({Name, Arity});
+  if (It != CtorSigs.end())
+    return &It->second;
+  // Undeclared constructor: structural fallback c(A1..Ak). Sound for
+  // single-constructor types; grouping several constructors under one
+  // type requires an adt declaration.
+  CtorSig CS;
+  std::vector<TermRef> Args;
+  for (uint32_t I = 0; I < Arity; ++I)
+    Args.push_back(TS.mkVar());
+  SymbolId TySym = Syms.intern(Name + "_t");
+  CS.Result = Arity == 0 ? TS.mkAtom(TySym) : TS.mkStruct(TySym, Args);
+  CS.Fields = Args;
+  auto [New, _] = CtorSigs.emplace(std::make_pair(Name, Arity),
+                                   std::move(CS));
+  return &New->second;
+}
+
+Inferencer::CtorSig Inferencer::instantiateCtor(const CtorSig &Template) {
+  VarRenaming R;
+  CtorSig Out;
+  Out.Result = copyTerm(TS, Template.Result, TS, R);
+  for (TermRef F : Template.Fields)
+    Out.Fields.push_back(copyTerm(TS, F, TS, R));
+  return Out;
+}
+
+bool Inferencer::unifyTypes(TermRef A, TermRef B, const std::string &Func,
+                            const std::string &Where) {
+  // Snapshot the terms for the error message before unification binds
+  // them.
+  TypeRenderer Pre(Syms, TS);
+  std::string SA = Pre.render(A), SB = Pre.render(B);
+  if (unify(TS, A, B, /*OccursCheck=*/true))
+    return true;
+  fail(Func, "cannot unify " + SA + " with " + SB + " in " + Where +
+                 " (occur check or constructor clash)");
+  return false;
+}
+
+TermRef Inferencer::typeOfPattern(const FLPattern &P, const std::string &Func,
+                                  std::map<std::string, TermRef> &Env) {
+  switch (P.K) {
+  case FLPattern::Kind::Var: {
+    TermRef V = TS.mkVar();
+    Env[P.Name] = V;
+    return V;
+  }
+  case FLPattern::Kind::IntLit:
+    return TS.mkAtom(Syms.intern("int"));
+  case FLPattern::Kind::Ctor: {
+    CtorSig CS = instantiateCtor(
+        *ctorSig(P.Name, static_cast<uint32_t>(P.Args.size())));
+    for (size_t I = 0; I < P.Args.size(); ++I) {
+      TermRef Sub = typeOfPattern(P.Args[I], Func, Env);
+      if (!unifyTypes(Sub, CS.Fields[I], Func,
+                      "pattern " + P.Name + "/" +
+                          std::to_string(P.Args.size())))
+        return CS.Result;
+    }
+    return CS.Result;
+  }
+  }
+  return TS.mkVar();
+}
+
+TermRef Inferencer::typeOfExpr(const FLExpr &E, const std::string &Func,
+                               std::map<std::string, TermRef> &Env) {
+  switch (E.K) {
+  case FLExpr::Kind::Var: {
+    auto It = Env.find(E.Name);
+    if (It != Env.end())
+      return It->second;
+    TermRef V = TS.mkVar();
+    Env[E.Name] = V;
+    return V;
+  }
+  case FLExpr::Kind::IntLit:
+    return TS.mkAtom(Syms.intern("int"));
+  case FLExpr::Kind::Ctor: {
+    CtorSig CS = instantiateCtor(
+        *ctorSig(E.Name, static_cast<uint32_t>(E.Args.size())));
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      TermRef Sub = typeOfExpr(E.Args[I], Func, Env);
+      if (!unifyTypes(Sub, CS.Fields[I], Func,
+                      "constructor " + E.Name))
+        break;
+    }
+    return CS.Result;
+  }
+  case FLExpr::Kind::Prim: {
+    TermRef IntT = TS.mkAtom(Syms.intern("int"));
+    TermRef BoolT = TS.mkAtom(Syms.intern("bool"));
+    bool Cmp = E.Name == "<" || E.Name == "=<" || E.Name == ">" ||
+               E.Name == ">=";
+    bool Eq = E.Name == "==" || E.Name == "\\==";
+    if (Eq) {
+      // Polymorphic equality: both sides one type, result bool.
+      TermRef A = TS.mkVar();
+      for (const FLExpr &Arg : E.Args)
+        if (!unifyTypes(typeOfExpr(Arg, Func, Env), A, Func,
+                        "equality " + E.Name))
+          break;
+      return BoolT;
+    }
+    for (const FLExpr &Arg : E.Args)
+      if (!unifyTypes(typeOfExpr(Arg, Func, Env), IntT, Func,
+                      "arithmetic " + E.Name))
+        break;
+    return Cmp ? BoolT : IntT;
+  }
+  case FLExpr::Kind::Call: {
+    auto It = FuncSigs.find(E.Name);
+    if (It == FuncSigs.end())
+      return TS.mkVar(); // Undefined function; FLParser prevents this.
+    FuncSig &Sig = It->second;
+    if (Sig.Failed) {
+      fail(Func, "calls ill-typed function " + E.Name);
+      return TS.mkVar();
+    }
+    std::vector<TermRef> ArgTypes = Sig.Args;
+    TermRef Result = Sig.Result;
+    if (Sig.Generalized) {
+      // Let-polymorphism: instantiate a fresh copy of the signature.
+      VarRenaming R;
+      for (TermRef &A : ArgTypes)
+        A = copyTerm(TS, A, TS, R);
+      Result = copyTerm(TS, Result, TS, R);
+    }
+    for (size_t I = 0; I < E.Args.size(); ++I)
+      if (!unifyTypes(typeOfExpr(E.Args[I], Func, Env), ArgTypes[I], Func,
+                      "call to " + E.Name))
+        break;
+    return Result;
+  }
+  }
+  return TS.mkVar();
+}
+
+ErrorOr<TypeResult> Inferencer::run() {
+  auto Built = buildCtorSigs();
+  if (!Built)
+    return Built.getError();
+
+  // Signatures for every function.
+  for (const auto &[Name, Arity] : Program.Functions) {
+    FuncSig Sig;
+    for (uint32_t I = 0; I < Arity; ++I)
+      Sig.Args.push_back(TS.mkVar());
+    Sig.Result = TS.mkVar();
+    FuncSigs.emplace(Name, std::move(Sig));
+  }
+
+  // Call graph and SCCs (iterative Kosaraju would be overkill; function
+  // counts are small, so a simple Tarjan with recursion is fine).
+  std::map<std::string, std::set<std::string>> Calls;
+  for (const FLEquation &Eq : Program.Equations) {
+    std::function<void(const FLExpr &)> Walk = [&](const FLExpr &E) {
+      if (E.K == FLExpr::Kind::Call)
+        Calls[Eq.Func].insert(E.Name);
+      for (const FLExpr &A : E.Args)
+        Walk(A);
+    };
+    Walk(Eq.Rhs);
+  }
+
+  std::vector<std::string> Order; // Function names in definition order.
+  for (const auto &[Name, Arity] : Program.Functions)
+    Order.push_back(Name);
+
+  // Tarjan.
+  std::map<std::string, int> Index, Low;
+  std::vector<std::string> Stack;
+  std::set<std::string> OnStack;
+  std::vector<std::vector<std::string>> Sccs;
+  int Counter = 0;
+  std::function<void(const std::string &)> Strong =
+      [&](const std::string &V) {
+        Index[V] = Low[V] = Counter++;
+        Stack.push_back(V);
+        OnStack.insert(V);
+        for (const std::string &W : Calls[V]) {
+          if (!FuncSigs.count(W))
+            continue;
+          if (!Index.count(W)) {
+            Strong(W);
+            Low[V] = std::min(Low[V], Low[W]);
+          } else if (OnStack.count(W)) {
+            Low[V] = std::min(Low[V], Index[W]);
+          }
+        }
+        if (Low[V] == Index[V]) {
+          std::vector<std::string> Scc;
+          while (true) {
+            std::string W = Stack.back();
+            Stack.pop_back();
+            OnStack.erase(W);
+            Scc.push_back(W);
+            if (W == V)
+              break;
+          }
+          Sccs.push_back(std::move(Scc));
+        }
+      };
+  for (const std::string &F : Order)
+    if (!Index.count(F))
+      Strong(F);
+  // Tarjan emits SCCs callee-first, which is the processing order needed.
+
+  for (const std::vector<std::string> &Scc : Sccs) {
+    CurrentScc = std::set<std::string>(Scc.begin(), Scc.end());
+    for (const FLEquation &Eq : Program.Equations) {
+      if (!CurrentScc.count(Eq.Func))
+        continue;
+      FuncSig &Sig = FuncSigs[Eq.Func];
+      if (Sig.Failed)
+        continue;
+      std::map<std::string, TermRef> Env;
+      for (size_t I = 0; I < Eq.Params.size(); ++I) {
+        TermRef PT = typeOfPattern(Eq.Params[I], Eq.Func, Env);
+        if (Sig.Failed)
+          break;
+        if (!unifyTypes(PT, Sig.Args[I], Eq.Func,
+                        "argument " + std::to_string(I + 1)))
+          break;
+      }
+      if (Sig.Failed)
+        continue;
+      TermRef RhsT = typeOfExpr(Eq.Rhs, Eq.Func, Env);
+      if (!Sig.Failed)
+        unifyTypes(RhsT, Sig.Result, Eq.Func, "result");
+    }
+    for (const std::string &F : Scc)
+      FuncSigs[F].Generalized = true;
+  }
+
+  TypeResult Result;
+  for (const auto &[Name, Arity] : Program.Functions) {
+    const FuncSig &Sig = FuncSigs[Name];
+    FuncType FT;
+    FT.Name = Name;
+    FT.Arity = Arity;
+    FT.Ok = !Sig.Failed;
+    if (Sig.Failed) {
+      FT.Error = Sig.Error;
+    } else {
+      TypeRenderer R(Syms, TS);
+      std::string Args = "(";
+      for (size_t I = 0; I < Sig.Args.size(); ++I) {
+        if (I)
+          Args += ", ";
+        Args += R.render(Sig.Args[I]);
+      }
+      FT.Rendered = Args + ") -> " + R.render(Sig.Result);
+    }
+    Result.Functions.push_back(std::move(FT));
+  }
+  return Result;
+}
+
+} // namespace
+
+ErrorOr<TypeResult> TypeInference::infer(const FLProgram &Program) {
+  Inferencer I(Program);
+  return I.run();
+}
+
+ErrorOr<TypeResult> TypeInference::inferText(std::string_view Source) {
+  auto Program = FLParser::parse(Source);
+  if (!Program)
+    return Program.getError();
+  return infer(*Program);
+}

@@ -1,0 +1,67 @@
+//===- TypeInference.h - Hindley-Milner types via unification ---*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.1's constraint-domain example made concrete: Hindley-Milner
+/// type analysis of FL programs, "formulated as the solution to type
+/// equations, which are equations over the domain of equality
+/// constraints". As the paper observes, tabled evaluation is not needed —
+/// the equations are nonrecursive once recursion is handled monomorphic-
+/// ally — and the only engine requirement is that unification perform the
+/// occur check, which the term substrate provides as an option.
+///
+/// Functions are processed one call-graph SCC at a time (monomorphic
+/// within an SCC, let-polymorphic across SCCs: signatures of finished
+/// SCCs are instantiated fresh at each call site). Constructors come from
+/// ":- adt(...)" declarations plus the builtins (lists, booleans,
+/// integers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TYPES_TYPEINFERENCE_H
+#define LPA_TYPES_TYPEINFERENCE_H
+
+#include "fl/FLAst.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// Inferred type of one function (or the type error that stopped it).
+struct FuncType {
+  std::string Name;
+  uint32_t Arity = 0;
+  bool Ok = false;
+  /// Rendered principal type, e.g. "(list(A), list(A)) -> list(A)".
+  std::string Rendered;
+  /// Diagnostic when !Ok (unification failure or occur check).
+  std::string Error;
+};
+
+/// Result of typing a program.
+struct TypeResult {
+  std::vector<FuncType> Functions;
+  const FuncType *find(const std::string &Name) const;
+  /// True when every function typed successfully.
+  bool allOk() const;
+};
+
+/// Infers principal types for all functions of an FL program.
+class TypeInference {
+public:
+  /// Parses \p Source as FL and infers types.
+  static ErrorOr<TypeResult> inferText(std::string_view Source);
+
+  /// Infers types for an already-parsed program.
+  static ErrorOr<TypeResult> infer(const FLProgram &Program);
+};
+
+} // namespace lpa
+
+#endif // LPA_TYPES_TYPEINFERENCE_H

@@ -1,0 +1,306 @@
+//===- WamMachine.cpp - Executor for WAM-lite code -----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wamlite/WamMachine.h"
+
+#include "engine/Solver.h"
+#include "reader/Parser.h"
+#include "term/Unify.h"
+
+using namespace lpa;
+
+WamMachine::WamMachine(SymbolTable &Symbols, const CompiledProgram &Program)
+    : Symbols(Symbols), Builtins(Symbols) {
+  for (const CompiledClause &C : Program.Clauses)
+    Preds[key(C.Pred.Sym, C.Pred.Arity)].push_back(&C);
+}
+
+namespace {
+
+/// Structure-argument cursor: the WAM's S pointer. With skeleton
+/// building, write mode degenerates into read mode over fresh variables,
+/// so one instruction path serves both.
+struct SPointer {
+  TermRef Struct = InvalidTerm;
+  uint32_t Next = 0;
+};
+
+} // namespace
+
+bool WamMachine::runClause(const CompiledClause &C,
+                           const std::vector<TermRef> &Args, size_t Depth,
+                           const std::function<bool()> &OnSolution) {
+  // Register file: A/X registers share one space (A_i = X_i).
+  std::vector<TermRef> X(std::max<size_t>(C.NumTemporaries, Args.size()) + 1,
+                         InvalidTerm);
+  for (size_t I = 0; I < Args.size(); ++I)
+    X[I] = Args[I];
+  std::vector<TermRef> Y;
+  SPointer S;
+
+  auto RegRead = [&](uint32_t R) -> TermRef & {
+    if (WamInstr::isYReg(R))
+      return Y[WamInstr::regIndex(R)];
+    return X[R];
+  };
+
+  // Executes instructions from \p PC; returns true iff a callback asked
+  // to stop (failure returns false after the caller's undo).
+  std::function<bool(size_t)> Run = [&](size_t PC) -> bool {
+    for (; PC < C.Code.size(); ++PC) {
+      const WamInstr &I = C.Code[PC];
+      switch (I.Op) {
+      case WamOp::Allocate:
+        Y.assign(static_cast<size_t>(I.Imm), InvalidTerm);
+        break;
+      case WamOp::Deallocate:
+        break; // Environments are C++ locals.
+
+      case WamOp::GetVariable:
+        RegRead(I.Reg) = X[I.Arg];
+        break;
+      case WamOp::GetValue:
+        if (!unify(Heap, RegRead(I.Reg), X[I.Arg]))
+          return false;
+        break;
+      case WamOp::GetConstant: {
+        TermRef A = Heap.deref(X[I.Arg]);
+        if (Heap.tag(A) == TermTag::Ref)
+          Heap.bind(A, Heap.mkAtom(I.Sym));
+        else if (!(Heap.tag(A) == TermTag::Atom && Heap.symbol(A) == I.Sym))
+          return false;
+        break;
+      }
+      case WamOp::GetInteger: {
+        TermRef A = Heap.deref(X[I.Arg]);
+        if (Heap.tag(A) == TermTag::Ref)
+          Heap.bind(A, Heap.mkInt(I.Imm));
+        else if (!(Heap.tag(A) == TermTag::Int &&
+                   Heap.intValue(A) == I.Imm))
+          return false;
+        break;
+      }
+      case WamOp::GetStructure: {
+        TermRef A = Heap.deref(RegRead(I.Reg));
+        if (Heap.tag(A) == TermTag::Ref) {
+          // Write mode: bind a skeleton; unify ops then fill fresh slots.
+          std::vector<TermRef> Slots;
+          for (uint32_t K = 0; K < I.Arity; ++K)
+            Slots.push_back(Heap.mkVar());
+          TermRef Skel = Heap.mkStruct(I.Sym, Slots);
+          Heap.bind(A, Skel);
+          S = {Skel, 0};
+        } else if (Heap.tag(A) == TermTag::Struct &&
+                   Heap.symbol(A) == I.Sym && Heap.arity(A) == I.Arity) {
+          S = {A, 0}; // Read mode.
+        } else {
+          return false;
+        }
+        break;
+      }
+      case WamOp::UnifyVariable:
+        RegRead(I.Reg) = Heap.arg(S.Struct, S.Next++);
+        break;
+      case WamOp::UnifyValue:
+        if (!unify(Heap, RegRead(I.Reg), Heap.arg(S.Struct, S.Next++)))
+          return false;
+        break;
+      case WamOp::UnifyConstant: {
+        TermRef Slot = Heap.deref(Heap.arg(S.Struct, S.Next++));
+        if (Heap.tag(Slot) == TermTag::Ref)
+          Heap.bind(Slot, Heap.mkAtom(I.Sym));
+        else if (!(Heap.tag(Slot) == TermTag::Atom &&
+                   Heap.symbol(Slot) == I.Sym))
+          return false;
+        break;
+      }
+      case WamOp::UnifyInteger: {
+        TermRef Slot = Heap.deref(Heap.arg(S.Struct, S.Next++));
+        if (Heap.tag(Slot) == TermTag::Ref)
+          Heap.bind(Slot, Heap.mkInt(I.Imm));
+        else if (!(Heap.tag(Slot) == TermTag::Int &&
+                   Heap.intValue(Slot) == I.Imm))
+          return false;
+        break;
+      }
+      case WamOp::UnifyVoid:
+        ++S.Next;
+        break;
+
+      case WamOp::PutVariable: {
+        TermRef V = Heap.mkVar();
+        RegRead(I.Reg) = V;
+        X[I.Arg] = V;
+        break;
+      }
+      case WamOp::PutValue:
+        X[I.Arg] = RegRead(I.Reg);
+        break;
+      case WamOp::PutConstant:
+        X[I.Arg] = Heap.mkAtom(I.Sym);
+        break;
+      case WamOp::PutInteger:
+        X[I.Arg] = Heap.mkInt(I.Imm);
+        break;
+      case WamOp::PutStructure: {
+        std::vector<TermRef> Slots;
+        for (uint32_t K = 0; K < I.Arity; ++K)
+          Slots.push_back(Heap.mkVar());
+        TermRef Skel = Heap.mkStruct(I.Sym, Slots);
+        RegRead(I.Reg) = Skel;
+        S = {Skel, 0};
+        break;
+      }
+      case WamOp::SetVariable:
+        RegRead(I.Reg) = Heap.arg(S.Struct, S.Next++);
+        break;
+      case WamOp::SetValue:
+        if (!unify(Heap, Heap.arg(S.Struct, S.Next++), RegRead(I.Reg)))
+          return false;
+        break;
+      case WamOp::SetConstant: {
+        TermRef Slot = Heap.arg(S.Struct, S.Next++);
+        if (!unify(Heap, Slot, Heap.mkAtom(I.Sym)))
+          return false;
+        break;
+      }
+      case WamOp::SetInteger: {
+        TermRef Slot = Heap.arg(S.Struct, S.Next++);
+        if (!unify(Heap, Slot, Heap.mkInt(I.Imm)))
+          return false;
+        break;
+      }
+      case WamOp::SetVoid:
+        ++S.Next;
+        break;
+
+      case WamOp::Proceed:
+        return OnSolution();
+
+      case WamOp::Call:
+      case WamOp::Execute: {
+        std::vector<TermRef> CallArgs(X.begin(), X.begin() + I.Arity);
+
+        // Builtins execute on the argument registers.
+        BuiltinKind BK = Builtins.classify(I.Sym, I.Arity);
+        if (BK != BuiltinKind::None) {
+          bool Ok = false;
+          switch (BK) {
+          case BuiltinKind::True:
+            Ok = true;
+            break;
+          case BuiltinKind::Fail:
+            return false;
+          case BuiltinKind::Unify:
+            Ok = unify(Heap, CallArgs[0], CallArgs[1]);
+            break;
+          case BuiltinKind::Equal:
+            Ok = termsEqual(Heap, CallArgs[0], CallArgs[1]);
+            break;
+          case BuiltinKind::NotEqual:
+            Ok = !termsEqual(Heap, CallArgs[0], CallArgs[1]);
+            break;
+          case BuiltinKind::Is: {
+            auto V = evalArith(Heap, Symbols, CallArgs[1]);
+            Ok = V && unify(Heap, CallArgs[0], Heap.mkInt(*V));
+            break;
+          }
+          case BuiltinKind::Lt:
+          case BuiltinKind::Le:
+          case BuiltinKind::Gt:
+          case BuiltinKind::Ge:
+          case BuiltinKind::ArithEq:
+          case BuiltinKind::ArithNe: {
+            auto A = evalArith(Heap, Symbols, CallArgs[0]);
+            auto B = evalArith(Heap, Symbols, CallArgs[1]);
+            if (!A || !B)
+              return false;
+            switch (BK) {
+            case BuiltinKind::Lt: Ok = *A < *B; break;
+            case BuiltinKind::Le: Ok = *A <= *B; break;
+            case BuiltinKind::Gt: Ok = *A > *B; break;
+            case BuiltinKind::Ge: Ok = *A >= *B; break;
+            case BuiltinKind::ArithEq: Ok = *A == *B; break;
+            default: Ok = *A != *B; break;
+            }
+            break;
+          }
+          default:
+            // Control constructs are outside the compiled pure subset.
+            return false;
+          }
+          if (!Ok)
+            return false;
+          if (I.Op == WamOp::Execute)
+            return OnSolution();
+          break; // Continue after the Call.
+        }
+
+        // User predicate: recurse over its compiled clauses.
+        auto It = Preds.find(key(I.Sym, I.Arity));
+        if (It == Preds.end())
+          return false;
+        if (Depth > 20000)
+          return false; // Emergency brake for runaway recursion.
+
+        const std::function<bool()> Cont =
+            I.Op == WamOp::Execute
+                ? OnSolution
+                : std::function<bool()>([&, PC]() { return Run(PC + 1); });
+        for (const CompiledClause *Callee : It->second) {
+          auto M = Heap.mark();
+          bool Stop = runClause(*Callee, CallArgs, Depth + 1, Cont);
+          Heap.undoTo(M);
+          if (Stop)
+            return true;
+        }
+        return false; // All alternatives of the call exhausted.
+      }
+      }
+    }
+    return false; // Fell off the end (no Proceed): treat as failure.
+  };
+
+  return Run(0);
+}
+
+size_t WamMachine::solve(TermRef Goal, const std::function<bool()> &OnSolution) {
+  TermRef G = Heap.deref(Goal);
+  TermTag T = Heap.tag(G);
+  if (T != TermTag::Atom && T != TermTag::Struct)
+    return 0;
+
+  std::vector<TermRef> Args;
+  for (uint32_t I = 0, E = Heap.arity(G); I < E; ++I)
+    Args.push_back(Heap.arg(G, I));
+
+  size_t Count = 0;
+  auto Wrapped = [&]() -> bool {
+    ++Count;
+    return OnSolution ? OnSolution() : false;
+  };
+
+  auto It = Preds.find(key(Heap.symbol(G), Heap.arity(G)));
+  if (It == Preds.end())
+    return 0;
+  for (const CompiledClause *C : It->second) {
+    auto M = Heap.mark();
+    bool Stop = runClause(*C, Args, 0, Wrapped);
+    Heap.undoTo(M);
+    if (Stop)
+      break;
+  }
+  return Count;
+}
+
+ErrorOr<size_t> WamMachine::solveText(std::string_view GoalText,
+                                      const std::function<bool()> &OnSolution) {
+  auto Goal = Parser::parseTerm(Symbols, Heap, GoalText);
+  if (!Goal)
+    return Goal.getError();
+  return solve(*Goal, OnSolution);
+}

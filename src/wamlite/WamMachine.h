@@ -1,0 +1,73 @@
+//===- WamMachine.h - Executor for WAM-lite code ----------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes WAM-lite code: the "full compilation" arm of Section 4's
+/// tradeoff, complete with evaluation. Head matching runs the compiled
+/// get/unify streams with the classic read/write modes (no head-term
+/// copying — the WAM's core win over clause-renaming interpretation);
+/// body goals are built by put/set streams and solved by recursion over
+/// the compiled clauses with trail-based backtracking.
+///
+/// Scope: the pure subset plus arithmetic and comparison builtins — what
+/// the Figure-1/Figure-3 abstract programs need, minus tabling (XSB
+/// compiled code shares the tabling engine; here the executor serves the
+/// compile-vs-interpret evaluation measurement, so plain SLD suffices).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_WAMLITE_WAMMACHINE_H
+#define LPA_WAMLITE_WAMMACHINE_H
+
+#include "engine/Builtins.h"
+#include "wamlite/WamCompiler.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace lpa {
+
+/// Executes a CompiledProgram.
+class WamMachine {
+public:
+  WamMachine(SymbolTable &Symbols, const CompiledProgram &Program);
+
+  /// The heap in which callers build query goals.
+  TermStore &store() { return Heap; }
+
+  /// Proves \p Goal (a term in store()); calls \p OnSolution per solution
+  /// with bindings in place (return true to stop). \returns the number of
+  /// solutions.
+  size_t solve(TermRef Goal, const std::function<bool()> &OnSolution);
+
+  /// Parses and proves \p GoalText.
+  ErrorOr<size_t> solveText(std::string_view GoalText,
+                            const std::function<bool()> &OnSolution);
+
+private:
+  /// Solves one goal term; recursion depth doubles as an emergency brake.
+  bool solveGoal(TermRef Goal, size_t Depth,
+                 const std::function<bool()> &OnSolution);
+
+  /// Runs one clause against argument registers \p Args; on head match,
+  /// solves the body and calls \p OnSolution at the end.
+  bool runClause(const CompiledClause &C, const std::vector<TermRef> &Args,
+                 size_t Depth, const std::function<bool()> &OnSolution);
+
+  SymbolTable &Symbols;
+  BuiltinTable Builtins;
+  TermStore Heap;
+  std::unordered_map<uint64_t, std::vector<const CompiledClause *>> Preds;
+
+  static uint64_t key(SymbolId Sym, uint32_t Arity) {
+    return (uint64_t(Sym) << 32) | Arity;
+  }
+};
+
+} // namespace lpa
+
+#endif // LPA_WAMLITE_WAMMACHINE_H

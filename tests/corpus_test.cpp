@@ -1,0 +1,204 @@
+//===- corpus_test.cpp - Benchmark corpus integration tests ------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Every embedded benchmark must parse and run through its analysis
+// end-to-end; for the logic benchmarks the engine and the GAIA-like
+// baseline must agree exactly (the Table 2 property at corpus scale).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GaiaLike.h"
+#include "corpus/Corpus.h"
+#include "depthk/DepthK.h"
+#include "fl/FLParser.h"
+#include "reader/Parser.h"
+#include "prop/Groundness.h"
+#include "strictness/Strictness.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Logic-program benchmarks (Tables 1/2/4)
+//===----------------------------------------------------------------------===//
+
+class PrologCorpusTest : public ::testing::TestWithParam<size_t> {
+protected:
+  const CorpusProgram &program() const {
+    return prologBenchmarks()[GetParam()];
+  }
+};
+
+TEST_P(PrologCorpusTest, ParsesAsProlog) {
+  SymbolTable Syms;
+  TermStore Store;
+  auto Clauses = Parser::parseProgram(Syms, Store, program().Source);
+  ASSERT_TRUE(Clauses.hasValue())
+      << program().Name << ": " << Clauses.getError().str();
+  EXPECT_GT(Clauses->size(), 5u) << program().Name;
+}
+
+TEST_P(PrologCorpusTest, GroundnessAnalysisSucceeds) {
+  SymbolTable Syms;
+  GroundnessAnalyzer A(Syms);
+  auto R = A.analyze(program().Source);
+  ASSERT_TRUE(R.hasValue())
+      << program().Name << ": " << R.getError().str();
+  EXPECT_FALSE(R->Predicates.empty());
+  EXPECT_GT(R->TableSpaceBytes, 0u);
+  // Every program defines a go/N driver that can succeed.
+  bool FoundGo = false;
+  for (const PredGroundness &P : R->Predicates)
+    if (P.Name == "go") {
+      FoundGo = true;
+      EXPECT_TRUE(P.CanSucceed) << program().Name << " go/" << P.Arity;
+    }
+  EXPECT_TRUE(FoundGo) << program().Name;
+}
+
+TEST_P(PrologCorpusTest, BaselineAgreesWithEngine) {
+  SymbolTable Syms1, Syms2;
+  GroundnessAnalyzer Engine(Syms1);
+  GaiaLikeAnalyzer Baseline(Syms2);
+  auto RE = Engine.analyze(program().Source);
+  auto RB = Baseline.analyze(program().Source);
+  ASSERT_TRUE(RE.hasValue()) << program().Name;
+  ASSERT_TRUE(RB.hasValue()) << program().Name;
+  ASSERT_EQ(RE->Predicates.size(), RB->Predicates.size());
+  for (size_t I = 0; I < RE->Predicates.size(); ++I) {
+    EXPECT_EQ(RE->Predicates[I].Name, RB->Predicates[I].Name);
+    EXPECT_EQ(RE->Predicates[I].SuccessSet, RB->Predicates[I].SuccessSet)
+        << program().Name << " " << RE->Predicates[I].Name << "/"
+        << RE->Predicates[I].Arity;
+  }
+}
+
+TEST_P(PrologCorpusTest, DepthKAnalysisSucceeds) {
+  SymbolTable Syms;
+  DepthKAnalyzer A(Syms);
+  auto R = A.analyze(program().Source);
+  ASSERT_TRUE(R.hasValue())
+      << program().Name << ": " << R.getError().str();
+  EXPECT_FALSE(R->Predicates.empty());
+  EXPECT_GT(R->NumCallPatterns, 0u);
+}
+
+TEST_P(PrologCorpusTest, DepthKGroundnessIsConsistentWithProp) {
+  // Soundness cross-check: if depth-k says an argument is ground on
+  // success, Prop must not contradict it with a nonground-only success
+  // set... both are over-approximations of the same concrete semantics,
+  // so "definitely ground" flags may differ in precision but a predicate
+  // that can succeed in one analysis must succeed in the other.
+  SymbolTable Syms1, Syms2;
+  GroundnessAnalyzer Prop(Syms1);
+  DepthKAnalyzer DK(Syms2);
+  auto RP = Prop.analyze(program().Source);
+  auto RD = DK.analyze(program().Source);
+  ASSERT_TRUE(RP.hasValue());
+  ASSERT_TRUE(RD.hasValue());
+  for (const PredGroundness &P : RP->Predicates) {
+    const DepthKPred *D = RD->find(P.Name, P.Arity);
+    ASSERT_NE(D, nullptr) << P.Name;
+    EXPECT_EQ(P.CanSucceed, D->CanSucceed)
+        << program().Name << " " << P.Name << "/" << P.Arity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLogicBenchmarks, PrologCorpusTest,
+    ::testing::Range(size_t(0), prologBenchmarks().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return std::string(prologBenchmarks()[Info.param].Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Functional benchmarks (Table 3)
+//===----------------------------------------------------------------------===//
+
+class FLCorpusTest : public ::testing::TestWithParam<size_t> {
+protected:
+  const CorpusProgram &program() const { return flBenchmarks()[GetParam()]; }
+};
+
+TEST_P(FLCorpusTest, ParsesAsFL) {
+  auto P = FLParser::parse(program().Source);
+  ASSERT_TRUE(P.hasValue())
+      << program().Name << ": " << P.getError().str();
+  EXPECT_GT(P->Functions.size(), 2u) << program().Name;
+  EXPECT_FALSE(P->Equations.empty());
+}
+
+TEST_P(FLCorpusTest, StrictnessAnalysisSucceeds) {
+  StrictnessAnalyzer A;
+  auto R = A.analyze(program().Source);
+  ASSERT_TRUE(R.hasValue())
+      << program().Name << ": " << R.getError().str();
+  EXPECT_FALSE(R->Functions.empty());
+  EXPECT_GT(R->TableSpaceBytes, 0u);
+  // main must not diverge under e-demand in any benchmark.
+  const FuncStrictness *Main = R->find("main");
+  ASSERT_NE(Main, nullptr) << program().Name;
+  EXPECT_FALSE(Main->DivergesUnderE) << program().Name;
+}
+
+TEST_P(FLCorpusTest, IfIsNeverStrictInBothBranches) {
+  // Every benchmark defines if/3; demand analysis must see that the two
+  // branches are alternatives, never both demanded.
+  StrictnessAnalyzer A;
+  auto R = A.analyze(program().Source);
+  ASSERT_TRUE(R.hasValue());
+  const FuncStrictness *If = R->find("if");
+  if (!If)
+    return; // A benchmark without if/3 is fine.
+  ASSERT_EQ(If->Arity, 3u);
+  EXPECT_FALSE(If->UnderE.size() == 3 && If->UnderE[1] > Demand::None &&
+               If->UnderE[2] > Demand::None)
+      << program().Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFLBenchmarks, FLCorpusTest,
+    ::testing::Range(size_t(0), flBenchmarks().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return std::string(flBenchmarks()[Info.param].Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Corpus shape checks
+//===----------------------------------------------------------------------===//
+
+TEST(Corpus, BenchmarkCountsMatchPaper) {
+  EXPECT_EQ(prologBenchmarks().size(), 12u); // Table 1/2 rows.
+  EXPECT_EQ(flBenchmarks().size(), 10u);     // Table 3 rows.
+}
+
+TEST(Corpus, SizesAreInPaperBand) {
+  // Our rewritten benchmarks should be in the same size band as the
+  // paper's line counts (within a factor of 2 either way).
+  for (const CorpusProgram &P : prologBenchmarks()) {
+    EXPECT_GT(P.sourceLines(), P.PaperLines / 3) << P.Name;
+    EXPECT_LT(P.sourceLines(), P.PaperLines * 3) << P.Name;
+  }
+}
+
+TEST(Corpus, FindBenchmarkWorks) {
+  EXPECT_NE(findBenchmark("qsort"), nullptr);
+  EXPECT_NE(findBenchmark("pcprove"), nullptr);
+  EXPECT_EQ(findBenchmark("nonexistent"), nullptr);
+}
+
+TEST(Corpus, PaperRowsArePresent) {
+  for (const CorpusProgram &P : prologBenchmarks()) {
+    EXPECT_GT(P.Table1.Total, 0) << P.Name;
+    EXPECT_GT(P.GaiaSeconds, 0) << P.Name;
+  }
+  for (const CorpusProgram &P : flBenchmarks())
+    EXPECT_GT(P.Table1.Total, 0) << P.Name;
+}
+
+} // namespace

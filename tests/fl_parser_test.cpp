@@ -1,0 +1,148 @@
+//===- fl_parser_test.cpp - FL frontend tests -------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fl/FLParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+FLProgram parseOk(const char *Source) {
+  auto P = FLParser::parse(Source);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.getError().str());
+  return P ? std::move(*P) : FLProgram();
+}
+
+TEST(FLParser, SimpleEquation) {
+  auto P = parseOk("id(x) = x.");
+  ASSERT_EQ(P.Equations.size(), 1u);
+  EXPECT_EQ(P.Equations[0].Func, "id");
+  ASSERT_EQ(P.Equations[0].Params.size(), 1u);
+  EXPECT_EQ(P.Equations[0].Params[0].K, FLPattern::Kind::Var);
+  EXPECT_EQ(P.Equations[0].Rhs.K, FLExpr::Kind::Var);
+}
+
+TEST(FLParser, AppendProgram) {
+  auto P = parseOk(R"(
+    ap(nil, ys) = ys.
+    ap(cons(x, xs), ys) = cons(x, ap(xs, ys)).
+  )");
+  ASSERT_EQ(P.Equations.size(), 2u);
+  ASSERT_EQ(P.Functions.size(), 1u);
+  EXPECT_EQ(P.Functions[0], (std::pair<std::string, uint32_t>("ap", 2)));
+
+  // nil is a builtin 0-ary constructor; cons/2 auto-registered from the
+  // pattern.
+  const auto &Eq0 = P.Equations[0];
+  EXPECT_EQ(Eq0.Params[0].K, FLPattern::Kind::Ctor);
+  EXPECT_EQ(Eq0.Params[0].Name, "nil");
+  EXPECT_EQ(Eq0.Params[1].K, FLPattern::Kind::Var);
+
+  const auto &Eq1 = P.Equations[1];
+  EXPECT_EQ(Eq1.Params[0].K, FLPattern::Kind::Ctor);
+  EXPECT_EQ(Eq1.Params[0].Name, "cons");
+  ASSERT_EQ(Eq1.Params[0].Args.size(), 2u);
+  EXPECT_EQ(Eq1.Params[0].Args[0].K, FLPattern::Kind::Var);
+
+  // rhs cons(x, ap(xs, ys)): Ctor with nested Call.
+  EXPECT_EQ(Eq1.Rhs.K, FLExpr::Kind::Ctor);
+  ASSERT_EQ(Eq1.Rhs.Args.size(), 2u);
+  EXPECT_EQ(Eq1.Rhs.Args[1].K, FLExpr::Kind::Call);
+  EXPECT_EQ(Eq1.Rhs.Args[1].Name, "ap");
+}
+
+TEST(FLParser, ArithmeticPrimitives) {
+  auto P = parseOk("len(nil) = 0. len(cons(x, xs)) = 1 + len(xs).");
+  const auto &Rhs = P.Equations[1].Rhs;
+  EXPECT_EQ(Rhs.K, FLExpr::Kind::Prim);
+  EXPECT_EQ(Rhs.Name, "+");
+  ASSERT_EQ(P.Primitives.size(), 1u);
+  EXPECT_EQ(P.Primitives[0], (std::pair<std::string, uint32_t>("+", 2)));
+}
+
+TEST(FLParser, IfAsUserFunction) {
+  auto P = parseOk(R"(
+    if(true, t, e) = t.
+    if(false, t, e) = e.
+    f(n) = if(n < 1, 0, f(n - 1)).
+  )");
+  EXPECT_EQ(P.functionArity("if"), 3);
+  // In the 'if' equations, 'true'/'false' are constructors and t/e vars.
+  EXPECT_EQ(P.Equations[0].Params[0].K, FLPattern::Kind::Ctor);
+  EXPECT_EQ(P.Equations[0].Params[1].K, FLPattern::Kind::Var);
+  // The call site: if(Prim, IntLit, Call).
+  const auto &Rhs = P.Equations[2].Rhs;
+  EXPECT_EQ(Rhs.K, FLExpr::Kind::Call);
+  EXPECT_EQ(Rhs.Args[0].K, FLExpr::Kind::Prim);
+  EXPECT_EQ(Rhs.Args[1].K, FLExpr::Kind::IntLit);
+  EXPECT_EQ(Rhs.Args[2].K, FLExpr::Kind::Call);
+}
+
+TEST(FLParser, DataDeclaration) {
+  auto P = parseOk(R"(
+    :- data pair/2, mt/0.
+    swap(pair(a, b)) = pair(b, a).
+    mk(x) = mt.
+  )");
+  EXPECT_EQ(P.Equations[1].Rhs.K, FLExpr::Kind::Ctor);
+  EXPECT_EQ(P.Equations[1].Rhs.Name, "mt");
+}
+
+TEST(FLParser, IntegerLiteralPatterns) {
+  auto P = parseOk("fib(0) = 0. fib(1) = 1. fib(n) = fib(n-1) + fib(n-2).");
+  EXPECT_EQ(P.Equations[0].Params[0].K, FLPattern::Kind::IntLit);
+  EXPECT_EQ(P.Equations[0].Params[0].IntValue, 0);
+  EXPECT_EQ(P.Equations[2].Params[0].K, FLPattern::Kind::Var);
+}
+
+TEST(FLParser, NestedPatterns) {
+  auto P = parseOk("f(cons(pair(a, b), t)) = a.");
+  const auto &Pat = P.Equations[0].Params[0];
+  EXPECT_EQ(Pat.Name, "cons");
+  EXPECT_EQ(Pat.Args[0].K, FLPattern::Kind::Ctor);
+  EXPECT_EQ(Pat.Args[0].Name, "pair");
+  // pair/2 was auto-registered.
+  bool FoundPair = false;
+  for (const auto &[N, A] : P.Constructors)
+    FoundPair |= (N == "pair" && A == 2);
+  EXPECT_TRUE(FoundPair);
+}
+
+TEST(FLParser, ErrorOnNonEquation) {
+  auto P = FLParser::parse("p :- q.");
+  EXPECT_FALSE(P.hasValue());
+}
+
+TEST(FLParser, ErrorOnNonLinearPattern) {
+  auto P = FLParser::parse("f(x, x) = x.");
+  EXPECT_FALSE(P.hasValue());
+}
+
+TEST(FLParser, ErrorOnFunctionInPattern) {
+  auto P = FLParser::parse("g(x) = x. f(g(x)) = x.");
+  EXPECT_FALSE(P.hasValue());
+}
+
+TEST(FLParser, ErrorOnUnknownRhsName) {
+  auto P = FLParser::parse("f(x) = y.");
+  EXPECT_FALSE(P.hasValue());
+}
+
+TEST(FLParser, ErrorOnArityMismatch) {
+  auto P = FLParser::parse("f(x) = x. g(y) = f(y, y).");
+  EXPECT_FALSE(P.hasValue());
+}
+
+TEST(FLParser, ZeroArityFunction) {
+  auto P = parseOk("ones = cons(1, ones).");
+  EXPECT_EQ(P.functionArity("ones"), 0);
+  EXPECT_EQ(P.Equations[0].Rhs.Args[1].K, FLExpr::Kind::Call);
+}
+
+} // namespace

@@ -1,0 +1,287 @@
+//===- groundness_test.cpp - End-to-end Prop groundness tests ---------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// These tests check the analysis *results* of Section 3.1 / Figure 2: the
+// success set of gp_ap/3 is exactly the truth table of x /\ y <-> z, and
+// input groundness falls out of the call tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prop/Groundness.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+TruthTable table(std::initializer_list<std::initializer_list<int>> Rows) {
+  TruthTable T;
+  for (const auto &R : Rows) {
+    BoolTuple Row;
+    for (int V : R)
+      Row.push_back(static_cast<uint8_t>(V));
+    T.insert(Row);
+  }
+  return T;
+}
+
+class GroundnessTest : public ::testing::Test {
+protected:
+  GroundnessResult analyze(const char *Source) {
+    GroundnessAnalyzer A(Syms);
+    auto R = A.analyze(Source);
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.getError().str());
+    return R ? *R : GroundnessResult();
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(GroundnessTest, Figure2AppendSuccessSet) {
+  auto R = analyze(R"(
+    ap([], Ys, Ys).
+    ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+  )");
+  const PredGroundness *Ap = R.find("ap", 3);
+  ASSERT_NE(Ap, nullptr);
+  // The paper: success set of gp_ap(X,Y,Z) is the truth table of
+  // X /\ Y <-> Z: {(t,t,t),(t,f,f),(f,t,f),(f,f,f)}.
+  EXPECT_EQ(Ap->SuccessSet,
+            table({{1, 1, 1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 0}}));
+  EXPECT_TRUE(Ap->CanSucceed);
+  // No argument is ground in every solution.
+  EXPECT_EQ(Ap->GroundOnSuccess, (std::vector<uint8_t>{0, 0, 0}));
+}
+
+TEST_F(GroundnessTest, GroundFactsYieldAllTrue) {
+  auto R = analyze("p(a, b). p(c, d).");
+  const PredGroundness *P = R.find("p", 2);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->SuccessSet, table({{1, 1}}));
+  EXPECT_EQ(P->GroundOnSuccess, (std::vector<uint8_t>{1, 1}));
+}
+
+TEST_F(GroundnessTest, FreeVariableFactAllowsBoth) {
+  auto R = analyze("p(X, a).");
+  const PredGroundness *P = R.find("p", 2);
+  ASSERT_NE(P, nullptr);
+  // First argument free: both rows; second always ground.
+  EXPECT_EQ(P->SuccessSet, table({{1, 1}, {0, 1}}));
+  EXPECT_EQ(P->GroundOnSuccess, (std::vector<uint8_t>{0, 1}));
+}
+
+TEST_F(GroundnessTest, NeverSucceedingPredicate) {
+  auto R = analyze("p(X) :- fail.");
+  const PredGroundness *P = R.find("p", 1);
+  ASSERT_NE(P, nullptr);
+  EXPECT_FALSE(P->CanSucceed);
+  EXPECT_TRUE(P->SuccessSet.empty());
+}
+
+TEST_F(GroundnessTest, GroundnessPropagatesThroughCalls) {
+  auto R = analyze(R"(
+    base(a).
+    derived(X) :- base(X).
+  )");
+  const PredGroundness *D = R.find("derived", 1);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->SuccessSet, table({{1}}));
+}
+
+TEST_F(GroundnessTest, RecursionWithAccumulator) {
+  // reverse/3 with accumulator: if acc and input are ground, output is.
+  auto R = analyze(R"(
+    rev([], Acc, Acc).
+    rev([X|Xs], Acc, R) :- rev(Xs, [X|Acc], R).
+  )");
+  const PredGroundness *Rev = R.find("rev", 3);
+  ASSERT_NE(Rev, nullptr);
+  // Success implies in /\ acc <-> out, same shape as append.
+  EXPECT_EQ(Rev->SuccessSet,
+            table({{1, 1, 1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 0}}));
+}
+
+TEST_F(GroundnessTest, ArithmeticMakesResultGround) {
+  auto R = analyze(R"(
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+  )");
+  const PredGroundness *Len = R.find("len", 2);
+  ASSERT_NE(Len, nullptr);
+  // The length is ground in every solution; the list need not be.
+  EXPECT_EQ(Len->GroundOnSuccess, (std::vector<uint8_t>{0, 1}));
+  // Second argument true in all rows.
+  for (const BoolTuple &Row : Len->SuccessSet)
+    EXPECT_TRUE(Row[1]);
+}
+
+TEST_F(GroundnessTest, InputPatternsFromCallTable) {
+  auto R = analyze(R"(
+    main(Y) :- helper(a, Y).
+    helper(X, X).
+  )");
+  const PredGroundness *H = R.find("helper", 2);
+  ASSERT_NE(H, nullptr);
+  // helper is called from main with a ground first argument, and with the
+  // open call issued by the analyzer itself.
+  EXPECT_TRUE(H->CallPatterns.count(BoolTuple{1, 0}));
+  EXPECT_TRUE(H->CallPatterns.count(BoolTuple{0, 0}));
+}
+
+TEST_F(GroundnessTest, QuicksortIsGroundPreserving) {
+  auto R = analyze(R"(
+    qsort([], []).
+    qsort([X|Xs], S) :-
+        part(Xs, X, L, G), qsort(L, SL), qsort(G, SG),
+        app(SL, [X|SG], S).
+    part([], _, [], []).
+    part([Y|Ys], X, [Y|L], G) :- Y =< X, part(Ys, X, L, G).
+    part([Y|Ys], X, L, [Y|G]) :- Y > X, part(Ys, X, L, G).
+    app([], Ys, Ys).
+    app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+  )");
+  const PredGroundness *Q = R.find("qsort", 2);
+  ASSERT_NE(Q, nullptr);
+  // qsort([X], [X]) succeeds with X unbound (the part([],_,[],[]) base
+  // case never compares the pivot), so the success set is x <-> y — the
+  // analysis is more precise than the naive "always ground" guess.
+  EXPECT_EQ(Q->SuccessSet, table({{1, 1}, {0, 0}}));
+  const PredGroundness *P = R.find("part", 4);
+  ASSERT_NE(P, nullptr);
+  // The pivot (arg 2) may stay nonground when the list is empty.
+  EXPECT_EQ(P->GroundOnSuccess, (std::vector<uint8_t>{1, 0, 1, 1}));
+}
+
+TEST_F(GroundnessTest, MutualRecursion) {
+  auto R = analyze(R"(
+    even(0).
+    even(N) :- N > 0, M is N - 1, odd(M).
+    odd(N) :- N > 0, M is N - 1, even(M).
+  )");
+  const PredGroundness *E = R.find("even", 1);
+  const PredGroundness *O = R.find("odd", 1);
+  ASSERT_NE(E, nullptr);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(E->SuccessSet, table({{1}}));
+  EXPECT_EQ(O->SuccessSet, table({{1}}));
+}
+
+TEST_F(GroundnessTest, PhaseTimingsAreRecorded) {
+  auto R = analyze("p(a).");
+  EXPECT_GE(R.PreprocSeconds, 0.0);
+  EXPECT_GE(R.AnalysisSeconds, 0.0);
+  EXPECT_GE(R.CollectSeconds, 0.0);
+  EXPECT_GT(R.TableSpaceBytes, 0u);
+}
+
+TEST_F(GroundnessTest, ZeroArityPredicate) {
+  auto R = analyze("main :- p(a). p(X).");
+  const PredGroundness *M = R.find("main", 0);
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(M->CanSucceed);
+  EXPECT_EQ(M->SuccessSet, table({{}}));
+}
+
+TEST_F(GroundnessTest, ModeStringRendering) {
+  auto R = analyze("p(a, X).");
+  const PredGroundness *P = R.find("p", 2);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->modeString(), "p(g,?) <- p(?,?)");
+}
+
+TEST_F(GroundnessTest, NonLinearHeadSharing) {
+  // p(X, X): arguments always equi-ground.
+  auto R = analyze("p(X, X).");
+  const PredGroundness *P = R.find("p", 2);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->SuccessSet, table({{1, 1}, {0, 0}}));
+}
+
+} // namespace
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Section 6.2: aggregated (mode-level) analysis
+//===----------------------------------------------------------------------===//
+
+class AggregatedGroundnessTest : public ::testing::Test {
+protected:
+  GroundnessResult analyzeWith(const char *Source, bool Aggregate) {
+    SymbolTable Syms;
+    GroundnessAnalyzer::Options Opts;
+    Opts.AggregateModes = Aggregate;
+    GroundnessAnalyzer A(Syms, Opts);
+    auto R = A.analyze(Source);
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.getError().str());
+    return R ? *R : GroundnessResult();
+  }
+};
+
+TEST_F(AggregatedGroundnessTest, AppendModesSurvivesAggregation) {
+  const char *Ap = R"(
+    ap([], Ys, Ys).
+    ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+  )";
+  auto Agg = analyzeWith(Ap, true);
+  const PredGroundness *P = Agg.find("ap", 3);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(P->CanSucceed);
+  // The summary of append's truth table is (?,?,?): no argument is ground
+  // in every solution.
+  EXPECT_EQ(P->GroundOnSuccess, (std::vector<uint8_t>{0, 0, 0}));
+}
+
+TEST_F(AggregatedGroundnessTest, DefiniteGroundnessIsPreservedWhenUniform) {
+  // When every solution agrees, aggregation loses nothing.
+  auto Agg = analyzeWith("p(a, X). p(b, Y).", true);
+  const PredGroundness *P = Agg.find("p", 2);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->GroundOnSuccess, (std::vector<uint8_t>{1, 0}));
+}
+
+TEST_F(AggregatedGroundnessTest, AggregationIsSoundWrtFullAnalysis) {
+  // Aggregated "definitely ground" must imply full-Prop "definitely
+  // ground" (the aggregate is an over-approximation).
+  const char *Prog = R"(
+    qsort([], []).
+    qsort([X|Xs], S) :-
+        part(Xs, X, L, G), qsort(L, SL), qsort(G, SG),
+        app(SL, [X|SG], S).
+    part([], _, [], []).
+    part([Y|Ys], X, [Y|L], G) :- Y =< X, part(Ys, X, L, G).
+    part([Y|Ys], X, L, [Y|G]) :- Y > X, part(Ys, X, L, G).
+    app([], Ys, Ys).
+    app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+  )";
+  auto Full = analyzeWith(Prog, false);
+  auto Agg = analyzeWith(Prog, true);
+  ASSERT_EQ(Full.Predicates.size(), Agg.Predicates.size());
+  for (size_t I = 0; I < Full.Predicates.size(); ++I) {
+    const PredGroundness &F = Full.Predicates[I];
+    const PredGroundness &G = Agg.Predicates[I];
+    // full CanSucceed implies aggregated CanSucceed (over-approximation).
+    EXPECT_TRUE(!F.CanSucceed || G.CanSucceed) << F.Name;
+    for (uint32_t A = 0; A < F.Arity; ++A)
+      EXPECT_TRUE(!G.GroundOnSuccess[A] || F.GroundOnSuccess[A])
+          << F.Name << " arg " << A;
+  }
+}
+
+TEST_F(AggregatedGroundnessTest, TablesShrink) {
+  const char *Prog = R"(
+    p(X1, X2, X3, X4) :- q(X1), q(X2), q(X3), q(X4).
+    q(a). q(X).
+  )";
+  auto Full = analyzeWith(Prog, false);
+  auto Agg = analyzeWith(Prog, true);
+  EXPECT_LT(Agg.Stats.AnswersRecorded + 8, Full.Stats.AnswersRecorded + 8);
+  EXPECT_LE(Agg.TableSpaceBytes, Full.TableSpaceBytes);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- prop_transform_test.cpp - Figure 1 transformation tests --------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prop/PropTransform.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+class PropTransformTest : public ::testing::Test {
+protected:
+  /// Transforms a program and renders its abstract clauses.
+  std::vector<std::string> transform(const char *Source) {
+    PropTransformer T(Syms);
+    TermStore Dst;
+    auto P = T.transformText(Source, Dst);
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.getError().str());
+    std::vector<std::string> Out;
+    if (P)
+      for (TermRef C : P->Clauses)
+        Out.push_back(TermWriter::toString(Syms, Dst, C));
+    return Out;
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(PropTransformTest, FactWithGroundArgs) {
+  auto C = transform("p(a, 42).");
+  ASSERT_EQ(C.size(), 1u);
+  // Each ground argument becomes iff(Ai): Ai <-> true.
+  EXPECT_EQ(C[0], "gp_p(_A,_B) :- (iff(_A), iff(_B))");
+}
+
+TEST_F(PropTransformTest, BareVariableArgsNeedNoIff) {
+  auto C = transform("p(X, Y).");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A,_B)");
+}
+
+TEST_F(PropTransformTest, SharedVariableLinksArguments) {
+  auto C = transform("p(X, X).");
+  ASSERT_EQ(C.size(), 1u);
+  // Both head args are the same tau variable.
+  EXPECT_EQ(C[0], "gp_p(_A,_A)");
+}
+
+TEST_F(PropTransformTest, Figure2AppendAbstraction) {
+  // Figure 2 of the paper: ap/3 and its abstraction gp_ap/3.
+  auto C = transform(R"(
+    ap([], Ys, Ys).
+    ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+  )");
+  ASSERT_EQ(C.size(), 2u);
+  // Clause 1: [] is ground (iff(X1)); arguments 2 and 3 share one tau(Ys).
+  EXPECT_EQ(C[0], "gp_ap(_A,_B,_B) :- iff(_A)");
+  // Clause 2: iff(A1, TX, TXs), iff(A3, TX, TZs), gp_ap(TXs, TYs, TZs).
+  EXPECT_EQ(C[1], "gp_ap(_A,_B,_C) :- (iff(_A,_D,_E), iff(_C,_D,_F), "
+                  "gp_ap(_E,_B,_F))");
+}
+
+TEST_F(PropTransformTest, ExplicitUnificationDecomposes) {
+  auto C = transform("p(X, Y) :- X = f(Y, a).");
+  ASSERT_EQ(C.size(), 1u);
+  // X = f(Y,a) yields iff(TX, TY) via S[f(Y,a)]TX (the 'a' is ground).
+  EXPECT_EQ(C[0], "gp_p(_A,_B) :- (iff(_C,_B), iff(_A,_C))");
+}
+
+TEST_F(PropTransformTest, UnificationOfStructsDecomposesPairwise) {
+  auto C = transform("p(X, Y) :- f(X, b) = f(a, Y).");
+  ASSERT_EQ(C.size(), 1u);
+  // Decomposition grounds X (X=a) and Y (Y=b) independently: each pair
+  // emits iff(C) for the ground side and iff(Tv, C) linking the variable.
+  // The worklist is LIFO, so the (b, Y) pair is processed first.
+  EXPECT_EQ(C[0], "gp_p(_A,_B) :- (iff(_C), iff(_B,_C), iff(_D), iff(_A,_D))");
+}
+
+TEST_F(PropTransformTest, UnificationClashAbstractsToFail) {
+  auto C = transform("p(X) :- a = b.");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A) :- fail");
+}
+
+TEST_F(PropTransformTest, ArithmeticGroundsVariables) {
+  auto C = transform("p(X, Y) :- X is Y + 1.");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A,_B) :- (iff(_A), iff(_B))");
+}
+
+TEST_F(PropTransformTest, ComparisonGroundsVariables) {
+  auto C = transform("p(X, Y) :- X < Y.");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A,_B) :- (iff(_A), iff(_B))");
+}
+
+TEST_F(PropTransformTest, CutAndTrueDisappear) {
+  auto C = transform("p(X) :- !, q(X), true.");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A) :- gp_q(_A)");
+}
+
+TEST_F(PropTransformTest, NegationIsTreatedAsTrue) {
+  auto C = transform("p(X) :- \\+ q(X).");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A)");
+}
+
+TEST_F(PropTransformTest, TypeTestsGroundTheirArgument) {
+  auto C = transform("p(X) :- atom(X).");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A) :- iff(_A)");
+  auto C2 = transform("p(X) :- var(X).");
+  EXPECT_EQ(C2[0], "gp_p(_A)");
+}
+
+TEST_F(PropTransformTest, NestedStructuresCollectAllVars) {
+  auto C = transform("p(f(X, g(Y, X)), Z).");
+  ASSERT_EQ(C.size(), 1u);
+  // Vars of arg 1 are {X, Y} in first-occurrence order.
+  EXPECT_EQ(C[0], "gp_p(_A,_B) :- iff(_A,_C,_D)");
+}
+
+TEST_F(PropTransformTest, BodyCallArgumentsGetOwnIffs) {
+  auto C = transform("p(X) :- q(f(X), a).");
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0], "gp_p(_A) :- (iff(_B,_A), iff(_C), gp_q(_B,_C))");
+}
+
+TEST_F(PropTransformTest, PredicateListIsInDefinitionOrder) {
+  PropTransformer T(Syms);
+  TermStore Dst;
+  auto P = T.transformText("a(1). b(2). a(3). c :- a(X).", Dst);
+  ASSERT_TRUE(P.hasValue());
+  ASSERT_EQ(P->Predicates.size(), 3u);
+  EXPECT_EQ(Syms.name(P->Predicates[0].Sym), "a");
+  EXPECT_EQ(Syms.name(P->Predicates[1].Sym), "b");
+  EXPECT_EQ(Syms.name(P->Predicates[2].Sym), "c");
+}
+
+TEST_F(PropTransformTest, DirectivesAreSkipped) {
+  PropTransformer T(Syms);
+  TermStore Dst;
+  auto P = T.transformText(":- table foo/1.\np(a).", Dst);
+  ASSERT_TRUE(P.hasValue());
+  EXPECT_EQ(P->Clauses.size(), 1u);
+}
+
+TEST_F(PropTransformTest, DisjunctionIsRejected) {
+  PropTransformer T(Syms);
+  TermStore Dst;
+  auto P = T.transformText("p(X) :- (q(X) ; r(X)).", Dst);
+  EXPECT_FALSE(P.hasValue());
+}
+
+TEST_F(PropTransformTest, ZeroArityPredicates) {
+  auto C = transform("main :- go. go.");
+  ASSERT_EQ(C.size(), 2u);
+  EXPECT_EQ(C[0], "gp_main :- gp_go");
+  EXPECT_EQ(C[1], "gp_go");
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- strict_transform_test.cpp - Figure 3 transformation tests ------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Checks the *form* of the generated demand-propagation clauses against
+// Figure 4 of the paper (the end-to-end answer sets are covered by
+// strictness_test).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fl/FLParser.h"
+#include "strictness/StrictTransform.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace lpa;
+
+namespace {
+
+class StrictTransformTest : public ::testing::Test {
+protected:
+  /// Transforms FL source; returns the rendered clauses.
+  std::vector<std::string> transform(const char *Source) {
+    auto P = FLParser::parse(Source);
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.getError().str());
+    std::vector<std::string> Out;
+    if (!P)
+      return Out;
+    StrictTransformer T(Syms);
+    TermStore Dst;
+    auto SP = T.transform(*P, Dst);
+    EXPECT_TRUE(SP.hasValue());
+    if (SP)
+      for (TermRef C : SP->Clauses)
+        Out.push_back(TermWriter::toString(Syms, Dst, C));
+    return Out;
+  }
+
+  bool contains(const std::vector<std::string> &Clauses,
+                const std::string &Needle) {
+    return std::any_of(Clauses.begin(), Clauses.end(),
+                       [&](const std::string &C) {
+                         return C.find(Needle) != std::string::npos;
+                       });
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(StrictTransformTest, Figure4FirstEquation) {
+  // ap(nil, ys) = ys  =>  sp_ap(D, X1, D') :- pm_nil(X1)  with D = D'
+  // (the rhs variable's demand *is* the head demand, so both head
+  // positions share one variable).
+  auto C = transform("ap(nil, ys) = ys.\n"
+                     "ap(cons(x, xs), ys) = cons(x, ap(xs, ys)).");
+  ASSERT_GE(C.size(), 2u);
+  EXPECT_EQ(C[0], "sp_ap(_A,_B,_A) :- pm_nil(_B)");
+}
+
+TEST_F(StrictTransformTest, Figure4SecondEquation) {
+  // Figure 4: sp_ap(D,X1,X2) :- sp_cons(D,D1,D2), sp_ap(D2,Txs,Tys),
+  //                             pm_cons(X1,Tx,Txs)  [Tys = X2, Tx = D1
+  //                             folded into shared variables].
+  auto C = transform("ap(nil, ys) = ys.\n"
+                     "ap(cons(x, xs), ys) = cons(x, ap(xs, ys)).");
+  ASSERT_GE(C.size(), 2u);
+  EXPECT_EQ(C[1], "sp_ap(_A,_B,_C) :- (sp_cons(_A,_D,_E), sp_ap(_E,_F,_C), "
+                  "pm_cons(_B,_D,_F))");
+}
+
+TEST_F(StrictTransformTest, NonStrictnessClausePerFunction) {
+  auto C = transform("id(x) = x. k(x, y) = x.");
+  // sp_id(n, _) and sp_k(n, _, _) facts must exist.
+  EXPECT_TRUE(contains(C, "sp_id(n,"));
+  EXPECT_TRUE(contains(C, "sp_k(n,"));
+}
+
+TEST_F(StrictTransformTest, ConstructorSupportClauses) {
+  auto C = transform("f(x) = cons(x, nil).");
+  // sp_cons(e, e, e): e-demand evaluates both components fully.
+  EXPECT_TRUE(contains(C, "sp_cons(e,e,e)"));
+  // sp_cons(d, _, _): hnf demand leaves components free.
+  EXPECT_TRUE(contains(C, "sp_cons(d,"));
+  // pm rows for nil: extent e only.
+  EXPECT_TRUE(contains(C, "pm_nil(e)"));
+  for (const std::string &Cl : C)
+    EXPECT_EQ(Cl.find("pm_nil(d)"), std::string::npos) << Cl;
+}
+
+TEST_F(StrictTransformTest, PatternMatchBottomUpRows) {
+  auto C = transform("hd(cons(x, xs)) = x.");
+  // pm_cons(e, e, e) plus d-rows requiring one sub-extent below e.
+  EXPECT_TRUE(contains(C, "pm_cons(e,e,e)"));
+  EXPECT_TRUE(contains(C, "pm_cons(d,"));
+  EXPECT_TRUE(contains(C, "low("));
+  EXPECT_TRUE(contains(C, "dem("));
+}
+
+TEST_F(StrictTransformTest, PrimitivesAreFullyStrict) {
+  auto C = transform("plus(x, y) = x + y.");
+  EXPECT_TRUE(contains(C, "'sp_+'(e,e,e)"));
+  EXPECT_TRUE(contains(C, "'sp_+'(d,e,e)"));
+  EXPECT_TRUE(contains(C, "'sp_+'(n,"));
+}
+
+TEST_F(StrictTransformTest, LiteralPatternsUseLitExtent) {
+  auto C = transform("fact(0) = 1. fact(n) = n * fact(n - 1).");
+  EXPECT_TRUE(contains(C, "pm_lit(e)"));
+  EXPECT_TRUE(contains(C, "pm_lit("));
+}
+
+TEST_F(StrictTransformTest, RepeatedRhsVariableEmitsEquality) {
+  // dup(x) = pair(x, x): both components demand tau(x); the second
+  // occurrence constrains via '='.
+  auto C = transform("dup(x) = pair(x, x).");
+  ASSERT_FALSE(C.empty());
+  EXPECT_NE(C[0].find("="), std::string::npos) << C[0];
+}
+
+TEST_F(StrictTransformTest, DemandFlowsThroughNestedApplications) {
+  // f(x) = g(h(x)): sp_g gets the head demand, sp_h gets g's argument
+  // demand (the paper's function-composition rule).
+  auto C = transform("g(x) = x. h(x) = x. f(x) = g(h(x)).");
+  bool Found = false;
+  for (const std::string &Cl : C)
+    if (Cl.find("sp_f") == 0 && Cl.find("sp_g(") != std::string::npos &&
+        Cl.find("sp_h(") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(StrictTransformTest, ZeroArityFunctions) {
+  auto C = transform("ones = cons(1, ones).");
+  // sp_ones(D) :- sp_cons(D, _, D2), sp_ones(D2).
+  EXPECT_TRUE(contains(C, "sp_ones(_A) :-"));
+  EXPECT_TRUE(contains(C, "sp_ones(n)"));
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+//===- strictness_test.cpp - End-to-end strictness analysis tests -----------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Checks the analysis results of Section 3.2 / Figure 4: sp_ap(e,X,Y) has
+// the single solution {X=e, Y=e} (append is ee-strict in both arguments),
+// and sp_ap(d,X,Y) has {X=e,Y=d} and {X=d,Y=n} (d-strict in the first
+// argument only).
+//
+//===----------------------------------------------------------------------===//
+
+#include "strictness/Strictness.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+StrictnessResult analyzeOk(const char *Source) {
+  StrictnessAnalyzer A;
+  auto R = A.analyze(Source);
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.getError().str());
+  return R ? std::move(*R) : StrictnessResult();
+}
+
+TEST(Strictness, Figure4Append) {
+  auto R = analyzeOk(R"(
+    ap(nil, ys) = ys.
+    ap(cons(x, xs), ys) = cons(x, ap(xs, ys)).
+  )");
+  const FuncStrictness *Ap = R.find("ap");
+  ASSERT_NE(Ap, nullptr);
+  // e-demand: both arguments demanded to normal form (ee-strict).
+  EXPECT_EQ(Ap->UnderE, (std::vector<Demand>{Demand::Full, Demand::Full}));
+  EXPECT_FALSE(Ap->DivergesUnderE);
+  // d-demand: first argument d, second undemanded.
+  EXPECT_EQ(Ap->UnderD, (std::vector<Demand>{Demand::Head, Demand::None}));
+  EXPECT_EQ(Ap->summary(), "ap: e->(e,e) d->(d,n)");
+}
+
+TEST(Strictness, IdentityPropagatesDemand) {
+  auto R = analyzeOk("id(x) = x.");
+  const FuncStrictness *Id = R.find("id");
+  ASSERT_NE(Id, nullptr);
+  EXPECT_EQ(Id->UnderE, (std::vector<Demand>{Demand::Full}));
+  EXPECT_EQ(Id->UnderD, (std::vector<Demand>{Demand::Head}));
+}
+
+TEST(Strictness, ConstantFunctionDemandsNothing) {
+  auto R = analyzeOk("k(x, y) = x.");
+  const FuncStrictness *K = R.find("k");
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->UnderE, (std::vector<Demand>{Demand::Full, Demand::None}));
+  EXPECT_EQ(K->UnderD, (std::vector<Demand>{Demand::Head, Demand::None}));
+}
+
+TEST(Strictness, ConstructorShieldsComponents) {
+  // Wrapping in a constructor: d-demand on the result does not demand x.
+  auto R = analyzeOk("wrap(x) = cons(x, nil).");
+  const FuncStrictness *W = R.find("wrap");
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->UnderD, (std::vector<Demand>{Demand::None}));
+  // e-demand forces the component to normal form.
+  EXPECT_EQ(W->UnderE, (std::vector<Demand>{Demand::Full}));
+}
+
+TEST(Strictness, ArithmeticIsFullyStrict) {
+  auto R = analyzeOk("plus(x, y) = x + y.");
+  const FuncStrictness *P = R.find("plus");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->UnderE, (std::vector<Demand>{Demand::Full, Demand::Full}));
+  EXPECT_EQ(P->UnderD, (std::vector<Demand>{Demand::Full, Demand::Full}));
+}
+
+TEST(Strictness, IfIsStrictOnlyInCondition) {
+  auto R = analyzeOk(R"(
+    if(true, t, e) = t.
+    if(false, t, e) = e.
+    choose(c, a, b) = if(c, a, b).
+  )");
+  const FuncStrictness *If = R.find("if");
+  ASSERT_NE(If, nullptr);
+  // The condition is matched (extent d or e); the two equations demand
+  // different branches, so neither branch is guaranteed demanded.
+  EXPECT_GE(If->UnderE[0], Demand::Head);
+  EXPECT_EQ(If->UnderE[1], Demand::None);
+  EXPECT_EQ(If->UnderE[2], Demand::None);
+  const FuncStrictness *Ch = R.find("choose");
+  ASSERT_NE(Ch, nullptr);
+  EXPECT_GE(Ch->UnderE[0], Demand::Head);
+  EXPECT_EQ(Ch->UnderE[1], Demand::None);
+}
+
+TEST(Strictness, LengthDemandsSpineOnly) {
+  // len needs the whole spine but no elements: the pm_cons extents let the
+  // element demand stay below e, so len is d-strict (not e-strict) in its
+  // argument under any demand on the (flat) result.
+  auto R = analyzeOk(R"(
+    len(nil) = 0.
+    len(cons(x, xs)) = 1 + len(xs).
+  )");
+  const FuncStrictness *L = R.find("len");
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->UnderE, (std::vector<Demand>{Demand::Head}));
+  EXPECT_EQ(L->UnderD, (std::vector<Demand>{Demand::Head}));
+}
+
+TEST(Strictness, HeadFunction) {
+  auto R = analyzeOk("hd(cons(x, xs)) = x.");
+  const FuncStrictness *H = R.find("hd");
+  ASSERT_NE(H, nullptr);
+  // e-demand on hd's result demands the element fully but the tail not at
+  // all, so the argument extent is d (hnf), not e.
+  EXPECT_EQ(H->UnderE, (std::vector<Demand>{Demand::Head}));
+}
+
+TEST(Strictness, RecursiveDivergence) {
+  auto R = analyzeOk("bot(x) = bot(x).");
+  const FuncStrictness *B = R.find("bot");
+  ASSERT_NE(B, nullptr);
+  // sp_bot(e, X) has no solution: bot diverges under any demand.
+  EXPECT_TRUE(B->DivergesUnderE);
+  EXPECT_TRUE(B->DivergesUnderD);
+  EXPECT_TRUE(B->strictIn(0)); // Vacuously strict.
+}
+
+TEST(Strictness, MutualRecursion) {
+  auto R = analyzeOk(R"(
+    evenlen(nil) = true.
+    evenlen(cons(x, xs)) = oddlen(xs).
+    oddlen(nil) = false.
+    oddlen(cons(x, xs)) = evenlen(xs).
+  )");
+  const FuncStrictness *E = R.find("evenlen");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->UnderE, (std::vector<Demand>{Demand::Head}));
+  EXPECT_EQ(E->UnderD, (std::vector<Demand>{Demand::Head}));
+}
+
+TEST(Strictness, ReverseWithAccumulator) {
+  auto R = analyzeOk(R"(
+    rev(nil, acc) = acc.
+    rev(cons(x, xs), acc) = rev(xs, cons(x, acc)).
+  )");
+  const FuncStrictness *Rev = R.find("rev");
+  ASSERT_NE(Rev, nullptr);
+  // e-demand: the spine of arg1 is needed... and the accumulator is
+  // returned, so it is demanded too.
+  EXPECT_GE(Rev->UnderE[0], Demand::Head);
+  EXPECT_GE(Rev->UnderE[1], Demand::Head);
+  // d-demand: rev recurses until nil; arg1's spine is still walked.
+  EXPECT_GE(Rev->UnderD[0], Demand::Head);
+}
+
+TEST(Strictness, PhaseTimingsAndTableSpace) {
+  auto R = analyzeOk("id(x) = x.");
+  EXPECT_GE(R.PreprocSeconds, 0.0);
+  EXPECT_GT(R.TableSpaceBytes, 0u);
+  EXPECT_GT(R.Stats.AnswersRecorded, 0u);
+}
+
+TEST(Strictness, LiteralPatterns) {
+  auto R = analyzeOk(R"(
+    fact(0) = 1.
+    fact(n) = n * fact(n - 1).
+  )");
+  const FuncStrictness *F = R.find("fact");
+  ASSERT_NE(F, nullptr);
+  // Matching against 0 and the arithmetic both force evaluation.
+  EXPECT_GE(F->UnderE[0], Demand::Head);
+}
+
+} // namespace

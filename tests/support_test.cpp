@@ -1,0 +1,190 @@
+//===- support_test.cpp - Support-library and edge-case tests ----------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Solver.h"
+#include "reader/Parser.h"
+#include "support/Error.h"
+#include "support/Stopwatch.h"
+#include "support/TableFormat.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+TEST(ErrorOr, ValueAndErrorPaths) {
+  ErrorOr<int> V(42);
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(*V, 42);
+
+  ErrorOr<int> E(Diagnostic("boom", {3, 7}));
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.getError().str(), "line 3, column 7: boom");
+
+  ErrorOr<int> NoPos{Diagnostic("plain")};
+  EXPECT_EQ(NoPos.getError().str(), "plain");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch W;
+  volatile long Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + I;
+  double First = W.elapsedSeconds();
+  EXPECT_GE(First, 0.0);
+  // Time is monotone.
+  EXPECT_GE(W.elapsedSeconds(), First);
+  W.restart();
+  EXPECT_LT(W.elapsedSeconds(), First + 1.0);
+}
+
+TEST(PhaseTimer, AccumulatesIntervals) {
+  PhaseTimer T;
+  T.begin();
+  T.end();
+  T.begin();
+  T.end();
+  EXPECT_GE(T.seconds(), 0.0);
+  T.reset();
+  EXPECT_EQ(T.seconds(), 0.0);
+  // end() without begin() is a no-op.
+  T.end();
+  EXPECT_EQ(T.seconds(), 0.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.addRow({"Name", "Value"});
+  T.addRow({"x", "12345"});
+  T.addRow({"longer", "1"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Name    Value"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("x       12345"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("longer  1"), std::string::npos) << Out;
+  EXPECT_EQ(TextTable().render(), "");
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(7ull), "7");
+}
+
+//===----------------------------------------------------------------------===//
+// Engine edge cases not covered elsewhere
+//===----------------------------------------------------------------------===//
+
+class EdgeTest : public ::testing::Test {
+protected:
+  EdgeTest() : DB(Syms), S(DB) {}
+
+  size_t count(const char *Program, const char *Goal) {
+    auto L = DB.consult(Program);
+    EXPECT_TRUE(L.hasValue()) << L.getError().str();
+    auto G = Parser::parseTerm(Syms, S.store(), Goal);
+    EXPECT_TRUE(G.hasValue());
+    return S.solve(*G, nullptr);
+  }
+
+  SymbolTable Syms;
+  Database DB;
+  Solver S;
+};
+
+TEST_F(EdgeTest, EmptyProgramQueriesFail) {
+  EXPECT_EQ(count("", "anything(X)"), 0u);
+}
+
+TEST_F(EdgeTest, TableDeclarationBeforeClauses) {
+  // Declaration precedes definition; the predicate must still be tabled
+  // (left recursion terminates).
+  EXPECT_EQ(count(":- table p/2.\n"
+                  "p(X, Y) :- p(X, Z), e(Z, Y).\n"
+                  "p(X, Y) :- e(X, Y).\n"
+                  "e(1, 2). e(2, 3).",
+                  "p(1, Y)"),
+            2u);
+}
+
+TEST_F(EdgeTest, TableDeclarationListForm) {
+  EXPECT_EQ(count(":- table [q/1, r/1].\n"
+                  "q(1). r(2).",
+                  "q(X)"),
+            1u);
+  EXPECT_TRUE(DB.isTabled({Syms.intern("r"), 1}));
+}
+
+TEST_F(EdgeTest, CutInsideIfThenElseConditionIsLocal) {
+  EXPECT_EQ(count("p(1). p(2).\n"
+                  "t(X) :- (p(X), ! -> q ; r).\n"
+                  "q. r.",
+                  "t(X)"),
+            1u);
+}
+
+TEST_F(EdgeTest, DeepConjunctionParsesAndRuns) {
+  std::string Prog = "p(0).\n";
+  std::string Body = "p(0)";
+  for (int I = 0; I < 200; ++I)
+    Body += ", p(0)";
+  Prog += "q :- " + Body + ".\n";
+  EXPECT_EQ(count(Prog.c_str(), "q"), 1u);
+}
+
+TEST_F(EdgeTest, IsWithUnboundRhsFails) {
+  EXPECT_EQ(count("p(X) :- Y is X + 1, '='(X, Y).", "p(Z)"), 0u);
+}
+
+TEST_F(EdgeTest, NegationOfTabledGoal) {
+  EXPECT_EQ(count(":- table p/1.\n"
+                  "p(1).\n"
+                  "ok :- \\+ p(2).\n"
+                  "bad :- \\+ p(1).",
+                  "ok"),
+            1u);
+  auto G = Parser::parseTerm(Syms, S.store(), "bad");
+  EXPECT_EQ(S.solve(*G, nullptr), 0u);
+}
+
+TEST_F(EdgeTest, HeapResetKeepsTables) {
+  count(":- table p/1. p(7).", "p(X)");
+  S.resetHeap();
+  auto G = Parser::parseTerm(Syms, S.store(), "p(Y)");
+  EXPECT_EQ(S.solve(*G, nullptr), 1u);
+}
+
+TEST(WriterEdge, OperatorAtomsAndEscapes) {
+  SymbolTable Syms;
+  TermStore S;
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkAtom(Syms.intern("it's"))),
+            "'it\\'s'");
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkAtom(Syms.intern("=.."))),
+            "=..");
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkAtom(Syms.intern(""))),
+            "''");
+}
+
+TEST(ParserEdge, ErrorPositionsAreReported) {
+  SymbolTable Syms;
+  TermStore S;
+  auto R = Parser::parseProgram(Syms, S, "ok(a).\nbroken(b\n");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_GE(R.getError().Pos.Line, 2u);
+}
+
+TEST(ParserEdge, CommentsEverywhere) {
+  SymbolTable Syms;
+  TermStore S;
+  auto R = Parser::parseProgram(Syms, S, R"(
+    % leading comment
+    p(a). /* inline */ p(b). % trailing
+    /* multi
+       line */ p(c).
+  )");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->size(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,284 @@
+//===- tabling_test.cpp - Tabled evaluation tests ---------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Tabling gives the two properties the paper relies on: completeness
+// (termination on finite-domain programs, even left-recursive ones) and
+// call capture (every subgoal is recorded, yielding input patterns).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Solver.h"
+#include "reader/Parser.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lpa;
+
+namespace {
+
+class TablingTest : public ::testing::Test {
+protected:
+  TablingTest() : DB(Syms), S(DB) {}
+
+  void consult(const char *Text) {
+    auto R = DB.consult(Text);
+    ASSERT_TRUE(R.hasValue()) << R.getError().str();
+  }
+
+  std::vector<std::string> query(const char *GoalText) {
+    auto Goal = Parser::parseTerm(Syms, S.store(), GoalText);
+    EXPECT_TRUE(Goal.hasValue()) << GoalText;
+    std::vector<std::string> Out;
+    S.solve(*Goal, [&]() {
+      Out.push_back(TermWriter::toString(Syms, S.storeConst(), *Goal));
+      return false;
+    });
+    return Out;
+  }
+
+  std::set<std::string> querySet(const char *GoalText) {
+    auto V = query(GoalText);
+    return std::set<std::string>(V.begin(), V.end());
+  }
+
+  SymbolTable Syms;
+  Database DB;
+  Solver S;
+};
+
+TEST_F(TablingTest, LeftRecursiveTransitiveClosureTerminates) {
+  consult(R"(
+    :- table path/2.
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    path(X, Y) :- edge(X, Y).
+    edge(a, b). edge(b, c). edge(c, d).
+  )");
+  auto Sols = querySet("path(a, X)");
+  std::set<std::string> Expected{"path(a,b)", "path(a,c)", "path(a,d)"};
+  EXPECT_EQ(Sols, Expected);
+}
+
+TEST_F(TablingTest, CyclicGraphTerminates) {
+  consult(R"(
+    :- table path/2.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), path(Z, Y).
+    edge(a, b). edge(b, a). edge(b, c).
+  )");
+  auto Sols = querySet("path(a, X)");
+  std::set<std::string> Expected{"path(a,a)", "path(a,b)", "path(a,c)"};
+  EXPECT_EQ(Sols, Expected);
+}
+
+TEST_F(TablingTest, OpenCallComputesFullRelation) {
+  consult(R"(
+    :- table path/2.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    edge(a, b). edge(b, c).
+  )");
+  EXPECT_EQ(querySet("path(X, Y)").size(), 3u); // ab, ac, bc.
+}
+
+TEST_F(TablingTest, AnswersAreDeduplicated) {
+  consult(R"(
+    :- table p/1.
+    p(X) :- q(X).
+    p(X) :- r(X).
+    q(a). q(b). r(a). r(b).
+  )");
+  EXPECT_EQ(query("p(X)").size(), 2u);
+  EXPECT_GT(S.stats().AnswersDuplicate, 0u);
+}
+
+TEST_F(TablingTest, VariantCallsReuseTables) {
+  consult(R"(
+    :- table p/1.
+    p(a). p(b).
+  )");
+  query("p(X)");
+  uint64_t SubgoalsAfterFirst = S.stats().SubgoalsCreated;
+  query("p(Y)"); // A variant of p(X): must hit the table.
+  EXPECT_EQ(S.stats().SubgoalsCreated, SubgoalsAfterFirst);
+}
+
+TEST_F(TablingTest, NonVariantCallsGetOwnTables) {
+  consult(R"(
+    :- table p/2.
+    p(a, 1). p(b, 2).
+  )");
+  query("p(X, Y)");
+  uint64_t N1 = S.stats().SubgoalsCreated;
+  query("p(a, Y)"); // Not a variant of p(X, Y).
+  EXPECT_EQ(S.stats().SubgoalsCreated, N1 + 1);
+}
+
+TEST_F(TablingTest, MutualRecursionCompletes) {
+  consult(R"(
+    :- table even/1.
+    :- table odd/1.
+    even(z).
+    even(s(X)) :- odd(X).
+    odd(s(X)) :- even(X).
+    num(z). num(s(X)) :- num(X).
+  )");
+  EXPECT_EQ(query("even(s(s(z)))").size(), 1u);
+  EXPECT_EQ(query("odd(s(s(z)))").size(), 0u);
+  EXPECT_EQ(query("even(s(s(s(s(z)))))").size(), 1u);
+}
+
+TEST_F(TablingTest, SameGenerationProgram) {
+  // The classic same-generation benchmark; quadratic without tabling.
+  consult(R"(
+    :- table sg/2.
+    sg(X, X).
+    sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+    par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1). par(c3, p2).
+  )");
+  auto Sols = querySet("sg(c1, Y)");
+  EXPECT_TRUE(Sols.count("sg(c1,c2)"));
+  EXPECT_TRUE(Sols.count("sg(c1,c1)"));
+  // c3 is in the same generation as c1 via g1 (p1/p2 are siblings).
+  EXPECT_TRUE(Sols.count("sg(c1,c3)"));
+}
+
+TEST_F(TablingTest, FibonacciBecomesLinearWithTabling) {
+  consult(R"(
+    :- table fib/2.
+    fib(0, 0).
+    fib(1, 1).
+    fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,
+                 fib(N1, F1), fib(N2, F2), F is F1 + F2.
+  )");
+  auto Sols = query("fib(24, F)");
+  ASSERT_EQ(Sols.size(), 1u);
+  EXPECT_EQ(Sols[0], "fib(24,46368)");
+  // Tabled evaluation creates exactly one subgoal per distinct call:
+  // fib(24)..fib(0) = 25 subgoals.
+  EXPECT_EQ(S.stats().SubgoalsCreated, 25u);
+}
+
+TEST_F(TablingTest, CallTableRecordsInputPatterns) {
+  // Section 3.1: calls captured by the table are the input patterns.
+  consult(R"(
+    :- table p/2.
+    :- table q/2.
+    p(X, Y) :- q(a, Y), '='(X, Y).
+    q(_, b).
+  )");
+  query("p(X, Y)");
+  std::set<std::string> CallPatterns;
+  TermWriter W(Syms, S.tableStore());
+  for (const Subgoal *SG : S.subgoals())
+    CallPatterns.insert(TermWriter::toString(Syms, S.tableStore(),
+                                             SG->CallTerm));
+  // The call to q was made with first argument bound to a.
+  EXPECT_TRUE(CallPatterns.count("q(a,_A)")) << "captured calls:";
+  EXPECT_TRUE(CallPatterns.count("p(_A,_B)"));
+}
+
+TEST_F(TablingTest, NonGroundAnswersAreSupported) {
+  consult(R"(
+    :- table p/2.
+    p(X, Y) :- '='(X, f(Y)).
+  )");
+  auto Sols = query("p(A, B)");
+  ASSERT_EQ(Sols.size(), 1u);
+  EXPECT_EQ(Sols[0], "p(f(_A),_A)");
+}
+
+TEST_F(TablingTest, TablesPersistAcrossQueriesUntilCleared) {
+  consult(":- table p/1. p(a).");
+  query("p(X)");
+  EXPECT_EQ(S.subgoals().size(), 1u);
+  query("p(X)");
+  EXPECT_EQ(S.subgoals().size(), 1u);
+  S.clearTables();
+  EXPECT_EQ(S.subgoals().size(), 0u);
+  EXPECT_EQ(query("p(X)").size(), 1u);
+}
+
+TEST_F(TablingTest, TableSpaceAccountingIsPositive) {
+  consult(R"(
+    :- table path/2.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+  )");
+  query("path(X, Y)");
+  EXPECT_GT(S.tableSpaceBytes(), 0u);
+  size_t Before = S.tableSpaceBytes();
+  S.clearTables();
+  EXPECT_LT(S.tableSpaceBytes(), Before);
+}
+
+TEST_F(TablingTest, FindSubgoalByVariant) {
+  consult(":- table p/1. p(a). p(b).");
+  query("p(X)");
+  auto Goal = Parser::parseTerm(Syms, S.store(), "p(Zz)");
+  ASSERT_TRUE(Goal.hasValue());
+  const Subgoal *SG = S.findSubgoal(*Goal);
+  ASSERT_NE(SG, nullptr);
+  EXPECT_EQ(SG->Answers.size(), 2u);
+  EXPECT_TRUE(SG->Complete);
+
+  auto Bound = Parser::parseTerm(Syms, S.store(), "p(a)");
+  ASSERT_TRUE(Bound.hasValue());
+  EXPECT_EQ(S.findSubgoal(*Bound), nullptr);
+}
+
+TEST_F(TablingTest, RightRecursionWithSharedSubgoals) {
+  // Grid reachability: many overlapping subgoals; tabling collapses them.
+  std::string Prog = ":- table reach/2.\n"
+                     "reach(X, Y) :- edge(X, Y).\n"
+                     "reach(X, Y) :- edge(X, Z), reach(Z, Y).\n";
+  for (int I = 0; I < 20; ++I) {
+    Prog += "edge(n" + std::to_string(I) + ", n" + std::to_string(I + 1) +
+            ").\n";
+    if (I % 2 == 0)
+      Prog += "edge(n" + std::to_string(I) + ", n" + std::to_string(I + 2) +
+              ").\n";
+  }
+  consult(Prog.c_str());
+  EXPECT_EQ(query("reach(n0, n20)").size(), 1u);
+  EXPECT_EQ(query("reach(n20, n0)").size(), 0u);
+}
+
+TEST_F(TablingTest, TabledAndNontabledMix) {
+  consult(R"(
+    :- table tc/2.
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+    e(X, Y) :- edge(X, Y).      % e/2 stays nontabled
+    edge(a, b). edge(b, c).
+  )");
+  EXPECT_EQ(querySet("tc(a, X)").size(), 2u);
+}
+
+TEST_F(TablingTest, ZeroArityTabledPredicate) {
+  consult(R"(
+    :- table flag/0.
+    flag :- cond.
+    cond.
+  )");
+  EXPECT_EQ(query("flag").size(), 1u);
+  EXPECT_EQ(query("flag").size(), 1u);
+}
+
+TEST_F(TablingTest, FixpointRoundsAreCounted) {
+  consult(R"(
+    :- table path/2.
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    path(X, Y) :- edge(X, Y).
+    edge(a, b). edge(b, c).
+  )");
+  query("path(a, X)");
+  EXPECT_GE(S.stats().FixpointRounds, 1u);
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+//===- term_test.cpp - TermStore / symbol / writer unit tests --------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Symbol.h"
+#include "term/TermCopy.h"
+#include "term/TermStore.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+TEST(SymbolTable, InterningIsIdempotent) {
+  SymbolTable Syms;
+  SymbolId A = Syms.intern("foo");
+  SymbolId B = Syms.intern("foo");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Syms.name(A), "foo");
+}
+
+TEST(SymbolTable, DistinctNamesGetDistinctIds) {
+  SymbolTable Syms;
+  EXPECT_NE(Syms.intern("foo"), Syms.intern("bar"));
+}
+
+TEST(SymbolTable, LookupWithoutInterning) {
+  SymbolTable Syms;
+  EXPECT_EQ(Syms.lookup("nonexistent"), SymbolTable::NotFound);
+  SymbolId Id = Syms.intern("present");
+  EXPECT_EQ(Syms.lookup("present"), Id);
+}
+
+TEST(SymbolTable, WellKnownSymbolsExist) {
+  SymbolTable Syms;
+  EXPECT_EQ(Syms.name(Syms.Nil), "[]");
+  EXPECT_EQ(Syms.name(Syms.Cons), ".");
+  EXPECT_EQ(Syms.name(Syms.True), "true");
+  EXPECT_EQ(Syms.name(Syms.BoolFalse), "false");
+  EXPECT_EQ(Syms.name(Syms.Iff), "iff");
+}
+
+TEST(TermStore, FreshVariableIsUnbound) {
+  TermStore S;
+  TermRef V = S.mkVar();
+  EXPECT_TRUE(S.isUnboundVar(V));
+  EXPECT_EQ(S.deref(V), V);
+}
+
+TEST(TermStore, BindAndDeref) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef V = S.mkVar();
+  TermRef A = S.mkAtom(Syms.intern("a"));
+  S.bind(V, A);
+  EXPECT_FALSE(S.isUnboundVar(V));
+  EXPECT_EQ(S.deref(V), A);
+}
+
+TEST(TermStore, BindChainsDereference) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef V1 = S.mkVar(), V2 = S.mkVar();
+  TermRef A = S.mkAtom(Syms.intern("a"));
+  S.bind(V1, V2);
+  S.bind(V2, A);
+  EXPECT_EQ(S.deref(V1), A);
+}
+
+TEST(TermStore, UndoRestoresBindingsAndHeap) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef V = S.mkVar();
+  auto M = S.mark();
+  TermRef A = S.mkAtom(Syms.intern("a"));
+  S.bind(V, A);
+  EXPECT_FALSE(S.isUnboundVar(V));
+  size_t SizeWithAtom = S.size();
+  EXPECT_GT(SizeWithAtom, M.HeapSize);
+  S.undoTo(M);
+  EXPECT_TRUE(S.isUnboundVar(V));
+  EXPECT_EQ(S.size(), M.HeapSize);
+}
+
+TEST(TermStore, StructArguments) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef X = S.mkInt(1), Y = S.mkInt(2);
+  TermRef F = S.mkStruct2(Syms.intern("f"), X, Y);
+  ASSERT_EQ(S.tag(F), TermTag::Struct);
+  EXPECT_EQ(S.arity(F), 2u);
+  EXPECT_EQ(S.intValue(S.deref(S.arg(F, 0))), 1);
+  EXPECT_EQ(S.intValue(S.deref(S.arg(F, 1))), 2);
+}
+
+TEST(TermStore, ListConstruction) {
+  SymbolTable Syms;
+  TermStore S;
+  std::vector<TermRef> Elems{S.mkInt(1), S.mkInt(2), S.mkInt(3)};
+  TermRef L = S.mkList(Syms, Elems);
+  TermWriter W(Syms, S);
+  EXPECT_EQ(W.str(L), "[1,2,3]");
+}
+
+TEST(TermStore, PartialListWithTail) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef Tail = S.mkVar();
+  std::vector<TermRef> Elems{S.mkInt(1)};
+  TermRef L = S.mkList(Syms, Elems, Tail);
+  TermWriter W(Syms, S);
+  EXPECT_EQ(W.str(L), "[1|_A]");
+}
+
+TEST(TermWriter, QuotesNonPlainAtoms) {
+  SymbolTable Syms;
+  TermStore S;
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkAtom(Syms.intern("hello"))),
+            "hello");
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkAtom(Syms.intern("Hello"))),
+            "'Hello'");
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkAtom(Syms.intern("two words"))),
+            "'two words'");
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkAtom(Syms.intern(":-"))), ":-");
+}
+
+TEST(TermWriter, NegativeIntegers) {
+  SymbolTable Syms;
+  TermStore S;
+  EXPECT_EQ(TermWriter::toString(Syms, S, S.mkInt(-42)), "-42");
+}
+
+TEST(TermCopy, CopiesResolvedStructure) {
+  SymbolTable Syms;
+  TermStore Src, Dst;
+  TermRef V = Src.mkVar();
+  TermRef F = Src.mkStruct2(Syms.intern("f"), V, Src.mkInt(7));
+  Src.bind(V, Src.mkAtom(Syms.intern("a")));
+
+  TermRef C = copyTerm(Src, F, Dst);
+  EXPECT_EQ(TermWriter::toString(Syms, Dst, C), "f(a,7)");
+}
+
+TEST(TermCopy, RenamesVariablesConsistently) {
+  SymbolTable Syms;
+  TermStore Src, Dst;
+  TermRef V = Src.mkVar();
+  // f(X, X) must copy to f(Y, Y) with one fresh Y.
+  TermRef F = Src.mkStruct2(Syms.intern("f"), V, V);
+  TermRef C = copyTerm(Src, F, Dst);
+  TermRef A0 = Dst.deref(Dst.arg(C, 0));
+  TermRef A1 = Dst.deref(Dst.arg(C, 1));
+  EXPECT_EQ(A0, A1);
+  EXPECT_TRUE(Dst.isUnboundVar(A0));
+}
+
+TEST(TermCopy, SharedRenamingLinksSeparateCopies) {
+  SymbolTable Syms;
+  TermStore Src, Dst;
+  TermRef V = Src.mkVar();
+  TermRef F = Src.mkStruct2(Syms.intern("f"), V, Src.mkInt(1));
+  TermRef G = Src.mkStruct2(Syms.intern("g"), V, Src.mkInt(2));
+
+  VarRenaming R;
+  TermRef CF = copyTerm(Src, F, Dst, R);
+  TermRef CG = copyTerm(Src, G, Dst, R);
+  EXPECT_EQ(Dst.deref(Dst.arg(CF, 0)), Dst.deref(Dst.arg(CG, 0)));
+}
+
+TEST(TermCopy, DeepListDoesNotOverflow) {
+  SymbolTable Syms;
+  TermStore Src, Dst;
+  TermRef L = Src.mkAtom(Syms.Nil);
+  for (int I = 0; I < 200000; ++I)
+    L = Src.mkStruct2(Syms.Cons, Src.mkInt(I), L);
+  TermRef C = copyTerm(Src, L, Dst);
+  EXPECT_EQ(Dst.tag(C), TermTag::Struct);
+  EXPECT_GT(termSizeCells(Dst, C), 200000u);
+}
+
+TEST(TermCopy, TermSizeCountsCells) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef A = S.mkAtom(Syms.intern("a"));
+  EXPECT_EQ(termSizeCells(S, A), 1u);
+  TermRef F = S.mkStruct2(Syms.intern("f"), A, S.mkInt(1));
+  // Struct cell + 2 arg slots + atom + int.
+  EXPECT_EQ(termSizeCells(S, F), 5u);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- types_test.cpp - Hindley-Milner type inference tests ------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Section 6.1: type analysis as equality constraints solved by
+// unification with occur check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+TypeResult inferOk(const char *Source) {
+  auto R = TypeInference::inferText(Source);
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.getError().str());
+  return R ? std::move(*R) : TypeResult();
+}
+
+TEST(Types, IdentityIsPolymorphic) {
+  auto R = inferOk("id(x) = x.");
+  const FuncType *Id = R.find("id");
+  ASSERT_NE(Id, nullptr);
+  ASSERT_TRUE(Id->Ok) << Id->Error;
+  EXPECT_EQ(Id->Rendered, "(A) -> A");
+}
+
+TEST(Types, AppendOverLists) {
+  auto R = inferOk(R"(
+    ap(nil, ys) = ys.
+    ap(cons(x, xs), ys) = cons(x, ap(xs, ys)).
+  )");
+  const FuncType *Ap = R.find("ap");
+  ASSERT_NE(Ap, nullptr);
+  ASSERT_TRUE(Ap->Ok) << Ap->Error;
+  EXPECT_EQ(Ap->Rendered, "(list(A), list(A)) -> list(A)");
+}
+
+TEST(Types, ArithmeticIsMonomorphic) {
+  auto R = inferOk("fib(0) = 0. fib(1) = 1. "
+                   "fib(n) = fib(n - 1) + fib(n - 2).");
+  const FuncType *F = R.find("fib");
+  ASSERT_NE(F, nullptr);
+  ASSERT_TRUE(F->Ok) << F->Error;
+  EXPECT_EQ(F->Rendered, "(int) -> int");
+}
+
+TEST(Types, ComparisonYieldsBool) {
+  // Note the parentheses: '=' and '<' are both priority-700 xfx
+  // operators, so "a = b < c" does not parse (ISO behaviour).
+  auto R = inferOk("lt(x, y) = (x < y).");
+  const FuncType *F = R.find("lt");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Rendered, "(int, int) -> bool");
+}
+
+TEST(Types, LetPolymorphismAcrossSccs) {
+  // id is generalized before use: both instantiations coexist.
+  auto R = inferOk(R"(
+    id(x) = x.
+    use(a, b) = cons(id(a), id(cons(b, nil))).
+  )");
+  const FuncType *U = R.find("use");
+  ASSERT_NE(U, nullptr);
+  ASSERT_TRUE(U->Ok) << U->Error;
+  EXPECT_EQ(U->Rendered, "(A, A) -> list(A)");
+}
+
+TEST(Types, MonomorphicWithinScc) {
+  // Mutual recursion keeps one signature per SCC.
+  auto R = inferOk(R"(
+    evenlen(nil) = true.
+    evenlen(cons(x, xs)) = oddlen(xs).
+    oddlen(nil) = false.
+    oddlen(cons(x, xs)) = evenlen(xs).
+  )");
+  const FuncType *E = R.find("evenlen");
+  ASSERT_NE(E, nullptr);
+  ASSERT_TRUE(E->Ok) << E->Error;
+  EXPECT_EQ(E->Rendered, "(list(A)) -> bool");
+}
+
+TEST(Types, DeclaredAdt) {
+  auto R = inferOk(R"(
+    :- adt(tree(A), [tip, node(tree(A), A, tree(A))]).
+    tsize(tip) = 0.
+    tsize(node(l, v, r)) = 1 + tsize(l) + tsize(r).
+    tmember(x, tip) = false.
+    tmember(x, node(l, v, r)) = if(x == v, true,
+                                   if(x < v, tmember(x, l), tmember(x, r))).
+    if(true, t, e) = t.
+    if(false, t, e) = e.
+  )");
+  const FuncType *S = R.find("tsize");
+  ASSERT_NE(S, nullptr);
+  ASSERT_TRUE(S->Ok) << S->Error;
+  EXPECT_EQ(S->Rendered, "(tree(A)) -> int");
+  const FuncType *M = R.find("tmember");
+  ASSERT_NE(M, nullptr);
+  ASSERT_TRUE(M->Ok) << M->Error;
+  // x is compared with < (int) and stored in tree(int).
+  EXPECT_EQ(M->Rendered, "(int, tree(int)) -> bool");
+}
+
+TEST(Types, OccurCheckRejectsInfiniteTypes) {
+  // f(x) = cons(x, x): x must be both A and list(A) — an infinite type.
+  auto R = inferOk("selfcons(x) = cons(x, x).");
+  const FuncType *F = R.find("selfcons");
+  ASSERT_NE(F, nullptr);
+  EXPECT_FALSE(F->Ok);
+  EXPECT_NE(F->Error.find("occur"), std::string::npos) << F->Error;
+}
+
+TEST(Types, ConstructorClashIsAnError) {
+  auto R = inferOk("bad(x) = cons(1, 2).");
+  const FuncType *F = R.find("bad");
+  ASSERT_NE(F, nullptr);
+  EXPECT_FALSE(F->Ok);
+}
+
+TEST(Types, BranchTypeMismatch) {
+  auto R = inferOk(R"(
+    if(true, t, e) = t.
+    if(false, t, e) = e.
+    weird(c) = if(c, 1, nil).
+  )");
+  const FuncType *W = R.find("weird");
+  ASSERT_NE(W, nullptr);
+  EXPECT_FALSE(W->Ok);
+}
+
+TEST(Types, ErrorPropagatesToCallers) {
+  auto R = inferOk(R"(
+    broken(x) = cons(x, x).
+    caller(y) = broken(y).
+  )");
+  const FuncType *C = R.find("caller");
+  ASSERT_NE(C, nullptr);
+  EXPECT_FALSE(C->Ok);
+  EXPECT_NE(C->Error.find("broken"), std::string::npos);
+}
+
+TEST(Types, StructuralFallbackForUndeclaredCtors) {
+  auto R = inferOk("swap(pair(a, b)) = pair(b, a).");
+  const FuncType *S = R.find("swap");
+  ASSERT_NE(S, nullptr);
+  ASSERT_TRUE(S->Ok) << S->Error;
+  EXPECT_EQ(S->Rendered, "(pair_t(A, B)) -> pair_t(B, A)");
+}
+
+TEST(Types, WellTypedCorpusPrograms) {
+  // The sortable benchmarks are well-typed over ints and lists.
+  const char *Mergesort = R"(
+    if(true, t, e) = t.
+    if(false, t, e) = e.
+    merge(nil, ys) = ys.
+    merge(xs, nil) = xs.
+    merge(cons(x, xs), cons(y, ys)) =
+        if(x =< y, cons(x, merge(xs, cons(y, ys))),
+                   cons(y, merge(cons(x, xs), ys))).
+    gen(0) = nil.
+    gen(n) = cons(n mod 7, gen(n - 1)).
+  )";
+  auto R = inferOk(Mergesort);
+  const FuncType *M = R.find("merge");
+  ASSERT_NE(M, nullptr);
+  ASSERT_TRUE(M->Ok) << M->Error;
+  EXPECT_EQ(M->Rendered, "(list(int), list(int)) -> list(int)");
+  const FuncType *G = R.find("gen");
+  ASSERT_TRUE(G->Ok);
+  EXPECT_EQ(G->Rendered, "(int) -> list(int)");
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+//===- unify_test.cpp - Unification unit and property tests ----------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reader/Parser.h"
+#include "term/TermWriter.h"
+#include "term/Unify.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace lpa;
+
+namespace {
+
+/// Fixture with a shared symbol table / store and a term parser.
+class UnifyTest : public ::testing::Test {
+protected:
+  TermRef parse(const char *Text) {
+    auto T = Parser::parseTerm(Syms, S, Text);
+    EXPECT_TRUE(T.hasValue()) << Text;
+    return *T;
+  }
+
+  SymbolTable Syms;
+  TermStore S;
+};
+
+TEST_F(UnifyTest, AtomsUnifyOnlyWithThemselves) {
+  EXPECT_TRUE(unify(S, parse("a"), parse("a")));
+  EXPECT_FALSE(unify(S, parse("a"), parse("b")));
+}
+
+TEST_F(UnifyTest, IntegersCompareByValue) {
+  EXPECT_TRUE(unify(S, S.mkInt(3), S.mkInt(3)));
+  EXPECT_FALSE(unify(S, S.mkInt(3), S.mkInt(4)));
+  EXPECT_FALSE(unify(S, S.mkInt(3), parse("a")));
+}
+
+TEST_F(UnifyTest, VariableBindsToTerm) {
+  TermRef V = S.mkVar();
+  TermRef T = parse("f(a,b)");
+  EXPECT_TRUE(unify(S, V, T));
+  EXPECT_EQ(TermWriter::toString(Syms, S, V), "f(a,b)");
+}
+
+TEST_F(UnifyTest, StructuralDescent) {
+  TermRef A = parse("f(X, g(X))");
+  TermRef B = parse("f(a, g(Y))");
+  EXPECT_TRUE(unify(S, A, B));
+  // Both X and Y must now be a.
+  std::string Rendered = TermWriter::toString(Syms, S, A);
+  EXPECT_EQ(Rendered, "f(a,g(a))");
+}
+
+TEST_F(UnifyTest, FunctorMismatchFails) {
+  EXPECT_FALSE(unify(S, parse("f(a)"), parse("g(a)")));
+  EXPECT_FALSE(unify(S, parse("f(a)"), parse("f(a,b)")));
+}
+
+TEST_F(UnifyTest, SharedVariableConflictFails) {
+  auto M = S.mark();
+  // f(X, X) with f(a, b) must fail.
+  EXPECT_FALSE(unify(S, parse("f(X, X)"), parse("f(a, b)")));
+  S.undoTo(M);
+}
+
+TEST_F(UnifyTest, FailureIsUndoable) {
+  TermRef T1 = parse("f(X, X)");
+  auto M = S.mark();
+  EXPECT_FALSE(unify(S, T1, parse("f(a, b)")));
+  S.undoTo(M);
+  // X is unbound again; a new consistent unification succeeds.
+  EXPECT_TRUE(unify(S, T1, parse("f(c, c)")));
+}
+
+TEST_F(UnifyTest, OccursCheckRejectsCyclicBinding) {
+  TermRef A = parse("X");
+  TermRef B = parse("f(X)");
+  // The two parses create distinct X variables; build a real cycle.
+  TermRef V = S.mkVar();
+  TermRef F = S.mkStruct(Syms.intern("f"), std::span<const TermRef>(&V, 1));
+  EXPECT_FALSE(unify(S, V, F, /*OccursCheck=*/true));
+  (void)A;
+  (void)B;
+}
+
+TEST_F(UnifyTest, OccursCheckAllowsNonCyclic) {
+  TermRef V = S.mkVar();
+  TermRef T = parse("f(a)");
+  EXPECT_TRUE(unify(S, V, T, /*OccursCheck=*/true));
+}
+
+TEST_F(UnifyTest, GroundDetection) {
+  EXPECT_TRUE(isGround(S, parse("f(a, [1,2], g(b))")));
+  EXPECT_FALSE(isGround(S, parse("f(a, X)")));
+  TermRef V = S.mkVar();
+  EXPECT_FALSE(isGround(S, V));
+  S.bind(V, parse("a"));
+  EXPECT_TRUE(isGround(S, V));
+}
+
+TEST_F(UnifyTest, TermsEqualIsStructural) {
+  EXPECT_TRUE(termsEqual(S, parse("f(a, 1)"), parse("f(a, 1)")));
+  EXPECT_FALSE(termsEqual(S, parse("f(a, 1)"), parse("f(a, 2)")));
+  // Distinct unbound variables are not ==.
+  EXPECT_FALSE(termsEqual(S, parse("X"), parse("Y")));
+  TermRef V = S.mkVar();
+  EXPECT_TRUE(termsEqual(S, V, V));
+}
+
+TEST_F(UnifyTest, OccursInFindsDeepOccurrences) {
+  TermRef V = S.mkVar();
+  std::vector<TermRef> Elems{S.mkInt(1), V};
+  TermRef L = S.mkList(Syms, Elems);
+  EXPECT_TRUE(occursIn(S, V, L));
+  EXPECT_FALSE(occursIn(S, S.mkVar(), L));
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: random term pairs
+//===----------------------------------------------------------------------===//
+
+/// Builds a random term over a small signature with variables drawn from
+/// \p Vars.
+TermRef randomTerm(TermStore &S, SymbolTable &Syms, std::mt19937 &Rng,
+                   std::vector<TermRef> &Vars, int Depth) {
+  std::uniform_int_distribution<int> Pick(0, Depth <= 0 ? 2 : 4);
+  switch (Pick(Rng)) {
+  case 0: { // Variable (shared pool).
+    if (Vars.empty() || Rng() % 3 == 0)
+      Vars.push_back(S.mkVar());
+    return Vars[Rng() % Vars.size()];
+  }
+  case 1:
+    return S.mkAtom(Syms.intern(Rng() % 2 ? "a" : "b"));
+  case 2:
+    return S.mkInt(static_cast<int64_t>(Rng() % 3));
+  case 3: {
+    TermRef A = randomTerm(S, Syms, Rng, Vars, Depth - 1);
+    return S.mkStruct(Syms.intern("s"), std::span<const TermRef>(&A, 1));
+  }
+  default: {
+    TermRef A = randomTerm(S, Syms, Rng, Vars, Depth - 1);
+    TermRef B = randomTerm(S, Syms, Rng, Vars, Depth - 1);
+    return S.mkStruct2(Syms.intern(Rng() % 2 ? "f" : "g"), A, B);
+  }
+  }
+}
+
+class UnifyPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UnifyPropertyTest, UnifiedTermsAreEqualAfterwards) {
+  SymbolTable Syms;
+  TermStore S;
+  std::mt19937 Rng(GetParam());
+  std::vector<TermRef> Vars;
+  TermRef A = randomTerm(S, Syms, Rng, Vars, 4);
+  TermRef B = randomTerm(S, Syms, Rng, Vars, 4);
+  auto M = S.mark();
+  if (unify(S, A, B)) {
+    EXPECT_TRUE(termsEqual(S, A, B));
+  }
+  S.undoTo(M);
+}
+
+TEST_P(UnifyPropertyTest, UnificationIsSymmetric) {
+  SymbolTable Syms;
+  TermStore S;
+  std::mt19937 Rng(GetParam());
+  std::vector<TermRef> Vars;
+  TermRef A = randomTerm(S, Syms, Rng, Vars, 4);
+  TermRef B = randomTerm(S, Syms, Rng, Vars, 4);
+  auto M = S.mark();
+  bool AB = unify(S, A, B);
+  S.undoTo(M);
+  bool BA = unify(S, B, A);
+  S.undoTo(M);
+  EXPECT_EQ(AB, BA);
+}
+
+TEST_P(UnifyPropertyTest, UndoIsComplete) {
+  SymbolTable Syms;
+  TermStore S;
+  std::mt19937 Rng(GetParam());
+  std::vector<TermRef> Vars;
+  TermRef A = randomTerm(S, Syms, Rng, Vars, 4);
+  TermRef B = randomTerm(S, Syms, Rng, Vars, 4);
+  size_t HeapBefore = S.size();
+  auto M = S.mark();
+  unify(S, A, B);
+  S.undoTo(M);
+  EXPECT_EQ(S.size(), HeapBefore);
+  for (TermRef V : Vars)
+    if (S.deref(V) == V) {
+      EXPECT_TRUE(S.isUnboundVar(V));
+    }
+}
+
+TEST_P(UnifyPropertyTest, OccursCheckImpliesAcyclicSuccess) {
+  SymbolTable Syms;
+  TermStore S;
+  std::mt19937 Rng(GetParam() + 1000);
+  std::vector<TermRef> Vars;
+  TermRef A = randomTerm(S, Syms, Rng, Vars, 4);
+  TermRef B = randomTerm(S, Syms, Rng, Vars, 4);
+  auto M = S.mark();
+  if (unify(S, A, B, /*OccursCheck=*/true)) {
+    // With occur check the result must be finite: termSizeCells terminates
+    // and ground-checking cannot loop.
+    (void)isGround(S, A);
+    SUCCEED();
+  }
+  S.undoTo(M);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, UnifyPropertyTest,
+                         ::testing::Range(0u, 50u));
+
+} // namespace

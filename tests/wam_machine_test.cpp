@@ -1,0 +1,211 @@
+//===- wam_machine_test.cpp - WAM-lite executor tests -------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Solver.h"
+#include "reader/Parser.h"
+#include "term/TermWriter.h"
+#include "wamlite/WamMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lpa;
+
+namespace {
+
+class WamMachineTest : public ::testing::Test {
+protected:
+  /// Compiles Program and collects rendered solutions of Goal.
+  std::set<std::string> run(const char *Program, const char *Goal) {
+    WamCompiler Compiler(Syms);
+    auto P = Compiler.compileText(Program);
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.getError().str());
+    if (!P)
+      return {};
+    WamMachine M(Syms, *P);
+    auto G = Parser::parseTerm(Syms, M.store(), Goal);
+    EXPECT_TRUE(G.hasValue());
+    std::set<std::string> Out;
+    M.solve(*G, [&]() {
+      Out.insert(TermWriter::toString(Syms, M.store(), *G));
+      return false;
+    });
+    return Out;
+  }
+
+  /// Solutions from the interpretive engine, for cross-checking.
+  std::set<std::string> runInterp(const char *Program, const char *Goal) {
+    Database DB(Syms);
+    auto L = DB.consult(Program);
+    EXPECT_TRUE(L.hasValue());
+    Solver S(DB);
+    auto G = Parser::parseTerm(Syms, S.store(), Goal);
+    EXPECT_TRUE(G.hasValue());
+    std::set<std::string> Out;
+    S.solve(*G, [&]() {
+      Out.insert(TermWriter::toString(Syms, S.storeConst(), *G));
+      return false;
+    });
+    return Out;
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(WamMachineTest, FactsMatch) {
+  auto Sols = run("p(a). p(b). p(f(c)).", "p(X)");
+  EXPECT_EQ(Sols, (std::set<std::string>{"p(a)", "p(b)", "p(f(c))"}));
+  EXPECT_EQ(run("p(a).", "p(b)").size(), 0u);
+}
+
+TEST_F(WamMachineTest, AppendForward) {
+  const char *Ap = R"(
+    ap([], Ys, Ys).
+    ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+  )";
+  auto Sols = run(Ap, "ap([1,2], [3,4], Z)");
+  ASSERT_EQ(Sols.size(), 1u);
+  EXPECT_EQ(*Sols.begin(), "ap([1,2],[3,4],[1,2,3,4])");
+}
+
+TEST_F(WamMachineTest, AppendBackward) {
+  const char *Ap = R"(
+    ap([], Ys, Ys).
+    ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+  )";
+  // All 4 splits of a 3-element list.
+  EXPECT_EQ(run(Ap, "ap(X, Y, [1,2,3])").size(), 4u);
+}
+
+TEST_F(WamMachineTest, ArithmeticBuiltins) {
+  const char *Prog = R"(
+    fact(0, 1).
+    fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+  )";
+  auto Sols = run(Prog, "fact(6, F)");
+  ASSERT_EQ(Sols.size(), 1u);
+  EXPECT_EQ(*Sols.begin(), "fact(6,720)");
+}
+
+TEST_F(WamMachineTest, StructuresRoundTrip) {
+  const char *Prog = R"(
+    mk(X, Y, pair(f(X), g(Y, c))).
+    un(pair(A, B), A, B).
+  )";
+  auto Sols = run(Prog, "mk(1, 2, P)");
+  ASSERT_EQ(Sols.size(), 1u);
+  EXPECT_EQ(*Sols.begin(), "mk(1,2,pair(f(1),g(2,c)))");
+  auto Sols2 = run(Prog, "un(pair(f(7), w), A, B)");
+  ASSERT_EQ(Sols2.size(), 1u);
+  EXPECT_EQ(*Sols2.begin(), "un(pair(f(7),w),f(7),w)");
+}
+
+TEST_F(WamMachineTest, PermanentVariablesSurviveCalls) {
+  const char *Prog = R"(
+    p(X, Z) :- q(X, Y), r(Y, Z).
+    q(a, m). q(b, n).
+    r(m, 1). r(n, 2).
+  )";
+  auto Sols = run(Prog, "p(A, B)");
+  EXPECT_EQ(Sols, (std::set<std::string>{"p(a,1)", "p(b,2)"}));
+}
+
+TEST_F(WamMachineTest, StopRequestHonored) {
+  WamCompiler Compiler(Syms);
+  auto P = Compiler.compileText("p(1). p(2). p(3).");
+  ASSERT_TRUE(P.hasValue());
+  WamMachine M(Syms, *P);
+  auto G = Parser::parseTerm(Syms, M.store(), "p(X)");
+  size_t N = M.solve(*G, []() { return true; });
+  EXPECT_EQ(N, 1u);
+}
+
+TEST_F(WamMachineTest, NondeterministicJoin) {
+  const char *Prog = R"(
+    grand(X, Z) :- par(X, Y), par(Y, Z).
+    par(a, b). par(b, c). par(b, d). par(a, e). par(e, f).
+  )";
+  auto Sols = run(Prog, "grand(a, Z)");
+  EXPECT_EQ(Sols, (std::set<std::string>{"grand(a,c)", "grand(a,d)",
+                                         "grand(a,f)"}));
+}
+
+/// The executor and the interpreter must agree on the pure subset.
+struct AgreementCase {
+  const char *Name;
+  const char *Program;
+  const char *Goal;
+};
+
+class WamAgreementTest : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(WamAgreementTest, MatchesInterpreter) {
+  const auto &C = GetParam();
+  SymbolTable Syms;
+
+  WamCompiler Compiler(Syms);
+  auto P = Compiler.compileText(C.Program);
+  ASSERT_TRUE(P.hasValue());
+  WamMachine M(Syms, *P);
+  auto G1 = Parser::parseTerm(Syms, M.store(), C.Goal);
+  std::set<std::string> Compiled;
+  M.solve(*G1, [&]() {
+    Compiled.insert(TermWriter::toString(Syms, M.store(), *G1));
+    return false;
+  });
+
+  Database DB(Syms);
+  ASSERT_TRUE(DB.consult(C.Program).hasValue());
+  Solver S(DB);
+  auto G2 = Parser::parseTerm(Syms, S.store(), C.Goal);
+  std::set<std::string> Interpreted;
+  S.solve(*G2, [&]() {
+    Interpreted.insert(TermWriter::toString(Syms, S.storeConst(), *G2));
+    return false;
+  });
+
+  EXPECT_EQ(Compiled, Interpreted) << C.Name;
+}
+
+const AgreementCase AgreementCases[] = {
+    {"naive_reverse",
+     "nrev([], []).\n"
+     "nrev([X|Xs], R) :- nrev(Xs, T), app(T, [X], R).\n"
+     "app([], Y, Y).\n"
+     "app([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).\n",
+     "nrev([1,2,3,4,5], R)"},
+    {"qsort",
+     "qs([], []).\n"
+     "qs([X|Xs], S) :- part(Xs, X, L, G), qs(L, SL), qs(G, SG), "
+     "  app(SL, [X|SG], S).\n"
+     "part([], P, [], []).\n"
+     "part([Y|Ys], P, [Y|L], G) :- Y =< P, part(Ys, P, L, G).\n"
+     "part([Y|Ys], P, L, [Y|G]) :- Y > P, part(Ys, P, L, G).\n"
+     "app([], Y, Y).\n"
+     "app([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).\n",
+     "qs([3,1,4,1,5,9,2,6], S)"},
+    {"dag_paths",
+     "path(X, Y) :- edge(X, Y).\n"
+     "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+     "edge(a, b). edge(a, c). edge(b, d). edge(c, d). edge(d, e).\n",
+     "path(a, N)"},
+    {"peano_plus",
+     "plus(z, Y, Y). plus(s(X), Y, s(Z)) :- plus(X, Y, Z).",
+     "plus(X, Y, s(s(s(z))))"},
+    {"member_generate",
+     "mem(X, [X|_]). mem(X, [_|T]) :- mem(X, T).",
+     "mem(M, [q, w, e])"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Programs, WamAgreementTest,
+                         ::testing::ValuesIn(AgreementCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- wamlite_test.cpp - WAM-lite compiler tests ----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "wamlite/WamCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace lpa;
+
+namespace {
+
+class WamTest : public ::testing::Test {
+protected:
+  CompiledProgram compile(const char *Source) {
+    WamCompiler C(Syms);
+    auto P = C.compileText(Source);
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.getError().str());
+    return P ? std::move(*P) : CompiledProgram();
+  }
+
+  std::string disasm(const char *Source) {
+    WamCompiler C(Syms);
+    auto P = C.compileText(Source);
+    EXPECT_TRUE(P.hasValue());
+    std::string Out;
+    for (const CompiledClause &Cl : P->Clauses)
+      Out += C.disassemble(Cl);
+    return Out;
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(WamTest, FactCompilesToGetsAndProceed) {
+  auto P = compile("p(a, 42).");
+  ASSERT_EQ(P.Clauses.size(), 1u);
+  const auto &Code = P.Clauses[0].Code;
+  ASSERT_EQ(Code.size(), 3u);
+  EXPECT_EQ(Code[0].Op, WamOp::GetConstant);
+  EXPECT_EQ(Code[1].Op, WamOp::GetInteger);
+  EXPECT_EQ(Code[1].Imm, 42);
+  EXPECT_EQ(Code[2].Op, WamOp::Proceed);
+}
+
+TEST_F(WamTest, VariableHeadUsesGetVariableThenGetValue) {
+  auto P = compile("p(X, X).");
+  const auto &Code = P.Clauses[0].Code;
+  ASSERT_EQ(Code.size(), 3u);
+  EXPECT_EQ(Code[0].Op, WamOp::GetVariable);
+  EXPECT_EQ(Code[1].Op, WamOp::GetValue);
+  EXPECT_EQ(Code[0].Reg, Code[1].Reg);
+}
+
+TEST_F(WamTest, StructureHeadFlattens) {
+  std::string D = disasm("p(f(X, g(a))).");
+  // get_structure f/2, A0; unify_variable X...; unify_variable temp;
+  // get_structure g/1, temp; unify_constant a.
+  EXPECT_NE(D.find("get_structure f/2, X0"), std::string::npos) << D;
+  EXPECT_NE(D.find("get_structure g/1"), std::string::npos) << D;
+  EXPECT_NE(D.find("unify_constant a"), std::string::npos) << D;
+}
+
+TEST_F(WamTest, RuleEmitsCallsWithLastCallOptimization) {
+  auto P = compile("p(X) :- q(X), r(X).");
+  const auto &C = P.Clauses[0];
+  // X occurs in chunk 0 (head+q) and chunk 1 (r): permanent.
+  EXPECT_EQ(C.NumPermanent, 1u);
+  ASSERT_GE(C.Code.size(), 5u);
+  EXPECT_EQ(C.Code.front().Op, WamOp::Allocate);
+  EXPECT_EQ(C.Code[C.Code.size() - 2].Op, WamOp::Deallocate);
+  EXPECT_EQ(C.Code.back().Op, WamOp::Execute);
+  bool HasCall = false;
+  for (const auto &I : C.Code)
+    HasCall |= I.Op == WamOp::Call;
+  EXPECT_TRUE(HasCall);
+}
+
+TEST_F(WamTest, ChainedGoalWithoutSharedVarsHasNoEnvironment) {
+  auto P = compile("p(X) :- q(X).");
+  // X lives only in chunk 0 (head + first goal): temporary.
+  EXPECT_EQ(P.Clauses[0].NumPermanent, 0u);
+  EXPECT_EQ(P.Clauses[0].Code.back().Op, WamOp::Execute);
+}
+
+TEST_F(WamTest, BodyStructureBuildsBottomUp) {
+  std::string D = disasm("p(X) :- q(f(g(X), b)).");
+  size_t G = D.find("put_structure g/1");
+  size_t F = D.find("put_structure f/2");
+  ASSERT_NE(G, std::string::npos) << D;
+  ASSERT_NE(F, std::string::npos) << D;
+  EXPECT_LT(G, F) << "inner structure must be built first\n" << D;
+  EXPECT_NE(D.find("set_constant b"), std::string::npos);
+}
+
+TEST_F(WamTest, AppendCompilesLikeTheTextbook) {
+  std::string D = disasm(R"(
+    ap([], Ys, Ys).
+    ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+  )");
+  // Clause 1: get_constant [], A0; get_variable; get_value; proceed.
+  EXPECT_NE(D.find("get_constant []"), std::string::npos) << D;
+  // Clause 2: list cells are './2' structures; recursive call via execute.
+  EXPECT_NE(D.find("get_structure ./2, X0"), std::string::npos) << D;
+  EXPECT_NE(D.find("get_structure ./2, X2"), std::string::npos) << D;
+  EXPECT_NE(D.find("execute ap/3"), std::string::npos) << D;
+}
+
+TEST_F(WamTest, DirectivesAreSkipped) {
+  auto P = compile(":- table foo/1.\np(a).");
+  EXPECT_EQ(P.Clauses.size(), 1u);
+}
+
+TEST_F(WamTest, InstructionAndByteCounts) {
+  auto P = compile("p(a). q(b) :- p(a).");
+  EXPECT_GT(P.totalInstructions(), 3u);
+  EXPECT_EQ(P.codeBytes(), P.totalInstructions() * sizeof(WamInstr));
+}
+
+TEST_F(WamTest, WholeCorpusCompiles) {
+  for (const CorpusProgram &Prog : prologBenchmarks()) {
+    WamCompiler C(Syms);
+    auto P = C.compileText(Prog.Source);
+    ASSERT_TRUE(P.hasValue())
+        << Prog.Name << ": " << P.getError().str();
+    EXPECT_GT(P->totalInstructions(), 50u) << Prog.Name;
+    // Every clause ends in a control instruction.
+    for (const CompiledClause &Cl : P->Clauses) {
+      ASSERT_FALSE(Cl.Code.empty());
+      WamOp Last = Cl.Code.back().Op;
+      EXPECT_TRUE(Last == WamOp::Proceed || Last == WamOp::Execute)
+          << Prog.Name;
+    }
+  }
+}
+
+TEST_F(WamTest, PermanentVariablesGetYRegisters) {
+  std::string D = disasm("p(X, Y) :- q(X, Z), r(Y, Z).");
+  // Y and Z span chunks; X does not.
+  EXPECT_NE(D.find("Y0"), std::string::npos) << D;
+  EXPECT_NE(D.find("Y1"), std::string::npos) << D;
+  EXPECT_NE(D.find("allocate 2"), std::string::npos) << D;
+}
+
+} // namespace
