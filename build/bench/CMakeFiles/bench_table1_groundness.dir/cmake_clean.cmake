@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_groundness.dir/bench_table1_groundness.cpp.o"
+  "CMakeFiles/bench_table1_groundness.dir/bench_table1_groundness.cpp.o.d"
+  "bench_table1_groundness"
+  "bench_table1_groundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_groundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_wamlite.dir/bench_table1_wamlite.cpp.o"
+  "CMakeFiles/bench_table1_wamlite.dir/bench_table1_wamlite.cpp.o.d"
+  "bench_table1_wamlite"
+  "bench_table1_wamlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_wamlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

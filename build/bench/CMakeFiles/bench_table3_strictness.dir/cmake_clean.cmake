@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_strictness.dir/bench_table3_strictness.cpp.o"
+  "CMakeFiles/bench_table3_strictness.dir/bench_table3_strictness.cpp.o.d"
+  "bench_table3_strictness"
+  "bench_table3_strictness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_strictness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_depthk.dir/bench_table4_depthk.cpp.o"
+  "CMakeFiles/bench_table4_depthk.dir/bench_table4_depthk.cpp.o.d"
+  "bench_table4_depthk"
+  "bench_table4_depthk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_depthk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_dataflow.dir/demand_dataflow.cpp.o"
+  "CMakeFiles/demand_dataflow.dir/demand_dataflow.cpp.o.d"
+  "demand_dataflow"
+  "demand_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groundness_modes.dir/groundness_modes.cpp.o"
+  "CMakeFiles/groundness_modes.dir/groundness_modes.cpp.o.d"
+  "groundness_modes"
+  "groundness_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groundness_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strictness_report.dir/strictness_report.cpp.o"
+  "CMakeFiles/strictness_report.dir/strictness_report.cpp.o.d"
+  "strictness_report"
+  "strictness_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strictness_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

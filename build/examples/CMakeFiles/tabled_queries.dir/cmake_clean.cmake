@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabled_queries.dir/tabled_queries.cpp.o"
+  "CMakeFiles/tabled_queries.dir/tabled_queries.cpp.o.d"
+  "tabled_queries"
+  "tabled_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabled_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

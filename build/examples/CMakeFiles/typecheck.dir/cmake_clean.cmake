@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecheck.dir/typecheck.cpp.o"
+  "CMakeFiles/typecheck.dir/typecheck.cpp.o.d"
+  "typecheck"
+  "typecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

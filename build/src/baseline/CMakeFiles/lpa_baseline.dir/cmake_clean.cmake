@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_baseline.dir/GaiaLike.cpp.o"
+  "CMakeFiles/lpa_baseline.dir/GaiaLike.cpp.o.d"
+  "liblpa_baseline.a"
+  "liblpa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/FLCorpus1.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/FLCorpus1.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/FLCorpus1.cpp.o.d"
+  "/root/repo/src/corpus/FLCorpus2.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/FLCorpus2.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/FLCorpus2.cpp.o.d"
+  "/root/repo/src/corpus/PrologCorpusMedium.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusMedium.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusMedium.cpp.o.d"
+  "/root/repo/src/corpus/PrologCorpusPeep.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusPeep.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusPeep.cpp.o.d"
+  "/root/repo/src/corpus/PrologCorpusPress.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusPress.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusPress.cpp.o.d"
+  "/root/repo/src/corpus/PrologCorpusRead.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusRead.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusRead.cpp.o.d"
+  "/root/repo/src/corpus/PrologCorpusSmall.cpp" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusSmall.cpp.o" "gcc" "src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusSmall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

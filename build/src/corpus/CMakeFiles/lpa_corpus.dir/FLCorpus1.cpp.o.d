@@ -1,0 +1,2 @@
+src/corpus/CMakeFiles/lpa_corpus.dir/FLCorpus1.cpp.o: \
+ /root/repo/src/corpus/FLCorpus1.cpp /usr/include/stdc-predef.h

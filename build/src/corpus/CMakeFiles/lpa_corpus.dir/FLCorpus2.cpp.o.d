@@ -1,0 +1,2 @@
+src/corpus/CMakeFiles/lpa_corpus.dir/FLCorpus2.cpp.o: \
+ /root/repo/src/corpus/FLCorpus2.cpp /usr/include/stdc-predef.h

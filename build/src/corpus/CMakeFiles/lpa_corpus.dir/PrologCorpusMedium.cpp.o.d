@@ -1,0 +1,2 @@
+src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusMedium.cpp.o: \
+ /root/repo/src/corpus/PrologCorpusMedium.cpp /usr/include/stdc-predef.h

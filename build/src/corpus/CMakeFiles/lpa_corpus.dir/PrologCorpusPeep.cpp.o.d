@@ -1,0 +1,2 @@
+src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusPeep.cpp.o: \
+ /root/repo/src/corpus/PrologCorpusPeep.cpp /usr/include/stdc-predef.h

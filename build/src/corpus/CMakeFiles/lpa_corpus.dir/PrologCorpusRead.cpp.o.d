@@ -1,0 +1,2 @@
+src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusRead.cpp.o: \
+ /root/repo/src/corpus/PrologCorpusRead.cpp /usr/include/stdc-predef.h

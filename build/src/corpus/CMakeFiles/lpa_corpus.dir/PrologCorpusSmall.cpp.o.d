@@ -1,0 +1,2 @@
+src/corpus/CMakeFiles/lpa_corpus.dir/PrologCorpusSmall.cpp.o: \
+ /root/repo/src/corpus/PrologCorpusSmall.cpp /usr/include/stdc-predef.h

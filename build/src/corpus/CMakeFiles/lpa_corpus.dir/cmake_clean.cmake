@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/lpa_corpus.dir/FLCorpus1.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/FLCorpus1.cpp.o.d"
+  "CMakeFiles/lpa_corpus.dir/FLCorpus2.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/FLCorpus2.cpp.o.d"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusMedium.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusMedium.cpp.o.d"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusPeep.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusPeep.cpp.o.d"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusPress.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusPress.cpp.o.d"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusRead.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusRead.cpp.o.d"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusSmall.cpp.o"
+  "CMakeFiles/lpa_corpus.dir/PrologCorpusSmall.cpp.o.d"
+  "liblpa_corpus.a"
+  "liblpa_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_dataflow.dir/Cfg.cpp.o"
+  "CMakeFiles/lpa_dataflow.dir/Cfg.cpp.o.d"
+  "CMakeFiles/lpa_dataflow.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/lpa_dataflow.dir/ReachingDefs.cpp.o.d"
+  "liblpa_dataflow.a"
+  "liblpa_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

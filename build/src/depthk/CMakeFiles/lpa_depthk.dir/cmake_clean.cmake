@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_depthk.dir/AbstractDomain.cpp.o"
+  "CMakeFiles/lpa_depthk.dir/AbstractDomain.cpp.o.d"
+  "CMakeFiles/lpa_depthk.dir/DepthK.cpp.o"
+  "CMakeFiles/lpa_depthk.dir/DepthK.cpp.o.d"
+  "liblpa_depthk.a"
+  "liblpa_depthk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_depthk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/Builtins.cpp" "src/engine/CMakeFiles/lpa_engine.dir/Builtins.cpp.o" "gcc" "src/engine/CMakeFiles/lpa_engine.dir/Builtins.cpp.o.d"
+  "/root/repo/src/engine/Database.cpp" "src/engine/CMakeFiles/lpa_engine.dir/Database.cpp.o" "gcc" "src/engine/CMakeFiles/lpa_engine.dir/Database.cpp.o.d"
+  "/root/repo/src/engine/Solver.cpp" "src/engine/CMakeFiles/lpa_engine.dir/Solver.cpp.o" "gcc" "src/engine/CMakeFiles/lpa_engine.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reader/CMakeFiles/lpa_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/lpa_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

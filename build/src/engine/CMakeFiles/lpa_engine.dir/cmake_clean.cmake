@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_engine.dir/Builtins.cpp.o"
+  "CMakeFiles/lpa_engine.dir/Builtins.cpp.o.d"
+  "CMakeFiles/lpa_engine.dir/Database.cpp.o"
+  "CMakeFiles/lpa_engine.dir/Database.cpp.o.d"
+  "CMakeFiles/lpa_engine.dir/Solver.cpp.o"
+  "CMakeFiles/lpa_engine.dir/Solver.cpp.o.d"
+  "liblpa_engine.a"
+  "liblpa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

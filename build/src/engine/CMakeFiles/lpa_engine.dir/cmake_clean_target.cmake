@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpa_engine.a"
+)

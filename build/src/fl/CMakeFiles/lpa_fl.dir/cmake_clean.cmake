@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_fl.dir/FLParser.cpp.o"
+  "CMakeFiles/lpa_fl.dir/FLParser.cpp.o.d"
+  "liblpa_fl.a"
+  "liblpa_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_prop.dir/Groundness.cpp.o"
+  "CMakeFiles/lpa_prop.dir/Groundness.cpp.o.d"
+  "CMakeFiles/lpa_prop.dir/PropResult.cpp.o"
+  "CMakeFiles/lpa_prop.dir/PropResult.cpp.o.d"
+  "CMakeFiles/lpa_prop.dir/PropTransform.cpp.o"
+  "CMakeFiles/lpa_prop.dir/PropTransform.cpp.o.d"
+  "liblpa_prop.a"
+  "liblpa_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_reader.dir/Lexer.cpp.o"
+  "CMakeFiles/lpa_reader.dir/Lexer.cpp.o.d"
+  "CMakeFiles/lpa_reader.dir/OpTable.cpp.o"
+  "CMakeFiles/lpa_reader.dir/OpTable.cpp.o.d"
+  "CMakeFiles/lpa_reader.dir/Parser.cpp.o"
+  "CMakeFiles/lpa_reader.dir/Parser.cpp.o.d"
+  "liblpa_reader.a"
+  "liblpa_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

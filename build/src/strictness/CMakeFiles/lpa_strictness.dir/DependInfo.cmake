@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strictness/StrictTransform.cpp" "src/strictness/CMakeFiles/lpa_strictness.dir/StrictTransform.cpp.o" "gcc" "src/strictness/CMakeFiles/lpa_strictness.dir/StrictTransform.cpp.o.d"
+  "/root/repo/src/strictness/Strictness.cpp" "src/strictness/CMakeFiles/lpa_strictness.dir/Strictness.cpp.o" "gcc" "src/strictness/CMakeFiles/lpa_strictness.dir/Strictness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/lpa_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lpa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/lpa_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/lpa_reader.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_strictness.dir/StrictTransform.cpp.o"
+  "CMakeFiles/lpa_strictness.dir/StrictTransform.cpp.o.d"
+  "CMakeFiles/lpa_strictness.dir/Strictness.cpp.o"
+  "CMakeFiles/lpa_strictness.dir/Strictness.cpp.o.d"
+  "liblpa_strictness.a"
+  "liblpa_strictness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_strictness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_support.dir/TableFormat.cpp.o"
+  "CMakeFiles/lpa_support.dir/TableFormat.cpp.o.d"
+  "liblpa_support.a"
+  "liblpa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/Symbol.cpp" "src/term/CMakeFiles/lpa_term.dir/Symbol.cpp.o" "gcc" "src/term/CMakeFiles/lpa_term.dir/Symbol.cpp.o.d"
+  "/root/repo/src/term/TermCopy.cpp" "src/term/CMakeFiles/lpa_term.dir/TermCopy.cpp.o" "gcc" "src/term/CMakeFiles/lpa_term.dir/TermCopy.cpp.o.d"
+  "/root/repo/src/term/TermStore.cpp" "src/term/CMakeFiles/lpa_term.dir/TermStore.cpp.o" "gcc" "src/term/CMakeFiles/lpa_term.dir/TermStore.cpp.o.d"
+  "/root/repo/src/term/TermWriter.cpp" "src/term/CMakeFiles/lpa_term.dir/TermWriter.cpp.o" "gcc" "src/term/CMakeFiles/lpa_term.dir/TermWriter.cpp.o.d"
+  "/root/repo/src/term/Unify.cpp" "src/term/CMakeFiles/lpa_term.dir/Unify.cpp.o" "gcc" "src/term/CMakeFiles/lpa_term.dir/Unify.cpp.o.d"
+  "/root/repo/src/term/Variant.cpp" "src/term/CMakeFiles/lpa_term.dir/Variant.cpp.o" "gcc" "src/term/CMakeFiles/lpa_term.dir/Variant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_term.dir/Symbol.cpp.o"
+  "CMakeFiles/lpa_term.dir/Symbol.cpp.o.d"
+  "CMakeFiles/lpa_term.dir/TermCopy.cpp.o"
+  "CMakeFiles/lpa_term.dir/TermCopy.cpp.o.d"
+  "CMakeFiles/lpa_term.dir/TermStore.cpp.o"
+  "CMakeFiles/lpa_term.dir/TermStore.cpp.o.d"
+  "CMakeFiles/lpa_term.dir/TermWriter.cpp.o"
+  "CMakeFiles/lpa_term.dir/TermWriter.cpp.o.d"
+  "CMakeFiles/lpa_term.dir/Unify.cpp.o"
+  "CMakeFiles/lpa_term.dir/Unify.cpp.o.d"
+  "CMakeFiles/lpa_term.dir/Variant.cpp.o"
+  "CMakeFiles/lpa_term.dir/Variant.cpp.o.d"
+  "liblpa_term.a"
+  "liblpa_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

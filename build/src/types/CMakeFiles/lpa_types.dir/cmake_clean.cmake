@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_types.dir/TypeInference.cpp.o"
+  "CMakeFiles/lpa_types.dir/TypeInference.cpp.o.d"
+  "liblpa_types.a"
+  "liblpa_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_wamlite.dir/WamCompiler.cpp.o"
+  "CMakeFiles/lpa_wamlite.dir/WamCompiler.cpp.o.d"
+  "CMakeFiles/lpa_wamlite.dir/WamMachine.cpp.o"
+  "CMakeFiles/lpa_wamlite.dir/WamMachine.cpp.o.d"
+  "liblpa_wamlite.a"
+  "liblpa_wamlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_wamlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

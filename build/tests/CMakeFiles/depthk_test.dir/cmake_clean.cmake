@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depthk_test.dir/depthk_test.cpp.o"
+  "CMakeFiles/depthk_test.dir/depthk_test.cpp.o.d"
+  "depthk_test"
+  "depthk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depthk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groundness_test.dir/groundness_test.cpp.o"
+  "CMakeFiles/groundness_test.dir/groundness_test.cpp.o.d"
+  "groundness_test"
+  "groundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

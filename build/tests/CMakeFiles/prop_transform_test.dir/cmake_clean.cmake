@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_transform_test.dir/prop_transform_test.cpp.o"
+  "CMakeFiles/prop_transform_test.dir/prop_transform_test.cpp.o.d"
+  "prop_transform_test"
+  "prop_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reader_test.dir/reader_test.cpp.o"
+  "CMakeFiles/reader_test.dir/reader_test.cpp.o.d"
+  "reader_test"
+  "reader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

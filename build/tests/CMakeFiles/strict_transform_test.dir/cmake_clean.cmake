@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strict_transform_test.dir/strict_transform_test.cpp.o"
+  "CMakeFiles/strict_transform_test.dir/strict_transform_test.cpp.o.d"
+  "strict_transform_test"
+  "strict_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strict_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strictness_test.dir/strictness_test.cpp.o"
+  "CMakeFiles/strictness_test.dir/strictness_test.cpp.o.d"
+  "strictness_test"
+  "strictness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strictness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabling_test.dir/tabling_test.cpp.o"
+  "CMakeFiles/tabling_test.dir/tabling_test.cpp.o.d"
+  "tabling_test"
+  "tabling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/variant_test.cpp" "tests/CMakeFiles/variant_test.dir/variant_test.cpp.o" "gcc" "tests/CMakeFiles/variant_test.dir/variant_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/lpa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/wamlite/CMakeFiles/lpa_wamlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/lpa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/lpa_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lpa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/depthk/CMakeFiles/lpa_depthk.dir/DependInfo.cmake"
+  "/root/repo/build/src/strictness/CMakeFiles/lpa_strictness.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/lpa_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/lpa_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lpa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/lpa_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/lpa_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wam_machine_test.dir/wam_machine_test.cpp.o"
+  "CMakeFiles/wam_machine_test.dir/wam_machine_test.cpp.o.d"
+  "wam_machine_test"
+  "wam_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wam_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

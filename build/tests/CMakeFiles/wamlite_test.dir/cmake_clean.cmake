@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wamlite_test.dir/wamlite_test.cpp.o"
+  "CMakeFiles/wamlite_test.dir/wamlite_test.cpp.o.d"
+  "wamlite_test"
+  "wamlite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wamlite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
