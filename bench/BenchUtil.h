@@ -16,8 +16,11 @@
 #ifndef LPA_BENCH_BENCHUTIL_H
 #define LPA_BENCH_BENCHUTIL_H
 
+#include "obs/Json.h"
+
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 namespace lpa {
 
@@ -60,6 +63,43 @@ inline std::string paperSec(double V) {
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "%.2f", V);
   return Buf;
+}
+
+/// Resolves the output path for a bench driver's JSON trajectory file:
+/// "--json PATH" or "--json=PATH" overrides \p Default ("<bench>.json" in
+/// the working directory).
+inline std::string jsonOutPath(int Argc, char **Argv, const char *Default) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    if (A == "--json" && I + 1 < Argc)
+      return Argv[I + 1];
+    if (A.substr(0, 7) == "--json=")
+      return std::string(A.substr(7));
+  }
+  return Default;
+}
+
+/// Writes \p Json to \p Path and reports where it went (benches always
+/// leave a machine-readable record next to the human table).
+inline bool writeJsonFile(const std::string &Path, const std::string &Json) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+  std::printf("\n[json] wrote %s\n", Path.c_str());
+  return true;
+}
+
+/// Emits the phase timings of \p Row as members of the current object.
+inline void writeMeasuredRow(JsonWriter &W, const MeasuredRow &Row) {
+  W.member("preproc_ms", Row.PreprocMs);
+  W.member("analysis_ms", Row.AnalysisMs);
+  W.member("collect_ms", Row.CollectMs);
+  W.member("total_ms", Row.totalMs());
 }
 
 } // namespace lpa

@@ -21,13 +21,20 @@
 
 using namespace lpa;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Section 7: reaching definitions — logic database vs "
               "dedicated worklist solver\n\n");
 
   TextTable Out;
   Out.addRow({"Nodes", "Defs", "Pairs", "Logic(ms)", "Worklist(ms)",
               "Ratio", "Demand(ms)"});
+
+  std::string Json;
+  JsonWriter JW(Json);
+  JW.beginObject();
+  JW.member("benchmark", "dataflow");
+  JW.key("runs");
+  JW.beginArray();
 
   int Failures = 0;
   for (size_t Nodes : {50u, 100u, 200u, 400u}) {
@@ -68,9 +75,22 @@ int main() {
                 std::to_string(L->Reaches.size()),
                 ms(L->totalSeconds() * 1e3), ms(W.totalSeconds() * 1e3),
                 ms(Ratio), ms(DemandMs)});
+
+    JW.beginObject();
+    JW.member("nodes", static_cast<uint64_t>(G.size()));
+    JW.member("defs", static_cast<uint64_t>(Defs));
+    JW.member("reach_pairs", static_cast<uint64_t>(L->Reaches.size()));
+    JW.member("logic_ms", L->totalSeconds() * 1e3);
+    JW.member("worklist_ms", W.totalSeconds() * 1e3);
+    JW.member("ratio", Ratio);
+    JW.member("demand_ms", DemandMs);
+    JW.endObject();
   }
 
+  JW.endArray();
+  JW.endObject();
   std::printf("%s\n", Out.render().c_str());
+  writeJsonFile(jsonOutPath(argc, argv, "bench_dataflow.json"), Json);
   std::printf(
       "Notes:\n"
       " * 'Ratio' is the general-purpose/special-purpose gap; the paper's\n"

@@ -20,6 +20,8 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 using namespace lpa;
 
@@ -221,4 +223,26 @@ BENCHMARK(BM_TabledFib);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but every run leaves a JSON trajectory file:
+// unless the caller passes --benchmark_out themselves, results also go to
+// bench_engine_micro.json in the working directory.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutFlag = "--benchmark_out=bench_engine_micro.json";
+  std::string FmtFlag = "--benchmark_out_format=json";
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::string_view(argv[I]).substr(0, 16) == "--benchmark_out=")
+      HasOut = true;
+  if (!HasOut) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FmtFlag.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,13 +25,20 @@
 
 using namespace lpa;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Table 1 companion: analysis time relative to compilation "
               "(Section 4's compile-vs-assert tradeoff)\n\n");
 
   TextTable Out;
   Out.addRow({"Program", "Assert(ms)", "WamC(ms)", "Instrs", "Code(B)",
               "Analysis(ms)", "Incr(%)", "|", "paperIncr(%)"});
+
+  std::string Json;
+  JsonWriter W(Json);
+  W.beginObject();
+  W.member("benchmark", "table1_wamlite");
+  W.key("programs");
+  W.beginArray();
 
   int Failures = 0;
   for (const CorpusProgram &P : prologBenchmarks()) {
@@ -95,9 +102,22 @@ int main() {
                 std::to_string(Instrs), std::to_string(Bytes),
                 ms(Analysis.totalMs()), ms(Incr), "|",
                 paperSec(P.Table1.CompileIncreasePct)});
+
+    W.beginObject();
+    W.member("name", P.Name);
+    W.member("assert_ms", AssertMs);
+    W.member("wam_compile_ms", CompileMs);
+    W.member("wam_instructions", static_cast<uint64_t>(Instrs));
+    W.member("wam_code_bytes", static_cast<uint64_t>(Bytes));
+    writeMeasuredRow(W, Analysis);
+    W.member("increase_pct", Incr);
+    W.endObject();
   }
 
+  W.endArray();
+  W.endObject();
   std::printf("%s\n", Out.render().c_str());
+  writeJsonFile(jsonOutPath(argc, argv, "bench_table1_wamlite.json"), Json);
   std::printf(
       "Notes:\n"
       " * 'Incr' = analysis total / WAM-lite compile time. The paper's\n"

@@ -22,7 +22,7 @@
 
 using namespace lpa;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Table 2: tabled engine (XSB role) vs special-purpose "
               "baseline (GAIA role), total analysis time\n"
               "(ours in ms; paper columns in seconds)\n\n");
@@ -30,6 +30,13 @@ int main() {
   TextTable Out;
   Out.addRow({"Program", "Engine", "Baseline", "Base(naive)", "Identical",
               "|", "paperXSB(s)", "paperGAIA(s)"});
+
+  std::string Json;
+  JsonWriter W(Json);
+  W.beginObject();
+  W.member("benchmark", "table2_vs_baseline");
+  W.key("programs");
+  W.beginArray();
 
   int Failures = 0;
   for (const CorpusProgram &P : prologBenchmarks()) {
@@ -95,9 +102,21 @@ int main() {
     Out.addRow({P.Name, ms(Engine.totalMs()), ms(Baseline.totalMs()),
                 ms(BaselineNaive.totalMs()), Identical ? "yes" : "NO!", "|",
                 paperSec(P.Table1.Total), paperSec(P.GaiaSeconds)});
+
+    W.beginObject();
+    W.member("name", P.Name);
+    W.member("engine_total_ms", Engine.totalMs());
+    W.member("baseline_total_ms", Baseline.totalMs());
+    W.member("baseline_naive_total_ms", BaselineNaive.totalMs());
+    W.member("identical_results", Identical);
+    W.endObject();
   }
 
+  W.endArray();
+  W.endObject();
   std::printf("%s\n", Out.render().c_str());
+  writeJsonFile(jsonOutPath(argc, argv, "bench_table2_vs_baseline.json"),
+                Json);
   std::printf(
       "Notes:\n"
       " * 'Identical' checks success-set equality predicate by predicate\n"

@@ -14,6 +14,7 @@
 
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
+#include "obs/Metrics.h"
 #include "strictness/Strictness.h"
 #include "support/TableFormat.h"
 
@@ -21,13 +22,20 @@
 
 using namespace lpa;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Table 3: demand-propagation strictness analysis "
               "(ours in ms; paper columns in seconds, SPARC LX)\n\n");
 
   TextTable Out;
   Out.addRow({"Program", "Lines", "Preproc", "Analysis", "Collect", "Total",
               "Table(B)", "|", "paperTot(s)", "paperTab(B)"});
+
+  std::string Json;
+  JsonWriter W(Json);
+  W.beginObject();
+  W.member("benchmark", "table3_strictness");
+  W.key("programs");
+  W.beginArray();
 
   int Failures = 0;
   double TotalLines = 0, TotalSeconds = 0;
@@ -60,9 +68,30 @@ int main() {
                 std::to_string(Best.TableBytes), "|",
                 paperSec(P.Table1.Total),
                 std::to_string(P.Table1.TableBytes)});
+
+    // Instrumented re-run for the per-predicate table detail (sp_f
+    // subgoal/answer counts, table bytes).
+    MetricsRegistry Reg;
+    {
+      StrictnessAnalyzer Analyzer;
+      Analyzer.setObservability(nullptr, &Reg);
+      (void)Analyzer.analyze(P.Source);
+    }
+    W.beginObject();
+    W.member("name", P.Name);
+    W.member("lines", static_cast<uint64_t>(P.sourceLines()));
+    writeMeasuredRow(W, Best);
+    W.member("table_bytes", static_cast<uint64_t>(Best.TableBytes));
+    W.key("metrics");
+    Reg.writeJson(W);
+    W.endObject();
   }
 
+  W.endArray();
+  W.endObject();
   std::printf("%s\n", Out.render().c_str());
+  writeJsonFile(jsonOutPath(argc, argv, "bench_table3_strictness.json"),
+                Json);
   if (TotalSeconds > 0)
     std::printf("Throughput: %.0f source lines/second (the paper reports "
                 "200-350 on a 1996 SPARC LX).\n",

@@ -14,6 +14,7 @@
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "depthk/DepthK.h"
+#include "obs/Metrics.h"
 #include "support/TableFormat.h"
 
 #include <cstdio>
@@ -22,7 +23,7 @@
 
 using namespace lpa;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("Table 4: groundness with term-depth abstraction, k=2 "
               "(ours in ms; paper columns in seconds, SPARC 20)\n\n");
 
@@ -35,6 +36,13 @@ int main() {
   Out.addRow({"Program", "Preproc", "Analysis", "Collect", "Total",
               "Table(B)", "Calls", "Widen", "|", "paperTot(s)",
               "paperTab(B)"});
+
+  std::string Json;
+  JsonWriter W(Json);
+  W.beginObject();
+  W.member("benchmark", "table4_depthk");
+  W.key("programs");
+  W.beginArray();
 
   int Failures = 0;
   for (const CorpusProgram &P : prologBenchmarks()) {
@@ -74,9 +82,32 @@ int main() {
                 paperSec(P.Table4.Total),
                 P.Table4.TableBytes < 0 ? "-"
                                         : std::to_string(P.Table4.TableBytes)});
+
+    // Instrumented re-run for per-predicate call-pattern/answer detail.
+    MetricsRegistry Reg;
+    {
+      SymbolTable Symbols;
+      DepthKAnalyzer::Options ObsOpts;
+      ObsOpts.Metrics = &Reg;
+      DepthKAnalyzer Analyzer(Symbols, ObsOpts);
+      (void)Analyzer.analyze(P.Source);
+    }
+    W.beginObject();
+    W.member("name", P.Name);
+    W.member("in_paper_table", InPaper);
+    writeMeasuredRow(W, Best);
+    W.member("table_bytes", static_cast<uint64_t>(Best.TableBytes));
+    W.member("call_patterns", Calls);
+    W.member("widenings", Widenings);
+    W.key("metrics");
+    Reg.writeJson(W);
+    W.endObject();
   }
 
+  W.endArray();
+  W.endObject();
   std::printf("%s\n", Out.render().c_str());
+  writeJsonFile(jsonOutPath(argc, argv, "bench_table4_depthk.json"), Json);
   std::printf(
       "Notes:\n"
       " * Rows marked '*' (gabriel, press1, press2) are absent from the\n"

@@ -14,12 +14,20 @@
 //   ?- path(a, X).
 //
 // Left recursion over a cyclic graph — it terminates here.
-// Commands: "stats." prints engine counters, "halt." exits.
+//
+// Commands (':'-prefixed lines run immediately, no trailing dot needed):
+//   :stats            per-predicate metrics table + engine counters
+//   :trace on|off     print one line per SLG event as goals run
+//   :profile <goal>   run a goal and report the engine work it caused
+// Legacy: "stats." prints the raw counters, "halt." exits.
 //
 //===----------------------------------------------------------------------===//
 
 #include "engine/Solver.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "reader/Parser.h"
+#include "support/Stopwatch.h"
 #include "term/TermWriter.h"
 
 #include <cstdio>
@@ -33,8 +41,17 @@ int main() {
   Database DB(Symbols);
   Solver Engine(DB);
 
+  // Observability: the tracer is always attached (sink-less emit is one
+  // null test), the registry accumulates per-predicate counters for
+  // ":stats", and ":trace on" attaches the printing sink.
+  Tracer Trace;
+  MetricsRegistry Metrics;
+  PrintSink Printer(Symbols, stdout);
+  Engine.setObservability(&Trace, &Metrics);
+
   std::printf("lpa toplevel — tabled logic engine "
-              "(clauses to assert, '?- G.' to query, 'halt.' to quit)\n");
+              "(clauses to assert, '?- G.' to query, ':stats', "
+              "':trace on|off', ':profile G', 'halt.' to quit)\n");
 
   std::string Buffer;
   std::string Line;
@@ -43,6 +60,80 @@ int main() {
     std::fflush(stdout);
     if (!std::getline(std::cin, Line))
       break;
+
+    // ':'-prefixed observability commands act on the whole line at once
+    // (no trailing dot, no multi-line continuation).
+    if (Buffer.empty()) {
+      size_t S = Line.find_first_not_of(" \t");
+      // ':' starts a command, but ":-" is a Prolog directive — let those
+      // fall through to the clause reader.
+      if (S != std::string::npos && Line[S] == ':' &&
+          (S + 1 >= Line.size() || Line[S + 1] != '-')) {
+        std::string Cmd = Line.substr(S);
+        while (!Cmd.empty() &&
+               (std::isspace(static_cast<unsigned char>(Cmd.back())) ||
+                Cmd.back() == '.'))
+          Cmd.pop_back();
+
+        if (Cmd == ":stats") {
+          Engine.snapshotTableMetrics(Metrics);
+          if (Metrics.empty())
+            std::printf("  (no tabled evaluation yet)\n");
+          else
+            std::printf("%s", Metrics.renderReport().c_str());
+          continue;
+        }
+        if (Cmd == ":trace on") {
+          Trace.setSink(&Printer);
+          std::printf("  tracing on.\n");
+          continue;
+        }
+        if (Cmd == ":trace off") {
+          Trace.setSink(nullptr);
+          std::printf("  tracing off.\n");
+          continue;
+        }
+        if (Cmd.compare(0, 9, ":profile ") == 0) {
+          std::string GoalText = Cmd.substr(9);
+          auto Goal = Parser::parseTerm(Symbols, Engine.store(), GoalText);
+          if (!Goal) {
+            std::printf("  syntax error: %s\n",
+                        Goal.getError().str().c_str());
+            continue;
+          }
+          EvalStats Before = Engine.stats();
+          size_t BytesBefore = Engine.tableSpaceBytes();
+          Stopwatch Watch;
+          size_t Total = Engine.solve(*Goal, nullptr);
+          double Ms = Watch.elapsedSeconds() * 1e3;
+          const EvalStats &After = Engine.stats();
+          auto D = [](uint64_t A, uint64_t B) {
+            return static_cast<unsigned long long>(A - B);
+          };
+          std::printf("  %zu solution%s in %.3f ms\n", Total,
+                      Total == 1 ? "" : "s", Ms);
+          std::printf("  tabled-calls=%llu new-subgoals=%llu "
+                      "answers=%llu dups=%llu\n",
+                      D(After.TabledCalls, Before.TabledCalls),
+                      D(After.SubgoalsCreated, Before.SubgoalsCreated),
+                      D(After.AnswersRecorded, Before.AnswersRecorded),
+                      D(After.AnswersDuplicate, Before.AnswersDuplicate));
+          std::printf("  resolutions=%llu index-filtered=%llu "
+                      "builtins=%llu table-bytes=+%zu\n",
+                      D(After.ClauseResolutions, Before.ClauseResolutions),
+                      D(After.ClauseIndexFiltered,
+                        Before.ClauseIndexFiltered),
+                      D(After.BuiltinEvals, Before.BuiltinEvals),
+                      Engine.tableSpaceBytes() - BytesBefore);
+          continue;
+        }
+        std::printf("  unknown command: %s "
+                    "(:stats, :trace on|off, :profile <goal>)\n",
+                    Cmd.c_str());
+        continue;
+      }
+    }
+
     Buffer += Line + "\n";
     // A clause/query ends with '.' at end of line.
     std::string Trimmed = Line;

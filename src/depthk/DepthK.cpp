@@ -7,6 +7,7 @@
 
 #include "depthk/DepthK.h"
 
+#include "obs/Span.h"
 #include "reader/Parser.h"
 #include "support/Stopwatch.h"
 #include "term/TermCopy.h"
@@ -70,6 +71,10 @@ public:
 
   size_t tableSpaceBytes() const;
   uint64_t numAnswers() const;
+
+  /// Fills the registry's table-snapshot fields from the current entry
+  /// tables (idempotent; mirrors Solver::snapshotTableMetrics).
+  void snapshotMetrics(MetricsRegistry &M) const;
   uint64_t ProducerRuns = 0;
   uint64_t Widenings = 0;
 
@@ -178,6 +183,11 @@ AbsInterp::Entry &AbsInterp::ensureEntry(PredKey Pred, TermRef Call) {
   E.CallTuple = copyTerm(Heap, Call, Tables);
   Table.emplace(E.Key, std::move(Owned));
   Order.push_back(&E);
+  if (Opts.Trace)
+    Opts.Trace->emit(TraceEventKind::SubgoalNew, Pred.Sym, Pred.Arity,
+                     Order.size());
+  if (Opts.Metrics)
+    ++Opts.Metrics->pred(Symbols, Pred.Sym, Pred.Arity).NewSubgoals;
   enqueue(E);
   return E;
 }
@@ -286,6 +296,12 @@ void AbsInterp::solveGoal(Entry &Producer, TermRef G,
 }
 
 void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern) {
+  auto NoteDup = [&]() {
+    if (Opts.Trace)
+      Opts.Trace->emit(TraceEventKind::AnswerDup, E.Pred.Sym, E.Pred.Arity);
+    if (Opts.Metrics)
+      ++Opts.Metrics->pred(Symbols, E.Pred.Sym, E.Pred.Arity).DupAnswers;
+  };
   if (E.Widened) {
     // Check subsumption against the widened pattern(s); only genuinely
     // new behaviour re-widens.
@@ -294,13 +310,22 @@ void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern) {
       TermRef Pat = copyTerm(Tables, Existing, Heap);
       bool Covered = Domain.subsumes(Heap, Pat, AnsPattern);
       Heap.undoTo(M);
-      if (Covered)
+      if (Covered) {
+        NoteDup();
         return;
+      }
     }
   }
   std::string AKey = canonicalKey(Heap, AnsPattern);
-  if (E.AnswerKeys.count(AKey))
+  if (E.AnswerKeys.count(AKey)) {
+    NoteDup();
     return;
+  }
+  if (Opts.Trace)
+    Opts.Trace->emit(TraceEventKind::AnswerNew, E.Pred.Sym, E.Pred.Arity,
+                     E.Answers.size() + 1);
+  if (Opts.Metrics)
+    ++Opts.Metrics->pred(Symbols, E.Pred.Sym, E.Pred.Arity).NewAnswers;
   TermRef Stored = copyTerm(Heap, AnsPattern, Tables);
   E.AnswerKeys.insert(std::move(AKey));
   E.Answers.push_back(Stored);
@@ -328,6 +353,11 @@ void AbsInterp::runEntry(Entry &E) {
   SymbolId StateSym = Symbols.intern("$state");
 
   for (const Clause &C : P->Clauses) {
+    if (Opts.Trace)
+      Opts.Trace->emit(TraceEventKind::ClauseResolve, E.Pred.Sym,
+                       E.Pred.Arity);
+    if (Opts.Metrics)
+      ++Opts.Metrics->pred(Symbols, E.Pred.Sym, E.Pred.Arity).Resolutions;
     auto M = Heap.mark();
     TermRef Call = copyTerm(Tables, E.CallTuple, Heap);
     VarRenaming Renaming;
@@ -434,6 +464,25 @@ uint64_t AbsInterp::numAnswers() const {
   return N;
 }
 
+void AbsInterp::snapshotMetrics(MetricsRegistry &M) const {
+  M.resetTableSnapshot();
+  for (const Entry *E : Order) {
+    PredMetrics &PM = M.pred(Symbols, E->Pred.Sym, E->Pred.Arity);
+    ++PM.TableSubgoals;
+    PM.TableAnswers += E->Answers.size();
+    PM.AnswersPerSubgoal.record(E->Answers.size());
+    size_t Bytes = sizeof(Entry) + E->Key.capacity();
+    Bytes += E->Answers.capacity() * sizeof(TermRef);
+    for (const auto &K : E->AnswerKeys)
+      Bytes += K.capacity() + sizeof(void *) * 2;
+    Bytes += E->Dependents.size() * sizeof(void *) * 2;
+    Bytes += Tables.termBytes(E->CallTuple);
+    for (TermRef Ans : E->Answers)
+      Bytes += Tables.termBytes(Ans);
+    PM.TableBytes += Bytes;
+  }
+}
+
 } // namespace
 
 ErrorOr<DepthKResult> DepthKAnalyzer::analyze(std::string_view Source) {
@@ -441,26 +490,39 @@ ErrorOr<DepthKResult> DepthKAnalyzer::analyze(std::string_view Source) {
   Stopwatch Phase;
 
   //--- Preprocessing: read + load the concrete program. -------------------
+  ScopedSpan PreprocSpan(Opts.Trace, Opts.Metrics, "transform");
   Database DB(Symbols);
   auto Loaded = DB.consult(Source);
   if (!Loaded)
     return Loaded.getError();
   Result.PreprocSeconds = Phase.elapsedSeconds();
+  PreprocSpan.finish();
 
   //--- Analysis: abstract interpretation to fixpoint. ---------------------
   Phase.restart();
+  ScopedSpan EvalSpan(Opts.Trace, Opts.Metrics, "evaluate");
   AbsInterp Interp(Symbols, DB, Opts);
   for (PredKey Pred : DB.predicates())
     Interp.analyzePredicate(Pred);
   Result.AnalysisSeconds = Phase.elapsedSeconds();
+  EvalSpan.finish();
 
   //--- Collection. ---------------------------------------------------------
   Phase.restart();
+  ScopedSpan CollectSpan(Opts.Trace, Opts.Metrics, "collect");
   Result.TableSpaceBytes = Interp.tableSpaceBytes();
   Result.NumCallPatterns = Interp.entries().size();
   Result.NumAnswers = Interp.numAnswers();
   Result.FixpointRounds = Interp.ProducerRuns;
   Result.Widenings = Interp.Widenings;
+  if (Opts.Metrics) {
+    Interp.snapshotMetrics(*Opts.Metrics);
+    Opts.Metrics->setCounter("call_patterns", Result.NumCallPatterns);
+    Opts.Metrics->setCounter("answers_recorded", Result.NumAnswers);
+    Opts.Metrics->setCounter("fixpoint_rounds", Result.FixpointRounds);
+    Opts.Metrics->setCounter("widenings", Result.Widenings);
+    Opts.Metrics->setCounter("table_space_bytes", Result.TableSpaceBytes);
+  }
 
   const TermStore &TS = Interp.tableStore();
   for (PredKey Pred : DB.predicates()) {

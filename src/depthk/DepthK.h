@@ -20,6 +20,8 @@
 
 #include "depthk/AbstractDomain.h"
 #include "engine/Database.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Error.h"
 
 #include <memory>
@@ -74,6 +76,14 @@ public:
     /// than the second routes further calls to its open pattern.
     size_t MaxAnswersPerCall = 16;
     size_t MaxCallsPerPred = 32;
+
+    /// Observability (both optional, caller-owned): the tracer sees
+    /// subgoal/answer events from the abstract interpreter plus the
+    /// transform/evaluate/collect phase spans; the registry receives
+    /// per-predicate entry/answer counts, table bytes, and the
+    /// producer-run / widening counters.
+    Tracer *Trace = nullptr;
+    MetricsRegistry *Metrics = nullptr;
   };
 
   explicit DepthKAnalyzer(SymbolTable &Symbols)

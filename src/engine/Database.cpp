@@ -168,8 +168,13 @@ void Database::tableAllPredicates() {
 }
 
 const Predicate *Database::lookup(PredKey Key) const {
+  ++LkStats.Lookups;
   auto It = Preds.find(Key);
-  return It == Preds.end() ? nullptr : &It->second;
+  if (It == Preds.end()) {
+    ++LkStats.Misses;
+    return nullptr;
+  }
+  return &It->second;
 }
 
 bool Database::isTabled(PredKey Key) const {

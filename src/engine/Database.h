@@ -88,6 +88,17 @@ public:
   /// \returns the predicate entry, or nullptr if it has no clauses.
   const Predicate *lookup(PredKey Key) const;
 
+  /// Clause-index traffic: every lookup() is a hit on the predicate index;
+  /// a miss is a call to an undefined predicate (which fails without
+  /// touching any clause). Cheap enough to count unconditionally; the
+  /// observability layer exports them as db_lookups / db_lookup_misses.
+  struct LookupStats {
+    uint64_t Lookups = 0; ///< Total predicate-index probes.
+    uint64_t Misses = 0;  ///< Probes that found no predicate.
+  };
+  const LookupStats &lookupStats() const { return LkStats; }
+  void resetLookupStats() { LkStats = LookupStats(); }
+
   /// \returns true if the predicate is declared tabled.
   bool isTabled(PredKey Key) const;
 
@@ -117,6 +128,8 @@ private:
   std::vector<PredKey> PredOrder;
   /// Tabling declarations may precede clauses, so they are kept separately.
   std::unordered_map<PredKey, bool, PredKeyHash> TabledDecls;
+  /// Mutable: lookup() is const but still counted.
+  mutable LookupStats LkStats;
 };
 
 /// Flattens a (possibly nested) ','/2 conjunction into a goal list.

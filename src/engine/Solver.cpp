@@ -191,6 +191,44 @@ size_t Solver::tableSpaceBytes() const {
   return Bytes;
 }
 
+void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
+  M.resetTableSnapshot();
+  for (const Subgoal *SG : SubgoalOrder) {
+    PredMetrics &PM = M.pred(Symbols, SG->Pred.Sym, SG->Pred.Arity);
+    ++PM.TableSubgoals;
+    PM.TableAnswers += SG->Answers.size();
+    PM.AnswersPerSubgoal.record(SG->Answers.size());
+    // Apportioned table space: the subgoal record, its variant keys, its
+    // term cells in the shared table store (call + answers, measured via
+    // the TermStore arena), and any live supplementary frontiers.
+    size_t Bytes = sizeof(Subgoal) + SG->Key.capacity();
+    Bytes += SG->Answers.capacity() * sizeof(TermRef);
+    Bytes += SG->AnswerSeq.capacity() * sizeof(uint64_t);
+    for (const auto &K : SG->AnswerKeys)
+      Bytes += K.capacity() + sizeof(void *) * 2;
+    Bytes += Tables.termBytes(SG->CallTerm);
+    for (TermRef Ans : SG->Answers)
+      Bytes += Tables.termBytes(Ans);
+    for (const auto &CF : SG->Frontiers)
+      if (CF)
+        Bytes += CF->memoryBytes();
+    PM.TableBytes += Bytes;
+  }
+
+  M.setCounter("clause_resolutions", Stats.ClauseResolutions);
+  M.setCounter("clause_index_filtered", Stats.ClauseIndexFiltered);
+  M.setCounter("tabled_calls", Stats.TabledCalls);
+  M.setCounter("subgoals_created", Stats.SubgoalsCreated);
+  M.setCounter("answers_recorded", Stats.AnswersRecorded);
+  M.setCounter("answers_duplicate", Stats.AnswersDuplicate);
+  M.setCounter("fixpoint_rounds", Stats.FixpointRounds);
+  M.setCounter("depth_limit_hits", Stats.DepthLimitHits);
+  M.setCounter("builtin_evals", Stats.BuiltinEvals);
+  M.setCounter("table_space_bytes", tableSpaceBytes());
+  M.setCounter("db_lookups", DB.lookupStats().Lookups);
+  M.setCounter("db_lookup_misses", DB.lookupStats().Misses);
+}
+
 void Solver::clearTables() {
   assert(ProducerStack.empty() && CompletionStack.empty() &&
          "cannot clear tables during evaluation");
@@ -211,6 +249,8 @@ Solver::Signal Solver::solveGoals(const GoalNode *Goals, size_t Depth,
     return OnSolution() ? Signal::stop() : Signal::exhausted();
   if (Depth > Opts.MaxDepth) {
     ++Stats.DepthLimitHits;
+    if (Trace)
+      Trace->emit(TraceEventKind::DepthLimit, 0, 0, Depth);
     return Signal::exhausted();
   }
   TermRef G = Heap.deref(Goals->Goal);
@@ -234,8 +274,12 @@ Solver::Signal Solver::solveCall(TermRef Goal, const GoalNode *Rest,
         CutLevel, OnSolution);
 
   BuiltinKind BK = Builtins.classify(Sym, Arity);
-  if (BK != BuiltinKind::None)
+  if (BK != BuiltinKind::None) {
+    ++Stats.BuiltinEvals;
+    if (Trace)
+      Trace->emit(TraceEventKind::BuiltinEval, Sym, Arity);
     return solveBuiltin(BK, Goal, Rest, Depth, CutLevel, OnSolution);
+  }
 
   const Predicate *P = DB.lookup({Sym, Arity});
   if (!P)
@@ -254,9 +298,15 @@ Solver::Signal Solver::solveNontabled(const Predicate &P, TermRef Goal,
 
   for (const Clause &C : P.Clauses) {
     // First-argument filtering: skip clauses that cannot match.
-    if (CallKey != 0 && C.FirstArgKey != 0 && C.FirstArgKey != CallKey)
+    if (CallKey != 0 && C.FirstArgKey != 0 && C.FirstArgKey != CallKey) {
+      ++Stats.ClauseIndexFiltered;
       continue;
+    }
     ++Stats.ClauseResolutions;
+    if (Metrics)
+      ++Metrics->pred(Symbols, P.Key.Sym, P.Key.Arity).Resolutions;
+    if (Trace)
+      Trace->emit(TraceEventKind::ClauseResolve, P.Key.Sym, P.Key.Arity);
 
     auto M = Heap.mark();
     VarRenaming Renaming;
@@ -293,6 +343,22 @@ void Solver::setAnswerJoin(PredKey Pred, AnswerJoinFn Join) {
 }
 
 bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
+  auto NoteDuplicate = [&]() {
+    ++Stats.AnswersDuplicate;
+    if (Metrics)
+      ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).DupAnswers;
+    if (Trace)
+      Trace->emit(TraceEventKind::AnswerDup, SG.Pred.Sym, SG.Pred.Arity);
+  };
+  auto NoteRecorded = [&]() {
+    ++Stats.AnswersRecorded;
+    if (Metrics)
+      ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).NewAnswers;
+    if (Trace)
+      Trace->emit(TraceEventKind::AnswerNew, SG.Pred.Sym, SG.Pred.Arity,
+                  SG.Answers.size());
+  };
+
   // Aggregated predicates keep a single joined answer per subgoal.
   auto JIt = AnswerJoins.find((uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity);
   if (JIt != AnswerJoins.end()) {
@@ -303,7 +369,7 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
     } else {
       TermRef Joined = JIt->second(Tables, SG.Answers[0], Stored);
       if (isVariant(Tables, Joined, SG.Answers[0])) {
-        ++Stats.AnswersDuplicate;
+        NoteDuplicate();
         return false; // The join absorbed the new derivation.
       }
       SG.Answers[0] = Joined;
@@ -311,7 +377,7 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
     }
     PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
         AnswerSeqCounter;
-    ++Stats.AnswersRecorded;
+    NoteRecorded();
     for (Subgoal *C : SG.Consumers)
       C->Dirty = true;
     return true;
@@ -319,7 +385,7 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
 
   std::string AKey = canonicalKey(Heap, Instance);
   if (SG.AnswerKeys.count(AKey)) {
-    ++Stats.AnswersDuplicate;
+    NoteDuplicate();
     return false;
   }
   TermRef Stored = copyTerm(Heap, Instance, Tables);
@@ -328,7 +394,7 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
   SG.AnswerSeq.push_back(++AnswerSeqCounter);
   PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
       AnswerSeqCounter;
-  ++Stats.AnswersRecorded;
+  NoteRecorded();
   // Semi-naive scheduling: everyone who consumed from this table has
   // potentially more derivations now.
   for (Subgoal *C : SG.Consumers)
@@ -440,6 +506,10 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
 
   // Tabled: consume (a slice of) the answer table.
   ++Stats.TabledCalls;
+  if (Metrics)
+    ++Metrics->pred(Symbols, Key.Sym, Key.Arity).Calls;
+  if (Trace)
+    Trace->emit(TraceEventKind::TabledCall, Key.Sym, Key.Arity);
   Subgoal &SG = ensureSubgoal(G, Key);
   if (!SG.Complete && !ProducerStack.empty()) {
     Subgoal *Parent = ProducerStack.back();
@@ -492,6 +562,10 @@ void collectTemplateVars(const TermStore &Store, TermRef T,
 void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
                                     size_t ClauseIdx, size_t NumClauses) {
   ++Stats.ClauseResolutions;
+  if (Metrics)
+    ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).Resolutions;
+  if (Trace)
+    Trace->emit(TraceEventKind::ClauseResolve, SG.Pred.Sym, SG.Pred.Arity);
   SymbolId StateSym = Symbols.intern("$state");
   size_t NumGoals = C.Body.size();
 
@@ -655,8 +729,10 @@ bool Solver::runProducer(Subgoal &SG) {
 
   for (size_t ClauseIdx = 0; ClauseIdx < P->Clauses.size(); ++ClauseIdx) {
     const Clause &C = P->Clauses[ClauseIdx];
-    if (CallKey != 0 && C.FirstArgKey != 0 && C.FirstArgKey != CallKey)
+    if (CallKey != 0 && C.FirstArgKey != 0 && C.FirstArgKey != CallKey) {
+      ++Stats.ClauseIndexFiltered;
       continue;
+    }
 
     if (Opts.SupplementaryTabling && clauseIsPure(C)) {
       runClauseSupplementary(SG, C, ClauseIdx, P->Clauses.size());
@@ -666,6 +742,10 @@ bool Solver::runProducer(Subgoal &SG) {
     // Impure clause (cut/negation/...): tuple-at-a-time SLD, with one cut
     // barrier shared across the producer's clause alternatives.
     ++Stats.ClauseResolutions;
+    if (Metrics)
+      ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).Resolutions;
+    if (Trace)
+      Trace->emit(TraceEventKind::ClauseResolve, SG.Pred.Sym, SG.Pred.Arity);
     auto M2 = Heap.mark();
     VarRenaming Renaming;
     TermRef Head = copyTerm(DB.store(), C.Head, Heap, Renaming);
@@ -695,6 +775,11 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key) {
     return *It->second;
 
   ++Stats.SubgoalsCreated;
+  if (Metrics)
+    ++Metrics->pred(Symbols, Key.Sym, Key.Arity).NewSubgoals;
+  if (Trace)
+    Trace->emit(TraceEventKind::SubgoalNew, Key.Sym, Key.Arity,
+                SubgoalOrder.size() + 1);
   auto Owned = std::make_unique<Subgoal>();
   Subgoal &SG = *Owned;
   SG.Pred = Key;
@@ -735,11 +820,18 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key) {
       }
     }
     for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I) {
-      CompletionStack[I]->Complete = true;
-      CompletionStack[I]->OnStack = false;
+      Subgoal *Member = CompletionStack[I];
+      Member->Complete = true;
+      Member->OnStack = false;
       // Producers never re-run once complete; release the supplementary
       // tables.
-      CompletionStack[I]->Frontiers.clear();
+      Member->Frontiers.clear();
+      if (Metrics)
+        ++Metrics->pred(Symbols, Member->Pred.Sym, Member->Pred.Arity)
+              .Completions;
+      if (Trace)
+        Trace->emit(TraceEventKind::SubgoalComplete, Member->Pred.Sym,
+                    Member->Pred.Arity, Member->Answers.size());
     }
     CompletionStack.resize(SG.StackPos);
   }
@@ -751,6 +843,10 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
                                    uint64_t CutLevel,
                                    const SolutionFn &OnSolution) {
   ++Stats.TabledCalls;
+  if (Metrics)
+    ++Metrics->pred(Symbols, P.Key.Sym, P.Key.Arity).Calls;
+  if (Trace)
+    Trace->emit(TraceEventKind::TabledCall, P.Key.Sym, P.Key.Arity);
   Subgoal &SG = ensureSubgoal(Goal, P.Key);
 
   // Record the SCC dependency of the producer that issued this call, and

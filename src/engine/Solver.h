@@ -30,6 +30,8 @@
 
 #include "engine/Builtins.h"
 #include "engine/Database.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "term/TermStore.h"
 
 #include <functional>
@@ -52,6 +54,10 @@ struct EvalStats {
   uint64_t AnswersDuplicate = 0;  ///< Answers rejected by variant check.
   uint64_t FixpointRounds = 0;    ///< SCC iteration rounds.
   uint64_t DepthLimitHits = 0;    ///< Searches pruned by the depth limit.
+  uint64_t BuiltinEvals = 0;      ///< Builtin goals evaluated.
+  /// Clause resolutions avoided by the first-argument index (candidate
+  /// clauses skipped because their FirstArgKey cannot match the call).
+  uint64_t ClauseIndexFiltered = 0;
 };
 
 /// One tabled subgoal: the canonicalized call, its answers, and SCC
@@ -207,7 +213,38 @@ public:
   void resetHeap() { Heap.clear(); }
 
   const EvalStats &stats() const { return Stats; }
+
+  /// Zeroes the evaluation counters. Tables are deliberately NOT touched:
+  /// after resetStats() the counters describe only *new* work, so
+  /// re-evaluating a goal whose subgoals are already complete reports zero
+  /// SubgoalsCreated/AnswersRecorded (the answers replay from the tables)
+  /// while TabledCalls still counts the table hits. For a from-scratch
+  /// measurement call clearTables() as well. Attached observability
+  /// (tracer/metrics) is unaffected.
   void resetStats() { Stats = EvalStats(); }
+
+  /// \name Observability (src/obs): tracing and per-predicate metrics.
+  /// @{
+
+  /// Attaches an event tracer and/or a metrics registry; either may be
+  /// null. The caller keeps ownership and both must outlive the solver or
+  /// be detached (pass nullptr) first. With both detached — the default —
+  /// every instrumentation hook reduces to a null pointer test.
+  void setObservability(Tracer *T, MetricsRegistry *M) {
+    Trace = T;
+    Metrics = M;
+  }
+  Tracer *tracer() const { return Trace; }
+  MetricsRegistry *metrics() const { return Metrics; }
+
+  /// Writes the current table state into \p M: per-predicate subgoal and
+  /// answer counts, table-space bytes apportioned from the table store via
+  /// TermStore arena measurements, answer-count histograms, and the global
+  /// counters (EvalStats plus total table bytes). Snapshot fields are
+  /// assigned, not accumulated, so repeated snapshots are idempotent.
+  void snapshotTableMetrics(MetricsRegistry &M) const;
+
+  /// @}
 
 private:
   /// Linked-list resolvent; nodes live in GoalArena for the duration of a
@@ -310,6 +347,10 @@ private:
 
   std::vector<std::unique_ptr<GoalNode>> GoalArena;
   EvalStats Stats;
+
+  /// Observability hooks (null when detached; see setObservability).
+  Tracer *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
 };
 
 /// Evaluates an arithmetic expression over integers (is/2 and comparisons).

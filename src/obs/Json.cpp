@@ -1,0 +1,108 @@
+//===- Json.cpp - Minimal JSON emission --------------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace lpa;
+
+void JsonWriter::escape(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+void JsonWriter::separate() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // The key already emitted this element's comma.
+  }
+  if (HasElement.back())
+    Out += ',';
+  HasElement.back() = true;
+}
+
+void JsonWriter::beginObject() {
+  separate();
+  Out += '{';
+  HasElement.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  HasElement.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  separate();
+  Out += '[';
+  HasElement.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  HasElement.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(std::string_view K) {
+  if (HasElement.back())
+    Out += ',';
+  HasElement.back() = true;
+  Out += '"';
+  escape(Out, K);
+  Out += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::value(std::string_view V) {
+  separate();
+  Out += '"';
+  escape(Out, V);
+  Out += '"';
+}
+
+void JsonWriter::value(double V) {
+  separate();
+  if (!std::isfinite(V)) {
+    Out += "null"; // JSON has no Inf/NaN.
+    return;
+  }
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Out += Buf;
+}
+
+void JsonWriter::value(uint64_t V) {
+  separate();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::value(int64_t V) {
+  separate();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::value(bool V) {
+  separate();
+  Out += V ? "true" : "false";
+}

@@ -1,0 +1,82 @@
+//===- Json.h - Minimal JSON emission ---------------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer used by the observability exporters (metrics
+/// dumps, Chrome trace files, per-benchmark trajectory records). Emission
+/// only — the project never parses JSON — so the writer is a comma-tracking
+/// state machine over an output string, with no document model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_OBS_JSON_H
+#define LPA_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lpa {
+
+/// Streaming JSON writer. Usage:
+///
+///   std::string Out;
+///   JsonWriter W(Out);
+///   W.beginObject();
+///   W.key("name"); W.value("qsort");
+///   W.key("rows"); W.beginArray(); ... W.endArray();
+///   W.endObject();
+///
+/// The writer inserts commas and escapes strings; callers are responsible
+/// for pairing begin/end and for emitting a key before each object member.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the member key (inside an object) for the next value.
+  void key(std::string_view K);
+
+  void value(std::string_view V);
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(double V);
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(bool V);
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+
+  /// key() + value() in one call.
+  template <typename T> void member(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  /// Appends the string escaped for inclusion in a JSON string literal.
+  static void escape(std::string &Out, std::string_view S);
+
+private:
+  /// Inserts a separating comma when the current scope already holds an
+  /// element, and marks the scope non-empty.
+  void separate();
+
+  std::string &Out;
+  /// One entry per open scope: true once the scope has an element.
+  std::vector<bool> HasElement{false};
+  /// True immediately after key(): the next value is a member value and
+  /// must not be comma-separated again.
+  bool PendingKey = false;
+};
+
+} // namespace lpa
+
+#endif // LPA_OBS_JSON_H

@@ -1,0 +1,198 @@
+//===- Metrics.cpp - Per-predicate metrics registry ---------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+#include "support/TableFormat.h"
+
+#include <bit>
+
+using namespace lpa;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+void Histogram::record(uint64_t Value) {
+  size_t B = Value == 0 ? 0 : static_cast<size_t>(std::bit_width(Value));
+  if (B >= NumBuckets)
+    B = NumBuckets - 1;
+  ++Buckets[B];
+  ++Count;
+  Sum += Value;
+  if (Value < Min)
+    Min = Value;
+  if (Value > Max)
+    Max = Value;
+}
+
+uint64_t Histogram::quantile(double Q) const {
+  if (!Count)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  uint64_t Rank = static_cast<uint64_t>(Q * double(Count - 1)) + 1;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Rank) {
+      if (B == 0)
+        return 0;
+      uint64_t Upper = (B >= 64) ? ~uint64_t(0) : (uint64_t(1) << B) - 1;
+      return Upper < Max ? Upper : Max;
+    }
+  }
+  return Max;
+}
+
+void Histogram::reset() { *this = Histogram(); }
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+PredMetrics &MetricsRegistry::pred(const SymbolTable &Symbols, SymbolId Sym,
+                                   uint32_t Arity) {
+  uint64_t Key = (uint64_t(Sym) << 32) | Arity;
+  auto [It, Inserted] = Preds.try_emplace(Key);
+  if (Inserted) {
+    It->second.Name = Symbols.name(Sym);
+    It->second.Arity = Arity;
+    Order.push_back(Key);
+  }
+  return It->second;
+}
+
+std::vector<const PredMetrics *> MetricsRegistry::predicates() const {
+  std::vector<const PredMetrics *> Out;
+  Out.reserve(Order.size());
+  for (uint64_t Key : Order)
+    Out.push_back(&Preds.at(Key));
+  return Out;
+}
+
+void MetricsRegistry::addPhase(std::string_view Name, double Seconds) {
+  for (auto &[N, S] : Phases)
+    if (N == Name) {
+      S += Seconds;
+      return;
+    }
+  Phases.emplace_back(std::string(Name), Seconds);
+}
+
+void MetricsRegistry::setCounter(std::string_view Name, uint64_t Value) {
+  for (auto &[N, V] : Counters)
+    if (N == Name) {
+      V = Value;
+      return;
+    }
+  Counters.emplace_back(std::string(Name), Value);
+}
+
+void MetricsRegistry::resetTableSnapshot() {
+  for (auto &[Key, PM] : Preds) {
+    (void)Key;
+    PM.TableSubgoals = 0;
+    PM.TableAnswers = 0;
+    PM.TableBytes = 0;
+    PM.AnswersPerSubgoal.reset();
+  }
+}
+
+void MetricsRegistry::clear() {
+  Preds.clear();
+  Order.clear();
+  Phases.clear();
+  Counters.clear();
+}
+
+void MetricsRegistry::writeJson(JsonWriter &W) const {
+  W.beginObject();
+
+  W.key("phases");
+  W.beginObject();
+  for (const auto &[Name, Seconds] : Phases)
+    W.member(Name, Seconds);
+  W.endObject();
+
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, Value] : Counters)
+    W.member(Name, Value);
+  W.endObject();
+
+  W.key("predicates");
+  W.beginArray();
+  for (const PredMetrics *PM : predicates()) {
+    W.beginObject();
+    W.member("name", std::string_view(PM->Name));
+    W.member("arity", PM->Arity);
+    W.member("calls", PM->Calls);
+    W.member("new_subgoals", PM->NewSubgoals);
+    W.member("new_answers", PM->NewAnswers);
+    W.member("dup_answers", PM->DupAnswers);
+    W.member("resolutions", PM->Resolutions);
+    W.member("completions", PM->Completions);
+    W.member("table_subgoals", PM->TableSubgoals);
+    W.member("table_answers", PM->TableAnswers);
+    W.member("table_bytes", PM->TableBytes);
+    const Histogram &H = PM->AnswersPerSubgoal;
+    if (H.count()) {
+      W.key("answers_per_subgoal");
+      W.beginObject();
+      W.member("count", H.count());
+      W.member("min", H.min());
+      W.member("max", H.max());
+      W.member("mean", H.mean());
+      W.member("p50", H.quantile(0.5));
+      W.member("p90", H.quantile(0.9));
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+
+  W.endObject();
+}
+
+std::string MetricsRegistry::renderReport() const {
+  std::string Out;
+  auto U = [](uint64_t V) {
+    return TextTable::fmt(static_cast<unsigned long long>(V));
+  };
+
+  TextTable T;
+  T.addRow({"Predicate", "Calls", "Subgoals", "Answers", "Dups", "Resol",
+            "Tab.SG", "Tab.Ans", "Tab(B)", "Ans p50/max"});
+  for (const PredMetrics *PM : predicates()) {
+    const Histogram &H = PM->AnswersPerSubgoal;
+    std::string Spread =
+        H.count() ? std::to_string(H.quantile(0.5)) + "/" +
+                        std::to_string(H.max())
+                  : "-";
+    T.addRow({PM->qualifiedName(), U(PM->Calls), U(PM->NewSubgoals),
+              U(PM->NewAnswers), U(PM->DupAnswers), U(PM->Resolutions),
+              U(PM->TableSubgoals), U(PM->TableAnswers), U(PM->TableBytes),
+              Spread});
+  }
+  Out += T.render();
+
+  if (!Phases.empty()) {
+    Out += "\nPhases:\n";
+    for (const auto &[Name, Seconds] : Phases)
+      Out += "  " + Name + ": " + TextTable::fmt(Seconds * 1e3, 3) + " ms\n";
+  }
+  if (!Counters.empty()) {
+    Out += "Counters:\n";
+    for (const auto &[Name, Value] : Counters)
+      Out += "  " + Name + ": " + U(Value) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- Span.h - Phase-scoped timing spans -----------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII span covering one named phase of an analysis (transform, evaluate,
+/// report). On destruction it adds the elapsed time to the metrics
+/// registry's phase accounting and, when a tracer is attached, brackets the
+/// phase with SpanBegin/SpanEnd events so the Chrome trace shows it as a
+/// duration bar. Both pointers may be null; a span over (nullptr, nullptr)
+/// only reads the clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_OBS_SPAN_H
+#define LPA_OBS_SPAN_H
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Stopwatch.h"
+
+namespace lpa {
+
+/// Scoped phase span. \p Label must point to static storage (it is handed
+/// to TraceEvents that may outlive the span).
+class ScopedSpan {
+public:
+  ScopedSpan(Tracer *Trace, MetricsRegistry *Metrics, const char *Label)
+      : Trace(Trace), Metrics(Metrics), Label(Label) {
+    if (Trace)
+      Trace->beginSpan(Label);
+  }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  ~ScopedSpan() { finish(); }
+
+  /// Ends the span early (idempotent).
+  void finish() {
+    if (Done)
+      return;
+    Done = true;
+    if (Metrics)
+      Metrics->addPhase(Label, Watch.elapsedSeconds());
+    if (Trace)
+      Trace->endSpan(Label);
+  }
+
+private:
+  Tracer *Trace;
+  MetricsRegistry *Metrics;
+  const char *Label;
+  Stopwatch Watch;
+  bool Done = false;
+};
+
+} // namespace lpa
+
+#endif // LPA_OBS_SPAN_H

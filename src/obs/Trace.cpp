@@ -1,0 +1,112 @@
+//===- Trace.cpp - SLG event tracing ------------------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace lpa;
+
+const char *lpa::traceEventKindName(TraceEventKind K) {
+  switch (K) {
+  case TraceEventKind::TabledCall: return "tabled-call";
+  case TraceEventKind::SubgoalNew: return "subgoal-new";
+  case TraceEventKind::AnswerNew: return "answer-new";
+  case TraceEventKind::AnswerDup: return "answer-dup";
+  case TraceEventKind::SubgoalComplete: return "subgoal-complete";
+  case TraceEventKind::ClauseResolve: return "clause-resolve";
+  case TraceEventKind::BuiltinEval: return "builtin-eval";
+  case TraceEventKind::DepthLimit: return "depth-limit";
+  case TraceEventKind::SpanBegin: return "span-begin";
+  case TraceEventKind::SpanEnd: return "span-end";
+  }
+  return "unknown";
+}
+
+void RecordingSink::event(const TraceEvent &E) {
+#if LPA_TRACE_ASSERTS
+  // Self-check: time must be monotone within one recording.
+  assert((Events.empty() || Events.back().TimeNs <= E.TimeNs) &&
+         "trace events out of time order");
+#endif
+  Events.push_back(E);
+}
+
+size_t RecordingSink::count(TraceEventKind K) const {
+  return static_cast<size_t>(
+      std::count_if(Events.begin(), Events.end(),
+                    [K](const TraceEvent &E) { return E.Kind == K; }));
+}
+
+void PrintSink::event(const TraceEvent &E) {
+  switch (E.Kind) {
+  case TraceEventKind::SpanBegin:
+    std::fprintf(Out, "  [trace] >> %s\n", E.Label ? E.Label : "?");
+    return;
+  case TraceEventKind::SpanEnd:
+    std::fprintf(Out, "  [trace] << %s\n", E.Label ? E.Label : "?");
+    return;
+  default:
+    break;
+  }
+  std::fprintf(Out, "  [trace] %-16s %s/%u", traceEventKindName(E.Kind),
+               Symbols.name(E.Sym).c_str(), E.Arity);
+  if (E.Value)
+    std::fprintf(Out, " (%llu)", static_cast<unsigned long long>(E.Value));
+  std::fprintf(Out, "\n");
+}
+
+std::string lpa::formatChromeTrace(const std::vector<TraceEvent> &Events,
+                                   const SymbolTable &Symbols) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (const TraceEvent &E : Events) {
+    W.beginObject();
+    std::string Name;
+    if (E.Kind == TraceEventKind::SpanBegin ||
+        E.Kind == TraceEventKind::SpanEnd) {
+      Name = E.Label ? E.Label : "span";
+    } else {
+      Name = traceEventKindName(E.Kind);
+      if (E.Sym < Symbols.size()) {
+        Name += ' ';
+        Name += Symbols.name(E.Sym);
+        Name += '/';
+        Name += std::to_string(E.Arity);
+      }
+    }
+    W.member("name", std::string_view(Name));
+    const char *Phase = "i";
+    if (E.Kind == TraceEventKind::SpanBegin)
+      Phase = "B";
+    else if (E.Kind == TraceEventKind::SpanEnd)
+      Phase = "E";
+    W.member("ph", Phase);
+    if (Phase[0] == 'i')
+      W.member("s", "t"); // Instant scope: thread.
+    W.member("ts", static_cast<double>(E.TimeNs) / 1e3);
+    W.member("pid", uint64_t(1));
+    W.member("tid", uint64_t(1));
+    if (E.Value) {
+      W.key("args");
+      W.beginObject();
+      W.member("value", E.Value);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.member("displayTimeUnit", "ms");
+  W.endObject();
+  return Out;
+}

@@ -1,0 +1,182 @@
+//===- Trace.h - SLG event tracing ------------------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured event tracing for the tabled engine, modeled on XSB's trace
+/// facilities (Swift & Warren describe them as essential for understanding
+/// tabling behavior). The engine emits one TraceEvent per interesting SLG
+/// transition — tabled call, subgoal creation, answer insert/duplicate,
+/// completion, clause resolution, builtin evaluation, depth-limit hit —
+/// plus begin/end span pairs for analysis phases.
+///
+/// Cost model: a Tracer with no sink attached is a single predictable
+/// branch per hook (`if (Sink)`), and the engine holds a *pointer* to the
+/// tracer that is null by default, so the fully-disabled path is one null
+/// check with no argument evaluation. Sinks only pay when attached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_OBS_TRACE_H
+#define LPA_OBS_TRACE_H
+
+#include "term/Symbol.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+/// LPA_TRACE_ASSERTS (CMake option LPA_ENABLE_TRACE_ASSERTS) compiles in
+/// instrumentation self-checks: span begin/end balance in the tracer and
+/// per-event invariants in the recording sink. Off by default; the checks
+/// cost a counter per span event when on.
+#ifndef LPA_TRACE_ASSERTS
+#define LPA_TRACE_ASSERTS 0
+#endif
+
+namespace lpa {
+
+/// Whether this build carries the guarded instrumentation self-checks.
+constexpr bool traceAssertsEnabled() { return LPA_TRACE_ASSERTS != 0; }
+
+/// The SLG event taxonomy. Instant events describe one engine transition;
+/// SpanBegin/SpanEnd bracket a named phase (transform/evaluate/collect).
+enum class TraceEventKind : uint8_t {
+  TabledCall,    ///< A call to a tabled predicate was issued.
+  SubgoalNew,    ///< A new subgoal variant entered the call table.
+  AnswerNew,     ///< A unique answer entered an answer table.
+  AnswerDup,     ///< A derived answer was rejected by the variant check.
+  SubgoalComplete, ///< A subgoal's SCC finished; its table is complete.
+  ClauseResolve, ///< A program clause resolution was attempted.
+  BuiltinEval,   ///< A builtin goal was evaluated.
+  DepthLimit,    ///< A branch was pruned by the depth limit.
+  SpanBegin,     ///< A named phase started (Label holds the name).
+  SpanEnd,       ///< The innermost open phase ended.
+};
+
+/// Renders the kind as a short stable mnemonic ("tabled-call", ...).
+const char *traceEventKindName(TraceEventKind K);
+
+/// One traced engine transition. Events are POD and carry no owned memory:
+/// Sym/Arity identify the predicate (Sym is meaningless for spans), Value
+/// is a kind-specific payload (e.g. answer count at completion), and Label
+/// is a static string naming spans and labeled events.
+struct TraceEvent {
+  TraceEventKind Kind;
+  SymbolId Sym = 0;
+  uint32_t Arity = 0;
+  uint64_t TimeNs = 0; ///< Monotonic time since the tracer's epoch.
+  uint64_t Value = 0;
+  const char *Label = nullptr; ///< Static storage only; never freed.
+};
+
+/// Receives traced events. Implementations must tolerate being called at
+/// engine hot-path frequency when attached.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void event(const TraceEvent &E) = 0;
+};
+
+/// The emission front end the engine holds a pointer to. With no sink the
+/// emit() calls reduce to a null test.
+class Tracer {
+public:
+  Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+  /// Attaches (or, with nullptr, detaches) the sink. The caller keeps
+  /// ownership; the sink must outlive its attachment.
+  void setSink(TraceSink *S) { Sink = S; }
+  TraceSink *sink() const { return Sink; }
+  bool enabled() const { return Sink != nullptr; }
+
+  /// Nanoseconds since the tracer was constructed (monotonic clock).
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// Emits an instant event; a no-op without a sink.
+  void emit(TraceEventKind K, SymbolId Sym, uint32_t Arity,
+            uint64_t Value = 0, const char *Label = nullptr) {
+    if (!Sink)
+      return;
+    TraceEvent E{K, Sym, Arity, nowNs(), Value, Label};
+    Sink->event(E);
+  }
+
+  /// Emits a span boundary. \p Label must point to static storage.
+  void beginSpan(const char *Label) {
+#if LPA_TRACE_ASSERTS
+    ++OpenSpans;
+#endif
+    emit(TraceEventKind::SpanBegin, 0, 0, 0, Label);
+  }
+  void endSpan(const char *Label) {
+#if LPA_TRACE_ASSERTS
+    assert(OpenSpans > 0 && "span end without a matching begin");
+    --OpenSpans;
+#endif
+    emit(TraceEventKind::SpanEnd, 0, 0, 0, Label);
+  }
+
+#if LPA_TRACE_ASSERTS
+  /// Open-span depth (only tracked in trace-assert builds).
+  uint64_t openSpans() const { return OpenSpans; }
+#endif
+
+private:
+  TraceSink *Sink = nullptr;
+  std::chrono::steady_clock::time_point Epoch;
+#if LPA_TRACE_ASSERTS
+  uint64_t OpenSpans = 0;
+#endif
+};
+
+/// Buffers every event in memory, for tests, post-hoc analysis, and the
+/// Chrome trace exporter.
+class RecordingSink : public TraceSink {
+public:
+  void event(const TraceEvent &E) override;
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  void clear() { Events.clear(); }
+
+  /// Number of buffered events of \p K.
+  size_t count(TraceEventKind K) const;
+
+private:
+  std::vector<TraceEvent> Events;
+};
+
+/// Prints one line per event to a stdio stream — the REPL's ":trace on"
+/// sink. Resolves predicate names through the symbol table it was given.
+class PrintSink : public TraceSink {
+public:
+  PrintSink(const SymbolTable &Symbols, std::FILE *Out)
+      : Symbols(Symbols), Out(Out) {}
+
+  void event(const TraceEvent &E) override;
+
+private:
+  const SymbolTable &Symbols;
+  std::FILE *Out;
+};
+
+/// Serializes recorded events as a Chrome trace ("chrome://tracing" /
+/// Perfetto "traceEvents" JSON): spans become B/E duration events and
+/// instant events become "i" events, so a tabled evaluation can be read as
+/// a timeline. Timestamps are microseconds from the tracer epoch.
+std::string formatChromeTrace(const std::vector<TraceEvent> &Events,
+                              const SymbolTable &Symbols);
+
+} // namespace lpa
+
+#endif // LPA_OBS_TRACE_H

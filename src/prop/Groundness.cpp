@@ -7,6 +7,7 @@
 
 #include "prop/Groundness.h"
 
+#include "obs/Span.h"
 #include "reader/Parser.h"
 #include "support/Stopwatch.h"
 
@@ -64,6 +65,7 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
   Stopwatch Phase;
 
   //--- Preprocessing: read, transform (Figure 1), load as dynamic code. ---
+  ScopedSpan PreprocSpan(Opts.Trace, Opts.Metrics, "transform");
   TermStore AbsStore;
   PropTransformer Transformer(Symbols);
   auto Program = Transformer.transformText(Source, AbsStore);
@@ -76,10 +78,13 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
     return Loaded.getError();
   AbsDB.tableAllPredicates();
   Result.PreprocSeconds = Phase.elapsedSeconds();
+  PreprocSpan.finish();
 
   //--- Analysis: evaluate the open call of every predicate. --------------
   Phase.restart();
+  ScopedSpan EvalSpan(Opts.Trace, Opts.Metrics, "evaluate");
   Solver Engine(AbsDB);
+  Engine.setObservability(Opts.Trace, Opts.Metrics);
   if (Opts.AggregateModes) {
     // Section 6.2: one joined answer per subgoal. The join is the
     // pointwise least upper bound of boolean tuples: agreeing positions
@@ -130,11 +135,15 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
     Engine.solve(Call, nullptr); // Run to completion; answers go to tables.
   }
   Result.AnalysisSeconds = Phase.elapsedSeconds();
+  EvalSpan.finish();
 
   //--- Collection: fold tables into groundness results. ------------------
   Phase.restart();
+  ScopedSpan CollectSpan(Opts.Trace, Opts.Metrics, "collect");
   Result.TableSpaceBytes = Engine.tableSpaceBytes();
   Result.Stats = Engine.stats();
+  if (Opts.Metrics)
+    Engine.snapshotTableMetrics(*Opts.Metrics);
 
   // Output groundness from the open call's answer table.
   std::unordered_map<SymbolId, size_t> ByAbsSym;

@@ -67,6 +67,13 @@ public:
     /// tables shrink to constant size per call pattern. SuccessSet then
     /// holds the expansion of the single summary tuple.
     bool AggregateModes = false;
+
+    /// Observability (both optional, caller-owned): the tracer receives
+    /// SLG events plus transform/evaluate/collect phase spans; the
+    /// registry receives per-predicate counters, phase timings, and a
+    /// table snapshot after evaluation.
+    Tracer *Trace = nullptr;
+    MetricsRegistry *Metrics = nullptr;
   };
 
   explicit GroundnessAnalyzer(SymbolTable &Symbols)

@@ -8,6 +8,7 @@
 #include "strictness/Strictness.h"
 
 #include "fl/FLParser.h"
+#include "obs/Span.h"
 #include "support/Stopwatch.h"
 
 using namespace lpa;
@@ -92,6 +93,7 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
   Stopwatch Phase;
 
   //--- Preprocessing: parse FL, transform (Figure 3), load. --------------
+  ScopedSpan PreprocSpan(Trace, Metrics, "transform");
   auto Program = FLParser::parse(Source);
   if (!Program)
     return Program.getError();
@@ -112,10 +114,13 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
   for (const auto &[Name, Arity] : Abstract->Functions)
     DB.setTabled(Symbols.intern(Transformer.spName(Name)), Arity + 1);
   Result.PreprocSeconds = Phase.elapsedSeconds();
+  PreprocSpan.finish();
 
   //--- Analysis: sp_f(e, ...) and sp_f(d, ...) per function. -------------
   Phase.restart();
+  ScopedSpan EvalSpan(Trace, Metrics, "evaluate");
   Solver Engine(DB);
+  Engine.setObservability(Trace, Metrics);
   TermRef EAtom = Engine.store().mkAtom(Symbols.intern("e"));
   TermRef DAtom = Engine.store().mkAtom(Symbols.intern("d"));
   struct Query {
@@ -136,11 +141,15 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
     Queries.push_back(Q);
   }
   Result.AnalysisSeconds = Phase.elapsedSeconds();
+  EvalSpan.finish();
 
   //--- Collection. --------------------------------------------------------
   Phase.restart();
+  ScopedSpan CollectSpan(Trace, Metrics, "collect");
   Result.TableSpaceBytes = Engine.tableSpaceBytes();
   Result.Stats = Engine.stats();
+  if (Metrics)
+    Engine.snapshotTableMetrics(*Metrics);
   for (size_t I = 0; I < Abstract->Functions.size(); ++I) {
     const auto &[Name, Arity] = Abstract->Functions[I];
     FuncStrictness FS;

@@ -83,12 +83,27 @@ class StrictnessAnalyzer {
 public:
   StrictnessAnalyzer() = default;
 
+  /// Attaches optional caller-owned observability sinks: the tracer sees
+  /// SLG events plus transform/evaluate/collect phase spans; the registry
+  /// receives per-predicate counters and a table snapshot. Predicate names
+  /// are captured into the registry eagerly, so the registry stays valid
+  /// after analyze() returns even though the analyzer's symbol table does
+  /// not outlive the call.
+  void setObservability(Tracer *T, MetricsRegistry *M) {
+    Trace = T;
+    Metrics = M;
+  }
+
   /// Analyzes FL source text.
   ErrorOr<StrictnessResult> analyze(std::string_view Source);
 
   /// Time to parse the FL program with no analysis (the "compilation"
   /// baseline discussed with Table 3).
   ErrorOr<double> measureCompileSeconds(std::string_view Source);
+
+private:
+  Tracer *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
 };
 
 } // namespace lpa

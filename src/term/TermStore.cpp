@@ -51,6 +51,25 @@ TermRef TermStore::mkList(const SymbolTable &Symbols,
   return List;
 }
 
+size_t TermStore::termBytes(TermRef T) const {
+  // Iterative walk; one visit per cell encountered. Argument slots are Ref
+  // cells of their own, so count every slot plus what it points at.
+  size_t Cnt = 0;
+  std::vector<TermRef> Stack{T};
+  while (!Stack.empty()) {
+    TermRef Cur = Stack.back();
+    Stack.pop_back();
+    ++Cnt; // The cell itself (a slot or a value cell).
+    TermRef D = deref(Cur);
+    if (D != Cur)
+      ++Cnt; // The representative at the end of the Ref chain.
+    if (tag(D) == TermTag::Struct)
+      for (uint32_t I = arity(D); I-- > 0;)
+        Stack.push_back(arg(D, I));
+  }
+  return Cnt * sizeof(Cell);
+}
+
 void TermStore::undoTo(Mark M) {
   assert(M.TrailSize <= Trail.size() && M.HeapSize <= Cells.size() &&
          "mark is newer than current state");

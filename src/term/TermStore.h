@@ -148,6 +148,13 @@ public:
     return Cells.capacity() * sizeof(Cell) + Trail.capacity() * sizeof(TermRef);
   }
 
+  /// Bytes occupied by the cells reachable from \p T (following Ref chains
+  /// and argument slots). Used to apportion a shared table store's space to
+  /// individual subgoals/answers; the per-term figures sum to at most
+  /// memoryBytes() of the cells actually allocated (shared subterms are
+  /// counted once per term that reaches them).
+  size_t termBytes(TermRef T) const;
+
   /// Drops all cells and trail entries.
   void clear() {
     Cells.clear();

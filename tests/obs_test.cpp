@@ -1,0 +1,448 @@
+//===- obs_test.cpp - Observability layer tests -------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Covers the src/obs subsystem end to end: the JSON writer, histograms,
+// the metrics registry, SLG event ordering from the engine, the
+// disabled-path guarantee (no sink => no events), table snapshots,
+// resetStats() semantics, and the Chrome trace exporter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Solver.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
+#include "obs/Trace.h"
+#include "prop/Groundness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace lpa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriter, ObjectsArraysAndEscaping) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("name", "a\"b\\c\n");
+  W.member("n", uint64_t(42));
+  W.member("neg", int64_t(-7));
+  W.member("pi", 3.5);
+  W.member("flag", true);
+  W.key("rows");
+  W.beginArray();
+  W.value(uint64_t(1));
+  W.value("two");
+  W.beginObject();
+  W.endObject();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(Out, "{\"name\":\"a\\\"b\\\\c\\n\",\"n\":42,\"neg\":-7,"
+                 "\"pi\":3.5,\"flag\":true,\"rows\":[1,\"two\",{}]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginArray();
+  W.value(std::numeric_limits<double>::infinity());
+  W.value(std::numeric_limits<double>::quiet_NaN());
+  W.endArray();
+  EXPECT_EQ(Out, "[null,null]");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BasicStatistics) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  for (uint64_t V : {1, 1, 2, 3, 100})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), 100u);
+  EXPECT_DOUBLE_EQ(H.mean(), 107.0 / 5);
+  // Median falls in the bucket holding the small values.
+  EXPECT_LE(H.quantile(0.5), 3u);
+  EXPECT_LE(H.quantile(1.0), 100u);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+}
+
+TEST(Histogram, ZeroAndLargeValues) {
+  Histogram H;
+  H.record(0);
+  H.record(~uint64_t(0));
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), ~uint64_t(0));
+  EXPECT_EQ(H.quantile(0.0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Event ordering from the engine (the tentpole's correctness core)
+//===----------------------------------------------------------------------===//
+
+/// One tabled evaluation of path/2 over a 3-cycle with a tracer attached.
+struct TracedRun {
+  SymbolTable Symbols;
+  Database DB{Symbols};
+  Solver Engine{DB};
+  Tracer Trace;
+  RecordingSink Sink;
+
+  explicit TracedRun(bool AttachSink = true) {
+    EXPECT_TRUE(DB.consult(":- table path/2.\n"
+                           "path(X, Y) :- path(X, Z), edge(Z, Y).\n"
+                           "path(X, Y) :- edge(X, Y).\n"
+                           "edge(a, b). edge(b, c). edge(c, a).\n"));
+    if (AttachSink)
+      Trace.setSink(&Sink);
+    Engine.setObservability(&Trace, nullptr);
+  }
+
+  size_t solve(const char *Goal) {
+    auto N = Engine.solveText(Goal, nullptr);
+    EXPECT_TRUE(bool(N));
+    return N ? *N : 0;
+  }
+};
+
+TEST(TraceEvents, TabledEvaluationEventOrdering) {
+  TracedRun R;
+  EXPECT_EQ(R.solve("path(a, X)"), 3u);
+
+  const std::vector<TraceEvent> &Es = R.Sink.events();
+  ASSERT_FALSE(Es.empty());
+
+  auto FirstOf = [&](TraceEventKind K) {
+    return std::find_if(Es.begin(), Es.end(),
+                        [&](const TraceEvent &E) { return E.Kind == K; });
+  };
+  auto LastOf = [&](TraceEventKind K) {
+    auto It = std::find_if(Es.rbegin(), Es.rend(),
+                           [&](const TraceEvent &E) { return E.Kind == K; });
+    return It == Es.rend() ? Es.end() : It.base() - 1;
+  };
+
+  // The SLG lifecycle: the tabled call precedes its subgoal's creation,
+  // every answer lands before the subgoal completes.
+  auto Call = FirstOf(TraceEventKind::TabledCall);
+  auto New = FirstOf(TraceEventKind::SubgoalNew);
+  auto Ans = FirstOf(TraceEventKind::AnswerNew);
+  auto Done = FirstOf(TraceEventKind::SubgoalComplete);
+  ASSERT_NE(Call, Es.end());
+  ASSERT_NE(New, Es.end());
+  ASSERT_NE(Ans, Es.end());
+  ASSERT_NE(Done, Es.end());
+  EXPECT_LT(Call - Es.begin(), New - Es.begin());
+  EXPECT_LT(New - Es.begin(), Ans - Es.begin());
+  EXPECT_LT(LastOf(TraceEventKind::AnswerNew) - Es.begin(),
+            Done - Es.begin());
+
+  // path(a,_) over a 3-cycle: 3 answers for the one subgoal.
+  EXPECT_EQ(R.Sink.count(TraceEventKind::SubgoalNew), 1u);
+  EXPECT_EQ(R.Sink.count(TraceEventKind::AnswerNew), 3u);
+  EXPECT_EQ(R.Sink.count(TraceEventKind::SubgoalComplete), 1u);
+  EXPECT_GE(R.Sink.count(TraceEventKind::ClauseResolve), 2u);
+
+  // The completion event carries the final answer count as payload.
+  EXPECT_EQ(Done->Value, 3u);
+
+  // Event times are monotone (nowNs is a monotonic clock).
+  for (size_t I = 1; I < Es.size(); ++I)
+    EXPECT_LE(Es[I - 1].TimeNs, Es[I].TimeNs);
+
+  // Every predicate-carrying event names path/2 or edge/2.
+  SymbolId Path = R.Symbols.intern("path");
+  SymbolId Edge = R.Symbols.intern("edge");
+  for (const TraceEvent &E : Es)
+    if (E.Kind != TraceEventKind::SpanBegin &&
+        E.Kind != TraceEventKind::SpanEnd) {
+      EXPECT_TRUE(E.Sym == Path || E.Sym == Edge);
+      EXPECT_EQ(E.Arity, 2u);
+    }
+}
+
+TEST(TraceEvents, CompletedTableReplayEmitsNoNewSubgoals) {
+  TracedRun R;
+  R.solve("path(a, X)");
+  R.Sink.clear();
+  // Re-querying a completed subgoal replays from the table: a tabled call
+  // happens, but no subgoal creation, answers, or completion.
+  EXPECT_EQ(R.solve("path(a, X)"), 3u);
+  EXPECT_GE(R.Sink.count(TraceEventKind::TabledCall), 1u);
+  EXPECT_EQ(R.Sink.count(TraceEventKind::SubgoalNew), 0u);
+  EXPECT_EQ(R.Sink.count(TraceEventKind::AnswerNew), 0u);
+  EXPECT_EQ(R.Sink.count(TraceEventKind::SubgoalComplete), 0u);
+}
+
+TEST(TraceEvents, DetachedSinkRecordsNothing) {
+  // A tracer with no sink is the "disabled" configuration: the engine
+  // still runs the same evaluation, and the recording sink — attached
+  // only afterwards — must have seen zero events.
+  TracedRun R(/*AttachSink=*/false);
+  EXPECT_FALSE(R.Trace.enabled());
+  EXPECT_EQ(R.solve("path(a, X)"), 3u);
+  EXPECT_TRUE(R.Sink.events().empty());
+
+  // Attaching mid-session starts the stream from that point.
+  R.Trace.setSink(&R.Sink);
+  R.solve("path(b, X)");
+  EXPECT_FALSE(R.Sink.events().empty());
+}
+
+TEST(TraceEvents, KindNamesAreStable) {
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::TabledCall),
+               "tabled-call");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::SubgoalNew),
+               "subgoal-new");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::AnswerNew), "answer-new");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::AnswerDup), "answer-dup");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::SubgoalComplete),
+               "subgoal-complete");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::SpanBegin), "span-begin");
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry + engine integration
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, PerPredicateCountersMatchEvalStats) {
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  ASSERT_TRUE(DB.consult(":- table path/2.\n"
+                         "path(X, Y) :- path(X, Z), edge(Z, Y).\n"
+                         "path(X, Y) :- edge(X, Y).\n"
+                         "edge(a, b). edge(b, c). edge(c, a).\n"));
+  Solver Engine(DB);
+  MetricsRegistry Reg;
+  Engine.setObservability(nullptr, &Reg);
+  ASSERT_TRUE(bool(Engine.solveText("path(a, X)", nullptr)));
+
+  uint64_t Calls = 0, Subgoals = 0, NewAns = 0, DupAns = 0, Resol = 0;
+  for (const PredMetrics *PM : Reg.predicates()) {
+    Calls += PM->Calls;
+    Subgoals += PM->NewSubgoals;
+    NewAns += PM->NewAnswers;
+    DupAns += PM->DupAnswers;
+    Resol += PM->Resolutions;
+  }
+  const EvalStats &S = Engine.stats();
+  EXPECT_EQ(Calls, S.TabledCalls);
+  EXPECT_EQ(Subgoals, S.SubgoalsCreated);
+  EXPECT_EQ(NewAns, S.AnswersRecorded);
+  EXPECT_EQ(DupAns, S.AnswersDuplicate);
+  EXPECT_EQ(Resol, S.ClauseResolutions);
+
+  // First-touch order and qualified names survive into the report.
+  std::string Report = Reg.renderReport();
+  EXPECT_NE(Report.find("path/2"), std::string::npos);
+  EXPECT_NE(Report.find("Predicate"), std::string::npos);
+}
+
+TEST(Metrics, TableSnapshotMatchesEngineTables) {
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  ASSERT_TRUE(DB.consult(":- table p/1.\n p(1). p(2). p(3).\n"
+                         ":- table q/1.\n q(X) :- p(X).\n"));
+  Solver Engine(DB);
+  MetricsRegistry Reg;
+  Engine.setObservability(nullptr, &Reg);
+  ASSERT_TRUE(bool(Engine.solveText("q(X)", nullptr)));
+
+  Engine.snapshotTableMetrics(Reg);
+  uint64_t Subgoals = 0, Answers = 0, Bytes = 0;
+  for (const PredMetrics *PM : Reg.predicates()) {
+    Subgoals += PM->TableSubgoals;
+    Answers += PM->TableAnswers;
+    Bytes += PM->TableBytes;
+  }
+  EXPECT_EQ(Subgoals, Engine.subgoals().size());
+  uint64_t EngineAnswers = 0;
+  for (const Subgoal *SG : Engine.subgoals())
+    EngineAnswers += SG->Answers.size();
+  EXPECT_EQ(Answers, EngineAnswers);
+  EXPECT_GT(Bytes, 0u);
+
+  // Snapshots are idempotent: a second snapshot assigns, not accumulates.
+  Engine.snapshotTableMetrics(Reg);
+  uint64_t Subgoals2 = 0;
+  for (const PredMetrics *PM : Reg.predicates())
+    Subgoals2 += PM->TableSubgoals;
+  EXPECT_EQ(Subgoals2, Subgoals);
+
+  // The registry's global counters mirror EvalStats + table space.
+  std::string Json;
+  JsonWriter W(Json);
+  Reg.writeJson(W);
+  EXPECT_NE(Json.find("\"table_space_bytes\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"predicates\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"answers_per_subgoal\":{"), std::string::npos);
+}
+
+TEST(Metrics, PhaseSpansAccumulateAndExport) {
+  MetricsRegistry Reg;
+  Tracer Trace;
+  RecordingSink Sink;
+  Trace.setSink(&Sink);
+  {
+    ScopedSpan Outer(&Trace, &Reg, "evaluate");
+  }
+  {
+    ScopedSpan Again(&Trace, &Reg, "evaluate");
+  }
+  ASSERT_EQ(Reg.phases().size(), 1u); // Same label accumulates.
+  EXPECT_EQ(Reg.phases()[0].first, "evaluate");
+  EXPECT_GE(Reg.phases()[0].second, 0.0);
+  EXPECT_EQ(Sink.count(TraceEventKind::SpanBegin), 2u);
+  EXPECT_EQ(Sink.count(TraceEventKind::SpanEnd), 2u);
+}
+
+/// Satellite: guarded self-checks. In default builds this documents that
+/// the flag is off; configuring with -DLPA_ENABLE_TRACE_ASSERTS=ON flips
+/// it and enables the span-balance bookkeeping asserted here.
+TEST(TraceAsserts, FlagMatchesBuildConfiguration) {
+#if LPA_TRACE_ASSERTS
+  EXPECT_TRUE(traceAssertsEnabled());
+  Tracer T;
+  EXPECT_EQ(T.openSpans(), 0u);
+  T.beginSpan("phase");
+  EXPECT_EQ(T.openSpans(), 1u);
+  T.endSpan("phase");
+  EXPECT_EQ(T.openSpans(), 0u);
+#else
+  EXPECT_FALSE(traceAssertsEnabled());
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// resetStats() semantics (satellite regression test)
+//===----------------------------------------------------------------------===//
+
+TEST(ResetStats, CountersOnlyTablesPersist) {
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  ASSERT_TRUE(DB.consult(":- table path/2.\n"
+                         "path(X, Y) :- path(X, Z), edge(Z, Y).\n"
+                         "path(X, Y) :- edge(X, Y).\n"
+                         "edge(a, b). edge(b, c). edge(c, a).\n"));
+  Solver Engine(DB);
+  ASSERT_TRUE(bool(Engine.solveText("path(a, X)", nullptr)));
+  EXPECT_GT(Engine.stats().SubgoalsCreated, 0u);
+  EXPECT_GT(Engine.stats().AnswersRecorded, 0u);
+  size_t BytesBefore = Engine.tableSpaceBytes();
+
+  // resetStats() zeroes counters but keeps the tables.
+  Engine.resetStats();
+  EXPECT_EQ(Engine.stats().SubgoalsCreated, 0u);
+  EXPECT_EQ(Engine.stats().AnswersRecorded, 0u);
+  EXPECT_EQ(Engine.stats().TabledCalls, 0u);
+  EXPECT_EQ(Engine.tableSpaceBytes(), BytesBefore);
+
+  // Re-evaluating the completed goal replays answers from the table: the
+  // call is counted, but no subgoal creation or answer recording happens.
+  auto N = Engine.solveText("path(a, X)", nullptr);
+  ASSERT_TRUE(bool(N));
+  EXPECT_EQ(*N, 3u);
+  EXPECT_GT(Engine.stats().TabledCalls, 0u);
+  EXPECT_EQ(Engine.stats().SubgoalsCreated, 0u);
+  EXPECT_EQ(Engine.stats().AnswersRecorded, 0u);
+
+  // clearTables() + resetStats() gives the from-scratch measurement: the
+  // same query re-derives everything.
+  Engine.clearTables();
+  Engine.resetStats();
+  ASSERT_TRUE(bool(Engine.solveText("path(a, X)", nullptr)));
+  EXPECT_GT(Engine.stats().SubgoalsCreated, 0u);
+  EXPECT_EQ(Engine.stats().AnswersRecorded, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST(ChromeTrace, SpansAndInstantsSerialize) {
+  SymbolTable Symbols;
+  SymbolId P = Symbols.intern("p");
+  Tracer Trace;
+  RecordingSink Sink;
+  Trace.setSink(&Sink);
+  Trace.beginSpan("evaluate");
+  Trace.emit(TraceEventKind::TabledCall, P, 2);
+  Trace.emit(TraceEventKind::AnswerNew, P, 2, 1);
+  Trace.endSpan("evaluate");
+
+  std::string Json = formatChromeTrace(Sink.events(), Symbols);
+  EXPECT_NE(Json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"evaluate\""), std::string::npos);
+  EXPECT_NE(Json.find("p/2"), std::string::npos);
+  // Braces balance (cheap well-formedness check; we have no parser).
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+}
+
+TEST(Exporters, GroundnessAnalysisFillsRegistry) {
+  // End-to-end: the groundness analyzer wires spans + engine metrics into
+  // a caller-supplied registry that outlives the analysis run.
+  SymbolTable Symbols;
+  MetricsRegistry Reg;
+  Tracer Trace;
+  RecordingSink Sink;
+  Trace.setSink(&Sink);
+  GroundnessAnalyzer::Options Opts;
+  Opts.Trace = &Trace;
+  Opts.Metrics = &Reg;
+  GroundnessAnalyzer Analyzer(Symbols, Opts);
+  auto R = Analyzer.analyze("app([], Y, Y).\n"
+                            "app([H|T], Y, [H|Z]) :- app(T, Y, Z).\n");
+  ASSERT_TRUE(bool(R));
+
+  // All three phases were spanned.
+  std::vector<std::string> Names;
+  for (const auto &[Name, Secs] : Reg.phases())
+    Names.push_back(Name);
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "transform"),
+            Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "evaluate"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "collect"), Names.end());
+  EXPECT_EQ(Sink.count(TraceEventKind::SpanBegin), 3u);
+  EXPECT_EQ(Sink.count(TraceEventKind::SpanEnd), 3u);
+
+  // The abstract predicate's table shows up with answers and bytes.
+  bool FoundApp = false;
+  uint64_t TotalTableBytes = 0;
+  for (const PredMetrics *PM : Reg.predicates()) {
+    TotalTableBytes += PM->TableBytes;
+    if (PM->Name == "gp_app" && PM->Arity == 3) {
+      FoundApp = true;
+      EXPECT_GT(PM->TableSubgoals, 0u);
+      EXPECT_GT(PM->TableAnswers, 0u);
+      EXPECT_GT(PM->TableBytes, 0u);
+    }
+  }
+  EXPECT_TRUE(FoundApp);
+  // Apportioned per-pred bytes stay below the engine's global accounting
+  // plus per-subgoal overhead, and are nonzero.
+  EXPECT_GT(TotalTableBytes, 0u);
+}
+
+} // namespace
