@@ -16,11 +16,21 @@
 #ifndef LPA_BENCH_BENCHUTIL_H
 #define LPA_BENCH_BENCHUTIL_H
 
+#include "engine/Solver.h"
 #include "obs/Json.h"
 
 #include <cstdio>
 #include <string>
 #include <string_view>
+
+// Configure-time provenance (top-level CMakeLists.txt). Fallbacks keep the
+// header usable outside the CMake build.
+#ifndef LPA_GIT_SHA
+#define LPA_GIT_SHA "unknown"
+#endif
+#ifndef LPA_BUILD_TYPE
+#define LPA_BUILD_TYPE "unknown"
+#endif
 
 namespace lpa {
 
@@ -92,6 +102,17 @@ inline bool writeJsonFile(const std::string &Path, const std::string &Json) {
   std::fclose(F);
   std::printf("\n[json] wrote %s\n", Path.c_str());
   return true;
+}
+
+/// Stamps provenance members into the current JSON object: git revision,
+/// build type, and which table representation the run used. Every bench
+/// trajectory file carries these so A/B numbers stay attributable.
+inline void
+writeBenchMeta(JsonWriter &W,
+               bool UseTrieTables = Solver::defaultUseTrieTables()) {
+  W.member("git_sha", LPA_GIT_SHA);
+  W.member("build_type", LPA_BUILD_TYPE);
+  W.member("use_trie_tables", UseTrieTables);
 }
 
 /// Emits the phase timings of \p Row as members of the current object.

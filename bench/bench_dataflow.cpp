@@ -33,6 +33,7 @@ int main(int argc, char **argv) {
   JsonWriter JW(Json);
   JW.beginObject();
   JW.member("benchmark", "dataflow");
+  writeBenchMeta(JW);
   JW.key("runs");
   JW.beginArray();
 

@@ -39,6 +39,7 @@ int main(int argc, char **argv) {
   JsonWriter W(Json);
   W.beginObject();
   W.member("benchmark", "table1_groundness");
+  writeBenchMeta(W);
   W.key("programs");
   W.beginArray();
 

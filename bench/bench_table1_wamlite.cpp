@@ -37,6 +37,7 @@ int main(int argc, char **argv) {
   JsonWriter W(Json);
   W.beginObject();
   W.member("benchmark", "table1_wamlite");
+  writeBenchMeta(W);
   W.key("programs");
   W.beginArray();
 

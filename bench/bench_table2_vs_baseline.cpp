@@ -25,38 +25,51 @@ using namespace lpa;
 int main(int argc, char **argv) {
   std::printf("Table 2: tabled engine (XSB role) vs special-purpose "
               "baseline (GAIA role), total analysis time\n"
-              "(ours in ms; paper columns in seconds)\n\n");
+              "(ours in ms; paper columns in seconds; Engine runs twice: "
+              "trie tables vs legacy string-keyed tables)\n\n");
 
   TextTable Out;
-  Out.addRow({"Program", "Engine", "Baseline", "Base(naive)", "Identical",
-              "|", "paperXSB(s)", "paperGAIA(s)"});
+  Out.addRow({"Program", "Eng(trie)", "Eng(str)", "Baseline", "Base(naive)",
+              "Identical", "|", "paperXSB(s)", "paperGAIA(s)"});
 
   std::string Json;
   JsonWriter W(Json);
   W.beginObject();
   W.member("benchmark", "table2_vs_baseline");
+  writeBenchMeta(W);
   W.key("programs");
   W.beginArray();
 
   int Failures = 0;
   for (const CorpusProgram &P : prologBenchmarks()) {
-    GroundnessResult EngineResult;
-    MeasuredRow Engine = bestOf(5, [&]() {
-      MeasuredRow Row;
-      SymbolTable Symbols;
-      GroundnessAnalyzer Analyzer(Symbols);
-      auto R = Analyzer.analyze(P.Source);
-      if (!R) {
-        Row.Error = R.getError().str();
+    // The engine runs under BOTH table representations (the A/B ablation);
+    // results must be identical bit for bit.
+    GroundnessResult EngineResult, EngineResultStr;
+    auto RunEngine = [&](bool UseTrieTables) {
+      bool Prev = Solver::setDefaultUseTrieTables(UseTrieTables);
+      MeasuredRow Best = bestOf(5, [&]() {
+        MeasuredRow Row;
+        SymbolTable Symbols;
+        GroundnessAnalyzer Analyzer(Symbols);
+        auto R = Analyzer.analyze(P.Source);
+        if (!R) {
+          Row.Error = R.getError().str();
+          return Row;
+        }
+        GroundnessResult &Target =
+            UseTrieTables ? EngineResult : EngineResultStr;
+        Target = std::move(*R);
+        Row.PreprocMs = Target.PreprocSeconds * 1e3;
+        Row.AnalysisMs = Target.AnalysisSeconds * 1e3;
+        Row.CollectMs = Target.CollectSeconds * 1e3;
+        Row.Ok = true;
         return Row;
-      }
-      EngineResult = std::move(*R);
-      Row.PreprocMs = EngineResult.PreprocSeconds * 1e3;
-      Row.AnalysisMs = EngineResult.AnalysisSeconds * 1e3;
-      Row.CollectMs = EngineResult.CollectSeconds * 1e3;
-      Row.Ok = true;
-      return Row;
-    });
+      });
+      Solver::setDefaultUseTrieTables(Prev);
+      return Best;
+    };
+    MeasuredRow Engine = RunEngine(/*UseTrieTables=*/true);
+    MeasuredRow EngineStr = RunEngine(/*UseTrieTables=*/false);
 
     BaselineResult BaselineRes;
     auto RunBaseline = [&](bool Seminaive) {
@@ -83,9 +96,10 @@ int main(int argc, char **argv) {
     MeasuredRow Baseline = RunBaseline(/*Seminaive=*/true);
     MeasuredRow BaselineNaive = RunBaseline(/*Seminaive=*/false);
 
-    if (!Engine.Ok || !Baseline.Ok || !BaselineNaive.Ok) {
-      std::fprintf(stderr, "%s failed: %s%s\n", P.Name,
-                   Engine.Error.c_str(), Baseline.Error.c_str());
+    if (!Engine.Ok || !EngineStr.Ok || !Baseline.Ok || !BaselineNaive.Ok) {
+      std::fprintf(stderr, "%s failed: %s%s%s\n", P.Name,
+                   Engine.Error.c_str(), EngineStr.Error.c_str(),
+                   Baseline.Error.c_str());
       ++Failures;
       continue;
     }
@@ -96,19 +110,34 @@ int main(int argc, char **argv) {
     for (size_t I = 0; Identical && I < EngineResult.Predicates.size(); ++I)
       Identical = EngineResult.Predicates[I].SuccessSet ==
                   BaselineRes.Predicates[I].SuccessSet;
+    // And the two table representations must agree with each other:
+    // identical success sets AND identical call patterns.
+    bool TrieIdentical = EngineResult.Predicates.size() ==
+                         EngineResultStr.Predicates.size();
+    for (size_t I = 0; TrieIdentical && I < EngineResult.Predicates.size();
+         ++I)
+      TrieIdentical =
+          EngineResult.Predicates[I].SuccessSet ==
+              EngineResultStr.Predicates[I].SuccessSet &&
+          EngineResult.Predicates[I].CallPatterns ==
+              EngineResultStr.Predicates[I].CallPatterns;
+    Identical = Identical && TrieIdentical;
     if (!Identical)
       ++Failures;
 
-    Out.addRow({P.Name, ms(Engine.totalMs()), ms(Baseline.totalMs()),
-                ms(BaselineNaive.totalMs()), Identical ? "yes" : "NO!", "|",
-                paperSec(P.Table1.Total), paperSec(P.GaiaSeconds)});
+    Out.addRow({P.Name, ms(Engine.totalMs()), ms(EngineStr.totalMs()),
+                ms(Baseline.totalMs()), ms(BaselineNaive.totalMs()),
+                Identical ? "yes" : "NO!", "|", paperSec(P.Table1.Total),
+                paperSec(P.GaiaSeconds)});
 
     W.beginObject();
     W.member("name", P.Name);
     W.member("engine_total_ms", Engine.totalMs());
+    W.member("engine_string_total_ms", EngineStr.totalMs());
     W.member("baseline_total_ms", Baseline.totalMs());
     W.member("baseline_naive_total_ms", BaselineNaive.totalMs());
     W.member("identical_results", Identical);
+    W.member("identical_trie_vs_string", TrieIdentical);
     W.endObject();
   }
 

@@ -34,6 +34,7 @@ int main(int argc, char **argv) {
   JsonWriter W(Json);
   W.beginObject();
   W.member("benchmark", "table3_strictness");
+  writeBenchMeta(W);
   W.key("programs");
   W.beginArray();
 

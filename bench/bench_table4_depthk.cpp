@@ -41,6 +41,7 @@ int main(int argc, char **argv) {
   JsonWriter W(Json);
   W.beginObject();
   W.member("benchmark", "table4_depthk");
+  writeBenchMeta(W);
   W.key("programs");
   W.beginArray();
 

@@ -74,7 +74,7 @@ int main() {
                 TermWriter::toString(Symbols, Engine.tableStore(),
                                      SG->CallTerm)
                     .c_str(),
-                SG->Answers.size(), SG->Complete ? "yes" : "no");
+                Engine.answerCount(*SG), SG->Complete ? "yes" : "no");
   }
 
   // (3) Tabled Fibonacci: one subgoal per distinct call.

@@ -74,9 +74,16 @@ ErrorOr<ReachResult> lpa::reachingDefsLogic(const Cfg &G) {
     return Goal.getError();
   Engine.solve(*Goal, nullptr);
   const Subgoal *SG = Engine.findSubgoal(*Goal);
-  if (SG)
-    for (TermRef Ans : SG->Answers)
-      Result.Reaches.insert(decodeReach(Engine.tableStore(), Ans));
+  if (SG) {
+    // Materialize each answer instance (factored tables store only the
+    // bindings of the call's variables; see Solver::answerInstance).
+    TermStore Scratch;
+    for (size_t I = 0, E = Engine.answerCount(*SG); I < E; ++I) {
+      Scratch.clear();
+      Result.Reaches.insert(
+          decodeReach(Scratch, Engine.answerInstance(*SG, I, Scratch)));
+    }
+  }
   Result.SolveSeconds = Phase.elapsedSeconds();
   return Result;
 }

@@ -96,6 +96,19 @@ std::optional<int64_t> lpa::evalArith(const TermStore &Store,
 // Construction and small helpers
 //===----------------------------------------------------------------------===//
 
+namespace {
+/// Process-wide default for Options::UseTrieTables; see Solver header.
+bool DefaultUseTrieTables = true;
+} // namespace
+
+bool Solver::setDefaultUseTrieTables(bool V) {
+  bool Prev = DefaultUseTrieTables;
+  DefaultUseTrieTables = V;
+  return Prev;
+}
+
+bool Solver::defaultUseTrieTables() { return DefaultUseTrieTables; }
+
 Solver::Solver(Database &DB) : Solver(DB, Options()) {}
 
 Solver::Solver(Database &DB, Options Opts)
@@ -157,8 +170,29 @@ ErrorOr<size_t> Solver::solveText(std::string_view GoalText,
 }
 
 const Subgoal *Solver::findSubgoal(TermRef Call) const {
-  auto It = SubgoalTable.find(canonicalKey(Heap, Call));
-  return It == SubgoalTable.end() ? nullptr : It->second.get();
+  if (Opts.UseTrieTables) {
+    uint32_t Idx = SubgoalTrie.find(Heap, Call);
+    return Idx == TermTrie::NoValue ? nullptr : SubgoalOwned[Idx].get();
+  }
+  auto It = SubgoalByKey.find(canonicalKey(Heap, Call));
+  return It == SubgoalByKey.end() ? nullptr : It->second;
+}
+
+TermRef Solver::answerInstance(const Subgoal &SG, size_t I,
+                               TermStore &Out) const {
+  if (!SG.Factored)
+    return copyTerm(Tables, SG.Answers[I], Out);
+  // Copy the binding tuple first (one shared renaming keeps sharing
+  // between slots), then instantiate the call skeleton through it.
+  size_t K = SG.CallVars.size();
+  VarRenaming Renaming;
+  const TermRef *B = SG.AnswerBindings.data() + I * K;
+  std::vector<TermRef> Copies(K);
+  for (size_t J = 0; J < K; ++J)
+    Copies[J] = copyTerm(Tables, B[J], Out, Renaming);
+  for (size_t J = 0; J < K; ++J)
+    Renaming.emplace(SG.CallVars[J], Copies[J]);
+  return copyTerm(Tables, SG.CallTerm, Out, Renaming);
 }
 
 size_t ClauseFrontier::memoryBytes() const {
@@ -168,6 +202,9 @@ size_t ClauseFrontier::memoryBytes() const {
   for (const auto &KS : Keys)
     for (const auto &K : KS)
       Bytes += K.capacity() + sizeof(void *) * 2;
+  for (const auto &T : LevelTries)
+    if (T)
+      Bytes += sizeof(TermTrie) + T->memoryBytes();
   return Bytes;
 }
 
@@ -179,15 +216,20 @@ size_t Solver::tableSpaceBytes() const {
   for (const Subgoal *SG : SubgoalOrder) {
     Bytes += sizeof(Subgoal);
     Bytes += SG->Key.capacity();
+    Bytes += SG->CallVars.capacity() * sizeof(TermRef);
     Bytes += SG->Answers.capacity() * sizeof(TermRef);
+    Bytes += SG->AnswerBindings.capacity() * sizeof(TermRef);
     Bytes += SG->AnswerSeq.capacity() * sizeof(uint64_t);
     for (const auto &K : SG->AnswerKeys)
       Bytes += K.capacity() + sizeof(void *) * 2;
+    if (SG->AnswerTrie)
+      Bytes += sizeof(TermTrie) + SG->AnswerTrie->memoryBytes();
     for (const auto &CF : SG->Frontiers)
       if (CF)
         Bytes += CF->memoryBytes();
   }
-  Bytes += SubgoalTable.size() * (sizeof(void *) * 4);
+  Bytes += SubgoalTrie.memoryBytes();
+  Bytes += SubgoalByKey.size() * (sizeof(void *) * 4);
   return Bytes;
 }
 
@@ -196,19 +238,26 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   for (const Subgoal *SG : SubgoalOrder) {
     PredMetrics &PM = M.pred(Symbols, SG->Pred.Sym, SG->Pred.Arity);
     ++PM.TableSubgoals;
-    PM.TableAnswers += SG->Answers.size();
-    PM.AnswersPerSubgoal.record(SG->Answers.size());
-    // Apportioned table space: the subgoal record, its variant keys, its
-    // term cells in the shared table store (call + answers, measured via
-    // the TermStore arena), and any live supplementary frontiers.
+    PM.TableAnswers += answerCount(*SG);
+    PM.AnswersPerSubgoal.record(answerCount(*SG));
+    // Apportioned table space: the subgoal record, its variant keys or
+    // answer trie, its term cells in the shared table store (call +
+    // answers, measured via the TermStore arena), and any live
+    // supplementary frontiers.
     size_t Bytes = sizeof(Subgoal) + SG->Key.capacity();
+    Bytes += SG->CallVars.capacity() * sizeof(TermRef);
     Bytes += SG->Answers.capacity() * sizeof(TermRef);
+    Bytes += SG->AnswerBindings.capacity() * sizeof(TermRef);
     Bytes += SG->AnswerSeq.capacity() * sizeof(uint64_t);
     for (const auto &K : SG->AnswerKeys)
       Bytes += K.capacity() + sizeof(void *) * 2;
+    if (SG->AnswerTrie)
+      Bytes += sizeof(TermTrie) + SG->AnswerTrie->memoryBytes();
     Bytes += Tables.termBytes(SG->CallTerm);
     for (TermRef Ans : SG->Answers)
       Bytes += Tables.termBytes(Ans);
+    for (TermRef B : SG->AnswerBindings)
+      Bytes += Tables.termBytes(B);
     for (const auto &CF : SG->Frontiers)
       if (CF)
         Bytes += CF->memoryBytes();
@@ -227,12 +276,20 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("table_space_bytes", tableSpaceBytes());
   M.setCounter("db_lookups", DB.lookupStats().Lookups);
   M.setCounter("db_lookup_misses", DB.lookupStats().Misses);
+  M.setCounter("trie_hits", Stats.TrieHits);
+  M.setCounter("trie_misses", Stats.TrieMisses);
+  M.setCounter("trie_nodes_created", Stats.TrieNodesCreated);
+  M.setCounter("frontier_bytes_freed", Stats.FrontierBytesFreed);
+  M.setCounter("subgoal_trie_nodes", SubgoalTrie.nodeCount());
+  M.setCounter("subgoal_trie_bytes", SubgoalTrie.memoryBytes());
 }
 
 void Solver::clearTables() {
   assert(ProducerStack.empty() && CompletionStack.empty() &&
          "cannot clear tables during evaluation");
-  SubgoalTable.clear();
+  SubgoalOwned.clear();
+  SubgoalByKey.clear();
+  SubgoalTrie.clear();
   SubgoalOrder.clear();
   Tables.clear();
   DfnCounter = 0;
@@ -356,7 +413,7 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
       ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).NewAnswers;
     if (Trace)
       Trace->emit(TraceEventKind::AnswerNew, SG.Pred.Sym, SG.Pred.Arity,
-                  SG.Answers.size());
+                  SG.AnswerSeq.size());
   };
 
   // Aggregated predicates keep a single joined answer per subgoal.
@@ -383,15 +440,43 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
     return true;
   }
 
-  std::string AKey = canonicalKey(Heap, Instance);
-  if (SG.AnswerKeys.count(AKey)) {
-    NoteDuplicate();
-    return false;
+  if (SG.Factored) {
+    // Substitution factoring: the answer is the tuple of bindings of the
+    // call's free variables; the whole instance is never materialized.
+    // One trie walk over the tuple both checks for a duplicate variant
+    // and claims the slot (check/insert fusion).
+    extractCallBindings(SG, Instance, BindScratch);
+    TermTrie::InsertResult R = SG.AnswerTrie->insert(
+        Heap, std::span<const TermRef>(BindScratch),
+        static_cast<uint32_t>(SG.AnswerSeq.size()));
+    Stats.TrieNodesCreated += R.NodesCreated;
+    if (!R.Inserted) {
+      ++Stats.TrieHits;
+      NoteDuplicate();
+      return false;
+    }
+    ++Stats.TrieMisses;
+    // One shared renaming across the tuple: variables shared between
+    // binding slots stay shared in the table store.
+    VarRenaming Renaming;
+    for (TermRef B : BindScratch)
+      SG.AnswerBindings.push_back(copyTerm(Heap, B, Tables, Renaming));
+    SG.AnswerSeq.push_back(++AnswerSeqCounter);
+  } else {
+    // Legacy string-keyed path. The probe key lives in a member scratch
+    // buffer reused across a producer run's candidates, so duplicate
+    // answers (the common case at fixpoint) cost no allocation.
+    KeyScratch.clear();
+    appendCanonicalKey(Heap, Instance, KeyScratch);
+    if (SG.AnswerKeys.count(KeyScratch)) {
+      NoteDuplicate();
+      return false;
+    }
+    TermRef Stored = copyTerm(Heap, Instance, Tables);
+    SG.AnswerKeys.insert(KeyScratch);
+    SG.Answers.push_back(Stored);
+    SG.AnswerSeq.push_back(++AnswerSeqCounter);
   }
-  TermRef Stored = copyTerm(Heap, Instance, Tables);
-  SG.AnswerKeys.insert(std::move(AKey));
-  SG.Answers.push_back(Stored);
-  SG.AnswerSeq.push_back(++AnswerSeqCounter);
   PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
       AnswerSeqCounter;
   NoteRecorded();
@@ -510,7 +595,9 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
     ++Metrics->pred(Symbols, Key.Sym, Key.Arity).Calls;
   if (Trace)
     Trace->emit(TraceEventKind::TabledCall, Key.Sym, Key.Arity);
-  Subgoal &SG = ensureSubgoal(G, Key);
+  std::vector<TermRef> GoalVars;
+  Subgoal &SG =
+      ensureSubgoal(G, Key, Opts.UseTrieTables ? &GoalVars : nullptr);
   if (!SG.Complete && !ProducerStack.empty()) {
     Subgoal *Parent = ProducerStack.back();
     Parent->MinLink = std::min(Parent->MinLink, SG.MinLink);
@@ -520,6 +607,17 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
   size_t Start =
       std::upper_bound(SG.AnswerSeq.begin(), SG.AnswerSeq.end(), MinSeq) -
       SG.AnswerSeq.begin();
+  if (SG.Factored) {
+    // Substitution factoring: bind the goal's variables to the stored
+    // binding tuple directly -- no instance copy, no unification.
+    for (size_t I = Start; I < SG.AnswerSeq.size(); ++I) {
+      auto M = Heap.mark();
+      bindFactoredAnswer(SG, I, GoalVars);
+      OnSolution();
+      Heap.undoTo(M);
+    }
+    return;
+  }
   for (size_t I = Start; I < SG.Answers.size(); ++I) {
     auto M = Heap.mark();
     TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);
@@ -528,36 +626,6 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
     Heap.undoTo(M);
   }
 }
-
-namespace {
-
-/// Collects the distinct unbound variables of \p T (in \p Store) into
-/// \p Vars, in first-occurrence order.
-void collectTemplateVars(const TermStore &Store, TermRef T,
-                         std::vector<TermRef> &Vars) {
-  // Depth-first, left-to-right for deterministic ordering.
-  std::vector<TermRef> Stack;
-  Stack.push_back(T);
-  while (!Stack.empty()) {
-    TermRef Cur = Store.deref(Stack.back());
-    Stack.pop_back();
-    switch (Store.tag(Cur)) {
-    case TermTag::Ref:
-      if (std::find(Vars.begin(), Vars.end(), Cur) == Vars.end())
-        Vars.push_back(Cur);
-      break;
-    case TermTag::Struct:
-      for (uint32_t I = Store.arity(Cur); I-- > 0;)
-        Stack.push_back(Store.arg(Cur, I));
-      break;
-    case TermTag::Atom:
-    case TermTag::Int:
-      break;
-    }
-  }
-}
-
-} // namespace
 
 void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
                                     size_t ClauseIdx, size_t NumClauses) {
@@ -575,6 +643,7 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
     SG.Frontiers[ClauseIdx] = std::make_unique<ClauseFrontier>();
     SG.Frontiers[ClauseIdx]->Levels.resize(NumGoals + 1);
     SG.Frontiers[ClauseIdx]->Keys.resize(NumGoals + 1);
+    SG.Frontiers[ClauseIdx]->LevelTries.resize(NumGoals + 1);
   }
   ClauseFrontier &CF = *SG.Frontiers[ClauseIdx];
   if (CF.HeadFailed)
@@ -591,11 +660,11 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
 
     // Liveness of clause variables: LiveIdx[J] = vars of goals >= J.
     for (TermRef G : C.Body)
-      collectTemplateVars(DB.store(), G, CF.TemplateVars);
+      collectFreeVars(DB.store(), G, CF.TemplateVars);
     CF.LiveIdx.assign(NumGoals + 1, {});
     std::vector<std::vector<TermRef>> GoalVars(NumGoals);
     for (size_t J = 0; J < NumGoals; ++J)
-      collectTemplateVars(DB.store(), C.Body[J], GoalVars[J]);
+      collectFreeVars(DB.store(), C.Body[J], GoalVars[J]);
     for (uint32_t VI = 0; VI < CF.TemplateVars.size(); ++VI) {
       // Live at J iff it occurs in some goal >= J.
       size_t LastUse = 0;
@@ -632,7 +701,17 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
       StateArgs.push_back(It->second);
     }
     TermRef State = Heap.mkStruct(StateSym, StateArgs);
-    CF.Keys[0].insert(canonicalKey(Heap, State));
+    if (Opts.UseTrieTables) {
+      if (!CF.LevelTries[0])
+        CF.LevelTries[0] = std::make_unique<TermTrie>();
+      TermTrie::InsertResult R = CF.LevelTries[0]->insert(Heap, State, 0);
+      Stats.TrieNodesCreated += R.NodesCreated;
+      ++Stats.TrieMisses; // The seed is always the level's first state.
+    } else {
+      KeyScratch.clear();
+      appendCanonicalKey(Heap, State, KeyScratch);
+      CF.Keys[0].insert(KeyScratch);
+    }
     CF.Levels[0].push_back(copyTerm(Heap, State, CF.Store));
     Heap.undoTo(M);
   }
@@ -696,8 +775,24 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
           Rest.push_back(Heap.arg(Live, static_cast<uint32_t>(Slot + 1)));
         }
         TermRef Next = Heap.mkStruct(StateSym, Rest);
-        std::string Key = canonicalKey(Heap, Next);
-        if (CF.Keys[J + 1].insert(std::move(Key)).second)
+        bool IsNew;
+        if (Opts.UseTrieTables) {
+          // Fused check/insert: one walk of the state term.
+          if (!CF.LevelTries[J + 1])
+            CF.LevelTries[J + 1] = std::make_unique<TermTrie>();
+          TermTrie::InsertResult R = CF.LevelTries[J + 1]->insert(
+              Heap, Next, static_cast<uint32_t>(CF.Levels[J + 1].size()));
+          Stats.TrieNodesCreated += R.NodesCreated;
+          IsNew = R.Inserted;
+          IsNew ? ++Stats.TrieMisses : ++Stats.TrieHits;
+        } else {
+          // Probe key built in the reused member scratch buffer; the set
+          // copies it only when the state is actually new.
+          KeyScratch.clear();
+          appendCanonicalKey(Heap, Next, KeyScratch);
+          IsNew = CF.Keys[J + 1].insert(KeyScratch).second;
+        }
+        if (IsNew)
           CF.Levels[J + 1].push_back(copyTerm(Heap, Next, CF.Store));
         Heap.undoTo(M2);
       });
@@ -720,7 +815,7 @@ bool Solver::runProducer(Subgoal &SG) {
   if (!P)
     return false;
 
-  size_t Before = SG.Answers.size();
+  size_t Before = SG.AnswerSeq.size();
   auto M = Heap.mark();
   TermRef Call = copyTerm(Tables, SG.CallTerm, Heap);
   uint64_t MyLevel = ++CutCounter;
@@ -765,14 +860,107 @@ bool Solver::runProducer(Subgoal &SG) {
       break; // A cut pruned the remaining clause alternatives.
   }
   Heap.undoTo(M);
-  return SG.Answers.size() > Before;
+  return SG.AnswerSeq.size() > Before;
 }
 
-Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key) {
-  std::string CallKey = canonicalKey(Heap, Goal);
-  auto It = SubgoalTable.find(CallKey);
-  if (It != SubgoalTable.end())
-    return *It->second;
+void Solver::extractCallBindings(const Subgoal &SG, TermRef Instance,
+                                 std::vector<TermRef> &Out) const {
+  size_t NumVars = SG.CallVars.size();
+  Out.assign(NumVars, InvalidTerm);
+  if (NumVars == 0)
+    return;
+  // Lockstep DFS: where CallTerm has an unbound variable, Instance carries
+  // that variable's binding in this answer. Early exit once every call
+  // variable has been seen (repeated occurrences bind identically).
+  size_t Found = 0;
+  std::vector<std::pair<TermRef, TermRef>> Work{{SG.CallTerm, Instance}};
+  while (!Work.empty() && Found < NumVars) {
+    auto [C, I] = Work.back();
+    Work.pop_back();
+    C = Tables.deref(C);
+    switch (Tables.tag(C)) {
+    case TermTag::Ref: {
+      size_t Idx = std::find(SG.CallVars.begin(), SG.CallVars.end(), C) -
+                   SG.CallVars.begin();
+      assert(Idx < NumVars && "call variable missing from CallVars");
+      if (Out[Idx] == InvalidTerm) {
+        Out[Idx] = I;
+        ++Found;
+      }
+      break;
+    }
+    case TermTag::Struct: {
+      TermRef ID = Heap.deref(I);
+      assert(Heap.tag(ID) == TermTag::Struct &&
+             Heap.arity(ID) == Tables.arity(C) &&
+             "answer instance does not match the call skeleton");
+      for (uint32_t A = Tables.arity(C); A-- > 0;)
+        Work.push_back({Tables.arg(C, A), Heap.arg(ID, A)});
+      break;
+    }
+    case TermTag::Atom:
+    case TermTag::Int:
+      break;
+    }
+  }
+}
+
+void Solver::bindFactoredAnswer(const Subgoal &SG, size_t I,
+                                const std::vector<TermRef> &GoalVars) {
+  size_t NumVars = SG.CallVars.size();
+  assert(GoalVars.size() == NumVars &&
+         "consumer goal is a variant of the tabled call");
+  const TermRef *B = SG.AnswerBindings.data() + I * NumVars;
+  // One shared renaming keeps variables shared across binding slots
+  // shared in the consumer too. The goal's variables are unbound here
+  // (the caller holds a mark), so plain trailed binds suffice.
+  VarRenaming Renaming;
+  for (size_t J = 0; J < NumVars; ++J)
+    Heap.bind(GoalVars[J], copyTerm(Tables, B[J], Heap, Renaming));
+}
+
+void Solver::releaseCompletedState(Subgoal &SG) {
+  // Frontiers, consumer links and answer dedup structures only serve
+  // evaluation; a completed table never gains an answer, so release them
+  // and account the shrink (tableSpaceBytes drops by the same amount).
+  size_t Freed = 0;
+  for (const auto &CF : SG.Frontiers)
+    if (CF)
+      Freed += CF->memoryBytes();
+  for (const auto &K : SG.AnswerKeys)
+    Freed += K.capacity() + sizeof(void *) * 2;
+  if (SG.AnswerTrie)
+    Freed += sizeof(TermTrie) + SG.AnswerTrie->memoryBytes();
+  Freed += SG.Consumers.size() * sizeof(void *) * 2;
+  SG.Frontiers.clear();
+  SG.Frontiers.shrink_to_fit();
+  SG.AnswerKeys.clear();
+  SG.AnswerTrie.reset();
+  SG.Consumers.clear();
+  Stats.FrontierBytesFreed += Freed;
+}
+
+Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
+                               std::vector<TermRef> *GoalVars) {
+  std::string CallKey;
+  if (Opts.UseTrieTables) {
+    // One walk of the call term performs lookup AND insert; the walk also
+    // yields the call's free variables (for factored answer return) as a
+    // byproduct, so a table hit costs no allocation at all.
+    TermTrie::InsertResult R = SubgoalTrie.insert(
+        Heap, Goal, static_cast<uint32_t>(SubgoalOwned.size()), GoalVars);
+    Stats.TrieNodesCreated += R.NodesCreated;
+    if (!R.Inserted) {
+      ++Stats.TrieHits;
+      return *SubgoalOwned[R.Value];
+    }
+    ++Stats.TrieMisses;
+  } else {
+    CallKey = canonicalKey(Heap, Goal);
+    auto It = SubgoalByKey.find(CallKey);
+    if (It != SubgoalByKey.end())
+      return *It->second;
+  }
 
   ++Stats.SubgoalsCreated;
   if (Metrics)
@@ -783,13 +971,24 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key) {
   auto Owned = std::make_unique<Subgoal>();
   Subgoal &SG = *Owned;
   SG.Pred = Key;
-  SG.Key = CallKey;
+  SG.Key = std::move(CallKey); // Empty on the trie path: no key string.
   SG.CallTerm = copyTerm(Heap, Goal, Tables);
+  // copyTerm renames variables in first-occurrence order, so CallVars
+  // corresponds index-wise to the trie walk's variable numbering (and to
+  // any variant consumer's own free-variable order).
+  collectFreeVars(Tables, SG.CallTerm, SG.CallVars);
+  SG.Factored =
+      Opts.UseTrieTables &&
+      !AnswerJoins.count((uint64_t(Key.Sym) << 32) | Key.Arity);
+  if (SG.Factored)
+    SG.AnswerTrie = std::make_unique<TermTrie>();
   SG.Dfn = SG.MinLink = ++DfnCounter;
   SG.OnStack = true;
   SG.StackPos = CompletionStack.size();
   CompletionStack.push_back(&SG);
-  SubgoalTable.emplace(SG.Key, std::move(Owned));
+  SubgoalOwned.push_back(std::move(Owned));
+  if (!Opts.UseTrieTables)
+    SubgoalByKey.emplace(SG.Key, &SG);
   SubgoalOrder.push_back(&SG);
 
   // Initial producer run. Dependencies on incomplete subgoals found during
@@ -824,14 +1023,14 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key) {
       Member->Complete = true;
       Member->OnStack = false;
       // Producers never re-run once complete; release the supplementary
-      // tables.
-      Member->Frontiers.clear();
+      // tables and answer dedup structures.
+      releaseCompletedState(*Member);
       if (Metrics)
         ++Metrics->pred(Symbols, Member->Pred.Sym, Member->Pred.Arity)
               .Completions;
       if (Trace)
         Trace->emit(TraceEventKind::SubgoalComplete, Member->Pred.Sym,
-                    Member->Pred.Arity, Member->Answers.size());
+                    Member->Pred.Arity, answerCount(*Member));
     }
     CompletionStack.resize(SG.StackPos);
   }
@@ -847,7 +1046,9 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
     ++Metrics->pred(Symbols, P.Key.Sym, P.Key.Arity).Calls;
   if (Trace)
     Trace->emit(TraceEventKind::TabledCall, P.Key.Sym, P.Key.Arity);
-  Subgoal &SG = ensureSubgoal(Goal, P.Key);
+  std::vector<TermRef> GoalVars;
+  Subgoal &SG =
+      ensureSubgoal(Goal, P.Key, Opts.UseTrieTables ? &GoalVars : nullptr);
 
   // Record the SCC dependency of the producer that issued this call, and
   // subscribe it to future answers for semi-naive re-running.
@@ -860,6 +1061,21 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
   // Consume answers. The index re-reads size() so answers added while this
   // consumer is active (fixpoint rounds of an enclosing SCC) are picked up;
   // answers added after we return are replayed by producer re-runs.
+  if (SG.Factored) {
+    // Substitution factoring: the goal is a variant of the tabled call,
+    // so its free variables (in first-occurrence order) correspond 1:1 to
+    // CallVars; binding them to the stored tuple replaces the legacy
+    // copy-whole-instance-then-unify answer return.
+    for (size_t I = 0; I < SG.AnswerSeq.size(); ++I) {
+      auto M = Heap.mark();
+      bindFactoredAnswer(SG, I, GoalVars);
+      Signal S = solveGoals(Rest, Depth + 1, CutLevel, OnSolution);
+      Heap.undoTo(M);
+      if (S.K != Signal::Exhausted)
+        return S;
+    }
+    return Signal::exhausted();
+  }
   for (size_t I = 0; I < SG.Answers.size(); ++I) {
     auto M = Heap.mark();
     TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);

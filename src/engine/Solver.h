@@ -32,6 +32,7 @@
 #include "engine/Database.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "table/TermTrie.h"
 #include "term/TermStore.h"
 
 #include <functional>
@@ -58,6 +59,16 @@ struct EvalStats {
   /// Clause resolutions avoided by the first-argument index (candidate
   /// clauses skipped because their FirstArgKey cannot match the call).
   uint64_t ClauseIndexFiltered = 0;
+  /// \name Trie-table counters (Options::UseTrieTables).
+  /// @{
+  uint64_t TrieHits = 0;   ///< Trie walks that found an existing key.
+  uint64_t TrieMisses = 0; ///< Trie walks that inserted a new key.
+  uint64_t TrieNodesCreated = 0; ///< Trie nodes allocated, cumulative.
+  /// @}
+  /// Bytes of supplementary-table state released when SCCs completed
+  /// (frontier stores, dedup structures). tableSpaceBytes() excludes this
+  /// memory once freed; see the completion-shrink regression test.
+  uint64_t FrontierBytesFreed = 0;
 };
 
 /// One tabled subgoal: the canonicalized call, its answers, and SCC
@@ -75,7 +86,11 @@ struct ClauseFrontier {
   /// goals themselves are rebuilt from the clause templates, so states
   /// stay small and dead bindings do not defeat deduplication.
   std::vector<std::vector<TermRef>> Levels;
+  /// Per-level dedup, string keys (legacy path, UseTrieTables off).
   std::vector<std::unordered_set<std::string>> Keys;
+  /// Per-level dedup, term tries (UseTrieTables on). Allocated lazily per
+  /// level on first insert.
+  std::vector<std::unique_ptr<TermTrie>> LevelTries;
   /// Distinct variables of the clause body, in the database store.
   std::vector<TermRef> TemplateVars;
   /// LiveIdx[j]: indices into TemplateVars of the variables live at j.
@@ -90,10 +105,27 @@ struct ClauseFrontier {
 struct Subgoal {
   PredKey Pred;
   TermRef CallTerm; ///< Copy of the call in the table store.
-  std::string Key;  ///< Canonical (variant) key of the call.
-  std::vector<TermRef> Answers; ///< Instances of CallTerm, table store.
+  std::string Key;  ///< Canonical (variant) key of the call (legacy path).
+  /// Distinct unbound variables of CallTerm in first-occurrence order (the
+  /// variables substitution-factored answers bind).
+  std::vector<TermRef> CallVars;
+  /// Full call instances in the table store (legacy path and aggregated
+  /// predicates; empty when Factored).
+  std::vector<TermRef> Answers;
+  /// Substitution-factored answers (Factored): bindings of CallVars only,
+  /// CallVars.size() consecutive entries per answer, in the table store.
+  /// The whole instance is never materialized unless an inspector asks
+  /// (Solver::answerInstance).
+  std::vector<TermRef> AnswerBindings;
   std::vector<uint64_t> AnswerSeq; ///< Global sequence number per answer.
+  /// Answer dedup: canonical string keys (legacy) or a term trie over the
+  /// binding tuples (trie path). Both are released on completion -- no
+  /// answer is ever inserted into a completed table.
   std::unordered_set<std::string> AnswerKeys;
+  std::unique_ptr<TermTrie> AnswerTrie;
+  /// True when answers are stored substitution-factored (trie tables on
+  /// and no answer join registered for the predicate).
+  bool Factored = false;
   bool Complete = false;
 
   // Completion (approximate Tarjan SCC) machinery.
@@ -132,7 +164,22 @@ public:
     /// suggested optimization). Off = plain tuple-at-a-time re-runs (the
     /// ablation the benches report).
     bool SupplementaryTabling = true;
+    /// Back the subgoal table, per-subgoal answer tables and frontier
+    /// dedup sets with term tries plus substitution factoring (XSB's
+    /// table representation) instead of canonical string keys. One walk
+    /// of the call performs lookup and insert; answers store only the
+    /// bindings of the call's free variables. Off = the legacy
+    /// string-keyed tables (the A/B ablation the benches report). Both
+    /// paths compute identical answers.
+    bool UseTrieTables = defaultUseTrieTables();
   };
+
+  /// Process-wide default for Options::UseTrieTables (initially true).
+  /// A/B harnesses flip it around a run so analyzers that build their own
+  /// Solver internally pick the flag up without plumbing.
+  /// \returns the previous default.
+  static bool setDefaultUseTrieTables(bool V);
+  static bool defaultUseTrieTables();
 
   explicit Solver(Database &DB);
   Solver(Database &DB, Options Opts);
@@ -175,6 +222,17 @@ public:
   /// \returns the completed subgoal variant of \p Call (a term in
   /// store()), or nullptr if that variant was never called.
   const Subgoal *findSubgoal(TermRef Call) const;
+
+  /// Number of answers in \p SG's table (either representation).
+  size_t answerCount(const Subgoal &SG) const { return SG.AnswerSeq.size(); }
+
+  /// Materializes answer \p I of \p SG as a full instance of the call,
+  /// built in \p Out. For substitution-factored tables this instantiates
+  /// the stored call skeleton with the answer's bindings (sharing between
+  /// binding slots preserved); for legacy tables it copies the stored
+  /// instance. This is the inspection path -- evaluation itself never
+  /// rebuilds instances.
+  TermRef answerInstance(const Subgoal &SG, size_t I, TermStore &Out) const;
 
   /// Bytes attributable to the tables: call/answer terms, variant keys,
   /// index structures. This is the paper's "Table space" column.
@@ -314,11 +372,34 @@ private:
   bool isStaticPred(PredKey Key);
 
   /// Creates/loads the subgoal for \p Goal and drives it as far toward
-  /// completion as its SCC allows.
-  Subgoal &ensureSubgoal(TermRef Goal, PredKey Key);
+  /// completion as its SCC allows. On the trie path \p GoalVars (when
+  /// non-null) receives \p Goal's distinct unbound variables in
+  /// first-occurrence order -- the variables factored answers bind -- as
+  /// a free byproduct of the table walk.
+  Subgoal &ensureSubgoal(TermRef Goal, PredKey Key,
+                         std::vector<TermRef> *GoalVars = nullptr);
 
   /// Records \p Instance (resolved call in Heap) as an answer of \p SG.
   bool recordAnswer(Subgoal &SG, TermRef Instance);
+
+  /// Substitution factoring: walks CallTerm (tables) and \p Instance
+  /// (heap) in lockstep and collects, for each of SG.CallVars in order,
+  /// the heap subterm it is bound to in this instance.
+  void extractCallBindings(const Subgoal &SG, TermRef Instance,
+                           std::vector<TermRef> &Out) const;
+
+  /// Instantiates the consumer's \p GoalVars (its free variables in
+  /// first-occurrence order; the goal is a variant of SG.CallTerm) with
+  /// answer \p I's factored bindings, copied into the heap. Bindings land
+  /// on the trail; the caller unwinds with undoTo. Replaces the legacy
+  /// copy-whole-instance-then-unify answer return.
+  void bindFactoredAnswer(const Subgoal &SG, size_t I,
+                          const std::vector<TermRef> &GoalVars);
+
+  /// Releases evaluation-only state of a completed subgoal: supplementary
+  /// frontiers, consumer links and answer dedup structures. Counts the
+  /// freed bytes into EvalStats::FrontierBytesFreed.
+  void releaseCompletedState(Subgoal &SG);
 
   const GoalNode *makeGoals(const std::vector<TermRef> &Goals,
                             const GoalNode *Tail);
@@ -332,8 +413,19 @@ private:
   TermStore Heap;   ///< Scratch resolution heap.
   TermStore Tables; ///< Call/answer terms.
 
-  std::unordered_map<std::string, std::unique_ptr<Subgoal>> SubgoalTable;
+  /// Subgoal storage, in creation order (both table representations).
+  std::vector<std::unique_ptr<Subgoal>> SubgoalOwned;
+  /// Subgoal index, legacy path: canonical string key -> subgoal.
+  std::unordered_map<std::string, Subgoal *> SubgoalByKey;
+  /// Subgoal index, trie path: one walk of the call checks and inserts;
+  /// leaf values are indices into SubgoalOwned.
+  TermTrie SubgoalTrie;
   std::vector<Subgoal *> SubgoalOrder;
+  /// Scratch buffers for the legacy canonical-key path and for factored
+  /// answer extraction; reused across one producer run's candidates (never
+  /// live across a reentrant call).
+  std::string KeyScratch;
+  std::vector<TermRef> BindScratch;
   std::vector<Subgoal *> CompletionStack;
   std::vector<Subgoal *> ProducerStack;
   uint64_t DfnCounter = 0;

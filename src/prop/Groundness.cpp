@@ -153,12 +153,16 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
     PG.Arity = Pred.Arity;
     const Subgoal *SG = Engine.findSubgoal(Call);
     if (SG) {
-      const TermStore &TS = Engine.tableStore();
-      for (TermRef Ans : SG->Answers) {
+      // Materialize each answer instance into a scratch store (factored
+      // tables never hold whole instances; see Solver::answerInstance).
+      TermStore Scratch;
+      for (size_t AI = 0, AE = Engine.answerCount(*SG); AI < AE; ++AI) {
+        Scratch.clear();
+        TermRef Ans = Engine.answerInstance(*SG, AI, Scratch);
         std::vector<TermRef> Args;
         for (uint32_t I = 0; I < Pred.Arity; ++I)
-          Args.push_back(TS.arg(TS.deref(Ans), I));
-        expandAnswerTuple(TS, Symbols, Args, PG.SuccessSet);
+          Args.push_back(Scratch.arg(Scratch.deref(Ans), I));
+        expandAnswerTuple(Scratch, Symbols, Args, PG.SuccessSet);
       }
     }
     ByAbsSym.emplace(Transformer.abstractSymbol(Pred.Sym),

@@ -68,18 +68,21 @@ void collectDemand(Solver &Engine, SymbolTable &Symbols, TermRef Call,
                    uint32_t Arity, std::vector<Demand> &Out, bool &Diverges) {
   const Subgoal *SG = Engine.findSubgoal(Call);
   Out.assign(Arity, Demand::Full);
-  if (!SG || SG->Answers.empty()) {
+  if (!SG || Engine.answerCount(*SG) == 0) {
     // No solution: evaluation under this demand always diverges, so the
     // strictness claim holds vacuously.
     Diverges = true;
     return;
   }
   Diverges = false;
-  const TermStore &TS = Engine.tableStore();
-  for (TermRef Ans : SG->Answers) {
-    TermRef A = TS.deref(Ans);
+  // Materialize each answer into a scratch store (factored tables never
+  // hold whole instances; see Solver::answerInstance).
+  TermStore Scratch;
+  for (size_t AI = 0, AE = Engine.answerCount(*SG); AI < AE; ++AI) {
+    Scratch.clear();
+    TermRef A = Scratch.deref(Engine.answerInstance(*SG, AI, Scratch));
     for (uint32_t I = 0; I < Arity; ++I) {
-      Demand D = decodeDemand(TS, Symbols, TS.arg(A, I + 1));
+      Demand D = decodeDemand(Scratch, Symbols, Scratch.arg(A, I + 1));
       if (D < Out[I])
         Out[I] = D; // Meet = minimum over solutions.
     }

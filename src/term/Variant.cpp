@@ -7,6 +7,7 @@
 
 #include "term/Variant.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
@@ -113,4 +114,27 @@ std::string lpa::canonicalKey(const TermStore &Store, TermRef T) {
   std::string Out;
   appendCanonicalKey(Store, T, Out);
   return Out;
+}
+
+void lpa::collectFreeVars(const TermStore &Store, TermRef T,
+                          std::vector<TermRef> &Vars) {
+  std::vector<TermRef> Work{T};
+  while (!Work.empty()) {
+    TermRef Cur = Store.deref(Work.back());
+    Work.pop_back();
+    switch (Store.tag(Cur)) {
+    case TermTag::Ref:
+      if (std::find(Vars.begin(), Vars.end(), Cur) == Vars.end())
+        Vars.push_back(Cur);
+      break;
+    case TermTag::Struct:
+      // Reverse push for left-to-right traversal (numbering order).
+      for (uint32_t I = Store.arity(Cur); I-- > 0;)
+        Work.push_back(Store.arg(Cur, I));
+      break;
+    case TermTag::Atom:
+    case TermTag::Int:
+      break;
+    }
+  }
 }

@@ -36,6 +36,13 @@ std::string canonicalKey(const TermStore &Store, TermRef T);
 /// As canonicalKey, but appends to \p Out (avoids reallocation in loops).
 void appendCanonicalKey(const TermStore &Store, TermRef T, std::string &Out);
 
+/// Collects the distinct unbound variables of \p T into \p Vars in
+/// first-occurrence order (left-to-right, depth-first) -- the same order
+/// canonicalKey numbers them and the same order copyTerm renames them.
+/// Appends to \p Vars without clearing it.
+void collectFreeVars(const TermStore &Store, TermRef T,
+                     std::vector<TermRef> &Vars);
+
 } // namespace lpa
 
 #endif // LPA_TERM_VARIANT_H

@@ -274,7 +274,7 @@ TEST(Metrics, TableSnapshotMatchesEngineTables) {
   EXPECT_EQ(Subgoals, Engine.subgoals().size());
   uint64_t EngineAnswers = 0;
   for (const Subgoal *SG : Engine.subgoals())
-    EngineAnswers += SG->Answers.size();
+    EngineAnswers += Engine.answerCount(*SG);
   EXPECT_EQ(Answers, EngineAnswers);
   EXPECT_GT(Bytes, 0u);
 

@@ -217,6 +217,44 @@ TEST_F(TablingTest, TableSpaceAccountingIsPositive) {
   EXPECT_LT(S.tableSpaceBytes(), Before);
 }
 
+TEST_F(TablingTest, CompletionReleasesScaffoldingState) {
+  // On SCC completion the evaluation-only state -- clause frontiers
+  // (supplementary tables), answer dedup keys/tries, consumer links --
+  // must be freed: a completed table never gains an answer. Regression
+  // test for both table representations; tableSpaceBytes() must shrink by
+  // exactly the accounted amount (it no longer counts the freed state).
+  consult(R"(
+    :- table path/2.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+  )");
+  for (bool UseTrieTables : {true, false}) {
+    SCOPED_TRACE(UseTrieTables ? "trie" : "string");
+    Solver::Options Opts;
+    Opts.UseTrieTables = UseTrieTables;
+    Solver Local(DB, Opts);
+    auto Goal = Parser::parseTerm(Syms, Local.store(), "path(X, Y)");
+    ASSERT_TRUE(Goal.hasValue());
+    size_t N = Local.solve(*Goal, nullptr);
+    EXPECT_EQ(N, 10u); // 4-node chain: all ordered pairs.
+    ASSERT_FALSE(Local.subgoals().empty());
+    for (const Subgoal *SG : Local.subgoals()) {
+      EXPECT_TRUE(SG->Complete);
+      EXPECT_TRUE(SG->Frontiers.empty());
+      EXPECT_TRUE(SG->AnswerKeys.empty());
+      EXPECT_EQ(SG->AnswerTrie, nullptr);
+      EXPECT_TRUE(SG->Consumers.empty());
+    }
+    // The release was accounted, and the retained table space excludes it.
+    EXPECT_GT(Local.stats().FrontierBytesFreed, 0u);
+    EXPECT_GT(Local.tableSpaceBytes(), 0u);
+    // Completed tables still answer repeat calls (from the table alone).
+    size_t Again = Local.solve(*Goal, nullptr);
+    EXPECT_EQ(Again, N);
+  }
+}
+
 TEST_F(TablingTest, FindSubgoalByVariant) {
   consult(":- table p/1. p(a). p(b).");
   query("p(X)");
@@ -224,7 +262,7 @@ TEST_F(TablingTest, FindSubgoalByVariant) {
   ASSERT_TRUE(Goal.hasValue());
   const Subgoal *SG = S.findSubgoal(*Goal);
   ASSERT_NE(SG, nullptr);
-  EXPECT_EQ(SG->Answers.size(), 2u);
+  EXPECT_EQ(S.answerCount(*SG), 2u);
   EXPECT_TRUE(SG->Complete);
 
   auto Bound = Parser::parseTerm(Syms, S.store(), "p(a)");
