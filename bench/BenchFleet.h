@@ -1,0 +1,113 @@
+//===- BenchFleet.h - Shared --jobs fleet phase for benches -----*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel arm shared by the table harnesses: run one corpus job kind
+/// through the CorpusScheduler serially, then again with --jobs N workers,
+/// and require the two runs to agree bit-for-bit per program. Both
+/// wall-clocks land in the trajectory JSON so a perf run records the fleet
+/// speedup next to the per-program timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_BENCH_BENCHFLEET_H
+#define LPA_BENCH_BENCHFLEET_H
+
+#include "obs/Json.h"
+#include "par/CorpusScheduler.h"
+#include "par/ThreadPool.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lpa {
+
+/// Resolves the worker count for a bench driver's fleet phase: "--jobs N"
+/// or "--jobs=N" overrides the hardware thread count. 0 and 1 both mean
+/// "serial" (the parallel arm then runs inline, which still exercises the
+/// scheduler path and records both wall-clocks).
+inline size_t jobsArg(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view Val;
+    if (A == "--jobs" && I + 1 < Argc)
+      Val = Argv[I + 1];
+    else if (A.substr(0, 7) == "--jobs=")
+      Val = A.substr(7);
+    else
+      continue;
+    size_t N = 0;
+    for (char C : Val) {
+      if (C < '0' || C > '9')
+        return ThreadPool::hardwareWorkers();
+      N = N * 10 + static_cast<size_t>(C - '0');
+    }
+    return N;
+  }
+  return ThreadPool::hardwareWorkers();
+}
+
+/// Runs the \p Kind slice of the corpus serially and with \p Jobs workers,
+/// compares the runs job by job, prints a summary line, and emits a
+/// "<Key>" object into the current JSON object. Returns the number of
+/// programs whose parallel result differed from serial (callers fold this
+/// into their failure count, so CI smoke runs fail on any divergence).
+inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
+                         size_t Jobs) {
+  std::vector<CorpusJob> Matrix = CorpusScheduler::kindJobs(Kind);
+
+  CorpusScheduler::Options SO;
+  SO.Jobs = 1;
+  CorpusScheduler Serial(SO);
+  std::vector<CorpusJobResult> SerialRes = Serial.run(Matrix);
+  double SerialMs = Serial.lastWallSeconds() * 1e3;
+
+  CorpusScheduler::Options PO;
+  PO.Jobs = Jobs;
+  CorpusScheduler Par(PO);
+  std::vector<CorpusJobResult> ParRes = Par.run(Matrix);
+  double ParMs = Par.lastWallSeconds() * 1e3;
+
+  int Mismatches = 0;
+  for (size_t I = 0; I < Matrix.size(); ++I) {
+    const CorpusJobResult &S = SerialRes[I];
+    const CorpusJobResult &P = ParRes[I];
+    if (S.Ok == P.Ok && S.Error == P.Error && S.Fingerprints == P.Fingerprints)
+      continue;
+    ++Mismatches;
+    std::fprintf(stderr,
+                 "fleet mismatch: %s (%s): serial %zu fingerprints, "
+                 "parallel %zu\n",
+                 S.Program, corpusJobKindName(Kind), S.Fingerprints.size(),
+                 P.Fingerprints.size());
+  }
+
+  double Speedup = ParMs > 0 ? SerialMs / ParMs : 0;
+  std::printf("\nFleet (%s, %zu programs): serial %.2f ms, --jobs %zu "
+              "%.2f ms (%.2fx), parallel %s serial, steals=%llu\n",
+              corpusJobKindName(Kind), Matrix.size(), SerialMs, Jobs, ParMs,
+              Speedup, Mismatches == 0 ? "matches" : "DIVERGES FROM",
+              static_cast<unsigned long long>(Par.lastStealCount()));
+
+  W.key(Key);
+  W.beginObject();
+  W.member("kind", corpusJobKindName(Kind));
+  W.member("jobs", static_cast<uint64_t>(Jobs));
+  W.member("num_programs", static_cast<uint64_t>(Matrix.size()));
+  W.member("serial_wall_ms", SerialMs);
+  W.member("parallel_wall_ms", ParMs);
+  W.member("speedup", Speedup);
+  W.member("parallel_matches_serial", Mismatches == 0);
+  W.member("steals", Par.lastStealCount());
+  W.endObject();
+  return Mismatches;
+}
+
+} // namespace lpa
+
+#endif // LPA_BENCH_BENCHFLEET_H

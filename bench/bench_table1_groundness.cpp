@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchFleet.h"
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "obs/Metrics.h"
@@ -128,6 +129,13 @@ int main(int argc, char **argv) {
   }
 
   W.endArray();
+
+  // Parallel arm (--jobs N, default hardware threads): the same 12 programs
+  // through the CorpusScheduler, serial then parallel, with per-predicate
+  // bit-identity required between the two runs.
+  Failures +=
+      runFleetPhase(W, "fleet", CorpusJobKind::Groundness, jobsArg(argc, argv));
+
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
   writeJsonFile(jsonOutPath(argc, argv, "bench_table1_groundness.json"),

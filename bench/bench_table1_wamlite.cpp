@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchFleet.h"
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "prop/Groundness.h"
@@ -116,6 +117,12 @@ int main(int argc, char **argv) {
   }
 
   W.endArray();
+
+  // Parallel arm: the 12 programs through WAM-lite compilation on the
+  // fleet, parallel output required bit-identical to serial.
+  Failures +=
+      runFleetPhase(W, "fleet", CorpusJobKind::WamLite, jobsArg(argc, argv));
+
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
   writeJsonFile(jsonOutPath(argc, argv, "bench_table1_wamlite.json"), Json);

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/GaiaLike.h"
+#include "bench/BenchFleet.h"
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "prop/Groundness.h"
@@ -142,6 +143,19 @@ int main(int argc, char **argv) {
   }
 
   W.endArray();
+
+  // Parallel arm under BOTH table representations. The default flips on
+  // the main thread between runs, and each fleet's pool is joined before
+  // the flip, so workers observe a stable value (happens-before via join).
+  size_t Jobs = jobsArg(argc, argv);
+  Failures += runFleetPhase(W, "fleet_trie", CorpusJobKind::Groundness, Jobs);
+  {
+    bool Prev = Solver::setDefaultUseTrieTables(false);
+    Failures +=
+        runFleetPhase(W, "fleet_string", CorpusJobKind::Groundness, Jobs);
+    Solver::setDefaultUseTrieTables(Prev);
+  }
+
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
   writeJsonFile(jsonOutPath(argc, argv, "bench_table2_vs_baseline.json"),

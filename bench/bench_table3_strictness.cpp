@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchFleet.h"
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "obs/Metrics.h"
@@ -89,6 +90,11 @@ int main(int argc, char **argv) {
   }
 
   W.endArray();
+
+  // Parallel arm: the 10 FL benchmarks through strictness on the fleet.
+  Failures += runFleetPhase(W, "fleet", CorpusJobKind::Strictness,
+                            jobsArg(argc, argv));
+
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
   writeJsonFile(jsonOutPath(argc, argv, "bench_table3_strictness.json"),

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchFleet.h"
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "depthk/DepthK.h"
@@ -106,6 +107,11 @@ int main(int argc, char **argv) {
   }
 
   W.endArray();
+
+  // Parallel arm: the 12 programs through depth-k on the fleet.
+  Failures +=
+      runFleetPhase(W, "fleet", CorpusJobKind::DepthK, jobsArg(argc, argv));
+
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
   writeJsonFile(jsonOutPath(argc, argv, "bench_table4_depthk.json"), Json);

@@ -53,7 +53,12 @@ public:
     std::string Key;
     std::vector<TermRef> Answers;
     std::unordered_set<std::string> AnswerKeys;
-    std::unordered_set<Entry *> Dependents;
+    /// Insertion-ordered: wake() walks this, and enqueue order decides the
+    /// order answers land in dependents' tables. Iterating a pointer-hashed
+    /// set here made that order (and hence the rendered result) vary run to
+    /// run with heap layout.
+    std::vector<Entry *> Dependents;
+    std::unordered_set<Entry *> DependentSet;
     bool InWorklist = false;
     bool Widened = false;
   };
@@ -77,6 +82,8 @@ public:
   void snapshotMetrics(MetricsRegistry &M) const;
   uint64_t ProducerRuns = 0;
   uint64_t Widenings = 0;
+  /// Set when MaxProducerRuns stopped the worklist with work remaining.
+  bool Incomplete = false;
 
 private:
   static uint64_t keyOf(PredKey P) {
@@ -284,7 +291,8 @@ void AbsInterp::solveGoal(Entry &Producer, TermRef G,
     }
   }
   Entry &E = ensureEntry(Pred, CutCall);
-  E.Dependents.insert(&Producer);
+  if (E.DependentSet.insert(&Producer).second)
+    E.Dependents.push_back(&Producer);
 
   for (size_t I = 0; I < E.Answers.size(); ++I) {
     auto M = Heap.mark();
@@ -431,6 +439,12 @@ void AbsInterp::runEntry(Entry &E) {
 
 void AbsInterp::drainWorklist() {
   while (!Worklist.empty()) {
+    // Truncation, not widening: entries still queued have pending
+    // (re-)runs, so their answer sets are below the fixpoint.
+    if (Opts.MaxProducerRuns && ProducerRuns >= Opts.MaxProducerRuns) {
+      Incomplete = true;
+      return;
+    }
     Entry *E = Worklist.front();
     Worklist.pop_front();
     E->InWorklist = false;
@@ -506,6 +520,19 @@ ErrorOr<DepthKResult> DepthKAnalyzer::analyze(std::string_view Source) {
     Interp.analyzePredicate(Pred);
   Result.AnalysisSeconds = Phase.elapsedSeconds();
   EvalSpan.finish();
+
+  // Soundness gate: a truncated fixpoint under-reports answer patterns,
+  // which over-claims groundness. Mirrors the Solver-based analyzers'
+  // IncompleteTables handling.
+  if (Interp.Incomplete) {
+    if (!Opts.AllowIncomplete)
+      return Diagnostic(
+          "depth-k analysis incomplete: MaxProducerRuns stopped the "
+          "fixpoint after " +
+          std::to_string(Interp.ProducerRuns) +
+          " producer runs; raise the budget or set AllowIncomplete");
+    Result.Incomplete = true;
+  }
 
   //--- Collection. ---------------------------------------------------------
   Phase.restart();

@@ -62,6 +62,11 @@ struct DepthKResult {
   uint64_t FixpointRounds = 0; ///< Producer (re-)runs of the worklist.
   uint64_t Widenings = 0;      ///< Answer-set widenings applied.
 
+  /// True when Options::MaxProducerRuns stopped the fixpoint short and the
+  /// caller opted into AllowIncomplete: the tables are a possibly-strict
+  /// subset of the abstract fixpoint, not the fixpoint itself.
+  bool Incomplete = false;
+
   const DepthKPred *find(const std::string &Name, uint32_t Arity) const;
 };
 
@@ -76,6 +81,14 @@ public:
     /// than the second routes further calls to its open pattern.
     size_t MaxAnswersPerCall = 16;
     size_t MaxCallsPerPred = 32;
+
+    /// Resource budget on producer (re-)runs; 0 = unlimited. Unlike the
+    /// widenings above (which over-approximate and stay sound), hitting
+    /// this bound truncates the fixpoint: analyze() then fails unless
+    /// AllowIncomplete accepts the partial tables (Result.Incomplete set).
+    /// The depth-k analogue of Solver::Options::MaxDepth.
+    uint64_t MaxProducerRuns = 0;
+    bool AllowIncomplete = false;
 
     /// Observability (both optional, caller-owned): the tracer sees
     /// subgoal/answer events from the abstract interpreter plus the

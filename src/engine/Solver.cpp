@@ -280,6 +280,7 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("trie_misses", Stats.TrieMisses);
   M.setCounter("trie_nodes_created", Stats.TrieNodesCreated);
   M.setCounter("frontier_bytes_freed", Stats.FrontierBytesFreed);
+  M.setCounter("incomplete_tables", Stats.IncompleteTables);
   M.setCounter("subgoal_trie_nodes", SubgoalTrie.nodeCount());
   M.setCounter("subgoal_trie_bytes", SubgoalTrie.memoryBytes());
 }
@@ -306,6 +307,11 @@ Solver::Signal Solver::solveGoals(const GoalNode *Goals, size_t Depth,
     return OnSolution() ? Signal::stop() : Signal::exhausted();
   if (Depth > Opts.MaxDepth) {
     ++Stats.DepthLimitHits;
+    // Soundness: the pruned branch may have carried derivations the
+    // current producer's table never sees. Poison that producer so SCC
+    // completion cannot certify its answer set as the minimal model.
+    if (!ProducerStack.empty())
+      ProducerStack.back()->Incomplete = true;
     if (Trace)
       Trace->emit(TraceEventKind::DepthLimit, 0, 0, Depth);
     return Signal::exhausted();
@@ -603,6 +609,10 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
     Parent->MinLink = std::min(Parent->MinLink, SG.MinLink);
     SG.Consumers.insert(Parent);
   }
+  // Consuming a truncated table taints the consumer: its answers derive
+  // from a possibly-partial premise set.
+  if (SG.Incomplete && !ProducerStack.empty())
+    ProducerStack.back()->Incomplete = true;
   // AnswerSeq is strictly increasing: jump straight to the new slice.
   size_t Start =
       std::upper_bound(SG.AnswerSeq.begin(), SG.AnswerSeq.end(), MinSeq) -
@@ -1018,8 +1028,18 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
         ProducerStack.pop_back();
       }
     }
+    // Incompleteness is an SCC-wide property: members feed each other
+    // answers, so one truncated member can starve them all. Propagate the
+    // poison across the component before certifying it complete.
+    bool SCCIncomplete = false;
+    for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I)
+      SCCIncomplete |= CompletionStack[I]->Incomplete;
     for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I) {
       Subgoal *Member = CompletionStack[I];
+      if (SCCIncomplete) {
+        Member->Incomplete = true;
+        ++Stats.IncompleteTables;
+      }
       Member->Complete = true;
       Member->OnStack = false;
       // Producers never re-run once complete; release the supplementary
@@ -1057,6 +1077,10 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
     Parent->MinLink = std::min(Parent->MinLink, SG.MinLink);
     SG.Consumers.insert(Parent);
   }
+  // Consuming a truncated table taints the consumer: its answers derive
+  // from a possibly-partial premise set.
+  if (SG.Incomplete && !ProducerStack.empty())
+    ProducerStack.back()->Incomplete = true;
 
   // Consume answers. The index re-reads size() so answers added while this
   // consumer is active (fixpoint rounds of an enclosing SCC) are picked up;

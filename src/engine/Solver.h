@@ -69,6 +69,11 @@ struct EvalStats {
   /// (frontier stores, dedup structures). tableSpaceBytes() excludes this
   /// memory once freed; see the completion-shrink regression test.
   uint64_t FrontierBytesFreed = 0;
+  /// Tables completed while the depth limit had pruned part of their
+  /// derivation tree (Subgoal::Incomplete). A nonzero count means the
+  /// answer tables may be a strict subset of the minimal model; analyzers
+  /// must not report them as exact results.
+  uint64_t IncompleteTables = 0;
 };
 
 /// One tabled subgoal: the canonicalized call, its answers, and SCC
@@ -127,6 +132,11 @@ struct Subgoal {
   /// and no answer join registered for the predicate).
   bool Factored = false;
   bool Complete = false;
+  /// Poisoned: the depth limit pruned a branch while this subgoal (or a
+  /// member of its SCC, or a table it consumed) was being produced, so the
+  /// answer set may be truncated. Sticky across completion; counted in
+  /// EvalStats::IncompleteTables when the table completes.
+  bool Incomplete = false;
 
   // Completion (approximate Tarjan SCC) machinery.
   uint64_t Dfn = 0;

@@ -54,6 +54,19 @@ uint64_t Histogram::quantile(double Q) const {
 
 void Histogram::reset() { *this = Histogram(); }
 
+void Histogram::mergeFrom(const Histogram &Other) {
+  if (!Other.Count)
+    return;
+  for (size_t B = 0; B < NumBuckets; ++B)
+    Buckets[B] += Other.Buckets[B];
+  Count += Other.Count;
+  Sum += Other.Sum;
+  if (Other.Min < Min)
+    Min = Other.Min;
+  if (Other.Max > Max)
+    Max = Other.Max;
+}
+
 //===----------------------------------------------------------------------===//
 // MetricsRegistry
 //===----------------------------------------------------------------------===//
@@ -106,11 +119,66 @@ void MetricsRegistry::resetTableSnapshot() {
   }
 }
 
+void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
+  // SymbolIds are private to the run that produced each registry, so the
+  // only stable identity is the captured Name+Arity.
+  std::unordered_map<std::string, uint64_t> ByName;
+  ByName.reserve(Preds.size());
+  for (uint64_t Key : Order)
+    ByName.emplace(Preds.at(Key).qualifiedName(), Key);
+
+  for (uint64_t OtherKey : Other.Order) {
+    const PredMetrics &From = Other.Preds.at(OtherKey);
+    uint64_t Key;
+    auto It = ByName.find(From.qualifiedName());
+    if (It != ByName.end()) {
+      Key = It->second;
+    } else {
+      while (Preds.count(NextSyntheticKey))
+        --NextSyntheticKey;
+      Key = NextSyntheticKey--;
+      PredMetrics &PM = Preds[Key];
+      PM.Name = From.Name;
+      PM.Arity = From.Arity;
+      Order.push_back(Key);
+      ByName.emplace(PM.qualifiedName(), Key);
+    }
+    PredMetrics &To = Preds.at(Key);
+    To.Calls += From.Calls;
+    To.NewSubgoals += From.NewSubgoals;
+    To.NewAnswers += From.NewAnswers;
+    To.DupAnswers += From.DupAnswers;
+    To.Resolutions += From.Resolutions;
+    To.Completions += From.Completions;
+    To.TableSubgoals += From.TableSubgoals;
+    To.TableAnswers += From.TableAnswers;
+    To.TableBytes += From.TableBytes;
+    To.AnswersPerSubgoal.mergeFrom(From.AnswersPerSubgoal);
+  }
+
+  for (const auto &[Name, Seconds] : Other.Phases)
+    addPhase(Name, Seconds);
+  // Named globals accumulate on merge (they are per-run totals; the merged
+  // registry reports fleet-wide totals), unlike setCounter's overwrite.
+  for (const auto &[Name, Value] : Other.Counters) {
+    bool Found = false;
+    for (auto &[N, V] : Counters)
+      if (N == Name) {
+        V += Value;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      Counters.emplace_back(Name, Value);
+  }
+}
+
 void MetricsRegistry::clear() {
   Preds.clear();
   Order.clear();
   Phases.clear();
   Counters.clear();
+  NextSyntheticKey = ~uint64_t(0);
 }
 
 void MetricsRegistry::writeJson(JsonWriter &W) const {

@@ -54,6 +54,11 @@ public:
   const uint64_t *buckets() const { return Buckets; }
   void reset();
 
+  /// Folds \p Other into this histogram (bucket-wise sum; Min/Max widen).
+  /// Exact for everything the registry reports except quantiles, which stay
+  /// bucket-resolution approximations.
+  void mergeFrom(const Histogram &Other);
+
 private:
   uint64_t Buckets[NumBuckets] = {};
   uint64_t Count = 0;
@@ -124,6 +129,15 @@ public:
   /// old figures.
   void resetTableSnapshot();
 
+  /// Folds \p Other into this registry. Sharded parallel runs give each
+  /// worker a private registry (each fed by a private SymbolTable), so
+  /// predicates are matched by Name+Arity — SymbolIds are NOT comparable
+  /// across registries and the internal keys of \p Other are ignored.
+  /// Predicates unknown here are appended in \p Other's order under fresh
+  /// synthetic keys. All counters (live, snapshot, named globals) and
+  /// phase timings accumulate; histograms merge bucket-wise.
+  void mergeFrom(const MetricsRegistry &Other);
+
   /// Drops everything.
   void clear();
 
@@ -142,6 +156,10 @@ private:
   std::vector<uint64_t> Order; ///< First-touch order of Preds keys.
   std::vector<std::pair<std::string, double>> Phases;
   std::vector<std::pair<std::string, uint64_t>> Counters;
+  /// Next synthetic key handed to a merged-in predicate whose SymbolId is
+  /// foreign (see mergeFrom). Counts down from the top of the key space,
+  /// far above any (SymbolId << 32 | Arity) a real symbol table produces.
+  uint64_t NextSyntheticKey = ~uint64_t(0);
 };
 
 } // namespace lpa

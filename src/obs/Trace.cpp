@@ -63,13 +63,9 @@ void PrintSink::event(const TraceEvent &E) {
   std::fprintf(Out, "\n");
 }
 
-std::string lpa::formatChromeTrace(const std::vector<TraceEvent> &Events,
-                                   const SymbolTable &Symbols) {
-  std::string Out;
-  JsonWriter W(Out);
-  W.beginObject();
-  W.key("traceEvents");
-  W.beginArray();
+static void writeChromeEvents(JsonWriter &W,
+                              const std::vector<TraceEvent> &Events,
+                              const SymbolTable *Symbols, uint64_t Tid) {
   for (const TraceEvent &E : Events) {
     W.beginObject();
     std::string Name;
@@ -78,9 +74,16 @@ std::string lpa::formatChromeTrace(const std::vector<TraceEvent> &Events,
       Name = E.Label ? E.Label : "span";
     } else {
       Name = traceEventKindName(E.Kind);
-      if (E.Sym < Symbols.size()) {
+      if (Symbols && E.Sym < Symbols->size()) {
         Name += ' ';
-        Name += Symbols.name(E.Sym);
+        Name += Symbols->name(E.Sym);
+        Name += '/';
+        Name += std::to_string(E.Arity);
+      } else if (!Symbols) {
+        // The producing run's SymbolTable is gone; keep the raw id so
+        // lanes stay distinguishable in the viewer.
+        Name += " #";
+        Name += std::to_string(E.Sym);
         Name += '/';
         Name += std::to_string(E.Arity);
       }
@@ -96,7 +99,7 @@ std::string lpa::formatChromeTrace(const std::vector<TraceEvent> &Events,
       W.member("s", "t"); // Instant scope: thread.
     W.member("ts", static_cast<double>(E.TimeNs) / 1e3);
     W.member("pid", uint64_t(1));
-    W.member("tid", uint64_t(1));
+    W.member("tid", Tid);
     if (E.Value) {
       W.key("args");
       W.beginObject();
@@ -105,6 +108,32 @@ std::string lpa::formatChromeTrace(const std::vector<TraceEvent> &Events,
     }
     W.endObject();
   }
+}
+
+std::string lpa::formatChromeTrace(const std::vector<TraceEvent> &Events,
+                                   const SymbolTable &Symbols) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  writeChromeEvents(W, Events, &Symbols, /*Tid=*/1);
+  W.endArray();
+  W.member("displayTimeUnit", "ms");
+  W.endObject();
+  return Out;
+}
+
+std::string
+lpa::formatChromeTraceThreads(const std::vector<ThreadTrace> &Threads,
+                              const SymbolTable *Symbols) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (const ThreadTrace &T : Threads)
+    writeChromeEvents(W, T.Events, Symbols, T.Tid);
   W.endArray();
   W.member("displayTimeUnit", "ms");
   W.endObject();

@@ -177,6 +177,20 @@ private:
 std::string formatChromeTrace(const std::vector<TraceEvent> &Events,
                               const SymbolTable &Symbols);
 
+/// One worker's buffered events for the stitched multi-thread export.
+struct ThreadTrace {
+  uint64_t Tid = 1;
+  std::vector<TraceEvent> Events;
+};
+
+/// Stitches per-worker trace buffers into one Chrome trace, each buffer on
+/// its own tid lane. \p Symbols may be null: parallel corpus runs give each
+/// job a private SymbolTable that dies with the job, so predicate SymbolIds
+/// are unresolvable after the fact and events fall back to "kind #sym/arity"
+/// names (span labels, which are static strings, render normally).
+std::string formatChromeTraceThreads(const std::vector<ThreadTrace> &Threads,
+                                     const SymbolTable *Symbols);
+
 } // namespace lpa
 
 #endif // LPA_OBS_TRACE_H

@@ -1,0 +1,139 @@
+//===- ThreadPool.cpp - Work-stealing thread pool -----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "par/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace lpa;
+
+namespace {
+thread_local size_t CurrentWorker = SIZE_MAX;
+} // namespace
+
+size_t ThreadPool::hardwareWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+size_t ThreadPool::currentWorkerId() { return CurrentWorker; }
+
+ThreadPool::ThreadPool(size_t NumWorkers) {
+  Workers.reserve(NumWorkers);
+  for (size_t I = 0; I < NumWorkers; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(NumWorkers);
+  for (size_t I = 0; I < NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> L(SleepMu);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(Task T) {
+  if (Workers.empty()) {
+    // Serial mode: run inline. No Pending accounting needed — the task is
+    // done before submit returns.
+    T();
+    return;
+  }
+  Pending.fetch_add(1, std::memory_order_relaxed);
+  size_t W = NextSubmit.fetch_add(1, std::memory_order_relaxed) %
+             Workers.size();
+  {
+    std::lock_guard<std::mutex> L(Workers[W]->Mu);
+    Workers[W]->Deque.push_back(std::move(T));
+  }
+  // Lock/unlock pairs the push with sleepers' predicate evaluation so the
+  // notify cannot be lost between their queue scan and the wait.
+  { std::lock_guard<std::mutex> L(SleepMu); }
+  WorkCv.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> L(SleepMu);
+  IdleCv.wait(L, [this] {
+    return Pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::popOwn(size_t Id, Task &Out) {
+  Worker &W = *Workers[Id];
+  std::lock_guard<std::mutex> L(W.Mu);
+  if (W.Deque.empty())
+    return false;
+  Out = std::move(W.Deque.back());
+  W.Deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::stealOther(size_t Id, Task &Out) {
+  for (size_t Off = 1; Off < Workers.size(); ++Off) {
+    Worker &W = *Workers[(Id + Off) % Workers.size()];
+    std::lock_guard<std::mutex> L(W.Mu);
+    if (W.Deque.empty())
+      continue;
+    Out = std::move(W.Deque.front());
+    W.Deque.pop_front();
+    Steals.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::anyQueued() {
+  for (const auto &W : Workers) {
+    std::lock_guard<std::mutex> L(W->Mu);
+    if (!W->Deque.empty())
+      return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(size_t Id) {
+  CurrentWorker = Id;
+  for (;;) {
+    Task T;
+    if (popOwn(Id, T) || stealOther(Id, T)) {
+      T();
+      if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        { std::lock_guard<std::mutex> L(SleepMu); }
+        IdleCv.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> L(SleepMu);
+    if (Stop)
+      return;
+    WorkCv.wait(L, [this] { return Stop || anyQueued(); });
+    if (Stop)
+      return;
+  }
+}
+
+void lpa::parallelFor(size_t Jobs, size_t N,
+                      const std::function<void(size_t)> &Body) {
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  ThreadPool Pool(std::min(Jobs, N));
+  for (size_t I = 0; I < N; ++I)
+    Pool.submit([&Body, I] { Body(I); });
+  Pool.wait();
+}

@@ -1,0 +1,100 @@
+//===- ThreadPool.h - Work-stealing thread pool -----------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for fanning independent analysis runs
+/// across cores. Each worker owns a deque: submissions are distributed
+/// round-robin, a worker pops its own deque from the back (LIFO, cache
+/// warm), and an idle worker steals from another's front (FIFO, oldest
+/// work first — the classic Chase-Lev discipline, here with per-deque
+/// locks since tasks are whole analysis runs, not microtasks).
+///
+/// With zero workers the pool degenerates to inline execution on the
+/// submitting thread, which is the deterministic serial mode the bench
+/// drivers compare against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_PAR_THREADPOOL_H
+#define LPA_PAR_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lpa {
+
+class ThreadPool {
+public:
+  using Task = std::function<void()>;
+
+  /// Spawns \p NumWorkers threads; 0 means no threads and inline submit.
+  explicit ThreadPool(size_t NumWorkers);
+
+  /// Drains remaining work (wait()) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency may
+  /// report 0 on exotic platforms).
+  static size_t hardwareWorkers();
+
+  /// Worker index of the calling thread: 0..workerCount()-1 on a pool
+  /// thread, SIZE_MAX elsewhere. Lets callers address per-worker shards
+  /// without a lock.
+  static size_t currentWorkerId();
+
+  /// Enqueues \p T. With zero workers, runs it inline before returning.
+  void submit(Task T);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait();
+
+  size_t workerCount() const { return Workers.size(); }
+
+  /// Tasks obtained by stealing from another worker's deque (diagnostic).
+  uint64_t stealCount() const { return Steals.load(std::memory_order_relaxed); }
+
+private:
+  struct Worker {
+    std::deque<Task> Deque;
+    std::mutex Mu;
+  };
+
+  void workerLoop(size_t Id);
+  bool popOwn(size_t Id, Task &Out);
+  bool stealOther(size_t Id, Task &Out);
+  bool anyQueued();
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::atomic<size_t> NextSubmit{0};
+  std::atomic<uint64_t> Pending{0}; ///< Submitted but not yet finished.
+  std::atomic<uint64_t> Steals{0};
+  std::mutex SleepMu; ///< Guards the condvars' wait predicates.
+  std::condition_variable WorkCv; ///< Signaled on submit and stop.
+  std::condition_variable IdleCv; ///< Signaled when Pending reaches zero.
+  bool Stop = false;              ///< Guarded by SleepMu.
+};
+
+/// Runs Body(0..N-1) across \p Jobs workers (inline when Jobs <= 1 or
+/// N <= 1). Results keyed by index stay in deterministic serial order no
+/// matter how workers interleave; Body must only touch index-private state.
+void parallelFor(size_t Jobs, size_t N,
+                 const std::function<void(size_t)> &Body);
+
+} // namespace lpa
+
+#endif // LPA_PAR_THREADPOOL_H

@@ -83,7 +83,7 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
   //--- Analysis: evaluate the open call of every predicate. --------------
   Phase.restart();
   ScopedSpan EvalSpan(Opts.Trace, Opts.Metrics, "evaluate");
-  Solver Engine(AbsDB);
+  Solver Engine(AbsDB, Opts.Engine);
   Engine.setObservability(Opts.Trace, Opts.Metrics);
   if (Opts.AggregateModes) {
     // Section 6.2: one joined answer per subgoal. The join is the
@@ -136,6 +136,19 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
   }
   Result.AnalysisSeconds = Phase.elapsedSeconds();
   EvalSpan.finish();
+
+  // Soundness gate: depth-limit truncation poisons tables (see
+  // Subgoal::Incomplete); a truncated table is not the minimal model and
+  // must not be reported as one.
+  if (Engine.stats().IncompleteTables) {
+    if (!Opts.AllowIncomplete)
+      return Diagnostic(
+          "groundness analysis incomplete: depth limit truncated " +
+          std::to_string(Engine.stats().IncompleteTables) +
+          " table(s); raise Options::Engine.MaxDepth or set "
+          "AllowIncomplete to accept a lower bound");
+    Result.Incomplete = true;
+  }
 
   //--- Collection: fold tables into groundness results. ------------------
   Phase.restart();

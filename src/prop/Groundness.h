@@ -52,6 +52,11 @@ struct GroundnessResult {
   /// Engine counters for the analysis run.
   EvalStats Stats;
 
+  /// True when the depth limit truncated tabled evaluation and the caller
+  /// opted into Options::AllowIncomplete: SuccessSet/CallPatterns are then
+  /// possibly-strict subsets of the minimal model, not exact results.
+  bool Incomplete = false;
+
   /// Convenience lookup by predicate name/arity; nullptr when absent.
   const PredGroundness *find(const std::string &Name, uint32_t Arity) const;
 };
@@ -67,6 +72,16 @@ public:
     /// tables shrink to constant size per call pattern. SuccessSet then
     /// holds the expansion of the single summary tuple.
     bool AggregateModes = false;
+
+    /// Engine tunables forwarded to the tabled evaluation (depth limit,
+    /// table representation, supplementary tabling).
+    Solver::Options Engine;
+
+    /// Accept depth-limit-truncated tables: instead of failing, analyze()
+    /// succeeds with Result.Incomplete set (explicit warning mode). Off by
+    /// default — silently reporting a truncated answer set as the minimal
+    /// model is the soundness bug this flag guards.
+    bool AllowIncomplete = false;
 
     /// Observability (both optional, caller-owned): the tracer receives
     /// SLG events plus transform/evaluate/collect phase spans; the

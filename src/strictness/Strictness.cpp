@@ -122,7 +122,7 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
   //--- Analysis: sp_f(e, ...) and sp_f(d, ...) per function. -------------
   Phase.restart();
   ScopedSpan EvalSpan(Trace, Metrics, "evaluate");
-  Solver Engine(DB);
+  Solver Engine(DB, Opts.Engine);
   Engine.setObservability(Trace, Metrics);
   TermRef EAtom = Engine.store().mkAtom(Symbols.intern("e"));
   TermRef DAtom = Engine.store().mkAtom(Symbols.intern("d"));
@@ -145,6 +145,19 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
   }
   Result.AnalysisSeconds = Phase.elapsedSeconds();
   EvalSpan.finish();
+
+  // Soundness gate: a depth-limit-truncated answer table would make the
+  // meet below an unsound over-claim of strictness (missing solutions can
+  // only weaken demands). See Subgoal::Incomplete.
+  if (Engine.stats().IncompleteTables) {
+    if (!Opts.AllowIncomplete)
+      return Diagnostic(
+          "strictness analysis incomplete: depth limit truncated " +
+          std::to_string(Engine.stats().IncompleteTables) +
+          " table(s); raise Options::Engine.MaxDepth or set "
+          "AllowIncomplete to accept the truncated result");
+    Result.Incomplete = true;
+  }
 
   //--- Collection. --------------------------------------------------------
   Phase.restart();

@@ -75,13 +75,30 @@ struct StrictnessResult {
   size_t TableSpaceBytes = 0;
   EvalStats Stats;
 
+  /// True when the depth limit truncated tabled evaluation and the caller
+  /// opted into Options::AllowIncomplete: the reported demands are then a
+  /// lower bound, not the exact meet over all solutions.
+  bool Incomplete = false;
+
   const FuncStrictness *find(const std::string &Name) const;
 };
 
 /// Runs the demand-propagation strictness analysis end to end.
 class StrictnessAnalyzer {
 public:
+  struct Options {
+    /// Engine tunables forwarded to the tabled evaluation (depth limit,
+    /// table representation, supplementary tabling).
+    Solver::Options Engine;
+
+    /// Accept depth-limit-truncated tables: analyze() succeeds with
+    /// Result.Incomplete set instead of failing. Off by default — a
+    /// truncated answer table can under-report strictness.
+    bool AllowIncomplete = false;
+  };
+
   StrictnessAnalyzer() = default;
+  explicit StrictnessAnalyzer(Options Opts) : Opts(Opts) {}
 
   /// Attaches optional caller-owned observability sinks: the tracer sees
   /// SLG events plus transform/evaluate/collect phase spans; the registry
@@ -102,6 +119,7 @@ public:
   ErrorOr<double> measureCompileSeconds(std::string_view Source);
 
 private:
+  Options Opts;
   Tracer *Trace = nullptr;
   MetricsRegistry *Metrics = nullptr;
 };

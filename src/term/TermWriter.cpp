@@ -33,6 +33,13 @@ bool isPlainAtom(const std::string &Name) {
   return true;
 }
 
+/// Output budget for one write: recursion depth and tail-loop iterations
+/// both count against it, so cyclic terms built without the occur check
+/// terminate with an explicit "..." marker instead of hanging or
+/// overflowing the stack. Output is always bracket-balanced: every
+/// truncation path closes what it opened.
+constexpr int MaxWriteDepth = 10000;
+
 } // namespace
 
 std::string TermWriter::varName(TermRef Var) {
@@ -67,7 +74,7 @@ void TermWriter::write(TermRef T, std::string &Out) { writeRec(T, Out, 0); }
 
 void TermWriter::writeRec(TermRef T, std::string &Out, int Depth) {
   // Guard against pathological cyclic terms built without occur-check.
-  if (Depth > 10000) {
+  if (Depth > MaxWriteDepth) {
     Out += "...";
     return;
   }
@@ -89,39 +96,53 @@ void TermWriter::writeRec(TermRef T, std::string &Out, int Depth) {
   SymbolId Sym = Store.symbol(T);
   uint32_t Arity = Store.arity(T);
 
-  // List notation. The tail loop keeps long lists from recursing deeply.
+  // List notation. The tail loop keeps long lists from recursing deeply;
+  // each iteration still charges the depth budget so a cyclic tail
+  // (X = [a|X]) truncates with "|..." instead of looping forever.
   if (Sym == Symbols.Cons && Arity == 2) {
     Out += '[';
     writeRec(Store.arg(T, 0), Out, Depth + 1);
     TermRef Tail = Store.deref(Store.arg(T, 1));
+    int TailDepth = Depth;
     while (Store.tag(Tail) == TermTag::Struct &&
            Store.symbol(Tail) == Symbols.Cons && Store.arity(Tail) == 2) {
+      if (++TailDepth > MaxWriteDepth) {
+        Out += "|...";
+        Out += ']';
+        return;
+      }
       Out += ',';
-      writeRec(Store.arg(Tail, 0), Out, Depth + 1);
+      writeRec(Store.arg(Tail, 0), Out, TailDepth + 1);
       Tail = Store.deref(Store.arg(Tail, 1));
     }
     if (!(Store.tag(Tail) == TermTag::Atom &&
           Store.symbol(Tail) == Symbols.Nil)) {
       Out += '|';
-      writeRec(Tail, Out, Depth + 1);
+      writeRec(Tail, Out, TailDepth + 1);
     }
     Out += ']';
     return;
   }
 
-  // Conjunctions print as (A,B); clauses as Head :- Body.
+  // Conjunctions print as (A,B); clauses as Head :- Body. Same budgeted
+  // tail loop as lists: a cyclic conjunction truncates balanced.
   if (Sym == Symbols.Comma && Arity == 2) {
     Out += '(';
     writeRec(Store.arg(T, 0), Out, Depth + 1);
     TermRef Rest = Store.deref(Store.arg(T, 1));
+    int RestDepth = Depth;
     while (Store.tag(Rest) == TermTag::Struct &&
            Store.symbol(Rest) == Symbols.Comma && Store.arity(Rest) == 2) {
+      if (++RestDepth > MaxWriteDepth) {
+        Out += ", ...)";
+        return;
+      }
       Out += ", ";
-      writeRec(Store.arg(Rest, 0), Out, Depth + 1);
+      writeRec(Store.arg(Rest, 0), Out, RestDepth + 1);
       Rest = Store.deref(Store.arg(Rest, 1));
     }
     Out += ", ";
-    writeRec(Rest, Out, Depth + 1);
+    writeRec(Rest, Out, RestDepth + 1);
     Out += ')';
     return;
   }

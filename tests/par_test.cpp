@@ -1,0 +1,271 @@
+//===- par_test.cpp - Parallel corpus analysis tests ------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// The fleet invariant: every analysis run owns its SymbolTable, TermStore
+// and Solver, so fanning the corpus across worker threads (XSB-style
+// private tables) must change nothing about any individual result. These
+// tests pin that down — pool mechanics, serial-vs-parallel bit-identity,
+// and the sharded observability merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "par/CorpusScheduler.h"
+#include "par/ThreadPool.h"
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+using namespace lpa;
+
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.workerCount(), 0u);
+  int Order = 0;
+  int First = -1, Second = -1;
+  Pool.submit([&] { First = Order++; });
+  Pool.submit([&] { Second = Order++; });
+  // Inline mode executes during submit, in submission order.
+  EXPECT_EQ(First, 0);
+  EXPECT_EQ(Second, 1);
+  Pool.wait(); // No-op, but must not deadlock.
+  EXPECT_EQ(Pool.stealCount(), 0u);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int Batch = 0; Batch < 3; ++Batch) {
+    for (int I = 0; I < 20; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), (Batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerThread) {
+  // A task may enqueue follow-up work; wait() must cover it.
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 8; ++I)
+    Pool.submit([&] {
+      Count.fetch_add(1);
+      Pool.submit([&Count] { Count.fetch_add(1); });
+    });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 16);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIdIsScopedToWorkers) {
+  EXPECT_EQ(ThreadPool::currentWorkerId(), SIZE_MAX);
+  ThreadPool Pool(3);
+  std::mutex Mu;
+  std::set<size_t> Seen;
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&] {
+      size_t W = ThreadPool::currentWorkerId();
+      std::lock_guard<std::mutex> L(Mu);
+      Seen.insert(W);
+    });
+  Pool.wait();
+  EXPECT_FALSE(Seen.count(SIZE_MAX));
+  for (size_t W : Seen)
+    EXPECT_LT(W, 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  std::vector<std::atomic<int>> Hits(100);
+  parallelFor(4, Hits.size(), [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+  // Serial fallback covers the same range.
+  parallelFor(1, Hits.size(), [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 2) << "index " << I;
+}
+
+TEST(CorpusSchedulerTest, FullMatrixCoversCorpus) {
+  auto Jobs = CorpusScheduler::fullMatrix();
+  // 12 logic benchmarks x {Groundness, DepthK, WamLite} + 10 FL programs.
+  EXPECT_EQ(Jobs.size(), 46u);
+  size_t Strict = 0;
+  for (const CorpusJob &J : Jobs)
+    Strict += J.Kind == CorpusJobKind::Strictness;
+  EXPECT_EQ(Strict, 10u);
+}
+
+// The central fleet invariant: parallel results are bit-identical to the
+// serial run, job by job. WamLite is the cheapest kind, so the full dozen
+// programs stay fast enough for a unit test; groundness is sampled too
+// since it exercises the tabled engine end to end.
+TEST(CorpusSchedulerTest, ParallelMatchesSerialWamLite) {
+  auto Jobs = CorpusScheduler::kindJobs(CorpusJobKind::WamLite);
+  CorpusScheduler::Options SO;
+  SO.Jobs = 1;
+  CorpusScheduler Serial(SO);
+  auto SerialRes = Serial.run(Jobs);
+  EXPECT_EQ(Serial.lastStealCount(), 0u);
+
+  CorpusScheduler::Options PO;
+  PO.Jobs = 4;
+  CorpusScheduler Par(PO);
+  auto ParRes = Par.run(Jobs);
+
+  ASSERT_EQ(SerialRes.size(), ParRes.size());
+  for (size_t I = 0; I < SerialRes.size(); ++I) {
+    SCOPED_TRACE(SerialRes[I].Program);
+    EXPECT_TRUE(SerialRes[I].Ok);
+    EXPECT_EQ(SerialRes[I].Ok, ParRes[I].Ok);
+    EXPECT_EQ(SerialRes[I].Fingerprints, ParRes[I].Fingerprints);
+    EXPECT_FALSE(SerialRes[I].Fingerprints.empty());
+  }
+}
+
+TEST(CorpusSchedulerTest, ParallelMatchesSerialGroundness) {
+  auto Jobs = CorpusScheduler::kindJobs(CorpusJobKind::Groundness);
+  CorpusScheduler::Options SO;
+  SO.Jobs = 1;
+  CorpusScheduler Serial(SO);
+  auto SerialRes = Serial.run(Jobs);
+
+  CorpusScheduler::Options PO;
+  PO.Jobs = 4;
+  CorpusScheduler Par(PO);
+  auto ParRes = Par.run(Jobs);
+
+  ASSERT_EQ(SerialRes.size(), ParRes.size());
+  for (size_t I = 0; I < SerialRes.size(); ++I) {
+    SCOPED_TRACE(SerialRes[I].Program);
+    EXPECT_TRUE(SerialRes[I].Ok) << SerialRes[I].Error;
+    EXPECT_EQ(SerialRes[I].Fingerprints, ParRes[I].Fingerprints);
+  }
+}
+
+TEST(CorpusSchedulerTest, RepeatedRunsAreDeterministic) {
+  // Depth-k historically varied run to run (pointer-hashed dependent sets
+  // drove the fixpoint order); the fingerprints must now be stable.
+  auto Jobs = CorpusScheduler::kindJobs(CorpusJobKind::DepthK);
+  Jobs.resize(3); // cs, disj, gabriel — enough to catch order drift.
+  CorpusScheduler::Options O;
+  O.Jobs = 2;
+  CorpusScheduler A(O), B(O);
+  auto RA = A.run(Jobs);
+  auto RB = B.run(Jobs);
+  ASSERT_EQ(RA.size(), RB.size());
+  for (size_t I = 0; I < RA.size(); ++I) {
+    SCOPED_TRACE(RA[I].Program);
+    EXPECT_EQ(RA[I].Fingerprints, RB[I].Fingerprints);
+  }
+}
+
+TEST(CorpusSchedulerTest, ShardedObservabilityMergesAndStitches) {
+  auto Jobs = CorpusScheduler::kindJobs(CorpusJobKind::Groundness);
+  Jobs.resize(4);
+  CorpusScheduler::Options O;
+  O.Jobs = 2;
+  O.CollectObservability = true;
+  CorpusScheduler Sched(O);
+  auto Res = Sched.run(Jobs);
+  for (const CorpusJobResult &R : Res)
+    EXPECT_TRUE(R.Ok) << R.Error;
+
+  // Merged metrics carry per-predicate rows from all shards.
+  const MetricsRegistry &M = Sched.mergedMetrics();
+  std::string Json;
+  JsonWriter W(Json);
+  M.writeJson(W);
+  EXPECT_NE(Json.find("predicates"), std::string::npos);
+
+  // The stitched Chrome trace has one tid lane per worker and uses the
+  // static program names as span labels.
+  std::string Trace = Sched.chromeTrace();
+  EXPECT_NE(Trace.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(Trace.find("\"tid\":2"), std::string::npos);
+  size_t Named = 0;
+  for (const CorpusJobResult &R : Res)
+    Named += Trace.find(R.Program) != std::string::npos;
+  EXPECT_EQ(Named, Res.size());
+}
+
+TEST(MetricsMergeTest, CountersAndPredicatesAccumulate) {
+  SymbolTable SymsA, SymsB;
+  MetricsRegistry A, B;
+  // Same predicate name in two registries with DIFFERENT SymbolIds: the
+  // merge must match by name+arity, never by id.
+  (void)SymsA.intern("only_in_a");
+  SymbolId PA = SymsA.intern("p");
+  SymbolId PB = SymsB.intern("p");
+  A.pred(SymsA, PA, 2).NewSubgoals = 3;
+  B.pred(SymsB, PB, 2).NewSubgoals = 4;
+  B.pred(SymsB, SymsB.intern("q"), 1).NewAnswers = 7;
+  A.setCounter("work", 10);
+  B.setCounter("work", 5);
+  B.addPhase("eval", 1.5);
+
+  A.mergeFrom(B);
+  EXPECT_EQ(A.pred(SymsA, PA, 2).NewSubgoals, 7u);
+  // q/1 arrived under a synthetic key; its row survives with its name.
+  std::string Json;
+  JsonWriter W(Json);
+  A.writeJson(W);
+  EXPECT_NE(Json.find("\"q\""), std::string::npos);
+  EXPECT_NE(Json.find("\"new_answers\":7"), std::string::npos);
+  // Counters accumulate across shards (fleet-wide totals).
+  EXPECT_NE(Json.find("\"work\":15"), std::string::npos);
+  EXPECT_NE(Json.find("\"eval\""), std::string::npos);
+}
+
+TEST(MetricsMergeTest, MergeIntoEmptyEqualsCopy) {
+  SymbolTable Syms;
+  MetricsRegistry A, B;
+  B.pred(Syms, Syms.intern("r"), 3).TableBytes = 128;
+  B.setCounter("incomplete_tables", 2);
+  A.mergeFrom(B);
+  std::string JA, JB;
+  JsonWriter WA(JA), WB(JB);
+  A.writeJson(WA);
+  B.writeJson(WB);
+  EXPECT_NE(JA.find("\"r\""), std::string::npos);
+  EXPECT_NE(JA.find("\"incomplete_tables\":2"), std::string::npos);
+  EXPECT_NE(JA.find("\"table_bytes\":128"), std::string::npos);
+}
+
+TEST(TraceStitchTest, ThreadsGetDistinctTidLanes) {
+  Tracer T1, T2;
+  RecordingSink S1, S2;
+  T1.setSink(&S1);
+  T2.setSink(&S2);
+  T1.beginSpan("alpha");
+  T1.endSpan("alpha");
+  T2.beginSpan("beta");
+  T2.endSpan("beta");
+  std::vector<ThreadTrace> Threads;
+  Threads.push_back({1, S1.events()});
+  Threads.push_back({2, S2.events()});
+  std::string Json = formatChromeTraceThreads(Threads, /*Symbols=*/nullptr);
+  EXPECT_NE(Json.find("alpha"), std::string::npos);
+  EXPECT_NE(Json.find("beta"), std::string::npos);
+  EXPECT_NE(Json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"tid\":2"), std::string::npos);
+}
+
+} // namespace

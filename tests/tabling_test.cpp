@@ -255,6 +255,84 @@ TEST_F(TablingTest, CompletionReleasesScaffoldingState) {
   }
 }
 
+TEST_F(TablingTest, NestedTabledCallsOnLegacyStringPath) {
+  // The legacy string-keyed table path renders call and answer keys through
+  // the solver's shared KeyScratch buffer. Nested producer runs (a tabled
+  // call made while another tabled predicate's clause body is mid-flight)
+  // interleave uses of that buffer; each use must be atomic — render, use,
+  // done — or an inner call would clobber the outer call's key. This pins
+  // the audited invariant with three levels of tabled nesting plus
+  // interleaved variant lookups.
+  consult(R"(
+    :- table outer/2.
+    :- table mid/2.
+    :- table inner/2.
+    outer(X, Y) :- mid(X, Z), mid(Z, Y).
+    mid(X, Y) :- inner(X, Y).
+    mid(X, Y) :- inner(X, Z), mid(Z, Y).
+    inner(a, b). inner(b, c). inner(c, d).
+  )");
+  Solver::Options Opts;
+  Opts.UseTrieTables = false;
+  Solver Legacy(DB, Opts);
+  auto Goal = Parser::parseTerm(Syms, Legacy.store(), "outer(a, Y)");
+  ASSERT_TRUE(Goal.hasValue());
+  std::set<std::string> Sols;
+  Legacy.solve(*Goal, [&]() {
+    Sols.insert(TermWriter::toString(Syms, Legacy.storeConst(), *Goal));
+    return false;
+  });
+  // outer(a,Y): mid(a,Z) in {b,c,d}, then mid(Z,Y) — reachable in >= 2 steps.
+  std::set<std::string> Expected{"outer(a,c)", "outer(a,d)"};
+  EXPECT_EQ(Sols, Expected);
+  // Every nested table completed and deduplicated correctly: repeat query
+  // is answered from the tables alone with the same solutions.
+  auto Again = Parser::parseTerm(Syms, Legacy.store(), "outer(a, W)");
+  ASSERT_TRUE(Again.hasValue());
+  EXPECT_EQ(Legacy.solve(*Again, nullptr), Sols.size());
+}
+
+TEST_F(TablingTest, ResetStatsLeavesTableAccountingIntact) {
+  // resetStats() zeroes the run counters — including FrontierBytesFreed,
+  // which feeds the "frontier_bytes_freed" metric — but tableSpaceBytes()
+  // is derived from the live tables and must not move. Regression for the
+  // interaction after SCC completion, both table representations.
+  consult(R"(
+    :- table path/2.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+  )");
+  for (bool UseTrieTables : {true, false}) {
+    SCOPED_TRACE(UseTrieTables ? "trie" : "string");
+    Solver::Options Opts;
+    Opts.UseTrieTables = UseTrieTables;
+    Solver Local(DB, Opts);
+    auto Goal = Parser::parseTerm(Syms, Local.store(), "path(X, Y)");
+    ASSERT_TRUE(Goal.hasValue());
+    size_t N = Local.solve(*Goal, nullptr);
+    EXPECT_EQ(N, 10u);
+    size_t Bytes = Local.tableSpaceBytes();
+    EXPECT_GT(Bytes, 0u);
+    EXPECT_GT(Local.stats().FrontierBytesFreed, 0u);
+
+    Local.resetStats();
+    EXPECT_EQ(Local.stats().FrontierBytesFreed, 0u);
+    EXPECT_EQ(Local.stats().IncompleteTables, 0u);
+    EXPECT_EQ(Local.tableSpaceBytes(), Bytes);
+
+    // A repeat query answers from the completed tables: no new subgoals,
+    // no new scaffolding to free, accounting unchanged.
+    EXPECT_EQ(Local.solve(*Goal, nullptr), N);
+    EXPECT_EQ(Local.stats().FrontierBytesFreed, 0u);
+    EXPECT_EQ(Local.stats().SubgoalsCreated, 0u);
+    EXPECT_EQ(Local.tableSpaceBytes(), Bytes);
+
+    Local.clearTables();
+    EXPECT_LT(Local.tableSpaceBytes(), Bytes);
+  }
+}
+
 TEST_F(TablingTest, FindSubgoalByVariant) {
   consult(":- table p/1. p(a). p(b).");
   query("p(X)");

@@ -9,6 +9,9 @@
 #include "term/TermCopy.h"
 #include "term/TermStore.h"
 #include "term/TermWriter.h"
+#include "term/Unify.h"
+
+#include <algorithm>
 
 #include <gtest/gtest.h>
 
@@ -133,6 +136,60 @@ TEST(TermWriter, NegativeIntegers) {
   SymbolTable Syms;
   TermStore S;
   EXPECT_EQ(TermWriter::toString(Syms, S, S.mkInt(-42)), "-42");
+}
+
+// Standard Prolog unification omits the occur check, so X = f(X) builds a
+// genuinely cyclic term. The writer must terminate on it with an explicit
+// "..." marker and never emit unbalanced brackets.
+bool bracketsBalanced(const std::string &S) {
+  return std::count(S.begin(), S.end(), '(') ==
+             std::count(S.begin(), S.end(), ')') &&
+         std::count(S.begin(), S.end(), '[') ==
+             std::count(S.begin(), S.end(), ']');
+}
+
+TEST(TermWriter, CyclicStructTerminatesWithEllipsis) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef X = S.mkVar();
+  TermRef Args[1] = {X};
+  TermRef F = S.mkStruct(Syms.intern("f"), Args);
+  ASSERT_TRUE(unify(S, X, F, /*OccursCheck=*/false));
+  std::string Out = TermWriter::toString(Syms, S, X);
+  EXPECT_NE(Out.find("..."), std::string::npos) << Out;
+  EXPECT_TRUE(bracketsBalanced(Out)) << Out;
+  EXPECT_EQ(Out.substr(0, 2), "f(");
+}
+
+TEST(TermWriter, CyclicListTailTerminatesBalanced) {
+  SymbolTable Syms;
+  TermStore S;
+  // X = [a|X]: the list-tail fast path must hit the same guard as the
+  // recursive writer, closing the bracket it opened.
+  TermRef X = S.mkVar();
+  TermRef L = S.mkStruct2(Syms.Cons, S.mkAtom(Syms.intern("a")), X);
+  ASSERT_TRUE(unify(S, X, L, /*OccursCheck=*/false));
+  std::string Out = TermWriter::toString(Syms, S, X);
+  EXPECT_NE(Out.find("..."), std::string::npos) << Out;
+  EXPECT_TRUE(bracketsBalanced(Out)) << Out;
+  EXPECT_EQ(Out.front(), '[');
+  EXPECT_EQ(Out.back(), ']');
+}
+
+TEST(TermWriter, CyclicTermInsideArgumentsStaysBalanced) {
+  SymbolTable Syms;
+  TermStore S;
+  TermRef X = S.mkVar();
+  TermRef Args[1] = {X};
+  TermRef F = S.mkStruct(Syms.intern("loop"), Args);
+  ASSERT_TRUE(unify(S, X, F, /*OccursCheck=*/false));
+  // Wrap the cycle in a normal term: pair(loop(loop(...)), ok).
+  TermRef P = S.mkStruct2(Syms.intern("pair"), F, S.mkAtom(Syms.intern("ok")));
+  std::string Out = TermWriter::toString(Syms, S, P);
+  EXPECT_NE(Out.find("..."), std::string::npos) << Out;
+  EXPECT_TRUE(bracketsBalanced(Out)) << Out;
+  // The sibling argument after the truncated cycle still renders.
+  EXPECT_NE(Out.find("ok"), std::string::npos) << Out;
 }
 
 TEST(TermCopy, CopiesResolvedStructure) {
