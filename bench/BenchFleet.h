@@ -52,31 +52,71 @@ inline size_t jobsArg(int Argc, char **Argv) {
   return ThreadPool::hardwareWorkers();
 }
 
+/// True when the bench invocation asked for answer provenance recording in
+/// the fleet phase ("--provenance").
+inline bool provenanceArg(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string_view(Argv[I]) == "--provenance")
+      return true;
+  return false;
+}
+
 /// Runs the \p Kind slice of the corpus serially and with \p Jobs workers,
 /// compares the runs job by job, prints a summary line, and emits a
 /// "<Key>" object into the current JSON object. Returns the number of
 /// programs whose parallel result differed from serial (callers fold this
 /// into their failure count, so CI smoke runs fail on any divergence).
+///
+/// With \p Provenance both arms record answer justifications — the
+/// fingerprints then carry "$provenance ..." lines, so the bit-identity
+/// check extends to justification validity under --jobs N — and a third,
+/// provenance-OFF serial run measures the recording overhead for the
+/// trajectory JSON. A job with dangling premises counts as a mismatch.
 inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
-                         size_t Jobs) {
+                         size_t Jobs, bool Provenance = false) {
   std::vector<CorpusJob> Matrix = CorpusScheduler::kindJobs(Kind);
 
   CorpusScheduler::Options SO;
   SO.Jobs = 1;
+  SO.RecordProvenance = Provenance;
   CorpusScheduler Serial(SO);
   std::vector<CorpusJobResult> SerialRes = Serial.run(Matrix);
   double SerialMs = Serial.lastWallSeconds() * 1e3;
 
   CorpusScheduler::Options PO;
   PO.Jobs = Jobs;
+  PO.RecordProvenance = Provenance;
   CorpusScheduler Par(PO);
   std::vector<CorpusJobResult> ParRes = Par.run(Matrix);
   double ParMs = Par.lastWallSeconds() * 1e3;
 
+  // Overhead baseline: the same serial slice with recording off.
+  double BaseMs = 0;
+  if (Provenance) {
+    CorpusScheduler::Options BO;
+    BO.Jobs = 1;
+    CorpusScheduler Base(BO);
+    Base.run(Matrix);
+    BaseMs = Base.lastWallSeconds() * 1e3;
+  }
+
   int Mismatches = 0;
+  uint64_t Justified = 0, Premises = 0, Dangling = 0;
   for (size_t I = 0; I < Matrix.size(); ++I) {
     const CorpusJobResult &S = SerialRes[I];
     const CorpusJobResult &P = ParRes[I];
+    Justified += S.JustifiedAnswers;
+    Premises += S.JustificationPremises;
+    Dangling += S.DanglingPremises + P.DanglingPremises;
+    if (S.DanglingPremises || P.DanglingPremises) {
+      ++Mismatches;
+      std::fprintf(stderr,
+                   "fleet provenance: %s (%s): %llu dangling premise(s)\n",
+                   S.Program, corpusJobKindName(Kind),
+                   static_cast<unsigned long long>(S.DanglingPremises +
+                                                   P.DanglingPremises));
+      continue;
+    }
     if (S.Ok == P.Ok && S.Error == P.Error && S.Fingerprints == P.Fingerprints)
       continue;
     ++Mismatches;
@@ -93,6 +133,15 @@ inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
               corpusJobKindName(Kind), Matrix.size(), SerialMs, Jobs, ParMs,
               Speedup, Mismatches == 0 ? "matches" : "DIVERGES FROM",
               static_cast<unsigned long long>(Par.lastStealCount()));
+  if (Provenance)
+    std::printf("Fleet provenance: %llu justified answers, %llu premises, "
+                "%llu dangling; recording overhead %.1f%% "
+                "(%.2f ms baseline)\n",
+                static_cast<unsigned long long>(Justified),
+                static_cast<unsigned long long>(Premises),
+                static_cast<unsigned long long>(Dangling),
+                BaseMs > 0 ? (SerialMs / BaseMs - 1.0) * 100.0 : 0.0,
+                BaseMs);
 
   W.key(Key);
   W.beginObject();
@@ -104,6 +153,15 @@ inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
   W.member("speedup", Speedup);
   W.member("parallel_matches_serial", Mismatches == 0);
   W.member("steals", Par.lastStealCount());
+  W.member("provenance", Provenance);
+  if (Provenance) {
+    W.member("serial_wall_ms_no_provenance", BaseMs);
+    W.member("provenance_overhead_pct",
+             BaseMs > 0 ? (SerialMs / BaseMs - 1.0) * 100.0 : 0.0);
+    W.member("provenance_justified", Justified);
+    W.member("provenance_premises", Premises);
+    W.member("provenance_dangling", Dangling);
+  }
   W.endObject();
   return Mismatches;
 }

@@ -269,6 +269,36 @@ void BM_AnswerInsertMicro(benchmark::State &State) {
 }
 BENCHMARK(BM_AnswerInsertMicro)->Arg(0)->Arg(1);
 
+/// A/B ablation of answer provenance (Options::RecordProvenance) on the
+/// same complete-digraph closure as BM_AnswerInsertMicro: every unique
+/// answer additionally records its producing clause and consumed premise
+/// answers. Arg: 1 = recording on, 0 = off (the null-cost path — one
+/// pointer test per hook). The delta is the full recording cost including
+/// premise-stack maintenance around every tabled answer return.
+void BM_RecordAnswerProvenance(benchmark::State &State) {
+  const int N = 12;
+  std::string Prog = ":- table path/2.\n"
+                     "path(X, Y) :- edge(X, Y).\n"
+                     "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J)
+      Prog += "edge(" + std::to_string(I) + ", " + std::to_string(J) +
+              ").\n";
+  SymbolTable Syms;
+  Database DB(Syms);
+  (void)DB.consult(Prog);
+  Solver::Options EO;
+  EO.RecordProvenance = State.range(0) != 0;
+  for (auto _ : State) {
+    Solver Engine(DB, EO);
+    auto G = Parser::parseTerm(Syms, Engine.store(), "path(X, Y)");
+    size_t Sols = Engine.solve(*G, nullptr);
+    benchmark::DoNotOptimize(Sols);
+  }
+  State.SetItemsProcessed(State.iterations() * 4 * N * N);
+}
+BENCHMARK(BM_RecordAnswerProvenance)->Arg(0)->Arg(1);
+
 void BM_TabledFib(benchmark::State &State) {
   const char *Prog = ":- table fib/2.\n"
                      "fib(0, 0). fib(1, 1).\n"

@@ -134,7 +134,8 @@ int main(int argc, char **argv) {
   // through the CorpusScheduler, serial then parallel, with per-predicate
   // bit-identity required between the two runs.
   Failures +=
-      runFleetPhase(W, "fleet", CorpusJobKind::Groundness, jobsArg(argc, argv));
+      runFleetPhase(W, "fleet", CorpusJobKind::Groundness, jobsArg(argc, argv),
+                    provenanceArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());

@@ -121,7 +121,8 @@ int main(int argc, char **argv) {
   // Parallel arm: the 12 programs through WAM-lite compilation on the
   // fleet, parallel output required bit-identical to serial.
   Failures +=
-      runFleetPhase(W, "fleet", CorpusJobKind::WamLite, jobsArg(argc, argv));
+      runFleetPhase(W, "fleet", CorpusJobKind::WamLite, jobsArg(argc, argv),
+                    provenanceArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());

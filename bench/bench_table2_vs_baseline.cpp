@@ -148,11 +148,13 @@ int main(int argc, char **argv) {
   // the main thread between runs, and each fleet's pool is joined before
   // the flip, so workers observe a stable value (happens-before via join).
   size_t Jobs = jobsArg(argc, argv);
-  Failures += runFleetPhase(W, "fleet_trie", CorpusJobKind::Groundness, Jobs);
+  bool Prov = provenanceArg(argc, argv);
+  Failures +=
+      runFleetPhase(W, "fleet_trie", CorpusJobKind::Groundness, Jobs, Prov);
   {
     bool Prev = Solver::setDefaultUseTrieTables(false);
-    Failures +=
-        runFleetPhase(W, "fleet_string", CorpusJobKind::Groundness, Jobs);
+    Failures += runFleetPhase(W, "fleet_string", CorpusJobKind::Groundness,
+                              Jobs, Prov);
     Solver::setDefaultUseTrieTables(Prev);
   }
 

@@ -93,7 +93,7 @@ int main(int argc, char **argv) {
 
   // Parallel arm: the 10 FL benchmarks through strictness on the fleet.
   Failures += runFleetPhase(W, "fleet", CorpusJobKind::Strictness,
-                            jobsArg(argc, argv));
+                            jobsArg(argc, argv), provenanceArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());

@@ -110,7 +110,8 @@ int main(int argc, char **argv) {
 
   // Parallel arm: the 12 programs through depth-k on the fleet.
   Failures +=
-      runFleetPhase(W, "fleet", CorpusJobKind::DepthK, jobsArg(argc, argv));
+      runFleetPhase(W, "fleet", CorpusJobKind::DepthK, jobsArg(argc, argv),
+                    provenanceArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());

@@ -19,6 +19,8 @@
 //   :stats            per-predicate metrics table + engine counters
 //   :trace on|off     print one line per SLG event as goals run
 //   :profile <goal>   run a goal and report the engine work it caused
+//   :why <goal>       solve the goal and print proof trees for its answers
+//   :forest [dot|json] [path]   dump the SLG subgoal dependency forest
 // Legacy: "stats." prints the raw counters, "halt." exits.
 //
 //===----------------------------------------------------------------------===//
@@ -39,7 +41,12 @@ using namespace lpa;
 int main() {
   SymbolTable Symbols;
   Database DB(Symbols);
-  Solver Engine(DB);
+  // Provenance stays on in the toplevel: ":why" needs justifications for
+  // whatever the user already queried, and interactive table sizes make
+  // the recording overhead irrelevant.
+  Solver::Options EngineOpts;
+  EngineOpts.RecordProvenance = true;
+  Solver Engine(DB, EngineOpts);
 
   // Observability: the tracer is always attached (sink-less emit is one
   // null test), the registry accumulates per-predicate counters for
@@ -51,7 +58,8 @@ int main() {
 
   std::printf("lpa toplevel — tabled logic engine "
               "(clauses to assert, '?- G.' to query, ':stats', "
-              "':trace on|off', ':profile G', 'halt.' to quit)\n");
+              "':trace on|off', ':profile G', ':why G', "
+              "':forest [dot|json] [path]', 'halt.' to quit)\n");
 
   std::string Buffer;
   std::string Line;
@@ -127,8 +135,86 @@ int main() {
                       Engine.tableSpaceBytes() - BytesBefore);
           continue;
         }
+        if (Cmd.compare(0, 5, ":why ") == 0) {
+          std::string GoalText = Cmd.substr(5);
+          auto Goal = Parser::parseTerm(Symbols, Engine.store(), GoalText);
+          if (!Goal) {
+            std::printf("  syntax error: %s\n",
+                        Goal.getError().str().c_str());
+            continue;
+          }
+          Engine.solve(*Goal, nullptr);
+          const Subgoal *SG = Engine.findSubgoal(*Goal);
+          if (!SG) {
+            std::printf("  no table for that goal — justifications exist "
+                        "only for tabled predicates (:- table p/n.).\n");
+            continue;
+          }
+          size_t Total = Engine.answerCount(*SG);
+          if (Total == 0) {
+            std::printf("  no answers — nothing to justify.\n");
+            continue;
+          }
+          size_t Show = Total < 4 ? Total : 4;
+          std::printf("  %zu answer%s; proof tree%s for the first %zu:\n",
+                      Total, Total == 1 ? "" : "s", Show == 1 ? "" : "s",
+                      Show);
+          for (size_t I = 0; I < Show; ++I) {
+            auto Proof = Engine.justifyAnswer(*SG, I);
+            if (!Proof) {
+              std::printf("  answer %zu: no justification recorded.\n",
+                          I + 1);
+              continue;
+            }
+            std::printf("%s", Engine.renderProof(*Proof).c_str());
+          }
+          continue;
+        }
+        if (Cmd == ":forest" || Cmd.compare(0, 8, ":forest ") == 0) {
+          // ":forest [dot|json] [path]" — format defaults to dot; with a
+          // path the graph goes to the file, otherwise to the terminal.
+          std::string Fmt = "dot", Path;
+          if (Cmd.size() > 8) {
+            std::string Rest = Cmd.substr(8);
+            size_t A = Rest.find_first_not_of(" \t");
+            if (A != std::string::npos) {
+              size_t B = Rest.find_first_of(" \t", A);
+              std::string First = Rest.substr(A, B - A);
+              if (First == "dot" || First == "json") {
+                Fmt = First;
+                if (B != std::string::npos) {
+                  size_t C = Rest.find_first_not_of(" \t", B);
+                  if (C != std::string::npos)
+                    Path = Rest.substr(C);
+                }
+              } else {
+                Path = Rest.substr(A);
+              }
+            }
+          }
+          ForestGraph G = Engine.exportForest();
+          if (G.Nodes.empty()) {
+            std::printf("  no tabled subgoals yet — run a query first.\n");
+            continue;
+          }
+          std::string Out = Fmt == "json" ? forestToJson(G)
+                                          : forestToDot(G);
+          if (Path.empty()) {
+            std::printf("%s", Out.c_str());
+          } else if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+            std::fwrite(Out.data(), 1, Out.size(), F);
+            std::fclose(F);
+            std::printf("  wrote %zu nodes, %zu edges to %s (%s).\n",
+                        G.Nodes.size(), G.Edges.size(), Path.c_str(),
+                        Fmt.c_str());
+          } else {
+            std::printf("  cannot open %s for writing.\n", Path.c_str());
+          }
+          continue;
+        }
         std::printf("  unknown command: %s "
-                    "(:stats, :trace on|off, :profile <goal>)\n",
+                    "(:stats, :trace on|off, :profile <goal>, :why <goal>, "
+                    ":forest [dot|json] [path])\n",
                     Cmd.c_str());
         continue;
       }

@@ -7,6 +7,7 @@
 
 #include "depthk/DepthK.h"
 
+#include "obs/Provenance.h"
 #include "obs/Span.h"
 #include "reader/Parser.h"
 #include "support/Stopwatch.h"
@@ -17,6 +18,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <unordered_set>
 
 using namespace lpa;
@@ -45,12 +47,16 @@ class AbsInterp {
 public:
   AbsInterp(SymbolTable &Symbols, const Database &DB,
             const DepthKAnalyzer::Options &Opts)
-      : Symbols(Symbols), DB(DB), Domain(Symbols, Opts.Depth), Opts(Opts) {}
+      : Symbols(Symbols), DB(DB), Domain(Symbols, Opts.Depth), Opts(Opts) {
+    if (Opts.RecordProvenance)
+      Prov = std::make_unique<ProvenanceArena>();
+  }
 
   struct Entry {
     PredKey Pred;
     TermRef CallTuple; ///< Abstract call term in the table store.
     std::string Key;
+    uint32_t Ordinal = 0; ///< Index into entries(); provenance subgoal id.
     std::vector<TermRef> Answers;
     std::unordered_set<std::string> AnswerKeys;
     /// Insertion-ordered: wake() walks this, and enqueue order decides the
@@ -85,6 +91,23 @@ public:
   /// Set when MaxProducerRuns stopped the worklist with work remaining.
   bool Incomplete = false;
 
+  const ProvenanceArena *provenance() const { return Prov.get(); }
+
+  /// Validates every recorded premise against the entry tables. Widening
+  /// tolerance: a premise into a folded answer set is valid — the fold
+  /// deliberately replaced those answers, and the folded pattern carries
+  /// the ProvFoldedClause marker instead of their derivations.
+  ProvenanceArena::CheckStats checkProvenance() const {
+    if (!Prov)
+      return {};
+    return Prov->check([&](ProvPremise P) {
+      if (P.SubgoalIdx >= Order.size())
+        return false;
+      const Entry *E = Order[P.SubgoalIdx];
+      return P.AnswerIdx < E->Answers.size() || E->Widened;
+    });
+  }
+
 private:
   static uint64_t keyOf(PredKey P) {
     return (uint64_t(P.Sym) << 32) | P.Arity;
@@ -108,8 +131,11 @@ private:
   /// Re-runs clause resolution for one entry; records new answers.
   void runEntry(Entry &E);
 
-  /// Records one instantiated answer pattern (term in Heap) for \p E.
-  void recordAnswer(Entry &E, TermRef AnsPattern);
+  /// Records one instantiated answer pattern (term in Heap) for \p E,
+  /// justified by clause \p ClauseIdx consuming \p Premises (null when
+  /// provenance is off).
+  void recordAnswer(Entry &E, TermRef AnsPattern, uint32_t ClauseIdx,
+                    const std::vector<ProvPremise> *Premises);
 
   /// Notifies dependents that \p E gained answers.
   void wake(Entry &E) {
@@ -137,6 +163,13 @@ private:
   std::unordered_map<uint64_t, Entry *> OpenEntries;
   std::unordered_map<uint64_t, uint32_t> CallsPerPred;
   std::deque<Entry *> Worklist;
+
+  /// Provenance (allocated only under Options::RecordProvenance). solveGoal
+  /// sets LastPremise to the (entry, answer) it just resolved against — or
+  /// clears it for builtins — so runEntry's per-state premise threading can
+  /// extend the consuming state's premise list.
+  std::unique_ptr<ProvenanceArena> Prov;
+  std::optional<ProvPremise> LastPremise;
 };
 
 AbsInterp::Entry &AbsInterp::ensureOpenEntry(PredKey Pred) {
@@ -188,6 +221,7 @@ AbsInterp::Entry &AbsInterp::ensureEntry(PredKey Pred, TermRef Call) {
   E.Pred = Pred;
   E.Key = Key;
   E.CallTuple = copyTerm(Heap, Call, Tables);
+  E.Ordinal = static_cast<uint32_t>(Order.size());
   Table.emplace(E.Key, std::move(Owned));
   Order.push_back(&E);
   if (Opts.Trace)
@@ -260,8 +294,11 @@ void AbsInterp::solveGoal(Entry &Producer, TermRef G,
     auto M = Heap.mark();
     bool Ok = applyBuiltin(G, Known);
     if (Known) {
-      if (Ok)
+      if (Ok) {
+        if (Prov)
+          LastPremise.reset(); // Builtins contribute no table premise.
         OnSolution();
+      }
       Heap.undoTo(M);
       return;
     }
@@ -297,13 +334,17 @@ void AbsInterp::solveGoal(Entry &Producer, TermRef G,
   for (size_t I = 0; I < E.Answers.size(); ++I) {
     auto M = Heap.mark();
     TermRef Ans = copyTerm(Tables, E.Answers[I], Heap);
-    if (Domain.unifyAbstract(Heap, G, Ans))
+    if (Domain.unifyAbstract(Heap, G, Ans)) {
+      if (Prov)
+        LastPremise = ProvPremise{E.Ordinal, static_cast<uint32_t>(I)};
       OnSolution();
+    }
     Heap.undoTo(M);
   }
 }
 
-void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern) {
+void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern, uint32_t ClauseIdx,
+                             const std::vector<ProvPremise> *Premises) {
   auto NoteDup = [&]() {
     if (Opts.Trace)
       Opts.Trace->emit(TraceEventKind::AnswerDup, E.Pred.Sym, E.Pred.Arity);
@@ -337,6 +378,10 @@ void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern) {
   TermRef Stored = copyTerm(Heap, AnsPattern, Tables);
   E.AnswerKeys.insert(std::move(AKey));
   E.Answers.push_back(Stored);
+  if (Prov)
+    Prov->record(E.Ordinal, E.Answers.size() - 1, ClauseIdx,
+                 Premises ? std::span<const ProvPremise>(*Premises)
+                          : std::span<const ProvPremise>());
 
   // Answer widening: collapse an oversized answer set to its lgg.
   if (E.Answers.size() > Opts.MaxAnswersPerCall) {
@@ -349,6 +394,13 @@ void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern) {
     E.Answers.push_back(Folded);
     E.AnswerKeys.insert(canonicalKey(Tables, Folded));
     E.Widened = true;
+    if (Prov) {
+      // The folded pattern subsumes the dropped answers but is derived by
+      // no single clause; record the fold marker instead of misattributing
+      // one of the dead derivations.
+      Prov->dropSubgoal(E.Ordinal);
+      Prov->record(E.Ordinal, 0, ProvFoldedClause, {});
+    }
   }
   wake(E);
 }
@@ -360,7 +412,8 @@ void AbsInterp::runEntry(Entry &E) {
   ++ProducerRuns;
   SymbolId StateSym = Symbols.intern("$state");
 
-  for (const Clause &C : P->Clauses) {
+  for (size_t ClauseIdx = 0; ClauseIdx < P->Clauses.size(); ++ClauseIdx) {
+    const Clause &C = P->Clauses[ClauseIdx];
     if (Opts.Trace)
       Opts.Trace->emit(TraceEventKind::ClauseResolve, E.Pred.Sym,
                        E.Pred.Arity);
@@ -388,23 +441,36 @@ void AbsInterp::runEntry(Entry &E) {
     TermStore StatesA, StatesB;
     TermStore *Cur = &StatesA, *Next = &StatesB;
     std::vector<TermRef> CurStates{copyTerm(Heap, StateTerm, *Cur)};
+    // Premise lists travel with their state (index-parallel to CurStates):
+    // each tabled resolution appends the consumed (entry, answer) pair, so
+    // a surviving state knows exactly which table answers justified it.
+    std::vector<std::vector<ProvPremise>> CurProv;
+    if (Prov)
+      CurProv.emplace_back();
     Heap.undoTo(M);
 
     size_t NumGoals = C.Body.size();
     for (size_t GoalIdx = 0; GoalIdx < NumGoals && !CurStates.empty();
          ++GoalIdx) {
       std::vector<TermRef> NextStates;
+      std::vector<std::vector<ProvPremise>> NextProv;
       std::unordered_set<std::string> Seen;
-      for (TermRef S : CurStates) {
+      for (size_t SI = 0; SI < CurStates.size(); ++SI) {
         auto M2 = Heap.mark();
-        TermRef Live = copyTerm(*Cur, S, Heap);
+        TermRef Live = copyTerm(*Cur, CurStates[SI], Heap);
         TermRef Goal = Heap.arg(Live, static_cast<uint32_t>(GoalIdx + 1));
         solveGoal(E, Goal, [&]() {
           // canonicalKey dereferences, so the key reflects the goal's
           // bindings without an intermediate snapshot.
           std::string Key = canonicalKey(Heap, Live);
-          if (Seen.insert(Key).second)
+          if (Seen.insert(Key).second) {
             NextStates.push_back(copyTerm(Heap, Live, *Next));
+            if (Prov) {
+              NextProv.push_back(CurProv[SI]);
+              if (LastPremise)
+                NextProv.back().push_back(*LastPremise);
+            }
+          }
         });
         Heap.undoTo(M2);
       }
@@ -412,13 +478,14 @@ void AbsInterp::runEntry(Entry &E) {
       // scratch target.
       Cur->clear();
       CurStates = std::move(NextStates);
+      CurProv = std::move(NextProv);
       std::swap(Cur, Next);
     }
 
     // Surviving states yield answer patterns.
-    for (TermRef S : CurStates) {
+    for (size_t SI = 0; SI < CurStates.size(); ++SI) {
       auto M2 = Heap.mark();
-      TermRef Live = copyTerm(*Cur, S, Heap);
+      TermRef Live = copyTerm(*Cur, CurStates[SI], Heap);
       TermRef FinalCall = Heap.deref(Heap.arg(Live, 0));
       std::unordered_map<TermRef, TermRef> CutRenaming;
       TermRef AnsPattern;
@@ -431,7 +498,8 @@ void AbsInterp::runEntry(Entry &E) {
                                          CutRenaming));
         AnsPattern = Heap.mkStruct(E.Pred.Sym, Args);
       }
-      recordAnswer(E, AnsPattern);
+      recordAnswer(E, AnsPattern, static_cast<uint32_t>(ClauseIdx),
+                   Prov ? &CurProv[SI] : nullptr);
       Heap.undoTo(M2);
     }
   }
@@ -542,6 +610,12 @@ ErrorOr<DepthKResult> DepthKAnalyzer::analyze(std::string_view Source) {
   Result.NumAnswers = Interp.numAnswers();
   Result.FixpointRounds = Interp.ProducerRuns;
   Result.Widenings = Interp.Widenings;
+  if (Opts.RecordProvenance) {
+    ProvenanceArena::CheckStats PS = Interp.checkProvenance();
+    Result.JustifiedAnswers = PS.Justified;
+    Result.JustificationPremises = PS.Premises;
+    Result.DanglingPremises = PS.Dangling;
+  }
   if (Opts.Metrics) {
     Interp.snapshotMetrics(*Opts.Metrics);
     Opts.Metrics->setCounter("call_patterns", Result.NumCallPatterns);
@@ -584,4 +658,93 @@ ErrorOr<DepthKResult> DepthKAnalyzer::analyze(std::string_view Source) {
   }
   Result.CollectSeconds = Phase.elapsedSeconds();
   return Result;
+}
+
+ErrorOr<std::string> DepthKAnalyzer::explain(std::string_view Source,
+                                             std::string_view Pred,
+                                             uint32_t Arity, uint32_t Arg) {
+  if (Arity > 0 && Arg >= Arity)
+    return Diagnostic("explain: argument " + std::to_string(Arg + 1) +
+                      " out of range for " + std::string(Pred) + "/" +
+                      std::to_string(Arity));
+
+  // Re-run the fixpoint with provenance forced on; the worklist order is
+  // deterministic, so entries and answers line up with a plain analyze().
+  Database DB(Symbols);
+  auto Loaded = DB.consult(Source);
+  if (!Loaded)
+    return Loaded.getError();
+
+  Options EO = Opts;
+  EO.RecordProvenance = true;
+  AbsInterp Interp(Symbols, DB, EO);
+  PredKey Target{};
+  bool Found = false;
+  for (PredKey P : DB.predicates()) {
+    Interp.analyzePredicate(P);
+    if (!Found && Symbols.name(P.Sym) == Pred && P.Arity == Arity) {
+      Target = P;
+      Found = true;
+    }
+  }
+  if (!Found)
+    return Diagnostic("explain: unknown predicate '" + std::string(Pred) +
+                      "/" + std::to_string(Arity) + "'");
+  if (Interp.Incomplete && !Opts.AllowIncomplete)
+    return Diagnostic("explain: MaxProducerRuns truncated the fixpoint; "
+                      "raise the budget or set AllowIncomplete");
+
+  const AbsInterp::Entry *E = Interp.openEntry(Target);
+  const std::string Name =
+      std::string(Pred) + "/" + std::to_string(Arity);
+  if (!E || E->Answers.empty())
+    return Diagnostic("explain: " + Name + " has no answer pattern — it "
+                      "cannot succeed, so groundness holds vacuously");
+
+  // Witness: the first open-call answer pattern whose Arg is abstractly
+  // ground (arity 0 takes answer 0; "ground" is then trivial success).
+  const TermStore &TS = Interp.tableStore();
+  AbstractDomain Dom(Symbols, Opts.Depth);
+  size_t Witness = E->Answers.size();
+  for (size_t I = 0; I < E->Answers.size(); ++I) {
+    TermRef A = TS.deref(E->Answers[I]);
+    if (Arity == 0 || Dom.isGroundAbstract(TS, TS.arg(A, Arg))) {
+      Witness = I;
+      break;
+    }
+  }
+  if (Witness == E->Answers.size())
+    return Diagnostic("explain: no answer pattern of " + Name +
+                      " grounds argument " + std::to_string(Arg + 1));
+
+  ProofNode Tree = buildProofTree(*Interp.provenance(), E->Ordinal,
+                                  static_cast<uint32_t>(Witness));
+
+  const auto &Entries = Interp.entries();
+  auto Label = [&](const ProofNode &N) {
+    if (N.SubgoalIdx >= Entries.size())
+      return std::string("<unknown entry>");
+    const AbsInterp::Entry &G = *Entries[N.SubgoalIdx];
+    if (N.AnswerIdx >= G.Answers.size())
+      return TermWriter::toString(Symbols, TS, G.CallTuple) +
+             " (folded answer)";
+    return TermWriter::toString(Symbols, TS, G.Answers[N.AnswerIdx]);
+  };
+  auto ClauseLabel = [&](const ProofNode &N) {
+    if (N.SubgoalIdx >= Entries.size())
+      return std::string();
+    const AbsInterp::Entry &G = *Entries[N.SubgoalIdx];
+    return "clause " + std::to_string(N.ClauseIdx + 1) + " of " +
+           Symbols.name(G.Pred.Sym) + "/" + std::to_string(G.Pred.Arity);
+  };
+
+  std::string Out = "why " + Name;
+  if (Arity > 0)
+    Out += " is ground in argument " + std::to_string(Arg + 1) +
+           " (depth-" + std::to_string(Opts.Depth) + " abstraction)";
+  Out += " on success (witness: answer pattern " +
+         std::to_string(Witness + 1) + " of " +
+         std::to_string(E->Answers.size()) + "):\n";
+  Out += renderProofTree(Tree, Label, ClauseLabel);
+  return Out;
 }

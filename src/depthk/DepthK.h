@@ -67,6 +67,17 @@ struct DepthKResult {
   /// subset of the abstract fixpoint, not the fixpoint itself.
   bool Incomplete = false;
 
+  /// \name Justification statistics (Options::RecordProvenance); all zero
+  /// when recording was off. Premise validation is widening-tolerant — a
+  /// premise pointing into a folded answer set counts as valid when the
+  /// entry carries the ProvFoldedClause marker — so DanglingPremises must
+  /// still be 0.
+  /// @{
+  uint64_t JustifiedAnswers = 0;
+  uint64_t JustificationPremises = 0;
+  uint64_t DanglingPremises = 0;
+  /// @}
+
   const DepthKPred *find(const std::string &Name, uint32_t Arity) const;
 };
 
@@ -90,6 +101,13 @@ public:
     uint64_t MaxProducerRuns = 0;
     bool AllowIncomplete = false;
 
+    /// Record a justification (clause index + consumed table answers) for
+    /// every abstract answer pattern. Widening folds answer sets, so the
+    /// folded pattern's justification is the ProvFoldedClause sentinel:
+    /// derivations below a widening point are deliberately dropped rather
+    /// than misattributed. Null-cost when off.
+    bool RecordProvenance = false;
+
     /// Observability (both optional, caller-owned): the tracer sees
     /// subgoal/answer events from the abstract interpreter plus the
     /// transform/evaluate/collect phase spans; the registry receives
@@ -106,6 +124,16 @@ public:
 
   /// Analyzes Prolog source text.
   ErrorOr<DepthKResult> analyze(std::string_view Source);
+
+  /// Explains why argument \p Arg (0-based) of \p Pred/\p Arity is ground
+  /// on success in the depth-k abstraction: re-runs the fixpoint with
+  /// provenance recording, picks an answer pattern of the open call whose
+  /// Arg is abstractly ground, and renders its justification as a proof
+  /// tree over the concrete program's clauses. Widened entries render a
+  /// "[folded: ...]" marker where derivations were dropped. Fails when the
+  /// predicate is unknown or no answer pattern grounds the argument.
+  ErrorOr<std::string> explain(std::string_view Source, std::string_view Pred,
+                               uint32_t Arity, uint32_t Arg);
 
 private:
   SymbolTable &Symbols;

@@ -9,6 +9,7 @@
 
 #include "reader/Parser.h"
 #include "term/TermCopy.h"
+#include "term/TermWriter.h"
 #include "term/Unify.h"
 #include "term/Variant.h"
 
@@ -112,7 +113,10 @@ bool Solver::defaultUseTrieTables() { return DefaultUseTrieTables; }
 Solver::Solver(Database &DB) : Solver(DB, Options()) {}
 
 Solver::Solver(Database &DB, Options Opts)
-    : DB(DB), Symbols(DB.symbols()), Opts(Opts), Builtins(DB.symbols()) {}
+    : DB(DB), Symbols(DB.symbols()), Opts(Opts), Builtins(DB.symbols()) {
+  if (this->Opts.RecordProvenance)
+    Prov = std::make_unique<ProvenanceArena>();
+}
 
 const Solver::GoalNode *Solver::makeGoal(TermRef Goal, const GoalNode *Tail) {
   GoalArena.push_back(std::make_unique<GoalNode>(GoalNode{Goal, Tail}));
@@ -205,6 +209,11 @@ size_t ClauseFrontier::memoryBytes() const {
   for (const auto &T : LevelTries)
     if (T)
       Bytes += sizeof(TermTrie) + T->memoryBytes();
+  for (const auto &L : Origins) {
+    Bytes += L.capacity() * sizeof(StateOrigin);
+    for (const StateOrigin &O : L)
+      Bytes += O.Premises.capacity() * sizeof(ProvPremise);
+  }
   return Bytes;
 }
 
@@ -230,6 +239,12 @@ size_t Solver::tableSpaceBytes() const {
   }
   Bytes += SubgoalTrie.memoryBytes();
   Bytes += SubgoalByKey.size() * (sizeof(void *) * 4);
+  // Provenance survives completion (the frontiers it was distilled from do
+  // not), so its arena is table space, not evaluation scratch.
+  if (Prov)
+    Bytes += Prov->memoryBytes();
+  Bytes += DepEdges.capacity() * sizeof(ForestEdge);
+  Bytes += DepEdgeSet.size() * sizeof(uint64_t) * 2;
   return Bytes;
 }
 
@@ -283,6 +298,11 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("incomplete_tables", Stats.IncompleteTables);
   M.setCounter("subgoal_trie_nodes", SubgoalTrie.nodeCount());
   M.setCounter("subgoal_trie_bytes", SubgoalTrie.memoryBytes());
+  if (Prov) {
+    M.setCounter("provenance_justifications", Prov->justificationCount());
+    M.setCounter("provenance_bytes", Prov->memoryBytes());
+    M.setCounter("forest_dep_edges", DepEdges.size());
+  }
 }
 
 void Solver::clearTables() {
@@ -294,6 +314,12 @@ void Solver::clearTables() {
   SubgoalOrder.clear();
   Tables.clear();
   DfnCounter = 0;
+  if (Prov)
+    Prov->clear();
+  DepEdges.clear();
+  DepEdgeSet.clear();
+  SccCounter = 0;
+  CompletionCounter = 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -441,6 +467,12 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
     PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
         AnswerSeqCounter;
     NoteRecorded();
+    // The joined answer overwrites slot 0 in place, so its justification
+    // reflects only the latest derivation folded in — and may reference
+    // answer 0 of this very subgoal (the join consumed it). The proof
+    // walker's on-path guard renders that as an explicit cycle back-edge.
+    if (Prov)
+      recordJustification(SG, 0);
     for (Subgoal *C : SG.Consumers)
       C->Dirty = true;
     return true;
@@ -486,11 +518,33 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
   PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
       AnswerSeqCounter;
   NoteRecorded();
+  // Every premise answer on the stack was recorded with a strictly smaller
+  // global sequence number than this answer gets, so justifications stay
+  // well-founded (the proof DAG is acyclic for non-aggregated tables).
+  if (Prov)
+    recordJustification(SG, SG.AnswerSeq.size() - 1);
   // Semi-naive scheduling: everyone who consumed from this table has
   // potentially more derivations now.
   for (Subgoal *C : SG.Consumers)
     C->Dirty = true;
   return true;
+}
+
+void Solver::recordJustification(Subgoal &SG, size_t AnswerIdx) {
+  if (PendingPremises)
+    Prov->record(SG.Ordinal, static_cast<uint32_t>(AnswerIdx), CurClauseIdx,
+                 std::span<const ProvPremise>(*PendingPremises));
+  else
+    Prov->record(SG.Ordinal, static_cast<uint32_t>(AnswerIdx), CurClauseIdx,
+                 std::span<const ProvPremise>(
+                     PremiseStack.data() + PremiseBase,
+                     PremiseStack.size() - PremiseBase));
+}
+
+void Solver::addDepEdge(uint32_t Consumer, uint32_t Producer) {
+  uint64_t Packed = (uint64_t(Consumer) << 32) | Producer;
+  if (DepEdgeSet.insert(Packed).second)
+    DepEdges.push_back({Consumer, Producer});
 }
 
 bool Solver::clauseIsPure(const Clause &C) const {
@@ -613,6 +667,8 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
   // from a possibly-partial premise set.
   if (SG.Incomplete && !ProducerStack.empty())
     ProducerStack.back()->Incomplete = true;
+  if (Prov && !ProducerStack.empty())
+    addDepEdge(ProducerStack.back()->Ordinal, SG.Ordinal);
   // AnswerSeq is strictly increasing: jump straight to the new slice.
   size_t Start =
       std::upper_bound(SG.AnswerSeq.begin(), SG.AnswerSeq.end(), MinSeq) -
@@ -623,7 +679,11 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
     for (size_t I = Start; I < SG.AnswerSeq.size(); ++I) {
       auto M = Heap.mark();
       bindFactoredAnswer(SG, I, GoalVars);
+      if (Prov)
+        PremiseStack.push_back({SG.Ordinal, static_cast<uint32_t>(I)});
       OnSolution();
+      if (Prov)
+        PremiseStack.pop_back();
       Heap.undoTo(M);
     }
     return;
@@ -631,8 +691,13 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
   for (size_t I = Start; I < SG.Answers.size(); ++I) {
     auto M = Heap.mark();
     TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);
-    if (unify(Heap, G, Ans, /*OccursCheck=*/false))
+    if (unify(Heap, G, Ans, /*OccursCheck=*/false)) {
+      if (Prov)
+        PremiseStack.push_back({SG.Ordinal, static_cast<uint32_t>(I)});
       OnSolution();
+      if (Prov)
+        PremiseStack.pop_back();
+    }
     Heap.undoTo(M);
   }
 }
@@ -654,6 +719,8 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
     SG.Frontiers[ClauseIdx]->Levels.resize(NumGoals + 1);
     SG.Frontiers[ClauseIdx]->Keys.resize(NumGoals + 1);
     SG.Frontiers[ClauseIdx]->LevelTries.resize(NumGoals + 1);
+    if (Prov)
+      SG.Frontiers[ClauseIdx]->Origins.resize(NumGoals + 1);
   }
   ClauseFrontier &CF = *SG.Frontiers[ClauseIdx];
   if (CF.HeadFailed)
@@ -723,6 +790,8 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
       CF.Keys[0].insert(KeyScratch);
     }
     CF.Levels[0].push_back(copyTerm(Heap, State, CF.Store));
+    if (Prov)
+      CF.Origins[0].push_back({}); // Seed: no predecessor, no premises.
     Heap.undoTo(M);
   }
 
@@ -773,6 +842,9 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
         GoalRenaming.emplace(CF.TemplateVars[LiveHere[K]],
                              Heap.arg(Live, K + 1));
       TermRef Goal = copyTerm(DB.store(), C.Body[J], Heap, GoalRenaming);
+      // Premises this step consumes sit above StepBase while the frontier
+      // callback runs (solveSemiGoal pushes around each answer return).
+      size_t StepBase = PremiseStack.size();
       solveSemiGoal(Goal, MinSeq, [&]() {
         // Project onto the variables still live after this goal.
         auto M2 = Heap.mark();
@@ -802,8 +874,14 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
           appendCanonicalKey(Heap, Next, KeyScratch);
           IsNew = CF.Keys[J + 1].insert(KeyScratch).second;
         }
-        if (IsNew)
+        if (IsNew) {
           CF.Levels[J + 1].push_back(copyTerm(Heap, Next, CF.Store));
+          if (Prov)
+            CF.Origins[J + 1].push_back(
+                {static_cast<uint32_t>(Idx),
+                 std::vector<ProvPremise>(PremiseStack.begin() + StepBase,
+                                          PremiseStack.end())});
+        }
         Heap.undoTo(M2);
       });
       Heap.undoTo(M);
@@ -815,8 +893,38 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
        ++Idx) {
     auto M = Heap.mark();
     TermRef Live = copyTerm(CF.Store, CF.Levels[NumGoals][Idx], Heap);
+    if (Prov) {
+      // The final state's premise list is distributed along its Origin
+      // chain; materialize it (in body-goal order) and hand it to
+      // recordAnswer via PendingPremises. This loop performs no nested
+      // evaluation, so the scratch/pointer pair cannot be clobbered
+      // reentrantly (same discipline as KeyScratch).
+      SuppPremiseScratch.clear();
+      collectFrontierPremises(CF, NumGoals, Idx, SuppPremiseScratch);
+      CurClauseIdx = static_cast<uint32_t>(ClauseIdx);
+      PendingPremises = &SuppPremiseScratch;
+    }
     recordAnswer(SG, Heap.deref(Heap.arg(Live, 0)));
+    PendingPremises = nullptr;
     Heap.undoTo(M);
+  }
+}
+
+void Solver::collectFrontierPremises(const ClauseFrontier &CF, size_t Level,
+                                     size_t StateIdx,
+                                     std::vector<ProvPremise> &Out) const {
+  // Walk predecessors back to the level-0 seed, then emit each step's
+  // premises front to back so the list reads in body-goal order.
+  std::vector<std::pair<size_t, size_t>> Chain; // (level, state index)
+  size_t Idx = StateIdx;
+  for (size_t J = Level; J > 0; --J) {
+    Chain.push_back({J, Idx});
+    Idx = CF.Origins[J][Idx].Prev;
+  }
+  for (size_t I = Chain.size(); I-- > 0;) {
+    const ClauseFrontier::StateOrigin &O =
+        CF.Origins[Chain[I].first][Chain[I].second];
+    Out.insert(Out.end(), O.Premises.begin(), O.Premises.end());
   }
 }
 
@@ -826,6 +934,12 @@ bool Solver::runProducer(Subgoal &SG) {
     return false;
 
   size_t Before = SG.AnswerSeq.size();
+  // Provenance clause context. A nested producer run (a new subgoal created
+  // mid-derivation) lands inside an outer clause body; save/restore keeps
+  // the outer clause's answers attributing to the right clause with the
+  // right premise-stack floor after the nested run returns.
+  size_t SavedPremiseBase = PremiseBase;
+  uint32_t SavedClauseIdx = CurClauseIdx;
   auto M = Heap.mark();
   TermRef Call = copyTerm(Tables, SG.CallTerm, Heap);
   uint64_t MyLevel = ++CutCounter;
@@ -838,6 +952,9 @@ bool Solver::runProducer(Subgoal &SG) {
       ++Stats.ClauseIndexFiltered;
       continue;
     }
+
+    if (Prov)
+      CurClauseIdx = static_cast<uint32_t>(ClauseIdx);
 
     if (Opts.SupplementaryTabling && clauseIsPure(C)) {
       runClauseSupplementary(SG, C, ClauseIdx, P->Clauses.size());
@@ -860,6 +977,10 @@ bool Solver::runProducer(Subgoal &SG) {
       for (size_t I = C.Body.size(); I-- > 0;)
         BodyGoals = makeGoal(copyTerm(DB.store(), C.Body[I], Heap, Renaming),
                              BodyGoals);
+      // Everything pushed above this floor while the body runs is a
+      // premise of any answer the body derives.
+      if (Prov)
+        PremiseBase = PremiseStack.size();
       S = solveGoals(BodyGoals, /*Depth=*/1, MyLevel, [&]() {
         recordAnswer(SG, Call);
         return false;
@@ -870,6 +991,8 @@ bool Solver::runProducer(Subgoal &SG) {
       break; // A cut pruned the remaining clause alternatives.
   }
   Heap.undoTo(M);
+  PremiseBase = SavedPremiseBase;
+  CurClauseIdx = SavedClauseIdx;
   return SG.AnswerSeq.size() > Before;
 }
 
@@ -981,6 +1104,9 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
   auto Owned = std::make_unique<Subgoal>();
   Subgoal &SG = *Owned;
   SG.Pred = Key;
+  // Creation-order index: the trie leaf above already carries the same
+  // value, and provenance premises/forest nodes are keyed by it.
+  SG.Ordinal = static_cast<uint32_t>(SubgoalOwned.size());
   SG.Key = std::move(CallKey); // Empty on the trie path: no key string.
   SG.CallTerm = copyTerm(Heap, Goal, Tables);
   // copyTerm renames variables in first-occurrence order, so CallVars
@@ -1034,8 +1160,13 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
     bool SCCIncomplete = false;
     for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I)
       SCCIncomplete |= CompletionStack[I]->Incomplete;
+    // Forest bookkeeping: members completing together form one SCC; the
+    // global completion sequence orders tables by when they closed.
+    ++SccCounter;
     for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I) {
       Subgoal *Member = CompletionStack[I];
+      Member->SccId = SccCounter;
+      Member->CompletionSeq = ++CompletionCounter;
       if (SCCIncomplete) {
         Member->Incomplete = true;
         ++Stats.IncompleteTables;
@@ -1081,6 +1212,8 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
   // from a possibly-partial premise set.
   if (SG.Incomplete && !ProducerStack.empty())
     ProducerStack.back()->Incomplete = true;
+  if (Prov && !ProducerStack.empty())
+    addDepEdge(ProducerStack.back()->Ordinal, SG.Ordinal);
 
   // Consume answers. The index re-reads size() so answers added while this
   // consumer is active (fixpoint rounds of an enclosing SCC) are picked up;
@@ -1093,7 +1226,13 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
     for (size_t I = 0; I < SG.AnswerSeq.size(); ++I) {
       auto M = Heap.mark();
       bindFactoredAnswer(SG, I, GoalVars);
+      // The consumed answer rides the premise stack while the continuation
+      // runs: any answer recorded downstream lists it as a premise.
+      if (Prov)
+        PremiseStack.push_back({SG.Ordinal, static_cast<uint32_t>(I)});
       Signal S = solveGoals(Rest, Depth + 1, CutLevel, OnSolution);
+      if (Prov)
+        PremiseStack.pop_back();
       Heap.undoTo(M);
       if (S.K != Signal::Exhausted)
         return S;
@@ -1104,13 +1243,81 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
     auto M = Heap.mark();
     TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);
     Signal S = Signal::exhausted();
-    if (unify(Heap, Goal, Ans, /*OccursCheck=*/false))
+    if (unify(Heap, Goal, Ans, /*OccursCheck=*/false)) {
+      if (Prov)
+        PremiseStack.push_back({SG.Ordinal, static_cast<uint32_t>(I)});
       S = solveGoals(Rest, Depth + 1, CutLevel, OnSolution);
+      if (Prov)
+        PremiseStack.pop_back();
+    }
     Heap.undoTo(M);
     if (S.K != Signal::Exhausted)
       return S;
   }
   return Signal::exhausted();
+}
+
+//===----------------------------------------------------------------------===//
+// Answer provenance & forest export
+//===----------------------------------------------------------------------===//
+
+std::optional<ProofNode>
+Solver::justifyAnswer(const Subgoal &SG, size_t AnswerIdx,
+                      const ProofBuildOptions &O) const {
+  if (!Prov)
+    return std::nullopt;
+  return buildProofTree(*Prov, SG.Ordinal, static_cast<uint32_t>(AnswerIdx),
+                        O);
+}
+
+std::string Solver::formatAnswer(const Subgoal &SG, size_t I) const {
+  TermStore Scratch;
+  TermRef Inst = answerInstance(SG, I, Scratch);
+  return TermWriter::toString(Symbols, Scratch, Inst);
+}
+
+std::string Solver::formatCall(const Subgoal &SG) const {
+  return TermWriter::toString(Symbols, Tables, SG.CallTerm);
+}
+
+std::string Solver::renderProof(const ProofNode &Root) const {
+  return renderProofTree(Root, [this](const ProofNode &N) {
+    if (N.SubgoalIdx >= SubgoalOrder.size())
+      return std::string("<unknown subgoal ") + std::to_string(N.SubgoalIdx) +
+             ">";
+    const Subgoal &SG = *SubgoalOrder[N.SubgoalIdx];
+    if (N.AnswerIdx >= SG.AnswerSeq.size())
+      return formatCall(SG) + " <missing answer " +
+             std::to_string(N.AnswerIdx) + ">";
+    return formatAnswer(SG, N.AnswerIdx);
+  });
+}
+
+ForestGraph Solver::exportForest() const {
+  ForestGraph G;
+  G.Nodes.reserve(SubgoalOrder.size());
+  for (const Subgoal *SG : SubgoalOrder) {
+    ForestNode N;
+    N.Pred = Symbols.name(SG->Pred.Sym) + "/" + std::to_string(SG->Pred.Arity);
+    N.Label = formatCall(*SG);
+    N.Answers = SG->AnswerSeq.size();
+    N.Complete = SG->Complete;
+    N.Incomplete = SG->Incomplete;
+    N.SccId = SG->SccId;
+    N.CompletionOrder = SG->CompletionSeq;
+    G.Nodes.push_back(std::move(N));
+  }
+  G.Edges = DepEdges;
+  return G;
+}
+
+ProvenanceArena::CheckStats Solver::checkProvenance() const {
+  if (!Prov)
+    return {};
+  return Prov->check([this](ProvPremise P) {
+    return P.SubgoalIdx < SubgoalOrder.size() &&
+           P.AnswerIdx < SubgoalOrder[P.SubgoalIdx]->AnswerSeq.size();
+  });
 }
 
 //===----------------------------------------------------------------------===//

@@ -30,7 +30,9 @@
 
 #include "engine/Builtins.h"
 #include "engine/Database.h"
+#include "obs/Forest.h"
 #include "obs/Metrics.h"
+#include "obs/Provenance.h"
 #include "obs/Trace.h"
 #include "table/TermTrie.h"
 #include "term/TermStore.h"
@@ -104,6 +106,20 @@ struct ClauseFrontier {
   bool Initialized = false;
   bool HeadFailed = false;
 
+  /// How one frontier state was reached (populated only when the solver
+  /// records provenance). Origins[j][i] pairs state i of Levels[j] with its
+  /// Levels[j-1] predecessor index and the premise answers goal j-1
+  /// consumed on that step; walking the chain back to the level-0 seed
+  /// recovers the full premise list of a derived answer. Justifications are
+  /// materialized into the ProvenanceArena the moment an answer is
+  /// recorded, so this per-frontier state is transient and freed with the
+  /// frontier by releaseCompletedState.
+  struct StateOrigin {
+    uint32_t Prev = 0;
+    std::vector<ProvPremise> Premises;
+  };
+  std::vector<std::vector<StateOrigin>> Origins;
+
   size_t memoryBytes() const;
 };
 
@@ -137,6 +153,15 @@ struct Subgoal {
   /// answer set may be truncated. Sticky across completion; counted in
   /// EvalStats::IncompleteTables when the table completes.
   bool Incomplete = false;
+
+  /// Creation-order index into Solver::subgoals() — the subgoal half of a
+  /// ProvPremise and the node id in the exported forest.
+  uint32_t Ordinal = 0;
+  /// 1-based id of the completion SCC this subgoal completed in (subgoals
+  /// completed together share one id); 0 until completed.
+  uint32_t SccId = 0;
+  /// 1-based position in the global completion order; 0 until completed.
+  uint32_t CompletionSeq = 0;
 
   // Completion (approximate Tarjan SCC) machinery.
   uint64_t Dfn = 0;
@@ -182,6 +207,13 @@ public:
     /// string-keyed tables (the A/B ablation the benches report). Both
     /// paths compute identical answers.
     bool UseTrieTables = defaultUseTrieTables();
+    /// Record, for every unique answer, which clause produced it and which
+    /// premise answers — (subgoal, answer-index) pairs — its derivation
+    /// consumed, in a per-solver ProvenanceArena (src/obs). Also records
+    /// the subgoal dependency edges backing exportForest(). Off by
+    /// default: like the tracer, every hook then reduces to a null-pointer
+    /// test and the arena is never allocated.
+    bool RecordProvenance = false;
   };
 
   /// Process-wide default for Options::UseTrieTables (initially true).
@@ -314,6 +346,41 @@ public:
 
   /// @}
 
+  /// \name Answer provenance & forest export (Options::RecordProvenance).
+  /// @{
+
+  /// The justification arena, or nullptr when recording is off.
+  const ProvenanceArena *provenance() const { return Prov.get(); }
+
+  /// Reconstructs the proof tree of answer \p AnswerIdx of \p SG from the
+  /// recorded justifications (cycle-safe, bounded per \p O with explicit
+  /// elision markers). \returns nullopt when recording is off.
+  std::optional<ProofNode> justifyAnswer(const Subgoal &SG, size_t AnswerIdx,
+                                         const ProofBuildOptions &O = {}) const;
+
+  /// Renders \p Root with answer instances materialized through TermWriter
+  /// and 1-based clause annotations.
+  std::string renderProof(const ProofNode &Root) const;
+
+  /// Answer \p I of \p SG rendered as text (materialized via
+  /// answerInstance into a scratch store).
+  std::string formatAnswer(const Subgoal &SG, size_t I) const;
+
+  /// \p SG's call term rendered as text.
+  std::string formatCall(const Subgoal &SG) const;
+
+  /// Snapshot of the SLG forest: one node per subgoal in creation order,
+  /// consumer -> producer dependency edges (recorded only while provenance
+  /// is on), SCC membership, completion order and Incomplete taint.
+  ForestGraph exportForest() const;
+
+  /// Validates every recorded justification against the live answer
+  /// tables: each premise must name an existing subgoal and an answer
+  /// index inside its table. Zeros when recording is off.
+  ProvenanceArena::CheckStats checkProvenance() const;
+
+  /// @}
+
 private:
   /// Linked-list resolvent; nodes live in GoalArena for the duration of a
   /// query.
@@ -408,8 +475,32 @@ private:
 
   /// Releases evaluation-only state of a completed subgoal: supplementary
   /// frontiers, consumer links and answer dedup structures. Counts the
-  /// freed bytes into EvalStats::FrontierBytesFreed.
+  /// freed bytes into EvalStats::FrontierBytesFreed. Provenance already
+  /// recorded for the subgoal's answers is deliberately KEPT — the arena
+  /// materializes justifications at record time precisely so that
+  /// completion can free the transient frontier Origins without losing
+  /// explainability (arena bytes stay counted in tableSpaceBytes()).
   void releaseCompletedState(Subgoal &SG);
+
+  /// \name Provenance recording internals (all no-ops when !Prov).
+  /// @{
+
+  /// Stores the justification of answer \p AnswerIdx of \p SG from the
+  /// current clause context: premises come from PendingPremises when set
+  /// (supplementary path), else from PremiseStack above PremiseBase
+  /// (tuple-at-a-time path).
+  void recordJustification(Subgoal &SG, size_t AnswerIdx);
+
+  /// Records a consumer -> producer forest edge, deduplicated.
+  void addDepEdge(uint32_t Consumer, uint32_t Producer);
+
+  /// Walks the Origin chain of frontier state \p StateIdx at \p Level back
+  /// to the seed and appends the consumed premises in body-goal order.
+  void collectFrontierPremises(const ClauseFrontier &CF, size_t Level,
+                               size_t StateIdx,
+                               std::vector<ProvPremise> &Out) const;
+
+  /// @}
 
   const GoalNode *makeGoals(const std::vector<TermRef> &Goals,
                             const GoalNode *Tail);
@@ -453,6 +544,41 @@ private:
   /// Observability hooks (null when detached; see setObservability).
   Tracer *Trace = nullptr;
   MetricsRegistry *Metrics = nullptr;
+
+  /// \name Provenance state (Options::RecordProvenance; null/empty when
+  /// off — the disabled path is one pointer test per hook).
+  /// @{
+
+  /// Justification arena, allocated in the constructor iff recording.
+  std::unique_ptr<ProvenanceArena> Prov;
+  /// Premise answers consumed on the current derivation path, in
+  /// consumption order. Tabled answer returns push on entry to the
+  /// continuation and pop when it backtracks, so at recordAnswer time the
+  /// stack above PremiseBase is exactly the premises of the new answer.
+  std::vector<ProvPremise> PremiseStack;
+  /// Stack floor of the innermost producer's current clause body (nested
+  /// producer runs save/restore around themselves).
+  size_t PremiseBase = 0;
+  /// Clause index the innermost producer is currently resolving.
+  uint32_t CurClauseIdx = 0;
+  /// When non-null, recordAnswer takes its premises from here instead of
+  /// PremiseStack (the supplementary path reconstructs them from frontier
+  /// Origin chains). Only ever set around the non-reentrant final answer
+  /// loop of runClauseSupplementary.
+  const std::vector<ProvPremise> *PendingPremises = nullptr;
+  /// Scratch for collectFrontierPremises (same single-use discipline as
+  /// KeyScratch/BindScratch).
+  std::vector<ProvPremise> SuppPremiseScratch;
+  /// Deduplicated consumer -> producer subgoal dependency edges (the
+  /// forest edges), with a packed-u64 membership set.
+  std::vector<ForestEdge> DepEdges;
+  std::unordered_set<uint64_t> DepEdgeSet;
+  /// Completion bookkeeping for forest export (maintained even without
+  /// provenance — two counters per completed SCC member).
+  uint32_t SccCounter = 0;
+  uint32_t CompletionCounter = 0;
+
+  /// @}
 };
 
 /// Evaluates an arithmetic expression over integers (is/2 and comparisons).

@@ -1,0 +1,124 @@
+//===- Forest.cpp - SLG forest structure export ---------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Forest.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+
+namespace lpa {
+
+namespace {
+
+/// DOT double-quoted string escaping: backslash and quote; newlines become
+/// literal \n escapes so labels stay single-line.
+std::string dotEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::vector<ForestEdge> sortedUniqueEdges(const ForestGraph &G) {
+  std::vector<ForestEdge> Edges = G.Edges;
+  std::sort(Edges.begin(), Edges.end(),
+            [](const ForestEdge &A, const ForestEdge &B) {
+              return A.Consumer != B.Consumer ? A.Consumer < B.Consumer
+                                              : A.Producer < B.Producer;
+            });
+  Edges.erase(std::unique(Edges.begin(), Edges.end(),
+                          [](const ForestEdge &A, const ForestEdge &B) {
+                            return A.Consumer == B.Consumer &&
+                                   A.Producer == B.Producer;
+                          }),
+              Edges.end());
+  return Edges;
+}
+
+} // namespace
+
+std::string forestToDot(const ForestGraph &G) {
+  std::string Out = "digraph slg_forest {\n";
+  Out += "  rankdir=LR;\n";
+  Out += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    const ForestNode &N = G.Nodes[I];
+    Out += "  n" + std::to_string(I) + " [label=\"" + dotEscape(N.Label) +
+           "\\n" + std::to_string(N.Answers) +
+           (N.Answers == 1 ? " answer" : " answers");
+    if (N.SccId)
+      Out += ", scc " + std::to_string(N.SccId) + ", done #" +
+             std::to_string(N.CompletionOrder);
+    if (N.Incomplete)
+      Out += "\\nINCOMPLETE";
+    else if (!N.Complete)
+      Out += "\\nopen";
+    Out += "\"";
+    if (N.Incomplete)
+      Out += ", color=red";
+    else if (!N.Complete)
+      Out += ", style=dashed";
+    Out += "];\n";
+  }
+  for (const ForestEdge &E : sortedUniqueEdges(G))
+    Out += "  n" + std::to_string(E.Consumer) + " -> n" +
+           std::to_string(E.Producer) + ";\n";
+  Out += "}\n";
+  return Out;
+}
+
+void writeForestJson(const ForestGraph &G, JsonWriter &W) {
+  W.beginObject();
+  W.key("nodes");
+  W.beginArray();
+  for (const ForestNode &N : G.Nodes) {
+    W.beginObject();
+    W.member("pred", N.Pred);
+    W.member("call", N.Label);
+    W.member("answers", N.Answers);
+    W.member("complete", N.Complete);
+    W.member("incomplete", N.Incomplete);
+    W.member("scc", static_cast<uint64_t>(N.SccId));
+    W.member("completion_order", static_cast<uint64_t>(N.CompletionOrder));
+    W.endObject();
+  }
+  W.endArray();
+  W.key("edges");
+  W.beginArray();
+  for (const ForestEdge &E : sortedUniqueEdges(G)) {
+    W.beginObject();
+    W.member("consumer", static_cast<uint64_t>(E.Consumer));
+    W.member("producer", static_cast<uint64_t>(E.Producer));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+std::string forestToJson(const ForestGraph &G) {
+  std::string Out;
+  JsonWriter W(Out);
+  writeForestJson(G, W);
+  return Out;
+}
+
+} // namespace lpa

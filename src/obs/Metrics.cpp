@@ -32,20 +32,29 @@ void Histogram::record(uint64_t Value) {
 }
 
 uint64_t Histogram::quantile(double Q) const {
+  // Pinned semantics (see ObsTest.HistogramQuantile*): an empty histogram
+  // reports 0 for every Q; Q <= 0 is exactly the recorded minimum and
+  // Q >= 1 exactly the recorded maximum; anything in between returns the
+  // upper bound of the bucket holding the Q-th sample — bucket B covers
+  // [2^(B-1), 2^B), so the bound is 2^B - 1 — clamped into [min, max]
+  // (bucket bounds can overshoot the true extremes).
   if (!Count)
     return 0;
-  if (Q < 0)
-    Q = 0;
-  if (Q > 1)
-    Q = 1;
+  if (Q <= 0)
+    return min();
+  if (Q >= 1)
+    return Max;
   uint64_t Rank = static_cast<uint64_t>(Q * double(Count - 1)) + 1;
+  if (Rank > Count)
+    Rank = Count;
   uint64_t Seen = 0;
   for (size_t B = 0; B < NumBuckets; ++B) {
     Seen += Buckets[B];
     if (Seen >= Rank) {
-      if (B == 0)
-        return 0;
-      uint64_t Upper = (B >= 64) ? ~uint64_t(0) : (uint64_t(1) << B) - 1;
+      uint64_t Upper =
+          B == 0 ? 0 : (B >= 64 ? ~uint64_t(0) : (uint64_t(1) << B) - 1);
+      if (Upper < min())
+        Upper = min();
       return Upper < Max ? Upper : Max;
     }
   }

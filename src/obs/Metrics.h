@@ -47,8 +47,10 @@ public:
   uint64_t max() const { return Max; }
   double mean() const { return Count ? double(Sum) / double(Count) : 0.0; }
 
-  /// Approximate quantile (0..1): upper bound of the bucket holding the
-  /// q-th sample.
+  /// Approximate quantile: upper bound of the bucket holding the Q-th
+  /// sample, clamped into [min(), max()]. Edge cases are pinned: an empty
+  /// histogram reports 0 for every Q, Q <= 0 reports exactly min(), and
+  /// Q >= 1 exactly max().
   uint64_t quantile(double Q) const;
 
   const uint64_t *buckets() const { return Buckets; }

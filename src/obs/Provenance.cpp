@@ -1,0 +1,179 @@
+//===- Provenance.cpp - Answer justification recording --------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Provenance.h"
+
+#include <unordered_set>
+
+namespace lpa {
+
+void ProvenanceArena::record(uint32_t SubgoalIdx, uint32_t AnswerIdx,
+                             uint32_t ClauseIdx,
+                             std::span<const ProvPremise> Premises) {
+  std::vector<Rec> &Recs = BySubgoal[SubgoalIdx];
+  if (AnswerIdx >= Recs.size())
+    Recs.resize(AnswerIdx + 1);
+  Rec &R = Recs[AnswerIdx];
+  if (R.ClauseIdx == ProvNoClause)
+    ++NumSet;
+  R.ClauseIdx = ClauseIdx;
+  R.PremiseBegin = static_cast<uint32_t>(PremisePool.size());
+  R.PremiseCount = static_cast<uint32_t>(Premises.size());
+  PremisePool.insert(PremisePool.end(), Premises.begin(), Premises.end());
+}
+
+std::optional<Justification>
+ProvenanceArena::find(uint32_t SubgoalIdx, uint32_t AnswerIdx) const {
+  auto It = BySubgoal.find(SubgoalIdx);
+  if (It == BySubgoal.end() || AnswerIdx >= It->second.size())
+    return std::nullopt;
+  const Rec &R = It->second[AnswerIdx];
+  if (R.ClauseIdx == ProvNoClause)
+    return std::nullopt;
+  return Justification{R.ClauseIdx,
+                       std::span<const ProvPremise>(
+                           PremisePool.data() + R.PremiseBegin, R.PremiseCount)};
+}
+
+void ProvenanceArena::dropSubgoal(uint32_t SubgoalIdx) {
+  auto It = BySubgoal.find(SubgoalIdx);
+  if (It == BySubgoal.end())
+    return;
+  for (const Rec &R : It->second)
+    if (R.ClauseIdx != ProvNoClause)
+      --NumSet;
+  BySubgoal.erase(It);
+}
+
+size_t ProvenanceArena::memoryBytes() const {
+  size_t Bytes = PremisePool.capacity() * sizeof(ProvPremise);
+  // Bucket + per-entry overhead estimate for the map itself.
+  Bytes += BySubgoal.size() * (sizeof(void *) * 2 + sizeof(uint32_t));
+  for (const auto &[SG, Recs] : BySubgoal) {
+    (void)SG;
+    Bytes += Recs.capacity() * sizeof(Rec);
+  }
+  return Bytes;
+}
+
+void ProvenanceArena::clear() {
+  BySubgoal.clear();
+  PremisePool.clear();
+  NumSet = 0;
+}
+
+ProvenanceArena::CheckStats
+ProvenanceArena::check(const std::function<bool(ProvPremise)> &PremiseOk) const {
+  CheckStats Stats;
+  for (const auto &[SG, Recs] : BySubgoal) {
+    (void)SG;
+    for (const Rec &R : Recs) {
+      if (R.ClauseIdx == ProvNoClause)
+        continue;
+      ++Stats.Justified;
+      for (uint32_t I = 0; I < R.PremiseCount; ++I) {
+        ++Stats.Premises;
+        if (!PremiseOk(PremisePool[R.PremiseBegin + I]))
+          ++Stats.Dangling;
+      }
+    }
+  }
+  return Stats;
+}
+
+namespace {
+
+uint64_t packNodeKey(uint32_t SubgoalIdx, uint32_t AnswerIdx) {
+  return (uint64_t(SubgoalIdx) << 32) | AnswerIdx;
+}
+
+void buildProofNode(const ProvenanceArena &Arena, uint32_t SubgoalIdx,
+                    uint32_t AnswerIdx, size_t Depth,
+                    const ProofBuildOptions &Opts,
+                    std::unordered_set<uint64_t> &OnPath, size_t &NodeBudget,
+                    ProofNode &Node) {
+  Node.SubgoalIdx = SubgoalIdx;
+  Node.AnswerIdx = AnswerIdx;
+  if (OnPath.count(packNodeKey(SubgoalIdx, AnswerIdx))) {
+    Node.Cycle = true;
+    return;
+  }
+  std::optional<Justification> J = Arena.find(SubgoalIdx, AnswerIdx);
+  if (!J)
+    return; // ClauseIdx stays ProvNoClause: no recorded justification.
+  Node.ClauseIdx = J->ClauseIdx;
+  if (J->Premises.empty())
+    return;
+  if (Depth >= Opts.MaxDepth || NodeBudget < J->Premises.size()) {
+    Node.DepthElided = true;
+    return;
+  }
+  size_t Width = J->Premises.size();
+  if (Width > Opts.MaxPremises) {
+    Node.ElidedPremises = static_cast<uint32_t>(Width - Opts.MaxPremises);
+    Width = Opts.MaxPremises;
+  }
+  OnPath.insert(packNodeKey(SubgoalIdx, AnswerIdx));
+  Node.Premises.resize(Width);
+  for (size_t I = 0; I < Width; ++I) {
+    --NodeBudget;
+    const ProvPremise &P = J->Premises[I];
+    buildProofNode(Arena, P.SubgoalIdx, P.AnswerIdx, Depth + 1, Opts, OnPath,
+                   NodeBudget, Node.Premises[I]);
+  }
+  OnPath.erase(packNodeKey(SubgoalIdx, AnswerIdx));
+}
+
+void renderProofNode(const ProofNode &Node, const ProofLabelFn &Label,
+                     const ProofLabelFn &ClauseLabel, size_t Indent,
+                     std::string &Out) {
+  Out.append(Indent * 2, ' ');
+  Out += Label(Node);
+  if (Node.ClauseIdx == ProvFoldedClause) {
+    Out += "  [folded: aggregation/widening dropped premise derivations]";
+  } else if (Node.ClauseIdx != ProvNoClause) {
+    Out += "  [";
+    Out += ClauseLabel ? ClauseLabel(Node)
+                       : ("clause " + std::to_string(Node.ClauseIdx + 1));
+    Out += "]";
+  } else if (!Node.Cycle) {
+    Out += "  [no recorded justification]";
+  }
+  if (Node.Cycle)
+    Out += "  [cycle back-edge]";
+  if (Node.DepthElided)
+    Out += "  [subtree elided: depth/node limit]";
+  Out += "\n";
+  for (const ProofNode &Child : Node.Premises)
+    renderProofNode(Child, Label, ClauseLabel, Indent + 1, Out);
+  if (Node.ElidedPremises) {
+    Out.append((Indent + 1) * 2, ' ');
+    Out += "... [" + std::to_string(Node.ElidedPremises) +
+           " more premises elided]\n";
+  }
+}
+
+} // namespace
+
+ProofNode buildProofTree(const ProvenanceArena &Arena, uint32_t SubgoalIdx,
+                         uint32_t AnswerIdx, const ProofBuildOptions &Opts) {
+  ProofNode Root;
+  std::unordered_set<uint64_t> OnPath;
+  size_t NodeBudget = Opts.MaxNodes;
+  buildProofNode(Arena, SubgoalIdx, AnswerIdx, 0, Opts, OnPath, NodeBudget,
+                 Root);
+  return Root;
+}
+
+std::string renderProofTree(const ProofNode &Root, const ProofLabelFn &Label,
+                            const ProofLabelFn &ClauseLabel) {
+  std::string Out;
+  renderProofNode(Root, Label, ClauseLabel, 0, Out);
+  return Out;
+}
+
+} // namespace lpa

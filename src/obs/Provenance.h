@@ -1,0 +1,174 @@
+//===- Provenance.h - Answer justification recording ------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Answer provenance: for every unique tabled answer, which clause produced
+/// it and which premise answers its derivation consumed. XSB grew exactly
+/// this facility (the justifier) over its memo tables; here it closes the
+/// explainability gap of the observability layer — the engine can say not
+/// just *what* it derived but *why*.
+///
+/// The arena is engine-agnostic: subgoals and answers are plain indices
+/// into the engine's creation-order tables, and clause indices are whatever
+/// the producer counts. The engine attaches meaning (and labels) when it
+/// walks a justification into a proof tree. Like the tracer, the disabled
+/// path costs one null-pointer test per hook: an engine that does not
+/// record provenance never touches this code.
+///
+/// Well-foundedness: a premise answer is always recorded (strictly) before
+/// the answer it justifies, so the justification graph is acyclic for
+/// plain tabling. Aggregated answers (answer joins) and widened answer
+/// sets overwrite in place and may self-reference; the proof-tree walker
+/// carries an on-path guard and marks such back-edges instead of looping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_OBS_PROVENANCE_H
+#define LPA_OBS_PROVENANCE_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lpa {
+
+/// One premise of a justification: answer \p AnswerIdx of the subgoal with
+/// creation-order index \p SubgoalIdx.
+struct ProvPremise {
+  uint32_t SubgoalIdx = 0;
+  uint32_t AnswerIdx = 0;
+
+  friend bool operator==(const ProvPremise &A, const ProvPremise &B) {
+    return A.SubgoalIdx == B.SubgoalIdx && A.AnswerIdx == B.AnswerIdx;
+  }
+};
+
+/// Sentinel clause index: no justification was recorded for the answer.
+constexpr uint32_t ProvNoClause = 0xFFFFFFFFu;
+/// Sentinel clause index: the answer was rebuilt by an aggregation join or
+/// an answer-set widening, which folds previously recorded answers into one
+/// and drops their individual derivations.
+constexpr uint32_t ProvFoldedClause = 0xFFFFFFFEu;
+
+/// Read-only view of one recorded justification. The premise span points
+/// into the arena and stays valid until the arena is cleared.
+struct Justification {
+  uint32_t ClauseIdx = ProvNoClause;
+  std::span<const ProvPremise> Premises;
+};
+
+/// Justification storage keyed by (subgoal index, answer index). Premise
+/// lists are packed into one pool vector; per-answer records carry
+/// (offset, count) into it. Re-recording an answer (aggregation joins
+/// replace answer 0 in place) overwrites the record and leaks the old
+/// premise range in the pool — the slack is counted by memoryBytes() and
+/// is bounded by the number of join steps.
+class ProvenanceArena {
+public:
+  /// Records (or overwrites) the justification of answer \p AnswerIdx of
+  /// subgoal \p SubgoalIdx.
+  void record(uint32_t SubgoalIdx, uint32_t AnswerIdx, uint32_t ClauseIdx,
+              std::span<const ProvPremise> Premises);
+
+  /// \returns the justification of the answer, or nullopt when none was
+  /// recorded.
+  std::optional<Justification> find(uint32_t SubgoalIdx,
+                                    uint32_t AnswerIdx) const;
+
+  /// Drops every record of \p SubgoalIdx (answer-set widening invalidates
+  /// the indices its premises point at). Pool ranges leak until clear().
+  void dropSubgoal(uint32_t SubgoalIdx);
+
+  /// Number of answers currently holding a justification.
+  size_t justificationCount() const { return NumSet; }
+
+  size_t memoryBytes() const;
+  void clear();
+
+  /// Result of a whole-arena validity sweep.
+  struct CheckStats {
+    uint64_t Justified = 0; ///< Answers with a recorded justification.
+    uint64_t Premises = 0;  ///< Total premises across them.
+    uint64_t Dangling = 0;  ///< Premises \p PremiseOk rejected (0 = valid).
+  };
+
+  /// Sweeps every recorded justification, asking \p PremiseOk whether each
+  /// premise still resolves to a live tabled answer. The engine supplies
+  /// the bound check; a nonzero Dangling count means the arena disagrees
+  /// with the answer tables.
+  CheckStats check(const std::function<bool(ProvPremise)> &PremiseOk) const;
+
+private:
+  struct Rec {
+    uint32_t ClauseIdx = ProvNoClause;
+    uint32_t PremiseBegin = 0;
+    uint32_t PremiseCount = 0;
+  };
+
+  /// Subgoal index -> per-answer records (vector slot = answer index;
+  /// unset slots keep ClauseIdx == ProvNoClause).
+  std::unordered_map<uint32_t, std::vector<Rec>> BySubgoal;
+  std::vector<ProvPremise> PremisePool;
+  size_t NumSet = 0;
+};
+
+/// One node of a reconstructed proof tree.
+struct ProofNode {
+  uint32_t SubgoalIdx = 0;
+  uint32_t AnswerIdx = 0;
+  /// Producing clause, or ProvNoClause / ProvFoldedClause.
+  uint32_t ClauseIdx = ProvNoClause;
+  /// Back-edge: this (subgoal, answer) is already on the path from the
+  /// root (possible under aggregation joins); children are not expanded.
+  bool Cycle = false;
+  /// The depth or node budget cut this subtree off; children elided.
+  bool DepthElided = false;
+  /// Premises beyond the width bound, not expanded into children.
+  uint32_t ElidedPremises = 0;
+  std::vector<ProofNode> Premises;
+};
+
+/// Bounds for proof-tree reconstruction. Elision is explicit: cut points
+/// are marked on the node (and rendered), never silently dropped.
+struct ProofBuildOptions {
+  size_t MaxDepth = 12;    ///< Levels below the root before eliding.
+  size_t MaxPremises = 12; ///< Children rendered per node.
+  size_t MaxNodes = 2048;  ///< Total node budget for the whole tree.
+};
+
+/// Reconstructs the proof tree of answer \p AnswerIdx of \p SubgoalIdx
+/// from the recorded justifications. Cycle-safe (on-path guard) and
+/// bounded per \p Opts.
+ProofNode buildProofTree(const ProvenanceArena &Arena, uint32_t SubgoalIdx,
+                         uint32_t AnswerIdx,
+                         const ProofBuildOptions &Opts = {});
+
+/// Produces the text for one proof node: typically the rendered answer
+/// instance (engine supplies TermWriter output).
+using ProofLabelFn = std::function<std::string(const ProofNode &)>;
+
+/// Renders \p Root as an indented tree, one node per line:
+///
+///   gp_app(true,true,true)  [clause 2]
+///     gp_app(true,true,true)  [clause 1]
+///     ... (3 more premises elided)
+///
+/// \p Label supplies each node's answer text; \p ClauseLabel (optional)
+/// overrides the bracketed clause annotation — analyzers use it to map
+/// abstract clause indices back to source clauses. Sentinel clause indices
+/// and elision/cycle cut points render as explicit bracketed markers, so
+/// the output is bracket-balanced whenever the labels are.
+std::string renderProofTree(const ProofNode &Root, const ProofLabelFn &Label,
+                            const ProofLabelFn &ClauseLabel = nullptr);
+
+} // namespace lpa
+
+#endif // LPA_OBS_PROVENANCE_H

@@ -69,6 +69,24 @@ std::vector<std::string> lpa::fingerprintDepthK(const DepthKResult &R) {
   return Out;
 }
 
+namespace {
+
+/// Folds a job's justification-validation counts into its result and its
+/// fingerprint list (the latter makes the parallel-vs-serial comparison
+/// cover provenance too).
+void noteProvenance(CorpusJobResult &R, uint64_t Justified, uint64_t Premises,
+                    uint64_t Dangling) {
+  R.JustifiedAnswers = Justified;
+  R.JustificationPremises = Premises;
+  R.DanglingPremises = Dangling;
+  R.Fingerprints.push_back("$provenance justified=" +
+                           std::to_string(Justified) +
+                           " premises=" + std::to_string(Premises) +
+                           " dangling=" + std::to_string(Dangling));
+}
+
+} // namespace
+
 CorpusScheduler::CorpusScheduler(Options Opts) : Opts(Opts) {}
 
 std::vector<CorpusJob> CorpusScheduler::kindJobs(CorpusJobKind Kind) {
@@ -115,6 +133,8 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     GroundnessAnalyzer::Options GO = Opts.Groundness;
     GO.Trace = T;
     GO.Metrics = M;
+    if (Opts.RecordProvenance)
+      GO.Engine.RecordProvenance = true;
     GroundnessAnalyzer Analyzer(Symbols, GO);
     auto Res = Analyzer.analyze(Job.Program->Source);
     if (!Res) {
@@ -124,6 +144,9 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     R.Ok = true;
     R.Incomplete = Res->Incomplete;
     R.Fingerprints = fingerprintGroundness(*Res);
+    if (Opts.RecordProvenance)
+      noteProvenance(R, Res->JustifiedAnswers, Res->JustificationPremises,
+                     Res->DanglingPremises);
     break;
   }
   case CorpusJobKind::DepthK: {
@@ -131,6 +154,8 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     DepthKAnalyzer::Options DO = Opts.DepthK;
     DO.Trace = T;
     DO.Metrics = M;
+    if (Opts.RecordProvenance)
+      DO.RecordProvenance = true;
     DepthKAnalyzer Analyzer(Symbols, DO);
     auto Res = Analyzer.analyze(Job.Program->Source);
     if (!Res) {
@@ -140,6 +165,9 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     R.Ok = true;
     R.Incomplete = Res->Incomplete;
     R.Fingerprints = fingerprintDepthK(*Res);
+    if (Opts.RecordProvenance)
+      noteProvenance(R, Res->JustifiedAnswers, Res->JustificationPremises,
+                     Res->DanglingPremises);
     break;
   }
   case CorpusJobKind::WamLite: {
@@ -163,7 +191,10 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     break;
   }
   case CorpusJobKind::Strictness: {
-    StrictnessAnalyzer Analyzer(Opts.Strictness);
+    StrictnessAnalyzer::Options SO = Opts.Strictness;
+    if (Opts.RecordProvenance)
+      SO.Engine.RecordProvenance = true;
+    StrictnessAnalyzer Analyzer(SO);
     Analyzer.setObservability(T, M);
     auto Res = Analyzer.analyze(Job.Program->Source);
     if (!Res) {
@@ -173,6 +204,9 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     R.Ok = true;
     R.Incomplete = Res->Incomplete;
     R.Fingerprints = fingerprintStrictness(*Res);
+    if (Opts.RecordProvenance)
+      noteProvenance(R, Res->JustifiedAnswers, Res->JustificationPremises,
+                     Res->DanglingPremises);
     break;
   }
   }

@@ -67,6 +67,16 @@ struct CorpusJobResult {
   std::vector<std::string> Fingerprints;
   double Seconds = 0;      ///< This job's own wall time.
   bool Incomplete = false; ///< Result carries an incompleteness warning.
+
+  /// \name Justification statistics (Options::RecordProvenance; zero for
+  /// WamLite jobs, which compile rather than analyze). A nonzero
+  /// DanglingPremises means the job's provenance arena disagrees with its
+  /// answer tables — always a bug.
+  /// @{
+  uint64_t JustifiedAnswers = 0;
+  uint64_t JustificationPremises = 0;
+  uint64_t DanglingPremises = 0;
+  /// @}
 };
 
 /// \name Canonical result fingerprints (parallel-vs-serial bit-identity).
@@ -84,6 +94,12 @@ public:
     /// Shard per-worker metrics and trace buffers, merged after run().
     /// Off = no instrumentation cost per job.
     bool CollectObservability = false;
+    /// Record answer justifications in every analysis job (each worker's
+    /// Solver owns a private provenance arena, like every other table).
+    /// Results carry validation counts and fingerprints gain a
+    /// "$provenance ..." line, so the serial-vs-parallel bit-identity
+    /// check also covers justification validity under --jobs N.
+    bool RecordProvenance = false;
     /// Analyzer tunables forwarded to every job of the matching kind.
     /// Their Trace/Metrics pointers are overridden per worker when
     /// CollectObservability is set.

@@ -157,6 +157,12 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
   Result.Stats = Engine.stats();
   if (Opts.Metrics)
     Engine.snapshotTableMetrics(*Opts.Metrics);
+  if (Opts.Engine.RecordProvenance) {
+    ProvenanceArena::CheckStats CS = Engine.checkProvenance();
+    Result.JustifiedAnswers = CS.Justified;
+    Result.JustificationPremises = CS.Premises;
+    Result.DanglingPremises = CS.Dangling;
+  }
 
   // Output groundness from the open call's answer table.
   std::unordered_map<SymbolId, size_t> ByAbsSym;
@@ -209,6 +215,115 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
     PG.computeMeets();
   Result.CollectSeconds = Phase.elapsedSeconds();
   return Result;
+}
+
+ErrorOr<std::string> GroundnessAnalyzer::explain(std::string_view Source,
+                                                 std::string_view Pred,
+                                                 uint32_t Arity,
+                                                 uint32_t Arg) {
+  if (Arg >= Arity && Arity > 0)
+    return Diagnostic("explain: argument index " + std::to_string(Arg) +
+                      " out of range for arity " + std::to_string(Arity));
+
+  // Re-run transform + evaluation with provenance on. The extra run keeps
+  // analyze() itself zero-cost when nobody asks "why"; explain is a
+  // debugging entry point, not a hot path.
+  TermStore AbsStore;
+  PropTransformer Transformer(Symbols);
+  auto Program = Transformer.transformText(Source, AbsStore);
+  if (!Program)
+    return Program.getError();
+  Database AbsDB(Symbols);
+  auto Loaded = AbsDB.loadProgram(AbsStore, Program->Clauses);
+  if (!Loaded)
+    return Loaded.getError();
+  AbsDB.tableAllPredicates();
+
+  const PredKey *Target = nullptr;
+  for (const PredKey &P : Program->Predicates)
+    if (Symbols.name(P.Sym) == Pred && P.Arity == Arity)
+      Target = &P;
+  if (!Target)
+    return Diagnostic("explain: unknown predicate " + std::string(Pred) + "/" +
+                      std::to_string(Arity));
+
+  Solver::Options EO = Opts.Engine;
+  EO.RecordProvenance = true;
+  Solver Engine(AbsDB, EO);
+  SymbolId AbsSym = Transformer.abstractSymbol(Target->Sym);
+  TermRef Call;
+  if (Arity == 0) {
+    Call = Engine.store().mkAtom(AbsSym);
+  } else {
+    std::vector<TermRef> Args;
+    for (uint32_t I = 0; I < Arity; ++I)
+      Args.push_back(Engine.store().mkVar());
+    Call = Engine.store().mkStruct(AbsSym, Args);
+  }
+  Engine.solve(Call, nullptr);
+
+  const Subgoal *SG = Engine.findSubgoal(Call);
+  if (!SG || Engine.answerCount(*SG) == 0)
+    return Diagnostic("explain: " + std::string(Pred) + "/" +
+                      std::to_string(Arity) +
+                      " has no abstract success (predicate never succeeds)");
+
+  // Witness: the first answer whose Arg position is the atom `true`
+  // (meaning: in this success pattern the argument is definitely ground).
+  size_t Witness = SIZE_MAX;
+  TermStore Scratch;
+  for (size_t AI = 0, AE = Engine.answerCount(*SG); AI < AE; ++AI) {
+    if (Arity == 0) {
+      Witness = AI;
+      break;
+    }
+    Scratch.clear();
+    TermRef Ans = Engine.answerInstance(*SG, AI, Scratch);
+    TermRef A = Scratch.deref(Scratch.arg(Scratch.deref(Ans), Arg));
+    if (Scratch.tag(A) == TermTag::Atom &&
+        Scratch.symbol(A) == Symbols.BoolTrue) {
+      Witness = AI;
+      break;
+    }
+  }
+  if (Witness == SIZE_MAX)
+    return Diagnostic("explain: no success pattern of " + std::string(Pred) +
+                      "/" + std::to_string(Arity) + " grounds argument " +
+                      std::to_string(Arg + 1));
+
+  auto Tree = Engine.justifyAnswer(*SG, Witness);
+  if (!Tree)
+    return Diagnostic("explain: provenance recording unavailable");
+
+  // Map abstract nodes back to the source program: strip the gp_ prefix
+  // from labels, and annotate clauses as "clause i of p/n" — valid because
+  // the Figure-1 transform is clause-by-clause and order-preserving.
+  const std::string AbsPrefix = Transformer.abstractName("");
+  auto StripPrefix = [&AbsPrefix](std::string S) {
+    if (S.compare(0, AbsPrefix.size(), AbsPrefix) == 0)
+      S.erase(0, AbsPrefix.size());
+    return S;
+  };
+  auto Label = [&](const ProofNode &N) {
+    const Subgoal &G = *Engine.subgoals()[N.SubgoalIdx];
+    if (N.AnswerIdx >= Engine.answerCount(G))
+      return StripPrefix(Engine.formatCall(G)) + " <missing answer>";
+    return StripPrefix(Engine.formatAnswer(G, N.AnswerIdx));
+  };
+  auto ClauseLabel = [&](const ProofNode &N) {
+    const Subgoal &G = *Engine.subgoals()[N.SubgoalIdx];
+    std::string Name = StripPrefix(Symbols.name(G.Pred.Sym));
+    return "clause " + std::to_string(N.ClauseIdx + 1) + " of " + Name + "/" +
+           std::to_string(G.Pred.Arity);
+  };
+
+  std::string Out = "why " + std::string(Pred) + "/" + std::to_string(Arity);
+  if (Arity > 0)
+    Out += " can be ground in argument " + std::to_string(Arg + 1);
+  Out += " on success (witness: answer " + std::to_string(Witness + 1) +
+         " of " + std::to_string(Engine.answerCount(*SG)) + "):\n";
+  Out += renderProofTree(*Tree, Label, ClauseLabel);
+  return Out;
 }
 
 ErrorOr<double> GroundnessAnalyzer::measureCompileSeconds(

@@ -57,6 +57,16 @@ struct GroundnessResult {
   /// possibly-strict subsets of the minimal model, not exact results.
   bool Incomplete = false;
 
+  /// \name Justification statistics (Options::Engine.RecordProvenance).
+  /// Filled by validating every recorded justification against the answer
+  /// tables after evaluation; all zero when recording was off.
+  /// @{
+  uint64_t JustifiedAnswers = 0;
+  uint64_t JustificationPremises = 0;
+  /// Premises that did not resolve to a live tabled answer (0 = valid).
+  uint64_t DanglingPremises = 0;
+  /// @}
+
   /// Convenience lookup by predicate name/arity; nullptr when absent.
   const PredGroundness *find(const std::string &Name, uint32_t Arity) const;
 };
@@ -98,6 +108,19 @@ public:
 
   /// Analyzes Prolog source text end to end.
   ErrorOr<GroundnessResult> analyze(std::string_view Source);
+
+  /// Explains WHY argument \p Arg (0-based) of \p Pred/\p Arity can be
+  /// ground on success: re-runs the abstract evaluation with provenance
+  /// recording, picks a witnessing answer of the open call whose Arg is
+  /// `true`, and renders its justification as an indented proof tree over
+  /// the *source* program — the Figure-1 transform is clause-by-clause, so
+  /// abstract clause i of gp_p is source clause i of p, and node labels
+  /// strip the gp_ prefix. Enumerative Prop domain only (AggregateModes is
+  /// ignored; joined answers have no per-derivation justification worth
+  /// printing). Fails when the predicate is unknown or no answer grounds
+  /// the argument.
+  ErrorOr<std::string> explain(std::string_view Source, std::string_view Pred,
+                               uint32_t Arity, uint32_t Arg);
 
   /// Measures the "compilation" baseline for the program: time to read and
   /// load the *concrete* program with no analysis (the denominator of

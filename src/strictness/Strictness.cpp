@@ -164,6 +164,12 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
   ScopedSpan CollectSpan(Trace, Metrics, "collect");
   Result.TableSpaceBytes = Engine.tableSpaceBytes();
   Result.Stats = Engine.stats();
+  if (Opts.Engine.RecordProvenance) {
+    ProvenanceArena::CheckStats PS = Engine.checkProvenance();
+    Result.JustifiedAnswers = PS.Justified;
+    Result.JustificationPremises = PS.Premises;
+    Result.DanglingPremises = PS.Dangling;
+  }
   if (Metrics)
     Engine.snapshotTableMetrics(*Metrics);
   for (size_t I = 0; I < Abstract->Functions.size(); ++I) {
@@ -179,6 +185,115 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
   }
   Result.CollectSeconds = Phase.elapsedSeconds();
   return Result;
+}
+
+ErrorOr<std::string> StrictnessAnalyzer::explain(std::string_view Source,
+                                                 std::string_view Func,
+                                                 uint32_t Arg) {
+  // Re-run the Figure-3 evaluation with provenance recording forced on; the
+  // transform is deterministic, so clause indices line up with the run that
+  // produced the reported strictness.
+  auto Program = FLParser::parse(Source);
+  if (!Program)
+    return Program.getError();
+
+  SymbolTable Symbols;
+  StrictTransformer Transformer(Symbols);
+  TermStore AbsStore;
+  auto Abstract = Transformer.transform(*Program, AbsStore);
+  if (!Abstract)
+    return Abstract.getError();
+
+  const std::pair<std::string, uint32_t> *Target = nullptr;
+  for (const auto &F : Abstract->Functions)
+    if (F.first == Func) {
+      Target = &F;
+      break;
+    }
+  if (!Target)
+    return Diagnostic("explain: unknown function '" + std::string(Func) + "'");
+  if (Arg >= Target->second)
+    return Diagnostic("explain: argument " + std::to_string(Arg + 1) +
+                      " out of range for " + Target->first + "/" +
+                      std::to_string(Target->second));
+
+  Database DB(Symbols);
+  auto Loaded = DB.loadProgram(AbsStore, Abstract->Clauses);
+  if (!Loaded)
+    return Loaded.getError();
+  for (const auto &[Name, Arity] : Abstract->Functions)
+    DB.setTabled(Symbols.intern(Transformer.spName(Name)), Arity + 1);
+
+  Solver::Options EO = Opts.Engine;
+  EO.RecordProvenance = true;
+  Solver Engine(DB, EO);
+  TermRef EAtom = Engine.store().mkAtom(Symbols.intern("e"));
+  SymbolId Sp = Symbols.intern(Transformer.spName(Target->first));
+  std::vector<TermRef> Args{EAtom};
+  for (uint32_t I = 0; I < Target->second; ++I)
+    Args.push_back(Engine.store().mkVar());
+  TermRef Call = Engine.store().mkStruct(Sp, Args);
+  Engine.solve(Call, nullptr);
+  if (Engine.stats().IncompleteTables && !Opts.AllowIncomplete)
+    return Diagnostic("explain: depth limit truncated evaluation; raise "
+                      "Options::Engine.MaxDepth or set AllowIncomplete");
+
+  const Subgoal *SG = Engine.findSubgoal(Call);
+  const std::string Name =
+      Target->first + "/" + std::to_string(Target->second);
+  if (!SG || Engine.answerCount(*SG) == 0)
+    return "why " + Name + " is strict in argument " +
+           std::to_string(Arg + 1) +
+           ": sp_" + Target->first +
+           "(e, ...) has no solution — every evaluation under full demand "
+           "diverges, so the strictness claim holds vacuously.\n";
+
+  // The reported demand is the meet over all answers; show the first
+  // answer's derivation as the witness and say so in the header.
+  size_t Total = Engine.answerCount(*SG);
+  auto Proof = Engine.justifyAnswer(*SG, 0);
+  if (!Proof)
+    return Diagnostic("explain: no justification recorded for answer 0 of " +
+                      Name);
+
+  // Node labels print the materialized answer/call with the sp_ prefix
+  // stripped, so the tree reads over the source functions.
+  const std::string AbsPrefix = Transformer.spName("");
+  auto StripPrefix = [&](std::string S) {
+    size_t Pos = 0;
+    std::string Out;
+    while (Pos < S.size()) {
+      size_t Hit = S.find(AbsPrefix, Pos);
+      if (Hit == std::string::npos) {
+        Out.append(S, Pos, std::string::npos);
+        break;
+      }
+      Out.append(S, Pos, Hit - Pos);
+      Pos = Hit + AbsPrefix.size();
+    }
+    return Out;
+  };
+  auto Label = [&](const ProofNode &N) {
+    const auto &Order = Engine.subgoals();
+    if (N.SubgoalIdx >= Order.size())
+      return std::string("<unknown subgoal>");
+    const Subgoal &S = *Order[N.SubgoalIdx];
+    if (N.AnswerIdx >= Engine.answerCount(S))
+      return StripPrefix(Engine.formatCall(S)) + " (answer pending)";
+    return StripPrefix(Engine.formatAnswer(S, N.AnswerIdx));
+  };
+  auto ClauseLabel = [&](const ProofNode &N) {
+    return "rule " + std::to_string(N.ClauseIdx + 1) +
+           " of the demand program";
+  };
+
+  std::string Out = "why " + Name + " demands argument " +
+                    std::to_string(Arg + 1) +
+                    " under full (e) demand — the claim is the meet over " +
+                    std::to_string(Total) + " solution(s); witness: answer "
+                    "1 of " + std::to_string(Total) + ":\n";
+  Out += renderProofTree(*Proof, Label, ClauseLabel);
+  return Out;
 }
 
 ErrorOr<double> StrictnessAnalyzer::measureCompileSeconds(

@@ -80,6 +80,14 @@ struct StrictnessResult {
   /// lower bound, not the exact meet over all solutions.
   bool Incomplete = false;
 
+  /// \name Justification statistics (Options::Engine.RecordProvenance);
+  /// all zero when recording was off. DanglingPremises must be 0.
+  /// @{
+  uint64_t JustifiedAnswers = 0;
+  uint64_t JustificationPremises = 0;
+  uint64_t DanglingPremises = 0;
+  /// @}
+
   const FuncStrictness *find(const std::string &Name) const;
 };
 
@@ -113,6 +121,17 @@ public:
 
   /// Analyzes FL source text.
   ErrorOr<StrictnessResult> analyze(std::string_view Source);
+
+  /// Explains the demand on argument \p Arg (0-based) of function \p Func
+  /// under full (e) demand: re-runs the Figure-3 evaluation with provenance
+  /// recording and renders the justification of one sp_Func(e, ...) answer
+  /// as a proof tree, clause annotations mapped to the demand-propagation
+  /// rules of the function ("rule i of Func"). The reported strictness is
+  /// the *meet over all* answers; the header states which witness is shown.
+  /// Fails when the function is unknown (a function with no answer diverges
+  /// — strict vacuously — and that is explained without a tree).
+  ErrorOr<std::string> explain(std::string_view Source, std::string_view Func,
+                               uint32_t Arg);
 
   /// Time to parse the FL program with no analysis (the "compilation"
   /// baseline discussed with Table 3).

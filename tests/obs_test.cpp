@@ -92,6 +92,35 @@ TEST(Histogram, ZeroAndLargeValues) {
   EXPECT_EQ(H.quantile(0.0), 0u);
 }
 
+TEST(Histogram, QuantileEdgeCasesArePinned) {
+  // Empty: every Q reports 0.
+  Histogram Empty;
+  for (double Q : {-1.0, 0.0, 0.5, 1.0, 2.0})
+    EXPECT_EQ(Empty.quantile(Q), 0u) << Q;
+
+  // {5, 6, 7} all land in bucket 3 (values in [4, 8)); the bucket's upper
+  // bound is 7. Q <= 0 must report exactly min() (5, not the bucket
+  // bound), and Q >= 1 exactly max().
+  Histogram H;
+  for (uint64_t V : {5, 6, 7})
+    H.record(V);
+  EXPECT_EQ(H.quantile(0.0), 5u);
+  EXPECT_EQ(H.quantile(-0.5), 5u);
+  EXPECT_EQ(H.quantile(1.0), 7u);
+  EXPECT_EQ(H.quantile(1.5), 7u);
+  EXPECT_EQ(H.quantile(0.5), 7u); // Mid falls in the bucket; bound = 7.
+
+  // {1, 2, 4, 8} spread across buckets: interior quantiles return bucket
+  // upper bounds (2^B - 1), clamped into [min, max].
+  Histogram S;
+  for (uint64_t V : {1, 2, 4, 8})
+    S.record(V);
+  EXPECT_EQ(S.quantile(0.0), 1u);
+  EXPECT_EQ(S.quantile(0.25), 1u); // Bucket 1 covers [1, 2); bound = 1.
+  EXPECT_EQ(S.quantile(0.99), 7u); // Bucket 3 covers [4, 8); bound = 7.
+  EXPECT_EQ(S.quantile(1.0), 8u);  // Exactly max, above every bound.
+}
+
 //===----------------------------------------------------------------------===//
 // Event ordering from the engine (the tentpole's correctness core)
 //===----------------------------------------------------------------------===//

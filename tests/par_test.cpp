@@ -234,6 +234,39 @@ TEST(MetricsMergeTest, CountersAndPredicatesAccumulate) {
   EXPECT_NE(Json.find("\"eval\""), std::string::npos);
 }
 
+TEST(MetricsMergeTest, MergingSameRegistryTwiceAccumulatesExactly) {
+  // Regression: a worker registry merged twice (re-run, retry, or a caller
+  // folding the same shard into two aggregates) must accumulate counters
+  // exactly ×2 without duplicating predicate rows — including predicates
+  // that land under synthetic keys on the FIRST merge, whose synthetic key
+  // must be found again by name on the second.
+  SymbolTable SymsW;
+  MetricsRegistry Worker, Total;
+  PredMetrics &PM = Worker.pred(SymsW, SymsW.intern("p"), 2);
+  PM.Calls = 3;
+  PM.NewAnswers = 5;
+  PM.AnswersPerSubgoal.record(4);
+  Worker.addPhase("evaluate", 0.25);
+  Worker.setCounter("rounds", 6);
+
+  Total.mergeFrom(Worker);
+  Total.mergeFrom(Worker);
+
+  // One row, not two.
+  auto Preds = Total.predicates();
+  ASSERT_EQ(Preds.size(), 1u);
+  EXPECT_EQ(Preds[0]->qualifiedName(), "p/2");
+  EXPECT_EQ(Preds[0]->Calls, 6u);
+  EXPECT_EQ(Preds[0]->NewAnswers, 10u);
+  EXPECT_EQ(Preds[0]->AnswersPerSubgoal.count(), 2u);
+
+  // Phases and named counters accumulate exactly ×2.
+  ASSERT_EQ(Total.phases().size(), 1u);
+  EXPECT_DOUBLE_EQ(Total.phases()[0].second, 0.5);
+  ASSERT_EQ(Total.counters().size(), 1u);
+  EXPECT_EQ(Total.counters()[0].second, 12u);
+}
+
 TEST(MetricsMergeTest, MergeIntoEmptyEqualsCopy) {
   SymbolTable Syms;
   MetricsRegistry A, B;

@@ -13,8 +13,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/Solver.h"
 #include "prop/Groundness.h"
 #include "reader/Parser.h"
+#include "term/TermWriter.h"
 #include "strictness/Strictness.h"
 #include "table/TermTrie.h"
 #include "term/Variant.h"
@@ -290,6 +292,63 @@ TEST(TableRepresentationAB, GroundnessResultsAreBitIdentical) {
     EXPECT_EQ(Trie.Predicates[I].Arity, Str.Predicates[I].Arity);
     EXPECT_EQ(Trie.Predicates[I].SuccessSet, Str.Predicates[I].SuccessSet);
     EXPECT_EQ(Trie.Predicates[I].CallPatterns, Str.Predicates[I].CallPatterns);
+  }
+}
+
+/// Solves the same program and goal under one table representation and
+/// returns every answer of the goal's subgoal, materialized in recording
+/// order through findSubgoal + answerInstance.
+std::vector<std::string> enumerateAnswers(const char *Prog, const char *GoalText,
+                                          bool UseTrieTables) {
+  SymbolTable Syms;
+  Database DB(Syms);
+  auto C = DB.consult(Prog);
+  EXPECT_TRUE(C.hasValue()) << (C ? "" : C.getError().str());
+  Solver::Options Opts;
+  Opts.UseTrieTables = UseTrieTables;
+  Solver Engine(DB, Opts);
+  auto Goal = Parser::parseTerm(Syms, Engine.store(), GoalText);
+  EXPECT_TRUE(Goal.hasValue()) << GoalText;
+  Engine.solve(*Goal, nullptr);
+  const Subgoal *SG = Engine.findSubgoal(*Goal);
+  EXPECT_NE(SG, nullptr) << GoalText;
+  std::vector<std::string> Out;
+  if (!SG)
+    return Out;
+  for (size_t I = 0, N = Engine.answerCount(*SG); I < N; ++I) {
+    TermStore Scratch;
+    TermRef Inst = Engine.answerInstance(*SG, I, Scratch);
+    Out.push_back(TermWriter::toString(Syms, Scratch, Inst));
+  }
+  return Out;
+}
+
+TEST(TableRepresentationAB, AnswerEnumerationOrderIsIdentical) {
+  // Both table representations must expose the same answers in the same
+  // recording order through the findSubgoal/answerInstance API: downstream
+  // consumers (provenance premise indices, fleet fingerprints) identify an
+  // answer by its position, so order is part of the contract, not an
+  // implementation detail.
+  const char *Prog = R"(
+    :- table path/2.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    edge(a, b). edge(b, c). edge(c, a). edge(b, d).
+    :- table app/3.
+    app([], Ys, Ys).
+    app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+    :- table splits/2.
+    splits(L, s(A, B)) :- app(A, B, L).
+  )";
+  for (const char *Goal :
+       {"path(a, X)", "path(X, Y)", "splits([a,b,c], S)"}) {
+    SCOPED_TRACE(Goal);
+    std::vector<std::string> Trie =
+        enumerateAnswers(Prog, Goal, /*UseTrieTables=*/true);
+    std::vector<std::string> Str =
+        enumerateAnswers(Prog, Goal, /*UseTrieTables=*/false);
+    EXPECT_FALSE(Trie.empty());
+    EXPECT_EQ(Trie, Str);
   }
 }
 
