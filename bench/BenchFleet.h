@@ -22,6 +22,7 @@
 #include "par/ThreadPool.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <string_view>
 
@@ -61,6 +62,43 @@ inline bool provenanceArg(int Argc, char **Argv) {
   return false;
 }
 
+/// Sampling-profiler rate for the fleet phase: "--sample-hz N" or
+/// "--sample-hz=N"; 0 (the default) leaves the sampler off.
+inline uint32_t sampleHzArg(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view Val;
+    if (A == "--sample-hz" && I + 1 < Argc)
+      Val = Argv[I + 1];
+    else if (A.substr(0, 12) == "--sample-hz=")
+      Val = A.substr(12);
+    else
+      continue;
+    uint32_t N = 0;
+    for (char C : Val) {
+      if (C < '0' || C > '9')
+        return 0;
+      N = N * 10 + static_cast<uint32_t>(C - '0');
+    }
+    return N;
+  }
+  return 0;
+}
+
+/// Folded-stack output path for the fleet's sample profile: "--folded
+/// PATH" or "--folded=PATH"; empty (the default) writes no file. Only
+/// meaningful together with --sample-hz.
+inline std::string foldedOutArg(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    if (A == "--folded" && I + 1 < Argc)
+      return std::string(Argv[I + 1]);
+    if (A.substr(0, 9) == "--folded=")
+      return std::string(A.substr(9));
+  }
+  return std::string();
+}
+
 /// Runs the \p Kind slice of the corpus serially and with \p Jobs workers,
 /// compares the runs job by job, prints a summary line, and emits a
 /// "<Key>" object into the current JSON object. Returns the number of
@@ -72,8 +110,17 @@ inline bool provenanceArg(int Argc, char **Argv) {
 /// check extends to justification validity under --jobs N — and a third,
 /// provenance-OFF serial run measures the recording overhead for the
 /// trajectory JSON. A job with dangling premises counts as a mismatch.
+///
+/// With \p SampleHz > 0 the *parallel* arm runs under the sampling
+/// profiler (one lane per worker); the serial arm stays unsampled, so the
+/// bit-identity comparison doubles as the "sampling never perturbs
+/// results" check. The JSON gains a "sample_profile" block, and when
+/// \p FoldedPath is non-empty the full collapsed-stack profile is written
+/// there (flamegraph.pl / speedscope input; CI uploads it as an artifact).
 inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
-                         size_t Jobs, bool Provenance = false) {
+                         size_t Jobs, bool Provenance = false,
+                         uint32_t SampleHz = 0,
+                         const std::string &FoldedPath = std::string()) {
   std::vector<CorpusJob> Matrix = CorpusScheduler::kindJobs(Kind);
 
   CorpusScheduler::Options SO;
@@ -86,6 +133,7 @@ inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
   CorpusScheduler::Options PO;
   PO.Jobs = Jobs;
   PO.RecordProvenance = Provenance;
+  PO.SampleHz = SampleHz;
   CorpusScheduler Par(PO);
   std::vector<CorpusJobResult> ParRes = Par.run(Matrix);
   double ParMs = Par.lastWallSeconds() * 1e3;
@@ -142,6 +190,32 @@ inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
                 static_cast<unsigned long long>(Dangling),
                 BaseMs > 0 ? (SerialMs / BaseMs - 1.0) * 100.0 : 0.0,
                 BaseMs);
+  if (SampleHz > 0) {
+    const SampleProfile &SP = Par.sampleProfile();
+    std::printf("Fleet profile: %u Hz, %llu samples (%llu idle, %llu "
+                "torn), %zu distinct stacks\n",
+                SampleHz, static_cast<unsigned long long>(SP.totalSamples()),
+                static_cast<unsigned long long>(SP.idleSamples()),
+                static_cast<unsigned long long>(SP.tornSamples()),
+                SP.sortedStacks().size());
+    if (!FoldedPath.empty()) {
+      std::filesystem::path Parent =
+          std::filesystem::path(FoldedPath).parent_path();
+      if (!Parent.empty()) {
+        std::error_code EC;
+        std::filesystem::create_directories(Parent, EC);
+      }
+      std::string Folded = Par.foldedStacks();
+      if (std::FILE *F = std::fopen(FoldedPath.c_str(), "w")) {
+        std::fwrite(Folded.data(), 1, Folded.size(), F);
+        std::fclose(F);
+        std::printf("Fleet profile folded stacks: %s\n", FoldedPath.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write folded stacks to %s\n",
+                     FoldedPath.c_str());
+      }
+    }
+  }
 
   W.key(Key);
   W.beginObject();
@@ -161,6 +235,13 @@ inline int runFleetPhase(JsonWriter &W, const char *Key, CorpusJobKind Kind,
     W.member("provenance_justified", Justified);
     W.member("provenance_premises", Premises);
     W.member("provenance_dangling", Dangling);
+  }
+  W.member("sample_hz", static_cast<uint64_t>(SampleHz));
+  if (SampleHz > 0) {
+    // Top 20 stacks keep the trajectory file small; the full folded
+    // profile is available via CorpusScheduler::foldedStacks().
+    W.key("sample_profile");
+    Par.sampleProfile().writeJson(W, /*Symbols=*/nullptr, /*TopN=*/20);
   }
   W.endObject();
   return Mismatches;

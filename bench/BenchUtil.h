@@ -20,6 +20,7 @@
 #include "obs/Json.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <string_view>
 
@@ -76,8 +77,9 @@ inline std::string paperSec(double V) {
 }
 
 /// Resolves the output path for a bench driver's JSON trajectory file:
-/// "--json PATH" or "--json=PATH" overrides \p Default ("<bench>.json" in
-/// the working directory).
+/// "--json PATH" or "--json=PATH" overrides \p Default (which lives under
+/// the gitignored bench/out/ so trajectory artifacts never land in the
+/// source tree by accident).
 inline std::string jsonOutPath(int Argc, char **Argv, const char *Default) {
   for (int I = 1; I < Argc; ++I) {
     std::string_view A = Argv[I];
@@ -90,8 +92,15 @@ inline std::string jsonOutPath(int Argc, char **Argv, const char *Default) {
 }
 
 /// Writes \p Json to \p Path and reports where it went (benches always
-/// leave a machine-readable record next to the human table).
+/// leave a machine-readable record next to the human table). Creates the
+/// parent directory if needed (the default out dir starts gitignored and
+/// absent).
 inline bool writeJsonFile(const std::string &Path, const std::string &Json) {
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  if (!Parent.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Parent, EC);
+  }
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());

@@ -91,7 +91,8 @@ int main(int argc, char **argv) {
   JW.endArray();
   JW.endObject();
   std::printf("%s\n", Out.render().c_str());
-  writeJsonFile(jsonOutPath(argc, argv, "bench_dataflow.json"), Json);
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_dataflow.json"),
+                Json);
   std::printf(
       "Notes:\n"
       " * 'Ratio' is the general-purpose/special-purpose gap; the paper's\n"

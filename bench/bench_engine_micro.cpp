@@ -299,6 +299,38 @@ void BM_RecordAnswerProvenance(benchmark::State &State) {
 }
 BENCHMARK(BM_RecordAnswerProvenance)->Arg(0)->Arg(1);
 
+/// A/B ablation of the sampling-profiler cursor (Solver::setSampleCursor)
+/// on the same complete-digraph closure: with a cursor attached, every
+/// producer run brackets a seqlock frame push/pop and every recorded
+/// answer publishes the table gauges. Arg: 1 = cursor attached (publish
+/// cost, nobody sampling), 0 = detached (the null-cost path — one pointer
+/// test per hook, the always-on default). The delta bounds the worst-case
+/// publish overhead independent of any Sampler thread.
+void BM_CursorPublish(benchmark::State &State) {
+  const int N = 12;
+  std::string Prog = ":- table path/2.\n"
+                     "path(X, Y) :- edge(X, Y).\n"
+                     "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J)
+      Prog += "edge(" + std::to_string(I) + ", " + std::to_string(J) +
+              ").\n";
+  SymbolTable Syms;
+  Database DB(Syms);
+  (void)DB.consult(Prog);
+  EvalCursor Cursor;
+  for (auto _ : State) {
+    Solver Engine(DB);
+    if (State.range(0) != 0)
+      Engine.setSampleCursor(&Cursor);
+    auto G = Parser::parseTerm(Syms, Engine.store(), "path(X, Y)");
+    size_t Sols = Engine.solve(*G, nullptr);
+    benchmark::DoNotOptimize(Sols);
+  }
+  State.SetItemsProcessed(State.iterations() * 4 * N * N);
+}
+BENCHMARK(BM_CursorPublish)->Arg(0)->Arg(1);
+
 void BM_TabledFib(benchmark::State &State) {
   const char *Prog = ":- table fib/2.\n"
                      "fib(0, 0). fib(1, 1).\n"
@@ -319,12 +351,13 @@ BENCHMARK(BM_TabledFib);
 
 // Like BENCHMARK_MAIN(), but every run leaves a JSON trajectory file:
 // unless the caller passes --benchmark_out themselves, results also go to
-// bench_engine_micro.json in the working directory. "--json PATH" (the
-// flag the table harnesses take) is translated to --benchmark_out=PATH.
+// bench/out/bench_engine_micro.json (gitignored; created on demand).
+// "--json PATH" (the flag the table harnesses take) is translated to
+// --benchmark_out=PATH.
 int main(int argc, char **argv) {
   std::vector<char *> Args;
   Args.push_back(argv[0]);
-  std::string OutFlag = "--benchmark_out=bench_engine_micro.json";
+  std::string OutFlag = "--benchmark_out=bench/out/bench_engine_micro.json";
   std::string FmtFlag = "--benchmark_out_format=json";
   bool HasOut = false;
   for (int I = 1; I < argc; ++I) {
@@ -345,6 +378,13 @@ int main(int argc, char **argv) {
     Args.push_back(argv[I]);
   }
   if (!HasOut) {
+    // google-benchmark fopen()s the out path without creating directories.
+    std::filesystem::path Parent =
+        std::filesystem::path(OutFlag.substr(16)).parent_path();
+    if (!Parent.empty()) {
+      std::error_code EC;
+      std::filesystem::create_directories(Parent, EC);
+    }
     Args.push_back(OutFlag.data());
     Args.push_back(FmtFlag.data());
   }

@@ -135,11 +135,12 @@ int main(int argc, char **argv) {
   // bit-identity required between the two runs.
   Failures +=
       runFleetPhase(W, "fleet", CorpusJobKind::Groundness, jobsArg(argc, argv),
-                    provenanceArg(argc, argv));
+                    provenanceArg(argc, argv), sampleHzArg(argc, argv),
+                    foldedOutArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
-  writeJsonFile(jsonOutPath(argc, argv, "bench_table1_groundness.json"),
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_table1_groundness.json"),
                 Json);
   std::printf(
       "Notes:\n"

@@ -122,11 +122,13 @@ int main(int argc, char **argv) {
   // fleet, parallel output required bit-identical to serial.
   Failures +=
       runFleetPhase(W, "fleet", CorpusJobKind::WamLite, jobsArg(argc, argv),
-                    provenanceArg(argc, argv));
+                    provenanceArg(argc, argv), sampleHzArg(argc, argv),
+                    foldedOutArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
-  writeJsonFile(jsonOutPath(argc, argv, "bench_table1_wamlite.json"), Json);
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_table1_wamlite.json"),
+                Json);
   std::printf(
       "Notes:\n"
       " * 'Incr' = analysis total / WAM-lite compile time. The paper's\n"

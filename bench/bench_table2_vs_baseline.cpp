@@ -149,18 +149,21 @@ int main(int argc, char **argv) {
   // the flip, so workers observe a stable value (happens-before via join).
   size_t Jobs = jobsArg(argc, argv);
   bool Prov = provenanceArg(argc, argv);
-  Failures +=
-      runFleetPhase(W, "fleet_trie", CorpusJobKind::Groundness, Jobs, Prov);
+  uint32_t Hz = sampleHzArg(argc, argv);
+  // Only the trie fleet writes folded stacks — a shared --folded path
+  // would be clobbered by the string-table phase.
+  Failures += runFleetPhase(W, "fleet_trie", CorpusJobKind::Groundness, Jobs,
+                            Prov, Hz, foldedOutArg(argc, argv));
   {
     bool Prev = Solver::setDefaultUseTrieTables(false);
     Failures += runFleetPhase(W, "fleet_string", CorpusJobKind::Groundness,
-                              Jobs, Prov);
+                              Jobs, Prov, Hz);
     Solver::setDefaultUseTrieTables(Prev);
   }
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
-  writeJsonFile(jsonOutPath(argc, argv, "bench_table2_vs_baseline.json"),
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_table2_vs_baseline.json"),
                 Json);
   std::printf(
       "Notes:\n"

@@ -93,11 +93,13 @@ int main(int argc, char **argv) {
 
   // Parallel arm: the 10 FL benchmarks through strictness on the fleet.
   Failures += runFleetPhase(W, "fleet", CorpusJobKind::Strictness,
-                            jobsArg(argc, argv), provenanceArg(argc, argv));
+                            jobsArg(argc, argv), provenanceArg(argc, argv),
+                            sampleHzArg(argc, argv),
+                            foldedOutArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
-  writeJsonFile(jsonOutPath(argc, argv, "bench_table3_strictness.json"),
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_table3_strictness.json"),
                 Json);
   if (TotalSeconds > 0)
     std::printf("Throughput: %.0f source lines/second (the paper reports "

@@ -111,11 +111,13 @@ int main(int argc, char **argv) {
   // Parallel arm: the 12 programs through depth-k on the fleet.
   Failures +=
       runFleetPhase(W, "fleet", CorpusJobKind::DepthK, jobsArg(argc, argv),
-                    provenanceArg(argc, argv));
+                    provenanceArg(argc, argv), sampleHzArg(argc, argv),
+                    foldedOutArg(argc, argv));
 
   W.endObject();
   std::printf("%s\n", Out.render().c_str());
-  writeJsonFile(jsonOutPath(argc, argv, "bench_table4_depthk.json"), Json);
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_table4_depthk.json"),
+                Json);
   std::printf(
       "Notes:\n"
       " * Rows marked '*' (gabriel, press1, press2) are absent from the\n"

@@ -16,17 +16,20 @@
 // Left recursion over a cyclic graph — it terminates here.
 //
 // Commands (':'-prefixed lines run immediately, no trailing dot needed):
-//   :stats            per-predicate metrics table + engine counters
+//   :stats            per-predicate metrics table + engine counters and
+//                     table-space watermarks (peak bytes, not current)
 //   :trace on|off     print one line per SLG event as goals run
 //   :profile <goal>   run a goal and report the engine work it caused
 //   :why <goal>       solve the goal and print proof trees for its answers
 //   :forest [dot|json] [path]   dump the SLG subgoal dependency forest
+//   :flame [path]     folded stacks from the always-on sampling profiler
 // Legacy: "stats." prints the raw counters, "halt." exits.
 //
 //===----------------------------------------------------------------------===//
 
 #include "engine/Solver.h"
 #include "obs/Metrics.h"
+#include "obs/Sampler.h"
 #include "obs/Trace.h"
 #include "reader/Parser.h"
 #include "support/Stopwatch.h"
@@ -56,10 +59,21 @@ int main() {
   PrintSink Printer(Symbols, stdout);
   Engine.setObservability(&Trace, &Metrics);
 
+  // The sampling profiler is always on, demonstrating the "leave it
+  // attached" cost model: the engine publishes its cursor via a seqlock
+  // (two relaxed stores per frame push) and the 1 kHz reader thread never
+  // blocks evaluation. ":flame" dumps what it saw.
+  EvalCursor Cursor;
+  Engine.setSampleCursor(&Cursor);
+  Sampler Prof(Sampler::Options{/*Hz=*/1000});
+  Prof.addLane("repl", &Cursor);
+  Prof.start();
+
   std::printf("lpa toplevel — tabled logic engine "
               "(clauses to assert, '?- G.' to query, ':stats', "
               "':trace on|off', ':profile G', ':why G', "
-              "':forest [dot|json] [path]', 'halt.' to quit)\n");
+              "':forest [dot|json] [path]', ':flame [path]', "
+              "'halt.' to quit)\n");
 
   std::string Buffer;
   std::string Line;
@@ -170,6 +184,45 @@ int main() {
           }
           continue;
         }
+        if (Cmd == ":flame" || Cmd.compare(0, 7, ":flame ") == 0) {
+          // ":flame [path]" — collapsed stacks from the always-on 1 kHz
+          // sampler, in flamegraph.pl / speedscope input format. The
+          // sampler pauses while we read (profile() is only stable when
+          // the thread is stopped) and resumes after.
+          std::string Path;
+          if (Cmd.size() > 7) {
+            size_t A = Cmd.find_first_not_of(" \t", 7);
+            if (A != std::string::npos)
+              Path = Cmd.substr(A);
+          }
+          Prof.stop();
+          const SampleProfile &P = Prof.profile();
+          if (P.empty()) {
+            std::printf("  no samples yet — the profiler only sees the "
+                        "engine while goals run.\n");
+          } else {
+            std::string Folded = P.formatFolded(&Symbols);
+            if (Path.empty()) {
+              std::printf("%s", Folded.c_str());
+              std::printf("  (%llu samples, %llu idle, %llu torn at %u "
+                          "Hz)\n",
+                          static_cast<unsigned long long>(P.totalSamples()),
+                          static_cast<unsigned long long>(P.idleSamples()),
+                          static_cast<unsigned long long>(P.tornSamples()),
+                          Prof.hz());
+            } else if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+              std::fwrite(Folded.data(), 1, Folded.size(), F);
+              std::fclose(F);
+              std::printf("  wrote %llu samples' folded stacks to %s.\n",
+                          static_cast<unsigned long long>(P.totalSamples()),
+                          Path.c_str());
+            } else {
+              std::printf("  cannot open %s for writing.\n", Path.c_str());
+            }
+          }
+          Prof.start();
+          continue;
+        }
         if (Cmd == ":forest" || Cmd.compare(0, 8, ":forest ") == 0) {
           // ":forest [dot|json] [path]" — format defaults to dot; with a
           // path the graph goes to the file, otherwise to the terminal.
@@ -214,7 +267,7 @@ int main() {
         }
         std::printf("  unknown command: %s "
                     "(:stats, :trace on|off, :profile <goal>, :why <goal>, "
-                    ":forest [dot|json] [path])\n",
+                    ":forest [dot|json] [path], :flame [path])\n",
                     Cmd.c_str());
         continue;
       }

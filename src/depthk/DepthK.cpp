@@ -88,6 +88,9 @@ public:
   void snapshotMetrics(MetricsRegistry &M) const;
   uint64_t ProducerRuns = 0;
   uint64_t Widenings = 0;
+  /// Monotone count of new-answer commits (widening folds shrink the live
+  /// answer sets, so numAnswers() is not monotone; the cursor gauge is).
+  uint64_t AnswersRecorded = 0;
   /// Set when MaxProducerRuns stopped the worklist with work remaining.
   bool Incomplete = false;
 
@@ -378,6 +381,10 @@ void AbsInterp::recordAnswer(Entry &E, TermRef AnsPattern, uint32_t ClauseIdx,
   TermRef Stored = copyTerm(Heap, AnsPattern, Tables);
   E.AnswerKeys.insert(std::move(AKey));
   E.Answers.push_back(Stored);
+  ++AnswersRecorded;
+  if (Opts.Cursor)
+    Opts.Cursor->setGauges(Tables.memoryBytes(), AnswersRecorded,
+                           Order.size());
   if (Prov)
     Prov->record(E.Ordinal, E.Answers.size() - 1, ClauseIdx,
                  Premises ? std::span<const ProvPremise>(*Premises)
@@ -410,6 +417,10 @@ void AbsInterp::runEntry(Entry &E) {
   if (!P)
     return;
   ++ProducerRuns;
+  // The worklist makes entry runs non-nested, so the published stack is a
+  // single frame; the sampler still sees which predicate is being re-run.
+  if (Opts.Cursor)
+    Opts.Cursor->pushFrame(E.Pred.Sym, E.Pred.Arity);
   SymbolId StateSym = Symbols.intern("$state");
 
   for (size_t ClauseIdx = 0; ClauseIdx < P->Clauses.size(); ++ClauseIdx) {
@@ -503,6 +514,8 @@ void AbsInterp::runEntry(Entry &E) {
       Heap.undoTo(M2);
     }
   }
+  if (Opts.Cursor)
+    Opts.Cursor->popFrame();
 }
 
 void AbsInterp::drainWorklist() {
@@ -623,6 +636,10 @@ ErrorOr<DepthKResult> DepthKAnalyzer::analyze(std::string_view Source) {
     Opts.Metrics->setCounter("fixpoint_rounds", Result.FixpointRounds);
     Opts.Metrics->setCounter("widenings", Result.Widenings);
     Opts.Metrics->setCounter("table_space_bytes", Result.TableSpaceBytes);
+    // Depth-k tables only grow (no completion-time release), so the final
+    // footprint is the lifetime peak.
+    Opts.Metrics->noteWatermark("peak_table_space_bytes",
+                                Result.TableSpaceBytes);
   }
 
   const TermStore &TS = Interp.tableStore();

@@ -21,6 +21,7 @@
 #include "depthk/AbstractDomain.h"
 #include "engine/Database.h"
 #include "obs/Metrics.h"
+#include "obs/Sampler.h"
 #include "obs/Trace.h"
 #include "support/Error.h"
 
@@ -115,6 +116,12 @@ public:
     /// producer-run / widening counters.
     Tracer *Trace = nullptr;
     MetricsRegistry *Metrics = nullptr;
+
+    /// Sampling-profiler cursor (optional, caller-owned). The abstract
+    /// interpreter has its own worklist rather than a Solver, so it
+    /// publishes its entry (re-)runs as cursor frames itself; a background
+    /// Sampler then profiles depth-k jobs the same way as SLG jobs.
+    EvalCursor *Cursor = nullptr;
   };
 
   explicit DepthKAnalyzer(SymbolTable &Symbols)

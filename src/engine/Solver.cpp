@@ -245,7 +245,20 @@ size_t Solver::tableSpaceBytes() const {
     Bytes += Prov->memoryBytes();
   Bytes += DepEdges.capacity() * sizeof(ForestEdge);
   Bytes += DepEdgeSet.size() * sizeof(uint64_t) * 2;
+  // Every full walk refreshes the peak for free; the completion path also
+  // calls this right before releasing an outermost SCC's frontiers, so the
+  // pre-free maximum is captured (see ensureSubgoal).
+  if (Bytes > Water.PeakTableSpaceBytes)
+    Water.PeakTableSpaceBytes = Bytes;
   return Bytes;
+}
+
+const TableWatermarks &Solver::watermarks() const {
+  size_t StoreBytes = Tables.memoryBytes();
+  if (StoreBytes > Water.PeakTermStoreBytes)
+    Water.PeakTermStoreBytes = StoreBytes;
+  (void)tableSpaceBytes(); // Refreshes PeakTableSpaceBytes.
+  return Water;
 }
 
 void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
@@ -298,6 +311,11 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("incomplete_tables", Stats.IncompleteTables);
   M.setCounter("subgoal_trie_nodes", SubgoalTrie.nodeCount());
   M.setCounter("subgoal_trie_bytes", SubgoalTrie.memoryBytes());
+  const TableWatermarks &W = watermarks();
+  M.noteWatermark("peak_term_store_bytes", W.PeakTermStoreBytes);
+  M.noteWatermark("peak_subgoal_answer_bytes", W.PeakSubgoalAnswerBytes);
+  M.noteWatermark("peak_scc_frontier_bytes", W.PeakSccFrontierBytes);
+  M.noteWatermark("peak_table_space_bytes", W.PeakTableSpaceBytes);
   if (Prov) {
     M.setCounter("provenance_justifications", Prov->justificationCount());
     M.setCounter("provenance_bytes", Prov->memoryBytes());
@@ -441,6 +459,14 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
   };
   auto NoteRecorded = [&]() {
     ++Stats.AnswersRecorded;
+    // Term-store watermark: memoryBytes() is O(1) (two capacity reads), so
+    // every recorded answer refreshes the exact peak.
+    size_t StoreBytes = Tables.memoryBytes();
+    if (StoreBytes > Water.PeakTermStoreBytes)
+      Water.PeakTermStoreBytes = StoreBytes;
+    if (Cursor)
+      Cursor->setGauges(StoreBytes, Stats.AnswersRecorded,
+                        Stats.SubgoalsCreated);
     if (Metrics)
       ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).NewAnswers;
     if (Trace)
@@ -1052,25 +1078,38 @@ void Solver::bindFactoredAnswer(const Subgoal &SG, size_t I,
     Heap.bind(GoalVars[J], copyTerm(Tables, B[J], Heap, Renaming));
 }
 
-void Solver::releaseCompletedState(Subgoal &SG) {
+size_t Solver::releaseCompletedState(Subgoal &SG) {
   // Frontiers, consumer links and answer dedup structures only serve
   // evaluation; a completed table never gains an answer, so release them
   // and account the shrink (tableSpaceBytes drops by the same amount).
-  size_t Freed = 0;
+  size_t FrontierBytes = 0;
   for (const auto &CF : SG.Frontiers)
     if (CF)
-      Freed += CF->memoryBytes();
+      FrontierBytes += CF->memoryBytes();
+  size_t Freed = FrontierBytes;
+  size_t DedupBytes = 0;
   for (const auto &K : SG.AnswerKeys)
-    Freed += K.capacity() + sizeof(void *) * 2;
+    DedupBytes += K.capacity() + sizeof(void *) * 2;
   if (SG.AnswerTrie)
-    Freed += sizeof(TermTrie) + SG.AnswerTrie->memoryBytes();
+    DedupBytes += sizeof(TermTrie) + SG.AnswerTrie->memoryBytes();
+  Freed += DedupBytes;
   Freed += SG.Consumers.size() * sizeof(void *) * 2;
+  // An answer table only grows until completion, so its footprint here is
+  // its lifetime peak: the dedup structure just measured plus the answer
+  // vectors that survive completion.
+  size_t AnswerBytes = DedupBytes +
+                       SG.Answers.capacity() * sizeof(TermRef) +
+                       SG.AnswerBindings.capacity() * sizeof(TermRef) +
+                       SG.AnswerSeq.capacity() * sizeof(uint64_t);
+  if (AnswerBytes > Water.PeakSubgoalAnswerBytes)
+    Water.PeakSubgoalAnswerBytes = AnswerBytes;
   SG.Frontiers.clear();
   SG.Frontiers.shrink_to_fit();
   SG.AnswerKeys.clear();
   SG.AnswerTrie.reset();
   SG.Consumers.clear();
   Stats.FrontierBytesFreed += Freed;
+  return FrontierBytes;
 }
 
 Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
@@ -1109,6 +1148,9 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
   SG.Ordinal = static_cast<uint32_t>(SubgoalOwned.size());
   SG.Key = std::move(CallKey); // Empty on the trie path: no key string.
   SG.CallTerm = copyTerm(Heap, Goal, Tables);
+  if (size_t StoreBytes = Tables.memoryBytes();
+      StoreBytes > Water.PeakTermStoreBytes)
+    Water.PeakTermStoreBytes = StoreBytes;
   // copyTerm renames variables in first-occurrence order, so CallVars
   // corresponds index-wise to the trie walk's variable numbering (and to
   // any variant consumer's own free-variable order).
@@ -1131,7 +1173,11 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
   // the run lower SG.MinLink (see solveTabled).
   SG.Dirty = false;
   ProducerStack.push_back(&SG);
+  if (Cursor)
+    Cursor->pushFrame(Key.Sym, Key.Arity);
   runProducer(SG);
+  if (Cursor)
+    Cursor->popFrame();
   ProducerStack.pop_back();
 
   if (SG.MinLink == SG.Dfn) {
@@ -1150,7 +1196,11 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
         Member->Dirty = false;
         Any = true;
         ProducerStack.push_back(Member);
+        if (Cursor)
+          Cursor->pushFrame(Member->Pred.Sym, Member->Pred.Arity);
         runProducer(*Member);
+        if (Cursor)
+          Cursor->popFrame();
         ProducerStack.pop_back();
       }
     }
@@ -1163,6 +1213,14 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
     // Forest bookkeeping: members completing together form one SCC; the
     // global completion sequence orders tables by when they closed.
     ++SccCounter;
+    if (Cursor)
+      Cursor->setPhase(EvalPhase::Complete);
+    // The outermost completion is where live table space is maximal (every
+    // frontier of the batch is still allocated); walk the tables once
+    // before releasing so PeakTableSpaceBytes sees the pre-free footprint.
+    if (SG.StackPos == 0)
+      (void)tableSpaceBytes();
+    size_t SccFrontierBytes = 0;
     for (size_t I = SG.StackPos; I < CompletionStack.size(); ++I) {
       Subgoal *Member = CompletionStack[I];
       Member->SccId = SccCounter;
@@ -1175,7 +1233,7 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
       Member->OnStack = false;
       // Producers never re-run once complete; release the supplementary
       // tables and answer dedup structures.
-      releaseCompletedState(*Member);
+      SccFrontierBytes += releaseCompletedState(*Member);
       if (Metrics)
         ++Metrics->pred(Symbols, Member->Pred.Sym, Member->Pred.Arity)
               .Completions;
@@ -1183,7 +1241,12 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
         Trace->emit(TraceEventKind::SubgoalComplete, Member->Pred.Sym,
                     Member->Pred.Arity, answerCount(*Member));
     }
+    if (SccFrontierBytes > Water.PeakSccFrontierBytes)
+      Water.PeakSccFrontierBytes = SccFrontierBytes;
     CompletionStack.resize(SG.StackPos);
+    if (Cursor)
+      Cursor->setPhase(ProducerStack.empty() ? EvalPhase::Idle
+                                             : EvalPhase::Resolve);
   }
   return SG;
 }
@@ -1215,6 +1278,10 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
   if (Prov && !ProducerStack.empty())
     addDepEdge(ProducerStack.back()->Ordinal, SG.Ordinal);
 
+  // Answer-return phase: this consumer now replays the table into its
+  // continuation. The next producer frame push flips back to Resolve.
+  if (Cursor)
+    Cursor->setPhase(EvalPhase::Answer);
   // Consume answers. The index re-reads size() so answers added while this
   // consumer is active (fixpoint rounds of an enclosing SCC) are picked up;
   // answers added after we return are replayed by producer re-runs.

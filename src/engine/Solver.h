@@ -33,6 +33,7 @@
 #include "obs/Forest.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
+#include "obs/Sampler.h"
 #include "obs/Trace.h"
 #include "table/TermTrie.h"
 #include "term/TermStore.h"
@@ -76,6 +77,28 @@ struct EvalStats {
   /// answer tables may be a strict subset of the minimal model; analyzers
   /// must not report them as exact results.
   uint64_t IncompleteTables = 0;
+};
+
+/// Table-space high-watermarks: the paper's "Table space" column as a
+/// *peak*, not just an end-of-run figure (completion frees frontiers, so
+/// the footprint at the end understates what evaluation needed). Tracked
+/// unconditionally — every update is a compare against an O(1) byte count
+/// at a point the bytes are already in hand.
+struct TableWatermarks {
+  /// Peak of the table TermStore arena (call/answer term cells), refreshed
+  /// on every recorded answer and subgoal creation. Exact.
+  uint64_t PeakTermStoreBytes = 0;
+  /// Largest per-subgoal answer-table footprint (dedup trie or key set
+  /// plus answer vectors), measured at that subgoal's completion — answer
+  /// tables only grow until completion, so this is the lifetime peak.
+  uint64_t PeakSubgoalAnswerBytes = 0;
+  /// Largest supplementary-frontier footprint one SCC held when it
+  /// completed (the bytes releaseCompletedState then freed).
+  uint64_t PeakSccFrontierBytes = 0;
+  /// Peak of tableSpaceBytes(), refreshed whenever that walk runs anyway:
+  /// at every outermost-SCC completion (taken *before* the release, so the
+  /// pre-free maximum is seen) and on explicit tableSpaceBytes() calls.
+  uint64_t PeakTableSpaceBytes = 0;
 };
 
 /// One tabled subgoal: the canonicalized call, its answers, and SCC
@@ -337,6 +360,19 @@ public:
   Tracer *tracer() const { return Trace; }
   MetricsRegistry *metrics() const { return Metrics; }
 
+  /// Attaches (or, with nullptr, detaches) the sampling-profiler cursor:
+  /// the solver then publishes its producer stack, evaluation phase and
+  /// table gauges through \p C for a background Sampler to read. Same
+  /// ownership and cost contract as the tracer — the detached path is one
+  /// null test per hook (pinned by BM_CursorPublish), and a publish is a
+  /// few relaxed atomic stores. The cursor must outlive its attachment.
+  void setSampleCursor(EvalCursor *C) { Cursor = C; }
+  EvalCursor *sampleCursor() const { return Cursor; }
+
+  /// Table-space high-watermarks (see TableWatermarks). PeakTermStoreBytes
+  /// and PeakTableSpaceBytes are refreshed before returning.
+  const TableWatermarks &watermarks() const;
+
   /// Writes the current table state into \p M: per-predicate subgoal and
   /// answer counts, table-space bytes apportioned from the table store via
   /// TermStore arena measurements, answer-count histograms, and the global
@@ -480,7 +516,9 @@ private:
   /// materializes justifications at record time precisely so that
   /// completion can free the transient frontier Origins without losing
   /// explainability (arena bytes stay counted in tableSpaceBytes()).
-  void releaseCompletedState(Subgoal &SG);
+  /// \returns the frontier bytes freed, so the completion loop can fold a
+  /// whole SCC's release into TableWatermarks::PeakSccFrontierBytes.
+  size_t releaseCompletedState(Subgoal &SG);
 
   /// \name Provenance recording internals (all no-ops when !Prov).
   /// @{
@@ -544,6 +582,11 @@ private:
   /// Observability hooks (null when detached; see setObservability).
   Tracer *Trace = nullptr;
   MetricsRegistry *Metrics = nullptr;
+  /// Sampling-profiler cursor (null when detached; see setSampleCursor).
+  EvalCursor *Cursor = nullptr;
+  /// Table-space peaks. Mutable: tableSpaceBytes() is const but refreshes
+  /// PeakTableSpaceBytes whenever it walks the tables anyway.
+  mutable TableWatermarks Water;
 
   /// \name Provenance state (Options::RecordProvenance; null/empty when
   /// off — the disabled path is one pointer test per hook).

@@ -8,8 +8,11 @@
 /// \file
 /// A tiny streaming JSON writer used by the observability exporters (metrics
 /// dumps, Chrome trace files, per-benchmark trajectory records). Emission
-/// only — the project never parses JSON — so the writer is a comma-tracking
-/// state machine over an output string, with no document model.
+/// only — the library itself never parses JSON — so the writer is a
+/// comma-tracking state machine over an output string, with no document
+/// model. (The bench_compare tool reads trajectory files back; its
+/// recursive-descent reader lives in tools/JsonValue.h, outside the
+/// library proper.)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -118,6 +118,16 @@ void MetricsRegistry::setCounter(std::string_view Name, uint64_t Value) {
   Counters.emplace_back(std::string(Name), Value);
 }
 
+void MetricsRegistry::noteWatermark(std::string_view Name, uint64_t Value) {
+  for (auto &[N, V] : Watermarks)
+    if (N == Name) {
+      if (Value > V)
+        V = Value;
+      return;
+    }
+  Watermarks.emplace_back(std::string(Name), Value);
+}
+
 void MetricsRegistry::resetTableSnapshot() {
   for (auto &[Key, PM] : Preds) {
     (void)Key;
@@ -180,6 +190,10 @@ void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
     if (!Found)
       Counters.emplace_back(Name, Value);
   }
+  // Watermarks take the max: the merged registry reports the highest peak
+  // any shard reached, not the (meaningless) sum of per-shard peaks.
+  for (const auto &[Name, Value] : Other.Watermarks)
+    noteWatermark(Name, Value);
 }
 
 void MetricsRegistry::clear() {
@@ -187,6 +201,7 @@ void MetricsRegistry::clear() {
   Order.clear();
   Phases.clear();
   Counters.clear();
+  Watermarks.clear();
   NextSyntheticKey = ~uint64_t(0);
 }
 
@@ -202,6 +217,12 @@ void MetricsRegistry::writeJson(JsonWriter &W) const {
   W.key("counters");
   W.beginObject();
   for (const auto &[Name, Value] : Counters)
+    W.member(Name, Value);
+  W.endObject();
+
+  W.key("watermarks");
+  W.beginObject();
+  for (const auto &[Name, Value] : Watermarks)
     W.member(Name, Value);
   W.endObject();
 
@@ -269,6 +290,11 @@ std::string MetricsRegistry::renderReport() const {
   if (!Counters.empty()) {
     Out += "Counters:\n";
     for (const auto &[Name, Value] : Counters)
+      Out += "  " + Name + ": " + U(Value) + "\n";
+  }
+  if (!Watermarks.empty()) {
+    Out += "Watermarks (peak):\n";
+    for (const auto &[Name, Value] : Watermarks)
       Out += "  " + Name + ": " + U(Value) + "\n";
   }
   return Out;

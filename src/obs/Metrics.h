@@ -126,6 +126,16 @@ public:
     return Counters;
   }
 
+  /// Raises the named high-watermark to \p Value if it is higher (a
+  /// watermark never goes down — repeated notes across runs keep the
+  /// peak). Watermarks are a separate channel from counters because their
+  /// merge semantics differ: mergeFrom SUMS counters (fleet-wide totals)
+  /// but takes the MAX of watermarks (the peak any one shard reached).
+  void noteWatermark(std::string_view Name, uint64_t Value);
+  const std::vector<std::pair<std::string, uint64_t>> &watermarks() const {
+    return Watermarks;
+  }
+
   /// Zeroes the table-snapshot fields of every predicate; called by the
   /// engine before re-walking the tables so stale predicates do not keep
   /// old figures.
@@ -146,7 +156,8 @@ public:
   bool empty() const { return Preds.empty() && Phases.empty(); }
 
   /// Writes the registry as one JSON object:
-  ///   {"phases": {...}, "counters": {...}, "predicates": [...]}
+  ///   {"phases": {...}, "counters": {...}, "watermarks": {...},
+  ///    "predicates": [...]}
   void writeJson(JsonWriter &W) const;
 
   /// Renders the per-predicate table and the phase/counter footer as
@@ -158,6 +169,7 @@ private:
   std::vector<uint64_t> Order; ///< First-touch order of Preds keys.
   std::vector<std::pair<std::string, double>> Phases;
   std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, uint64_t>> Watermarks;
   /// Next synthetic key handed to a merged-in predicate whose SymbolId is
   /// foreign (see mergeFrom). Counts down from the top of the key space,
   /// far above any (SymbolId << 32 | Arity) a real symbol table produces.

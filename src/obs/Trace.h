@@ -140,20 +140,54 @@ private:
 #endif
 };
 
-/// Buffers every event in memory, for tests, post-hoc analysis, and the
-/// Chrome trace exporter.
+/// Recording-sink tunables.
+struct TraceOptions {
+  /// 0 = buffer without bound (the default, unchanged behavior). N > 0 =
+  /// bounded ring: keep only the *last* N events, counting every evicted
+  /// event in RecordingSink::droppedCount(). Long fleet runs set this so a
+  /// trace can stay attached without growing the buffer without bound.
+  size_t MaxEvents = 0;
+};
+
+/// Buffers events in memory, for tests, post-hoc analysis, and the Chrome
+/// trace exporter. Optionally bounded (TraceOptions::MaxEvents) with
+/// keep-last semantics: once full, the oldest event is evicted for each
+/// new arrival and the eviction is counted, so
+///   droppedCount() + events().size() == total events ever received.
 class RecordingSink : public TraceSink {
 public:
+  RecordingSink() = default;
+  explicit RecordingSink(TraceOptions O) : Opts(O) {}
+
   void event(const TraceEvent &E) override;
 
-  const std::vector<TraceEvent> &events() const { return Events; }
-  void clear() { Events.clear(); }
+  /// Buffered events in arrival order (in bounded mode: the kept window,
+  /// oldest first). Linearizes the ring in place when it has wrapped.
+  const std::vector<TraceEvent> &events() const;
+  void clear() {
+    Events.clear();
+    Head = 0;
+    Dropped = 0;
+  }
 
-  /// Number of buffered events of \p K.
+  /// Events evicted by the bounded ring; 0 in unbounded mode.
+  uint64_t droppedCount() const { return Dropped; }
+  const TraceOptions &options() const { return Opts; }
+
+  /// Number of buffered events of \p K (kept window only).
   size_t count(TraceEventKind K) const;
 
 private:
-  std::vector<TraceEvent> Events;
+  TraceOptions Opts;
+  /// Ring storage. Until the first wrap, arrival order equals storage
+  /// order; after a wrap, Head marks the oldest kept event and events()
+  /// rotates the buffer back into arrival order on demand.
+  mutable std::vector<TraceEvent> Events;
+  mutable size_t Head = 0;
+  uint64_t Dropped = 0;
+#if LPA_TRACE_ASSERTS
+  uint64_t LastTimeNs = 0;
+#endif
 };
 
 /// Prints one line per event to a stdio stream — the REPL's ":trace on"

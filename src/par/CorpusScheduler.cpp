@@ -116,7 +116,8 @@ size_t CorpusScheduler::workerCount() const {
 }
 
 CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
-                                        WorkerObs *Obs) {
+                                        WorkerObs *Obs,
+                                        EvalCursor *Cursor) {
   CorpusJobResult R;
   R.Program = Job.Program->Name;
   R.Kind = Job.Kind;
@@ -133,6 +134,7 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     GroundnessAnalyzer::Options GO = Opts.Groundness;
     GO.Trace = T;
     GO.Metrics = M;
+    GO.Cursor = Cursor;
     if (Opts.RecordProvenance)
       GO.Engine.RecordProvenance = true;
     GroundnessAnalyzer Analyzer(Symbols, GO);
@@ -154,6 +156,7 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     DepthKAnalyzer::Options DO = Opts.DepthK;
     DO.Trace = T;
     DO.Metrics = M;
+    DO.Cursor = Cursor;
     if (Opts.RecordProvenance)
       DO.RecordProvenance = true;
     DepthKAnalyzer Analyzer(Symbols, DO);
@@ -195,7 +198,7 @@ CorpusJobResult CorpusScheduler::runJob(const CorpusJob &Job,
     if (Opts.RecordProvenance)
       SO.Engine.RecordProvenance = true;
     StrictnessAnalyzer Analyzer(SO);
-    Analyzer.setObservability(T, M);
+    Analyzer.setObservability(T, M, Cursor);
     auto Res = Analyzer.analyze(Job.Program->Source);
     if (!Res) {
       R.Error = Res.getError().str();
@@ -222,13 +225,27 @@ CorpusScheduler::run(const std::vector<CorpusJob> &Jobs) {
   std::vector<CorpusJobResult> Results(Jobs.size());
   size_t NumWorkers = Opts.Jobs <= 1 ? 0 : Opts.Jobs;
 
+  size_t NumShards = std::max<size_t>(1, NumWorkers);
+
   Shards.clear();
   Merged.clear();
   if (Opts.CollectObservability) {
-    for (size_t I = 0, E = std::max<size_t>(1, NumWorkers); I < E; ++I) {
-      Shards.push_back(std::make_unique<WorkerObs>());
-      Shards.back()->Trace.setSink(&Shards.back()->Sink);
+    for (size_t I = 0; I < NumShards; ++I)
+      Shards.push_back(
+          std::make_unique<WorkerObs>(TraceOptions{Opts.TraceMaxEvents}));
+  }
+
+  // Sampling is wired independently of CollectObservability so the profile
+  // can be on while the (costlier) tracing/metrics shards stay off.
+  Cursors.clear();
+  Profile = SampleProfile();
+  Sampler Prof(Sampler::Options{Opts.SampleHz});
+  if (Opts.SampleHz > 0) {
+    for (size_t I = 0; I < NumShards; ++I) {
+      Cursors.push_back(std::make_unique<EvalCursor>());
+      Prof.addLane("worker-" + std::to_string(I + 1), Cursors.back().get());
     }
+    Prof.start();
   }
 
   Stopwatch Wall;
@@ -240,12 +257,20 @@ CorpusScheduler::run(const std::vector<CorpusJob> &Jobs) {
         if (W == SIZE_MAX)
           W = 0; // Inline serial mode: everything lands in shard 0.
         WorkerObs *Obs = Shards.empty() ? nullptr : Shards[W].get();
-        Results[I] = runJob(Jobs[I], Obs);
+        EvalCursor *Cur = Cursors.empty() ? nullptr : Cursors[W].get();
+        Results[I] = runJob(Jobs[I], Obs, Cur);
       });
     Pool.wait();
     LastSteals = Pool.stealCount();
   }
+  // The sampler keeps running until here, so the published wall-clock
+  // includes any sampling overhead — that's what the A/B experiments
+  // measure.
   WallSeconds = Wall.elapsedSeconds();
+  if (Opts.SampleHz > 0) {
+    Prof.stop();
+    Profile = Prof.takeProfile();
+  }
 
   // Post-run merge: shard order (not completion order), so the merged
   // registry is as deterministic as the per-shard job assignment.

@@ -30,6 +30,7 @@
 #include "corpus/Corpus.h"
 #include "depthk/DepthK.h"
 #include "obs/Metrics.h"
+#include "obs/Sampler.h"
 #include "obs/Trace.h"
 #include "prop/Groundness.h"
 #include "strictness/Strictness.h"
@@ -100,6 +101,16 @@ public:
     /// "$provenance ..." line, so the serial-vs-parallel bit-identity
     /// check also covers justification validity under --jobs N.
     bool RecordProvenance = false;
+    /// Sampling-profiler frequency (Hz); 0 = no sampler. Independent of
+    /// CollectObservability: each worker gets a private EvalCursor wired
+    /// into its jobs' engines, and one background Sampler sweeps all
+    /// cursors, aggregating into per-worker lanes ("worker-1"..).
+    /// Sampling never perturbs results — the cursor writes are plain
+    /// stores on the worker's own evaluation path.
+    uint32_t SampleHz = 0;
+    /// Bound on each worker's retained trace events (keep-last ring);
+    /// 0 = unbounded. See TraceOptions::MaxEvents.
+    size_t TraceMaxEvents = 0;
     /// Analyzer tunables forwarded to every job of the matching kind.
     /// Their Trace/Metrics pointers are overridden per worker when
     /// CollectObservability is set.
@@ -140,18 +151,37 @@ public:
   /// and phase span labels render normally.
   std::string chromeTrace() const;
 
+  /// Merged sample profile of the last run() (empty unless SampleHz was
+  /// set): one lane per worker, stacks aggregated per lane.
+  const SampleProfile &sampleProfile() const { return Profile; }
+
+  /// Folded-stack (flamegraph) rendering of sampleProfile(). Frame names
+  /// fall back to "#sym/arity" — job SymbolTables are worker-private and
+  /// already destroyed, same as chromeTrace().
+  std::string foldedStacks() const {
+    return Profile.formatFolded(/*Symbols=*/nullptr);
+  }
+
 private:
   /// Per-worker observability shard; workers never share one.
   struct WorkerObs {
+    explicit WorkerObs(TraceOptions TO) : Sink(TO) {
+      Trace.setSink(&Sink);
+    }
     MetricsRegistry Metrics;
     Tracer Trace;
     RecordingSink Sink;
   };
 
-  CorpusJobResult runJob(const CorpusJob &Job, WorkerObs *Obs);
+  CorpusJobResult runJob(const CorpusJob &Job, WorkerObs *Obs,
+                         EvalCursor *Cursor);
 
   Options Opts;
   std::vector<std::unique_ptr<WorkerObs>> Shards;
+  /// Per-worker sampling cursors (allocated iff SampleHz > 0). unique_ptr:
+  /// EvalCursor holds atomics, so the vector must never relocate one.
+  std::vector<std::unique_ptr<EvalCursor>> Cursors;
+  SampleProfile Profile;
   MetricsRegistry Merged;
   double WallSeconds = 0;
   uint64_t LastSteals = 0;

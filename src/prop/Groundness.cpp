@@ -85,6 +85,7 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
   ScopedSpan EvalSpan(Opts.Trace, Opts.Metrics, "evaluate");
   Solver Engine(AbsDB, Opts.Engine);
   Engine.setObservability(Opts.Trace, Opts.Metrics);
+  Engine.setSampleCursor(Opts.Cursor);
   if (Opts.AggregateModes) {
     // Section 6.2: one joined answer per subgoal. The join is the
     // pointwise least upper bound of boolean tuples: agreeing positions

@@ -99,6 +99,11 @@ public:
     /// table snapshot after evaluation.
     Tracer *Trace = nullptr;
     MetricsRegistry *Metrics = nullptr;
+
+    /// Sampling-profiler cursor forwarded to the internal Solver (optional,
+    /// caller-owned; see Solver::setSampleCursor). A background Sampler
+    /// reading it sees the abstract evaluation's producer stack.
+    EvalCursor *Cursor = nullptr;
   };
 
   explicit GroundnessAnalyzer(SymbolTable &Symbols)

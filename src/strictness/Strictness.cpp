@@ -124,6 +124,7 @@ ErrorOr<StrictnessResult> StrictnessAnalyzer::analyze(std::string_view Source) {
   ScopedSpan EvalSpan(Trace, Metrics, "evaluate");
   Solver Engine(DB, Opts.Engine);
   Engine.setObservability(Trace, Metrics);
+  Engine.setSampleCursor(Cursor);
   TermRef EAtom = Engine.store().mkAtom(Symbols.intern("e"));
   TermRef DAtom = Engine.store().mkAtom(Symbols.intern("d"));
   struct Query {

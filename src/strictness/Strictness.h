@@ -114,9 +114,13 @@ public:
   /// are captured into the registry eagerly, so the registry stays valid
   /// after analyze() returns even though the analyzer's symbol table does
   /// not outlive the call.
-  void setObservability(Tracer *T, MetricsRegistry *M) {
+  /// \p C (optional) is a sampling-profiler cursor forwarded to the
+  /// internal Solver (see Solver::setSampleCursor).
+  void setObservability(Tracer *T, MetricsRegistry *M,
+                        EvalCursor *C = nullptr) {
     Trace = T;
     Metrics = M;
+    Cursor = C;
   }
 
   /// Analyzes FL source text.
@@ -141,6 +145,7 @@ private:
   Options Opts;
   Tracer *Trace = nullptr;
   MetricsRegistry *Metrics = nullptr;
+  EvalCursor *Cursor = nullptr;
 };
 
 } // namespace lpa

@@ -1,0 +1,334 @@
+//===- bench_compare_test.cpp - Bench regression gate tests ------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Covers the tools/ layer behind the CI bench gate: the JSON reader, the
+// schema-light metric walk, gating thresholds and noise floors, array
+// alignment by name/program, sample-profile share extraction, and the
+// trajectory append.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/BenchCompare.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+using namespace lpa;
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  auto V = JsonValue::parse(Text);
+  EXPECT_TRUE(V.hasValue()) << V.getError().str();
+  return V.hasValue() ? *V : JsonValue();
+}
+
+const MetricDelta *findDelta(const CompareReport &R, std::string_view Path) {
+  for (const MetricDelta &D : R.Deltas)
+    if (D.Path == Path)
+      return &D;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue parser
+//===----------------------------------------------------------------------===//
+
+TEST(JsonValue, ParsesScalarsArraysAndObjects) {
+  JsonValue V = parseOk(
+      "{\"a\": 1.5, \"b\": \"x\", \"c\": [1, 2, 3], \"d\": {\"e\": true},"
+      " \"f\": null, \"g\": -2e3}");
+  ASSERT_TRUE(V.isObject());
+  EXPECT_DOUBLE_EQ(V.numberOr("a", 0), 1.5);
+  EXPECT_EQ(V.stringOr("b", ""), "x");
+  const JsonValue *C = V.find("c");
+  ASSERT_TRUE(C && C->isArray());
+  ASSERT_EQ(C->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(C->items()[1].asNumber(), 2.0);
+  const JsonValue *D = V.find("d");
+  ASSERT_TRUE(D && D->isObject());
+  ASSERT_TRUE(D->find("e"));
+  EXPECT_TRUE(D->find("e")->asBool());
+  ASSERT_TRUE(V.find("f"));
+  EXPECT_EQ(V.find("f")->kind(), JsonValue::Kind::Null);
+  EXPECT_DOUBLE_EQ(V.numberOr("g", 0), -2000.0);
+}
+
+TEST(JsonValue, ParsesScientificNotation) {
+  // google-benchmark writes real_time in scientific notation.
+  JsonValue V = parseOk("{\"real_time\": 1.1033385000018824e+06}");
+  EXPECT_NEAR(V.numberOr("real_time", 0), 1103338.5000018824, 1e-3);
+}
+
+TEST(JsonValue, DecodesStringEscapes) {
+  JsonValue V = parseOk("{\"s\": \"a\\n\\\"b\\\"\\u0041\\u00e9\"}");
+  EXPECT_EQ(V.stringOr("s", ""), "a\n\"b\"A\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::parse("{").hasValue());
+  EXPECT_FALSE(JsonValue::parse("[1, 2,]").hasValue());
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing").hasValue());
+  EXPECT_FALSE(JsonValue::parse("'single'").hasValue());
+  EXPECT_FALSE(JsonValue::parse("").hasValue());
+  auto E = JsonValue::parse("{\"a\": }");
+  ASSERT_FALSE(E.hasValue());
+  // Diagnostics carry a byte offset so bad artifacts are debuggable.
+  EXPECT_NE(E.getError().str().find("offset"), std::string::npos);
+}
+
+TEST(JsonValue, RejectsRunawayNesting) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::parse(Deep).hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// compareBenchJson: gating
+//===----------------------------------------------------------------------===//
+
+TEST(BenchCompare, SelfCompareHasNoRegressions) {
+  JsonValue V = parseOk(
+      "{\"fleet\": {\"parallel_wall_ms\": 120.0, \"table_space_bytes\": "
+      "1048576}, \"rows\": [{\"program\": \"p1\", \"solve_ms\": 3.5}]}");
+  CompareReport R = compareBenchJson(V, V, CompareOptions{});
+  EXPECT_EQ(R.Deltas.size(), 3u);
+  EXPECT_EQ(R.regressionCount(), 0u);
+  EXPECT_FALSE(R.hasRegressions());
+  EXPECT_TRUE(R.OnlyInBase.empty());
+  EXPECT_TRUE(R.OnlyInCurrent.empty());
+}
+
+TEST(BenchCompare, WallGrowthAboveThresholdGates) {
+  JsonValue Base = parseOk("{\"solve_ms\": 100.0}");
+  JsonValue Cur = parseOk("{\"solve_ms\": 130.0}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  const MetricDelta &D = R.Deltas[0];
+  EXPECT_EQ(D.MetricKind, MetricDelta::Kind::WallMs);
+  EXPECT_NEAR(D.DeltaPct, 30.0, 1e-9);
+  EXPECT_TRUE(D.Regressed);
+  EXPECT_TRUE(R.hasRegressions());
+}
+
+TEST(BenchCompare, WallGrowthBelowThresholdDoesNotGate) {
+  JsonValue Base = parseOk("{\"solve_ms\": 100.0}");
+  JsonValue Cur = parseOk("{\"solve_ms\": 114.0}"); // +14% < 15% default
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  EXPECT_FALSE(R.Deltas[0].Regressed);
+}
+
+TEST(BenchCompare, BytesUseTheTighterThreshold) {
+  // +12% bytes gates (10% threshold) where +12% wall would not (15%).
+  JsonValue Base =
+      parseOk("{\"table_space_bytes\": 1000000, \"solve_ms\": 100.0}");
+  JsonValue Cur =
+      parseOk("{\"table_space_bytes\": 1120000, \"solve_ms\": 112.0}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  const MetricDelta *B = findDelta(R, "table_space_bytes");
+  const MetricDelta *W = findDelta(R, "solve_ms");
+  ASSERT_TRUE(B && W);
+  EXPECT_EQ(B->MetricKind, MetricDelta::Kind::Bytes);
+  EXPECT_TRUE(B->Regressed);
+  EXPECT_FALSE(W->Regressed);
+  EXPECT_EQ(R.regressionCount(), 1u);
+}
+
+TEST(BenchCompare, NoiseFloorsSuppressTinyBaselines) {
+  // 0.2 ms doubling and a 4 KiB table tripling are jitter, not regressions.
+  JsonValue Base =
+      parseOk("{\"solve_ms\": 0.2, \"table_space_bytes\": 4096}");
+  JsonValue Cur =
+      parseOk("{\"solve_ms\": 0.4, \"table_space_bytes\": 12288}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  EXPECT_EQ(R.Deltas.size(), 2u);
+  EXPECT_EQ(R.regressionCount(), 0u);
+}
+
+TEST(BenchCompare, ImprovementsNeverGate) {
+  JsonValue Base =
+      parseOk("{\"solve_ms\": 100.0, \"table_space_bytes\": 1000000}");
+  JsonValue Cur =
+      parseOk("{\"solve_ms\": 10.0, \"table_space_bytes\": 100000}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  EXPECT_EQ(R.regressionCount(), 0u);
+}
+
+TEST(BenchCompare, GoogleBenchmarkTimeKeysAreWallMetrics) {
+  JsonValue Base = parseOk(
+      "{\"benchmarks\": [{\"name\": \"BM_X/0\", \"real_time\": 1000.0,"
+      " \"cpu_time\": 990.0, \"iterations\": 100}]}");
+  JsonValue Cur = parseOk(
+      "{\"benchmarks\": [{\"name\": \"BM_X/0\", \"real_time\": 2000.0,"
+      " \"cpu_time\": 1980.0, \"iterations\": 50}]}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  // iterations is not a metric; real_time and cpu_time are.
+  EXPECT_EQ(R.Deltas.size(), 2u);
+  EXPECT_EQ(R.regressionCount(), 2u);
+  EXPECT_TRUE(findDelta(R, "benchmarks[BM_X/0].real_time"));
+}
+
+//===----------------------------------------------------------------------===//
+// compareBenchJson: alignment and drift
+//===----------------------------------------------------------------------===//
+
+TEST(BenchCompare, ArraysAlignByNameAcrossReordering) {
+  JsonValue Base = parseOk(
+      "{\"benchmarks\": [{\"name\": \"a\", \"real_time\": 10.0},"
+      " {\"name\": \"b\", \"real_time\": 20.0}]}");
+  JsonValue Cur = parseOk(
+      "{\"benchmarks\": [{\"name\": \"b\", \"real_time\": 20.0},"
+      " {\"name\": \"a\", \"real_time\": 10.0}]}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  EXPECT_EQ(R.Deltas.size(), 2u);
+  EXPECT_EQ(R.regressionCount(), 0u);
+  EXPECT_TRUE(R.OnlyInBase.empty());
+  EXPECT_TRUE(R.OnlyInCurrent.empty());
+}
+
+TEST(BenchCompare, TableDriverRowsAlignByProgram) {
+  JsonValue Base = parseOk(
+      "{\"rows\": [{\"program\": \"append\", \"solve_ms\": 5.0},"
+      " {\"program\": \"nrev\", \"solve_ms\": 9.0}]}");
+  JsonValue Cur = parseOk(
+      "{\"rows\": [{\"program\": \"nrev\", \"solve_ms\": 9.0},"
+      " {\"program\": \"append\", \"solve_ms\": 5.0}]}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  EXPECT_EQ(R.regressionCount(), 0u);
+  EXPECT_TRUE(findDelta(R, "rows[append].solve_ms"));
+  EXPECT_TRUE(findDelta(R, "rows[nrev].solve_ms"));
+}
+
+TEST(BenchCompare, SchemaDriftIsReportedNotGated) {
+  JsonValue Base = parseOk("{\"old_ms\": 10.0, \"shared_ms\": 5.0}");
+  JsonValue Cur = parseOk("{\"new_ms\": 10.0, \"shared_ms\": 5.0}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  EXPECT_EQ(R.regressionCount(), 0u);
+  ASSERT_EQ(R.OnlyInBase.size(), 1u);
+  EXPECT_EQ(R.OnlyInBase[0], "old_ms");
+  ASSERT_EQ(R.OnlyInCurrent.size(), 1u);
+  EXPECT_EQ(R.OnlyInCurrent[0], "new_ms");
+}
+
+//===----------------------------------------------------------------------===//
+// compareBenchJson: sample profiles
+//===----------------------------------------------------------------------===//
+
+TEST(BenchCompare, SampleProfileNumbersNeverGate) {
+  // The profile block carries *_bytes maxima that would trip the bytes
+  // gate if walked; they are statistical and must be excluded.
+  JsonValue Base = parseOk(
+      "{\"fleet\": {\"parallel_wall_ms\": 100.0, \"sample_profile\": "
+      "{\"total_samples\": 100, \"lanes\": [{\"label\": \"worker-1\","
+      " \"max_table_bytes\": 1000000}]}}}");
+  JsonValue Cur = parseOk(
+      "{\"fleet\": {\"parallel_wall_ms\": 100.0, \"sample_profile\": "
+      "{\"total_samples\": 100, \"lanes\": [{\"label\": \"worker-1\","
+      " \"max_table_bytes\": 9000000}]}}}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  EXPECT_EQ(R.Deltas[0].Path, "fleet.parallel_wall_ms");
+  EXPECT_EQ(R.regressionCount(), 0u);
+}
+
+TEST(BenchCompare, ProfileShareShiftsAreExtracted) {
+  JsonValue Base = parseOk(
+      "{\"sample_profile\": {\"total_samples\": 100, \"stacks\": ["
+      "{\"lane\": \"w1\", \"frames\": [\"path/2\"], \"phase\": \"resolve\","
+      " \"count\": 80},"
+      "{\"lane\": \"w1\", \"frames\": [\"edge/2\"], \"phase\": \"resolve\","
+      " \"count\": 20}]}}");
+  JsonValue Cur = parseOk(
+      "{\"sample_profile\": {\"total_samples\": 200, \"stacks\": ["
+      "{\"lane\": \"w1\", \"frames\": [\"path/2\"], \"phase\": \"resolve\","
+      " \"count\": 40},"
+      "{\"lane\": \"w1\", \"frames\": [\"edge/2\"], \"phase\": \"resolve\","
+      " \"count\": 160}]}}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  ASSERT_EQ(R.ProfileShifts.size(), 2u);
+  // Sorted by absolute share movement: edge 20% -> 80% (60 points) first.
+  EXPECT_EQ(R.ProfileShifts[0].Stack, "w1;edge/2;[resolve]");
+  EXPECT_NEAR(R.ProfileShifts[0].BaseSharePct, 20.0, 1e-9);
+  EXPECT_NEAR(R.ProfileShifts[0].CurSharePct, 80.0, 1e-9);
+  EXPECT_EQ(R.ProfileShifts[1].Stack, "w1;path/2;[resolve]");
+  EXPECT_EQ(R.regressionCount(), 0u); // shifts are informational
+}
+
+TEST(BenchCompare, IdenticalProfilesProduceNoShifts) {
+  JsonValue V = parseOk(
+      "{\"sample_profile\": {\"total_samples\": 50, \"stacks\": ["
+      "{\"lane\": \"main\", \"frames\": [\"f/1\"], \"phase\": \"resolve\","
+      " \"count\": 50}]}}");
+  CompareReport R = compareBenchJson(V, V, CompareOptions{});
+  EXPECT_TRUE(R.ProfileShifts.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Reports and the trajectory file
+//===----------------------------------------------------------------------===//
+
+TEST(BenchCompare, RenderTextNamesRegressions) {
+  JsonValue Base = parseOk("{\"solve_ms\": 100.0}");
+  JsonValue Cur = parseOk("{\"solve_ms\": 150.0}");
+  CompareOptions Opts;
+  CompareReport R = compareBenchJson(Base, Cur, Opts);
+  std::string Text = R.renderText(Opts);
+  EXPECT_NE(Text.find("1 regression(s)"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("REGRESSION solve_ms"), std::string::npos) << Text;
+}
+
+TEST(BenchCompare, RenderJsonRoundTripsThroughTheParser) {
+  JsonValue Base = parseOk("{\"solve_ms\": 100.0, \"quiet_ms\": 50.0}");
+  JsonValue Cur = parseOk("{\"solve_ms\": 150.0, \"quiet_ms\": 50.0}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  JsonValue Doc = parseOk(R.renderJson("base.json", "cur.json"));
+  EXPECT_EQ(Doc.stringOr("baseline", ""), "base.json");
+  EXPECT_DOUBLE_EQ(Doc.numberOr("metrics_compared", 0), 2.0);
+  EXPECT_DOUBLE_EQ(Doc.numberOr("regressions", 0), 1.0);
+  const JsonValue *Deltas = Doc.find("deltas");
+  ASSERT_TRUE(Deltas && Deltas->isArray());
+  // quiet_ms moved 0% — compact reports drop it; solve_ms stays.
+  ASSERT_EQ(Deltas->items().size(), 1u);
+  EXPECT_EQ(Deltas->items()[0].stringOr("path", ""), "solve_ms");
+  EXPECT_TRUE(Deltas->items()[0].find("regressed")->asBool());
+}
+
+TEST(BenchCompare, TrajectoryAppendsOneParsableLinePerRun) {
+  std::string Path =
+      testing::TempDir() + "/lpa_bench_trajectory_test.jsonl";
+  std::remove(Path.c_str());
+
+  JsonValue Base = parseOk("{\"solve_ms\": 100.0}");
+  JsonValue Cur = parseOk("{\"solve_ms\": 150.0}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  ASSERT_TRUE(appendTrajectoryLine(Path, R, "b.json", "c.json"));
+  ASSERT_TRUE(appendTrajectoryLine(Path, R, "b.json", "c.json"));
+
+  auto Text = readFileText(Path);
+  ASSERT_TRUE(Text.hasValue()) << Text.getError().str();
+  size_t Newline = Text->find('\n');
+  ASSERT_NE(Newline, std::string::npos);
+  EXPECT_EQ(std::count(Text->begin(), Text->end(), '\n'), 2);
+  JsonValue Line = parseOk(Text->substr(0, Newline));
+  EXPECT_EQ(Line.stringOr("baseline", ""), "b.json");
+  EXPECT_DOUBLE_EQ(Line.numberOr("regressions", 0), 1.0);
+  const JsonValue *Paths = Line.find("regressed_paths");
+  ASSERT_TRUE(Paths && Paths->isArray());
+  ASSERT_EQ(Paths->items().size(), 1u);
+  EXPECT_EQ(Paths->items()[0].asString(), "solve_ms");
+  std::remove(Path.c_str());
+}
+
+TEST(BenchCompare, ReadFileTextFailsWithDiagnostic) {
+  auto R = readFileText("/nonexistent/lpa_bench_compare_test.json");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_FALSE(R.getError().str().empty());
+}
+
+} // namespace

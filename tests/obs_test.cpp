@@ -474,4 +474,166 @@ TEST(Exporters, GroundnessAnalysisFillsRegistry) {
   EXPECT_GT(TotalTableBytes, 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Bounded ring-buffer sink
+//===----------------------------------------------------------------------===//
+
+TEST(RingBuffer, UnboundedByDefault) {
+  RecordingSink Sink;
+  Tracer Trace;
+  Trace.setSink(&Sink);
+  for (uint64_t I = 0; I < 100; ++I)
+    Trace.emit(TraceEventKind::ClauseResolve, 1, 0, I);
+  EXPECT_EQ(Sink.events().size(), 100u);
+  EXPECT_EQ(Sink.droppedCount(), 0u);
+}
+
+TEST(RingBuffer, KeepsExactlyTheLastNInArrivalOrder) {
+  // Exactness: every received event is either in the kept window or
+  // counted as dropped, and the window is precisely the newest N.
+  RecordingSink Sink(TraceOptions{/*MaxEvents=*/8});
+  Tracer Trace;
+  Trace.setSink(&Sink);
+  const uint64_t Total = 27; // wraps the ring 3+ times, lands mid-ring
+  for (uint64_t I = 0; I < Total; ++I)
+    Trace.emit(TraceEventKind::AnswerNew, 1, 2, /*Value=*/I);
+
+  const std::vector<TraceEvent> &Kept = Sink.events();
+  ASSERT_EQ(Kept.size(), 8u);
+  EXPECT_EQ(Sink.droppedCount(), Total - 8);
+  EXPECT_EQ(Sink.droppedCount() + Kept.size(), Total);
+  for (size_t I = 0; I < Kept.size(); ++I)
+    EXPECT_EQ(Kept[I].Value, Total - 8 + I) << "slot " << I;
+  // Timestamps still monotone across the linearized window.
+  for (size_t I = 1; I < Kept.size(); ++I)
+    EXPECT_GE(Kept[I].TimeNs, Kept[I - 1].TimeNs);
+}
+
+TEST(RingBuffer, ExactCapacityDoesNotDrop) {
+  RecordingSink Sink(TraceOptions{4});
+  Tracer Trace;
+  Trace.setSink(&Sink);
+  for (uint64_t I = 0; I < 4; ++I)
+    Trace.emit(TraceEventKind::TabledCall, 1, 1, I);
+  ASSERT_EQ(Sink.events().size(), 4u);
+  EXPECT_EQ(Sink.droppedCount(), 0u);
+  EXPECT_EQ(Sink.events().front().Value, 0u);
+  EXPECT_EQ(Sink.events().back().Value, 3u);
+}
+
+TEST(RingBuffer, ClearResetsWindowAndDropCounter) {
+  RecordingSink Sink(TraceOptions{2});
+  Tracer Trace;
+  Trace.setSink(&Sink);
+  for (uint64_t I = 0; I < 5; ++I)
+    Trace.emit(TraceEventKind::ClauseResolve, 1, 0, I);
+  EXPECT_EQ(Sink.droppedCount(), 3u);
+  Sink.clear();
+  EXPECT_TRUE(Sink.events().empty());
+  EXPECT_EQ(Sink.droppedCount(), 0u);
+  // The ring refills from scratch after clear().
+  Trace.emit(TraceEventKind::ClauseResolve, 1, 0, 7);
+  ASSERT_EQ(Sink.events().size(), 1u);
+  EXPECT_EQ(Sink.events()[0].Value, 7u);
+}
+
+TEST(RingBuffer, CountSeesOnlyTheKeptWindow) {
+  RecordingSink Sink(TraceOptions{3});
+  Tracer Trace;
+  Trace.setSink(&Sink);
+  for (uint64_t I = 0; I < 10; ++I)
+    Trace.emit(TraceEventKind::AnswerDup, 1, 1, I);
+  Trace.emit(TraceEventKind::AnswerNew, 1, 1, 10);
+  EXPECT_EQ(Sink.count(TraceEventKind::AnswerDup), 2u);
+  EXPECT_EQ(Sink.count(TraceEventKind::AnswerNew), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry merge: counters vs watermarks
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, MergeSumsCountersButMaxesWatermarks) {
+  MetricsRegistry A, B;
+  A.setCounter("subgoals", 10);
+  B.setCounter("subgoals", 32);
+  // Shard A peaked higher on one watermark, shard B on the other.
+  A.noteWatermark("peak_table_space_bytes", 5000);
+  B.noteWatermark("peak_table_space_bytes", 3000);
+  A.noteWatermark("peak_term_store_bytes", 100);
+  B.noteWatermark("peak_term_store_bytes", 900);
+  B.noteWatermark("peak_scc_frontier_bytes", 42); // only in B
+
+  A.mergeFrom(B);
+
+  auto Lookup = [](const MetricsRegistry &R, std::string_view Name,
+                   bool Watermark) -> uint64_t {
+    const auto &Vec = Watermark ? R.watermarks() : R.counters();
+    for (const auto &[N, V] : Vec)
+      if (N == Name)
+        return V;
+    return ~uint64_t(0);
+  };
+  // Counters are per-run totals: fleet-wide means sum.
+  EXPECT_EQ(Lookup(A, "subgoals", false), 42u);
+  // Watermarks are peaks: fleet-wide means max, never sum.
+  EXPECT_EQ(Lookup(A, "peak_table_space_bytes", true), 5000u);
+  EXPECT_EQ(Lookup(A, "peak_term_store_bytes", true), 900u);
+  EXPECT_EQ(Lookup(A, "peak_scc_frontier_bytes", true), 42u);
+}
+
+TEST(Metrics, NoteWatermarkNeverLowers) {
+  MetricsRegistry R;
+  R.noteWatermark("peak", 100);
+  R.noteWatermark("peak", 40);
+  R.noteWatermark("peak", 60);
+  ASSERT_EQ(R.watermarks().size(), 1u);
+  EXPECT_EQ(R.watermarks()[0].second, 100u);
+}
+
+TEST(Metrics, WatermarksSurviveResetStatsAndExport) {
+  MetricsRegistry R;
+  R.noteWatermark("peak_table_space_bytes", 777);
+  std::string Out;
+  JsonWriter W(Out);
+  R.writeJson(W);
+  EXPECT_NE(Out.find("\"watermarks\":{\"peak_table_space_bytes\":777}"),
+            std::string::npos)
+      << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-thread Chrome trace stitching
+//===----------------------------------------------------------------------===//
+
+TEST(ChromeTrace, EmptyWorkerLaneSerializes) {
+  // A fleet worker that drew no jobs contributes an empty buffer; the
+  // exporter must emit valid JSON, not crash or emit a dangling comma.
+  SymbolTable Symbols;
+  SymbolId P = Symbols.intern("p");
+  Tracer Trace;
+  RecordingSink Sink;
+  Trace.setSink(&Sink);
+  Trace.emit(TraceEventKind::TabledCall, P, 1);
+
+  std::vector<ThreadTrace> Threads;
+  Threads.push_back({1, Sink.events()});
+  Threads.push_back({2, {}}); // idle worker
+  std::string Json = formatChromeTraceThreads(Threads, &Symbols);
+  EXPECT_NE(Json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Json.find("p/1"), std::string::npos);
+  EXPECT_EQ(Json.find(",]"), std::string::npos);
+  EXPECT_EQ(Json.find(",,"), std::string::npos);
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+
+  // All-empty lane set still renders a well-formed document.
+  std::vector<ThreadTrace> AllIdle(3);
+  std::string Empty = formatChromeTraceThreads(AllIdle, nullptr);
+  EXPECT_NE(Empty.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(std::count(Empty.begin(), Empty.end(), '{'),
+            std::count(Empty.begin(), Empty.end(), '}'));
+}
+
 } // namespace

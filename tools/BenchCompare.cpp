@@ -1,0 +1,323 @@
+//===- BenchCompare.cpp - Bench trajectory regression gate -------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/BenchCompare.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <map>
+
+using namespace lpa;
+
+namespace {
+
+/// Classifies a member key as a gated metric, or not one.
+enum class KeyClass { NotMetric, WallMs, Bytes };
+
+KeyClass classifyKey(std::string_view Key) {
+  auto EndsWith = [&](std::string_view Suffix) {
+    return Key.size() >= Suffix.size() &&
+           Key.substr(Key.size() - Suffix.size()) == Suffix;
+  };
+  if (EndsWith("_ms") || Key == "real_time" || Key == "cpu_time")
+    return KeyClass::WallMs;
+  // Percentages that merely *mention* a metric are derived, not gated.
+  if (EndsWith("_bytes"))
+    return KeyClass::Bytes;
+  return KeyClass::NotMetric;
+}
+
+struct Metric {
+  KeyClass Class;
+  double Value;
+};
+
+/// Flattens every gated numeric metric of \p V into \p Out keyed by dotted
+/// path. sample_profile subtrees are skipped — sampled maxima and counts
+/// are statistical and gate nothing.
+void collectMetrics(const JsonValue &V, const std::string &Path,
+                    std::map<std::string, Metric> &Out) {
+  if (V.isObject()) {
+    for (const auto &[Key, Member] : V.members()) {
+      if (Key == "sample_profile")
+        continue;
+      std::string Sub = Path.empty() ? Key : Path + "." + Key;
+      KeyClass KC = classifyKey(Key);
+      if (KC != KeyClass::NotMetric && Member.isNumber()) {
+        Out.emplace(Sub, Metric{KC, Member.asNumber()});
+        continue;
+      }
+      collectMetrics(Member, Sub, Out);
+    }
+    return;
+  }
+  if (V.isArray()) {
+    const auto &Items = V.items();
+    for (size_t I = 0; I < Items.size(); ++I) {
+      // google-benchmark arrays carry a "name" per element; table-driver
+      // row arrays carry "program". Either beats a bare index — rows stay
+      // aligned when the corpus gains or reorders entries.
+      std::string Label = Items[I].stringOr("name", "");
+      if (Label.empty())
+        Label = Items[I].stringOr("program", "");
+      std::string Sub = Path + "[" +
+                        (Label.empty() ? std::to_string(I) : Label) + "]";
+      collectMetrics(Items[I], Sub, Out);
+    }
+  }
+}
+
+/// Extracts "path of block" -> (stack string -> share pct) for every
+/// sample_profile block in \p V.
+void collectProfiles(const JsonValue &V, const std::string &Path,
+                     std::map<std::string, std::map<std::string, double>> &Out) {
+  if (V.isObject()) {
+    for (const auto &[Key, Member] : V.members()) {
+      std::string Sub = Path.empty() ? Key : Path + "." + Key;
+      if (Key == "sample_profile" && Member.isObject()) {
+        double Total = Member.numberOr("total_samples", 0);
+        const JsonValue *Stacks = Member.find("stacks");
+        if (Total <= 0 || !Stacks || !Stacks->isArray())
+          continue;
+        std::map<std::string, double> &Shares = Out[Sub];
+        for (const JsonValue &S : Stacks->items()) {
+          std::string Label = S.stringOr("lane", "?");
+          const JsonValue *Frames = S.find("frames");
+          if (Frames && Frames->isArray())
+            for (const JsonValue &F : Frames->items())
+              Label += ";" + F.asString();
+          Label += ";[" + S.stringOr("phase", "?") + "]";
+          Shares[Label] += S.numberOr("count", 0) / Total * 100.0;
+        }
+        continue;
+      }
+      collectProfiles(Member, Sub, Out);
+    }
+    return;
+  }
+  if (V.isArray()) {
+    const auto &Items = V.items();
+    for (size_t I = 0; I < Items.size(); ++I)
+      collectProfiles(Items[I], Path + "[" + std::to_string(I) + "]", Out);
+  }
+}
+
+} // namespace
+
+CompareReport lpa::compareBenchJson(const JsonValue &Base,
+                                    const JsonValue &Cur,
+                                    const CompareOptions &Opts) {
+  CompareReport R;
+
+  std::map<std::string, Metric> BaseM, CurM;
+  collectMetrics(Base, "", BaseM);
+  collectMetrics(Cur, "", CurM);
+
+  for (const auto &[Path, BM] : BaseM) {
+    auto It = CurM.find(Path);
+    if (It == CurM.end()) {
+      R.OnlyInBase.push_back(Path);
+      continue;
+    }
+    const Metric &CM = It->second;
+    MetricDelta D;
+    D.Path = Path;
+    D.MetricKind = BM.Class == KeyClass::Bytes ? MetricDelta::Kind::Bytes
+                                               : MetricDelta::Kind::WallMs;
+    D.Base = BM.Value;
+    D.Current = CM.Value;
+    D.DeltaPct = BM.Value > 0 ? (CM.Value - BM.Value) / BM.Value * 100.0 : 0;
+    bool IsBytes = BM.Class == KeyClass::Bytes;
+    double Threshold = IsBytes ? Opts.BytesThresholdPct
+                               : Opts.WallThresholdPct;
+    double Floor = IsBytes ? Opts.BytesFloor : Opts.WallFloorMs;
+    D.Regressed = BM.Value >= Floor && D.DeltaPct > Threshold;
+    R.Deltas.push_back(std::move(D));
+  }
+  for (const auto &[Path, CM] : CurM)
+    if (!BaseM.count(Path))
+      R.OnlyInCurrent.push_back(Path);
+
+  // Profile shifts: union of each run's top-N stacks per block, reported
+  // when the share moved at all (callers decide what is interesting).
+  std::map<std::string, std::map<std::string, double>> BaseP, CurP;
+  collectProfiles(Base, "", BaseP);
+  collectProfiles(Cur, "", CurP);
+  for (const auto &[Path, BaseShares] : BaseP) {
+    auto It = CurP.find(Path);
+    const std::map<std::string, double> Empty;
+    const std::map<std::string, double> &CurShares =
+        It == CurP.end() ? Empty : It->second;
+    auto TopN = [&](const std::map<std::string, double> &M) {
+      std::vector<std::pair<std::string, double>> V(M.begin(), M.end());
+      std::stable_sort(V.begin(), V.end(), [](const auto &A, const auto &B) {
+        return A.second > B.second;
+      });
+      if (V.size() > Opts.ProfileTopN)
+        V.resize(Opts.ProfileTopN);
+      return V;
+    };
+    std::map<std::string, bool> Union;
+    for (const auto &[S, _] : TopN(BaseShares))
+      Union[S] = true;
+    for (const auto &[S, _] : TopN(CurShares))
+      Union[S] = true;
+    for (const auto &[Stack, _] : Union) {
+      auto BIt = BaseShares.find(Stack);
+      auto CIt = CurShares.find(Stack);
+      ProfileShift PS;
+      PS.Path = Path;
+      PS.Stack = Stack;
+      PS.BaseSharePct = BIt == BaseShares.end() ? 0 : BIt->second;
+      PS.CurSharePct = CIt == CurShares.end() ? 0 : CIt->second;
+      if (std::fabs(PS.CurSharePct - PS.BaseSharePct) > 0.01)
+        R.ProfileShifts.push_back(std::move(PS));
+    }
+  }
+  std::stable_sort(R.ProfileShifts.begin(), R.ProfileShifts.end(),
+                   [](const ProfileShift &A, const ProfileShift &B) {
+                     return std::fabs(A.CurSharePct - A.BaseSharePct) >
+                            std::fabs(B.CurSharePct - B.BaseSharePct);
+                   });
+  return R;
+}
+
+std::string CompareReport::renderText(const CompareOptions &Opts) const {
+  std::string Out;
+  char Buf[512];
+  auto Line = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out += Buf;
+    Out += '\n';
+  };
+
+  size_t Regs = regressionCount();
+  Line("bench_compare: %zu metric(s) compared, %zu regression(s) "
+       "(thresholds: wall +%.0f%%, bytes +%.0f%%)",
+       Deltas.size(), Regs, Opts.WallThresholdPct, Opts.BytesThresholdPct);
+
+  for (const MetricDelta &D : Deltas)
+    if (D.Regressed)
+      Line("  REGRESSION %s: %.2f -> %.2f (%+.1f%%)", D.Path.c_str(), D.Base,
+           D.Current, D.DeltaPct);
+
+  // Largest non-gating moves, capped to keep logs readable.
+  std::vector<const MetricDelta *> Moves;
+  for (const MetricDelta &D : Deltas)
+    if (!D.Regressed && std::fabs(D.DeltaPct) > 1.0)
+      Moves.push_back(&D);
+  std::stable_sort(Moves.begin(), Moves.end(),
+                   [](const MetricDelta *A, const MetricDelta *B) {
+                     return std::fabs(A->DeltaPct) > std::fabs(B->DeltaPct);
+                   });
+  size_t Shown = std::min<size_t>(Moves.size(), 10);
+  if (Shown)
+    Line("  largest non-gating moves:");
+  for (size_t I = 0; I < Shown; ++I)
+    Line("    %s: %.2f -> %.2f (%+.1f%%)", Moves[I]->Path.c_str(),
+         Moves[I]->Base, Moves[I]->Current, Moves[I]->DeltaPct);
+
+  for (size_t I = 0, E = std::min<size_t>(ProfileShifts.size(), 10); I < E;
+       ++I) {
+    const ProfileShift &PS = ProfileShifts[I];
+    if (I == 0)
+      Line("  profile share shifts (informational):");
+    Line("    %s: %.1f%% -> %.1f%%  %s", PS.Path.c_str(), PS.BaseSharePct,
+         PS.CurSharePct, PS.Stack.c_str());
+  }
+
+  if (!OnlyInBase.empty())
+    Line("  %zu metric(s) only in baseline (schema drift)",
+         OnlyInBase.size());
+  if (!OnlyInCurrent.empty())
+    Line("  %zu metric(s) only in current (schema drift)",
+         OnlyInCurrent.size());
+  return Out;
+}
+
+std::string CompareReport::renderJson(const std::string &BaseName,
+                                      const std::string &CurName) const {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("baseline", std::string_view(BaseName));
+  W.member("current", std::string_view(CurName));
+  W.member("metrics_compared", static_cast<uint64_t>(Deltas.size()));
+  W.member("regressions", static_cast<uint64_t>(regressionCount()));
+  W.key("deltas");
+  W.beginArray();
+  for (const MetricDelta &D : Deltas) {
+    // Keep the record compact: only moves worth reading back.
+    if (!D.Regressed && std::fabs(D.DeltaPct) <= 1.0)
+      continue;
+    W.beginObject();
+    W.member("path", std::string_view(D.Path));
+    W.member("kind",
+             D.MetricKind == MetricDelta::Kind::Bytes ? "bytes" : "wall_ms");
+    W.member("base", D.Base);
+    W.member("current", D.Current);
+    W.member("delta_pct", D.DeltaPct);
+    W.member("regressed", D.Regressed);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("profile_shifts");
+  W.beginArray();
+  for (size_t I = 0, E = std::min<size_t>(ProfileShifts.size(), 10); I < E;
+       ++I) {
+    const ProfileShift &PS = ProfileShifts[I];
+    W.beginObject();
+    W.member("path", std::string_view(PS.Path));
+    W.member("stack", std::string_view(PS.Stack));
+    W.member("base_share_pct", PS.BaseSharePct);
+    W.member("cur_share_pct", PS.CurSharePct);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return Out;
+}
+
+bool lpa::appendTrajectoryLine(const std::string &TrajectoryPath,
+                               const CompareReport &Report,
+                               const std::string &BaseName,
+                               const std::string &CurName) {
+  std::string Record;
+  JsonWriter W(Record);
+  W.beginObject();
+  std::time_t Now = std::time(nullptr);
+  char Stamp[32] = "unknown";
+  if (std::tm *UTC = std::gmtime(&Now))
+    std::strftime(Stamp, sizeof(Stamp), "%Y-%m-%dT%H:%M:%SZ", UTC);
+  W.member("timestamp_utc", Stamp);
+  W.member("baseline", std::string_view(BaseName));
+  W.member("current", std::string_view(CurName));
+  W.member("metrics_compared", static_cast<uint64_t>(Report.Deltas.size()));
+  W.member("regressions", static_cast<uint64_t>(Report.regressionCount()));
+  W.key("regressed_paths");
+  W.beginArray();
+  for (const MetricDelta &D : Report.Deltas)
+    if (D.Regressed)
+      W.value(std::string_view(D.Path));
+  W.endArray();
+  W.endObject();
+
+  std::FILE *F = std::fopen(TrajectoryPath.c_str(), "a");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot append to %s\n",
+                 TrajectoryPath.c_str());
+    return false;
+  }
+  std::fwrite(Record.data(), 1, Record.size(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+  return true;
+}

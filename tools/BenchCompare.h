@@ -1,0 +1,110 @@
+//===- BenchCompare.h - Bench trajectory regression gate --------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diffs two bench trajectory JSON files (the table harnesses' --json
+/// output, or google-benchmark's from bench_engine_micro) and gates on
+/// regressions. The comparison is schema-light: both documents are walked
+/// in parallel, and every numeric member whose key marks it as a
+/// wall-clock ("*_ms", "real_time", "cpu_time") or table-space ("*_bytes")
+/// metric is compared at its path. Array elements align by their "name"
+/// member when present (google-benchmark's schema), by index otherwise.
+///
+/// Gating: a wall-clock metric regresses when it grows more than
+/// WallThresholdPct over a baseline above the noise floor; table bytes
+/// likewise with BytesThresholdPct. Improvements and sub-floor jitter are
+/// reported but never gate. Sample-profile blocks ("sample_profile") are
+/// compared by stack share — the top-N hottest paths of each run — and
+/// shifts are informational only (sampling is statistical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TOOLS_BENCHCOMPARE_H
+#define LPA_TOOLS_BENCHCOMPARE_H
+
+#include "tools/JsonValue.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// Tunables for one comparison.
+struct CompareOptions {
+  /// Wall-clock growth above this percentage gates (ISSUE: 15%).
+  double WallThresholdPct = 15.0;
+  /// Table-byte growth above this percentage gates (ISSUE: 10%).
+  double BytesThresholdPct = 10.0;
+  /// Wall-clock baselines below this many ms are noise; never gate.
+  double WallFloorMs = 1.0;
+  /// Byte baselines below this are noise; never gate.
+  double BytesFloor = 65536;
+  /// Sample-profile stacks compared per lane-set (informational).
+  size_t ProfileTopN = 10;
+};
+
+/// One compared metric.
+struct MetricDelta {
+  enum class Kind : uint8_t { WallMs, Bytes };
+  std::string Path; ///< Dotted member path, e.g. "fleet.parallel_wall_ms".
+  Kind MetricKind = Kind::WallMs;
+  double Base = 0;
+  double Current = 0;
+  double DeltaPct = 0;   ///< (Current - Base) / Base * 100; 0 when Base==0.
+  bool Regressed = false; ///< Above threshold and above the noise floor.
+};
+
+/// One sample-profile stack whose share of total samples shifted.
+struct ProfileShift {
+  std::string Path;  ///< Path of the sample_profile block.
+  std::string Stack; ///< "lane;frame;frame;[phase]".
+  double BaseSharePct = 0; ///< Of total samples; 0 = absent from that run.
+  double CurSharePct = 0;
+};
+
+/// Result of comparing two trajectory documents.
+struct CompareReport {
+  std::vector<MetricDelta> Deltas;        ///< Every compared metric.
+  std::vector<ProfileShift> ProfileShifts; ///< Top-N share changes.
+  /// Metrics present in only one document (schema drift — reported, never
+  /// gating; a renamed bench shouldn't fail the gate silently either way).
+  std::vector<std::string> OnlyInBase;
+  std::vector<std::string> OnlyInCurrent;
+
+  size_t regressionCount() const {
+    size_t N = 0;
+    for (const MetricDelta &D : Deltas)
+      N += D.Regressed;
+    return N;
+  }
+  bool hasRegressions() const { return regressionCount() != 0; }
+
+  /// Human-readable report: regressions first, then the largest moves,
+  /// then profile shifts and schema drift.
+  std::string renderText(const CompareOptions &Opts) const;
+
+  /// One JSON object (machine-readable report / trajectory line).
+  std::string renderJson(const std::string &BaseName,
+                         const std::string &CurName) const;
+};
+
+/// Compares two parsed trajectory documents.
+CompareReport compareBenchJson(const JsonValue &Base, const JsonValue &Cur,
+                               const CompareOptions &Opts);
+
+/// Appends \p Report as one JSON-Lines record to \p TrajectoryPath
+/// (creating the file if absent). The committed BENCH_TRAJECTORY.json at
+/// the repo root accumulates one line per gated CI run.
+bool appendTrajectoryLine(const std::string &TrajectoryPath,
+                          const CompareReport &Report,
+                          const std::string &BaseName,
+                          const std::string &CurName);
+
+} // namespace lpa
+
+#endif // LPA_TOOLS_BENCHCOMPARE_H

@@ -1,0 +1,132 @@
+//===- JsonValue.h - Minimal JSON document reader ---------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON document model plus recursive-descent parser for the
+/// bench_compare tool. The library proper only *emits* JSON (obs/Json.h);
+/// reading trajectory files back is a tooling concern, so the reader lives
+/// here and adds no dependency to the analysis libraries.
+///
+/// Scope: exactly what the bench trajectory schemas need. Numbers are
+/// doubles (bench values are timings, byte counts, and sample counts —
+/// all comfortably inside the 2^53 exact-integer range), member order is
+/// preserved, and duplicate keys keep the first occurrence on lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TOOLS_JSONVALUE_H
+#define LPA_TOOLS_JSONVALUE_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lpa {
+
+/// One parsed JSON value; a tree of these is a document.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  double asNumber() const { return Num; }
+  bool asBool() const { return Num != 0; }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<JsonValue> &items() const { return Items; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  const JsonValue *find(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[MK, MV] : Members)
+      if (MK == Key)
+        return &MV;
+    return nullptr;
+  }
+
+  /// find() that also requires the member to be a number; \p Fallback
+  /// otherwise.
+  double numberOr(std::string_view Key, double Fallback) const {
+    const JsonValue *V = find(Key);
+    return V && V->isNumber() ? V->asNumber() : Fallback;
+  }
+
+  /// find() that also requires a string member; \p Fallback otherwise.
+  std::string stringOr(std::string_view Key, std::string Fallback) const {
+    const JsonValue *V = find(Key);
+    return V && V->isString() ? V->asString() : std::move(Fallback);
+  }
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  /// Errors carry a byte offset: "json parse error at offset N: ...".
+  static ErrorOr<JsonValue> parse(std::string_view Text);
+
+  /// \name Construction (used by the parser and by tests).
+  /// @{
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool B) {
+    JsonValue V;
+    V.K = Kind::Bool;
+    V.Num = B ? 1 : 0;
+    return V;
+  }
+  static JsonValue makeNumber(double D) {
+    JsonValue V;
+    V.K = Kind::Number;
+    V.Num = D;
+    return V;
+  }
+  static JsonValue makeString(std::string S) {
+    JsonValue V;
+    V.K = Kind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static JsonValue makeArray() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue makeObject() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+  void push(JsonValue V) { Items.push_back(std::move(V)); }
+  void set(std::string Key, JsonValue V) {
+    Members.emplace_back(std::move(Key), std::move(V));
+  }
+  /// @}
+
+private:
+  Kind K = Kind::Null;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Reads a whole file into a string; fails with a diagnostic on I/O error.
+ErrorOr<std::string> readFileText(const std::string &Path);
+
+} // namespace lpa
+
+#endif // LPA_TOOLS_JSONVALUE_H

@@ -1,0 +1,143 @@
+//===- bench_compare.cpp - CLI bench regression gate -------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Usage:
+//   bench_compare BASELINE.json CURRENT.json
+//       [--wall-threshold PCT] [--bytes-threshold PCT]
+//       [--wall-floor-ms MS] [--bytes-floor N] [--top N]
+//       [--report PATH] [--trajectory PATH]
+//
+// Exit status: 0 when no gated metric regressed, 1 on regression, 2 on
+// usage or parse errors. CI runs the smoke fleet, compares against the
+// previous run's artifact, and fails the job on exit 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/BenchCompare.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+using namespace lpa;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s BASELINE.json CURRENT.json [options]\n"
+      "  --wall-threshold PCT   gate wall-clock growth above PCT (15)\n"
+      "  --bytes-threshold PCT  gate table-byte growth above PCT (10)\n"
+      "  --wall-floor-ms MS     ignore wall baselines below MS (1.0)\n"
+      "  --bytes-floor N        ignore byte baselines below N (65536)\n"
+      "  --top N                profile stacks compared per block (10)\n"
+      "  --report PATH          write a JSON report\n"
+      "  --trajectory PATH      append a JSON-Lines trajectory record\n",
+      Argv0);
+  return 2;
+}
+
+bool parseDouble(std::string_view S, double &Out) {
+  char *End = nullptr;
+  std::string Copy(S);
+  Out = std::strtod(Copy.c_str(), &End);
+  return End && *End == '\0' && End != Copy.c_str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CompareOptions Opts;
+  std::string BasePath, CurPath, ReportPath, TrajectoryPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string_view A = argv[I];
+    auto NextVal = [&](std::string_view &Out) {
+      if (I + 1 >= argc)
+        return false;
+      Out = argv[++I];
+      return true;
+    };
+    std::string_view V;
+    if (A == "--wall-threshold" && NextVal(V)) {
+      if (!parseDouble(V, Opts.WallThresholdPct))
+        return usage(argv[0]);
+    } else if (A == "--bytes-threshold" && NextVal(V)) {
+      if (!parseDouble(V, Opts.BytesThresholdPct))
+        return usage(argv[0]);
+    } else if (A == "--wall-floor-ms" && NextVal(V)) {
+      if (!parseDouble(V, Opts.WallFloorMs))
+        return usage(argv[0]);
+    } else if (A == "--bytes-floor" && NextVal(V)) {
+      if (!parseDouble(V, Opts.BytesFloor))
+        return usage(argv[0]);
+    } else if (A == "--top" && NextVal(V)) {
+      double N = 0;
+      if (!parseDouble(V, N) || N < 1)
+        return usage(argv[0]);
+      Opts.ProfileTopN = static_cast<size_t>(N);
+    } else if (A == "--report" && NextVal(V)) {
+      ReportPath = V;
+    } else if (A == "--trajectory" && NextVal(V)) {
+      TrajectoryPath = V;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option: %.*s\n", int(A.size()), A.data());
+      return usage(argv[0]);
+    } else if (BasePath.empty()) {
+      BasePath = A;
+    } else if (CurPath.empty()) {
+      CurPath = A;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (BasePath.empty() || CurPath.empty())
+    return usage(argv[0]);
+
+  auto BaseText = readFileText(BasePath);
+  if (!BaseText) {
+    std::fprintf(stderr, "error: %s\n", BaseText.getError().str().c_str());
+    return 2;
+  }
+  auto CurText = readFileText(CurPath);
+  if (!CurText) {
+    std::fprintf(stderr, "error: %s\n", CurText.getError().str().c_str());
+    return 2;
+  }
+  auto Base = JsonValue::parse(*BaseText);
+  if (!Base) {
+    std::fprintf(stderr, "error: %s: %s\n", BasePath.c_str(),
+                 Base.getError().str().c_str());
+    return 2;
+  }
+  auto Cur = JsonValue::parse(*CurText);
+  if (!Cur) {
+    std::fprintf(stderr, "error: %s: %s\n", CurPath.c_str(),
+                 Cur.getError().str().c_str());
+    return 2;
+  }
+
+  CompareReport Report = compareBenchJson(*Base, *Cur, Opts);
+  std::fputs(Report.renderText(Opts).c_str(), stdout);
+
+  if (!ReportPath.empty()) {
+    std::FILE *F = std::fopen(ReportPath.c_str(), "w");
+    if (F) {
+      std::string Json = Report.renderJson(BasePath, CurPath);
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fputc('\n', F);
+      std::fclose(F);
+      std::printf("[json] wrote %s\n", ReportPath.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", ReportPath.c_str());
+    }
+  }
+  if (!TrajectoryPath.empty())
+    appendTrajectoryLine(TrajectoryPath, Report, BasePath, CurPath);
+
+  return Report.hasRegressions() ? 1 : 0;
+}
