@@ -331,6 +331,43 @@ void BM_CursorPublish(benchmark::State &State) {
 }
 BENCHMARK(BM_CursorPublish)->Arg(0)->Arg(1);
 
+/// A/B ablation of the service QueryContext (Solver::setQueryContext) on
+/// the same complete-digraph closure: with a context attached, the
+/// outermost solve opens a query scope (id publish to tracer/cursor) and
+/// — when the context carries a deadline — every resolution step pays a
+/// decimated clock check. Arg: 0 = detached (the batch default; one
+/// pointer test at query open), 1 = attached with an unreachable deadline
+/// (the daemon's steady state: full deadline-polling cost, never firing).
+/// The delta is what query-scoped telemetry costs an analysis that never
+/// asked for it — the number the ISSUE requires to stay at noise level.
+void BM_QueryContextPublish(benchmark::State &State) {
+  const int N = 12;
+  std::string Prog = ":- table path/2.\n"
+                     "path(X, Y) :- edge(X, Y).\n"
+                     "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J)
+      Prog += "edge(" + std::to_string(I) + ", " + std::to_string(J) +
+              ").\n";
+  SymbolTable Syms;
+  Database DB(Syms);
+  (void)DB.consult(Prog);
+  QueryContext Ctx;
+  Ctx.DeadlineNs = ~uint64_t(0); // Armed but unreachable.
+  for (auto _ : State) {
+    Solver Engine(DB);
+    if (State.range(0) != 0) {
+      ++Ctx.Id;
+      Engine.setQueryContext(&Ctx);
+    }
+    auto G = Parser::parseTerm(Syms, Engine.store(), "path(X, Y)");
+    size_t Sols = Engine.solve(*G, nullptr);
+    benchmark::DoNotOptimize(Sols);
+  }
+  State.SetItemsProcessed(State.iterations() * 4 * N * N);
+}
+BENCHMARK(BM_QueryContextPublish)->Arg(0)->Arg(1);
+
 void BM_TabledFib(benchmark::State &State) {
   const char *Prog = ":- table fib/2.\n"
                      "fib(0, 0). fib(1, 1).\n"

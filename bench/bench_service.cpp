@@ -1,0 +1,145 @@
+//===- bench_service.cpp - Analysis-service throughput/latency bench ----------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// The daemon's value proposition measured in-process: one AnalysisSession
+// answers a cold query (tables empty — the full fixpoint) and then a
+// stream of identical warm queries (tables completed by a prior query —
+// the XSB "don't recompute" payoff the paper's analysis-server framing
+// relies on). Reported per workload size:
+//
+//   cold_wall_ms       first query (builds the path/2 closure)
+//   warm_wall_ms       mean of the warm stream
+//   warm_speedup       cold / warm
+//   p50_us/p95_us/p99_us  service latency quantiles over the whole stream
+//   warm_hit_rate      warm hits / (warm hits + cold misses)
+//
+// JSON out (default bench/out/bench_service.json, override with --json
+// PATH) feeds BENCH_TRAJECTORY.json via tools/bench_compare like every
+// other bench driver; the `_ms` keys ride the wall-time regression gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "obs/Json.h"
+#include "srv/Session.h"
+#include "support/TableFormat.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace lpa;
+
+namespace {
+
+struct ServiceRow {
+  int Nodes = 0;
+  double ColdMs = 0;
+  double WarmMs = 0; ///< Mean over the warm stream.
+  double P50Us = 0, P95Us = 0, P99Us = 0;
+  double WarmHitRate = 0;
+  uint64_t QueriesServed = 0;
+};
+
+/// Chain-graph transitive closure, the canonical tabled workload.
+std::string chainProgram(int N) {
+  std::string Prog = ":- table path/2.\n"
+                     "path(X, Y) :- edge(X, Y).\n"
+                     "path(X, Y) :- path(X, Z), edge(Z, Y).\n";
+  for (int I = 0; I < N; ++I)
+    Prog += "edge(n" + std::to_string(I) + ", n" + std::to_string(I + 1) +
+            ").\n";
+  return Prog;
+}
+
+ServiceRow measure(int Nodes, int WarmQueries) {
+  ServiceRow Row;
+  Row.Nodes = Nodes;
+
+  AnalysisSession Session;
+  auto Loaded = Session.consult(chainProgram(Nodes));
+  if (!Loaded) {
+    std::fprintf(stderr, "consult failed: %s\n",
+                 Loaded.getError().str().c_str());
+    return Row;
+  }
+
+  auto Cold = Session.runQuery("path(n0, X)", /*MaxSolutions=*/0);
+  if (!Cold)
+    return Row;
+  Row.ColdMs = Cold->WallMs;
+
+  double WarmTotal = 0;
+  for (int I = 0; I < WarmQueries; ++I) {
+    auto Warm = Session.runQuery("path(n0, X)", /*MaxSolutions=*/0);
+    if (!Warm)
+      return Row;
+    WarmTotal += Warm->WallMs;
+  }
+  Row.WarmMs = WarmQueries ? WarmTotal / WarmQueries : 0;
+
+  // Exact nearest-rank quantiles: the whole stream (1 + WarmQueries)
+  // fits inside the default 128-entry window.
+  const ServiceStats &S = Session.serviceStats();
+  Row.P50Us = static_cast<double>(S.windowQuantileUs(0.50));
+  Row.P95Us = static_cast<double>(S.windowQuantileUs(0.95));
+  Row.P99Us = static_cast<double>(S.windowQuantileUs(0.99));
+  Row.WarmHitRate = S.warmHitRate();
+  Row.QueriesServed = S.queriesServed();
+  return Row;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const int WarmQueries = 64;
+  const int Sizes[] = {64, 256, 1024};
+
+  std::vector<ServiceRow> Rows;
+  for (int N : Sizes)
+    Rows.push_back(measure(N, WarmQueries));
+
+  std::printf("Analysis service: cold fixpoint vs warm-table query stream "
+              "(%d warm queries per size)\n\n",
+              WarmQueries);
+  TextTable T;
+  T.addRow({"Nodes", "Cold ms", "Warm ms", "Speedup", "p50 us", "p95 us",
+            "p99 us", "Warm rate"});
+  for (const ServiceRow &R : Rows) {
+    double Speedup = R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0;
+    T.addRow({std::to_string(R.Nodes), ms(R.ColdMs), ms(R.WarmMs),
+              ms(Speedup), ms(R.P50Us), ms(R.P95Us), ms(R.P99Us),
+              ms(R.WarmHitRate)});
+  }
+  std::printf("%s", T.render().c_str());
+
+  std::string Json;
+  JsonWriter W(Json);
+  W.beginObject();
+  W.member("bench", "service");
+  writeBenchMeta(W);
+  W.member("warm_queries", uint64_t(WarmQueries));
+  W.key("rows");
+  W.beginArray();
+  for (const ServiceRow &R : Rows) {
+    W.beginObject();
+    W.member("nodes", uint64_t(R.Nodes));
+    W.member("cold_wall_ms", R.ColdMs);
+    W.member("warm_wall_ms", R.WarmMs);
+    W.member("warm_speedup", R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0);
+    W.member("p50_us", R.P50Us);
+    W.member("p95_us", R.P95Us);
+    W.member("p99_us", R.P99Us);
+    W.member("warm_hit_rate", R.WarmHitRate);
+    W.member("queries_served", R.QueriesServed);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_service.json"),
+                Json);
+  return 0;
+}

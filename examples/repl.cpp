@@ -15,9 +15,18 @@
 //
 // Left recursion over a cyclic graph — it terminates here.
 //
+// The toplevel is one front end over the shared AnalysisSession command
+// layer (src/srv/Session.h); the lpa_serve daemon is the other. Queries
+// run under per-query ids with warm/cold table accounting, so a repeated
+// query shows up as warm traffic in ":stats" and ":queries".
+//
 // Commands (':'-prefixed lines run immediately, no trailing dot needed):
-//   :stats            per-predicate metrics table + engine counters and
-//                     table-space watermarks (peak bytes, not current)
+//   :stats            per-predicate metrics table + engine counters,
+//                     table-space watermarks, and the session's
+//                     warm/cold table hit-rate line
+//   :queries          latency + recent-query report (per-query id,
+//                     wall time, warm/cold hits — the daemon's "stats"
+//                     verb renders the same snapshot as JSON)
 //   :trace on|off     print one line per SLG event as goals run
 //   :profile <goal>   run a goal and report the engine work it caused
 //   :why <goal>       solve the goal and print proof trees for its answers
@@ -27,13 +36,11 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "engine/Solver.h"
-#include "obs/Metrics.h"
 #include "obs/Sampler.h"
 #include "obs/Trace.h"
 #include "reader/Parser.h"
+#include "srv/Session.h"
 #include "support/Stopwatch.h"
-#include "term/TermWriter.h"
 
 #include <cstdio>
 #include <iostream>
@@ -42,35 +49,27 @@
 using namespace lpa;
 
 int main() {
-  SymbolTable Symbols;
-  Database DB(Symbols);
   // Provenance stays on in the toplevel: ":why" needs justifications for
   // whatever the user already queried, and interactive table sizes make
-  // the recording overhead irrelevant.
-  Solver::Options EngineOpts;
-  EngineOpts.RecordProvenance = true;
-  Solver Engine(DB, EngineOpts);
+  // the recording overhead irrelevant. The 1 kHz sampler demonstrates the
+  // "leave it attached" cost model: the engine publishes its cursor via a
+  // seqlock and the reader thread never blocks evaluation.
+  AnalysisSession::Options SO;
+  SO.RecordProvenance = true;
+  SO.SampleHz = 1000;
+  SO.SampleLane = "repl";
+  AnalysisSession Session(SO);
 
-  // Observability: the tracer is always attached (sink-less emit is one
-  // null test), the registry accumulates per-predicate counters for
-  // ":stats", and ":trace on" attaches the printing sink.
-  Tracer Trace;
-  MetricsRegistry Metrics;
+  SymbolTable &Symbols = Session.symbols();
+  Solver &Engine = Session.solver();
+  Sampler &Prof = *Session.sampler();
+
+  // ":trace on" attaches the printing sink to the session's tracer
+  // (sink-less emit is one null test, so leaving it attached is free).
   PrintSink Printer(Symbols, stdout);
-  Engine.setObservability(&Trace, &Metrics);
-
-  // The sampling profiler is always on, demonstrating the "leave it
-  // attached" cost model: the engine publishes its cursor via a seqlock
-  // (two relaxed stores per frame push) and the 1 kHz reader thread never
-  // blocks evaluation. ":flame" dumps what it saw.
-  EvalCursor Cursor;
-  Engine.setSampleCursor(&Cursor);
-  Sampler Prof(Sampler::Options{/*Hz=*/1000});
-  Prof.addLane("repl", &Cursor);
-  Prof.start();
 
   std::printf("lpa toplevel — tabled logic engine "
-              "(clauses to assert, '?- G.' to query, ':stats', "
+              "(clauses to assert, '?- G.' to query, ':stats', ':queries', "
               "':trace on|off', ':profile G', ':why G', "
               "':forest [dot|json] [path]', ':flame [path]', "
               "'halt.' to quit)\n");
@@ -98,20 +97,28 @@ int main() {
           Cmd.pop_back();
 
         if (Cmd == ":stats") {
-          Engine.snapshotTableMetrics(Metrics);
-          if (Metrics.empty())
+          Engine.snapshotTableMetrics(Session.metrics());
+          if (Session.metrics().empty())
             std::printf("  (no tabled evaluation yet)\n");
           else
-            std::printf("%s", Metrics.renderReport().c_str());
+            std::printf("%s", Session.metrics().renderReport().c_str());
+          std::printf("%s", Session.warmColdLine().c_str());
+          continue;
+        }
+        if (Cmd == ":queries") {
+          if (Session.queriesServed() == 0)
+            std::printf("  (no queries yet)\n");
+          else
+            std::printf("%s", Session.queriesReport().c_str());
           continue;
         }
         if (Cmd == ":trace on") {
-          Trace.setSink(&Printer);
+          Session.tracer().setSink(&Printer);
           std::printf("  tracing on.\n");
           continue;
         }
         if (Cmd == ":trace off") {
-          Trace.setSink(nullptr);
+          Session.tracer().setSink(nullptr);
           std::printf("  tracing off.\n");
           continue;
         }
@@ -266,8 +273,9 @@ int main() {
           continue;
         }
         std::printf("  unknown command: %s "
-                    "(:stats, :trace on|off, :profile <goal>, :why <goal>, "
-                    ":forest [dot|json] [path], :flame [path])\n",
+                    "(:stats, :queries, :trace on|off, :profile <goal>, "
+                    ":why <goal>, :forest [dot|json] [path], "
+                    ":flame [path])\n",
                     Cmd.c_str());
         continue;
       }
@@ -304,35 +312,27 @@ int main() {
     }
 
     if (Input.compare(Start, 2, "?-") == 0) {
-      // Query: show up to 10 solutions.
-      std::string GoalText = Input.substr(Start + 2);
-      auto Goal = Parser::parseTerm(Symbols, Engine.store(), GoalText);
-      if (!Goal) {
-        std::printf("  syntax error: %s\n", Goal.getError().str().c_str());
+      // Query through the session: runs under a fresh query id with
+      // warm/cold accounting, shows up to 10 solutions.
+      auto R = Session.runQuery(Input.substr(Start + 2), /*MaxSolutions=*/10);
+      if (!R) {
+        std::printf("  syntax error: %s\n", R.getError().str().c_str());
         continue;
       }
-      size_t Shown = 0;
-      size_t Total = Engine.solve(*Goal, [&]() {
-        if (Shown < 10)
-          std::printf("  %s\n",
-                      TermWriter::toString(Symbols, Engine.storeConst(),
-                                           *Goal)
-                          .c_str());
-        ++Shown;
-        return false;
-      });
-      if (Total == 0)
+      for (const std::string &Sol : R->Solutions)
+        std::printf("  %s\n", Sol.c_str());
+      if (R->Total == 0)
         std::printf("  no.\n");
-      else if (Total > 10)
-        std::printf("  ... %zu solutions total.\n", Total);
+      else if (R->Total > R->Solutions.size())
+        std::printf("  ... %zu solutions total.\n", R->Total);
       else
-        std::printf("  yes (%zu solution%s).\n", Total,
-                    Total == 1 ? "" : "s");
+        std::printf("  yes (%zu solution%s).\n", R->Total,
+                    R->Total == 1 ? "" : "s");
       continue;
     }
 
     // Otherwise: assert clauses.
-    auto R = DB.consult(Input);
+    auto R = Session.consult(Input);
     if (!R)
       std::printf("  error: %s\n", R.getError().str().c_str());
   }

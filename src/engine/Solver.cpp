@@ -14,6 +14,7 @@
 #include "term/Variant.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace lpa;
 
@@ -135,7 +136,27 @@ const Solver::GoalNode *Solver::makeGoals(const std::vector<TermRef> &Goals,
 // Public entry points
 //===----------------------------------------------------------------------===//
 
+uint64_t Solver::steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 size_t Solver::solve(TermRef Goal, const SolutionFn &OnSolution) {
+  // An outermost entry (no producer or completion in flight — reentrant
+  // solves from builtins/analyzers share their enclosing query) opens a
+  // new query scope: pick its id, re-arm the deadline, and stamp the id
+  // into the observability channels.
+  if (ProducerStack.empty() && CompletionStack.empty()) {
+    CurQueryId = (Query && Query->Id) ? Query->Id : ++QuerySeq;
+    DeadlineExpired = false;
+    DeadlineTick = 0;
+    if (Trace)
+      Trace->setQuery(CurQueryId);
+    if (Cursor)
+      Cursor->setQueryId(CurQueryId);
+  }
   size_t Count = 0;
   auto Wrapped = [&]() -> bool {
     ++Count;
@@ -309,6 +330,9 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("trie_nodes_created", Stats.TrieNodesCreated);
   M.setCounter("frontier_bytes_freed", Stats.FrontierBytesFreed);
   M.setCounter("incomplete_tables", Stats.IncompleteTables);
+  M.setCounter("warm_table_hits", Stats.WarmTableHits);
+  M.setCounter("cold_table_misses", Stats.ColdTableMisses);
+  M.setCounter("deadline_hits", Stats.DeadlineHits);
   M.setCounter("subgoal_trie_nodes", SubgoalTrie.nodeCount());
   M.setCounter("subgoal_trie_bytes", SubgoalTrie.memoryBytes());
   const TableWatermarks &W = watermarks();
@@ -359,6 +383,23 @@ Solver::Signal Solver::solveGoals(const GoalNode *Goals, size_t Depth,
     if (Trace)
       Trace->emit(TraceEventKind::DepthLimit, 0, 0, Depth);
     return Signal::exhausted();
+  }
+  if (Query && Query->DeadlineNs) {
+    if (!DeadlineExpired && (++DeadlineTick & 1023u) == 0 &&
+        steadyNowNs() >= Query->DeadlineNs) {
+      DeadlineExpired = true;
+      ++Stats.DeadlineHits;
+      if (Trace)
+        Trace->emit(TraceEventKind::DeadlineExpired, 0, 0, Depth);
+    }
+    if (DeadlineExpired) {
+      // Same soundness discipline as the depth limit: every branch the
+      // expiry prunes may starve the producer's table, so its completion
+      // must carry the Incomplete taint.
+      if (!ProducerStack.empty())
+        ProducerStack.back()->Incomplete = true;
+      return Signal::exhausted();
+    }
   }
   TermRef G = Heap.deref(Goals->Goal);
   return solveCall(G, Goals->Next, Depth, CutLevel, OnSolution);
@@ -682,8 +723,20 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
   if (Trace)
     Trace->emit(TraceEventKind::TabledCall, Key.Sym, Key.Arity);
   std::vector<TermRef> GoalVars;
+  size_t NSubgoals = SubgoalOwned.size();
   Subgoal &SG =
       ensureSubgoal(G, Key, Opts.UseTrieTables ? &GoalVars : nullptr);
+  // Same warm/cold accounting as solveTabled (the supplementary path is
+  // just the other consumer of tabled answers).
+  if (SG.Ordinal >= NSubgoals) {
+    ++Stats.ColdTableMisses;
+    if (Metrics)
+      ++Metrics->pred(Symbols, Key.Sym, Key.Arity).ColdMisses;
+  } else if (SG.Complete && SG.CompletedInQuery != CurQueryId) {
+    ++Stats.WarmTableHits;
+    if (Metrics)
+      ++Metrics->pred(Symbols, Key.Sym, Key.Arity).WarmHits;
+  }
   if (!SG.Complete && !ProducerStack.empty()) {
     Subgoal *Parent = ProducerStack.back();
     Parent->MinLink = std::min(Parent->MinLink, SG.MinLink);
@@ -1225,6 +1278,7 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
       Subgoal *Member = CompletionStack[I];
       Member->SccId = SccCounter;
       Member->CompletionSeq = ++CompletionCounter;
+      Member->CompletedInQuery = CurQueryId;
       if (SCCIncomplete) {
         Member->Incomplete = true;
         ++Stats.IncompleteTables;
@@ -1261,8 +1315,22 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
   if (Trace)
     Trace->emit(TraceEventKind::TabledCall, P.Key.Sym, P.Key.Arity);
   std::vector<TermRef> GoalVars;
+  size_t NSubgoals = SubgoalOwned.size();
   Subgoal &SG =
       ensureSubgoal(Goal, P.Key, Opts.UseTrieTables ? &GoalVars : nullptr);
+  // Warm/cold accounting: a variant that had to be created is a cold
+  // miss; one completed by an *earlier* query is a warm hit (the reuse a
+  // long-lived service banks on). Re-hits within the producing query are
+  // neither — that is ordinary fixpoint traffic.
+  if (SG.Ordinal >= NSubgoals) {
+    ++Stats.ColdTableMisses;
+    if (Metrics)
+      ++Metrics->pred(Symbols, P.Key.Sym, P.Key.Arity).ColdMisses;
+  } else if (SG.Complete && SG.CompletedInQuery != CurQueryId) {
+    ++Stats.WarmTableHits;
+    if (Metrics)
+      ++Metrics->pred(Symbols, P.Key.Sym, P.Key.Arity).WarmHits;
+  }
 
   // Record the SCC dependency of the producer that issued this call, and
   // subscribe it to future answers for semi-naive re-running.

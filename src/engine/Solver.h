@@ -48,6 +48,28 @@
 
 namespace lpa {
 
+/// Identity and budget of one top-level query against a long-lived solver.
+/// The service layer (src/srv) allocates one per protocol request and
+/// attaches it with Solver::setQueryContext; the engine then stamps the id
+/// on every trace event and sampler snapshot, counts warm/cold table reuse
+/// against it, and fails branches fast once the deadline passes. With no
+/// context attached (the default — batch analyzers, tests) the solver
+/// numbers outermost queries itself, so warm-hit accounting still works;
+/// the extra cost is one pointer test per outermost solve().
+struct QueryContext {
+  /// Caller-assigned query id; 0 lets the solver use its own sequence.
+  /// Ids must be nonzero and increasing if the caller assigns them —
+  /// warm-hit detection compares ids for inequality only, but trace
+  /// consumers assume they order requests.
+  uint64_t Id = 0;
+  /// Absolute deadline on the solver's steady clock, in nanoseconds since
+  /// epoch (Solver::steadyNowNs); 0 = no deadline. Expiry does not unwind
+  /// the C++ stack: the search fails fast branch by branch, poisoning any
+  /// producer mid-derivation (Subgoal::Incomplete) exactly like the depth
+  /// limit, so truncated tables are never certified complete.
+  uint64_t DeadlineNs = 0;
+};
+
 /// Counters describing one evaluation (the paper reports table space and
 /// uses call/answer tables as the analysis result).
 struct EvalStats {
@@ -77,6 +99,18 @@ struct EvalStats {
   /// answer tables may be a strict subset of the minimal model; analyzers
   /// must not report them as exact results.
   uint64_t IncompleteTables = 0;
+  /// \name Cross-query table reuse (see QueryContext).
+  /// @{
+  /// Tabled calls answered entirely from a table completed by an earlier
+  /// query. The service's warm-hit rate is WarmTableHits over
+  /// (WarmTableHits + ColdTableMisses).
+  uint64_t WarmTableHits = 0;
+  /// Tabled calls whose subgoal variant had to be created.
+  uint64_t ColdTableMisses = 0;
+  /// @}
+  /// Query deadlines that expired mid-evaluation (each expiry counts
+  /// once, however many branches it then prunes).
+  uint64_t DeadlineHits = 0;
 };
 
 /// Table-space high-watermarks: the paper's "Table space" column as a
@@ -185,6 +219,10 @@ struct Subgoal {
   uint32_t SccId = 0;
   /// 1-based position in the global completion order; 0 until completed.
   uint32_t CompletionSeq = 0;
+  /// Id of the outermost query that completed this table (0 before
+  /// completion). A later query calling the variant is a *warm* hit —
+  /// the cross-query reuse EvalStats::WarmTableHits counts.
+  uint64_t CompletedInQuery = 0;
 
   // Completion (approximate Tarjan SCC) machinery.
   uint64_t Dfn = 0;
@@ -368,6 +406,24 @@ public:
   /// few relaxed atomic stores. The cursor must outlive its attachment.
   void setSampleCursor(EvalCursor *C) { Cursor = C; }
   EvalCursor *sampleCursor() const { return Cursor; }
+
+  /// Attaches (or, with nullptr, detaches) the query context consulted at
+  /// each outermost solve(): its Id scopes trace events, sampler stacks
+  /// and warm-hit accounting; its DeadlineNs bounds the search (see
+  /// QueryContext). Same ownership contract as the other hooks — the
+  /// caller keeps the context alive across the queries it covers, and may
+  /// mutate it *between* (never during) solve() calls. Detached-path cost
+  /// is pinned by the BM_QueryContextPublish A/B micro.
+  void setQueryContext(const QueryContext *Q) { Query = Q; }
+  const QueryContext *queryContext() const { return Query; }
+
+  /// Id of the query the solver is serving (or last served): the attached
+  /// context's Id, else the internal outermost-solve sequence number.
+  uint64_t currentQueryId() const { return CurQueryId; }
+
+  /// Nanoseconds on the clock QueryContext::DeadlineNs is measured
+  /// against (steady, process-wide).
+  static uint64_t steadyNowNs();
 
   /// Table-space high-watermarks (see TableWatermarks). PeakTermStoreBytes
   /// and PeakTableSpaceBytes are refreshed before returning.
@@ -584,6 +640,21 @@ private:
   MetricsRegistry *Metrics = nullptr;
   /// Sampling-profiler cursor (null when detached; see setSampleCursor).
   EvalCursor *Cursor = nullptr;
+  /// Query context (null when detached; see setQueryContext).
+  const QueryContext *Query = nullptr;
+  /// Internal outermost-query sequence, used when no context supplies an
+  /// id. Never reset: warm-hit detection needs ids unique across the
+  /// solver's whole life, including across resetStats()/clearTables().
+  uint64_t QuerySeq = 0;
+  /// Id of the query currently (or last) served; see currentQueryId().
+  uint64_t CurQueryId = 0;
+  /// Deadline short-circuit: set once per query when the deadline first
+  /// passes, so subsequent solveGoals entries fail on one flag test
+  /// instead of re-reading the clock.
+  bool DeadlineExpired = false;
+  /// Clock-check decimation counter (the clock is read every 1024th
+  /// solveGoals entry while a deadline is armed).
+  uint32_t DeadlineTick = 0;
   /// Table-space peaks. Mutable: tableSpaceBytes() is const but refreshes
   /// PeakTableSpaceBytes whenever it walks the tables anyway.
   mutable TableWatermarks Water;

@@ -10,9 +10,8 @@
 /// dumps, Chrome trace files, per-benchmark trajectory records). Emission
 /// only — the library itself never parses JSON — so the writer is a
 /// comma-tracking state machine over an output string, with no document
-/// model. (The bench_compare tool reads trajectory files back; its
-/// recursive-descent reader lives in tools/JsonValue.h, outside the
-/// library proper.)
+/// model. (Reading JSON back — bench trajectories, service protocol
+/// requests — is support/JsonValue.h's recursive-descent document reader.)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,69 @@
+//===- Log.cpp - Structured leveled logging -----------------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Log.h"
+
+#include "obs/Json.h"
+
+#include <chrono>
+#include <string>
+
+using namespace lpa;
+
+const char *lpa::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug: return "debug";
+  case LogLevel::Info: return "info";
+  case LogLevel::Warn: return "warn";
+  case LogLevel::Error: return "error";
+  }
+  return "unknown";
+}
+
+bool lpa::parseLogLevel(std::string_view Name, LogLevel &Out) {
+  if (Name == "debug") Out = LogLevel::Debug;
+  else if (Name == "info") Out = LogLevel::Info;
+  else if (Name == "warn") Out = LogLevel::Warn;
+  else if (Name == "error") Out = LogLevel::Error;
+  else return false;
+  return true;
+}
+
+void Logger::log(LogLevel L, std::string_view Msg,
+                 std::initializer_list<LogField> Fields) {
+  if (!enabled(L))
+    return;
+  uint64_t TsMs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+
+  std::string Line;
+  JsonWriter W(Line);
+  W.beginObject();
+  W.member("ts_ms", TsMs);
+  W.member("level", logLevelName(L));
+  W.member("msg", Msg);
+  for (const LogField &F : Fields) {
+    W.key(F.Key);
+    switch (F.K) {
+    case LogField::Kind::Str: W.value(F.S); break;
+    case LogField::Kind::U64: W.value(F.U); break;
+    case LogField::Kind::I64: W.value(F.I); break;
+    case LogField::Kind::F64: W.value(F.D); break;
+    case LogField::Kind::Bool: W.value(F.B); break;
+    }
+  }
+  W.endObject();
+  Line += '\n';
+
+  // One write per record keeps lines whole even with concurrent loggers
+  // on the same stream; the mutex orders records from this Logger.
+  std::lock_guard<std::mutex> G(Mu);
+  std::fwrite(Line.data(), 1, Line.size(), Out);
+  std::fflush(Out);
+}

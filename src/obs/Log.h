@@ -1,0 +1,109 @@
+//===- Log.h - Structured leveled logging -----------------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured, leveled logging for the long-lived analysis service. One
+/// call emits one JSON line ({"ts_ms":..,"level":"info","msg":..,...})
+/// to a stdio stream, so daemon logs are machine-parseable with the same
+/// JsonValue reader the rest of the tooling uses and greppable by humans.
+///
+/// Cost model, consistent with the tracer and sampler: a Logger with no
+/// sink, or a record below the minimum level, costs one branch — callers
+/// guard with enabled() when field construction itself is nontrivial.
+/// Fields are typed key/values (string, integer, double, bool) passed as
+/// an initializer list; nothing is formatted unless the record is kept.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_OBS_LOG_H
+#define LPA_OBS_LOG_H
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string_view>
+
+namespace lpa {
+
+enum class LogLevel : uint8_t { Debug = 0, Info, Warn, Error };
+
+/// Short stable mnemonic ("debug", "info", "warn", "error").
+const char *logLevelName(LogLevel L);
+
+/// Parses a mnemonic back to a level (case-sensitive); false on unknown.
+bool parseLogLevel(std::string_view Name, LogLevel &Out);
+
+/// One typed key/value attached to a log record. Keys and string values
+/// are NOT copied — they must outlive the log call (string literals and
+/// locals at the call site do).
+struct LogField {
+  enum class Kind : uint8_t { Str, U64, I64, F64, Bool };
+
+  std::string_view Key;
+  Kind K = Kind::Str;
+  std::string_view S;
+  uint64_t U = 0;
+  int64_t I = 0;
+  double D = 0;
+  bool B = false;
+
+  LogField(std::string_view Key, std::string_view V)
+      : Key(Key), K(Kind::Str), S(V) {}
+  LogField(std::string_view Key, const char *V)
+      : Key(Key), K(Kind::Str), S(V) {}
+  LogField(std::string_view Key, uint64_t V) : Key(Key), K(Kind::U64), U(V) {}
+  LogField(std::string_view Key, int64_t V) : Key(Key), K(Kind::I64), I(V) {}
+  LogField(std::string_view Key, int V)
+      : Key(Key), K(Kind::I64), I(V) {}
+  LogField(std::string_view Key, double V) : Key(Key), K(Kind::F64), D(V) {}
+  LogField(std::string_view Key, bool V) : Key(Key), K(Kind::Bool), B(V) {}
+};
+
+/// JSON-lines logger over a stdio stream. The stream is borrowed, never
+/// closed; pass nullptr (the default) for a disabled logger. Emission is
+/// serialized by an internal mutex: the daemon's request loop and any
+/// background thread may share one Logger.
+class Logger {
+public:
+  Logger() = default;
+  Logger(std::FILE *Out, LogLevel Min) : Out(Out), Min(Min) {}
+
+  void setSink(std::FILE *F) { Out = F; }
+  void setMinLevel(LogLevel L) { Min = L; }
+  LogLevel minLevel() const { return Min; }
+
+  bool enabled(LogLevel L) const { return Out && L >= Min; }
+
+  /// Emits one record: a JSON object holding "ts_ms" (wall clock,
+  /// milliseconds since the Unix epoch), "level", "msg", and the fields
+  /// in order. A no-op when below the minimum level or sinkless.
+  void log(LogLevel L, std::string_view Msg,
+           std::initializer_list<LogField> Fields = {});
+
+  void debug(std::string_view Msg, std::initializer_list<LogField> F = {}) {
+    log(LogLevel::Debug, Msg, F);
+  }
+  void info(std::string_view Msg, std::initializer_list<LogField> F = {}) {
+    log(LogLevel::Info, Msg, F);
+  }
+  void warn(std::string_view Msg, std::initializer_list<LogField> F = {}) {
+    log(LogLevel::Warn, Msg, F);
+  }
+  void error(std::string_view Msg, std::initializer_list<LogField> F = {}) {
+    log(LogLevel::Error, Msg, F);
+  }
+
+private:
+  std::FILE *Out = nullptr;
+  LogLevel Min = LogLevel::Info;
+  std::mutex Mu;
+};
+
+} // namespace lpa
+
+#endif // LPA_OBS_LOG_H

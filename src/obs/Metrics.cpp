@@ -169,6 +169,8 @@ void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
     To.DupAnswers += From.DupAnswers;
     To.Resolutions += From.Resolutions;
     To.Completions += From.Completions;
+    To.WarmHits += From.WarmHits;
+    To.ColdMisses += From.ColdMisses;
     To.TableSubgoals += From.TableSubgoals;
     To.TableAnswers += From.TableAnswers;
     To.TableBytes += From.TableBytes;
@@ -238,6 +240,8 @@ void MetricsRegistry::writeJson(JsonWriter &W) const {
     W.member("dup_answers", PM->DupAnswers);
     W.member("resolutions", PM->Resolutions);
     W.member("completions", PM->Completions);
+    W.member("warm_hits", PM->WarmHits);
+    W.member("cold_misses", PM->ColdMisses);
     W.member("table_subgoals", PM->TableSubgoals);
     W.member("table_answers", PM->TableAnswers);
     W.member("table_bytes", PM->TableBytes);

@@ -85,6 +85,12 @@ struct PredMetrics {
   uint64_t DupAnswers = 0;  ///< Answers rejected as duplicates.
   uint64_t Resolutions = 0; ///< Clause resolution attempts.
   uint64_t Completions = 0; ///< Subgoals marked complete.
+  /// Tabled calls answered from a table completed by a *prior* query —
+  /// the reuse a long-lived engine exists for (ROADMAP item 1). A call in
+  /// the same query that created the table counts as neither warm nor
+  /// cold: it is ordinary fixpoint traffic.
+  uint64_t WarmHits = 0;
+  uint64_t ColdMisses = 0; ///< Tabled calls that had to create the subgoal.
   /// @}
 
   /// \name Table snapshot (assigned, not accumulated).

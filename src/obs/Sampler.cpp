@@ -42,6 +42,7 @@ bool EvalCursor::read(Snapshot &Out, int MaxRetries) const {
     Out.TableBytes = GTableBytes.load(std::memory_order_relaxed);
     Out.Answers = GAnswers.load(std::memory_order_relaxed);
     Out.Subgoals = GSubgoals.load(std::memory_order_relaxed);
+    Out.QueryId = QuerySlot.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     if (Seq.load(std::memory_order_relaxed) == S1)
       return true;
@@ -76,12 +77,13 @@ uint32_t SampleProfile::addLane(std::string_view Label) {
 
 std::string SampleProfile::stackKey(uint32_t LaneIdx,
                                     const EvalCursor::Snapshot &S) const {
-  // Lane + phase + the raw frame words; frames of distinct predicates never
-  // collide because the packed word is the identity.
+  // Lane + query + phase + the raw frame words; frames of distinct
+  // predicates never collide because the packed word is the identity.
   std::string Key;
   size_t N = S.frameCount();
-  Key.reserve(16 + N * sizeof(uint64_t));
+  Key.reserve(24 + N * sizeof(uint64_t));
   Key.append(reinterpret_cast<const char *>(&LaneIdx), sizeof(LaneIdx));
+  Key.append(reinterpret_cast<const char *>(&S.QueryId), sizeof(S.QueryId));
   Key.push_back(static_cast<char>(S.Depth > 0 ? S.Phase : EvalPhase::Idle));
   for (size_t I = 0; I < N; ++I)
     Key.append(reinterpret_cast<const char *>(&S.Frames[I]),
@@ -107,6 +109,7 @@ void SampleProfile::recordSample(uint32_t LaneIdx,
     St.Lane = LaneIdx;
     St.Frames.assign(S.Frames, S.Frames + S.frameCount());
     St.Phase = S.Depth > 0 ? S.Phase : EvalPhase::Idle;
+    St.QueryId = S.QueryId;
     Stacks.push_back(std::move(St));
   }
   Stack &St = Stacks[It->second];
@@ -155,6 +158,7 @@ void SampleProfile::mergeFrom(const SampleProfile &Other) {
     EvalCursor::Snapshot S;
     S.Phase = From.Phase;
     S.Depth = From.MaxDepth;
+    S.QueryId = From.QueryId;
     size_t N = std::min(From.Frames.size(), EvalCursor::MaxFrames);
     std::copy_n(From.Frames.begin(), N, S.Frames);
     std::string Key = stackKey(LaneMap[From.Lane], S);
@@ -180,6 +184,10 @@ std::string SampleProfile::formatFolded(const SymbolTable *Symbols) const {
   std::string Out;
   for (const Stack *S : sortedStacks()) {
     Out += Lanes[S->Lane].Label;
+    if (S->QueryId) { // Query-scoped samples carry their own fold segment.
+      Out += ";q";
+      Out += std::to_string(S->QueryId);
+    }
     for (uint64_t F : S->Frames) {
       Out += ';';
       Out += sampleFrameName(F, Symbols);
@@ -232,6 +240,8 @@ void SampleProfile::writeJson(JsonWriter &W, const SymbolTable *Symbols,
     W.member("phase", evalPhaseName(S->Phase));
     W.member("count", S->Count);
     W.member("max_depth", static_cast<uint64_t>(S->MaxDepth));
+    if (S->QueryId)
+      W.member("query", S->QueryId);
     W.endObject();
   }
   W.endArray();

@@ -111,6 +111,15 @@ public:
     endWrite();
   }
 
+  /// Publishes the query id the engine is currently serving (0 = none).
+  /// Sampled stacks then fold per query, which is what lets a long-lived
+  /// service attribute profile cost to individual client requests.
+  void setQueryId(uint64_t Q) {
+    beginWrite();
+    QuerySlot.store(Q, std::memory_order_relaxed);
+    endWrite();
+  }
+
   /// Publishes the cheap table gauges (term-store bytes, answers recorded,
   /// subgoals created). The sampler keeps per-lane maxima of these, so the
   /// profile carries table-space watermarks as seen from outside.
@@ -132,6 +141,7 @@ public:
     uint64_t TableBytes = 0;
     uint64_t Answers = 0;
     uint64_t Subgoals = 0;
+    uint64_t QueryId = 0; ///< Query being served at the instant (0 = none).
 
     size_t frameCount() const {
       return Depth < MaxFrames ? Depth : MaxFrames;
@@ -160,6 +170,7 @@ private:
   std::atomic<uint64_t> GTableBytes{0};
   std::atomic<uint64_t> GAnswers{0};
   std::atomic<uint64_t> GSubgoals{0};
+  std::atomic<uint64_t> QuerySlot{0};
   /// Writer-private mirrors (single writer; saves the read-back).
   uint32_t WSeq = 0;
   uint32_t WDepth = 0;
@@ -180,6 +191,10 @@ public:
     /// Deepest logical depth folded into this stack; > Frames.size() means
     /// the cursor's frame window truncated an even deeper stack.
     uint32_t MaxDepth = 0;
+    /// Query the samples belonged to (EvalCursor::setQueryId); 0 = none.
+    /// Part of the fold key, so a service's per-query stacks stay apart;
+    /// batch runs never set it and see the historical single-key folding.
+    uint64_t QueryId = 0;
   };
 
   /// Per-lane totals plus gauge maxima observed across the run — the

@@ -24,6 +24,7 @@ const char *lpa::traceEventKindName(TraceEventKind K) {
   case TraceEventKind::ClauseResolve: return "clause-resolve";
   case TraceEventKind::BuiltinEval: return "builtin-eval";
   case TraceEventKind::DepthLimit: return "depth-limit";
+  case TraceEventKind::DeadlineExpired: return "deadline-expired";
   case TraceEventKind::SpanBegin: return "span-begin";
   case TraceEventKind::SpanEnd: return "span-end";
   }
@@ -118,26 +119,56 @@ static void writeChromeEvents(JsonWriter &W,
     W.member("ts", static_cast<double>(E.TimeNs) / 1e3);
     W.member("pid", uint64_t(1));
     W.member("tid", Tid);
-    if (E.Value) {
+    if (E.Value || E.QueryId) {
       W.key("args");
       W.beginObject();
-      W.member("value", E.Value);
+      if (E.Value)
+        W.member("value", E.Value);
+      if (E.QueryId)
+        W.member("query", E.QueryId);
       W.endObject();
     }
     W.endObject();
   }
 }
 
+/// Leads a lane with the ring's eviction count so a bounded recording is
+/// visibly a window, not the whole run. Timestamped at the oldest kept
+/// event: everything before that point is what was dropped.
+static void writeDroppedEvent(JsonWriter &W,
+                              const std::vector<TraceEvent> &Events,
+                              uint64_t Dropped, uint64_t Tid) {
+  if (!Dropped)
+    return;
+  W.beginObject();
+  W.member("name", "trace-truncated");
+  W.member("ph", "i");
+  W.member("s", "t");
+  uint64_t FirstNs = Events.empty() ? 0 : Events.front().TimeNs;
+  W.member("ts", static_cast<double>(FirstNs) / 1e3);
+  W.member("pid", uint64_t(1));
+  W.member("tid", Tid);
+  W.key("args");
+  W.beginObject();
+  W.member("dropped", Dropped);
+  W.endObject();
+  W.endObject();
+}
+
 std::string lpa::formatChromeTrace(const std::vector<TraceEvent> &Events,
-                                   const SymbolTable &Symbols) {
+                                   const SymbolTable &Symbols,
+                                   uint64_t Dropped) {
   std::string Out;
   JsonWriter W(Out);
   W.beginObject();
   W.key("traceEvents");
   W.beginArray();
+  writeDroppedEvent(W, Events, Dropped, /*Tid=*/1);
   writeChromeEvents(W, Events, &Symbols, /*Tid=*/1);
   W.endArray();
   W.member("displayTimeUnit", "ms");
+  if (Dropped)
+    W.member("droppedEvents", Dropped);
   W.endObject();
   return Out;
 }
@@ -150,10 +181,16 @@ lpa::formatChromeTraceThreads(const std::vector<ThreadTrace> &Threads,
   W.beginObject();
   W.key("traceEvents");
   W.beginArray();
-  for (const ThreadTrace &T : Threads)
+  uint64_t TotalDropped = 0;
+  for (const ThreadTrace &T : Threads) {
+    writeDroppedEvent(W, T.Events, T.Dropped, T.Tid);
     writeChromeEvents(W, T.Events, Symbols, T.Tid);
+    TotalDropped += T.Dropped;
+  }
   W.endArray();
   W.member("displayTimeUnit", "ms");
+  if (TotalDropped)
+    W.member("droppedEvents", TotalDropped);
   W.endObject();
   return Out;
 }

@@ -55,6 +55,7 @@ enum class TraceEventKind : uint8_t {
   ClauseResolve, ///< A program clause resolution was attempted.
   BuiltinEval,   ///< A builtin goal was evaluated.
   DepthLimit,    ///< A branch was pruned by the depth limit.
+  DeadlineExpired, ///< A query's deadline passed; the search fails fast.
   SpanBegin,     ///< A named phase started (Label holds the name).
   SpanEnd,       ///< The innermost open phase ended.
 };
@@ -73,6 +74,10 @@ struct TraceEvent {
   uint64_t TimeNs = 0; ///< Monotonic time since the tracer's epoch.
   uint64_t Value = 0;
   const char *Label = nullptr; ///< Static storage only; never freed.
+  /// Query the event belongs to (Tracer::setQuery); 0 = no query scope.
+  /// Long-lived services set this per protocol query so one shared trace
+  /// buffer can be sliced per client request after the fact.
+  uint64_t QueryId = 0;
 };
 
 /// Receives traced events. Implementations must tolerate being called at
@@ -95,6 +100,12 @@ public:
   TraceSink *sink() const { return Sink; }
   bool enabled() const { return Sink != nullptr; }
 
+  /// Sets the query id stamped on every subsequent event (0 = unscoped).
+  /// The engine calls this at each outermost solve() entry; it costs one
+  /// store and nothing at all on the emit path beyond the existing copy.
+  void setQuery(uint64_t Q) { CurQuery = Q; }
+  uint64_t query() const { return CurQuery; }
+
   /// Nanoseconds since the tracer was constructed (monotonic clock).
   uint64_t nowNs() const {
     return static_cast<uint64_t>(
@@ -108,7 +119,7 @@ public:
             uint64_t Value = 0, const char *Label = nullptr) {
     if (!Sink)
       return;
-    TraceEvent E{K, Sym, Arity, nowNs(), Value, Label};
+    TraceEvent E{K, Sym, Arity, nowNs(), Value, Label, CurQuery};
     Sink->event(E);
   }
 
@@ -134,6 +145,7 @@ public:
 
 private:
   TraceSink *Sink = nullptr;
+  uint64_t CurQuery = 0;
   std::chrono::steady_clock::time_point Epoch;
 #if LPA_TRACE_ASSERTS
   uint64_t OpenSpans = 0;
@@ -208,13 +220,21 @@ private:
 /// Perfetto "traceEvents" JSON): spans become B/E duration events and
 /// instant events become "i" events, so a tabled evaluation can be read as
 /// a timeline. Timestamps are microseconds from the tracer epoch.
+/// \p Dropped is the recording ring's eviction count: when nonzero the
+/// export leads with a "trace-truncated" instant event carrying it and
+/// records the total in a top-level "droppedEvents" member, so a bounded
+/// ring's window is never presented as the complete trace.
 std::string formatChromeTrace(const std::vector<TraceEvent> &Events,
-                              const SymbolTable &Symbols);
+                              const SymbolTable &Symbols,
+                              uint64_t Dropped = 0);
 
 /// One worker's buffered events for the stitched multi-thread export.
 struct ThreadTrace {
   uint64_t Tid = 1;
   std::vector<TraceEvent> Events;
+  /// RecordingSink::droppedCount() of this worker's ring; surfaced as a
+  /// per-lane "trace-truncated" event and summed into "droppedEvents".
+  uint64_t Dropped = 0;
 };
 
 /// Stitches per-worker trace buffers into one Chrome trace, each buffer on

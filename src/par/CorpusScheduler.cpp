@@ -283,7 +283,8 @@ std::string CorpusScheduler::chromeTrace() const {
   std::vector<ThreadTrace> Threads;
   Threads.reserve(Shards.size());
   for (size_t I = 0; I < Shards.size(); ++I)
-    Threads.push_back({I + 1, Shards[I]->Sink.events()});
+    Threads.push_back(
+        {I + 1, Shards[I]->Sink.events(), Shards[I]->Sink.droppedCount()});
   // Job SymbolTables are private and already destroyed; export by raw id.
   return formatChromeTraceThreads(Threads, /*Symbols=*/nullptr);
 }

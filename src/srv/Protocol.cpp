@@ -1,0 +1,107 @@
+//===- Protocol.cpp - JSON-lines service protocol -----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "srv/Protocol.h"
+
+#include "obs/Json.h"
+#include "srv/Session.h"
+#include "support/JsonValue.h"
+
+using namespace lpa;
+
+static std::string errorResponse(std::string_view Msg) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("ok", false);
+  W.member("error", Msg);
+  W.endObject();
+  return Out;
+}
+
+std::string lpa::handleRequestLine(AnalysisSession &Session,
+                                   std::string_view Line, bool &Shutdown) {
+  Shutdown = false;
+  auto Doc = JsonValue::parse(Line);
+  if (!Doc)
+    return errorResponse(Doc.getError().str());
+  if (!Doc->isObject())
+    return errorResponse("request must be a JSON object");
+  std::string Op = Doc->stringOr("op", "");
+  if (Op.empty())
+    return errorResponse("missing \"op\"");
+
+  if (Op == "consult") {
+    const JsonValue *Prog = Doc->find("program");
+    if (!Prog || !Prog->isString())
+      return errorResponse("consult needs a string \"program\"");
+    auto R = Session.consult(Prog->asString());
+    if (!R)
+      return errorResponse(R.getError().str());
+    std::string Out;
+    JsonWriter W(Out);
+    W.beginObject();
+    W.member("ok", true);
+    W.member("clauses", static_cast<uint64_t>(*R));
+    W.endObject();
+    return Out;
+  }
+
+  if (Op == "query") {
+    const JsonValue *Goal = Doc->find("goal");
+    if (!Goal || !Goal->isString())
+      return errorResponse("query needs a string \"goal\"");
+    double MaxSol = Doc->numberOr("max_solutions", 10);
+    double DeadlineMs = Doc->numberOr("deadline_ms", 0);
+    if (MaxSol < 0 || DeadlineMs < 0)
+      return errorResponse("max_solutions/deadline_ms must be nonnegative");
+    auto R = Session.runQuery(Goal->asString(),
+                              static_cast<size_t>(MaxSol),
+                              static_cast<uint64_t>(DeadlineMs));
+    if (!R)
+      return errorResponse(R.getError().str());
+    std::string Out;
+    JsonWriter W(Out);
+    W.beginObject();
+    W.member("ok", true);
+    W.member("id", R->Id);
+    W.member("total", static_cast<uint64_t>(R->Total));
+    W.key("solutions");
+    W.beginArray();
+    for (const std::string &S : R->Solutions)
+      W.value(std::string_view(S));
+    W.endArray();
+    W.member("wall_ms", R->WallMs);
+    W.member("warm_hits", R->WarmHits);
+    W.member("cold_misses", R->ColdMisses);
+    W.member("truncated", R->Truncated);
+    W.endObject();
+    return Out;
+  }
+
+  if (Op == "stats") {
+    // The snapshot is already one JSON object; splice it in verbatim
+    // rather than round-tripping through a document model.
+    return std::string("{\"ok\":true,\"stats\":") + Session.statsJson() + "}";
+  }
+
+  if (Op == "health")
+    return std::string("{\"ok\":true,\"health\":") + Session.healthJson() +
+           "}";
+
+  if (Op == "reset_stats") {
+    Session.resetStats();
+    return "{\"ok\":true}";
+  }
+
+  if (Op == "shutdown") {
+    Shutdown = true;
+    return "{\"ok\":true,\"bye\":true}";
+  }
+
+  return errorResponse("unknown op: " + Op);
+}

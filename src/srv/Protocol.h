@@ -1,0 +1,46 @@
+//===- Protocol.h - JSON-lines service protocol -----------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lpa_serve wire protocol: one JSON object per line in, one JSON
+/// object per line out, over stdin/stdout or a Unix socket. Verbs:
+///
+///   {"op":"consult","program":"edge(a,b). ..."}
+///       -> {"ok":true,"clauses":N}
+///   {"op":"query","goal":"path(a,X)","max_solutions":10,"deadline_ms":0}
+///       -> {"ok":true,"id":Q,"total":N,"solutions":[...],"wall_ms":..,
+///           "warm_hits":..,"cold_misses":..,"truncated":false}
+///   {"op":"stats"}   -> {"ok":true,"stats":{...}}   (schema lpa.stats.v1)
+///   {"op":"health"}  -> {"ok":true,"health":{...}}  (schema lpa.health.v1)
+///   {"op":"reset_stats"} -> {"ok":true}
+///   {"op":"shutdown"}    -> {"ok":true,"bye":true}
+///
+/// Every response carries "ok"; failures carry "error" with a message.
+/// Malformed lines produce an error response, never a dropped connection
+/// — a service protocol must stay in sync with a buggy client.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_SRV_PROTOCOL_H
+#define LPA_SRV_PROTOCOL_H
+
+#include <string>
+#include <string_view>
+
+namespace lpa {
+
+class AnalysisSession;
+
+/// Handles one request line against \p Session and returns the response
+/// line (no trailing newline). Sets \p Shutdown when the request asked
+/// the daemon to exit after responding.
+std::string handleRequestLine(AnalysisSession &Session, std::string_view Line,
+                              bool &Shutdown);
+
+} // namespace lpa
+
+#endif // LPA_SRV_PROTOCOL_H

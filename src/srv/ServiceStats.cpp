@@ -1,0 +1,203 @@
+//===- ServiceStats.cpp - Service-level query telemetry -----------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "srv/ServiceStats.h"
+
+#include "obs/Json.h"
+#include "support/TableFormat.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace lpa;
+
+static uint64_t steadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ServiceStats::ServiceStats(Options O) : Opts(O), EpochNs(steadyNs()) {
+  if (Opts.WindowSize == 0)
+    Opts.WindowSize = 1;
+  if (Opts.RecentSize == 0)
+    Opts.RecentSize = 1;
+  if (Opts.GaugeRingSize == 0)
+    Opts.GaugeRingSize = 1;
+}
+
+void ServiceStats::recordQuery(const QueryRecord &R) {
+  ++Served;
+  Warm += R.WarmHits;
+  Cold += R.ColdMisses;
+  Truncated += R.Truncated ? 1 : 0;
+  uint64_t Us = static_cast<uint64_t>(R.WallMs * 1e3);
+  LatencyUs.record(Us);
+  if (Window.size() < Opts.WindowSize) {
+    Window.push_back(Us);
+  } else {
+    Window[WindowHead] = Us;
+    WindowHead = (WindowHead + 1) % Opts.WindowSize;
+  }
+  if (Recent.size() < Opts.RecentSize) {
+    Recent.push_back(R);
+  } else {
+    Recent[RecentHead] = R;
+    RecentHead = (RecentHead + 1) % Opts.RecentSize;
+  }
+}
+
+void ServiceStats::recordGauges(const GaugePoint &G) {
+  if (Gauges.size() < Opts.GaugeRingSize) {
+    Gauges.push_back(G);
+  } else {
+    Gauges[GaugeHead] = G;
+    GaugeHead = (GaugeHead + 1) % Opts.GaugeRingSize;
+  }
+}
+
+double ServiceStats::warmHitRate() const {
+  uint64_t Total = Warm + Cold;
+  return Total ? static_cast<double>(Warm) / static_cast<double>(Total) : 0.0;
+}
+
+uint64_t ServiceStats::windowQuantileUs(double Q) const {
+  if (Window.empty())
+    return 0;
+  std::vector<uint64_t> Sorted(Window);
+  std::sort(Sorted.begin(), Sorted.end());
+  if (Q <= 0)
+    return Sorted.front();
+  if (Q >= 1)
+    return Sorted.back();
+  // Nearest-rank: the ceil(Q*N)-th smallest sample.
+  size_t Rank = static_cast<size_t>(std::ceil(Q * double(Sorted.size())));
+  if (Rank == 0)
+    Rank = 1;
+  return Sorted[Rank - 1];
+}
+
+template <typename T>
+static std::vector<T> ringInOrder(const std::vector<T> &Ring, size_t Head) {
+  std::vector<T> Out;
+  Out.reserve(Ring.size());
+  for (size_t I = 0; I < Ring.size(); ++I)
+    Out.push_back(Ring[(Head + I) % Ring.size()]);
+  return Out;
+}
+
+std::vector<QueryRecord> ServiceStats::recentQueries() const {
+  // Before the first wrap Head is 0, so this is arrival order either way.
+  return ringInOrder(Recent, Recent.size() < Opts.RecentSize ? 0 : RecentHead);
+}
+
+std::vector<GaugePoint> ServiceStats::gaugeSeries() const {
+  return ringInOrder(Gauges, Gauges.size() < Opts.GaugeRingSize ? 0 : GaugeHead);
+}
+
+uint64_t ServiceStats::uptimeMs() const {
+  return (steadyNs() - EpochNs) / 1000000u;
+}
+
+void ServiceStats::reset() {
+  Options O = Opts;
+  *this = ServiceStats(O);
+}
+
+void ServiceStats::writeJsonMembers(JsonWriter &W) const {
+  W.member("uptime_ms", uptimeMs());
+  W.member("queries_served", Served);
+  W.member("truncated_queries", Truncated);
+  W.member("warm_hits", Warm);
+  W.member("cold_misses", Cold);
+  W.member("warm_hit_rate", warmHitRate());
+
+  W.key("latency");
+  W.beginObject();
+  W.member("count", LatencyUs.count());
+  W.member("mean_us", LatencyUs.mean());
+  W.member("min_us", LatencyUs.min());
+  W.member("max_us", LatencyUs.max());
+  W.member("p50_us", LatencyUs.quantile(0.50));
+  W.member("p95_us", LatencyUs.quantile(0.95));
+  W.member("p99_us", LatencyUs.quantile(0.99));
+  W.endObject();
+
+  W.key("window");
+  W.beginObject();
+  W.member("count", static_cast<uint64_t>(Window.size()));
+  W.member("p50_us", windowQuantileUs(0.50));
+  W.member("p95_us", windowQuantileUs(0.95));
+  W.member("p99_us", windowQuantileUs(0.99));
+  W.endObject();
+
+  W.key("recent_queries");
+  W.beginArray();
+  for (const QueryRecord &R : recentQueries()) {
+    W.beginObject();
+    W.member("id", R.Id);
+    W.member("goal", std::string_view(R.Goal));
+    W.member("wall_ms", R.WallMs);
+    W.member("solutions", R.Solutions);
+    W.member("warm_hits", R.WarmHits);
+    W.member("cold_misses", R.ColdMisses);
+    W.member("truncated", R.Truncated);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("gauges");
+  W.beginArray();
+  for (const GaugePoint &G : gaugeSeries()) {
+    W.beginObject();
+    W.member("query", G.QueryId);
+    W.member("table_bytes", G.TableBytes);
+    W.member("subgoals", G.Subgoals);
+    W.member("answers", G.Answers);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+std::string ServiceStats::renderReport() const {
+  std::string Out;
+  if (Served == 0)
+    return "  (no queries served yet)\n";
+  Out += "  queries: " + std::to_string(Served);
+  if (Truncated)
+    Out += " (" + std::to_string(Truncated) + " truncated)";
+  Out += "  warm/cold: " + std::to_string(Warm) + "/" + std::to_string(Cold);
+  char Pct[32];
+  std::snprintf(Pct, sizeof(Pct), " (%.1f%% warm)", warmHitRate() * 100.0);
+  Out += Pct;
+  Out += "\n";
+  char L[160];
+  std::snprintf(L, sizeof(L),
+                "  latency: p50=%.3fms p95=%.3fms p99=%.3fms "
+                "mean=%.3fms max=%.3fms (cumulative, %llu queries)\n",
+                LatencyUs.quantile(0.50) / 1e3, LatencyUs.quantile(0.95) / 1e3,
+                LatencyUs.quantile(0.99) / 1e3, LatencyUs.mean() / 1e3,
+                LatencyUs.max() / 1e3,
+                static_cast<unsigned long long>(LatencyUs.count()));
+  Out += L;
+  std::snprintf(L, sizeof(L),
+                "  window:  p50=%.3fms p95=%.3fms p99=%.3fms (last %zu)\n",
+                windowQuantileUs(0.50) / 1e3, windowQuantileUs(0.95) / 1e3,
+                windowQuantileUs(0.99) / 1e3, Window.size());
+  Out += L;
+
+  TextTable T;
+  T.addRow({"Id", "Goal", "ms", "Sols", "Warm", "Cold", "Trunc"});
+  for (const QueryRecord &R : recentQueries())
+    T.addRow({std::to_string(R.Id), R.Goal, TextTable::fmt(R.WallMs, 3),
+              std::to_string(R.Solutions), std::to_string(R.WarmHits),
+              std::to_string(R.ColdMisses), R.Truncated ? "yes" : "-"});
+  Out += T.render();
+  return Out;
+}

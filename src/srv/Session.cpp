@@ -1,0 +1,194 @@
+//===- Session.cpp - Shared REPL/daemon command layer -------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "srv/Session.h"
+
+#include "obs/Json.h"
+#include "reader/Parser.h"
+#include "support/Stopwatch.h"
+#include "term/TermWriter.h"
+
+using namespace lpa;
+
+static Solver::Options engineOptions(const AnalysisSession::Options &O) {
+  Solver::Options E;
+  E.RecordProvenance = O.RecordProvenance;
+  return E;
+}
+
+AnalysisSession::AnalysisSession(Options O)
+    : Opts(std::move(O)), DB(Symbols), Engine(DB, engineOptions(Opts)),
+      Stats(Opts.Stats), Log(Opts.Log) {
+  Engine.setObservability(&Trace, &Metrics);
+  Engine.setSampleCursor(&Cursor);
+  Engine.setQueryContext(&Ctx);
+  if (Opts.SampleHz) {
+    Prof = std::make_unique<Sampler>(Sampler::Options{Opts.SampleHz});
+    Prof->addLane(Opts.SampleLane, &Cursor);
+    Prof->start();
+  }
+}
+
+AnalysisSession::~AnalysisSession() {
+  if (Prof)
+    Prof->stop();
+  // Detach the hooks before members destruct under the engine.
+  Engine.setQueryContext(nullptr);
+  Engine.setSampleCursor(nullptr);
+  Engine.setObservability(nullptr, nullptr);
+}
+
+ErrorOr<size_t> AnalysisSession::consult(std::string_view ProgramText) {
+  size_t Before = DB.numClauses();
+  auto R = DB.consult(ProgramText);
+  if (!R)
+    return R.getError();
+  size_t Loaded = DB.numClauses() - Before;
+  if (Log)
+    Log->info("consult", {{"clauses", uint64_t(Loaded)}});
+  return Loaded;
+}
+
+ErrorOr<AnalysisSession::QueryResult>
+AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
+                          uint64_t DeadlineMs) {
+  auto Goal = Parser::parseTerm(Symbols, Engine.store(), GoalText);
+  if (!Goal)
+    return Goal.getError();
+
+  // Open the query scope: a fresh id, and the deadline as an absolute
+  // point on the engine's steady clock. The context object is attached
+  // for the session's whole life; only its fields change between solves.
+  QueryResult R;
+  R.Id = ++NextQueryId;
+  Ctx.Id = R.Id;
+  Ctx.DeadlineNs = DeadlineMs ? Solver::steadyNowNs() + DeadlineMs * 1000000u
+                              : 0;
+
+  EvalStats Before = Engine.stats();
+  Stopwatch Watch;
+  R.Total = Engine.solve(*Goal, [&]() {
+    if (R.Solutions.size() < MaxSolutions)
+      R.Solutions.push_back(
+          TermWriter::toString(Symbols, Engine.storeConst(), *Goal));
+    return false;
+  });
+  R.WallMs = Watch.elapsedSeconds() * 1e3;
+  Ctx.DeadlineNs = 0;
+
+  const EvalStats &After = Engine.stats();
+  R.WarmHits = After.WarmTableHits - Before.WarmTableHits;
+  R.ColdMisses = After.ColdTableMisses - Before.ColdTableMisses;
+  R.Truncated = After.DeadlineHits != Before.DeadlineHits;
+
+  // Trim the goal text for the record: the REPL hands over raw input
+  // with surrounding whitespace/newlines that would mangle the report
+  // table and the JSON snapshot.
+  size_t B = GoalText.find_first_not_of(" \t\r\n");
+  size_t E = GoalText.find_last_not_of(" \t\r\n");
+  std::string_view Shown =
+      B == std::string_view::npos ? GoalText : GoalText.substr(B, E - B + 1);
+
+  QueryRecord Rec;
+  Rec.Id = R.Id;
+  Rec.Goal = std::string(Shown);
+  Rec.WallMs = R.WallMs;
+  Rec.Solutions = R.Total;
+  Rec.WarmHits = R.WarmHits;
+  Rec.ColdMisses = R.ColdMisses;
+  Rec.Truncated = R.Truncated;
+  Stats.recordQuery(Rec);
+  Stats.recordGauges({R.Id, Engine.tableSpaceBytes(),
+                      After.SubgoalsCreated, After.AnswersRecorded});
+
+  if (Log)
+    Log->info("query",
+              {{"id", R.Id},
+               {"goal", Shown},
+               {"solutions", uint64_t(R.Total)},
+               {"wall_ms", R.WallMs},
+               {"warm_hits", R.WarmHits},
+               {"cold_misses", R.ColdMisses},
+               {"truncated", R.Truncated}});
+  return R;
+}
+
+std::string AnalysisSession::statsJson() {
+  Engine.snapshotTableMetrics(Metrics);
+
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", "lpa.stats.v1");
+  Stats.writeJsonMembers(W);
+
+  W.key("engine");
+  Metrics.writeJson(W);
+
+  if (Prof) {
+    // profile() is only stable while the sampler thread is stopped.
+    bool WasRunning = Prof->running();
+    if (WasRunning)
+      Prof->stop();
+    W.key("sample_profile");
+    Prof->profile().writeJson(W, &Symbols, /*TopN=*/25);
+    if (WasRunning)
+      Prof->start();
+  }
+  W.endObject();
+  return Out;
+}
+
+std::string AnalysisSession::healthJson() const {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", "lpa.health.v1");
+  W.member("ok", true);
+  W.member("uptime_ms", Stats.uptimeMs());
+  W.member("queries_served", Stats.queriesServed());
+  W.member("clauses", static_cast<uint64_t>(DB.numClauses()));
+  W.member("subgoals", static_cast<uint64_t>(Engine.subgoals().size()));
+  W.member("table_space_bytes",
+           static_cast<uint64_t>(Engine.tableSpaceBytes()));
+  W.member("sampler_running", Prof && Prof->running());
+  W.endObject();
+  return Out;
+}
+
+std::string AnalysisSession::warmColdLine() const {
+  char L[160];
+  std::snprintf(L, sizeof(L),
+                "Warm/cold: %llu warm table hits, %llu cold misses "
+                "(%.1f%% warm) across %llu queries\n",
+                static_cast<unsigned long long>(Stats.warmHits()),
+                static_cast<unsigned long long>(Stats.coldMisses()),
+                Stats.warmHitRate() * 100.0,
+                static_cast<unsigned long long>(Stats.queriesServed()));
+  return L;
+}
+
+std::string AnalysisSession::foldedStacks() {
+  if (!Prof)
+    return {};
+  bool WasRunning = Prof->running();
+  if (WasRunning)
+    Prof->stop();
+  std::string Out;
+  if (!Prof->profile().empty())
+    Out = Prof->profile().formatFolded(&Symbols);
+  if (WasRunning)
+    Prof->start();
+  return Out;
+}
+
+void AnalysisSession::resetStats() {
+  Engine.resetStats();
+  Stats.reset();
+  if (Log)
+    Log->info("reset_stats");
+}

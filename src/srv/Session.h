@@ -1,0 +1,148 @@
+//===- Session.h - Shared REPL/daemon command layer -------------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One long-lived analysis session: the loaded program, a persistent
+/// Solver whose tables survive across queries (the XSB-style warm-table
+/// payoff the ROADMAP's service north-star banks on), the observability
+/// stack wired to it (tracer, metrics registry, sampling cursor, optional
+/// background sampler), and the service telemetry (ServiceStats).
+///
+/// Both front ends drive this one layer: the interactive REPL
+/// (examples/repl.cpp) and the lpa_serve daemon (src/srv/Protocol.h +
+/// tools/lpa_serve.cpp). Each query runs under a QueryContext carrying a
+/// monotonic id — so every trace event, sampler stack and warm/cold
+/// counter delta is attributable to the query that caused it — and an
+/// optional deadline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_SRV_SESSION_H
+#define LPA_SRV_SESSION_H
+
+#include "engine/Solver.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Sampler.h"
+#include "obs/Trace.h"
+#include "srv/ServiceStats.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// The shared command layer. Not thread-safe: one session serves one
+/// request stream (the daemon is a single-threaded event loop; parallel
+/// service would shard sessions the way the corpus fleet shards solvers).
+class AnalysisSession {
+public:
+  struct Options {
+    /// Record justifications (the REPL's ":why" needs them; the daemon
+    /// leaves them off unless asked — long-lived arenas grow).
+    bool RecordProvenance = false;
+    /// Background sampling profiler rate; 0 = no sampler thread (the
+    /// cursor is still attached, so a later profiler could be).
+    uint32_t SampleHz = 0;
+    /// Lane label for the sampler ("repl", "serve", ...).
+    std::string SampleLane = "srv";
+    /// Structured logger (borrowed, may be null).
+    Logger *Log = nullptr;
+    /// Telemetry ring sizes.
+    ServiceStats::Options Stats;
+  };
+
+  /// What one query returned. Solutions are rendered as text because the
+  /// heap bindings they came from are unwound by the time solve returns.
+  struct QueryResult {
+    uint64_t Id = 0;
+    size_t Total = 0; ///< All solutions found (not just those rendered).
+    std::vector<std::string> Solutions; ///< First MaxSolutions, rendered.
+    double WallMs = 0;
+    uint64_t WarmHits = 0;
+    uint64_t ColdMisses = 0;
+    bool Truncated = false; ///< The deadline expired mid-search.
+  };
+
+  AnalysisSession() : AnalysisSession(Options{}) {}
+  explicit AnalysisSession(Options O);
+  ~AnalysisSession(); ///< Stops the sampler if one is running.
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  /// Loads clauses/directives into the database (the dynamic-code path
+  /// both front ends use). \returns the number of clauses loaded.
+  ErrorOr<size_t> consult(std::string_view ProgramText);
+
+  /// Parses and proves \p GoalText under a fresh QueryContext: bumps the
+  /// query id, arms the deadline (0 = none), collects up to
+  /// \p MaxSolutions rendered solutions, and folds latency and warm/cold
+  /// deltas into the service telemetry.
+  ErrorOr<QueryResult> runQuery(std::string_view GoalText,
+                                size_t MaxSolutions = 10,
+                                uint64_t DeadlineMs = 0);
+
+  /// The full stats snapshot (schema "lpa.stats.v1"): service telemetry,
+  /// engine metrics (per-predicate + counters + watermarks), and — when a
+  /// sampler is attached — its folded profile. The sampler pauses around
+  /// the profile read (profile() is only stable stopped) and resumes.
+  std::string statsJson();
+
+  /// The cheap liveness snapshot (schema "lpa.health.v1").
+  std::string healthJson() const;
+
+  /// One-line warm/cold summary for the REPL's ":stats".
+  std::string warmColdLine() const;
+
+  /// The REPL's ":queries" report (latency histogram + recent queries).
+  std::string queriesReport() const { return Stats.renderReport(); }
+
+  /// Folded sampler stacks (empty string when no sampler or no samples).
+  /// Pauses and resumes the sampler like statsJson().
+  std::string foldedStacks();
+
+  /// Zeroes engine counters AND service telemetry. Tables are kept — the
+  /// point of a long-lived session — so post-reset queries against loaded
+  /// tables report pure warm traffic.
+  void resetStats();
+
+  /// \name Component access for front-end-specific commands
+  /// (":why", ":forest", ":trace on") — prefer the methods above.
+  /// @{
+  Solver &solver() { return Engine; }
+  const Solver &solver() const { return Engine; }
+  SymbolTable &symbols() { return Symbols; }
+  Database &database() { return DB; }
+  Tracer &tracer() { return Trace; }
+  MetricsRegistry &metrics() { return Metrics; }
+  ServiceStats &serviceStats() { return Stats; }
+  Sampler *sampler() { return Prof.get(); }
+  Logger *log() { return Log; }
+  /// @}
+
+  uint64_t queriesServed() const { return Stats.queriesServed(); }
+
+private:
+  Options Opts;
+  SymbolTable Symbols;
+  Database DB;
+  Solver Engine;
+  Tracer Trace;
+  MetricsRegistry Metrics;
+  EvalCursor Cursor;
+  std::unique_ptr<Sampler> Prof; ///< Null when Options::SampleHz == 0.
+  ServiceStats Stats;
+  Logger *Log = nullptr;
+  QueryContext Ctx;        ///< Attached to the engine for the session's life.
+  uint64_t NextQueryId = 0;
+};
+
+} // namespace lpa
+
+#endif // LPA_SRV_SESSION_H

@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "tools/JsonValue.h"
+#include "support/JsonValue.h"
 
 #include <cstdio>
 #include <cstdlib>

@@ -6,20 +6,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small JSON document model plus recursive-descent parser for the
-/// bench_compare tool. The library proper only *emits* JSON (obs/Json.h);
-/// reading trajectory files back is a tooling concern, so the reader lives
-/// here and adds no dependency to the analysis libraries.
+/// A small JSON document model plus recursive-descent parser. Originally
+/// a bench_compare-only concern, it moved into support once the analysis
+/// service (src/srv) needed to *read* protocol requests as well as emit
+/// responses (obs/Json.h remains the streaming writer).
 ///
-/// Scope: exactly what the bench trajectory schemas need. Numbers are
+/// Scope: exactly what the bench trajectory and service protocol schemas
+/// need. Numbers are
 /// doubles (bench values are timings, byte counts, and sample counts —
 /// all comfortably inside the 2^53 exact-integer range), member order is
 /// preserved, and duplicate keys keep the first occurrence on lookup.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef LPA_TOOLS_JSONVALUE_H
-#define LPA_TOOLS_JSONVALUE_H
+#ifndef LPA_SUPPORT_JSONVALUE_H
+#define LPA_SUPPORT_JSONVALUE_H
 
 #include "support/Error.h"
 
@@ -129,4 +130,4 @@ ErrorOr<std::string> readFileText(const std::string &Path);
 
 } // namespace lpa
 
-#endif // LPA_TOOLS_JSONVALUE_H
+#endif // LPA_SUPPORT_JSONVALUE_H

@@ -214,6 +214,57 @@ TEST(BenchCompare, SchemaDriftIsReportedNotGated) {
   EXPECT_EQ(R.OnlyInBase[0], "old_ms");
   ASSERT_EQ(R.OnlyInCurrent.size(), 1u);
   EXPECT_EQ(R.OnlyInCurrent[0], "new_ms");
+  EXPECT_FALSE(R.fails(CompareOptions{}));
+}
+
+TEST(BenchCompare, StrictModeGatesOnBaselineOnlyMetrics) {
+  JsonValue Base = parseOk("{\"old_ms\": 10.0, \"shared_ms\": 5.0}");
+  JsonValue Cur = parseOk("{\"shared_ms\": 5.0}");
+  CompareOptions Strict;
+  Strict.StrictSchema = true;
+  CompareReport R = compareBenchJson(Base, Cur, Strict);
+  // No metric regressed — only the schema did — yet the gate fails.
+  EXPECT_EQ(R.regressionCount(), 0u);
+  EXPECT_TRUE(R.fails(Strict));
+}
+
+TEST(BenchCompare, StrictModeIgnoresCurrentOnlyMetrics) {
+  // New benches (current-only) must never gate: growing coverage is how
+  // the trajectory is supposed to change.
+  JsonValue Base = parseOk("{\"shared_ms\": 5.0}");
+  JsonValue Cur = parseOk("{\"shared_ms\": 5.0, \"new_ms\": 10.0}");
+  CompareOptions Strict;
+  Strict.StrictSchema = true;
+  CompareReport R = compareBenchJson(Base, Cur, Strict);
+  EXPECT_FALSE(R.fails(Strict));
+}
+
+TEST(BenchCompare, RenderTextListsEachDriftedPath) {
+  JsonValue Base = parseOk("{\"gone_ms\": 10.0, \"also_gone_ms\": 4.0,"
+                           " \"shared_ms\": 5.0}");
+  JsonValue Cur = parseOk("{\"shared_ms\": 5.0, \"fresh_ms\": 2.0}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  std::string Text = R.renderText(CompareOptions{});
+  EXPECT_NE(Text.find("missing from current: gone_ms"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("missing from current: also_gone_ms"),
+            std::string::npos);
+  EXPECT_NE(Text.find("new: fresh_ms"), std::string::npos);
+}
+
+TEST(BenchCompare, RenderJsonCarriesSchemaDriftArrays) {
+  JsonValue Base = parseOk("{\"gone_ms\": 10.0, \"shared_ms\": 5.0}");
+  JsonValue Cur = parseOk("{\"shared_ms\": 5.0, \"fresh_ms\": 2.0}");
+  CompareReport R = compareBenchJson(Base, Cur, CompareOptions{});
+  JsonValue Doc = parseOk(R.renderJson("base.json", "cur.json"));
+  const JsonValue *OIB = Doc.find("only_in_base");
+  ASSERT_TRUE(OIB && OIB->isArray());
+  ASSERT_EQ(OIB->items().size(), 1u);
+  EXPECT_EQ(OIB->items()[0].asString(), "gone_ms");
+  const JsonValue *OIC = Doc.find("only_in_current");
+  ASSERT_TRUE(OIC && OIC->isArray());
+  ASSERT_EQ(OIC->items().size(), 1u);
+  EXPECT_EQ(OIC->items()[0].asString(), "fresh_ms");
 }
 
 //===----------------------------------------------------------------------===//

@@ -636,4 +636,80 @@ TEST(ChromeTrace, EmptyWorkerLaneSerializes) {
             std::count(Empty.begin(), Empty.end(), '}'));
 }
 
+TEST(ChromeTrace, DroppedEventsSurfaceInExport) {
+  // A bounded ring that wrapped must not present its window as the whole
+  // trace: the export leads with a "trace-truncated" instant carrying the
+  // eviction count and a top-level "droppedEvents" member.
+  SymbolTable Symbols;
+  SymbolId P = Symbols.intern("p");
+  Tracer Trace;
+  RecordingSink Sink(TraceOptions{/*MaxEvents=*/4});
+  Trace.setSink(&Sink);
+  for (int I = 0; I < 10; ++I)
+    Trace.emit(TraceEventKind::TabledCall, P, 1, I);
+  ASSERT_EQ(Sink.droppedCount(), 6u);
+
+  std::string Json =
+      formatChromeTrace(Sink.events(), Symbols, Sink.droppedCount());
+  EXPECT_NE(Json.find("\"trace-truncated\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"dropped\":6"), std::string::npos);
+  EXPECT_NE(Json.find("\"droppedEvents\":6"), std::string::npos);
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+
+  // An unbounded sink reports nothing dropped and no truncation marker.
+  std::string Clean = formatChromeTrace(Sink.events(), Symbols, 0);
+  EXPECT_EQ(Clean.find("trace-truncated"), std::string::npos);
+  EXPECT_EQ(Clean.find("droppedEvents"), std::string::npos);
+}
+
+TEST(ChromeTrace, ThreadedExportSumsPerLaneDrops) {
+  SymbolTable Symbols;
+  SymbolId P = Symbols.intern("p");
+  Tracer Trace;
+  RecordingSink A(TraceOptions{/*MaxEvents=*/2});
+  Trace.setSink(&A);
+  for (int I = 0; I < 5; ++I)
+    Trace.emit(TraceEventKind::TabledCall, P, 1);
+  RecordingSink B(TraceOptions{/*MaxEvents=*/2});
+  Trace.setSink(&B);
+  for (int I = 0; I < 4; ++I)
+    Trace.emit(TraceEventKind::AnswerNew, P, 1);
+
+  std::vector<ThreadTrace> Threads;
+  Threads.push_back({1, A.events(), A.droppedCount()});
+  Threads.push_back({2, B.events(), B.droppedCount()});
+  std::string Json = formatChromeTraceThreads(Threads, &Symbols);
+  // 3 dropped on lane 1 + 2 on lane 2; each lane gets its own marker.
+  EXPECT_NE(Json.find("\"droppedEvents\":5"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"dropped\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"dropped\":2"), std::string::npos);
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+}
+
+TEST(TraceEvents, QueryIdStampsEvents) {
+  // Tracer::setQuery scopes every subsequent event; the Chrome export
+  // carries the id in args so one shared buffer can be sliced per query.
+  SymbolTable Symbols;
+  SymbolId P = Symbols.intern("p");
+  Tracer Trace;
+  RecordingSink Sink;
+  Trace.setSink(&Sink);
+  Trace.emit(TraceEventKind::TabledCall, P, 1); // Unscoped.
+  Trace.setQuery(7);
+  Trace.emit(TraceEventKind::TabledCall, P, 1);
+  Trace.setQuery(8);
+  Trace.emit(TraceEventKind::AnswerNew, P, 1);
+
+  ASSERT_EQ(Sink.events().size(), 3u);
+  EXPECT_EQ(Sink.events()[0].QueryId, 0u);
+  EXPECT_EQ(Sink.events()[1].QueryId, 7u);
+  EXPECT_EQ(Sink.events()[2].QueryId, 8u);
+
+  std::string Json = formatChromeTrace(Sink.events(), Symbols);
+  EXPECT_NE(Json.find("\"query\":7"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"query\":8"), std::string::npos);
+}
+
 } // namespace

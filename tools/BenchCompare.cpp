@@ -234,12 +234,22 @@ std::string CompareReport::renderText(const CompareOptions &Opts) const {
          PS.CurSharePct, PS.Stack.c_str());
   }
 
-  if (!OnlyInBase.empty())
-    Line("  %zu metric(s) only in baseline (schema drift)",
-         OnlyInBase.size());
-  if (!OnlyInCurrent.empty())
-    Line("  %zu metric(s) only in current (schema drift)",
+  // Schema drift is listed path by path: "3 metrics vanished" is not
+  // actionable, "bench_x.total_ms vanished" is. Baseline-only entries are
+  // the dangerous direction (a disappearing bench can hide a regression),
+  // and gate under --strict.
+  if (!OnlyInBase.empty()) {
+    Line("  %zu metric(s) only in baseline (%s):", OnlyInBase.size(),
+         Opts.StrictSchema ? "GATING under --strict" : "schema drift");
+    for (const std::string &P : OnlyInBase)
+      Line("    missing from current: %s", P.c_str());
+  }
+  if (!OnlyInCurrent.empty()) {
+    Line("  %zu metric(s) only in current (new coverage):",
          OnlyInCurrent.size());
+    for (const std::string &P : OnlyInCurrent)
+      Line("    new: %s", P.c_str());
+  }
   return Out;
 }
 
@@ -281,6 +291,16 @@ std::string CompareReport::renderJson(const std::string &BaseName,
     W.member("cur_share_pct", PS.CurSharePct);
     W.endObject();
   }
+  W.endArray();
+  W.key("only_in_base");
+  W.beginArray();
+  for (const std::string &P : OnlyInBase)
+    W.value(std::string_view(P));
+  W.endArray();
+  W.key("only_in_current");
+  W.beginArray();
+  for (const std::string &P : OnlyInCurrent)
+    W.value(std::string_view(P));
   W.endArray();
   W.endObject();
   return Out;

@@ -26,7 +26,7 @@
 #ifndef LPA_TOOLS_BENCHCOMPARE_H
 #define LPA_TOOLS_BENCHCOMPARE_H
 
-#include "tools/JsonValue.h"
+#include "support/JsonValue.h"
 
 #include <cstdint>
 #include <string>
@@ -46,6 +46,10 @@ struct CompareOptions {
   double BytesFloor = 65536;
   /// Sample-profile stacks compared per lane-set (informational).
   size_t ProfileTopN = 10;
+  /// Treat baseline-only metrics as failures (--strict). A bench that
+  /// silently stops reporting a gated metric is a gate bypass: without
+  /// this, deleting a slow bench "fixes" its regression.
+  bool StrictSchema = false;
 };
 
 /// One compared metric.
@@ -71,8 +75,10 @@ struct ProfileShift {
 struct CompareReport {
   std::vector<MetricDelta> Deltas;        ///< Every compared metric.
   std::vector<ProfileShift> ProfileShifts; ///< Top-N share changes.
-  /// Metrics present in only one document (schema drift — reported, never
-  /// gating; a renamed bench shouldn't fail the gate silently either way).
+  /// Metrics present in only one document (schema drift). Listed path by
+  /// path in both renderings; baseline-only entries gate under
+  /// CompareOptions::StrictSchema, current-only entries never do (new
+  /// benches are how the trajectory grows).
   std::vector<std::string> OnlyInBase;
   std::vector<std::string> OnlyInCurrent;
 
@@ -83,6 +89,12 @@ struct CompareReport {
     return N;
   }
   bool hasRegressions() const { return regressionCount() != 0; }
+
+  /// Whether the gate fails under \p Opts: metric regressions always;
+  /// baseline-only metrics too when StrictSchema is set.
+  bool fails(const CompareOptions &Opts) const {
+    return hasRegressions() || (Opts.StrictSchema && !OnlyInBase.empty());
+  }
 
   /// Human-readable report: regressions first, then the largest moves,
   /// then profile shifts and schema drift.

@@ -35,6 +35,9 @@ int usage(const char *Argv0) {
       "  --wall-floor-ms MS     ignore wall baselines below MS (1.0)\n"
       "  --bytes-floor N        ignore byte baselines below N (65536)\n"
       "  --top N                profile stacks compared per block (10)\n"
+      "  --strict               fail when a baseline metric is missing\n"
+      "                         from current (a vanished bench can hide a\n"
+      "                         regression)\n"
       "  --report PATH          write a JSON report\n"
       "  --trajectory PATH      append a JSON-Lines trajectory record\n",
       Argv0);
@@ -80,6 +83,8 @@ int main(int argc, char **argv) {
       if (!parseDouble(V, N) || N < 1)
         return usage(argv[0]);
       Opts.ProfileTopN = static_cast<size_t>(N);
+    } else if (A == "--strict") {
+      Opts.StrictSchema = true;
     } else if (A == "--report" && NextVal(V)) {
       ReportPath = V;
     } else if (A == "--trajectory" && NextVal(V)) {
@@ -139,5 +144,5 @@ int main(int argc, char **argv) {
   if (!TrajectoryPath.empty())
     appendTrajectoryLine(TrajectoryPath, Report, BasePath, CurPath);
 
-  return Report.hasRegressions() ? 1 : 0;
+  return Report.fails(Opts) ? 1 : 0;
 }

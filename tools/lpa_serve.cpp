@@ -1,0 +1,176 @@
+//===- lpa_serve.cpp - Long-lived analysis daemon -----------------------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// The analysis service the ROADMAP's north-star asks for, in daemon form:
+// a persistent AnalysisSession (loaded program + warm tables + telemetry)
+// behind the JSON-lines protocol (src/srv/Protocol.h), over stdin/stdout
+// by default or a Unix socket with --socket. One client at a time — the
+// engine is single-threaded; parallel service shards sessions (see
+// src/par) rather than locking one.
+//
+// Usage:
+//   lpa_serve [--socket PATH] [--log-level debug|info|warn|error]
+//             [--provenance] [--sample-hz N]
+//
+// Structured logs (JSON lines) go to stderr; protocol responses to the
+// client. Exit: 0 on a clean "shutdown" verb or EOF, 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Log.h"
+#include "srv/Protocol.h"
+#include "srv/Session.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace lpa;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --socket PATH     serve on a Unix socket instead of stdio\n"
+               "  --log-level LVL   debug|info|warn|error (info)\n"
+               "  --provenance      record justifications (\":why\"-style)\n"
+               "  --sample-hz N     background sampling profiler rate (0)\n",
+               Argv0);
+  return 2;
+}
+
+/// Runs the request loop over stdio-style streams. \returns true when the
+/// client asked for shutdown (as opposed to just disconnecting).
+bool serveStream(AnalysisSession &Session, std::FILE *In, std::FILE *Out) {
+  std::string Line;
+  int C;
+  bool Shutdown = false;
+  while (!Shutdown) {
+    Line.clear();
+    while ((C = std::fgetc(In)) != EOF && C != '\n')
+      Line.push_back(static_cast<char>(C));
+    if (Line.empty() && C == EOF)
+      break;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos) {
+      if (C == EOF)
+        break;
+      continue; // Blank keep-alive line.
+    }
+    std::string Resp = handleRequestLine(Session, Line, Shutdown);
+    Resp += '\n';
+    std::fwrite(Resp.data(), 1, Resp.size(), Out);
+    std::fflush(Out);
+    if (C == EOF)
+      break;
+  }
+  return Shutdown;
+}
+
+int serveSocket(AnalysisSession &Session, Logger &Log,
+                const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Log.error("socket() failed", {{"errno", int64_t(errno)}});
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Log.error("socket path too long", {{"path", Path}});
+    return 2;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str()); // Stale socket from a previous run.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 4) < 0) {
+    Log.error("bind/listen failed",
+              {{"path", Path}, {"errno", int64_t(errno)}});
+    ::close(Fd);
+    return 1;
+  }
+  Log.info("listening", {{"socket", Path}});
+
+  bool Shutdown = false;
+  while (!Shutdown) {
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      Log.error("accept failed", {{"errno", int64_t(errno)}});
+      break;
+    }
+    Log.debug("client connected");
+    // Separate FILE streams for the two directions; fdopen owns and
+    // closes its fd, so the read side gets a dup.
+    std::FILE *In = ::fdopen(::dup(Client), "r");
+    std::FILE *Out = ::fdopen(Client, "w");
+    if (!In || !Out) {
+      if (In)
+        std::fclose(In);
+      else
+        ::close(Client);
+      if (Out)
+        std::fclose(Out);
+      continue;
+    }
+    Shutdown = serveStream(Session, In, Out);
+    std::fclose(In);
+    std::fclose(Out);
+    Log.debug("client disconnected",
+              {{"queries_served", Session.queriesServed()}});
+  }
+  ::close(Fd);
+  ::unlink(Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath;
+  LogLevel Level = LogLevel::Info;
+  AnalysisSession::Options SO;
+  SO.SampleLane = "serve";
+
+  for (int I = 1; I < argc; ++I) {
+    std::string_view A = argv[I];
+    if (A == "--socket" && I + 1 < argc) {
+      SocketPath = argv[++I];
+    } else if (A == "--log-level" && I + 1 < argc) {
+      if (!parseLogLevel(argv[++I], Level))
+        return usage(argv[0]);
+    } else if (A == "--provenance") {
+      SO.RecordProvenance = true;
+    } else if (A == "--sample-hz" && I + 1 < argc) {
+      SO.SampleHz = static_cast<uint32_t>(std::strtoul(argv[++I], nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  Logger Log(stderr, Level);
+  SO.Log = &Log;
+  AnalysisSession Session(SO);
+  Log.info("lpa_serve up",
+           {{"transport", SocketPath.empty() ? "stdio" : "socket"},
+            {"sample_hz", uint64_t(SO.SampleHz)},
+            {"provenance", SO.RecordProvenance}});
+
+  int Rc = 0;
+  if (SocketPath.empty())
+    serveStream(Session, stdin, stdout);
+  else
+    Rc = serveSocket(Session, Log, SocketPath);
+  Log.info("lpa_serve down",
+           {{"queries_served", Session.queriesServed()}});
+  return Rc;
+}
