@@ -1,0 +1,330 @@
+//===- bench_parallel_eval.cpp - Intra-query parallel eval scaling --------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// Scaling curves for Options::EvalWorkers (shared trie tables +
+// SCC-parallel SLG evaluation). Two workloads:
+//
+//  * A worst-case generator: K independent left-recursive transitive-
+//    closure chains over N-node graphs. The chains share no predicates,
+//    so the parallel prime phase gets K variable-disjoint seeds with
+//    zero cross-worker table traffic — the upper bound of what worker
+//    scaling can deliver.
+//  * The largest corpus programs (read, peep, press2) under Prop
+//    groundness, where the per-predicate open calls are the seeds and
+//    cones overlap heavily — the realistic lower end.
+//
+// Every arm is checked for canonical-fingerprint bit-identity against the
+// serial arm (answer SETS are deterministic under SLG regardless of
+// scheduling; see DESIGN.md §14). Any divergence is a hard failure: the
+// process exits nonzero so the CI bench gate trips.
+//
+// Usage: bench_parallel_eval [--chains K] [--nodes N] [--json PATH]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "corpus/Corpus.h"
+#include "engine/Solver.h"
+#include "par/CorpusScheduler.h"
+#include "prop/Groundness.h"
+#include "reader/Parser.h"
+#include "support/Stopwatch.h"
+#include "support/TableFormat.h"
+#include "term/TermWriter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace lpa;
+
+namespace {
+
+constexpr size_t WorkerArms[] = {0, 2, 4, 8};
+
+/// K disjoint left-recursive path/2 programs over an N-node chain each:
+/// path_k has N*(N+1)/2 answers and a private SCC, so the seeds are fully
+/// independent — the best case the scheduler is allowed to exploit.
+std::string makeChains(size_t K, size_t N) {
+  std::string P;
+  for (size_t C = 0; C < K; ++C) {
+    std::string Pred = "path" + std::to_string(C);
+    std::string Edge = "edge" + std::to_string(C);
+    P += ":- table " + Pred + "/2.\n";
+    P += Pred + "(X, Y) :- " + Pred + "(X, Z), " + Edge + "(Z, Y).\n";
+    P += Pred + "(X, Y) :- " + Edge + "(X, Y).\n";
+    for (size_t I = 0; I + 1 < N; ++I)
+      P += Edge + "(c" + std::to_string(C) + "n" + std::to_string(I) + ", c" +
+           std::to_string(C) + "n" + std::to_string(I + 1) + ").\n";
+  }
+  return P;
+}
+
+/// Evaluates every chain's open call to completion with \p Workers eval
+/// workers and returns {wall ms, canonical fingerprints (one sorted
+/// answer-set digest per chain)}.
+struct ChainRun {
+  double WallMs = 0;
+  std::vector<std::string> Fingerprints;
+  uint64_t SharedPublishes = 0;
+  uint64_t PoolExecuted = 0;
+  bool Ok = false;
+  std::string Error;
+};
+
+ChainRun runChains(const std::string &Program, size_t K, size_t Workers) {
+  ChainRun R;
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  auto Loaded = DB.consult(Program);
+  if (!Loaded) {
+    R.Error = Loaded.getError().str();
+    return R;
+  }
+
+  Solver::Options O;
+  O.EvalWorkers = Workers;
+  Solver Engine(DB, O);
+
+  std::vector<TermRef> Calls;
+  for (size_t C = 0; C < K; ++C) {
+    auto Call = Parser::parseTerm(Symbols, Engine.store(),
+                                  "path" + std::to_string(C) + "(X, Y)");
+    if (!Call) {
+      R.Error = Call.getError().str();
+      return R;
+    }
+    Calls.push_back(*Call);
+  }
+
+  Stopwatch Watch;
+  if (Workers > 1)
+    Engine.primeTables(Calls);
+  for (TermRef Call : Calls)
+    Engine.solve(Call, nullptr);
+  R.WallMs = Watch.elapsedSeconds() * 1e3;
+
+  // Canonical fingerprint: the sorted answer set of each chain's open
+  // call. Order-insensitive by construction, so serial and parallel arms
+  // must agree bit for bit.
+  for (TermRef Call : Calls) {
+    const Subgoal *SG = Engine.findSubgoal(Call);
+    if (!SG) {
+      R.Error = "no table for a chain open call";
+      return R;
+    }
+    std::vector<std::string> Answers;
+    TermStore Scratch;
+    for (size_t AI = 0, AE = Engine.answerCount(*SG); AI < AE; ++AI) {
+      Scratch.clear();
+      TermRef Ans = Engine.answerInstance(*SG, AI, Scratch);
+      Answers.push_back(TermWriter::toString(Symbols, Scratch, Ans));
+    }
+    std::sort(Answers.begin(), Answers.end());
+    std::string FP = std::to_string(Answers.size()) + ":";
+    for (const std::string &A : Answers)
+      FP += A + ";";
+    R.Fingerprints.push_back(std::move(FP));
+  }
+  R.SharedPublishes = Engine.sharedTableStats().Publishes;
+  R.PoolExecuted = Engine.evalPoolStats().Executed;
+  R.Ok = true;
+  return R;
+}
+
+struct GroundnessRun {
+  double AnalysisMs = 0;
+  std::vector<std::string> Fingerprints;
+  bool Ok = false;
+  std::string Error;
+};
+
+GroundnessRun runGroundness(const CorpusProgram &P, size_t Workers,
+                            bool Provenance = false) {
+  GroundnessRun R;
+  SymbolTable Symbols;
+  GroundnessAnalyzer::Options GO;
+  GO.Engine.EvalWorkers = Workers;
+  GO.Engine.RecordProvenance = Provenance;
+  GroundnessAnalyzer Analyzer(Symbols, GO);
+  auto Res = Analyzer.analyze(P.Source);
+  if (!Res) {
+    R.Error = Res.getError().str();
+    return R;
+  }
+  R.AnalysisMs = Res->AnalysisSeconds * 1e3;
+  R.Fingerprints = fingerprintGroundness(*Res);
+  if (Provenance)
+    R.Fingerprints.push_back(
+        "$provenance justified=" + std::to_string(Res->JustifiedAnswers) +
+        " premises=" + std::to_string(Res->JustificationPremises) +
+        " dangling=" + std::to_string(Res->DanglingPremises));
+  R.Ok = true;
+  return R;
+}
+
+size_t sizeArg(int Argc, char **Argv, const char *Flag, size_t Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::string_view(Argv[I]) == Flag)
+      return std::strtoul(Argv[I + 1], nullptr, 10);
+  return Default;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t K = sizeArg(argc, argv, "--chains", 8);
+  size_t N = sizeArg(argc, argv, "--nodes", 220);
+
+  std::printf("Intra-query parallel evaluation scaling "
+              "(EvalWorkers 0/2/4/8; 0 = serial baseline)\n\n");
+
+  std::string Json;
+  JsonWriter W(Json);
+  W.beginObject();
+  W.member("benchmark", "parallel_eval");
+  writeBenchMeta(W);
+  W.member("chains", static_cast<uint64_t>(K));
+  W.member("chain_nodes", static_cast<uint64_t>(N));
+  W.key("programs");
+  W.beginArray();
+
+  int Failures = 0;
+  TextTable Out;
+  Out.addRow({"Program", "Workers", "Wall(ms)", "Speedup", "Fingerprints",
+              "Published", "PoolTasks"});
+
+  //--- Worst-case generator: K independent transitive-closure chains. ----
+  {
+    std::string Program = makeChains(K, N);
+    std::string Name =
+        "chains_" + std::to_string(K) + "x" + std::to_string(N);
+    W.beginObject();
+    W.member("name", Name);
+    W.key("arms");
+    W.beginArray();
+    ChainRun Serial;
+    for (size_t Workers : WorkerArms) {
+      ChainRun Best;
+      for (int Rep = 0; Rep < 3; ++Rep) {
+        ChainRun R = runChains(Program, K, Workers);
+        if (!R.Ok) {
+          Best = R;
+          break;
+        }
+        if (!Best.Ok || R.WallMs < Best.WallMs)
+          Best = std::move(R);
+      }
+      if (!Best.Ok) {
+        std::fprintf(stderr, "%s workers=%zu: %s\n", Name.c_str(), Workers,
+                     Best.Error.c_str());
+        ++Failures;
+        continue;
+      }
+      if (Workers == 0)
+        Serial = Best;
+      bool Match = Best.Fingerprints == Serial.Fingerprints;
+      if (!Match)
+        ++Failures;
+      double Speedup = Best.WallMs > 0 ? Serial.WallMs / Best.WallMs : 0;
+      Out.addRow({Name, std::to_string(Workers), ms(Best.WallMs),
+                  Workers ? ms(Speedup) + "x" : "1.00x",
+                  Match ? "identical" : "DIVERGED",
+                  std::to_string(Best.SharedPublishes),
+                  std::to_string(Best.PoolExecuted)});
+      W.beginObject();
+      W.member("workers", static_cast<uint64_t>(Workers));
+      W.member("wall_ms", Best.WallMs);
+      W.member("speedup", Speedup);
+      W.member("fingerprints_match", Match);
+      W.member("shared_publishes", Best.SharedPublishes);
+      W.member("pool_tasks", Best.PoolExecuted);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+
+  //--- Largest corpus programs under Prop groundness. ---------------------
+  for (const char *Name : {"read", "peep", "press2"}) {
+    const CorpusProgram *P = findBenchmark(Name);
+    if (!P) {
+      std::fprintf(stderr, "missing corpus program %s\n", Name);
+      ++Failures;
+      continue;
+    }
+    W.beginObject();
+    W.member("name", Name);
+    W.key("arms");
+    W.beginArray();
+    GroundnessRun Serial;
+    for (size_t Workers : WorkerArms) {
+      GroundnessRun Best;
+      for (int Rep = 0; Rep < 3; ++Rep) {
+        GroundnessRun R = runGroundness(*P, Workers);
+        if (!R.Ok) {
+          Best = R;
+          break;
+        }
+        if (!Best.Ok || R.AnalysisMs < Best.AnalysisMs)
+          Best = std::move(R);
+      }
+      if (!Best.Ok) {
+        std::fprintf(stderr, "%s workers=%zu: %s\n", Name, Workers,
+                     Best.Error.c_str());
+        ++Failures;
+        continue;
+      }
+      if (Workers == 0)
+        Serial = Best;
+      bool Match = Best.Fingerprints == Serial.Fingerprints;
+      if (!Match)
+        ++Failures;
+      double Speedup =
+          Best.AnalysisMs > 0 ? Serial.AnalysisMs / Best.AnalysisMs : 0;
+      Out.addRow({Name, std::to_string(Workers), ms(Best.AnalysisMs),
+                  Workers ? ms(Speedup) + "x" : "1.00x",
+                  Match ? "identical" : "DIVERGED", "-", "-"});
+      W.beginObject();
+      W.member("workers", static_cast<uint64_t>(Workers));
+      W.member("wall_ms", Best.AnalysisMs);
+      W.member("speedup", Speedup);
+      W.member("fingerprints_match", Match);
+      W.endObject();
+    }
+
+    // Provenance-validity line: with RecordProvenance on the engine
+    // refuses to go parallel (justification arenas are single-writer), so
+    // both arms evaluate serially — the check is that asking for workers
+    // alongside provenance still yields the same justified/premise counts.
+    GroundnessRun ProvSerial = runGroundness(*P, 0, /*Provenance=*/true);
+    GroundnessRun ProvWorkers = runGroundness(*P, 4, /*Provenance=*/true);
+    bool ProvMatch = ProvSerial.Ok && ProvWorkers.Ok &&
+                     ProvSerial.Fingerprints == ProvWorkers.Fingerprints;
+    if (!ProvMatch)
+      ++Failures;
+    W.endArray();
+    W.member("provenance_match", ProvMatch);
+    W.endObject();
+  }
+
+  W.endArray();
+  W.endObject();
+
+  std::printf("%s\n", Out.render().c_str());
+  writeJsonFile(jsonOutPath(argc, argv, "bench/out/bench_parallel_eval.json"),
+                Json);
+  std::printf(
+      "Notes:\n"
+      " * The chains row is the designed best case: independent SCCs,\n"
+      "   zero shared-table contention. Corpus rows share cones across\n"
+      "   seeds, so their curves flatten sooner (warm imports replace\n"
+      "   re-evaluation, but the largest cone bounds the critical path).\n"
+      " * 'Fingerprints' compares canonical per-predicate answer sets\n"
+      "   against the serial arm; any divergence fails the run.\n");
+  return Failures;
+}

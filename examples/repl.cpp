@@ -103,6 +103,31 @@ int main() {
           else
             std::printf("%s", Session.metrics().renderReport().c_str());
           std::printf("%s", Session.warmColdLine().c_str());
+          // Intra-query parallel eval, when it ran: pool activity plus
+          // shared-table traffic (the scaling story of EvalWorkers).
+          if (Engine.stats().ParallelPrimeRuns) {
+            ThreadPool::PoolStats PS = Engine.evalPoolStats();
+            const SharedTableSpace::Stats &SS = Engine.sharedTableStats();
+            std::printf("Parallel: %llu prime run%s, pool %llu/%llu "
+                        "tasks run/submitted (%llu stolen, %llu idle "
+                        "sleeps)\n",
+                        static_cast<unsigned long long>(
+                            Engine.stats().ParallelPrimeRuns),
+                        Engine.stats().ParallelPrimeRuns == 1 ? "" : "s",
+                        static_cast<unsigned long long>(PS.Executed),
+                        static_cast<unsigned long long>(PS.Submitted),
+                        static_cast<unsigned long long>(PS.Steals),
+                        static_cast<unsigned long long>(PS.IdleSleeps));
+            std::printf("Shared tables: %llu published, %llu warm hits, "
+                        "%llu dup evals; locks %llu taken, %llu contended "
+                        "(%.2f ms waited)\n",
+                        static_cast<unsigned long long>(SS.Publishes),
+                        static_cast<unsigned long long>(SS.WarmHits),
+                        static_cast<unsigned long long>(SS.InFlightMisses),
+                        static_cast<unsigned long long>(SS.LockAcquisitions),
+                        static_cast<unsigned long long>(SS.LockContended),
+                        SS.LockWaitNs / 1e6);
+          }
           continue;
         }
         if (Cmd == ":queries") {

@@ -168,10 +168,10 @@ void Database::tableAllPredicates() {
 }
 
 const Predicate *Database::lookup(PredKey Key) const {
-  ++LkStats.Lookups;
+  LkLookups.fetch_add(1, std::memory_order_relaxed);
   auto It = Preds.find(Key);
   if (It == Preds.end()) {
-    ++LkStats.Misses;
+    LkMisses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   return &It->second;

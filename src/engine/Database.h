@@ -22,6 +22,7 @@
 #include "term/Symbol.h"
 #include "term/TermStore.h"
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -92,12 +93,20 @@ public:
   /// a miss is a call to an undefined predicate (which fails without
   /// touching any clause). Cheap enough to count unconditionally; the
   /// observability layer exports them as db_lookups / db_lookup_misses.
+  /// Relaxed atomics: one database serves every intra-query eval worker
+  /// concurrently, and pure counters are the only mutation lookup() does.
   struct LookupStats {
     uint64_t Lookups = 0; ///< Total predicate-index probes.
     uint64_t Misses = 0;  ///< Probes that found no predicate.
   };
-  const LookupStats &lookupStats() const { return LkStats; }
-  void resetLookupStats() { LkStats = LookupStats(); }
+  LookupStats lookupStats() const {
+    return {LkLookups.load(std::memory_order_relaxed),
+            LkMisses.load(std::memory_order_relaxed)};
+  }
+  void resetLookupStats() {
+    LkLookups.store(0, std::memory_order_relaxed);
+    LkMisses.store(0, std::memory_order_relaxed);
+  }
 
   /// \returns true if the predicate is declared tabled.
   bool isTabled(PredKey Key) const;
@@ -128,8 +137,10 @@ private:
   std::vector<PredKey> PredOrder;
   /// Tabling declarations may precede clauses, so they are kept separately.
   std::unordered_map<PredKey, bool, PredKeyHash> TabledDecls;
-  /// Mutable: lookup() is const but still counted.
-  mutable LookupStats LkStats;
+  /// Mutable: lookup() is const but still counted (atomically — workers
+  /// share the database).
+  mutable std::atomic<uint64_t> LkLookups{0};
+  mutable std::atomic<uint64_t> LkMisses{0};
 };
 
 /// Flattens a (possibly nested) ','/2 conjunction into a goal list.

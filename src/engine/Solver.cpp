@@ -101,6 +101,8 @@ std::optional<int64_t> lpa::evalArith(const TermStore &Store,
 namespace {
 /// Process-wide default for Options::UseTrieTables; see Solver header.
 bool DefaultUseTrieTables = true;
+/// Process-wide default for Options::EvalWorkers (0 = serial).
+size_t DefaultEvalWorkers = 0;
 } // namespace
 
 bool Solver::setDefaultUseTrieTables(bool V) {
@@ -111,12 +113,30 @@ bool Solver::setDefaultUseTrieTables(bool V) {
 
 bool Solver::defaultUseTrieTables() { return DefaultUseTrieTables; }
 
+size_t Solver::setDefaultEvalWorkers(size_t N) {
+  size_t Prev = DefaultEvalWorkers;
+  DefaultEvalWorkers = N;
+  return Prev;
+}
+
+size_t Solver::defaultEvalWorkers() { return DefaultEvalWorkers; }
+
 Solver::Solver(Database &DB) : Solver(DB, Options()) {}
 
 Solver::Solver(Database &DB, Options Opts)
     : DB(DB), Symbols(DB.symbols()), Opts(Opts), Builtins(DB.symbols()) {
   if (this->Opts.RecordProvenance)
     Prov = std::make_unique<ProvenanceArena>();
+  // Intern every symbol evaluation tests up front: the symbol table is
+  // shared across parallel eval workers and interning mutates it, so no
+  // eval path may intern.
+  StateSym = Symbols.intern("$state");
+  ArrowSym = Symbols.intern("->");
+  if (this->Opts.EvalWorkers > 1) {
+    WorkerCursors.reserve(this->Opts.EvalWorkers);
+    for (size_t I = 0; I < this->Opts.EvalWorkers; ++I)
+      WorkerCursors.push_back(std::make_unique<EvalCursor>());
+  }
 }
 
 const Solver::GoalNode *Solver::makeGoal(TermRef Goal, const GoalNode *Tail) {
@@ -156,6 +176,18 @@ size_t Solver::solve(TermRef Goal, const SolutionFn &OnSolution) {
       Trace->setQuery(CurQueryId);
     if (Cursor)
       Cursor->setQueryId(CurQueryId);
+    // Intra-query parallelism: an outermost conjunction of independent
+    // tabled goals is primed in parallel first; the ordinary serial search
+    // below then runs entirely against warm tables. primeTables re-checks
+    // the full gate (worker count, trie tables, no provenance, >= 2
+    // variable-disjoint seeds) and degrades to a no-op when it fails.
+    if (Opts.EvalWorkers > 1 && Opts.UseTrieTables &&
+        !Opts.RecordProvenance && !Priming) {
+      std::vector<TermRef> Seeds;
+      collectSpawnSeeds(Goal, Seeds);
+      if (Seeds.size() >= 2)
+        primeTables(Seeds);
+    }
   }
   size_t Count = 0;
   auto Wrapped = [&]() -> bool {
@@ -254,6 +286,9 @@ size_t Solver::tableSpaceBytes() const {
       Bytes += K.capacity() + sizeof(void *) * 2;
     if (SG->AnswerTrie)
       Bytes += sizeof(TermTrie) + SG->AnswerTrie->memoryBytes();
+    if (SG->SharedAnswerTrie)
+      Bytes +=
+          sizeof(ConcurrentTermTrie) + SG->SharedAnswerTrie->memoryBytes();
     for (const auto &CF : SG->Frontiers)
       if (CF)
         Bytes += CF->memoryBytes();
@@ -302,6 +337,9 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
       Bytes += K.capacity() + sizeof(void *) * 2;
     if (SG->AnswerTrie)
       Bytes += sizeof(TermTrie) + SG->AnswerTrie->memoryBytes();
+    if (SG->SharedAnswerTrie)
+      Bytes +=
+          sizeof(ConcurrentTermTrie) + SG->SharedAnswerTrie->memoryBytes();
     Bytes += Tables.termBytes(SG->CallTerm);
     for (TermRef Ans : SG->Answers)
       Bytes += Tables.termBytes(Ans);
@@ -335,6 +373,36 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("deadline_hits", Stats.DeadlineHits);
   M.setCounter("subgoal_trie_nodes", SubgoalTrie.nodeCount());
   M.setCounter("subgoal_trie_bytes", SubgoalTrie.memoryBytes());
+  // Intra-query parallelism: lead-side import counters, the aggregate of
+  // every worker solver's counters, the shared-space striped-lock figures
+  // and the eval pool's scheduling counters.
+  M.setCounter("eval_workers", Opts.EvalWorkers);
+  M.setCounter("parallel_prime_runs", Stats.ParallelPrimeRuns);
+  M.setCounter("shared_tables_imported", Stats.SharedTablesImported);
+  M.setCounter("shared_answers_imported", Stats.SharedAnswersImported);
+  M.setCounter("worker_subgoals_created", WorkerStats.SubgoalsCreated);
+  M.setCounter("worker_answers_recorded", WorkerStats.AnswersRecorded);
+  M.setCounter("worker_clause_resolutions", WorkerStats.ClauseResolutions);
+  M.setCounter("worker_shared_claims", WorkerStats.SharedClaims);
+  M.setCounter("worker_shared_publishes", WorkerStats.SharedPublishes);
+  M.setCounter("worker_shared_warm_imports", WorkerStats.SharedWarmImports);
+  M.setCounter("worker_shared_dup_evals", WorkerStats.SharedDupEvals);
+  M.setCounter("shared_space_lookups", SharedStats.Lookups);
+  M.setCounter("shared_space_warm_hits", SharedStats.WarmHits);
+  M.setCounter("shared_space_inflight_misses", SharedStats.InFlightMisses);
+  M.setCounter("shared_space_claims", SharedStats.Claims);
+  M.setCounter("shared_space_publishes", SharedStats.Publishes);
+  M.setCounter("shared_space_shards", SharedStats.Shards);
+  M.setCounter("shared_lock_acquisitions", SharedStats.LockAcquisitions);
+  M.setCounter("shared_lock_contended", SharedStats.LockContended);
+  M.setCounter("shared_lock_wait_ns", SharedStats.LockWaitNs);
+  if (EvalPool) {
+    ThreadPool::PoolStats PS = EvalPool->stats();
+    M.setCounter("eval_pool_submitted", PS.Submitted);
+    M.setCounter("eval_pool_executed", PS.Executed);
+    M.setCounter("eval_pool_steals", PS.Steals);
+    M.setCounter("eval_pool_idle_sleeps", PS.IdleSleeps);
+  }
   const TableWatermarks &W = watermarks();
   M.noteWatermark("peak_term_store_bytes", W.PeakTermStoreBytes);
   M.noteWatermark("peak_subgoal_answer_bytes", W.PeakSubgoalAnswerBytes);
@@ -362,6 +430,291 @@ void Solver::clearTables() {
   DepEdgeSet.clear();
   SccCounter = 0;
   CompletionCounter = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Intra-query parallel evaluation (Options::EvalWorkers)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Folds one worker solver's counters into the lead's aggregate.
+void accumulateStats(EvalStats &Into, const EvalStats &S) {
+  Into.ClauseResolutions += S.ClauseResolutions;
+  Into.TabledCalls += S.TabledCalls;
+  Into.SubgoalsCreated += S.SubgoalsCreated;
+  Into.AnswersRecorded += S.AnswersRecorded;
+  Into.AnswersDuplicate += S.AnswersDuplicate;
+  Into.FixpointRounds += S.FixpointRounds;
+  Into.DepthLimitHits += S.DepthLimitHits;
+  Into.BuiltinEvals += S.BuiltinEvals;
+  Into.ClauseIndexFiltered += S.ClauseIndexFiltered;
+  Into.TrieHits += S.TrieHits;
+  Into.TrieMisses += S.TrieMisses;
+  Into.TrieNodesCreated += S.TrieNodesCreated;
+  Into.FrontierBytesFreed += S.FrontierBytesFreed;
+  Into.IncompleteTables += S.IncompleteTables;
+  Into.WarmTableHits += S.WarmTableHits;
+  Into.ColdTableMisses += S.ColdTableMisses;
+  Into.DeadlineHits += S.DeadlineHits;
+  Into.ParallelPrimeRuns += S.ParallelPrimeRuns;
+  Into.SharedClaims += S.SharedClaims;
+  Into.SharedPublishes += S.SharedPublishes;
+  Into.SharedWarmImports += S.SharedWarmImports;
+  Into.SharedDupEvals += S.SharedDupEvals;
+  Into.SharedTablesImported += S.SharedTablesImported;
+  Into.SharedAnswersImported += S.SharedAnswersImported;
+}
+
+void accumulateShared(SharedTableSpace::Stats &Into,
+                      const SharedTableSpace::Stats &S) {
+  Into.Lookups += S.Lookups;
+  Into.WarmHits += S.WarmHits;
+  Into.InFlightMisses += S.InFlightMisses;
+  Into.Claims += S.Claims;
+  Into.Publishes += S.Publishes;
+  Into.LockAcquisitions += S.LockAcquisitions;
+  Into.LockContended += S.LockContended;
+  Into.LockWaitNs += S.LockWaitNs;
+  Into.Shards = S.Shards;
+}
+
+} // namespace
+
+void Solver::collectSpawnSeeds(TermRef Goal, std::vector<TermRef> &Seeds) {
+  TermRef D = Heap.deref(Goal);
+  if (Heap.tag(D) == TermTag::Struct && Heap.symbol(D) == Symbols.Comma &&
+      Heap.arity(D) == 2) {
+    collectSpawnSeeds(Heap.arg(D, 0), Seeds);
+    collectSpawnSeeds(Heap.arg(D, 1), Seeds);
+    return;
+  }
+  TermTag T = Heap.tag(D);
+  if (T != TermTag::Atom && T != TermTag::Struct)
+    return;
+  PredKey Key{Heap.symbol(D), Heap.arity(D)};
+  if (Builtins.classify(Key.Sym, Key.Arity) != BuiltinKind::None)
+    return;
+  const Predicate *P = DB.lookup(Key);
+  if (P && P->Tabled)
+    Seeds.push_back(D);
+}
+
+size_t Solver::primeTables(std::span<const TermRef> Goals) {
+  // Eligibility: tabled calls this solver has not already completed, with
+  // pairwise-disjoint variables. A variable shared between two seeds would
+  // make their independent most-general evaluations useless to the serial
+  // re-run (it calls a more-bound variant), so such seeds are dropped.
+  std::vector<TermRef> Seeds;
+  std::vector<TermRef> SeenVars;
+  for (TermRef G : Goals) {
+    TermRef D = Heap.deref(G);
+    TermTag T = Heap.tag(D);
+    if (T != TermTag::Atom && T != TermTag::Struct)
+      continue;
+    PredKey Key{Heap.symbol(D), Heap.arity(D)};
+    if (Builtins.classify(Key.Sym, Key.Arity) != BuiltinKind::None)
+      continue;
+    const Predicate *P = DB.lookup(Key);
+    if (!P || !P->Tabled)
+      continue;
+    if (const Subgoal *Existing = findSubgoal(D);
+        Existing && Existing->Complete)
+      continue; // Already warm.
+    std::vector<TermRef> Vars;
+    collectFreeVars(Heap, D, Vars);
+    bool Overlaps = false;
+    for (TermRef V : Vars)
+      if (std::find(SeenVars.begin(), SeenVars.end(), V) != SeenVars.end()) {
+        Overlaps = true;
+        break;
+      }
+    if (Overlaps)
+      continue;
+    SeenVars.insert(SeenVars.end(), Vars.begin(), Vars.end());
+    Seeds.push_back(D);
+  }
+  if (Seeds.empty())
+    return 0;
+
+  bool Parallel = Opts.EvalWorkers > 1 && Opts.UseTrieTables &&
+                  !Opts.RecordProvenance && !Priming && Seeds.size() >= 2;
+  if (!Parallel) {
+    // Serial fallback: drive each seed to completion in order — the same
+    // tables the parallel phase computes, minus the concurrency.
+    for (TermRef G : Seeds)
+      solve(G, nullptr);
+    return Seeds.size();
+  }
+  ++Stats.ParallelPrimeRuns;
+  Priming = true;
+  runParallelPrime(Seeds);
+  Priming = false;
+  return Seeds.size();
+}
+
+void Solver::runParallelPrime(const std::vector<TermRef> &Seeds) {
+  size_t NumWorkers = Opts.EvalWorkers;
+  // The space lives on the lead's stack for exactly one phase; worker
+  // solvers coordinate through it and die before it does.
+  SharedTableSpace Space;
+  std::vector<std::unique_ptr<Solver>> Workers;
+  Workers.reserve(NumWorkers);
+  for (size_t I = 0; I < NumWorkers; ++I) {
+    Options WO = Opts;
+    WO.EvalWorkers = 0;        // Workers never spawn sub-pools.
+    WO.RecordProvenance = false;
+    auto WS = std::make_unique<Solver>(DB, WO);
+    WS->Shared = &Space;
+    WS->SharedWorkerId = static_cast<uint32_t>(I);
+    WS->AnswerJoins = AnswerJoins;
+    WS->Query = Query; // Deadlines bound workers exactly like the lead.
+    if (I < WorkerCursors.size())
+      WS->Cursor = WorkerCursors[I].get();
+    Workers.push_back(std::move(WS));
+  }
+
+  if (!EvalPool)
+    EvalPool = std::make_unique<ThreadPool>(NumWorkers);
+  for (TermRef G : Seeds) {
+    EvalPool->submit([this, &Workers, G] {
+      // Worker solvers are picked by executing pool thread, so one solver
+      // is never driven from two threads (stolen tasks run on the
+      // thief's solver).
+      size_t Id = ThreadPool::currentWorkerId();
+      if (Id >= Workers.size())
+        Id = 0; // Inline-serial pools run tasks on the caller.
+      Solver &WS = *Workers[Id];
+      // The lead heap is quiescent for the whole phase (the lead blocks
+      // in wait() below), so reading the seed term out of it is safe.
+      TermRef Local = copyTerm(Heap, G, WS.Heap);
+      WS.solve(Local, nullptr);
+    });
+  }
+  EvalPool->wait();
+
+  // Workers are quiescent. Fold their counters and the space's, then
+  // import every published table in a deterministic order (predicate,
+  // rendered call) so lead-side subgoal creation order never depends on
+  // worker scheduling.
+  for (const auto &WS : Workers)
+    accumulateStats(WorkerStats, WS->Stats);
+  accumulateShared(SharedStats, Space.stats());
+
+  std::vector<
+      std::pair<std::string, const SharedTableSpace::PublishedTable *>>
+      Ordered;
+  for (const SharedTableSpace::PublishedTable *PT : Space.publishedTables()) {
+    std::string K = Symbols.name(PT->Sym) + "/" + std::to_string(PT->Arity) +
+                    " " + TermWriter::toString(Symbols, PT->Terms, PT->Call);
+    Ordered.emplace_back(std::move(K), PT);
+  }
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  for (const auto &[K, PT] : Ordered)
+    importPublishedTable(*PT);
+}
+
+std::unique_ptr<SharedTableSpace::PublishedTable>
+Solver::buildPublishedTable(const Subgoal &SG) const {
+  auto PT = std::make_unique<SharedTableSpace::PublishedTable>();
+  PT->Sym = SG.Pred.Sym;
+  PT->Arity = SG.Pred.Arity;
+  PT->Factored = SG.Factored;
+  PT->Incomplete = SG.Incomplete;
+  PT->NumCallVars = static_cast<uint32_t>(SG.CallVars.size());
+  PT->NumAnswers = static_cast<uint32_t>(SG.AnswerSeq.size());
+  PT->Call = copyTerm(Tables, SG.CallTerm, PT->Terms);
+  if (SG.Factored) {
+    size_t K = SG.CallVars.size();
+    PT->Answers.reserve(size_t(PT->NumAnswers) * K);
+    for (uint32_t I = 0; I < PT->NumAnswers; ++I) {
+      // One renaming per answer: variables shared between binding slots
+      // stay shared in the published copy, and no further.
+      VarRenaming Renaming;
+      const TermRef *B = SG.AnswerBindings.data() + size_t(I) * K;
+      for (size_t J = 0; J < K; ++J)
+        PT->Answers.push_back(copyTerm(Tables, B[J], PT->Terms, Renaming));
+    }
+  } else {
+    PT->Answers.reserve(PT->NumAnswers);
+    for (TermRef A : SG.Answers)
+      PT->Answers.push_back(copyTerm(Tables, A, PT->Terms));
+  }
+  return PT;
+}
+
+void Solver::fillSubgoalFromPublished(
+    Subgoal &SG, const SharedTableSpace::PublishedTable &PT) {
+  assert(SG.Factored == PT.Factored &&
+         "publisher and importer disagree on table representation");
+  size_t K = PT.NumCallVars;
+  if (PT.Factored) {
+    assert(SG.CallVars.size() == K && "variant call shapes must agree");
+    SG.AnswerBindings.reserve(size_t(PT.NumAnswers) * K);
+    for (uint32_t I = 0; I < PT.NumAnswers; ++I) {
+      VarRenaming Renaming;
+      for (size_t J = 0; J < K; ++J)
+        SG.AnswerBindings.push_back(
+            copyTerm(PT.Terms, PT.Answers[size_t(I) * K + J], Tables,
+                     Renaming));
+      SG.AnswerSeq.push_back(++AnswerSeqCounter);
+    }
+  } else {
+    SG.Answers.reserve(PT.NumAnswers);
+    for (uint32_t I = 0; I < PT.NumAnswers; ++I) {
+      SG.Answers.push_back(copyTerm(PT.Terms, PT.Answers[I], Tables));
+      SG.AnswerSeq.push_back(++AnswerSeqCounter);
+    }
+  }
+  if (PT.NumAnswers)
+    PredMaxAnswerSeq[(uint64_t(SG.Pred.Sym) << 32) | SG.Pred.Arity] =
+        AnswerSeqCounter;
+  Stats.SharedAnswersImported += PT.NumAnswers;
+  if (size_t StoreBytes = Tables.memoryBytes();
+      StoreBytes > Water.PeakTermStoreBytes)
+    Water.PeakTermStoreBytes = StoreBytes;
+  SG.Complete = true;
+  SG.Incomplete = PT.Incomplete;
+  if (PT.Incomplete)
+    ++Stats.IncompleteTables; // Taint crosses the worker boundary.
+  SG.SccId = ++SccCounter;
+  SG.CompletionSeq = ++CompletionCounter;
+  SG.CompletedInQuery = CurQueryId;
+}
+
+void Solver::importPublishedTable(
+    const SharedTableSpace::PublishedTable &PT) {
+  auto M = Heap.mark();
+  TermRef Call = copyTerm(PT.Terms, PT.Call, Heap);
+  TermTrie::InsertResult R = SubgoalTrie.insert(
+      Heap, Call, static_cast<uint32_t>(SubgoalOwned.size()));
+  Stats.TrieNodesCreated += R.NodesCreated;
+  if (!R.Inserted) {
+    // The lead already holds this variant (warm from an earlier query);
+    // its table wins.
+    ++Stats.TrieHits;
+    Heap.undoTo(M);
+    return;
+  }
+  ++Stats.TrieMisses;
+  ++Stats.SubgoalsCreated;
+  ++Stats.SharedTablesImported;
+  if (Metrics)
+    ++Metrics->pred(Symbols, PT.Sym, PT.Arity).NewSubgoals;
+  auto Owned = std::make_unique<Subgoal>();
+  Subgoal &SG = *Owned;
+  SG.Pred = {PT.Sym, PT.Arity};
+  SG.Ordinal = static_cast<uint32_t>(SubgoalOwned.size());
+  SG.CallTerm = copyTerm(Heap, Call, Tables);
+  collectFreeVars(Tables, SG.CallTerm, SG.CallVars);
+  SG.Factored = PT.Factored;
+  SG.Dfn = SG.MinLink = ++DfnCounter;
+  SG.Dirty = false;
+  fillSubgoalFromPublished(SG, PT);
+  SubgoalOwned.push_back(std::move(Owned));
+  SubgoalOrder.push_back(&SG);
+  Heap.undoTo(M);
 }
 
 //===----------------------------------------------------------------------===//
@@ -551,11 +904,22 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
     // One trie walk over the tuple both checks for a duplicate variant
     // and claims the slot (check/insert fusion).
     extractCallBindings(SG, Instance, BindScratch);
-    TermTrie::InsertResult R = SG.AnswerTrie->insert(
-        Heap, std::span<const TermRef>(BindScratch),
-        static_cast<uint32_t>(SG.AnswerSeq.size()));
-    Stats.TrieNodesCreated += R.NodesCreated;
-    if (!R.Inserted) {
+    bool Inserted;
+    if (SG.SharedAnswerTrie) {
+      // Parallel worker: the optimistic check-then-lock insert path.
+      ConcurrentTermTrie::InsertResult R = SG.SharedAnswerTrie->insert(
+          Heap, std::span<const TermRef>(BindScratch),
+          static_cast<uint32_t>(SG.AnswerSeq.size()));
+      Stats.TrieNodesCreated += R.NodesCreated;
+      Inserted = R.Inserted;
+    } else {
+      TermTrie::InsertResult R = SG.AnswerTrie->insert(
+          Heap, std::span<const TermRef>(BindScratch),
+          static_cast<uint32_t>(SG.AnswerSeq.size()));
+      Stats.TrieNodesCreated += R.NodesCreated;
+      Inserted = R.Inserted;
+    }
+    if (!Inserted) {
       ++Stats.TrieHits;
       NoteDuplicate();
       return false;
@@ -788,7 +1152,6 @@ void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
     ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).Resolutions;
   if (Trace)
     Trace->emit(TraceEventKind::ClauseResolve, SG.Pred.Sym, SG.Pred.Arity);
-  SymbolId StateSym = Symbols.intern("$state");
   size_t NumGoals = C.Body.size();
 
   if (SG.Frontiers.size() < NumClauses)
@@ -1145,6 +1508,9 @@ size_t Solver::releaseCompletedState(Subgoal &SG) {
     DedupBytes += K.capacity() + sizeof(void *) * 2;
   if (SG.AnswerTrie)
     DedupBytes += sizeof(TermTrie) + SG.AnswerTrie->memoryBytes();
+  if (SG.SharedAnswerTrie)
+    DedupBytes +=
+        sizeof(ConcurrentTermTrie) + SG.SharedAnswerTrie->memoryBytes();
   Freed += DedupBytes;
   Freed += SG.Consumers.size() * sizeof(void *) * 2;
   // An answer table only grows until completion, so its footprint here is
@@ -1160,6 +1526,7 @@ size_t Solver::releaseCompletedState(Subgoal &SG) {
   SG.Frontiers.shrink_to_fit();
   SG.AnswerKeys.clear();
   SG.AnswerTrie.reset();
+  SG.SharedAnswerTrie.reset();
   SG.Consumers.clear();
   Stats.FrontierBytesFreed += Freed;
   return FrontierBytes;
@@ -1211,8 +1578,42 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
   SG.Factored =
       Opts.UseTrieTables &&
       !AnswerJoins.count((uint64_t(Key.Sym) << 32) | Key.Arity);
-  if (SG.Factored)
-    SG.AnswerTrie = std::make_unique<TermTrie>();
+  if (SG.Factored) {
+    // Parallel eval workers dedup answers through the optimistic
+    // check-then-lock trie; serial solvers keep the plain one.
+    if (Shared)
+      SG.SharedAnswerTrie = std::make_unique<ConcurrentTermTrie>();
+    else
+      SG.AnswerTrie = std::make_unique<TermTrie>();
+  }
+
+  // Shared-table coordination (parallel eval workers only): consult the
+  // space before committing to a producer run. A published table
+  // short-circuits the whole cone; a fresh claim obliges this worker to
+  // publish at completion; an in-flight claim is evaluated privately —
+  // waiting on another worker's completion could deadlock on SCCs that
+  // span workers, so nobody ever waits.
+  if (Shared) {
+    SharedTableSpace::Outcome O =
+        Shared->claim(Heap, Goal, Key.Sym, Key.Arity, SharedWorkerId);
+    if (O.E && O.H == SharedTableSpace::Hit::Published) {
+      ++Stats.SharedWarmImports;
+      SG.Dfn = SG.MinLink = ++DfnCounter;
+      SG.Dirty = false;
+      SG.AnswerTrie.reset();
+      SG.SharedAnswerTrie.reset();
+      fillSubgoalFromPublished(SG, *Shared->published(*O.E));
+      SubgoalOwned.push_back(std::move(Owned));
+      SubgoalOrder.push_back(&SG);
+      return SG;
+    }
+    if (O.E && O.H == SharedTableSpace::Hit::Claimed) {
+      SG.SharedClaim = O.E;
+      ++Stats.SharedClaims;
+    } else {
+      ++Stats.SharedDupEvals;
+    }
+  }
   SG.Dfn = SG.MinLink = ++DfnCounter;
   SG.OnStack = true;
   SG.StackPos = CompletionStack.size();
@@ -1285,6 +1686,14 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
       }
       Member->Complete = true;
       Member->OnStack = false;
+      // Publish freshly claimed tables to the shared space now that the
+      // taint is settled SCC-wide (and before the dedup structures are
+      // released below).
+      if (Shared && Member->SharedClaim) {
+        Shared->publish(*Member->SharedClaim, buildPublishedTable(*Member));
+        Member->SharedClaim = nullptr;
+        ++Stats.SharedPublishes;
+      }
       // Producers never re-run once complete; release the supplementary
       // tables and answer dedup structures.
       SccFrontierBytes += releaseCompletedState(*Member);
@@ -1584,10 +1993,9 @@ Solver::Signal Solver::solveBuiltin(BuiltinKind Kind, TermRef Goal,
       R = Arg(1);
 
     // If-then-else: (Cond -> Then ; Else), or bare (Cond -> Then).
-    SymbolId Arrow = Symbols.intern("->");
     bool IsIte = Kind == BuiltinKind::IfThen ||
-                 (Heap.tag(L) == TermTag::Struct && Heap.symbol(L) == Arrow &&
-                  Heap.arity(L) == 2);
+                 (Heap.tag(L) == TermTag::Struct &&
+                  Heap.symbol(L) == ArrowSym && Heap.arity(L) == 2);
     if (IsIte) {
       TermRef Cond, Then;
       if (Kind == BuiltinKind::IfThen) {

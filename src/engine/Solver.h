@@ -35,12 +35,16 @@
 #include "obs/Provenance.h"
 #include "obs/Sampler.h"
 #include "obs/Trace.h"
+#include "par/ThreadPool.h"
+#include "table/ConcurrentTrie.h"
+#include "table/SharedTables.h"
 #include "table/TermTrie.h"
 #include "term/TermStore.h"
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -111,6 +115,27 @@ struct EvalStats {
   /// Query deadlines that expired mid-evaluation (each expiry counts
   /// once, however many branches it then prunes).
   uint64_t DeadlineHits = 0;
+  /// \name Intra-query parallelism (Options::EvalWorkers).
+  /// @{
+  /// Parallel priming phases run by this solver (lead side).
+  uint64_t ParallelPrimeRuns = 0;
+  /// Subgoal variants this worker claimed in the shared space (it ran the
+  /// producer and published the completed table).
+  uint64_t SharedClaims = 0;
+  /// Completed tables this worker published to the shared space.
+  uint64_t SharedPublishes = 0;
+  /// Variants answered entirely from another worker's published table
+  /// (no producer run at all — the cross-worker warm hit).
+  uint64_t SharedWarmImports = 0;
+  /// Variants evaluated privately because another worker held the claim
+  /// but had not yet published (duplicate work instead of blocking — the
+  /// no-cross-worker-wait rule that makes deadlock impossible).
+  uint64_t SharedDupEvals = 0;
+  /// Published tables the lead imported after the parallel phase.
+  uint64_t SharedTablesImported = 0;
+  /// Answers copied into the lead's tables by those imports.
+  uint64_t SharedAnswersImported = 0;
+  /// @}
 };
 
 /// Table-space high-watermarks: the paper's "Table space" column as a
@@ -237,6 +262,19 @@ struct Subgoal {
 
   /// Supplementary tables, one per pure clause (freed on completion).
   std::vector<std::unique_ptr<ClauseFrontier>> Frontiers;
+
+  /// \name Shared-table coordination (intra-query parallel mode).
+  /// @{
+
+  /// Non-null while this worker holds the claim on the variant in the
+  /// shared table space; publication at SCC completion clears it.
+  SharedTableSpace::Entry *SharedClaim = nullptr;
+  /// Answer dedup on the optimistic check-then-lock trie instead of the
+  /// plain TermTrie when the solver is a parallel eval worker (replaces
+  /// AnswerTrie for factored tables; freed on completion like it).
+  std::unique_ptr<ConcurrentTermTrie> SharedAnswerTrie;
+
+  /// @}
 };
 
 /// Evaluation engine over one Database.
@@ -275,6 +313,18 @@ public:
     /// default: like the tracer, every hook then reduces to a null-pointer
     /// test and the arena is never allocated.
     bool RecordProvenance = false;
+    /// Intra-query parallelism: 0 or 1 evaluates serially; N > 1 lets an
+    /// outermost solve() (or an explicit primeTables() call) dispatch
+    /// independent tabled seed goals to N pool workers that share one
+    /// SharedTableSpace, then import every published table before the
+    /// ordinary serial search runs against the now-warm tables. Requires
+    /// UseTrieTables; provenance recording forces the serial path (proof
+    /// premise indices are per-solver and cannot cross worker boundaries).
+    /// Answer SETS are identical to serial evaluation — SLG computes the
+    /// unique minimal model per subgoal regardless of scheduling — so
+    /// set-based fingerprints are bit-identical; raw enumeration order of
+    /// subgoals/answers may differ.
+    size_t EvalWorkers = defaultEvalWorkers();
   };
 
   /// Process-wide default for Options::UseTrieTables (initially true).
@@ -283,6 +333,13 @@ public:
   /// \returns the previous default.
   static bool setDefaultUseTrieTables(bool V);
   static bool defaultUseTrieTables();
+
+  /// Process-wide default for Options::EvalWorkers (initially 0 = serial),
+  /// same A/B pattern as setDefaultUseTrieTables: scaling harnesses flip it
+  /// around a run so analyzers that build their own Solver pick the worker
+  /// count up without plumbing. \returns the previous default.
+  static size_t setDefaultEvalWorkers(size_t N);
+  static size_t defaultEvalWorkers();
 
   explicit Solver(Database &DB);
   Solver(Database &DB, Options Opts);
@@ -312,6 +369,50 @@ public:
   /// Parses \p GoalText and proves it. Convenience for tests/examples.
   ErrorOr<size_t> solveText(std::string_view GoalText,
                             const SolutionFn &OnSolution);
+
+  /// \name Intra-query parallel evaluation (Options::EvalWorkers).
+  /// @{
+
+  /// Drives every tabled seed goal of \p Goals (terms in store()) to
+  /// completion, in parallel when the parallel gate is open (EvalWorkers
+  /// > 1, trie tables on, provenance off, and at least two eligible seeds
+  /// with pairwise-disjoint variables); otherwise each seed is solved
+  /// serially in order. The parallel phase evaluates seeds in per-worker
+  /// solvers against one SharedTableSpace — a worker that claims a variant
+  /// runs its producer and publishes the completed table; a worker that
+  /// sees the published table imports it without any producer run; a
+  /// worker racing an in-flight claim duplicates the evaluation privately
+  /// rather than waiting (no cross-worker blocking, hence no deadlock).
+  /// Afterwards the lead imports every published table in a deterministic
+  /// order, so subsequent (serial) solve() calls hit warm tables.
+  /// Depth/deadline poisoning crosses worker boundaries: a table published
+  /// Incomplete imports as Incomplete and taints its consumers exactly as
+  /// in serial evaluation. \returns the number of seeds evaluated.
+  size_t primeTables(std::span<const TermRef> Goals);
+
+  /// Aggregated EvalStats of all parallel workers across primeTables runs
+  /// (lead-side Stats never includes worker-side work).
+  const EvalStats &parallelWorkerStats() const { return WorkerStats; }
+
+  /// Accumulated shared-table-space counters across primeTables runs.
+  const SharedTableSpace::Stats &sharedTableStats() const {
+    return SharedStats;
+  }
+
+  /// Counters of the intra-query eval pool (zeros before the first
+  /// parallel phase).
+  ThreadPool::PoolStats evalPoolStats() const {
+    return EvalPool ? EvalPool->stats() : ThreadPool::PoolStats{};
+  }
+
+  /// Per-worker sampling cursors (one per eval worker, allocated in the
+  /// constructor when EvalWorkers > 1 so sampler lanes can bind to stable
+  /// addresses before any parallel phase runs). Empty in serial mode.
+  const std::vector<std::unique_ptr<EvalCursor>> &workerCursors() const {
+    return WorkerCursors;
+  }
+
+  /// @}
 
   /// \name Table inspection (the analysis result interface).
   /// @{
@@ -596,6 +697,35 @@ private:
 
   /// @}
 
+  /// \name Intra-query parallel evaluation internals.
+  /// @{
+
+  /// Collects the tabled conjuncts of \p Goal (a ','/2 tree in Heap) as
+  /// candidate parallel seeds, in left-to-right order.
+  void collectSpawnSeeds(TermRef Goal, std::vector<TermRef> &Seeds);
+
+  /// Runs the parallel phase proper over \p Seeds (all gating already
+  /// checked): worker solvers, shared space, import pass.
+  void runParallelPrime(const std::vector<TermRef> &Seeds);
+
+  /// Snapshots completed subgoal \p SG as a self-contained PublishedTable
+  /// (own TermStore; per-answer copies preserve intra-answer sharing).
+  std::unique_ptr<SharedTableSpace::PublishedTable>
+  buildPublishedTable(const Subgoal &SG) const;
+
+  /// Copies \p PT's answers into \p SG (a freshly created local subgoal of
+  /// the same variant) and marks it complete, propagating the Incomplete
+  /// taint. Used by workers hitting another worker's published table and
+  /// by the lead's post-phase import.
+  void fillSubgoalFromPublished(Subgoal &SG,
+                                const SharedTableSpace::PublishedTable &PT);
+
+  /// Lead-side import of one published table: creates the subgoal variant
+  /// if the lead does not already have it complete.
+  void importPublishedTable(const SharedTableSpace::PublishedTable &PT);
+
+  /// @}
+
   const GoalNode *makeGoals(const std::vector<TermRef> &Goals,
                             const GoalNode *Tail);
   const GoalNode *makeGoal(TermRef Goal, const GoalNode *Tail);
@@ -691,6 +821,36 @@ private:
   /// provenance — two counters per completed SCC member).
   uint32_t SccCounter = 0;
   uint32_t CompletionCounter = 0;
+
+  /// @}
+
+  /// \name Intra-query parallelism state.
+  /// @{
+
+  /// Frequently-tested symbols, interned once at construction so no eval
+  /// path interns (SymbolTable::intern mutates; workers share the table).
+  SymbolId StateSym;
+  SymbolId ArrowSym;
+  /// Shared table space this solver coordinates through, non-null only in
+  /// worker solvers during a parallel phase (the lead owns the space on
+  /// its stack for the phase's duration).
+  SharedTableSpace *Shared = nullptr;
+  /// This worker's id in the shared space (claim ownership attribution).
+  uint32_t SharedWorkerId = 0;
+  /// Reentrancy guard: primeTables never re-enters its own parallel phase
+  /// (and worker solvers never spawn sub-pools — their EvalWorkers is 0).
+  bool Priming = false;
+  /// The intra-query pool, created lazily at the first parallel phase and
+  /// reused across phases; sized to Opts.EvalWorkers.
+  std::unique_ptr<ThreadPool> EvalPool;
+  /// Sampling cursors handed to worker solvers, one per eval worker;
+  /// allocated eagerly in the constructor (EvalWorkers > 1) so sampler
+  /// lanes bind to stable addresses.
+  std::vector<std::unique_ptr<EvalCursor>> WorkerCursors;
+  /// Aggregate of worker-solver EvalStats across parallel phases.
+  EvalStats WorkerStats;
+  /// Accumulated SharedTableSpace counters across parallel phases.
+  SharedTableSpace::Stats SharedStats{};
 
   /// @}
 };

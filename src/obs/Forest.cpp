@@ -56,6 +56,43 @@ std::vector<ForestEdge> sortedUniqueEdges(const ForestGraph &G) {
 
 } // namespace
 
+std::vector<SccSummary> computeSccSummaries(const ForestGraph &G) {
+  std::vector<SccSummary> Out;
+  // SccIds are small dense-ish integers handed out by the completion
+  // counter; map id -> summary index without assuming density.
+  std::vector<std::pair<uint32_t, size_t>> ById;
+  for (uint32_t I = 0; I < G.Nodes.size(); ++I) {
+    const ForestNode &N = G.Nodes[I];
+    if (!N.SccId)
+      continue;
+    size_t Slot = SIZE_MAX;
+    for (const auto &[Id, S] : ById)
+      if (Id == N.SccId) {
+        Slot = S;
+        break;
+      }
+    if (Slot == SIZE_MAX) {
+      Slot = Out.size();
+      ById.emplace_back(N.SccId, Slot);
+      Out.push_back(SccSummary{N.SccId, N.CompletionOrder, 0, false, {}});
+    }
+    SccSummary &S = Out[Slot];
+    S.Answers += N.Answers;
+    S.Incomplete |= N.Incomplete;
+    if (N.CompletionOrder &&
+        (!S.CompletionOrder || N.CompletionOrder < S.CompletionOrder))
+      S.CompletionOrder = N.CompletionOrder;
+    S.Members.push_back(I);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const SccSummary &A, const SccSummary &B) {
+              return A.CompletionOrder != B.CompletionOrder
+                         ? A.CompletionOrder < B.CompletionOrder
+                         : A.SccId < B.SccId;
+            });
+  return Out;
+}
+
 std::string forestToDot(const ForestGraph &G) {
   std::string Out = "digraph slg_forest {\n";
   Out += "  rankdir=LR;\n";
@@ -82,6 +119,18 @@ std::string forestToDot(const ForestGraph &G) {
   for (const ForestEdge &E : sortedUniqueEdges(G))
     Out += "  n" + std::to_string(E.Consumer) + " -> n" +
            std::to_string(E.Producer) + ";\n";
+  // SCC roll-up in completion order, from the same computation the
+  // scheduler uses (comment lines: annotations, not layout).
+  for (const SccSummary &S : computeSccSummaries(G)) {
+    Out += "  // scc " + std::to_string(S.SccId) + ": done #" +
+           std::to_string(S.CompletionOrder) + ", " +
+           std::to_string(S.Members.size()) +
+           (S.Members.size() == 1 ? " member, " : " members, ") +
+           std::to_string(S.Answers) + " answers";
+    if (S.Incomplete)
+      Out += ", INCOMPLETE";
+    Out += "\n";
+  }
   Out += "}\n";
   return Out;
 }
@@ -108,6 +157,22 @@ void writeForestJson(const ForestGraph &G, JsonWriter &W) {
     W.beginObject();
     W.member("consumer", static_cast<uint64_t>(E.Consumer));
     W.member("producer", static_cast<uint64_t>(E.Producer));
+    W.endObject();
+  }
+  W.endArray();
+  W.key("sccs");
+  W.beginArray();
+  for (const SccSummary &S : computeSccSummaries(G)) {
+    W.beginObject();
+    W.member("scc", static_cast<uint64_t>(S.SccId));
+    W.member("completion_order", static_cast<uint64_t>(S.CompletionOrder));
+    W.member("answers", S.Answers);
+    W.member("incomplete", S.Incomplete);
+    W.key("members");
+    W.beginArray();
+    for (uint32_t M : S.Members)
+      W.value(static_cast<uint64_t>(M));
+    W.endArray();
     W.endObject();
   }
   W.endArray();

@@ -55,6 +55,25 @@ struct ForestGraph {
   std::vector<ForestEdge> Edges;
 };
 
+/// One completed SCC of the forest, summarized: when it completed relative
+/// to the others and whether any member carries the incomplete taint (one
+/// poisoned member poisons the whole SCC — the engine's completion
+/// discipline, restated over the export). This is the single SCC
+/// computation both consumers share: the DOT/JSON exporters annotate from
+/// it, and the parallel scheduler reads it off the live forest to decide
+/// which seeds still need evaluation.
+struct SccSummary {
+  uint32_t SccId = 0;
+  uint32_t CompletionOrder = 0; ///< Min member completion seq (1-based).
+  uint64_t Answers = 0;         ///< Total answers across members.
+  bool Incomplete = false;      ///< Any member tainted.
+  std::vector<uint32_t> Members; ///< Node indices, creation order.
+};
+
+/// Groups completed nodes (SccId != 0) by SCC, ordered by completion.
+/// Never-completed nodes belong to no summary.
+std::vector<SccSummary> computeSccSummaries(const ForestGraph &G);
+
 /// Renders \p G as a GraphViz digraph. Output is deterministic (edges are
 /// sorted and deduplicated), labels are DOT-escaped, incomplete tables are
 /// highlighted, and nodes carry their SCC/completion annotations.

@@ -43,10 +43,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task T) {
+  Submitted.fetch_add(1, std::memory_order_relaxed);
   if (Workers.empty()) {
     // Serial mode: run inline. No Pending accounting needed — the task is
     // done before submit returns.
     T();
+    Executed.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Pending.fetch_add(1, std::memory_order_relaxed);
@@ -110,6 +112,7 @@ void ThreadPool::workerLoop(size_t Id) {
     Task T;
     if (popOwn(Id, T) || stealOther(Id, T)) {
       T();
+      Executed.fetch_add(1, std::memory_order_relaxed);
       if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         { std::lock_guard<std::mutex> L(SleepMu); }
         IdleCv.notify_all();
@@ -119,6 +122,7 @@ void ThreadPool::workerLoop(size_t Id) {
     std::unique_lock<std::mutex> L(SleepMu);
     if (Stop)
       return;
+    IdleSleeps.fetch_add(1, std::memory_order_relaxed);
     WorkCv.wait(L, [this] { return Stop || anyQueued(); });
     if (Stop)
       return;

@@ -67,6 +67,21 @@ public:
   /// Tasks obtained by stealing from another worker's deque (diagnostic).
   uint64_t stealCount() const { return Steals.load(std::memory_order_relaxed); }
 
+  /// Lifetime counters for the telemetry layer (MetricsRegistry, the
+  /// REPL's ":stats"). Relaxed reads — exact once the pool is idle.
+  struct PoolStats {
+    uint64_t Submitted = 0;  ///< Tasks accepted (including inline serial).
+    uint64_t Executed = 0;   ///< Tasks completed.
+    uint64_t Steals = 0;     ///< Executed tasks obtained by stealing.
+    uint64_t IdleSleeps = 0; ///< Times a worker went to sleep empty-handed.
+  };
+  PoolStats stats() const {
+    return {Submitted.load(std::memory_order_relaxed),
+            Executed.load(std::memory_order_relaxed),
+            Steals.load(std::memory_order_relaxed),
+            IdleSleeps.load(std::memory_order_relaxed)};
+  }
+
 private:
   struct Worker {
     std::deque<Task> Deque;
@@ -83,6 +98,9 @@ private:
   std::atomic<size_t> NextSubmit{0};
   std::atomic<uint64_t> Pending{0}; ///< Submitted but not yet finished.
   std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> Submitted{0};
+  std::atomic<uint64_t> Executed{0};
+  std::atomic<uint64_t> IdleSleeps{0};
   std::mutex SleepMu; ///< Guards the condvars' wait predicates.
   std::condition_variable WorkCv; ///< Signaled on submit and stop.
   std::condition_variable IdleCv; ///< Signaled when Pending reaches zero.

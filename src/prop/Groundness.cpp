@@ -133,8 +133,20 @@ ErrorOr<GroundnessResult> GroundnessAnalyzer::analyze(std::string_view Source) {
       Call = Engine.store().mkStruct(AbsSym, Args);
     }
     OpenCalls.emplace_back(P, Call);
-    Engine.solve(Call, nullptr); // Run to completion; answers go to tables.
   }
+  if (Opts.Engine.EvalWorkers > 1) {
+    // Evaluate independent predicate cones in parallel first; the serial
+    // loop below then runs against warm tables. The open calls are
+    // variable-disjoint by construction (fresh vars per call), which is
+    // exactly what primeTables needs.
+    std::vector<TermRef> Seeds;
+    Seeds.reserve(OpenCalls.size());
+    for (auto &[Pred, Call] : OpenCalls)
+      Seeds.push_back(Call);
+    Engine.primeTables(Seeds);
+  }
+  for (auto &[Pred, Call] : OpenCalls)
+    Engine.solve(Call, nullptr); // Run to completion; answers go to tables.
   Result.AnalysisSeconds = Phase.elapsedSeconds();
   EvalSpan.finish();
 

@@ -17,6 +17,7 @@ using namespace lpa;
 static Solver::Options engineOptions(const AnalysisSession::Options &O) {
   Solver::Options E;
   E.RecordProvenance = O.RecordProvenance;
+  E.EvalWorkers = O.EvalWorkers;
   return E;
 }
 
@@ -29,6 +30,12 @@ AnalysisSession::AnalysisSession(Options O)
   if (Opts.SampleHz) {
     Prof = std::make_unique<Sampler>(Sampler::Options{Opts.SampleHz});
     Prof->addLane(Opts.SampleLane, &Cursor);
+    // One lane per eval worker: parallel-prime stacks fold under
+    // "<lane>.wK" instead of vanishing (the workers never touch the
+    // session cursor).
+    const auto &WC = Engine.workerCursors();
+    for (size_t I = 0; I < WC.size(); ++I)
+      Prof->addLane(Opts.SampleLane + ".w" + std::to_string(I), WC[I].get());
     Prof->start();
   }
 }
@@ -153,6 +160,7 @@ std::string AnalysisSession::healthJson() const {
   W.member("queries_served", Stats.queriesServed());
   W.member("clauses", static_cast<uint64_t>(DB.numClauses()));
   W.member("subgoals", static_cast<uint64_t>(Engine.subgoals().size()));
+  W.member("eval_workers", static_cast<uint64_t>(Opts.EvalWorkers));
   W.member("table_space_bytes",
            static_cast<uint64_t>(Engine.tableSpaceBytes()));
   W.member("sampler_running", Prof && Prof->running());

@@ -51,6 +51,11 @@ public:
     uint32_t SampleHz = 0;
     /// Lane label for the sampler ("repl", "serve", ...).
     std::string SampleLane = "srv";
+    /// Intra-query evaluation workers (Solver::Options::EvalWorkers).
+    /// 0/1 = serial; N > 1 primes independent tabled seeds in parallel.
+    /// When a sampler is attached, each eval worker gets its own lane
+    /// ("<SampleLane>.wK") so worker stacks fold separately.
+    size_t EvalWorkers = Solver::defaultEvalWorkers();
     /// Structured logger (borrowed, may be null).
     Logger *Log = nullptr;
     /// Telemetry ring sizes.

@@ -1,0 +1,175 @@
+//===- ConcurrentTrie.cpp - Shared term tries for parallel tabling ---------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/ConcurrentTrie.h"
+
+#include <algorithm>
+
+using namespace lpa;
+
+namespace {
+
+inline uint64_t structPayload(SymbolId Sym, uint32_t Arity) {
+  return (uint64_t(Sym) << 32) | Arity;
+}
+
+// Per-thread walk scratch: encodeKey runs on every worker concurrently, and
+// find() must stay lock-free, so the reusable buffers are thread-local
+// rather than members.
+thread_local std::vector<TermRef> WorkTls;
+thread_local std::vector<TermRef> VarTls;
+thread_local std::vector<uint64_t> PayloadTls;
+thread_local std::vector<uint8_t> KindTls;
+
+} // namespace
+
+void ConcurrentTermTrie::encodeKey(const TermStore &Store,
+                                   std::span<const TermRef> Key,
+                                   std::vector<uint64_t> &Payloads,
+                                   std::vector<uint8_t> &Kinds) {
+  std::vector<TermRef> &Work = WorkTls;
+  std::vector<TermRef> &Vars = VarTls;
+  Work.clear();
+  Vars.clear();
+  Payloads.clear();
+  Kinds.clear();
+  for (size_t I = Key.size(); I-- > 0;)
+    Work.push_back(Key[I]);
+
+  while (!Work.empty()) {
+    TermRef T = Store.deref(Work.back());
+    Work.pop_back();
+    switch (Store.tag(T)) {
+    case TermTag::Ref: {
+      // First-occurrence numbering, exactly as TermTrie/canonicalKey.
+      auto It = std::find(Vars.begin(), Vars.end(), T);
+      uint32_t N;
+      if (It == Vars.end()) {
+        N = static_cast<uint32_t>(Vars.size());
+        Vars.push_back(T);
+      } else {
+        N = static_cast<uint32_t>(It - Vars.begin());
+      }
+      Kinds.push_back(KVar);
+      Payloads.push_back(N);
+      break;
+    }
+    case TermTag::Atom:
+      Kinds.push_back(KAtom);
+      Payloads.push_back(Store.symbol(T));
+      break;
+    case TermTag::Int:
+      Kinds.push_back(KInt);
+      Payloads.push_back(static_cast<uint64_t>(Store.intValue(T)));
+      break;
+    case TermTag::Struct:
+      Kinds.push_back(KStruct);
+      Payloads.push_back(structPayload(Store.symbol(T), Store.arity(T)));
+      for (uint32_t I = Store.arity(T); I-- > 0;)
+        Work.push_back(Store.arg(T, I));
+      break;
+    }
+  }
+}
+
+ConcurrentTermTrie::Node *ConcurrentTermTrie::findChild(const Node *Parent,
+                                                        uint8_t K,
+                                                        uint64_t P) {
+  // The acquire load of Child synchronizes with the inserter's release
+  // store, making the new node's Payload/K/Sibling writes visible. Sibling
+  // pointers of published nodes never change (prepend-only chains), so
+  // plain loads past the head are safe.
+  for (Node *C = Parent->Child.load(std::memory_order_acquire); C;
+       C = C->Sibling)
+    if (C->K == K && C->Payload == P)
+      return C;
+  return nullptr;
+}
+
+ConcurrentTermTrie::Node *ConcurrentTermTrie::allocNode(uint8_t K,
+                                                        uint64_t P) {
+  if (NextInChunk == ChunkSize) {
+    Chunks.push_back(std::make_unique<Node[]>(ChunkSize));
+    NextInChunk = 0;
+  }
+  Node *N = &Chunks.back()[NextInChunk++];
+  N->Payload = P;
+  N->K = K;
+  NumNodes.fetch_add(1, std::memory_order_relaxed);
+  return N;
+}
+
+ConcurrentTermTrie::InsertResult
+ConcurrentTermTrie::insert(const TermStore &Store,
+                           std::span<const TermRef> Key, uint32_t NewValue) {
+  std::vector<uint64_t> &Payloads = PayloadTls;
+  std::vector<uint8_t> &Kinds = KindTls;
+  encodeKey(Store, Key, Payloads, Kinds);
+
+  // Optimistic lock-free descent as far as the trie already reaches.
+  Node *Cur = &Root;
+  size_t I = 0;
+  while (I < Kinds.size()) {
+    Node *C = findChild(Cur, Kinds[I], Payloads[I]);
+    if (!C)
+      break;
+    Cur = C;
+    ++I;
+  }
+  if (I == Kinds.size()) {
+    uint32_t V = Cur->Value.load(std::memory_order_acquire);
+    if (V != NoValue)
+      return {V, false, 0}; // Warm hit: no lock taken.
+  }
+
+  // Slow path: extend (or claim the leaf) under the mutex. Re-scan each
+  // level — another thread may have extended past our optimistic frontier —
+  // but never restart: Cur is a stable node and chains only grow.
+  std::lock_guard<std::mutex> L(Mu);
+  uint32_t Created = 0;
+  while (I < Kinds.size()) {
+    Node *C = findChild(Cur, Kinds[I], Payloads[I]);
+    if (!C) {
+      C = allocNode(Kinds[I], Payloads[I]);
+      // Prepend: the new node's Sibling is written before the release
+      // store of Child publishes it to lock-free readers.
+      C->Sibling = Cur->Child.load(std::memory_order_relaxed);
+      Cur->Child.store(C, std::memory_order_release);
+      ++Created;
+    }
+    Cur = C;
+    ++I;
+  }
+  uint32_t V = Cur->Value.load(std::memory_order_relaxed);
+  if (V != NoValue)
+    return {V, false, Created};
+  Cur->Value.store(NewValue, std::memory_order_release);
+  NumValues.fetch_add(1, std::memory_order_relaxed);
+  return {NewValue, true, Created};
+}
+
+uint32_t ConcurrentTermTrie::find(const TermStore &Store,
+                                  std::span<const TermRef> Key) const {
+  std::vector<uint64_t> &Payloads = PayloadTls;
+  std::vector<uint8_t> &Kinds = KindTls;
+  encodeKey(Store, Key, Payloads, Kinds);
+
+  const Node *Cur = &Root;
+  for (size_t I = 0; I < Kinds.size(); ++I) {
+    Node *C = findChild(Cur, Kinds[I], Payloads[I]);
+    if (!C)
+      return NoValue;
+    Cur = C;
+  }
+  return Cur->Value.load(std::memory_order_acquire);
+}
+
+size_t ConcurrentTermTrie::memoryBytes() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Chunks.size() * ChunkSize * sizeof(Node) +
+         Chunks.capacity() * sizeof(void *) + sizeof(*this);
+}

@@ -1,0 +1,202 @@
+//===- SharedTables.cpp - Cross-worker shared subgoal tables ---------------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/SharedTables.h"
+
+#include <chrono>
+
+using namespace lpa;
+
+namespace {
+
+constexpr size_t DefaultShards = 16;
+
+inline uint64_t mix(uint64_t X) {
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+inline size_t roundUpPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+inline uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+SharedTableSpace::SharedTableSpace(size_t ShardCount) {
+  size_t N = roundUpPow2(ShardCount ? ShardCount : DefaultShards);
+  Shards.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->ChunkTable = std::make_unique<std::atomic<Entry *>[]>(MaxChunks);
+    for (size_t C = 0; C < MaxChunks; ++C)
+      S->ChunkTable[C].store(nullptr, std::memory_order_relaxed);
+    Shards.push_back(std::move(S));
+  }
+}
+
+SharedTableSpace::~SharedTableSpace() {
+  for (auto &S : Shards)
+    for (size_t C = 0; C < MaxChunks; ++C)
+      delete[] S->ChunkTable[C].load(std::memory_order_relaxed);
+}
+
+SharedTableSpace::Shard &SharedTableSpace::shardFor(const TermStore &Store,
+                                                    TermRef Call,
+                                                    SymbolId Sym,
+                                                    uint32_t Arity) {
+  // Stripe by predicate plus the first argument's top token so call
+  // variants of one hot predicate spread across shards (first-argument
+  // indexing's hash, reused as a stripe key).
+  uint64_t H = (uint64_t(Sym) << 32) | Arity;
+  TermRef T = Store.deref(Call);
+  if (Store.tag(T) == TermTag::Struct && Store.arity(T) > 0) {
+    TermRef A0 = Store.deref(Store.arg(T, 0));
+    switch (Store.tag(A0)) {
+    case TermTag::Atom:
+      H ^= mix(0x1000000000000000ULL | Store.symbol(A0));
+      break;
+    case TermTag::Int:
+      H ^= mix(0x2000000000000000ULL ^
+               static_cast<uint64_t>(Store.intValue(A0)));
+      break;
+    case TermTag::Struct:
+      H ^= mix(0x3000000000000000ULL | (uint64_t(Store.symbol(A0)) << 8) |
+               Store.arity(A0));
+      break;
+    case TermTag::Ref:
+      H ^= 0x4000000000000000ULL;
+      break;
+    }
+  }
+  return *Shards[mix(H) & (Shards.size() - 1)];
+}
+
+SharedTableSpace::Entry *SharedTableSpace::entryAt(const Shard &S,
+                                                   uint32_t Idx) {
+  Entry *Chunk =
+      S.ChunkTable[Idx / EntriesPerChunk].load(std::memory_order_acquire);
+  return &Chunk[Idx % EntriesPerChunk];
+}
+
+SharedTableSpace::Outcome SharedTableSpace::claim(const TermStore &Store,
+                                                  TermRef Call, SymbolId Sym,
+                                                  uint32_t Arity,
+                                                  uint32_t Worker) {
+  Shard &S = shardFor(Store, Call, Sym, Arity);
+  S.Lookups.fetch_add(1, std::memory_order_relaxed);
+
+  uint32_t Idx = S.Index.find(Store, Call);
+  if (Idx == ConcurrentTermTrie::NoValue) {
+    // New variant (as far as the lock-free check saw). Register it under
+    // the shard lock; try_lock first so contention is counted and timed
+    // only when it actually happens.
+    std::unique_lock<std::mutex> L(S.Mu, std::try_to_lock);
+    if (!L.owns_lock()) {
+      uint64_t T0 = nowNs();
+      L.lock();
+      S.LockContended.fetch_add(1, std::memory_order_relaxed);
+      S.LockWaitNs.fetch_add(nowNs() - T0, std::memory_order_relaxed);
+    }
+    S.LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
+
+    uint32_t NewIdx = S.NumEntries.load(std::memory_order_relaxed);
+    if (NewIdx >= EntriesPerChunk * MaxChunks)
+      return {nullptr, Hit::InFlight}; // Shard full; duplicate privately.
+    size_t C = NewIdx / EntriesPerChunk;
+    if (!S.ChunkTable[C].load(std::memory_order_relaxed))
+      S.ChunkTable[C].store(new Entry[EntriesPerChunk],
+                            std::memory_order_release);
+    Entry *NE = entryAt(S, NewIdx);
+    NE->Owner = Worker;
+    auto R = S.Index.insert(Store, Call, NewIdx);
+    if (R.Inserted) {
+      S.NumEntries.store(NewIdx + 1, std::memory_order_release);
+      S.Claims.fetch_add(1, std::memory_order_relaxed);
+      return {NE, Hit::Claimed};
+    }
+    // Lost the registration race before we took the lock; fall through to
+    // the existing entry. (The speculative slot is reused by the next
+    // claim — NumEntries was not advanced.)
+    Idx = R.Value;
+  }
+
+  Entry *E = entryAt(S, Idx);
+  if (E->State.load(std::memory_order_acquire) == 1) {
+    S.WarmHits.fetch_add(1, std::memory_order_relaxed);
+    return {E, Hit::Published};
+  }
+  S.InFlightMisses.fetch_add(1, std::memory_order_relaxed);
+  return {E, Hit::InFlight};
+}
+
+void SharedTableSpace::publish(Entry &E, std::unique_ptr<PublishedTable> T) {
+  E.Table = std::move(T);
+  E.State.store(1, std::memory_order_release);
+  TotalPublishes.fetch_add(1, std::memory_order_relaxed);
+}
+
+const SharedTableSpace::PublishedTable *
+SharedTableSpace::published(const Entry &E) const {
+  return E.State.load(std::memory_order_acquire) == 1 ? E.Table.get()
+                                                      : nullptr;
+}
+
+std::vector<const SharedTableSpace::PublishedTable *>
+SharedTableSpace::publishedTables() const {
+  std::vector<const PublishedTable *> Out;
+  for (const auto &S : Shards) {
+    uint32_t N = S->NumEntries.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I < N; ++I) {
+      const Entry *E = entryAt(*S, I);
+      if (E->State.load(std::memory_order_acquire) == 1)
+        Out.push_back(E->Table.get());
+    }
+  }
+  return Out;
+}
+
+SharedTableSpace::Stats SharedTableSpace::stats() const {
+  Stats Out;
+  Out.Shards = Shards.size();
+  Out.Publishes = TotalPublishes.load(std::memory_order_relaxed);
+  for (const auto &S : Shards) {
+    Out.Lookups += S->Lookups.load(std::memory_order_relaxed);
+    Out.WarmHits += S->WarmHits.load(std::memory_order_relaxed);
+    Out.InFlightMisses += S->InFlightMisses.load(std::memory_order_relaxed);
+    Out.Claims += S->Claims.load(std::memory_order_relaxed);
+    Out.LockAcquisitions += S->LockAcquisitions.load(std::memory_order_relaxed);
+    Out.LockContended += S->LockContended.load(std::memory_order_relaxed);
+    Out.LockWaitNs += S->LockWaitNs.load(std::memory_order_relaxed);
+  }
+  return Out;
+}
+
+size_t SharedTableSpace::memoryBytes() const {
+  size_t Bytes = sizeof(*this);
+  for (const auto &S : Shards) {
+    Bytes += S->Index.memoryBytes() + MaxChunks * sizeof(std::atomic<Entry *>);
+    uint32_t N = S->NumEntries.load(std::memory_order_acquire);
+    Bytes += ((N + EntriesPerChunk - 1) / EntriesPerChunk) * EntriesPerChunk *
+             sizeof(Entry);
+    for (uint32_t I = 0; I < N; ++I)
+      if (const PublishedTable *T = published(*entryAt(*S, I)))
+        Bytes += T->Terms.memoryBytes() +
+                 T->Answers.capacity() * sizeof(TermRef) + sizeof(*T);
+  }
+  return Bytes;
+}

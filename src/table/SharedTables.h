@@ -1,0 +1,174 @@
+//===- SharedTables.h - Cross-worker shared subgoal tables ------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The table space intra-query evaluation workers share. The unit of
+/// sharing is a whole subgoal table: a worker that first encounters a
+/// tabled call variant *claims* it, evaluates the subgoal's cone with its
+/// private engine, and *publishes* the completed table (call copy + answer
+/// tuples in its own TermStore); every other worker — and finally the lead
+/// solver, which imports the whole space — consumes the published copy
+/// without ever re-deriving it.
+///
+/// Layout: a power-of-two array of shards, striped by a hash of the
+/// predicate and first-argument shape so variants of hot predicates spread
+/// out. Each shard holds a ConcurrentTermTrie index (variant call ->
+/// entry), a deque of entries (stable addresses), and a mutex that
+/// serializes claim registration only. The fast paths never lock:
+///
+///  - Warm read: lock-free trie find + acquire load of the entry state.
+///    A completed table is published with a release store, so a reader
+///    that observes State == Published also observes every byte of the
+///    table copy.
+///  - In-flight miss: the claiming worker is still evaluating. The caller
+///    does NOT wait (blocking on another worker's completion could
+///    deadlock on cross-worker SCCs); it duplicates the evaluation
+///    privately and simply doesn't publish. Claim arbitration guarantees
+///    exactly one publisher per variant, so duplicated work costs time,
+///    never correctness.
+///
+/// Poisoning crosses worker boundaries as data: a table truncated by the
+/// depth limit or a deadline publishes with Incomplete set, and importers
+/// propagate the taint exactly as a local incomplete table would.
+///
+/// Per-shard counters (lock acquisitions, contended acquisitions, lock
+/// wait nanoseconds, claims, published tables, warm hits, in-flight
+/// misses) feed the MetricsRegistry gauges the bench scaling curves read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TABLE_SHAREDTABLES_H
+#define LPA_TABLE_SHAREDTABLES_H
+
+#include "table/ConcurrentTrie.h"
+#include "term/TermStore.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lpa {
+
+class SharedTableSpace {
+public:
+  /// One completed subgoal table, self-contained: the call and every
+  /// answer are copies into the table's own TermStore, so the publisher's
+  /// private (growing, reallocating) heap is never shared.
+  struct PublishedTable {
+    TermStore Terms;
+    TermRef Call = InvalidTerm;
+    SymbolId Sym = 0;
+    uint32_t Arity = 0;
+    uint32_t NumCallVars = 0;
+    /// Answer count, carried explicitly: a factored table of a ground call
+    /// (NumCallVars == 0) stores one empty tuple per answer, so the count
+    /// cannot be recovered from Answers.size().
+    uint32_t NumAnswers = 0;
+    bool Factored = false;
+    bool Incomplete = false; ///< Depth/deadline taint; importers propagate.
+    /// Factored: NumCallVars-wide tuples, answer-major. Otherwise whole
+    /// answer instances.
+    std::vector<TermRef> Answers;
+  };
+
+  class Entry {
+    friend class SharedTableSpace;
+    std::atomic<uint32_t> State{0}; ///< 0 = in flight, 1 = published.
+    uint32_t Owner = 0;
+    std::unique_ptr<PublishedTable> Table;
+  };
+
+  enum class Hit : uint8_t {
+    Claimed,  ///< Caller owns the variant: evaluate, then publish.
+    InFlight, ///< Another worker owns it: duplicate-evaluate privately.
+    Published ///< Completed table available via published().
+  };
+
+  struct Outcome {
+    Entry *E = nullptr;
+    Hit H = Hit::Claimed;
+  };
+
+  /// \p ShardCount is rounded up to a power of two; 0 picks the default.
+  explicit SharedTableSpace(size_t ShardCount = 0);
+  ~SharedTableSpace(); ///< Frees entry chunks (and their tables).
+
+  SharedTableSpace(const SharedTableSpace &) = delete;
+  SharedTableSpace &operator=(const SharedTableSpace &) = delete;
+
+  /// Looks up the call variant \p Call (pred \p Sym / \p Arity) and claims
+  /// it for \p Worker if unclaimed. Lock-free when the variant is already
+  /// known; takes the shard lock only to register a new claim.
+  Outcome claim(const TermStore &Store, TermRef Call, SymbolId Sym,
+                uint32_t Arity, uint32_t Worker);
+
+  /// Publishes \p T as the completed table of the entry claimed earlier.
+  /// Release store: after this, any claim() returning Published for the
+  /// variant observes the full table.
+  void publish(Entry &E, std::unique_ptr<PublishedTable> T);
+
+  /// The published table of \p E, or null while still in flight.
+  const PublishedTable *published(const Entry &E) const;
+
+  /// Every published table, shard by shard in claim order. Only meaningful
+  /// once all workers have drained (the lead's import pass, after
+  /// ThreadPool::wait()).
+  std::vector<const PublishedTable *> publishedTables() const;
+
+  struct Stats {
+    uint64_t Lookups = 0;        ///< claim() calls.
+    uint64_t WarmHits = 0;       ///< Published-table hits (no lock).
+    uint64_t InFlightMisses = 0; ///< Variant owned elsewhere (no wait).
+    uint64_t Claims = 0;         ///< New variants claimed.
+    uint64_t Publishes = 0;      ///< Tables published.
+    uint64_t LockAcquisitions = 0;
+    uint64_t LockContended = 0; ///< try_lock failed first.
+    uint64_t LockWaitNs = 0;    ///< Time blocked on contended shard locks.
+    size_t Shards = 0;
+  };
+  /// Aggregated across shards (relaxed reads; exact when quiescent).
+  Stats stats() const;
+
+  size_t shardCount() const { return Shards.size(); }
+
+  /// Bytes held by shard indexes and published table stores.
+  size_t memoryBytes() const;
+
+private:
+  /// Entries live in fixed chunks behind a preallocated table of atomic
+  /// chunk pointers, so resolving an index from the trie never locks and
+  /// never races chunk growth (a deque/vector would).
+  static constexpr size_t EntriesPerChunk = 128;
+  static constexpr size_t MaxChunks = 2048;
+
+  struct Shard {
+    ConcurrentTermTrie Index; ///< Variant call -> entry index.
+    std::mutex Mu;            ///< Serializes entry creation only.
+    std::unique_ptr<std::atomic<Entry *>[]> ChunkTable;
+    std::atomic<uint32_t> NumEntries{0};
+    std::atomic<uint64_t> Lookups{0};
+    std::atomic<uint64_t> WarmHits{0};
+    std::atomic<uint64_t> InFlightMisses{0};
+    std::atomic<uint64_t> Claims{0};
+    std::atomic<uint64_t> LockAcquisitions{0};
+    std::atomic<uint64_t> LockContended{0};
+    std::atomic<uint64_t> LockWaitNs{0};
+  };
+
+  Shard &shardFor(const TermStore &Store, TermRef Call, SymbolId Sym,
+                  uint32_t Arity);
+  static Entry *entryAt(const Shard &S, uint32_t Idx);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<uint64_t> TotalPublishes{0};
+};
+
+} // namespace lpa
+
+#endif // LPA_TABLE_SHAREDTABLES_H

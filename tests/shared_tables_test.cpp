@@ -1,0 +1,535 @@
+//===- shared_tables_test.cpp - Shared-table / parallel eval tests --------===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+// The "shr" suite: the concurrent term trie, the cross-worker shared
+// table space, and intra-query parallel evaluation (Options::EvalWorkers).
+// CI runs it under ThreadSanitizer — the N-thread hammer tests exist to
+// give TSan real interleavings, not just to check the final counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "table/ConcurrentTrie.h"
+#include "table/SharedTables.h"
+#include "table/TermTrie.h"
+#include "term/TermCopy.h"
+
+#include "engine/Solver.h"
+#include "obs/Forest.h"
+#include "par/CorpusScheduler.h"
+#include "par/ThreadPool.h"
+#include "prop/Groundness.h"
+#include "reader/Parser.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace lpa;
+
+namespace {
+
+/// mkStruct takes a span; bridge braced argument lists.
+TermRef mkS(TermStore &Store, SymbolId S, std::initializer_list<TermRef> A) {
+  std::vector<TermRef> Args(A);
+  return Store.mkStruct(S, Args);
+}
+
+//===----------------------------------------------------------------------===//
+// ConcurrentTermTrie
+//===----------------------------------------------------------------------===//
+
+/// Serial ground truth: the concurrent trie must agree with TermTrie on
+/// hit/miss classification and variant folding — same token encoding,
+/// different storage discipline.
+TEST(ConcurrentTrieTest, SerialSemanticsMatchTermTrie) {
+  SymbolTable Symbols;
+  TermStore Store;
+  SymbolId F = Symbols.intern("f");
+  SymbolId A = Symbols.intern("a");
+
+  // f(a, 1), f(X, Y), f(X, X), f(Y, Z) — the last is a variant of the
+  // second and must hit, not insert.
+  TermRef V1 = Store.mkVar(), V2 = Store.mkVar(), V3 = Store.mkVar();
+  std::vector<TermRef> Keys = {
+      mkS(Store, F, {Store.mkAtom(A), Store.mkInt(1)}),
+      mkS(Store, F, {V1, V2}),
+      mkS(Store, F, {V3, V3}),
+      mkS(Store, F, {Store.mkVar(), Store.mkVar()}),
+  };
+
+  TermTrie Reference;
+  ConcurrentTermTrie Shared;
+  for (uint32_t I = 0; I < Keys.size(); ++I) {
+    TermTrie::InsertResult R = Reference.insert(Store, Keys[I], I);
+    ConcurrentTermTrie::InsertResult C = Shared.insert(Store, Keys[I], I);
+    EXPECT_EQ(R.Inserted, C.Inserted) << "key " << I;
+    EXPECT_EQ(R.Value, C.Value) << "key " << I;
+  }
+  EXPECT_EQ(Shared.valueCount(), 3u); // The variant folded.
+  for (uint32_t I = 0; I < Keys.size(); ++I)
+    EXPECT_EQ(Reference.find(Store, Keys[I]), Shared.find(Store, Keys[I]));
+  EXPECT_EQ(Shared.find(Store, Store.mkAtom(A)), ConcurrentTermTrie::NoValue);
+}
+
+/// The unique-answer invariant under contention: N threads race to insert
+/// the same key set (each from a private store); exactly one Inserted per
+/// key, no lost inserts, and every thread agrees on the stored value.
+TEST(ConcurrentTrieTest, ConcurrentInsertExactlyOneWinnerPerKey) {
+  constexpr size_t NumThreads = 8;
+  constexpr uint32_t NumKeys = 500;
+
+  SymbolTable Symbols;
+  SymbolId F = Symbols.intern("f"); // Interned before threads spawn: the
+  SymbolId A = Symbols.intern("a"); // symbol table is not shared-mutable.
+
+  std::vector<std::atomic<uint32_t>> InsertWins(NumKeys);
+  ConcurrentTermTrie Trie;
+
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      // Private store; same ground keys → same canonical token paths.
+      TermStore Store;
+      for (uint32_t I = 0; I < NumKeys; ++I) {
+        TermRef Key =
+            mkS(Store, F, {Store.mkInt(int64_t(I)), Store.mkAtom(A)});
+        ConcurrentTermTrie::InsertResult R = Trie.insert(Store, Key, I);
+        EXPECT_EQ(R.Value, I); // Value is key-determined: no torn result.
+        if (R.Inserted)
+          InsertWins[I].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (uint32_t I = 0; I < NumKeys; ++I)
+    EXPECT_EQ(InsertWins[I].load(), 1u) << "key " << I;
+  EXPECT_EQ(Trie.valueCount(), NumKeys);
+
+  TermStore Store;
+  for (uint32_t I = 0; I < NumKeys; ++I) {
+    TermRef Key =
+        mkS(Store, F, {Store.mkInt(int64_t(I)), Store.mkAtom(A)});
+    EXPECT_EQ(Trie.find(Store, Key), I);
+  }
+}
+
+/// Lock-free readers racing a writer: a found value is always the right
+/// one (never torn, never a half-built node), and after the writer joins
+/// every key is visible.
+TEST(ConcurrentTrieTest, FindIsSafeWhileInserting) {
+  constexpr uint32_t NumKeys = 400;
+  SymbolTable Symbols;
+  SymbolId F = Symbols.intern("g");
+
+  ConcurrentTermTrie Trie;
+  std::atomic<bool> Done{false};
+
+  std::thread Writer([&] {
+    TermStore Store;
+    for (uint32_t I = 0; I < NumKeys; ++I)
+      Trie.insert(Store, mkS(Store, F, {Store.mkInt(int64_t(I))}), I);
+    Done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&] {
+      TermStore Store;
+      std::vector<TermRef> Keys;
+      for (uint32_t I = 0; I < NumKeys; ++I)
+        Keys.push_back(mkS(Store, F, {Store.mkInt(int64_t(I))}));
+      while (!Done.load(std::memory_order_acquire))
+        for (uint32_t I = 0; I < NumKeys; ++I) {
+          uint32_t V = Trie.find(Store, Keys[I]);
+          if (V != ConcurrentTermTrie::NoValue)
+            EXPECT_EQ(V, I);
+        }
+      // Quiescent: everything the writer inserted is visible.
+      for (uint32_t I = 0; I < NumKeys; ++I)
+        EXPECT_EQ(Trie.find(Store, Keys[I]), I);
+    });
+
+  Writer.join();
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_EQ(Trie.valueCount(), NumKeys);
+}
+
+//===----------------------------------------------------------------------===//
+// SharedTableSpace
+//===----------------------------------------------------------------------===//
+
+/// Claim arbitration: N threads race to claim the same variant; exactly
+/// one wins, the rest see InFlight (never a wait), and after the winner
+/// publishes everyone reads the same completed table.
+TEST(SharedTableSpaceTest, ExactlyOneClaimThenPublishedVisible) {
+  constexpr size_t NumThreads = 8;
+  SymbolTable Symbols;
+  SymbolId P = Symbols.intern("p");
+
+  SharedTableSpace Space;
+  std::atomic<uint32_t> ClaimWins{0};
+  std::atomic<uint32_t> InFlightSeen{0};
+
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      TermStore Store;
+      TermRef Call = mkS(Store, P, {Store.mkVar(), Store.mkVar()});
+      SharedTableSpace::Outcome O =
+          Space.claim(Store, Call, P, 2, static_cast<uint32_t>(T));
+      ASSERT_NE(O.E, nullptr);
+      if (O.H == SharedTableSpace::Hit::Claimed) {
+        ClaimWins.fetch_add(1);
+        auto Table = std::make_unique<SharedTableSpace::PublishedTable>();
+        Table->Sym = P;
+        Table->Arity = 2;
+        Table->NumAnswers = 7;
+        Table->Call = copyTerm(Store, Call, Table->Terms);
+        Space.publish(*O.E, std::move(Table));
+      } else if (O.H == SharedTableSpace::Hit::InFlight) {
+        InFlightSeen.fetch_add(1);
+        EXPECT_EQ(Space.published(*O.E), nullptr);
+      } else {
+        const SharedTableSpace::PublishedTable *PT = Space.published(*O.E);
+        ASSERT_NE(PT, nullptr);
+        EXPECT_EQ(PT->NumAnswers, 7u);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(ClaimWins.load(), 1u);
+
+  // Quiescent re-claim: warm hit with the full table visible.
+  TermStore Store;
+  TermRef Call = mkS(Store, P, {Store.mkVar(), Store.mkVar()});
+  SharedTableSpace::Outcome O = Space.claim(Store, Call, P, 2, 99);
+  EXPECT_EQ(O.H, SharedTableSpace::Hit::Published);
+  const SharedTableSpace::PublishedTable *PT = Space.published(*O.E);
+  ASSERT_NE(PT, nullptr);
+  EXPECT_EQ(PT->Sym, P);
+  EXPECT_EQ(PT->NumAnswers, 7u);
+
+  SharedTableSpace::Stats S = Space.stats();
+  EXPECT_EQ(S.Claims, 1u);
+  EXPECT_EQ(S.Publishes, 1u);
+  EXPECT_EQ(S.InFlightMisses, InFlightSeen.load());
+  EXPECT_GE(S.Lookups, NumThreads + 1);
+  EXPECT_GT(S.Shards, 0u);
+  EXPECT_EQ(Space.publishedTables().size(), 1u);
+}
+
+/// Distinct variants get distinct entries even when hammered from many
+/// threads; publishedTables() sees them all.
+TEST(SharedTableSpaceTest, DistinctVariantsDistinctEntries) {
+  constexpr size_t NumThreads = 6;
+  constexpr uint32_t NumVariants = 64;
+  SymbolTable Symbols;
+  SymbolId P = Symbols.intern("q");
+
+  SharedTableSpace Space(4);
+  std::vector<std::atomic<uint32_t>> Wins(NumVariants);
+
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      TermStore Store;
+      for (uint32_t I = 0; I < NumVariants; ++I) {
+        TermRef Call = mkS(Store, P, {Store.mkInt(int64_t(I)),
+                                        Store.mkVar()});
+        SharedTableSpace::Outcome O =
+            Space.claim(Store, Call, P, 2, static_cast<uint32_t>(T));
+        if (O.H == SharedTableSpace::Hit::Claimed) {
+          Wins[I].fetch_add(1, std::memory_order_relaxed);
+          auto Table = std::make_unique<SharedTableSpace::PublishedTable>();
+          Table->Sym = P;
+          Table->Arity = 2;
+          Table->NumAnswers = I;
+          Table->Call = copyTerm(Store, Call, Table->Terms);
+          Space.publish(*O.E, std::move(Table));
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (uint32_t I = 0; I < NumVariants; ++I)
+    EXPECT_EQ(Wins[I].load(), 1u) << "variant " << I;
+  EXPECT_EQ(Space.publishedTables().size(), NumVariants);
+  EXPECT_EQ(Space.stats().Claims, NumVariants);
+  EXPECT_EQ(Space.stats().Publishes, NumVariants);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool counters (satellite: steal/idle/task stats)
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolStatsTest, TaskCountersBalance) {
+  ThreadPool Pool(3);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.wait();
+  ThreadPool::PoolStats S = Pool.stats();
+  EXPECT_EQ(Ran.load(), 64);
+  EXPECT_EQ(S.Submitted, 64u);
+  EXPECT_EQ(S.Executed, 64u);
+  EXPECT_EQ(S.Steals, Pool.stealCount());
+}
+
+TEST(ThreadPoolStatsTest, InlinePoolCounts) {
+  ThreadPool Pool(0);
+  Pool.submit([] {});
+  Pool.submit([] {});
+  ThreadPool::PoolStats S = Pool.stats();
+  EXPECT_EQ(S.Submitted, 2u);
+  EXPECT_EQ(S.Executed, 2u);
+  EXPECT_EQ(S.Steals, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Intra-query parallel evaluation (Options::EvalWorkers)
+//===----------------------------------------------------------------------===//
+
+/// K disjoint left-recursive closure chains (same generator family as
+/// bench_parallel_eval, smaller).
+std::string chainsProgram(size_t K, size_t N) {
+  std::string P;
+  for (size_t C = 0; C < K; ++C) {
+    std::string Pred = "path" + std::to_string(C);
+    std::string Edge = "edge" + std::to_string(C);
+    P += ":- table " + Pred + "/2.\n";
+    P += Pred + "(X, Y) :- " + Pred + "(X, Z), " + Edge + "(Z, Y).\n";
+    P += Pred + "(X, Y) :- " + Edge + "(X, Y).\n";
+    for (size_t I = 0; I + 1 < N; ++I)
+      P += Edge + "(c" + std::to_string(C) + "n" + std::to_string(I) +
+           ", c" + std::to_string(C) + "n" + std::to_string(I + 1) + ").\n";
+  }
+  return P;
+}
+
+/// The sorted rendered answer set of every chain's open call — the
+/// canonical fingerprint (order-insensitive, so scheduling can't move it).
+std::vector<std::string> chainAnswerSets(Solver &Engine, SymbolTable &Symbols,
+                                         size_t K, bool Prime) {
+  std::vector<TermRef> Calls;
+  for (size_t C = 0; C < K; ++C) {
+    auto Call = Parser::parseTerm(Symbols, Engine.store(),
+                                  "path" + std::to_string(C) + "(X, Y)");
+    EXPECT_TRUE(bool(Call));
+    Calls.push_back(*Call);
+  }
+  if (Prime)
+    Engine.primeTables(Calls);
+  for (TermRef Call : Calls)
+    Engine.solve(Call, nullptr);
+
+  std::vector<std::string> Out;
+  for (TermRef Call : Calls) {
+    const Subgoal *SG = Engine.findSubgoal(Call);
+    EXPECT_NE(SG, nullptr);
+    std::vector<std::string> Answers;
+    TermStore Scratch;
+    for (size_t AI = 0, AE = Engine.answerCount(*SG); AI < AE; ++AI) {
+      Scratch.clear();
+      TermRef Ans = Engine.answerInstance(*SG, AI, Scratch);
+      Answers.push_back(TermWriter::toString(Symbols, Scratch, Ans));
+    }
+    std::sort(Answers.begin(), Answers.end());
+    std::string FP;
+    for (const std::string &A : Answers)
+      FP += A + ";";
+    Out.push_back(std::move(FP));
+  }
+  return Out;
+}
+
+TEST(ParallelEvalTest, ChainsIdenticalToSerial) {
+  constexpr size_t K = 4, N = 25;
+  std::string Program = chainsProgram(K, N);
+
+  auto Run = [&](size_t Workers) {
+    SymbolTable Symbols;
+    Database DB(Symbols);
+    auto L = DB.consult(Program);
+    EXPECT_TRUE(bool(L));
+    Solver::Options O;
+    O.EvalWorkers = Workers;
+    Solver Engine(DB, O);
+    auto Sets = chainAnswerSets(Engine, Symbols, K, Workers > 1);
+    if (Workers > 1) {
+      EXPECT_EQ(Engine.stats().ParallelPrimeRuns, 1u);
+      EXPECT_EQ(Engine.sharedTableStats().Publishes, K);
+      EXPECT_EQ(Engine.stats().SharedTablesImported, K);
+      EXPECT_EQ(Engine.evalPoolStats().Executed, K);
+      // Workers did the deriving; the lead only imported and re-walked.
+      EXPECT_GT(Engine.parallelWorkerStats().AnswersRecorded, 0u);
+    }
+    return Sets;
+  };
+
+  std::vector<std::string> Serial = Run(0);
+  ASSERT_EQ(Serial.size(), K);
+  // Each chain has N*(N+1)/2 path answers.
+  EXPECT_EQ(std::count(Serial[0].begin(), Serial[0].end(), ';'),
+            long(N * (N - 1) / 2));
+  EXPECT_EQ(Run(2), Serial);
+  EXPECT_EQ(Run(4), Serial);
+}
+
+/// The solve() hook: a conjunction of two independent tabled goals primes
+/// in parallel before the serial cross-product enumeration.
+TEST(ParallelEvalTest, SolveAutoPrimesConjunctions) {
+  std::string Program = chainsProgram(2, 8);
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  ASSERT_TRUE(bool(DB.consult(Program)));
+  Solver::Options O;
+  O.EvalWorkers = 4;
+  Solver Engine(DB, O);
+
+  auto Goal = Parser::parseTerm(Symbols, Engine.store(),
+                                "path0(X, Y), path1(A, B)");
+  ASSERT_TRUE(bool(Goal));
+  size_t Solutions = Engine.solve(*Goal, nullptr);
+  // 7-edge chains: 28 path answers each; the conjunction enumerates the
+  // cross product.
+  EXPECT_EQ(Solutions, 28u * 28u);
+  EXPECT_EQ(Engine.stats().ParallelPrimeRuns, 1u);
+  EXPECT_EQ(Engine.stats().SharedTablesImported, 2u);
+}
+
+TEST(ParallelEvalTest, GroundnessFingerprintsIdenticalToSerial) {
+  const CorpusProgram *P = findBenchmark("read");
+  ASSERT_NE(P, nullptr);
+
+  auto Run = [&](size_t Workers) {
+    SymbolTable Symbols;
+    GroundnessAnalyzer::Options GO;
+    GO.Engine.EvalWorkers = Workers;
+    GroundnessAnalyzer Analyzer(Symbols, GO);
+    auto R = Analyzer.analyze(P->Source);
+    EXPECT_TRUE(bool(R)) << (R ? "" : R.getError().str());
+    return R ? fingerprintGroundness(*R) : std::vector<std::string>{};
+  };
+
+  std::vector<std::string> Serial = Run(0);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_EQ(Run(4), Serial);
+}
+
+/// Poison crosses worker boundaries: a depth-truncated table published by
+/// a worker taints the lead exactly as a local truncation would, and the
+/// incompleteness count matches the serial run's.
+TEST(ParallelEvalTest, DepthLimitPoisonPropagatesAcrossWorkers) {
+  // K tabled reach/1 cones over non-tabled step/2 walks: the walk deepens
+  // one frame per edge, so MaxDepth prunes the far end of each chain
+  // inside whichever worker evaluates it (same shape as the
+  // incompleteness suite's ChainProgram, replicated per seed).
+  constexpr size_t K = 3, N = 20;
+  std::string Program;
+  for (size_t C = 0; C < K; ++C) {
+    std::string Reach = "reach" + std::to_string(C);
+    std::string Step = "step" + std::to_string(C);
+    std::string Edge = "edge" + std::to_string(C);
+    Program += ":- table " + Reach + "/1.\n";
+    Program += Reach + "(X) :- " + Step + "(c" + std::to_string(C) +
+               "n0, X).\n";
+    Program += Step + "(X, X).\n";
+    Program += Step + "(X, Y) :- " + Edge + "(X, Z), " + Step + "(Z, Y).\n";
+    for (size_t I = 0; I + 1 < N; ++I)
+      Program += Edge + "(c" + std::to_string(C) + "n" + std::to_string(I) +
+                 ", c" + std::to_string(C) + "n" + std::to_string(I + 1) +
+                 ").\n";
+  }
+
+  auto IncompleteCount = [&](size_t Workers) {
+    SymbolTable Symbols;
+    Database DB(Symbols);
+    EXPECT_TRUE(bool(DB.consult(Program)));
+    Solver::Options O;
+    O.EvalWorkers = Workers;
+    O.MaxDepth = 8; // Prunes the 19-edge walks mid-chain.
+    Solver Engine(DB, O);
+    std::vector<TermRef> Calls;
+    for (size_t C = 0; C < K; ++C) {
+      auto Call = Parser::parseTerm(Symbols, Engine.store(),
+                                    "reach" + std::to_string(C) + "(X)");
+      EXPECT_TRUE(bool(Call));
+      Calls.push_back(*Call);
+    }
+    if (Workers > 1)
+      Engine.primeTables(Calls);
+    for (TermRef Call : Calls)
+      Engine.solve(Call, nullptr);
+    return Engine.stats().IncompleteTables;
+  };
+
+  uint64_t Serial = IncompleteCount(0);
+  ASSERT_GT(Serial, 0u) << "depth limit must actually truncate";
+  EXPECT_EQ(IncompleteCount(4), Serial);
+}
+
+/// Provenance recording forces the serial path: asking for workers must
+/// not silently drop justifications (no parallel prime runs, arenas
+/// intact).
+TEST(ParallelEvalTest, ProvenanceForcesSerial) {
+  std::string Program = chainsProgram(2, 10);
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  ASSERT_TRUE(bool(DB.consult(Program)));
+  Solver::Options O;
+  O.EvalWorkers = 4;
+  O.RecordProvenance = true;
+  Solver Engine(DB, O);
+  auto Goal = Parser::parseTerm(Symbols, Engine.store(), "path0(X, Y)");
+  ASSERT_TRUE(bool(Goal));
+  Engine.solve(*Goal, nullptr);
+  EXPECT_EQ(Engine.stats().ParallelPrimeRuns, 0u);
+  ProvenanceArena::CheckStats CS = Engine.checkProvenance();
+  EXPECT_GT(CS.Justified, 0u);
+  EXPECT_EQ(CS.Dangling, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Forest SCC summaries (satellite: one SCC computation for exports and
+// scheduler)
+//===----------------------------------------------------------------------===//
+
+TEST(ForestSccTest, SummariesTagExports) {
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  ASSERT_TRUE(bool(DB.consult(":- table p/1.\n"
+                              ":- table q/1.\n"
+                              "p(X) :- q(X).\n"
+                              "q(X) :- p(X).\n"
+                              "q(1).\n")));
+  Solver Engine(DB);
+  auto Goal = Parser::parseTerm(Symbols, Engine.store(), "p(X)");
+  ASSERT_TRUE(bool(Goal));
+  Engine.solve(*Goal, nullptr);
+
+  ForestGraph G = Engine.exportForest();
+  std::vector<SccSummary> Sccs = computeSccSummaries(G);
+  ASSERT_FALSE(Sccs.empty());
+  // p and q are mutually recursive: one SCC holds both.
+  EXPECT_EQ(Sccs[0].Members.size(), 2u);
+  EXPECT_GT(Sccs[0].CompletionOrder, 0u);
+  EXPECT_FALSE(Sccs[0].Incomplete);
+
+  std::string Json = forestToJson(G);
+  EXPECT_NE(Json.find("\"sccs\""), std::string::npos);
+  EXPECT_NE(Json.find("\"completion_order\""), std::string::npos);
+  std::string Dot = forestToDot(G);
+  EXPECT_NE(Dot.find("// scc "), std::string::npos);
+}
+
+} // namespace

@@ -43,7 +43,9 @@ int usage(const char *Argv0) {
                "  --socket PATH     serve on a Unix socket instead of stdio\n"
                "  --log-level LVL   debug|info|warn|error (info)\n"
                "  --provenance      record justifications (\":why\"-style)\n"
-               "  --sample-hz N     background sampling profiler rate (0)\n",
+               "  --sample-hz N     background sampling profiler rate (0)\n"
+               "  --eval-workers N  intra-query parallel eval workers "
+               "(0 = serial)\n",
                Argv0);
   return 2;
 }
@@ -152,6 +154,8 @@ int main(int argc, char **argv) {
       SO.RecordProvenance = true;
     } else if (A == "--sample-hz" && I + 1 < argc) {
       SO.SampleHz = static_cast<uint32_t>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (A == "--eval-workers" && I + 1 < argc) {
+      SO.EvalWorkers = std::strtoul(argv[++I], nullptr, 10);
     } else {
       return usage(argv[0]);
     }
@@ -163,7 +167,8 @@ int main(int argc, char **argv) {
   Log.info("lpa_serve up",
            {{"transport", SocketPath.empty() ? "stdio" : "socket"},
             {"sample_hz", uint64_t(SO.SampleHz)},
-            {"provenance", SO.RecordProvenance}});
+            {"provenance", SO.RecordProvenance},
+            {"eval_workers", uint64_t(SO.EvalWorkers)}});
 
   int Rc = 0;
   if (SocketPath.empty())
