@@ -10,8 +10,33 @@
 #include "reader/Parser.h"
 #include "term/TermCopy.h"
 #include "term/TermWriter.h"
+#include "term/Variant.h"
+
+#include <cassert>
 
 using namespace lpa;
+
+namespace {
+
+/// Canonical key of a whole clause, with head/body variable sharing intact:
+/// the head and flattened body goals are wrapped in a scratch '$clause'
+/// struct so canonicalKey numbers variables across all of them in one pass
+/// (equal keys <=> the clauses are variants). The wrapper cells are undone
+/// before returning, so this works on the live clause store too.
+std::string clauseVariantKey(TermStore &Store, SymbolId WrapSym, TermRef Head,
+                             std::span<const TermRef> Body) {
+  auto M = Store.mark();
+  std::vector<TermRef> Args;
+  Args.reserve(Body.size() + 1);
+  Args.push_back(Head);
+  Args.insert(Args.end(), Body.begin(), Body.end());
+  TermRef Wrapped = Store.mkStruct(WrapSym, Args);
+  std::string Key = canonicalKey(Store, Wrapped);
+  Store.undoTo(M);
+  return Key;
+}
+
+} // namespace
 
 void lpa::flattenConjunction(const TermStore &Store,
                              const SymbolTable &Symbols, TermRef Body,
@@ -72,6 +97,50 @@ ErrorOr<bool> Database::handleTableSpec(const TermStore &Src, TermRef Spec) {
   return Diagnostic("malformed table declaration");
 }
 
+ErrorOr<bool> Database::checkTableSpec(const TermStore &Src,
+                                       TermRef Spec) const {
+  TermRef D = Src.deref(Spec);
+  while (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Symbols.Cons &&
+         Src.arity(D) == 2) {
+    auto Res = checkTableSpec(Src, Src.arg(D, 0));
+    if (!Res)
+      return Res;
+    D = Src.deref(Src.arg(D, 1));
+  }
+  if (Src.tag(D) == TermTag::Atom && Src.symbol(D) == Symbols.Nil)
+    return true;
+  SymbolId Slash = Symbols.lookup("/");
+  if (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Slash &&
+      Src.arity(D) == 2) {
+    TermRef NameT = Src.deref(Src.arg(D, 0));
+    TermRef ArityT = Src.deref(Src.arg(D, 1));
+    if (Src.tag(NameT) == TermTag::Atom && Src.tag(ArityT) == TermTag::Int)
+      return true;
+  }
+  return Diagnostic("malformed table declaration");
+}
+
+ErrorOr<bool> Database::validateClause(const TermStore &Src,
+                                       TermRef ClauseTerm) const {
+  TermRef D = Src.deref(ClauseTerm);
+  if (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Symbols.Neck &&
+      Src.arity(D) == 1) {
+    TermRef Dir = Src.deref(Src.arg(D, 0));
+    SymbolId Table = Symbols.lookup("table");
+    if (Src.tag(Dir) == TermTag::Struct && Src.symbol(Dir) == Table)
+      return checkTableSpec(Src, Src.arg(Dir, 0));
+    return true; // Unknown directives are ignored at load time too.
+  }
+  TermRef Head = D;
+  if (Src.tag(D) == TermTag::Struct && Src.symbol(D) == Symbols.Neck &&
+      Src.arity(D) == 2)
+    Head = Src.deref(Src.arg(D, 0));
+  TermTag HT = Src.tag(Head);
+  if (HT != TermTag::Atom && HT != TermTag::Struct)
+    return Diagnostic("clause head must be an atom or compound term");
+  return true;
+}
+
 ErrorOr<bool> Database::handleDirective(const TermStore &Src, TermRef Body) {
   TermRef D = Src.deref(Body);
   SymbolId Table = Symbols.intern("table");
@@ -124,6 +193,7 @@ ErrorOr<bool> Database::loadClause(const TermStore &Src, TermRef ClauseTerm) {
   C.FirstArgKey =
       Key.Arity == 0 ? 0 : firstArgKey(ClauseStore, ClauseStore.arg(Head, 0));
   P.Clauses.push_back(std::move(C));
+  noteMutation(Key);
   return true;
 }
 
@@ -138,18 +208,108 @@ ErrorOr<bool> Database::loadProgram(const TermStore &Src,
 }
 
 ErrorOr<bool> Database::consult(std::string_view Text) {
+  // Phase 1: parse the whole text. A syntax error anywhere aborts before
+  // anything is stored.
   TermStore Scratch;
   Parser P(Symbols, Scratch, Text);
+  std::vector<TermRef> Clauses;
   while (true) {
     auto Clause = P.nextClause();
     if (!Clause)
       return Clause.getError();
     if (*Clause == InvalidTerm)
-      return true;
-    auto Res = loadClause(Scratch, *Clause);
+      break;
+    Clauses.push_back(*Clause);
+  }
+  // Phase 2: validate every clause shape without mutating the database.
+  for (TermRef C : Clauses) {
+    auto Res = validateClause(Scratch, C);
     if (!Res)
       return Res;
   }
+  // Phase 3: loading cannot fail now — every loadClause failure mode was
+  // checked in phase 2.
+  for (TermRef C : Clauses) {
+    auto Res = loadClause(Scratch, C);
+    assert(Res && "validated clause failed to load");
+    (void)Res;
+  }
+  return true;
+}
+
+ErrorOr<size_t> Database::retract(std::string_view Text) {
+  TermStore Scratch;
+  Parser P(Symbols, Scratch, Text);
+  auto First = P.nextClause();
+  if (!First)
+    return First.getError();
+  if (*First == InvalidTerm)
+    return Diagnostic("retract: expected a clause");
+  auto Extra = P.nextClause();
+  if (!Extra)
+    return Extra.getError();
+  if (*Extra != InvalidTerm)
+    return Diagnostic("retract: expected exactly one clause");
+
+  TermRef D = Scratch.deref(*First);
+  if (Scratch.tag(D) == TermTag::Struct && Scratch.symbol(D) == Symbols.Neck &&
+      Scratch.arity(D) == 1)
+    return Diagnostic("retract: cannot retract a directive");
+
+  TermRef Head = D;
+  TermRef Body = InvalidTerm;
+  if (Scratch.tag(D) == TermTag::Struct && Scratch.symbol(D) == Symbols.Neck &&
+      Scratch.arity(D) == 2) {
+    Head = Scratch.deref(Scratch.arg(D, 0));
+    Body = Scratch.deref(Scratch.arg(D, 1));
+  }
+  TermTag HT = Scratch.tag(Head);
+  if (HT != TermTag::Atom && HT != TermTag::Struct)
+    return Diagnostic("clause head must be an atom or compound term");
+
+  PredKey Key{Scratch.symbol(Head), Scratch.arity(Head)};
+  auto It = Preds.find(Key);
+  if (It == Preds.end())
+    return size_t(0);
+
+  // Match against stored clauses by whole-clause variant key. The pattern's
+  // body is flattened exactly the way loadClause flattened stored bodies,
+  // so e.g. "p :- q, true, r." retracts a clause loaded from the same text.
+  std::vector<TermRef> Goals;
+  if (Body != InvalidTerm)
+    flattenConjunction(Scratch, Symbols, Body, Goals);
+  SymbolId WrapSym = Symbols.intern("$clause");
+  std::string Pattern = clauseVariantKey(Scratch, WrapSym, Head, Goals);
+
+  Predicate &Pr = It->second;
+  for (size_t I = 0; I < Pr.Clauses.size(); ++I) {
+    const Clause &C = Pr.Clauses[I];
+    if (clauseVariantKey(ClauseStore, WrapSym, C.Head, C.Body) == Pattern) {
+      Pr.Clauses.erase(Pr.Clauses.begin() + I);
+      noteMutation(Key);
+      return size_t(1);
+    }
+  }
+  return size_t(0);
+}
+
+size_t Database::retractAll(PredKey Key) {
+  auto It = Preds.find(Key);
+  if (It == Preds.end())
+    return 0;
+  size_t N = It->second.Clauses.size();
+  It->second.Clauses.clear();
+  if (N)
+    noteMutation(Key);
+  return N;
+}
+
+std::vector<PredKey> Database::predsChangedSince(uint64_t Rev) const {
+  std::vector<PredKey> Changed;
+  for (const auto &[Key, R] : PredRevisions)
+    if (R > Rev)
+      Changed.push_back(Key);
+  return Changed;
 }
 
 void Database::setTabled(SymbolId Sym, uint32_t Arity) {

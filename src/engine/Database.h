@@ -76,8 +76,32 @@ public:
   ErrorOr<bool> loadProgram(const TermStore &Src,
                             const std::vector<TermRef> &Clauses);
 
-  /// Parses and loads Prolog source text.
+  /// Parses and loads Prolog source text. All-or-nothing: the whole text is
+  /// parsed and validated before the first clause is stored, so a syntax or
+  /// shape error mid-program leaves the database exactly as it was (a warm
+  /// session must never end up with a half-loaded clause prefix).
   ErrorOr<bool> consult(std::string_view Text);
+
+  /// Parses \p Text as exactly one clause (fact or rule; directives are
+  /// rejected) and removes the first stored clause that is a variant of it
+  /// (identical up to variable renaming, with head/body variable sharing
+  /// respected). \returns the number of clauses removed (0 or 1).
+  ErrorOr<size_t> retract(std::string_view Text);
+
+  /// Removes every clause of \p Key. \returns the number removed. The
+  /// predicate stays defined (with zero clauses), so calls to it fail
+  /// rather than count as undefined-predicate misses.
+  size_t retractAll(PredKey Key);
+
+  /// Monotone revision clock. Every clause assert/retract bumps the global
+  /// counter and stamps the affected predicate with it; completed tables
+  /// record the revision they were derived under, and the incremental
+  /// invalidation sweep asks which predicates changed since.
+  uint64_t globalRevision() const { return RevCounter; }
+
+  /// \returns every predicate whose clauses changed strictly after
+  /// revision \p Rev (in no particular order).
+  std::vector<PredKey> predsChangedSince(uint64_t Rev) const;
 
   /// Marks \p Sym / \p Arity as tabled.
   void setTabled(SymbolId Sym, uint32_t Arity);
@@ -130,6 +154,13 @@ public:
 private:
   ErrorOr<bool> handleDirective(const TermStore &Src, TermRef Body);
   ErrorOr<bool> handleTableSpec(const TermStore &Src, TermRef Spec);
+  /// Non-mutating counterparts of loadClause's failure checks, used by the
+  /// two-phase consult: everything that can make loadClause fail must be
+  /// caught here, before any clause is stored.
+  ErrorOr<bool> validateClause(const TermStore &Src, TermRef ClauseTerm) const;
+  ErrorOr<bool> checkTableSpec(const TermStore &Src, TermRef Spec) const;
+  /// Stamps \p Key with a fresh global revision.
+  void noteMutation(PredKey Key) { PredRevisions[Key] = ++RevCounter; }
 
   SymbolTable &Symbols;
   TermStore ClauseStore;
@@ -137,6 +168,10 @@ private:
   std::vector<PredKey> PredOrder;
   /// Tabling declarations may precede clauses, so they are kept separately.
   std::unordered_map<PredKey, bool, PredKeyHash> TabledDecls;
+  /// Revision clock (see globalRevision()). Tabling declarations do not
+  /// bump it: they change evaluation strategy, not the program's meaning.
+  uint64_t RevCounter = 0;
+  std::unordered_map<PredKey, uint64_t, PredKeyHash> PredRevisions;
   /// Mutable: lookup() is const but still counted (atomically — workers
   /// share the database).
   mutable std::atomic<uint64_t> LkLookups{0};

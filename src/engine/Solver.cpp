@@ -301,6 +301,9 @@ size_t Solver::tableSpaceBytes() const {
     Bytes += Prov->memoryBytes();
   Bytes += DepEdges.capacity() * sizeof(ForestEdge);
   Bytes += DepEdgeSet.size() * sizeof(uint64_t) * 2;
+  // The live dependency index persists across queries like the tables it
+  // guards, so its footprint is table space too.
+  Bytes += DepIndex.memoryBytes();
   // Every full walk refreshes the peak for free; the completion path also
   // calls this right before releasing an outermost SCC's frontiers, so the
   // pre-free maximum is captured (see ensureSubgoal).
@@ -371,6 +374,12 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("warm_table_hits", Stats.WarmTableHits);
   M.setCounter("cold_table_misses", Stats.ColdTableMisses);
   M.setCounter("deadline_hits", Stats.DeadlineHits);
+  M.setCounter("tables_invalidated", Stats.TablesInvalidated);
+  M.setCounter("tables_survived", Stats.TablesSurvived);
+  M.setCounter("tables_revived", Stats.TablesRevived);
+  M.setCounter("invalidation_bytes_freed", Stats.InvalidationBytesFreed);
+  M.setCounter("dep_index_edges", DepIndex.edgeCount());
+  M.setCounter("dep_index_bytes", DepIndex.memoryBytes());
   M.setCounter("subgoal_trie_nodes", SubgoalTrie.nodeCount());
   M.setCounter("subgoal_trie_bytes", SubgoalTrie.memoryBytes());
   // Intra-query parallelism: lead-side import counters, the aggregate of
@@ -428,8 +437,110 @@ void Solver::clearTables() {
     Prov->clear();
   DepEdges.clear();
   DepEdgeSet.clear();
+  DepIndex.clear();
+  StaticPredCache.clear();
   SccCounter = 0;
   CompletionCounter = 0;
+}
+
+Solver::InvalidationResult
+Solver::invalidateDependents(std::span<const PredKey> Changed) {
+  assert(ProducerStack.empty() && CompletionStack.empty() &&
+         "cannot invalidate tables during evaluation");
+  InvalidationResult R;
+  if (Changed.empty())
+    return R;
+
+  std::vector<uint64_t> Packed;
+  Packed.reserve(Changed.size());
+  for (const PredKey &K : Changed)
+    Packed.push_back(DependencyIndex::packPred(K.Sym, K.Arity));
+  std::unordered_set<uint64_t> Affected = DepIndex.dependentsOf(Packed);
+  R.PredsAffected = Affected.size();
+
+  for (Subgoal *SG : SubgoalOrder) {
+    uint64_t PK = DependencyIndex::packPred(SG->Pred.Sym, SG->Pred.Arity);
+    if (!Affected.count(PK)) {
+      if (SG->Complete && !SG->Invalidated)
+        ++R.TablesSurvived;
+      continue;
+    }
+    if (SG->Invalidated)
+      continue; // Tombstoned by an earlier sweep; nothing left to free.
+
+    // Tombstone: release the answer vectors along with everything the SCC
+    // frontier-release discipline frees at completion. Term cells stay in
+    // the table arena until clearTables() — the arena has no per-term
+    // free — which tableSpaceBytes() keeps counting honestly.
+    size_t Freed = SG->Answers.capacity() * sizeof(TermRef) +
+                   SG->AnswerBindings.capacity() * sizeof(TermRef) +
+                   SG->AnswerSeq.capacity() * sizeof(uint64_t);
+    for (const auto &K : SG->AnswerKeys)
+      Freed += K.capacity() + sizeof(void *) * 2;
+    if (SG->AnswerTrie)
+      Freed += sizeof(TermTrie) + SG->AnswerTrie->memoryBytes();
+    if (SG->SharedAnswerTrie)
+      Freed +=
+          sizeof(ConcurrentTermTrie) + SG->SharedAnswerTrie->memoryBytes();
+    for (const auto &CF : SG->Frontiers)
+      if (CF)
+        Freed += CF->memoryBytes();
+    SG->Answers.clear();
+    SG->Answers.shrink_to_fit();
+    SG->AnswerBindings.clear();
+    SG->AnswerBindings.shrink_to_fit();
+    SG->AnswerSeq.clear();
+    SG->AnswerSeq.shrink_to_fit();
+    SG->AnswerKeys.clear();
+    SG->AnswerTrie.reset();
+    SG->SharedAnswerTrie.reset();
+    SG->Frontiers.clear();
+    SG->Frontiers.shrink_to_fit();
+    SG->Consumers.clear();
+    SG->Complete = false;
+    SG->Incomplete = false;
+    SG->Invalidated = true;
+    SG->SccId = 0;
+    SG->CompletionSeq = 0;
+    SG->CompletedInQuery = 0;
+    SG->DerivedAtRevision = 0;
+    SG->Dfn = SG->MinLink = 0;
+    SG->OnStack = false;
+    SG->Dirty = false;
+    ++R.TablesInvalidated;
+    R.BytesFreed += Freed;
+  }
+
+  // The affected predicates' consumer edges are dropped — re-derivation
+  // re-records exactly the dependencies the new program induces (keeping
+  // them would pin dropped dependencies forever).
+  DepIndex.dropConsumers(Affected);
+  // isStaticPred caches reachability over the old program; any mutation
+  // can flip it (an asserted clause may reach a tabled predicate).
+  StaticPredCache.clear();
+  if (R.TablesInvalidated) {
+    // Provenance and forest edges are per-derivation-era: premise indices
+    // into tombstoned answer tables dangle, so the arena restarts with the
+    // re-derivation. Surviving tables lose explainability but never
+    // correctness (checkProvenance stays clean either way).
+    if (Prov)
+      Prov->clear();
+    DepEdges.clear();
+    DepEdgeSet.clear();
+  }
+  // Retire matching published tables when a shared space is attached so
+  // no late reader imports a stale table (lead solvers own their space
+  // per-phase and detach before invalidation can run; this is the worker/
+  // external-space path).
+  if (Shared)
+    for (uint64_t PK : Affected)
+      Shared->invalidatePred(static_cast<SymbolId>(PK >> 32),
+                             static_cast<uint32_t>(PK));
+
+  Stats.TablesInvalidated += R.TablesInvalidated;
+  Stats.TablesSurvived += R.TablesSurvived;
+  Stats.InvalidationBytesFreed += R.BytesFreed;
+  return R;
 }
 
 //===----------------------------------------------------------------------===//
@@ -464,6 +575,10 @@ void accumulateStats(EvalStats &Into, const EvalStats &S) {
   Into.SharedDupEvals += S.SharedDupEvals;
   Into.SharedTablesImported += S.SharedTablesImported;
   Into.SharedAnswersImported += S.SharedAnswersImported;
+  Into.TablesInvalidated += S.TablesInvalidated;
+  Into.TablesSurvived += S.TablesSurvived;
+  Into.TablesRevived += S.TablesRevived;
+  Into.InvalidationBytesFreed += S.InvalidationBytesFreed;
 }
 
 void accumulateShared(SharedTableSpace::Stats &Into,
@@ -597,8 +712,13 @@ void Solver::runParallelPrime(const std::vector<TermRef> &Seeds) {
   // import every published table in a deterministic order (predicate,
   // rendered call) so lead-side subgoal creation order never depends on
   // worker scheduling.
-  for (const auto &WS : Workers)
+  for (const auto &WS : Workers) {
     accumulateStats(WorkerStats, WS->Stats);
+    // Workers ran the producers, so they — not the lead, which imports the
+    // finished tables — observed the dependency edges. Fold them into the
+    // lead's live index or imported tables would be un-invalidatable.
+    DepIndex.merge(WS->DepIndex);
+  }
   accumulateShared(SharedStats, Space.stats());
 
   std::vector<
@@ -681,6 +801,7 @@ void Solver::fillSubgoalFromPublished(
   SG.SccId = ++SccCounter;
   SG.CompletionSeq = ++CompletionCounter;
   SG.CompletedInQuery = CurQueryId;
+  SG.DerivedAtRevision = DB.globalRevision();
 }
 
 void Solver::importPublishedTable(
@@ -691,9 +812,17 @@ void Solver::importPublishedTable(
       Heap, Call, static_cast<uint32_t>(SubgoalOwned.size()));
   Stats.TrieNodesCreated += R.NodesCreated;
   if (!R.Inserted) {
-    // The lead already holds this variant (warm from an earlier query);
-    // its table wins.
     ++Stats.TrieHits;
+    Subgoal &Existing = *SubgoalOwned[R.Value];
+    if (Existing.Invalidated) {
+      // A tombstoned lead variant takes the worker's table (derived
+      // against the mutated program) instead of re-running the producer.
+      Existing.Invalidated = false;
+      ++Stats.TablesRevived;
+      ++Stats.SharedTablesImported;
+      fillSubgoalFromPublished(Existing, PT);
+    }
+    // Otherwise the lead already holds this variant warm; its table wins.
     Heap.undoTo(M);
     return;
   }
@@ -783,10 +912,19 @@ Solver::Signal Solver::solveCall(TermRef Goal, const GoalNode *Rest,
   }
 
   const Predicate *P = DB.lookup({Sym, Arity});
-  if (!P)
-    return Signal::exhausted(); // Undefined predicate: fail.
+  if (!P) {
+    // Undefined predicate: fail — but first record the dependency. The
+    // enclosing producer's table saw this call fail; asserting the
+    // predicate later must invalidate that table.
+    recordPredDependency({Sym, Arity});
+    return Signal::exhausted();
+  }
   if (P->Tabled)
     return solveTabled(*P, Goal, Rest, Depth, CutLevel, OnSolution);
+  // Nontabled: the callee's clauses fold straight into the producer's
+  // derivation, so the producer depends on them (tabled callees record
+  // this at the addDepEdge chokepoint instead).
+  recordPredDependency({Sym, Arity});
   return solveNontabled(*P, Goal, Rest, Depth, OnSolution);
 }
 
@@ -973,9 +1111,29 @@ void Solver::recordJustification(Subgoal &SG, size_t AnswerIdx) {
 }
 
 void Solver::addDepEdge(uint32_t Consumer, uint32_t Producer) {
+  // Shared recording point: the same producer/consumer edge feeds both the
+  // exported forest and the live dependency index. The index's pred-level
+  // projection is maintained unconditionally — invalidation must work
+  // without provenance — while the ordinal-level forest edge list stays
+  // provenance-gated (its premise indices are meaningless without the
+  // arena).
+  const PredKey &CP = SubgoalOrder[Consumer]->Pred;
+  const PredKey &PP = SubgoalOrder[Producer]->Pred;
+  DepIndex.addEdge(DependencyIndex::packPred(CP.Sym, CP.Arity),
+                   DependencyIndex::packPred(PP.Sym, PP.Arity));
+  if (!Prov)
+    return;
   uint64_t Packed = (uint64_t(Consumer) << 32) | Producer;
   if (DepEdgeSet.insert(Packed).second)
     DepEdges.push_back({Consumer, Producer});
+}
+
+void Solver::recordPredDependency(PredKey Callee) {
+  if (ProducerStack.empty())
+    return;
+  const PredKey &P = ProducerStack.back()->Pred;
+  DepIndex.addEdge(DependencyIndex::packPred(P.Sym, P.Arity),
+                   DependencyIndex::packPred(Callee.Sym, Callee.Arity));
 }
 
 bool Solver::clauseIsPure(const Clause &C) const {
@@ -1066,10 +1224,13 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
   }
 
   const Predicate *P = DB.lookup(Key);
-  if (!P)
+  if (!P) {
+    recordPredDependency(Key); // Undefined callee: see solveCall.
     return;
+  }
 
   if (!P->Tabled) {
+    recordPredDependency(Key);
     if (MinSeq > 0 && isStaticPred(Key))
       return; // Static facts cannot yield anything new.
     GoalNode Node{G, nullptr};
@@ -1110,7 +1271,7 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
   // from a possibly-partial premise set.
   if (SG.Incomplete && !ProducerStack.empty())
     ProducerStack.back()->Incomplete = true;
-  if (Prov && !ProducerStack.empty())
+  if (!ProducerStack.empty())
     addDepEdge(ProducerStack.back()->Ordinal, SG.Ordinal);
   // AnswerSeq is strictly increasing: jump straight to the new slice.
   size_t Start =
@@ -1544,14 +1705,28 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
     Stats.TrieNodesCreated += R.NodesCreated;
     if (!R.Inserted) {
       ++Stats.TrieHits;
-      return *SubgoalOwned[R.Value];
+      Subgoal &Hit = *SubgoalOwned[R.Value];
+      if (Hit.Invalidated) {
+        // The trie has no delete, so a tombstoned variant is revived in
+        // place: same Subgoal record, same ordinal, fresh producer run
+        // against the mutated program.
+        reviveSubgoal(Hit);
+        driveSubgoal(Hit);
+      }
+      return Hit;
     }
     ++Stats.TrieMisses;
   } else {
     CallKey = canonicalKey(Heap, Goal);
     auto It = SubgoalByKey.find(CallKey);
-    if (It != SubgoalByKey.end())
-      return *It->second;
+    if (It != SubgoalByKey.end()) {
+      Subgoal &Hit = *It->second;
+      if (Hit.Invalidated) {
+        reviveSubgoal(Hit);
+        driveSubgoal(Hit);
+      }
+      return Hit;
+    }
   }
 
   ++Stats.SubgoalsCreated;
@@ -1614,21 +1789,48 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
       ++Stats.SharedDupEvals;
     }
   }
-  SG.Dfn = SG.MinLink = ++DfnCounter;
-  SG.OnStack = true;
-  SG.StackPos = CompletionStack.size();
-  CompletionStack.push_back(&SG);
   SubgoalOwned.push_back(std::move(Owned));
   if (!Opts.UseTrieTables)
     SubgoalByKey.emplace(SG.Key, &SG);
   SubgoalOrder.push_back(&SG);
+  driveSubgoal(SG);
+  return SG;
+}
+
+void Solver::reviveSubgoal(Subgoal &SG) {
+  SG.Invalidated = false;
+  if (SG.Factored) {
+    // The tombstone released the answer dedup structure; re-derivation
+    // needs a fresh one of whichever kind this solver uses.
+    if (Shared)
+      SG.SharedAnswerTrie = std::make_unique<ConcurrentTermTrie>();
+    else
+      SG.AnswerTrie = std::make_unique<TermTrie>();
+  }
+  // A revival is a cold re-derivation. The caller-side ordinal check in
+  // solveTabled/solveSemiGoal cannot see it (the ordinal is old), so the
+  // cold miss is counted here; the two paths are disjoint by construction.
+  ++Stats.TablesRevived;
+  ++Stats.ColdTableMisses;
+  if (Metrics)
+    ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).ColdMisses;
+  if (Trace)
+    Trace->emit(TraceEventKind::SubgoalNew, SG.Pred.Sym, SG.Pred.Arity,
+                SG.Ordinal + 1);
+}
+
+void Solver::driveSubgoal(Subgoal &SG) {
+  SG.Dfn = SG.MinLink = ++DfnCounter;
+  SG.OnStack = true;
+  SG.StackPos = CompletionStack.size();
+  CompletionStack.push_back(&SG);
 
   // Initial producer run. Dependencies on incomplete subgoals found during
   // the run lower SG.MinLink (see solveTabled).
   SG.Dirty = false;
   ProducerStack.push_back(&SG);
   if (Cursor)
-    Cursor->pushFrame(Key.Sym, Key.Arity);
+    Cursor->pushFrame(SG.Pred.Sym, SG.Pred.Arity);
   runProducer(SG);
   if (Cursor)
     Cursor->popFrame();
@@ -1680,6 +1882,7 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
       Member->SccId = SccCounter;
       Member->CompletionSeq = ++CompletionCounter;
       Member->CompletedInQuery = CurQueryId;
+      Member->DerivedAtRevision = DB.globalRevision();
       if (SCCIncomplete) {
         Member->Incomplete = true;
         ++Stats.IncompleteTables;
@@ -1711,7 +1914,6 @@ Subgoal &Solver::ensureSubgoal(TermRef Goal, PredKey Key,
       Cursor->setPhase(ProducerStack.empty() ? EvalPhase::Idle
                                              : EvalPhase::Resolve);
   }
-  return SG;
 }
 
 Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
@@ -1752,7 +1954,7 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
   // from a possibly-partial premise set.
   if (SG.Incomplete && !ProducerStack.empty())
     ProducerStack.back()->Incomplete = true;
-  if (Prov && !ProducerStack.empty())
+  if (!ProducerStack.empty())
     addDepEdge(ProducerStack.back()->Ordinal, SG.Ordinal);
 
   // Answer-return phase: this consumer now replays the table into its

@@ -37,6 +37,7 @@
 #include "obs/Trace.h"
 #include "par/ThreadPool.h"
 #include "table/ConcurrentTrie.h"
+#include "table/DependencyIndex.h"
 #include "table/SharedTables.h"
 #include "table/TermTrie.h"
 #include "term/TermStore.h"
@@ -135,6 +136,24 @@ struct EvalStats {
   uint64_t SharedTablesImported = 0;
   /// Answers copied into the lead's tables by those imports.
   uint64_t SharedAnswersImported = 0;
+  /// @}
+  /// \name Incremental invalidation (invalidateDependents).
+  /// @{
+  /// Completed tables tombstoned because a predicate in their dependency
+  /// cone was asserted into or retracted from.
+  uint64_t TablesInvalidated = 0;
+  /// Completed tables that survived an invalidation sweep warm (outside
+  /// every changed cone). Counted per sweep, so one long-lived table can
+  /// contribute once per consult/retract.
+  uint64_t TablesSurvived = 0;
+  /// Invalidated subgoal variants re-driven to completion on their next
+  /// call (the in-place revival path of ensureSubgoal). Every revival is
+  /// also a ColdTableMiss — the table had to be re-derived.
+  uint64_t TablesRevived = 0;
+  /// Answer/index storage released by invalidation sweeps (the same
+  /// accounting discipline as FrontierBytesFreed; term cells stay in the
+  /// table arena until clearTables()).
+  uint64_t InvalidationBytesFreed = 0;
   /// @}
 };
 
@@ -248,6 +267,16 @@ struct Subgoal {
   /// completion). A later query calling the variant is a *warm* hit —
   /// the cross-query reuse EvalStats::WarmTableHits counts.
   uint64_t CompletedInQuery = 0;
+  /// Database revision (Database::globalRevision) this table's answers
+  /// were derived under, stamped at completion. Diagnostic complement of
+  /// the dependency index: a table is stale exactly when a predicate in
+  /// its cone changed after this revision.
+  uint64_t DerivedAtRevision = 0;
+  /// Tombstone: a dependency-cone sweep (Solver::invalidateDependents)
+  /// found this completed table potentially stale and released its
+  /// answers. The variant stays in the subgoal index (tries have no
+  /// delete); the next call revives it in place and re-runs the producer.
+  bool Invalidated = false;
 
   // Completion (approximate Tarjan SCC) machinery.
   uint64_t Dfn = 0;
@@ -447,6 +476,35 @@ public:
 
   /// @}
 
+  /// \name Incremental invalidation (XSB-style incremental tabling).
+  /// @{
+
+  /// Outcome of one invalidation sweep.
+  struct InvalidationResult {
+    uint64_t TablesInvalidated = 0; ///< Completed tables tombstoned.
+    uint64_t TablesSurvived = 0;    ///< Completed tables left warm.
+    uint64_t BytesFreed = 0;        ///< Storage released by the sweep.
+    uint64_t PredsAffected = 0;     ///< Predicates in the union of cones.
+  };
+
+  /// Reverse-reachability sweep over the live dependency index: every
+  /// table whose predicate transitively consumed any predicate in
+  /// \p Changed is tombstoned (answers and index storage released,
+  /// Subgoal::Invalidated set, revived in place on the next call);
+  /// independent completed tables stay warm and are counted as survivors.
+  /// Must be called *between* queries — never while a solve() or parallel
+  /// phase is in flight. Also retires matching published tables if a
+  /// SharedTableSpace is attached for the current phase, clears the
+  /// static-predicate cache (a static pred may have gained a tabled
+  /// dependency), and drops the affected predicates' recorded dependency
+  /// edges so re-derivation re-records them against the new program.
+  InvalidationResult invalidateDependents(std::span<const PredKey> Changed);
+
+  /// The live predicate-level dependency index (see DependencyIndex).
+  const DependencyIndex &dependencyIndex() const { return DepIndex; }
+
+  /// @}
+
   /// \name Answer aggregation (Section 6.2).
   ///
   /// A predicate with a registered join keeps ONE answer per subgoal: the
@@ -482,7 +540,12 @@ public:
   /// SubgoalsCreated/AnswersRecorded (the answers replay from the tables)
   /// while TabledCalls still counts the table hits. For a from-scratch
   /// measurement call clearTables() as well. Attached observability
-  /// (tracer/metrics) is unaffected.
+  /// (tracer/metrics) is unaffected. The invalidation counters
+  /// (TablesInvalidated/TablesSurvived/TablesRevived) reset with the rest
+  /// — they are per-window like every EvalStats field; tables already
+  /// tombstoned stay tombstoned (resetStats never revives or drops state),
+  /// and the service layer keeps its own cumulative invalidation totals in
+  /// ServiceStats.
   void resetStats() { Stats = EvalStats(); }
 
   /// \name Observability (src/obs): tracing and per-predicate metrics.
@@ -648,6 +711,24 @@ private:
   /// a free byproduct of the table walk.
   Subgoal &ensureSubgoal(TermRef Goal, PredKey Key,
                          std::vector<TermRef> *GoalVars = nullptr);
+
+  /// Pushes \p SG onto the completion machinery, runs its producer, and —
+  /// when it turns out to be an SCC root — drives the SCC to fixpoint and
+  /// completes every member. Shared by the fresh-subgoal path and the
+  /// invalidated-table revival path of ensureSubgoal.
+  void driveSubgoal(Subgoal &SG);
+
+  /// In-place revival of an invalidated subgoal variant: clears the
+  /// tombstone, reallocates the answer dedup structure the representation
+  /// needs, and counts the re-derivation (cold miss + TablesRevived).
+  /// driveSubgoal must follow.
+  void reviveSubgoal(Subgoal &SG);
+
+  /// Feeds the live dependency index with "the innermost tabled producer
+  /// depends on \p Callee". No-op outside a producer run. Covers tabled,
+  /// nontabled and *undefined* callees — asserting a predicate that calls
+  /// failed against must still invalidate the tables that saw it fail.
+  void recordPredDependency(PredKey Callee);
 
   /// Records \p Instance (resolved call in Heap) as an answer of \p SG.
   bool recordAnswer(Subgoal &SG, TermRef Instance);
@@ -823,6 +904,12 @@ private:
   uint32_t CompletionCounter = 0;
 
   /// @}
+
+  /// Live predicate-level dependency graph feeding invalidateDependents.
+  /// Fed from the same call sites that record forest edges (addDepEdge)
+  /// plus the nontabled/undefined-callee hooks — maintained
+  /// unconditionally, unlike DepEdges which need RecordProvenance.
+  DependencyIndex DepIndex;
 
   /// \name Intra-query parallelism state.
   /// @{

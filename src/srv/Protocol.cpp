@@ -46,7 +46,27 @@ std::string lpa::handleRequestLine(AnalysisSession &Session,
     JsonWriter W(Out);
     W.beginObject();
     W.member("ok", true);
-    W.member("clauses", static_cast<uint64_t>(*R));
+    W.member("clauses", static_cast<uint64_t>(R->Loaded));
+    W.member("tables_invalidated", R->TablesInvalidated);
+    W.member("tables_survived", R->TablesSurvived);
+    W.endObject();
+    return Out;
+  }
+
+  if (Op == "retract") {
+    const JsonValue *ClauseText = Doc->find("clause");
+    if (!ClauseText || !ClauseText->isString())
+      return errorResponse("retract needs a string \"clause\"");
+    auto R = Session.retract(ClauseText->asString());
+    if (!R)
+      return errorResponse(R.getError().str());
+    std::string Out;
+    JsonWriter W(Out);
+    W.beginObject();
+    W.member("ok", true);
+    W.member("retracted", static_cast<uint64_t>(R->Loaded));
+    W.member("tables_invalidated", R->TablesInvalidated);
+    W.member("tables_survived", R->TablesSurvived);
     W.endObject();
     return Out;
   }

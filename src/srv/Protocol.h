@@ -10,7 +10,11 @@
 /// object per line out, over stdin/stdout or a Unix socket. Verbs:
 ///
 ///   {"op":"consult","program":"edge(a,b). ..."}
-///       -> {"ok":true,"clauses":N}
+///       -> {"ok":true,"clauses":N,
+///           "tables_invalidated":K,"tables_survived":M}
+///   {"op":"retract","clause":"edge(a,b)."}
+///       -> {"ok":true,"retracted":N,
+///           "tables_invalidated":K,"tables_survived":M}
 ///   {"op":"query","goal":"path(a,X)","max_solutions":10,"deadline_ms":0}
 ///       -> {"ok":true,"id":Q,"total":N,"solutions":[...],"wall_ms":..,
 ///           "warm_hits":..,"cold_misses":..,"truncated":false}

@@ -117,6 +117,9 @@ void ServiceStats::writeJsonMembers(JsonWriter &W) const {
   W.member("warm_hits", Warm);
   W.member("cold_misses", Cold);
   W.member("warm_hit_rate", warmHitRate());
+  W.member("invalidations", Invalidations);
+  W.member("tables_invalidated", TablesInvalidated);
+  W.member("tables_survived", TablesSurvived);
 
   W.key("latency");
   W.beginObject();

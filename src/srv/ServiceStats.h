@@ -73,9 +73,21 @@ public:
   /// Appends one gauge point (oldest evicted when the ring is full).
   void recordGauges(const GaugePoint &G);
 
+  /// Folds one incremental-invalidation sweep (a consult or retract into
+  /// a warm session) into the aggregate: \p Invalidated tables were in
+  /// the changed cone and dropped, \p Survived stayed warm.
+  void recordInvalidation(uint64_t Invalidated, uint64_t Survived) {
+    Invalidations += 1;
+    TablesInvalidated += Invalidated;
+    TablesSurvived += Survived;
+  }
+
   uint64_t queriesServed() const { return Served; }
   uint64_t warmHits() const { return Warm; }
   uint64_t coldMisses() const { return Cold; }
+  uint64_t invalidations() const { return Invalidations; }
+  uint64_t tablesInvalidated() const { return TablesInvalidated; }
+  uint64_t tablesSurvived() const { return TablesSurvived; }
   /// Warm hits over all warm-or-cold lookups; 0 before any tabled call.
   double warmHitRate() const;
   uint64_t truncatedQueries() const { return Truncated; }
@@ -100,7 +112,8 @@ public:
   /// Emits the telemetry as members of the *currently open* JSON object,
   /// so the caller can compose it with engine metrics and profile blocks:
   ///   uptime_ms, queries_served, truncated_queries, warm_hits,
-  ///   cold_misses, warm_hit_rate, latency{count,mean_us,min_us,max_us,
+  ///   cold_misses, warm_hit_rate, invalidations, tables_invalidated,
+  ///   tables_survived, latency{count,mean_us,min_us,max_us,
   ///   p50_us,p95_us,p99_us}, window{count,p50_us,p95_us,p99_us},
   ///   recent_queries[], gauges[].
   /// The schema is stable: fields are only ever added, never renamed.
@@ -109,7 +122,10 @@ public:
   /// Human-readable latency/em-reuse report for the REPL's `:queries`.
   std::string renderReport() const;
 
-  /// Drops all telemetry and restarts the uptime clock.
+  /// Drops all telemetry and restarts the uptime clock. Counters are
+  /// per-window by contract — the invalidation totals reset with the
+  /// rest; only engine *state* (tables, tombstones, dependency edges)
+  /// survives a reset, and that lives in the Solver, not here.
   void reset();
 
 private:
@@ -118,6 +134,9 @@ private:
   uint64_t Warm = 0;
   uint64_t Cold = 0;
   uint64_t Truncated = 0;
+  uint64_t Invalidations = 0;     ///< Sweeps (consults/retracts that swept).
+  uint64_t TablesInvalidated = 0; ///< Tables dropped across all sweeps.
+  uint64_t TablesSurvived = 0;    ///< Tables kept warm across all sweeps.
   Histogram LatencyUs;
   /// Rolling latency window (ring; WindowHead = next slot to overwrite).
   std::vector<uint64_t> Window;

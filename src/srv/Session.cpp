@@ -49,15 +49,52 @@ AnalysisSession::~AnalysisSession() {
   Engine.setObservability(nullptr, nullptr);
 }
 
-ErrorOr<size_t> AnalysisSession::consult(std::string_view ProgramText) {
+AnalysisSession::ConsultResult
+AnalysisSession::sweepInvalidation(uint64_t FromRev, size_t Loaded) {
+  ConsultResult Out;
+  Out.Loaded = Loaded;
+  std::vector<PredKey> Changed = DB.predsChangedSince(FromRev);
+  if (!Changed.empty()) {
+    Solver::InvalidationResult R = Engine.invalidateDependents(Changed);
+    Out.TablesInvalidated = R.TablesInvalidated;
+    Out.TablesSurvived = R.TablesSurvived;
+    // A sweep over an engine with no completed tables (the common case:
+    // the initial consult) is not an invalidation event.
+    if (R.TablesInvalidated || R.TablesSurvived)
+      Stats.recordInvalidation(R.TablesInvalidated, R.TablesSurvived);
+  }
+  return Out;
+}
+
+ErrorOr<AnalysisSession::ConsultResult>
+AnalysisSession::consult(std::string_view ProgramText) {
   size_t Before = DB.numClauses();
+  // Snapshot the revision clock first: everything the consult stamps
+  // after this point is in the changed set the sweep walks.
+  uint64_t Rev = DB.globalRevision();
   auto R = DB.consult(ProgramText);
   if (!R)
     return R.getError();
-  size_t Loaded = DB.numClauses() - Before;
+  ConsultResult Out = sweepInvalidation(Rev, DB.numClauses() - Before);
   if (Log)
-    Log->info("consult", {{"clauses", uint64_t(Loaded)}});
-  return Loaded;
+    Log->info("consult", {{"clauses", uint64_t(Out.Loaded)},
+                          {"tables_invalidated", Out.TablesInvalidated},
+                          {"tables_survived", Out.TablesSurvived}});
+  return Out;
+}
+
+ErrorOr<AnalysisSession::ConsultResult>
+AnalysisSession::retract(std::string_view ClauseText) {
+  uint64_t Rev = DB.globalRevision();
+  auto R = DB.retract(ClauseText);
+  if (!R)
+    return R.getError();
+  ConsultResult Out = sweepInvalidation(Rev, *R);
+  if (Log)
+    Log->info("retract", {{"clauses", uint64_t(Out.Loaded)},
+                          {"tables_invalidated", Out.TablesInvalidated},
+                          {"tables_survived", Out.TablesSurvived}});
+  return Out;
 }
 
 ErrorOr<AnalysisSession::QueryResult>

@@ -81,9 +81,25 @@ public:
   AnalysisSession(const AnalysisSession &) = delete;
   AnalysisSession &operator=(const AnalysisSession &) = delete;
 
+  /// What one program mutation (consult/retract) did to the warm tables.
+  struct ConsultResult {
+    size_t Loaded = 0;  ///< Clauses added (consult) or removed (retract).
+    uint64_t TablesInvalidated = 0; ///< Warm tables in the changed cone.
+    uint64_t TablesSurvived = 0;    ///< Warm tables outside it, kept.
+  };
+
   /// Loads clauses/directives into the database (the dynamic-code path
-  /// both front ends use). \returns the number of clauses loaded.
-  ErrorOr<size_t> consult(std::string_view ProgramText);
+  /// both front ends use), then invalidates exactly the completed tables
+  /// whose predicates transitively depend on what changed — a warm
+  /// session never serves answers derived under the old program, and
+  /// never re-derives tables the change cannot reach.
+  ErrorOr<ConsultResult> consult(std::string_view ProgramText);
+
+  /// Parses \p ClauseText as one clause and retracts the first stored
+  /// variant of it (Database::retract), then invalidates the changed
+  /// cone exactly like consult(). Loaded is the number of clauses
+  /// removed (0 when nothing matched — no invalidation happens then).
+  ErrorOr<ConsultResult> retract(std::string_view ClauseText);
 
   /// Parses and proves \p GoalText under a fresh QueryContext: bumps the
   /// query id, arms the deadline (0 = none), collects up to
@@ -112,9 +128,13 @@ public:
   /// Pauses and resumes the sampler like statsJson().
   std::string foldedStacks();
 
-  /// Zeroes engine counters AND service telemetry. Tables are kept — the
-  /// point of a long-lived session — so post-reset queries against loaded
-  /// tables report pure warm traffic.
+  /// Zeroes engine counters AND service telemetry — including the
+  /// cumulative invalidation counters (tables_invalidated /
+  /// tables_survived): counters are per-window, always. What survives a
+  /// reset is *state*, never counts: completed tables stay warm,
+  /// tombstoned tables stay tombstoned, and the dependency index keeps
+  /// its edges, so post-reset queries report pure warm traffic and a
+  /// post-reset consult still invalidates exactly the right cone.
   void resetStats();
 
   /// \name Component access for front-end-specific commands
@@ -134,6 +154,11 @@ public:
   uint64_t queriesServed() const { return Stats.queriesServed(); }
 
 private:
+  /// Shared tail of consult()/retract(): sweeps the tables whose
+  /// predicates changed after revision \p FromRev and folds the counts
+  /// into the service telemetry.
+  ConsultResult sweepInvalidation(uint64_t FromRev, size_t Loaded);
+
   Options Opts;
   SymbolTable Symbols;
   Database DB;

@@ -1,0 +1,138 @@
+//===- DependencyIndex.h - Predicate dependency graph -----------*- C++ -*-===//
+//
+// Part of the lpa project: a reproduction of "Practical Program Analysis
+// Using General Purpose Logic Programming Systems" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live dependency index behind incremental tabling (XSB's
+/// assert/retract invalidation, Swift & Warren). The SLG forest's
+/// producer/consumer edges, projected to *predicate* granularity, are fed
+/// into this persistent graph as evaluation records them; when a clause of
+/// predicate p is asserted or retracted, a reverse-reachability sweep from
+/// p yields exactly the predicates whose completed tables may no longer be
+/// the minimal model — everything else stays warm.
+///
+/// Predicate keys are packed as (SymbolId << 32) | Arity, the same packing
+/// the solver uses for its per-predicate maps. Edges run consumer ->
+/// producer ("the consumer's table was derived using the producer's
+/// answers"); the index stores the *reverse* adjacency (producer -> its
+/// consumers), which is the direction the invalidation sweep walks. Three
+/// kinds of call contribute edges, all recorded while a tabled producer is
+/// on the solver's producer stack:
+///
+///   * tabled calls — the forest edges exportForest() walks;
+///   * nontabled calls — a nontabled body goal folds the callee's clauses
+///     into the producer's derivation, so the producer depends on them;
+///   * calls to *undefined* predicates — the call failed, but asserting
+///     the predicate later would change the producer's answer set, so the
+///     dependency must exist before the predicate does.
+///
+/// The graph is deliberately not thread-shared: each solver owns one, and
+/// parallel eval workers record into their private engines (the lead's
+/// index sees its own import-phase calls; invalidation happens between
+/// queries, when workers are quiescent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LPA_TABLE_DEPENDENCYINDEX_H
+#define LPA_TABLE_DEPENDENCYINDEX_H
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lpa {
+
+class DependencyIndex {
+public:
+  /// Packs a predicate identity the way the solver's per-predicate maps do.
+  static uint64_t packPred(uint32_t Sym, uint32_t Arity) {
+    return (uint64_t(Sym) << 32) | Arity;
+  }
+
+  /// Records "\p Consumer's table consumed \p Producer" (deduplicated).
+  /// Self-edges are dropped: a predicate is always in its own cone, which
+  /// dependentsOf() encodes directly.
+  void addEdge(uint64_t Consumer, uint64_t Producer) {
+    if (Consumer == Producer)
+      return;
+    auto [It, _] = Reverse.try_emplace(Producer);
+    if (It->second.insert(Consumer).second)
+      ++NumEdges;
+  }
+
+  /// Reverse-reachability sweep: every predicate whose table transitively
+  /// consumed any of \p Changed, plus the changed predicates themselves
+  /// (a table for p trivially depends on p's own clauses).
+  std::unordered_set<uint64_t>
+  dependentsOf(std::span<const uint64_t> Changed) const {
+    std::unordered_set<uint64_t> Seen(Changed.begin(), Changed.end());
+    std::vector<uint64_t> Work(Changed.begin(), Changed.end());
+    while (!Work.empty()) {
+      uint64_t P = Work.back();
+      Work.pop_back();
+      auto It = Reverse.find(P);
+      if (It == Reverse.end())
+        continue;
+      for (uint64_t C : It->second)
+        if (Seen.insert(C).second)
+          Work.push_back(C);
+    }
+    return Seen;
+  }
+
+  /// Forgets the out-edges of every predicate in \p Invalidated: their
+  /// tables are being re-derived, and the re-derivation re-records exactly
+  /// the dependencies the *new* program induces. Keeping the old edges
+  /// would be sound (over-invalidation only) but would make a redefinition
+  /// that drops a dependency keep paying for it forever.
+  void dropConsumers(const std::unordered_set<uint64_t> &Invalidated) {
+    for (auto &[Producer, Consumers] : Reverse)
+      for (auto It = Consumers.begin(); It != Consumers.end();)
+        if (Invalidated.count(*It)) {
+          It = Consumers.erase(It);
+          --NumEdges;
+        } else {
+          ++It;
+        }
+  }
+
+  /// Unions \p O's edges into this index (parallel eval workers record
+  /// into private indexes; the lead folds them in after the phase).
+  void merge(const DependencyIndex &O) {
+    for (const auto &[Producer, Consumers] : O.Reverse)
+      for (uint64_t C : Consumers)
+        addEdge(C, Producer);
+  }
+
+  size_t edgeCount() const { return NumEdges; }
+  size_t producerCount() const { return Reverse.size(); }
+
+  size_t memoryBytes() const {
+    size_t Bytes = sizeof(*this);
+    for (const auto &[P, Consumers] : Reverse) {
+      (void)P;
+      Bytes += sizeof(uint64_t) * 4; // Map node estimate.
+      Bytes += Consumers.size() * sizeof(uint64_t) * 2;
+    }
+    return Bytes;
+  }
+
+  void clear() {
+    Reverse.clear();
+    NumEdges = 0;
+  }
+
+private:
+  /// producer -> set of consumers (the sweep direction).
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> Reverse;
+  size_t NumEdges = 0;
+};
+
+} // namespace lpa
+
+#endif // LPA_TABLE_DEPENDENCYINDEX_H

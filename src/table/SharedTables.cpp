@@ -93,6 +93,20 @@ SharedTableSpace::Entry *SharedTableSpace::entryAt(const Shard &S,
   return &Chunk[Idx % EntriesPerChunk];
 }
 
+std::unique_lock<std::mutex> SharedTableSpace::lockShard(Shard &S) {
+  // try_lock first so contention is counted and timed only when it
+  // actually happens.
+  std::unique_lock<std::mutex> L(S.Mu, std::try_to_lock);
+  if (!L.owns_lock()) {
+    uint64_t T0 = nowNs();
+    L.lock();
+    S.LockContended.fetch_add(1, std::memory_order_relaxed);
+    S.LockWaitNs.fetch_add(nowNs() - T0, std::memory_order_relaxed);
+  }
+  S.LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
+  return L;
+}
+
 SharedTableSpace::Outcome SharedTableSpace::claim(const TermStore &Store,
                                                   TermRef Call, SymbolId Sym,
                                                   uint32_t Arity,
@@ -103,16 +117,8 @@ SharedTableSpace::Outcome SharedTableSpace::claim(const TermStore &Store,
   uint32_t Idx = S.Index.find(Store, Call);
   if (Idx == ConcurrentTermTrie::NoValue) {
     // New variant (as far as the lock-free check saw). Register it under
-    // the shard lock; try_lock first so contention is counted and timed
-    // only when it actually happens.
-    std::unique_lock<std::mutex> L(S.Mu, std::try_to_lock);
-    if (!L.owns_lock()) {
-      uint64_t T0 = nowNs();
-      L.lock();
-      S.LockContended.fetch_add(1, std::memory_order_relaxed);
-      S.LockWaitNs.fetch_add(nowNs() - T0, std::memory_order_relaxed);
-    }
-    S.LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
+    // the shard lock.
+    std::unique_lock<std::mutex> L = lockShard(S);
 
     uint32_t NewIdx = S.NumEntries.load(std::memory_order_relaxed);
     if (NewIdx >= EntriesPerChunk * MaxChunks)
@@ -123,6 +129,8 @@ SharedTableSpace::Outcome SharedTableSpace::claim(const TermStore &Store,
                             std::memory_order_release);
     Entry *NE = entryAt(S, NewIdx);
     NE->Owner = Worker;
+    NE->Sym = Sym;
+    NE->Arity = Arity;
     auto R = S.Index.insert(Store, Call, NewIdx);
     if (R.Inserted) {
       S.NumEntries.store(NewIdx + 1, std::memory_order_release);
@@ -136,7 +144,22 @@ SharedTableSpace::Outcome SharedTableSpace::claim(const TermStore &Store,
   }
 
   Entry *E = entryAt(S, Idx);
-  if (E->State.load(std::memory_order_acquire) == 1) {
+  uint32_t St = E->State.load(std::memory_order_acquire);
+  if (St == 2) {
+    // Retired by invalidation: re-claim under the shard lock and
+    // re-derive under the new program. The old table stays alive in
+    // OwnedTables — a racing reader may still be walking it.
+    std::unique_lock<std::mutex> L = lockShard(S);
+    if (E->State.load(std::memory_order_relaxed) == 2) {
+      E->Owner = Worker;
+      E->State.store(0, std::memory_order_release);
+      S.Claims.fetch_add(1, std::memory_order_relaxed);
+      return {E, Hit::Claimed};
+    }
+    // Lost the re-claim race; re-read whatever state won.
+    St = E->State.load(std::memory_order_acquire);
+  }
+  if (St == 1) {
     S.WarmHits.fetch_add(1, std::memory_order_relaxed);
     return {E, Hit::Published};
   }
@@ -145,15 +168,52 @@ SharedTableSpace::Outcome SharedTableSpace::claim(const TermStore &Store,
 }
 
 void SharedTableSpace::publish(Entry &E, std::unique_ptr<PublishedTable> T) {
-  E.Table = std::move(T);
+  PublishedTable *Raw = T.get();
+  {
+    // Ownership parks in the deferred-reclamation list; publishes are
+    // once-per-table, so this lock is cold.
+    std::lock_guard<std::mutex> L(TablesMu);
+    OwnedTables.push_back(std::move(T));
+  }
+  E.Table.store(Raw, std::memory_order_relaxed);
   E.State.store(1, std::memory_order_release);
   TotalPublishes.fetch_add(1, std::memory_order_relaxed);
 }
 
 const SharedTableSpace::PublishedTable *
 SharedTableSpace::published(const Entry &E) const {
-  return E.State.load(std::memory_order_acquire) == 1 ? E.Table.get()
-                                                      : nullptr;
+  // The release store in publish() orders the Table store before State;
+  // an acquire load observing Published therefore observes the pointer.
+  // A stale Published observation (entry since retired) still yields a
+  // valid pointer: retirement never frees.
+  return E.State.load(std::memory_order_acquire) == 1
+             ? E.Table.load(std::memory_order_relaxed)
+             : nullptr;
+}
+
+size_t SharedTableSpace::invalidatePred(SymbolId Sym, uint32_t Arity) {
+  size_t Retired = 0;
+  for (auto &S : Shards) {
+    std::unique_lock<std::mutex> L = lockShard(*S);
+    uint32_t N = S->NumEntries.load(std::memory_order_relaxed);
+    size_t ShardRetired = 0;
+    for (uint32_t I = 0; I < N; ++I) {
+      Entry *E = entryAt(*S, I);
+      // Sym/Arity are stamped under this same shard lock at claim time.
+      if (E->Sym == Sym && E->Arity == Arity &&
+          E->State.load(std::memory_order_relaxed) == 1) {
+        E->State.store(2, std::memory_order_release);
+        ++ShardRetired;
+      }
+    }
+    if (ShardRetired) {
+      S->Retired.fetch_add(ShardRetired, std::memory_order_relaxed);
+      Retired += ShardRetired;
+    }
+  }
+  if (Retired)
+    InvalidationEpoch.fetch_add(1, std::memory_order_release);
+  return Retired;
 }
 
 std::vector<const SharedTableSpace::PublishedTable *>
@@ -161,11 +221,9 @@ SharedTableSpace::publishedTables() const {
   std::vector<const PublishedTable *> Out;
   for (const auto &S : Shards) {
     uint32_t N = S->NumEntries.load(std::memory_order_acquire);
-    for (uint32_t I = 0; I < N; ++I) {
-      const Entry *E = entryAt(*S, I);
-      if (E->State.load(std::memory_order_acquire) == 1)
-        Out.push_back(E->Table.get());
-    }
+    for (uint32_t I = 0; I < N; ++I)
+      if (const PublishedTable *T = published(*entryAt(*S, I)))
+        Out.push_back(T);
   }
   return Out;
 }
@@ -179,6 +237,7 @@ SharedTableSpace::Stats SharedTableSpace::stats() const {
     Out.WarmHits += S->WarmHits.load(std::memory_order_relaxed);
     Out.InFlightMisses += S->InFlightMisses.load(std::memory_order_relaxed);
     Out.Claims += S->Claims.load(std::memory_order_relaxed);
+    Out.Retired += S->Retired.load(std::memory_order_relaxed);
     Out.LockAcquisitions += S->LockAcquisitions.load(std::memory_order_relaxed);
     Out.LockContended += S->LockContended.load(std::memory_order_relaxed);
     Out.LockWaitNs += S->LockWaitNs.load(std::memory_order_relaxed);
@@ -193,10 +252,12 @@ size_t SharedTableSpace::memoryBytes() const {
     uint32_t N = S->NumEntries.load(std::memory_order_acquire);
     Bytes += ((N + EntriesPerChunk - 1) / EntriesPerChunk) * EntriesPerChunk *
              sizeof(Entry);
-    for (uint32_t I = 0; I < N; ++I)
-      if (const PublishedTable *T = published(*entryAt(*S, I)))
-        Bytes += T->Terms.memoryBytes() +
-                 T->Answers.capacity() * sizeof(TermRef) + sizeof(*T);
   }
+  // Deferred-reclamation list: retired tables keep costing memory until
+  // the space dies, so the watermark must see them.
+  std::lock_guard<std::mutex> L(TablesMu);
+  for (const auto &T : OwnedTables)
+    Bytes += T->Terms.memoryBytes() + T->Answers.capacity() * sizeof(TermRef) +
+             sizeof(*T);
   return Bytes;
 }

@@ -35,6 +35,19 @@
 /// depth limit or a deadline publishes with Incomplete set, and importers
 /// propagate the taint exactly as a local incomplete table would.
 ///
+/// Incremental invalidation retires published tables in place: the sweep
+/// takes each shard lock, flips matching entries Published -> Retired, and
+/// bumps the space epoch with a release store. Readers are lock-free, so a
+/// reader may still observe the pre-retirement state and dereference the
+/// old table — therefore table memory is never freed on retirement.
+/// Ownership of every published table lives in a space-level list that is
+/// reclaimed only at destruction; Entry holds a plain atomic pointer. A
+/// retired entry is re-claimable: the next claim() that sees Retired takes
+/// the shard lock and becomes the new owner, re-deriving under the new
+/// program. Retirement only touches Published entries — the service layer
+/// guarantees quiescence (no in-flight claims) when it invalidates, so an
+/// in-flight entry at retirement time cannot exist in product use.
+///
 /// Per-shard counters (lock acquisitions, contended acquisitions, lock
 /// wait nanoseconds, claims, published tables, warm hits, in-flight
 /// misses) feed the MetricsRegistry gauges the bench scaling curves read.
@@ -79,9 +92,16 @@ public:
 
   class Entry {
     friend class SharedTableSpace;
-    std::atomic<uint32_t> State{0}; ///< 0 = in flight, 1 = published.
+    /// 0 = in flight, 1 = published, 2 = retired by invalidation.
+    std::atomic<uint32_t> State{0};
     uint32_t Owner = 0;
-    std::unique_ptr<PublishedTable> Table;
+    /// Predicate identity, stamped under the shard lock at first claim;
+    /// invalidatePred() scans for it under the same lock.
+    SymbolId Sym = 0;
+    uint32_t Arity = 0;
+    /// Non-owning: the space's OwnedTables list keeps every table alive
+    /// until destruction (lock-free readers may hold stale pointers).
+    std::atomic<PublishedTable *> Table{nullptr};
   };
 
   enum class Hit : uint8_t {
@@ -97,7 +117,8 @@ public:
 
   /// \p ShardCount is rounded up to a power of two; 0 picks the default.
   explicit SharedTableSpace(size_t ShardCount = 0);
-  ~SharedTableSpace(); ///< Frees entry chunks (and their tables).
+  ~SharedTableSpace(); ///< Frees entry chunks and every table ever
+                       ///< published (including retired ones).
 
   SharedTableSpace(const SharedTableSpace &) = delete;
   SharedTableSpace &operator=(const SharedTableSpace &) = delete;
@@ -118,15 +139,29 @@ public:
 
   /// Every published table, shard by shard in claim order. Only meaningful
   /// once all workers have drained (the lead's import pass, after
-  /// ThreadPool::wait()).
+  /// ThreadPool::wait()). Retired tables are skipped.
   std::vector<const PublishedTable *> publishedTables() const;
+
+  /// Retires every published table of \p Sym / \p Arity: takes each shard
+  /// lock in turn, flips matching Published entries to Retired, and (if
+  /// anything changed) bumps the epoch with a release store, so a reader
+  /// that observes the new epoch also observes every retirement. Table
+  /// memory is NOT freed (see the file comment). \returns tables retired.
+  size_t invalidatePred(SymbolId Sym, uint32_t Arity);
+
+  /// Invalidation epoch; bumped once per invalidatePred() that retires
+  /// anything. Acquire load — pairs with the sweep's release bump.
+  uint64_t epoch() const {
+    return InvalidationEpoch.load(std::memory_order_acquire);
+  }
 
   struct Stats {
     uint64_t Lookups = 0;        ///< claim() calls.
     uint64_t WarmHits = 0;       ///< Published-table hits (no lock).
     uint64_t InFlightMisses = 0; ///< Variant owned elsewhere (no wait).
-    uint64_t Claims = 0;         ///< New variants claimed.
+    uint64_t Claims = 0;         ///< New variants claimed (incl. re-claims).
     uint64_t Publishes = 0;      ///< Tables published.
+    uint64_t Retired = 0;        ///< Tables retired by invalidation.
     uint64_t LockAcquisitions = 0;
     uint64_t LockContended = 0; ///< try_lock failed first.
     uint64_t LockWaitNs = 0;    ///< Time blocked on contended shard locks.
@@ -156,6 +191,7 @@ private:
     std::atomic<uint64_t> WarmHits{0};
     std::atomic<uint64_t> InFlightMisses{0};
     std::atomic<uint64_t> Claims{0};
+    std::atomic<uint64_t> Retired{0};
     std::atomic<uint64_t> LockAcquisitions{0};
     std::atomic<uint64_t> LockContended{0};
     std::atomic<uint64_t> LockWaitNs{0};
@@ -165,8 +201,17 @@ private:
                   uint32_t Arity);
   static Entry *entryAt(const Shard &S, uint32_t Idx);
 
+  /// Takes the shard lock, counting contention the same way claim() does.
+  static std::unique_lock<std::mutex> lockShard(Shard &S);
+
   std::vector<std::unique_ptr<Shard>> Shards;
   std::atomic<uint64_t> TotalPublishes{0};
+  std::atomic<uint64_t> InvalidationEpoch{0};
+  /// Deferred reclamation: every table ever published, freed only at
+  /// destruction. Readers are lock-free and may hold a retired table's
+  /// pointer arbitrarily long, so retirement can never free.
+  mutable std::mutex TablesMu; ///< memoryBytes() is const and must lock.
+  std::vector<std::unique_ptr<PublishedTable>> OwnedTables;
 };
 
 } // namespace lpa

@@ -319,7 +319,7 @@ TEST(SessionTest, QueriesCarrySequentialIdsAndWarmDeltas) {
   AnalysisSession Session;
   auto Loaded = Session.consult(PathProgram);
   ASSERT_TRUE(Loaded.hasValue());
-  EXPECT_EQ(*Loaded, 5u);
+  EXPECT_EQ(Loaded->Loaded, 5u);
 
   auto Q1 = Session.runQuery("path(a, X)");
   ASSERT_TRUE(Q1.hasValue());
