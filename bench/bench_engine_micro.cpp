@@ -12,6 +12,7 @@
 
 #include "bench/BenchUtil.h"
 #include "engine/Solver.h"
+#include "obs/FlightRecorder.h"
 #include "reader/Parser.h"
 #include "term/TermCopy.h"
 #include "term/Unify.h"
@@ -367,6 +368,32 @@ void BM_QueryContextPublish(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * 4 * N * N);
 }
 BENCHMARK(BM_QueryContextPublish)->Arg(0)->Arg(1);
+
+/// A/B ablation of the flight recorder's per-event cost. Every engine and
+/// session hook is written `if (Recorder) Recorder->record(...)` — Arg 0
+/// measures exactly that disabled shape (a guarded null pointer the
+/// optimizer cannot hoist), Arg 1 the attached path: one steady-clock
+/// read plus a POD store into the bounded ring (no allocation once the
+/// ring is built, which is what makes the recorder safe to leave always
+/// on). The Arg-0 lane must stay at noise level — that is the ISSUE's
+/// null-cost acceptance gate.
+void BM_FlightRecorderRecord(benchmark::State &State) {
+  FlightRecorder::Options O;
+  O.Capacity = 256;
+  FlightRecorder Ring(O);
+  FlightRecorder *Recorder = State.range(0) != 0 ? &Ring : nullptr;
+  benchmark::DoNotOptimize(Recorder);
+  uint64_t QueryId = 0;
+  for (auto _ : State) {
+    ++QueryId;
+    if (Recorder)
+      Recorder->record(FrEventKind::QueryEnd, QueryId, /*A=*/3, /*B=*/2,
+                       /*C=*/1, /*Flags=*/0, "path(a, X)");
+    benchmark::DoNotOptimize(QueryId);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_FlightRecorderRecord)->Arg(0)->Arg(1);
 
 void BM_TabledFib(benchmark::State &State) {
   const char *Prog = ":- table fib/2.\n"

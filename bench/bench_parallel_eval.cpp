@@ -27,6 +27,7 @@
 #include "bench/BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "engine/Solver.h"
+#include "obs/FlightRecorder.h"
 #include "par/CorpusScheduler.h"
 #include "prop/Groundness.h"
 #include "reader/Parser.h"
@@ -76,7 +77,8 @@ struct ChainRun {
   std::string Error;
 };
 
-ChainRun runChains(const std::string &Program, size_t K, size_t Workers) {
+ChainRun runChains(const std::string &Program, size_t K, size_t Workers,
+                   FlightRecorder *Recorder) {
   ChainRun R;
   SymbolTable Symbols;
   Database DB(Symbols);
@@ -89,6 +91,9 @@ ChainRun runChains(const std::string &Program, size_t K, size_t Workers) {
   Solver::Options O;
   O.EvalWorkers = Workers;
   Solver Engine(DB, O);
+  // The identity check must hold with the recorder attached — the daemon
+  // never runs without it, so neither do the arms being certified.
+  Engine.setFlightRecorder(Recorder);
 
   std::vector<TermRef> Calls;
   for (size_t C = 0; C < K; ++C) {
@@ -198,6 +203,11 @@ int main(int argc, char **argv) {
   Out.addRow({"Program", "Workers", "Wall(ms)", "Speedup", "Fingerprints",
               "Published", "PoolTasks"});
 
+  // One recorder across every arm (the daemon's always-on posture). On a
+  // fingerprint divergence the ring — which now holds any deadline or
+  // incomplete-table anomalies the diverging arm hit — goes to stderr.
+  FlightRecorder Recorder;
+
   //--- Worst-case generator: K independent transitive-closure chains. ----
   {
     std::string Program = makeChains(K, N);
@@ -211,7 +221,7 @@ int main(int argc, char **argv) {
     for (size_t Workers : WorkerArms) {
       ChainRun Best;
       for (int Rep = 0; Rep < 3; ++Rep) {
-        ChainRun R = runChains(Program, K, Workers);
+        ChainRun R = runChains(Program, K, Workers, &Recorder);
         if (!R.Ok) {
           Best = R;
           break;
@@ -228,8 +238,13 @@ int main(int argc, char **argv) {
       if (Workers == 0)
         Serial = Best;
       bool Match = Best.Fingerprints == Serial.Fingerprints;
-      if (!Match)
+      if (!Match) {
         ++Failures;
+        Recorder.noteFingerprintDivergence(
+            0, Name + " workers=" + std::to_string(Workers));
+        std::fprintf(stderr, "fingerprint divergence — recorder journal:\n");
+        Recorder.writeRawTo(2);
+      }
       double Speedup = Best.WallMs > 0 ? Serial.WallMs / Best.WallMs : 0;
       Out.addRow({Name, std::to_string(Workers), ms(Best.WallMs),
                   Workers ? ms(Speedup) + "x" : "1.00x",

@@ -27,6 +27,8 @@
 //   :queries          latency + recent-query report (per-query id,
 //                     wall time, warm/cold hits — the daemon's "stats"
 //                     verb renders the same snapshot as JSON)
+//   :slowlog          slow-query exemplars, most recent first (the
+//                     daemon's "slowlog" verb is the JSON twin)
 //   :trace on|off     print one line per SLG event as goals run
 //   :profile <goal>   run a goal and report the engine work it caused
 //   :why <goal>       solve the goal and print proof trees for its answers
@@ -70,7 +72,7 @@ int main() {
 
   std::printf("lpa toplevel — tabled logic engine "
               "(clauses to assert, '?- G.' to query, ':stats', ':queries', "
-              "':trace on|off', ':profile G', ':why G', "
+              "':slowlog', ':trace on|off', ':profile G', ':why G', "
               "':forest [dot|json] [path]', ':flame [path]', "
               "'halt.' to quit)\n");
 
@@ -103,6 +105,18 @@ int main() {
           else
             std::printf("%s", Session.metrics().renderReport().c_str());
           std::printf("%s", Session.warmColdLine().c_str());
+          // Invalidation machinery: how much dependency state a consult
+          // sweep would consult, and how many shared entries retired.
+          std::printf("Dep-index: %llu edges / %llu producers (%llu bytes); "
+                      "shared retired: %llu\n",
+                      static_cast<unsigned long long>(
+                          Engine.dependencyIndex().edgeCount()),
+                      static_cast<unsigned long long>(
+                          Engine.dependencyIndex().producerCount()),
+                      static_cast<unsigned long long>(
+                          Engine.dependencyIndex().memoryBytes()),
+                      static_cast<unsigned long long>(
+                          Engine.sharedTableStats().Retired));
           // Intra-query parallel eval, when it ran: pool activity plus
           // shared-table traffic (the scaling story of EvalWorkers).
           if (Engine.stats().ParallelPrimeRuns) {
@@ -135,6 +149,10 @@ int main() {
             std::printf("  (no queries yet)\n");
           else
             std::printf("%s", Session.queriesReport().c_str());
+          continue;
+        }
+        if (Cmd == ":slowlog") {
+          std::printf("%s", Session.slowlogReport().c_str());
           continue;
         }
         if (Cmd == ":trace on") {
@@ -298,7 +316,8 @@ int main() {
           continue;
         }
         std::printf("  unknown command: %s "
-                    "(:stats, :queries, :trace on|off, :profile <goal>, "
+                    "(:stats, :queries, :slowlog, :trace on|off, "
+                    ":profile <goal>, "
                     ":why <goal>, :forest [dot|json] [path], "
                     ":flame [path])\n",
                     Cmd.c_str());

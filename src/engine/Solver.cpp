@@ -320,6 +320,33 @@ const TableWatermarks &Solver::watermarks() const {
   return Water;
 }
 
+size_t Solver::subgoalMemoryBytes(const Subgoal &SG) const {
+  // Apportioned table space: the subgoal record, its variant keys or
+  // answer trie, its term cells in the shared table store (call +
+  // answers, measured via the TermStore arena), and any live
+  // supplementary frontiers.
+  size_t Bytes = sizeof(Subgoal) + SG.Key.capacity();
+  Bytes += SG.CallVars.capacity() * sizeof(TermRef);
+  Bytes += SG.Answers.capacity() * sizeof(TermRef);
+  Bytes += SG.AnswerBindings.capacity() * sizeof(TermRef);
+  Bytes += SG.AnswerSeq.capacity() * sizeof(uint64_t);
+  for (const auto &K : SG.AnswerKeys)
+    Bytes += K.capacity() + sizeof(void *) * 2;
+  if (SG.AnswerTrie)
+    Bytes += sizeof(TermTrie) + SG.AnswerTrie->memoryBytes();
+  if (SG.SharedAnswerTrie)
+    Bytes += sizeof(ConcurrentTermTrie) + SG.SharedAnswerTrie->memoryBytes();
+  Bytes += Tables.termBytes(SG.CallTerm);
+  for (TermRef Ans : SG.Answers)
+    Bytes += Tables.termBytes(Ans);
+  for (TermRef B : SG.AnswerBindings)
+    Bytes += Tables.termBytes(B);
+  for (const auto &CF : SG.Frontiers)
+    if (CF)
+      Bytes += CF->memoryBytes();
+  return Bytes;
+}
+
 void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.resetTableSnapshot();
   for (const Subgoal *SG : SubgoalOrder) {
@@ -327,31 +354,7 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
     ++PM.TableSubgoals;
     PM.TableAnswers += answerCount(*SG);
     PM.AnswersPerSubgoal.record(answerCount(*SG));
-    // Apportioned table space: the subgoal record, its variant keys or
-    // answer trie, its term cells in the shared table store (call +
-    // answers, measured via the TermStore arena), and any live
-    // supplementary frontiers.
-    size_t Bytes = sizeof(Subgoal) + SG->Key.capacity();
-    Bytes += SG->CallVars.capacity() * sizeof(TermRef);
-    Bytes += SG->Answers.capacity() * sizeof(TermRef);
-    Bytes += SG->AnswerBindings.capacity() * sizeof(TermRef);
-    Bytes += SG->AnswerSeq.capacity() * sizeof(uint64_t);
-    for (const auto &K : SG->AnswerKeys)
-      Bytes += K.capacity() + sizeof(void *) * 2;
-    if (SG->AnswerTrie)
-      Bytes += sizeof(TermTrie) + SG->AnswerTrie->memoryBytes();
-    if (SG->SharedAnswerTrie)
-      Bytes +=
-          sizeof(ConcurrentTermTrie) + SG->SharedAnswerTrie->memoryBytes();
-    Bytes += Tables.termBytes(SG->CallTerm);
-    for (TermRef Ans : SG->Answers)
-      Bytes += Tables.termBytes(Ans);
-    for (TermRef B : SG->AnswerBindings)
-      Bytes += Tables.termBytes(B);
-    for (const auto &CF : SG->Frontiers)
-      if (CF)
-        Bytes += CF->memoryBytes();
-    PM.TableBytes += Bytes;
+    PM.TableBytes += subgoalMemoryBytes(*SG);
   }
 
   M.setCounter("clause_resolutions", Stats.ClauseResolutions);
@@ -401,6 +404,7 @@ void Solver::snapshotTableMetrics(MetricsRegistry &M) const {
   M.setCounter("shared_space_inflight_misses", SharedStats.InFlightMisses);
   M.setCounter("shared_space_claims", SharedStats.Claims);
   M.setCounter("shared_space_publishes", SharedStats.Publishes);
+  M.setCounter("shared_space_retired", SharedStats.Retired);
   M.setCounter("shared_space_shards", SharedStats.Shards);
   M.setCounter("shared_lock_acquisitions", SharedStats.LockAcquisitions);
   M.setCounter("shared_lock_contended", SharedStats.LockContended);
@@ -588,6 +592,7 @@ void accumulateShared(SharedTableSpace::Stats &Into,
   Into.InFlightMisses += S.InFlightMisses;
   Into.Claims += S.Claims;
   Into.Publishes += S.Publishes;
+  Into.Retired += S.Retired;
   Into.LockAcquisitions += S.LockAcquisitions;
   Into.LockContended += S.LockContended;
   Into.LockWaitNs += S.LockWaitNs;
@@ -720,6 +725,26 @@ void Solver::runParallelPrime(const std::vector<TermRef> &Seeds) {
     DepIndex.merge(WS->DepIndex);
   }
   accumulateShared(SharedStats, Space.stats());
+  // Per-shard accumulation: the space dies with this phase, so the
+  // striped view (which shard ran hot) must be folded here to survive.
+  {
+    std::vector<SharedTableSpace::ShardStats> Phase = Space.perShardStats();
+    if (SharedShardStats.size() < Phase.size())
+      SharedShardStats.resize(Phase.size());
+    for (size_t I = 0; I < Phase.size(); ++I) {
+      SharedTableSpace::ShardStats &Acc = SharedShardStats[I];
+      const SharedTableSpace::ShardStats &P = Phase[I];
+      Acc.Lookups += P.Lookups;
+      Acc.WarmHits += P.WarmHits;
+      Acc.InFlightMisses += P.InFlightMisses;
+      Acc.Claims += P.Claims;
+      Acc.Retired += P.Retired;
+      Acc.LockAcquisitions += P.LockAcquisitions;
+      Acc.LockContended += P.LockContended;
+      Acc.LockWaitNs += P.LockWaitNs;
+      Acc.Entries += P.Entries;
+    }
+  }
 
   std::vector<
       std::pair<std::string, const SharedTableSpace::PublishedTable *>>
@@ -796,8 +821,12 @@ void Solver::fillSubgoalFromPublished(
     Water.PeakTermStoreBytes = StoreBytes;
   SG.Complete = true;
   SG.Incomplete = PT.Incomplete;
-  if (PT.Incomplete)
+  if (PT.Incomplete) {
     ++Stats.IncompleteTables; // Taint crosses the worker boundary.
+    if (Recorder)
+      Recorder->noteIncompleteTable(CurQueryId, SG.Ordinal,
+                                    Symbols.name(SG.Pred.Sym));
+  }
   SG.SccId = ++SccCounter;
   SG.CompletionSeq = ++CompletionCounter;
   SG.CompletedInQuery = CurQueryId;
@@ -873,6 +902,8 @@ Solver::Signal Solver::solveGoals(const GoalNode *Goals, size_t Depth,
       ++Stats.DeadlineHits;
       if (Trace)
         Trace->emit(TraceEventKind::DeadlineExpired, 0, 0, Depth);
+      if (Recorder)
+        Recorder->noteDeadlineHit(CurQueryId, Depth);
     }
     if (DeadlineExpired) {
       // Same soundness discipline as the depth limit: every branch the
@@ -1886,6 +1917,9 @@ void Solver::driveSubgoal(Subgoal &SG) {
       if (SCCIncomplete) {
         Member->Incomplete = true;
         ++Stats.IncompleteTables;
+        if (Recorder)
+          Recorder->noteIncompleteTable(CurQueryId, Member->Ordinal,
+                                        Symbols.name(Member->Pred.Sym));
       }
       Member->Complete = true;
       Member->OnStack = false;

@@ -30,6 +30,7 @@
 
 #include "engine/Builtins.h"
 #include "engine/Database.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Forest.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
@@ -428,6 +429,16 @@ public:
     return SharedStats;
   }
 
+  /// Per-shard shared-space counters, accumulated element-wise across
+  /// primeTables runs (the space itself lives on the lead's stack for one
+  /// phase, so cross-phase figures must be folded here). Empty before the
+  /// first parallel phase. Feeds the `inspect` op's contention view — the
+  /// ROADMAP's shard-tuning item needs the per-shard skew, not just the
+  /// aggregate sharedTableStats().
+  const std::vector<SharedTableSpace::ShardStats> &sharedShardStats() const {
+    return SharedShardStats;
+  }
+
   /// Counters of the intra-query eval pool (zeros before the first
   /// parallel phase).
   ThreadPool::PoolStats evalPoolStats() const {
@@ -470,6 +481,13 @@ public:
   /// Bytes attributable to the tables: call/answer terms, variant keys,
   /// index structures. This is the paper's "Table space" column.
   size_t tableSpaceBytes() const;
+
+  /// Bytes attributable to ONE subgoal's table: the subgoal record, its
+  /// variant key or answer trie, its term cells in the table store (call +
+  /// answers), and any live supplementary frontiers. snapshotTableMetrics
+  /// apportions per-predicate TableBytes with this, and the service
+  /// layer's `inspect` op ranks tables by it.
+  size_t subgoalMemoryBytes(const Subgoal &SG) const;
 
   /// Drops all tables (subgoals and answers).
   void clearTables();
@@ -580,6 +598,16 @@ public:
   /// is pinned by the BM_QueryContextPublish A/B micro.
   void setQueryContext(const QueryContext *Q) { Query = Q; }
   const QueryContext *queryContext() const { return Query; }
+
+  /// Attaches (or, with nullptr, detaches) the flight recorder the solver
+  /// journals anomalies into: deadline expiry, incomplete-table
+  /// completions, and cross-worker taint imports. Request-granular — the
+  /// recorder sees at most a handful of events per query, never per-SLG
+  /// traffic. Same ownership and cost contract as the other hooks: the
+  /// detached path is one null test per site, pinned by the
+  /// BM_FlightRecorderRecord A/B micro.
+  void setFlightRecorder(FlightRecorder *R) { Recorder = R; }
+  FlightRecorder *flightRecorder() const { return Recorder; }
 
   /// Id of the query the solver is serving (or last served): the attached
   /// context's Id, else the internal outermost-solve sequence number.
@@ -853,6 +881,8 @@ private:
   EvalCursor *Cursor = nullptr;
   /// Query context (null when detached; see setQueryContext).
   const QueryContext *Query = nullptr;
+  /// Flight recorder (null when detached; see setFlightRecorder).
+  FlightRecorder *Recorder = nullptr;
   /// Internal outermost-query sequence, used when no context supplies an
   /// id. Never reset: warm-hit detection needs ids unique across the
   /// solver's whole life, including across resetStats()/clearTables().
@@ -938,6 +968,8 @@ private:
   EvalStats WorkerStats;
   /// Accumulated SharedTableSpace counters across parallel phases.
   SharedTableSpace::Stats SharedStats{};
+  /// Per-shard accumulation of the same (see sharedShardStats()).
+  std::vector<SharedTableSpace::ShardStats> SharedShardStats;
 
   /// @}
 };

@@ -99,6 +99,12 @@ std::string lpa::handleRequestLine(AnalysisSession &Session,
     W.member("warm_hits", R->WarmHits);
     W.member("cold_misses", R->ColdMisses);
     W.member("truncated", R->Truncated);
+    // Outcome flags: "truncated" is kept for callers that predate them;
+    // deadline_hit is the same signal under its real name, and incomplete
+    // means a tainted table may have starved the answer set even when the
+    // deadline never fired.
+    W.member("deadline_hit", R->Truncated);
+    W.member("incomplete", R->Incomplete);
     W.endObject();
     return Out;
   }
@@ -112,6 +118,21 @@ std::string lpa::handleRequestLine(AnalysisSession &Session,
   if (Op == "health")
     return std::string("{\"ok\":true,\"health\":") + Session.healthJson() +
            "}";
+
+  if (Op == "slowlog")
+    return std::string("{\"ok\":true,\"slowlog\":") + Session.slowlogJson() +
+           "}";
+
+  if (Op == "inspect") {
+    double Top = Doc->numberOr("top", 10);
+    if (Top < 0)
+      return errorResponse("top must be nonnegative");
+    std::string Sort = Doc->stringOr("sort", "bytes");
+    if (Sort != "bytes" && Sort != "answers")
+      return errorResponse("sort must be \"bytes\" or \"answers\"");
+    return std::string("{\"ok\":true,\"inspect\":") +
+           Session.inspectJson(static_cast<size_t>(Top), Sort) + "}";
+  }
 
   if (Op == "reset_stats") {
     Session.resetStats();

@@ -17,9 +17,13 @@
 ///           "tables_invalidated":K,"tables_survived":M}
 ///   {"op":"query","goal":"path(a,X)","max_solutions":10,"deadline_ms":0}
 ///       -> {"ok":true,"id":Q,"total":N,"solutions":[...],"wall_ms":..,
-///           "warm_hits":..,"cold_misses":..,"truncated":false}
+///           "warm_hits":..,"cold_misses":..,"truncated":false,
+///           "deadline_hit":false,"incomplete":false}
 ///   {"op":"stats"}   -> {"ok":true,"stats":{...}}   (schema lpa.stats.v1)
 ///   {"op":"health"}  -> {"ok":true,"health":{...}}  (schema lpa.health.v1)
+///   {"op":"slowlog"} -> {"ok":true,"slowlog":{...}} (schema lpa.slowlog.v1)
+///   {"op":"inspect","top":10,"sort":"bytes"|"answers"}
+///       -> {"ok":true,"inspect":{...}}              (schema lpa.inspect.v1)
 ///   {"op":"reset_stats"} -> {"ok":true}
 ///   {"op":"shutdown"}    -> {"ok":true,"bye":true}
 ///

@@ -10,7 +10,10 @@
 #include "obs/Json.h"
 #include "reader/Parser.h"
 #include "support/Stopwatch.h"
+#include "support/TableFormat.h"
 #include "term/TermWriter.h"
+
+#include <algorithm>
 
 using namespace lpa;
 
@@ -23,10 +26,12 @@ static Solver::Options engineOptions(const AnalysisSession::Options &O) {
 
 AnalysisSession::AnalysisSession(Options O)
     : Opts(std::move(O)), DB(Symbols), Engine(DB, engineOptions(Opts)),
-      Stats(Opts.Stats), Log(Opts.Log) {
+      Stats(Opts.Stats), Fr(Opts.Recorder), Slow(Opts.SlowLog),
+      Log(Opts.Log) {
   Engine.setObservability(&Trace, &Metrics);
   Engine.setSampleCursor(&Cursor);
   Engine.setQueryContext(&Ctx);
+  Engine.setFlightRecorder(&Fr);
   if (Opts.SampleHz) {
     Prof = std::make_unique<Sampler>(Sampler::Options{Opts.SampleHz});
     Prof->addLane(Opts.SampleLane, &Cursor);
@@ -44,6 +49,7 @@ AnalysisSession::~AnalysisSession() {
   if (Prof)
     Prof->stop();
   // Detach the hooks before members destruct under the engine.
+  Engine.setFlightRecorder(nullptr);
   Engine.setQueryContext(nullptr);
   Engine.setSampleCursor(nullptr);
   Engine.setObservability(nullptr, nullptr);
@@ -76,6 +82,8 @@ AnalysisSession::consult(std::string_view ProgramText) {
   if (!R)
     return R.getError();
   ConsultResult Out = sweepInvalidation(Rev, DB.numClauses() - Before);
+  Fr.record(FrEventKind::ConsultSweep, 0, Out.Loaded, Out.TablesInvalidated,
+            Out.TablesSurvived);
   if (Log)
     Log->info("consult", {{"clauses", uint64_t(Out.Loaded)},
                           {"tables_invalidated", Out.TablesInvalidated},
@@ -90,6 +98,8 @@ AnalysisSession::retract(std::string_view ClauseText) {
   if (!R)
     return R.getError();
   ConsultResult Out = sweepInvalidation(Rev, *R);
+  Fr.record(FrEventKind::RetractSweep, 0, Out.Loaded, Out.TablesInvalidated,
+            Out.TablesSurvived);
   if (Log)
     Log->info("retract", {{"clauses", uint64_t(Out.Loaded)},
                           {"tables_invalidated", Out.TablesInvalidated},
@@ -104,6 +114,14 @@ AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
   if (!Goal)
     return Goal.getError();
 
+  // Trim the goal text for the record: the REPL hands over raw input
+  // with surrounding whitespace/newlines that would mangle the report
+  // table and the JSON snapshot.
+  size_t B = GoalText.find_first_not_of(" \t\r\n");
+  size_t E = GoalText.find_last_not_of(" \t\r\n");
+  std::string_view Shown =
+      B == std::string_view::npos ? GoalText : GoalText.substr(B, E - B + 1);
+
   // Open the query scope: a fresh id, and the deadline as an absolute
   // point on the engine's steady clock. The context object is attached
   // for the session's whole life; only its fields change between solves.
@@ -112,6 +130,21 @@ AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
   Ctx.Id = R.Id;
   Ctx.DeadlineNs = DeadlineMs ? Solver::steadyNowNs() + DeadlineMs * 1000000u
                               : 0;
+
+  // The slow-query threshold is taken against the window *before* this
+  // query lands in it, and the per-predicate baseline is only snapshotted
+  // when capture is possible at all.
+  double ThresholdMs = Slow.effectiveThresholdMs(Stats.windowQuantileUs(0.95));
+  std::vector<std::pair<std::string, std::array<uint64_t, 3>>> PredsBefore;
+  if (ThresholdMs >= 0)
+    for (const PredMetrics *PM : Metrics.predicates())
+      PredsBefore.emplace_back(
+          PM->qualifiedName(),
+          std::array<uint64_t, 3>{PM->Calls, PM->Resolutions, PM->NewAnswers});
+
+  Fr.record(FrEventKind::QueryStart, R.Id, DeadlineMs, MaxSolutions, 0, 0,
+            Shown);
+  SharedTableSpace::Stats SharedBefore = Engine.sharedTableStats();
 
   EvalStats Before = Engine.stats();
   Stopwatch Watch;
@@ -128,14 +161,20 @@ AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
   R.WarmHits = After.WarmTableHits - Before.WarmTableHits;
   R.ColdMisses = After.ColdTableMisses - Before.ColdTableMisses;
   R.Truncated = After.DeadlineHits != Before.DeadlineHits;
+  R.Incomplete = After.IncompleteTables != Before.IncompleteTables;
 
-  // Trim the goal text for the record: the REPL hands over raw input
-  // with surrounding whitespace/newlines that would mangle the report
-  // table and the JSON snapshot.
-  size_t B = GoalText.find_first_not_of(" \t\r\n");
-  size_t E = GoalText.find_last_not_of(" \t\r\n");
-  std::string_view Shown =
-      B == std::string_view::npos ? GoalText : GoalText.substr(B, E - B + 1);
+  // Shard-lock contention this query induced (parallel prime phases
+  // only; zero deltas stay out of the journal).
+  const SharedTableSpace::Stats &SharedAfter = Engine.sharedTableStats();
+  if (SharedAfter.LockContended != SharedBefore.LockContended)
+    Fr.record(FrEventKind::ContentionSpike, R.Id,
+              SharedAfter.LockContended - SharedBefore.LockContended,
+              SharedAfter.LockWaitNs - SharedBefore.LockWaitNs);
+
+  uint32_t Outcome = (R.Truncated ? FrOutcomeDeadline : 0u) |
+                     (R.Incomplete ? FrOutcomeIncomplete : 0u);
+  Fr.record(FrEventKind::QueryEnd, R.Id, R.Total, R.WarmHits, R.ColdMisses,
+            Outcome);
 
   QueryRecord Rec;
   Rec.Id = R.Id;
@@ -149,6 +188,15 @@ AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
   Stats.recordGauges({R.Id, Engine.tableSpaceBytes(),
                       After.SubgoalsCreated, After.AnswersRecorded});
 
+  if (ThresholdMs >= 0 && R.WallMs >= ThresholdMs)
+    captureSlowQuery(R, Shown, ThresholdMs, PredsBefore);
+
+  // Anomalous outcome: the journal already holds the lifecycle, so dump
+  // it (plus watermarks and the sampler's folded stacks) while the
+  // context is hot. Rate-capped by FlightRecorder::Options::MaxDumps.
+  if (R.Truncated || R.Incomplete)
+    dumpAnomaly(R.Truncated ? "deadline" : "incomplete");
+
   if (Log)
     Log->info("query",
               {{"id", R.Id},
@@ -157,7 +205,8 @@ AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
                {"wall_ms", R.WallMs},
                {"warm_hits", R.WarmHits},
                {"cold_misses", R.ColdMisses},
-               {"truncated", R.Truncated}});
+               {"truncated", R.Truncated},
+               {"incomplete", R.Incomplete}});
   return R;
 }
 
@@ -201,6 +250,259 @@ std::string AnalysisSession::healthJson() const {
   W.member("table_space_bytes",
            static_cast<uint64_t>(Engine.tableSpaceBytes()));
   W.member("sampler_running", Prof && Prof->running());
+  // Long-uptime gauges (ROADMAP: dependency-index eviction and shared
+  // retirement both need these visible before they can be tuned).
+  W.member("dep_index_edges",
+           static_cast<uint64_t>(Engine.dependencyIndex().edgeCount()));
+  W.member("dep_index_bytes",
+           static_cast<uint64_t>(Engine.dependencyIndex().memoryBytes()));
+  W.member("shared_retired", Engine.sharedTableStats().Retired);
+  W.member("recorder_events", Fr.totalRecorded());
+  W.member("recorder_dropped", Fr.droppedCount());
+  W.member("postmortem_dumps", Fr.dumpsWritten());
+  W.member("slowlog_entries", static_cast<uint64_t>(Slow.size()));
+  W.endObject();
+  return Out;
+}
+
+void AnalysisSession::captureSlowQuery(
+    const QueryResult &R, std::string_view Goal, double ThresholdMs,
+    const std::vector<std::pair<std::string, std::array<uint64_t, 3>>>
+        &PredsBefore) {
+  SlowQueryExemplar Ex;
+  Ex.Id = R.Id;
+  Ex.Goal = std::string(Goal);
+  Ex.WallMs = R.WallMs;
+  Ex.ThresholdMs = ThresholdMs;
+  Ex.Solutions = R.Total;
+  Ex.WarmHits = R.WarmHits;
+  Ex.ColdMisses = R.ColdMisses;
+  Ex.DeadlineHit = R.Truncated;
+  Ex.Incomplete = R.Incomplete;
+
+  // Per-predicate deltas against the pre-query baseline (a predicate
+  // first touched during this query has baseline zero).
+  std::vector<SlowQueryExemplar::PredDelta> Deltas;
+  for (const PredMetrics *PM : Metrics.predicates()) {
+    std::array<uint64_t, 3> Base{};
+    std::string QName = PM->qualifiedName();
+    for (const auto &[Name, Counts] : PredsBefore)
+      if (Name == QName) {
+        Base = Counts;
+        break;
+      }
+    SlowQueryExemplar::PredDelta D;
+    D.Pred = std::move(QName);
+    D.Calls = PM->Calls - Base[0];
+    D.Resolutions = PM->Resolutions - Base[1];
+    D.NewAnswers = PM->NewAnswers - Base[2];
+    if (D.Calls || D.Resolutions || D.NewAnswers)
+      Deltas.push_back(std::move(D));
+  }
+  std::sort(Deltas.begin(), Deltas.end(),
+            [](const auto &A, const auto &B) {
+              return A.Resolutions > B.Resolutions;
+            });
+  if (Deltas.size() > Slow.options().TopK)
+    Deltas.resize(Slow.options().TopK);
+  Ex.TopPreds = std::move(Deltas);
+
+  // Top tables by apportioned bytes — the whole table space ranked, not
+  // just this query's additions: what an operator triaging a slow query
+  // needs is "what is big *now*".
+  std::vector<const Subgoal *> Ranked(Engine.subgoals().begin(),
+                                      Engine.subgoals().end());
+  std::sort(Ranked.begin(), Ranked.end(),
+            [this](const Subgoal *A, const Subgoal *B) {
+              return Engine.subgoalMemoryBytes(*A) >
+                     Engine.subgoalMemoryBytes(*B);
+            });
+  size_t N = std::min(Ranked.size(), Slow.options().TopK);
+  for (size_t I = 0; I < N; ++I) {
+    const Subgoal *SG = Ranked[I];
+    SlowQueryExemplar::TableEntry T;
+    T.Call = Engine.formatCall(*SG);
+    T.Answers = Engine.answerCount(*SG);
+    T.Bytes = Engine.subgoalMemoryBytes(*SG);
+    T.Incomplete = SG->Incomplete;
+    Ex.TopTables.push_back(std::move(T));
+  }
+
+  Ex.Trace = Fr.eventsForQuery(R.Id);
+  Slow.insert(std::move(Ex));
+}
+
+void AnalysisSession::dumpAnomaly(std::string_view Reason) {
+  const TableWatermarks &W = Engine.watermarks();
+  std::string Path = Fr.dump(
+      Reason,
+      {{"table_space_bytes", Engine.tableSpaceBytes()},
+       {"peak_table_space_bytes", W.PeakTableSpaceBytes},
+       {"peak_term_store_bytes", W.PeakTermStoreBytes},
+       {"peak_subgoal_answer_bytes", W.PeakSubgoalAnswerBytes},
+       {"peak_scc_frontier_bytes", W.PeakSccFrontierBytes},
+       {"subgoals", Engine.subgoals().size()},
+       {"dep_index_edges", Engine.dependencyIndex().edgeCount()},
+       {"queries_served", Stats.queriesServed()}},
+      foldedStacks());
+  if (!Path.empty() && Log)
+    Log->info("postmortem", {{"reason", Reason}, {"path", Path}});
+}
+
+std::string AnalysisSession::slowlogJson() const {
+  std::string Out;
+  JsonWriter W(Out);
+  Slow.writeJson(W, Slow.effectiveThresholdMs(Stats.windowQuantileUs(0.95)));
+  return Out;
+}
+
+std::string AnalysisSession::slowlogReport() const {
+  std::string Out;
+  double T = Slow.effectiveThresholdMs(Stats.windowQuantileUs(0.95));
+  char L[160];
+  if (T < 0)
+    Out += "Slow-query log: capture disabled\n";
+  else {
+    std::snprintf(L, sizeof(L),
+                  "Slow-query log: %zu/%zu entries, threshold %.3f ms "
+                  "(%llu captured, %llu evicted)\n",
+                  Slow.size(), Slow.capacity(), T,
+                  static_cast<unsigned long long>(Slow.captured()),
+                  static_cast<unsigned long long>(Slow.evicted()));
+    Out += L;
+  }
+  if (!Slow.size())
+    return Out;
+  TextTable Tab;
+  Tab.addRow({"Id", "Goal", "ms", "Thresh", "Sols", "Warm", "Cold", "DL",
+              "Inc", "TopPred"});
+  for (const SlowQueryExemplar *E : Slow.entries())
+    Tab.addRow({std::to_string(E->Id), E->Goal, TextTable::fmt(E->WallMs, 3),
+                TextTable::fmt(E->ThresholdMs, 3),
+                std::to_string(E->Solutions), std::to_string(E->WarmHits),
+                std::to_string(E->ColdMisses), E->DeadlineHit ? "yes" : "-",
+                E->Incomplete ? "yes" : "-",
+                E->TopPreds.empty() ? "-" : E->TopPreds.front().Pred});
+  Out += Tab.render();
+  return Out;
+}
+
+std::string AnalysisSession::inspectJson(size_t TopN, std::string_view Sort) {
+  // Refresh the per-predicate table gauges the warm-hit-rate view reads.
+  Engine.snapshotTableMetrics(Metrics);
+
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", "lpa.inspect.v1");
+  W.member("top", static_cast<uint64_t>(TopN));
+  W.member("sort", Sort);
+
+  const EvalStats &S = Engine.stats();
+  W.key("totals");
+  W.beginObject();
+  W.member("subgoals", static_cast<uint64_t>(Engine.subgoals().size()));
+  W.member("answers", S.AnswersRecorded);
+  W.member("table_space_bytes",
+           static_cast<uint64_t>(Engine.tableSpaceBytes()));
+  W.member("warm_hits", S.WarmTableHits);
+  W.member("cold_misses", S.ColdTableMisses);
+  W.member("incomplete_tables", S.IncompleteTables);
+  W.member("tables_invalidated", S.TablesInvalidated);
+  W.endObject();
+
+  // Top-N tables by bytes or answers.
+  std::vector<const Subgoal *> Ranked(Engine.subgoals().begin(),
+                                      Engine.subgoals().end());
+  bool ByAnswers = Sort == "answers";
+  std::sort(Ranked.begin(), Ranked.end(),
+            [&](const Subgoal *A, const Subgoal *B) {
+              if (ByAnswers)
+                return Engine.answerCount(*A) > Engine.answerCount(*B);
+              return Engine.subgoalMemoryBytes(*A) >
+                     Engine.subgoalMemoryBytes(*B);
+            });
+  if (Ranked.size() > TopN)
+    Ranked.resize(TopN);
+  W.key("top_tables");
+  W.beginArray();
+  for (const Subgoal *SG : Ranked) {
+    W.beginObject();
+    W.member("call", Engine.formatCall(*SG));
+    W.member("pred", Symbols.name(SG->Pred.Sym) + "/" +
+                         std::to_string(SG->Pred.Arity));
+    W.member("answers", static_cast<uint64_t>(Engine.answerCount(*SG)));
+    W.member("bytes", static_cast<uint64_t>(Engine.subgoalMemoryBytes(*SG)));
+    W.member("complete", SG->Complete);
+    W.member("incomplete", SG->Incomplete);
+    W.member("invalidated", SG->Invalidated);
+    W.member("completed_in_query", SG->CompletedInQuery);
+    W.endObject();
+  }
+  W.endArray();
+
+  // Per-predicate reuse rates.
+  W.key("predicates");
+  W.beginArray();
+  for (const PredMetrics *PM : Metrics.predicates()) {
+    if (!PM->Calls && !PM->TableSubgoals)
+      continue;
+    W.beginObject();
+    W.member("pred", PM->qualifiedName());
+    W.member("calls", PM->Calls);
+    W.member("warm_hits", PM->WarmHits);
+    W.member("cold_misses", PM->ColdMisses);
+    uint64_t Reuse = PM->WarmHits + PM->ColdMisses;
+    W.member("warm_hit_rate",
+             Reuse ? double(PM->WarmHits) / double(Reuse) : 0.0);
+    W.member("table_subgoals", PM->TableSubgoals);
+    W.member("table_answers", PM->TableAnswers);
+    W.member("table_bytes", PM->TableBytes);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("dep_index");
+  W.beginObject();
+  W.member("edges",
+           static_cast<uint64_t>(Engine.dependencyIndex().edgeCount()));
+  W.member("producers",
+           static_cast<uint64_t>(Engine.dependencyIndex().producerCount()));
+  W.member("bytes",
+           static_cast<uint64_t>(Engine.dependencyIndex().memoryBytes()));
+  W.endObject();
+
+  const SharedTableSpace::Stats &SS = Engine.sharedTableStats();
+  W.key("shared_space");
+  W.beginObject();
+  W.member("lookups", SS.Lookups);
+  W.member("warm_hits", SS.WarmHits);
+  W.member("inflight_misses", SS.InFlightMisses);
+  W.member("claims", SS.Claims);
+  W.member("publishes", SS.Publishes);
+  W.member("retired", SS.Retired);
+  W.member("lock_acquisitions", SS.LockAcquisitions);
+  W.member("lock_contended", SS.LockContended);
+  W.member("lock_wait_ns", SS.LockWaitNs);
+  W.key("shards");
+  W.beginArray();
+  for (const SharedTableSpace::ShardStats &Sh : Engine.sharedShardStats()) {
+    W.beginObject();
+    W.member("lookups", Sh.Lookups);
+    W.member("warm_hits", Sh.WarmHits);
+    W.member("claims", Sh.Claims);
+    W.member("retired", Sh.Retired);
+    W.member("entries", static_cast<uint64_t>(Sh.Entries));
+    W.member("lock_acquisitions", Sh.LockAcquisitions);
+    W.member("lock_contended", Sh.LockContended);
+    W.member("lock_wait_ns", Sh.LockWaitNs);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.key("recorder");
+  Fr.writeJson(W, /*MaxEvents=*/32);
   W.endObject();
   return Out;
 }

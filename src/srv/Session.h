@@ -25,14 +25,18 @@
 #define LPA_SRV_SESSION_H
 
 #include "engine/Solver.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Sampler.h"
 #include "obs/Trace.h"
 #include "srv/ServiceStats.h"
+#include "srv/SlowLog.h"
 
+#include <array>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lpa {
@@ -60,6 +64,13 @@ public:
     Logger *Log = nullptr;
     /// Telemetry ring sizes.
     ServiceStats::Options Stats;
+    /// Flight-recorder ring capacity and post-mortem dump policy. The
+    /// recorder itself is always on (it is request-granular and bounded);
+    /// dumps only happen when Recorder.DumpDir is set.
+    FlightRecorder::Options Recorder;
+    /// Slow-query exemplar capture (SlowLog.ThresholdMs: > 0 fixed ms,
+    /// 0 adaptive vs the rolling p95, < 0 off).
+    SlowQueryLog::Options SlowLog;
   };
 
   /// What one query returned. Solutions are rendered as text because the
@@ -72,6 +83,10 @@ public:
     uint64_t WarmHits = 0;
     uint64_t ColdMisses = 0;
     bool Truncated = false; ///< The deadline expired mid-search.
+    /// A table completed tainted during this query (depth/deadline
+    /// pruning starved a producer), so the answer set may be a strict
+    /// subset of the minimal model even when Truncated is false.
+    bool Incomplete = false;
   };
 
   AnalysisSession() : AnalysisSession(Options{}) {}
@@ -118,6 +133,20 @@ public:
   /// The cheap liveness snapshot (schema "lpa.health.v1").
   std::string healthJson() const;
 
+  /// The slow-query log (schema "lpa.slowlog.v1"), most-recent first.
+  std::string slowlogJson() const;
+
+  /// Live table-space introspection (schema "lpa.inspect.v1"): top-\p
+  /// TopN tables by \p Sort ("bytes" or "answers"), per-predicate
+  /// warm-hit rates, dependency-index size, shared-space retirement and
+  /// per-shard contention, and the flight-recorder tail. This is the
+  /// feed `tools/lpa_top` renders and the ROADMAP's eviction/shard-tuning
+  /// work reads.
+  std::string inspectJson(size_t TopN = 10, std::string_view Sort = "bytes");
+
+  /// Human-readable slow-query table for the REPL's ":slowlog".
+  std::string slowlogReport() const;
+
   /// One-line warm/cold summary for the REPL's ":stats".
   std::string warmColdLine() const;
 
@@ -149,6 +178,8 @@ public:
   ServiceStats &serviceStats() { return Stats; }
   Sampler *sampler() { return Prof.get(); }
   Logger *log() { return Log; }
+  FlightRecorder &flightRecorder() { return Fr; }
+  SlowQueryLog &slowlog() { return Slow; }
   /// @}
 
   uint64_t queriesServed() const { return Stats.queriesServed(); }
@@ -159,6 +190,18 @@ private:
   /// into the service telemetry.
   ConsultResult sweepInvalidation(uint64_t FromRev, size_t Loaded);
 
+  /// Captures a slow-query exemplar for the query that just finished:
+  /// per-predicate deltas against \p PredsBefore, top tables by bytes,
+  /// and the recorder slice for \p R.Id.
+  void captureSlowQuery(const QueryResult &R, std::string_view Goal,
+                        double ThresholdMs,
+                        const std::vector<std::pair<
+                            std::string, std::array<uint64_t, 3>>> &PredsBefore);
+
+  /// Writes a post-mortem (recorder + watermarks + folded stacks) for an
+  /// anomalous query; no-op unless the recorder has a dump directory.
+  void dumpAnomaly(std::string_view Reason);
+
   Options Opts;
   SymbolTable Symbols;
   Database DB;
@@ -168,6 +211,8 @@ private:
   EvalCursor Cursor;
   std::unique_ptr<Sampler> Prof; ///< Null when Options::SampleHz == 0.
   ServiceStats Stats;
+  FlightRecorder Fr; ///< Always-on bounded journal (engine-attached).
+  SlowQueryLog Slow; ///< Slow-query exemplars (LRU).
   Logger *Log = nullptr;
   QueryContext Ctx;        ///< Attached to the engine for the session's life.
   uint64_t NextQueryId = 0;

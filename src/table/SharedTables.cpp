@@ -245,6 +245,26 @@ SharedTableSpace::Stats SharedTableSpace::stats() const {
   return Out;
 }
 
+std::vector<SharedTableSpace::ShardStats>
+SharedTableSpace::perShardStats() const {
+  std::vector<ShardStats> Out;
+  Out.reserve(Shards.size());
+  for (const auto &S : Shards) {
+    ShardStats SS;
+    SS.Lookups = S->Lookups.load(std::memory_order_relaxed);
+    SS.WarmHits = S->WarmHits.load(std::memory_order_relaxed);
+    SS.InFlightMisses = S->InFlightMisses.load(std::memory_order_relaxed);
+    SS.Claims = S->Claims.load(std::memory_order_relaxed);
+    SS.Retired = S->Retired.load(std::memory_order_relaxed);
+    SS.LockAcquisitions = S->LockAcquisitions.load(std::memory_order_relaxed);
+    SS.LockContended = S->LockContended.load(std::memory_order_relaxed);
+    SS.LockWaitNs = S->LockWaitNs.load(std::memory_order_relaxed);
+    SS.Entries = S->NumEntries.load(std::memory_order_acquire);
+    Out.push_back(SS);
+  }
+  return Out;
+}
+
 size_t SharedTableSpace::memoryBytes() const {
   size_t Bytes = sizeof(*this);
   for (const auto &S : Shards) {

@@ -170,6 +170,25 @@ public:
   /// Aggregated across shards (relaxed reads; exact when quiescent).
   Stats stats() const;
 
+  /// One shard's counters — the per-stripe view behind stats(). The skew
+  /// across shards (one hot stripe vs. an even spread) is what the
+  /// ROADMAP's contention-guided shard tuning reads; the aggregate alone
+  /// cannot distinguish the two.
+  struct ShardStats {
+    uint64_t Lookups = 0;
+    uint64_t WarmHits = 0;
+    uint64_t InFlightMisses = 0;
+    uint64_t Claims = 0;
+    uint64_t Retired = 0;
+    uint64_t LockAcquisitions = 0;
+    uint64_t LockContended = 0;
+    uint64_t LockWaitNs = 0;
+    uint32_t Entries = 0; ///< Variants registered in the shard.
+  };
+  /// Per-shard counters in shard order (relaxed reads; exact when
+  /// quiescent).
+  std::vector<ShardStats> perShardStats() const;
+
   size_t shardCount() const { return Shards.size(); }
 
   /// Bytes held by shard indexes and published table stores.

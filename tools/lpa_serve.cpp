@@ -12,7 +12,8 @@
 //
 // Usage:
 //   lpa_serve [--socket PATH] [--log-level debug|info|warn|error]
-//             [--provenance] [--sample-hz N]
+//             [--provenance] [--sample-hz N] [--eval-workers N]
+//             [--slow-ms MS] [--dump-dir PATH]
 //
 // Structured logs (JSON lines) go to stderr; protocol responses to the
 // client. Exit: 0 on a clean "shutdown" verb or EOF, 2 on usage errors.
@@ -45,7 +46,12 @@ int usage(const char *Argv0) {
                "  --provenance      record justifications (\":why\"-style)\n"
                "  --sample-hz N     background sampling profiler rate (0)\n"
                "  --eval-workers N  intra-query parallel eval workers "
-               "(0 = serial)\n",
+               "(0 = serial)\n"
+               "  --slow-ms MS      slow-query capture threshold in ms\n"
+               "                    (0 = adaptive vs rolling p95, the "
+               "default; -1 = off)\n"
+               "  --dump-dir PATH   write post-mortem dumps (anomalies and\n"
+               "                    fatal signals) into PATH\n",
                Argv0);
   return 2;
 }
@@ -156,6 +162,10 @@ int main(int argc, char **argv) {
       SO.SampleHz = static_cast<uint32_t>(std::strtoul(argv[++I], nullptr, 10));
     } else if (A == "--eval-workers" && I + 1 < argc) {
       SO.EvalWorkers = std::strtoul(argv[++I], nullptr, 10);
+    } else if (A == "--slow-ms" && I + 1 < argc) {
+      SO.SlowLog.ThresholdMs = std::strtod(argv[++I], nullptr);
+    } else if (A == "--dump-dir" && I + 1 < argc) {
+      SO.Recorder.DumpDir = argv[++I];
     } else {
       return usage(argv[0]);
     }
@@ -164,6 +174,11 @@ int main(int argc, char **argv) {
   Logger Log(stderr, Level);
   SO.Log = &Log;
   AnalysisSession Session(SO);
+  // Fatal-signal black box: with a dump directory configured, a crash
+  // still leaves the flight-recorder tail on disk (async-signal-safe
+  // path; the handler re-raises after writing).
+  if (!SO.Recorder.DumpDir.empty())
+    FlightRecorder::installSignalDump(&Session.flightRecorder());
   Log.info("lpa_serve up",
            {{"transport", SocketPath.empty() ? "stdio" : "socket"},
             {"sample_hz", uint64_t(SO.SampleHz)},
