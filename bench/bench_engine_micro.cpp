@@ -300,6 +300,37 @@ void BM_RecordAnswerProvenance(benchmark::State &State) {
 }
 BENCHMARK(BM_RecordAnswerProvenance)->Arg(0)->Arg(1);
 
+/// A/B ablation of per-subgoal cost recording (Options::RecordCosts) on
+/// the same complete-digraph closure: with a profile attached, every
+/// producer switch reads the steady clock and every derivation step /
+/// answer insert / answer consume bumps a per-subgoal record (steps
+/// batched: one clock read per 64). Arg: 1 = recording on, 0 = off (the
+/// null-cost path — one pointer test per hook). Arg 0 pins the disabled
+/// path: it must not regress when cost hooks change.
+void BM_CostRecord(benchmark::State &State) {
+  const int N = 12;
+  std::string Prog = ":- table path/2.\n"
+                     "path(X, Y) :- edge(X, Y).\n"
+                     "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J)
+      Prog += "edge(" + std::to_string(I) + ", " + std::to_string(J) +
+              ").\n";
+  SymbolTable Syms;
+  Database DB(Syms);
+  (void)DB.consult(Prog);
+  Solver::Options EO;
+  EO.RecordCosts = State.range(0) != 0;
+  for (auto _ : State) {
+    Solver Engine(DB, EO);
+    auto G = Parser::parseTerm(Syms, Engine.store(), "path(X, Y)");
+    size_t Sols = Engine.solve(*G, nullptr);
+    benchmark::DoNotOptimize(Sols);
+  }
+  State.SetItemsProcessed(State.iterations() * 4 * N * N);
+}
+BENCHMARK(BM_CostRecord)->Arg(0)->Arg(1);
+
 /// A/B ablation of the sampling-profiler cursor (Solver::setSampleCursor)
 /// on the same complete-digraph closure: with a cursor attached, every
 /// producer run brackets a seqlock frame push/pop and every recorded

@@ -31,6 +31,9 @@
 //                     daemon's "slowlog" verb is the JSON twin)
 //   :trace on|off     print one line per SLG event as goals run
 //   :profile <goal>   run a goal and report the engine work it caused
+//   :explain <goal>   run a goal with a cost profile attached and print
+//                     the per-subgoal self/cumulative time breakdown
+//                     (the daemon's "explain" verb is the JSON twin)
 //   :why <goal>       solve the goal and print proof trees for its answers
 //   :forest [dot|json] [path]   dump the SLG subgoal dependency forest
 //   :flame [path]     folded stacks from the always-on sampling profiler
@@ -72,8 +75,8 @@ int main() {
 
   std::printf("lpa toplevel — tabled logic engine "
               "(clauses to assert, '?- G.' to query, ':stats', ':queries', "
-              "':slowlog', ':trace on|off', ':profile G', ':why G', "
-              "':forest [dot|json] [path]', ':flame [path]', "
+              "':slowlog', ':trace on|off', ':profile G', ':explain G', "
+              "':why G', ':forest [dot|json] [path]', ':flame [path]', "
               "'halt.' to quit)\n");
 
   std::string Buffer;
@@ -199,6 +202,12 @@ int main() {
                       Engine.tableSpaceBytes() - BytesBefore);
           continue;
         }
+        if (Cmd.compare(0, 9, ":explain ") == 0) {
+          // Evaluates with a per-query cost profile attached (only this
+          // query pays the clock reads) and prints the profiler view.
+          std::printf("%s", Session.explainReport(Cmd.substr(9)).c_str());
+          continue;
+        }
         if (Cmd.compare(0, 5, ":why ") == 0) {
           std::string GoalText = Cmd.substr(5);
           auto Goal = Parser::parseTerm(Symbols, Engine.store(), GoalText);
@@ -317,7 +326,7 @@ int main() {
         }
         std::printf("  unknown command: %s "
                     "(:stats, :queries, :slowlog, :trace on|off, "
-                    ":profile <goal>, "
+                    ":profile <goal>, :explain <goal>, "
                     ":why <goal>, :forest [dot|json] [path], "
                     ":flame [path])\n",
                     Cmd.c_str());

@@ -127,6 +127,10 @@ Solver::Solver(Database &DB, Options Opts)
     : DB(DB), Symbols(DB.symbols()), Opts(Opts), Builtins(DB.symbols()) {
   if (this->Opts.RecordProvenance)
     Prov = std::make_unique<ProvenanceArena>();
+  if (this->Opts.RecordCosts) {
+    OwnedCosts = std::make_unique<CostProfile>();
+    Costs = OwnedCosts.get();
+  }
   // Intern every symbol evaluation tests up front: the symbol table is
   // shared across parallel eval workers and interning mutates it, so no
   // eval path may intern.
@@ -176,6 +180,8 @@ size_t Solver::solve(TermRef Goal, const SolutionFn &OnSolution) {
       Trace->setQuery(CurQueryId);
     if (Cursor)
       Cursor->setQueryId(CurQueryId);
+    if (Costs)
+      Costs->beginQuery(CurQueryId);
     // Intra-query parallelism: an outermost conjunction of independent
     // tabled goals is primed in parallel first; the ordinary serial search
     // below then runs entirely against warm tables. primeTables re-checks
@@ -198,8 +204,10 @@ size_t Solver::solve(TermRef Goal, const SolutionFn &OnSolution) {
   solveGoals(G, 0, ++CutCounter, Wrapped);
   // Goal nodes are only reachable during the query; recycle them when no
   // producer is active (i.e. this was an outermost query).
-  if (ProducerStack.empty() && CompletionStack.empty())
+  if (ProducerStack.empty() && CompletionStack.empty()) {
+    if (Costs) Costs->endQuery();
     GoalArena.clear();
+  }
   return Count;
 }
 
@@ -1022,6 +1030,8 @@ bool Solver::recordAnswer(Subgoal &SG, TermRef Instance) {
   };
   auto NoteRecorded = [&]() {
     ++Stats.AnswersRecorded;
+    if (Costs)
+      Costs->noteAnswerInserted(SG.Ordinal);
     // Term-store watermark: memoryBytes() is O(1) (two capacity reads), so
     // every recorded answer refreshes the exact peak.
     size_t StoreBytes = Tables.memoryBytes();
@@ -1292,6 +1302,8 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
     ++Stats.WarmTableHits;
     if (Metrics)
       ++Metrics->pred(Symbols, Key.Sym, Key.Arity).WarmHits;
+    if (Costs)
+      Costs->noteWarmHit(SG.Ordinal);
   }
   if (!SG.Complete && !ProducerStack.empty()) {
     Subgoal *Parent = ProducerStack.back();
@@ -1314,6 +1326,8 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
     for (size_t I = Start; I < SG.AnswerSeq.size(); ++I) {
       auto M = Heap.mark();
       bindFactoredAnswer(SG, I, GoalVars);
+      if (Costs)
+        Costs->noteAnswerConsumed(SG.Ordinal);
       if (Prov)
         PremiseStack.push_back({SG.Ordinal, static_cast<uint32_t>(I)});
       OnSolution();
@@ -1327,6 +1341,8 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
     auto M = Heap.mark();
     TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);
     if (unify(Heap, G, Ans, /*OccursCheck=*/false)) {
+      if (Costs)
+        Costs->noteAnswerConsumed(SG.Ordinal);
       if (Prov)
         PremiseStack.push_back({SG.Ordinal, static_cast<uint32_t>(I)});
       OnSolution();
@@ -1340,6 +1356,8 @@ void Solver::solveSemiGoal(TermRef G, uint64_t MinSeq,
 void Solver::runClauseSupplementary(Subgoal &SG, const Clause &C,
                                     size_t ClauseIdx, size_t NumClauses) {
   ++Stats.ClauseResolutions;
+  if (Costs)
+    Costs->noteStep();
   if (Metrics)
     ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).Resolutions;
   if (Trace)
@@ -1598,6 +1616,8 @@ bool Solver::runProducer(Subgoal &SG) {
     // Impure clause (cut/negation/...): tuple-at-a-time SLD, with one cut
     // barrier shared across the producer's clause alternatives.
     ++Stats.ClauseResolutions;
+    if (Costs)
+      Costs->noteStep();
     if (Metrics)
       ++Metrics->pred(Symbols, SG.Pred.Sym, SG.Pred.Arity).Resolutions;
     if (Trace)
@@ -1862,7 +1882,11 @@ void Solver::driveSubgoal(Subgoal &SG) {
   ProducerStack.push_back(&SG);
   if (Cursor)
     Cursor->pushFrame(SG.Pred.Sym, SG.Pred.Arity);
+  if (Costs)
+    Costs->pushFrame(SG.Ordinal);
   runProducer(SG);
+  if (Costs)
+    Costs->popFrame();
   if (Cursor)
     Cursor->popFrame();
   ProducerStack.pop_back();
@@ -1885,7 +1909,13 @@ void Solver::driveSubgoal(Subgoal &SG) {
         ProducerStack.push_back(Member);
         if (Cursor)
           Cursor->pushFrame(Member->Pred.Sym, Member->Pred.Arity);
+        if (Costs) {
+          Costs->pushFrame(Member->Ordinal);
+          Costs->noteResumption(Member->Ordinal);
+        }
         runProducer(*Member);
+        if (Costs)
+          Costs->popFrame();
         if (Cursor)
           Cursor->popFrame();
         ProducerStack.pop_back();
@@ -1933,6 +1963,8 @@ void Solver::driveSubgoal(Subgoal &SG) {
       }
       // Producers never re-run once complete; release the supplementary
       // tables and answer dedup structures.
+      if (Costs)
+        Costs->noteTableBytes(Member->Ordinal, subgoalMemoryBytes(*Member));
       SccFrontierBytes += releaseCompletedState(*Member);
       if (Metrics)
         ++Metrics->pred(Symbols, Member->Pred.Sym, Member->Pred.Arity)
@@ -1975,6 +2007,8 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
     ++Stats.WarmTableHits;
     if (Metrics)
       ++Metrics->pred(Symbols, P.Key.Sym, P.Key.Arity).WarmHits;
+    if (Costs)
+      Costs->noteWarmHit(SG.Ordinal);
   }
 
   // Record the SCC dependency of the producer that issued this call, and
@@ -2006,6 +2040,8 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
     for (size_t I = 0; I < SG.AnswerSeq.size(); ++I) {
       auto M = Heap.mark();
       bindFactoredAnswer(SG, I, GoalVars);
+      if (Costs)
+        Costs->noteAnswerConsumed(SG.Ordinal);
       // The consumed answer rides the premise stack while the continuation
       // runs: any answer recorded downstream lists it as a premise.
       if (Prov)
@@ -2024,6 +2060,8 @@ Solver::Signal Solver::solveTabled(const Predicate &P, TermRef Goal,
     TermRef Ans = copyTerm(Tables, SG.Answers[I], Heap);
     Signal S = Signal::exhausted();
     if (unify(Heap, Goal, Ans, /*OccursCheck=*/false)) {
+      if (Costs)
+        Costs->noteAnswerConsumed(SG.Ordinal);
       if (Prov)
         PremiseStack.push_back({SG.Ordinal, static_cast<uint32_t>(I)});
       S = solveGoals(Rest, Depth + 1, CutLevel, OnSolution);
@@ -2088,7 +2126,96 @@ ForestGraph Solver::exportForest() const {
     G.Nodes.push_back(std::move(N));
   }
   G.Edges = DepEdges;
+  // Flame-view annotation: when a cost profile is attached, nodes the
+  // current/last query touched carry their self-vs-cumulative split.
+  if (Costs) {
+    CostSummary CS = exportCostSummary();
+    for (const CostNode &C : CS.Nodes) {
+      if (C.Ordinal >= G.Nodes.size())
+        continue;
+      ForestNode &F = G.Nodes[C.Ordinal];
+      F.HasCost = true;
+      F.CostWarm = C.Warm;
+      F.CostSelfNs = C.SelfNs;
+      F.CostCumNs = C.CumNs;
+      F.CostSteps = C.Steps;
+      F.CostAnswersConsumed = C.AnswersConsumed;
+      F.CostResumptions = C.Resumptions;
+    }
+  }
   return G;
+}
+
+CostSummary Solver::exportCostSummary() const {
+  CostSummary S;
+  if (!Costs)
+    return S;
+  S.QueryId = Costs->queryId();
+  S.QueryWallNs = Costs->queryWallNs();
+  S.AttributedNs = Costs->attributedNs();
+  S.RootNs = Costs->rootNs();
+  S.RootSteps = Costs->rootSteps();
+  // Touched is first-touch ordered, so a parent's node index is always
+  // assigned before any child needs to look it up.
+  std::unordered_map<uint32_t, uint32_t> NodeOf;
+  NodeOf.reserve(Costs->touched().size());
+  for (uint32_t Ord : Costs->touched()) {
+    const CostProfile::Record *R = Costs->record(Ord);
+    if (!R || Ord >= SubgoalOrder.size())
+      continue;
+    const Subgoal &SG = *SubgoalOrder[Ord];
+    CostNode N;
+    N.Ordinal = Ord;
+    N.Pred = Symbols.name(SG.Pred.Sym) + "/" + std::to_string(SG.Pred.Arity);
+    N.Label = formatCall(SG);
+    N.SccId = SG.SccId;
+    N.Warm = R->Warm;
+    N.SelfNs = R->SelfNs;
+    N.Steps = R->Steps;
+    N.AnswersInserted = R->AnswersInserted;
+    N.AnswersConsumed = R->AnswersConsumed;
+    N.Resumptions = R->Resumptions;
+    N.TableBytes = R->TableBytes;
+    if (R->Parent != CostProfile::NoParent) {
+      auto It = NodeOf.find(R->Parent);
+      if (It != NodeOf.end())
+        N.Parent = It->second;
+    }
+    NodeOf.emplace(Ord, static_cast<uint32_t>(S.Nodes.size()));
+    S.Nodes.push_back(std::move(N));
+  }
+  computeCumulativeNs(S.Nodes);
+
+  auto Roll = [](std::vector<CostRollup> &Out,
+                 std::unordered_map<std::string, size_t> &Slot,
+                 const std::string &Key, const CostNode &N) {
+    auto [It, Fresh] = Slot.try_emplace(Key, Out.size());
+    if (Fresh) {
+      Out.emplace_back();
+      Out.back().Key = Key;
+    }
+    CostRollup &R = Out[It->second];
+    R.Subgoals += 1;
+    R.WarmHits += N.Warm ? 1 : 0;
+    R.SelfNs += N.SelfNs;
+    R.Steps += N.Steps;
+    R.AnswersInserted += N.AnswersInserted;
+    R.AnswersConsumed += N.AnswersConsumed;
+    R.Resumptions += N.Resumptions;
+    R.TableBytes += N.TableBytes;
+  };
+  std::unordered_map<std::string, size_t> PredSlot, SccSlot;
+  for (const CostNode &N : S.Nodes) {
+    Roll(S.PerPred, PredSlot, N.Pred, N);
+    Roll(S.PerScc, SccSlot,
+         N.SccId ? "scc " + std::to_string(N.SccId) : std::string("open"), N);
+  }
+  auto BySelf = [](const CostRollup &A, const CostRollup &B) {
+    return A.SelfNs != B.SelfNs ? A.SelfNs > B.SelfNs : A.Key < B.Key;
+  };
+  std::sort(S.PerPred.begin(), S.PerPred.end(), BySelf);
+  std::sort(S.PerScc.begin(), S.PerScc.end(), BySelf);
+  return S;
 }
 
 ProvenanceArena::CheckStats Solver::checkProvenance() const {

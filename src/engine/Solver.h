@@ -30,6 +30,7 @@
 
 #include "engine/Builtins.h"
 #include "engine/Database.h"
+#include "obs/CostProfile.h"
 #include "obs/FlightRecorder.h"
 #include "obs/Forest.h"
 #include "obs/Metrics.h"
@@ -343,6 +344,16 @@ public:
     /// default: like the tracer, every hook then reduces to a null-pointer
     /// test and the arena is never allocated.
     bool RecordProvenance = false;
+    /// Accumulate per-subgoal evaluation costs (wall ns, derivation steps,
+    /// answer traffic, resumptions, table bytes, warm/cold origin) into an
+    /// owned CostProfile — the `explain` verb's data source. Costs are
+    /// pure observation: evaluation order and answer sets are untouched,
+    /// so serial-vs-parallel fingerprints stay bit-identical with
+    /// recording on. Off by default: every hook then reduces to one
+    /// null-pointer test (pinned by the BM_CostRecord A/B micro) and no
+    /// profile is allocated. A caller-owned profile can also be attached
+    /// per query via setCostProfile.
+    bool RecordCosts = false;
     /// Intra-query parallelism: 0 or 1 evaluates serially; N > 1 lets an
     /// outermost solve() (or an explicit primeTables() call) dispatch
     /// independent tabled seed goals to N pool workers that share one
@@ -609,6 +620,21 @@ public:
   void setFlightRecorder(FlightRecorder *R) { Recorder = R; }
   FlightRecorder *flightRecorder() const { return Recorder; }
 
+  /// Attaches (or, with nullptr, detaches) a caller-owned cost profile:
+  /// the solver then charges per-subgoal costs through it exactly as
+  /// Options::RecordCosts would through the owned one (attaching replaces
+  /// the owned profile for as long as the attachment lasts; detaching
+  /// restores it). The service layer uses this to record costs for an
+  /// `explain` query only, against a solver built without RecordCosts.
+  /// Same ownership and cost contract as the other hooks; must only be
+  /// swapped *between* solve() calls.
+  void setCostProfile(CostProfile *CP) {
+    Costs = CP ? CP : OwnedCosts.get();
+  }
+  /// The active profile (owned or attached), or nullptr when recording is
+  /// off.
+  CostProfile *costProfile() const { return Costs; }
+
   /// Id of the query the solver is serving (or last served): the attached
   /// context's Id, else the internal outermost-solve sequence number.
   uint64_t currentQueryId() const { return CurQueryId; }
@@ -657,6 +683,13 @@ public:
   /// consumer -> producer dependency edges (recorded only while provenance
   /// is on), SCC membership, completion order and Incomplete taint.
   ForestGraph exportForest() const;
+
+  /// One query's cost attribution (the active profile's current/last
+  /// query), with predicate names, call labels and SCC ids resolved and
+  /// cumulative times computed over the first-touch tree; per-predicate
+  /// and per-SCC rollups sorted by self time. Empty when no profile is
+  /// active. See obs/CostProfile.h for the attribution discipline.
+  CostSummary exportCostSummary() const;
 
   /// Validates every recorded justification against the live answer
   /// tables: each premise must name an existing subgoal and an answer
@@ -883,6 +916,12 @@ private:
   const QueryContext *Query = nullptr;
   /// Flight recorder (null when detached; see setFlightRecorder).
   FlightRecorder *Recorder = nullptr;
+  /// Cost profile owned by the solver (allocated in the constructor iff
+  /// Options::RecordCosts, mirroring the provenance arena).
+  std::unique_ptr<CostProfile> OwnedCosts;
+  /// The active cost profile: OwnedCosts.get(), a caller attachment, or
+  /// null (the default — one pointer test per hook; see setCostProfile).
+  CostProfile *Costs = nullptr;
   /// Internal outermost-query sequence, used when no context supplies an
   /// id. Never reset: warm-hit detection needs ids unique across the
   /// solver's whole life, including across resetStats()/clearTables().

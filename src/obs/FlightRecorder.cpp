@@ -63,6 +63,8 @@ void FlightRecorder::record(FrEventKind K, uint64_t QueryId, uint64_t A,
   size_t N = std::min(Detail.size(), sizeof(E.Detail) - 1);
   std::memcpy(E.Detail, Detail.data(), N);
   E.Detail[N] = '\0';
+  if (K == FrEventKind::DeadlineHit || K == FrEventKind::IncompleteTable)
+    Alarms.fetch_add(1, std::memory_order_relaxed);
   ++Total;
   if (!Opts.Capacity || Events.size() < Opts.Capacity) {
     Events.push_back(E);

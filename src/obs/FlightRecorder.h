@@ -38,6 +38,7 @@
 #ifndef LPA_OBS_FLIGHTRECORDER_H
 #define LPA_OBS_FLIGHTRECORDER_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <initializer_list>
@@ -134,6 +135,17 @@ public:
   /// place when it has wrapped, exactly like RecordingSink::events().
   const std::vector<FrEvent> &events() const;
 
+  /// \name Anomaly alarms — deadline-at-risk and incomplete-taint events.
+  /// The counter is atomic so the Sampler thread can watch it lock-free
+  /// and boost its sweep rate for the remainder of an at-risk query
+  /// (adaptive sampling; see Sampler::setAlarmSource).
+  /// @{
+  uint64_t alarmCount() const {
+    return Alarms.load(std::memory_order_relaxed);
+  }
+  const std::atomic<uint64_t> *alarmCounter() const { return &Alarms; }
+  /// @}
+
   /// Events evicted by the ring; 0 while it has never filled.
   uint64_t droppedCount() const { return Dropped; }
   /// Every event ever recorded: droppedCount() + events().size().
@@ -203,6 +215,7 @@ private:
   uint64_t Dropped = 0;
   uint64_t Total = 0;
   uint64_t Dumps = 0;
+  std::atomic<uint64_t> Alarms{0};
   std::chrono::steady_clock::time_point Epoch;
 };
 

@@ -10,6 +10,7 @@
 #include "obs/Json.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace lpa {
 
@@ -36,6 +37,21 @@ std::string dotEscape(const std::string &S) {
     }
   }
   return Out;
+}
+
+/// Nanoseconds rendered as a compact human quantity for DOT labels.
+std::string fmtNs(uint64_t Ns) {
+  char Buf[32];
+  if (Ns >= 1000000000ull)
+    std::snprintf(Buf, sizeof(Buf), "%.2fs", double(Ns) / 1e9);
+  else if (Ns >= 1000000ull)
+    std::snprintf(Buf, sizeof(Buf), "%.2fms", double(Ns) / 1e6);
+  else if (Ns >= 1000ull)
+    std::snprintf(Buf, sizeof(Buf), "%.1fus", double(Ns) / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%lluns",
+                  static_cast<unsigned long long>(Ns));
+  return Buf;
 }
 
 std::vector<ForestEdge> sortedUniqueEdges(const ForestGraph &G) {
@@ -105,6 +121,14 @@ std::string forestToDot(const ForestGraph &G) {
     if (N.SccId)
       Out += ", scc " + std::to_string(N.SccId) + ", done #" +
              std::to_string(N.CompletionOrder);
+    if (N.HasCost) {
+      // Profiler flame view: exclusive vs inclusive time for the query
+      // that exported this forest.
+      Out += "\\nself " + fmtNs(N.CostSelfNs) + " / cum " +
+             fmtNs(N.CostCumNs);
+      if (N.CostWarm)
+        Out += " (warm)";
+    }
     if (N.Incomplete)
       Out += "\\nINCOMPLETE";
     else if (!N.Complete)
@@ -148,6 +172,17 @@ void writeForestJson(const ForestGraph &G, JsonWriter &W) {
     W.member("incomplete", N.Incomplete);
     W.member("scc", static_cast<uint64_t>(N.SccId));
     W.member("completion_order", static_cast<uint64_t>(N.CompletionOrder));
+    if (N.HasCost) {
+      W.key("cost");
+      W.beginObject();
+      W.member("self_ns", N.CostSelfNs);
+      W.member("cum_ns", N.CostCumNs);
+      W.member("steps", N.CostSteps);
+      W.member("answers_consumed", N.CostAnswersConsumed);
+      W.member("resumptions", N.CostResumptions);
+      W.member("warm", N.CostWarm);
+      W.endObject();
+    }
     W.endObject();
   }
   W.endArray();

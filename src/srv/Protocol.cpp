@@ -35,6 +35,11 @@ std::string lpa::handleRequestLine(AnalysisSession &Session,
   if (Op.empty())
     return errorResponse("missing \"op\"");
 
+  // Opportunistic telemetry sampling: the daemon has no timer thread, so
+  // the history ring advances whenever a request arrives and the interval
+  // has elapsed — any op, not just `metrics`.
+  Session.tickMetricsHistory();
+
   if (Op == "consult") {
     const JsonValue *Prog = Doc->find("program");
     if (!Prog || !Prog->isString())
@@ -128,10 +133,37 @@ std::string lpa::handleRequestLine(AnalysisSession &Session,
     if (Top < 0)
       return errorResponse("top must be nonnegative");
     std::string Sort = Doc->stringOr("sort", "bytes");
-    if (Sort != "bytes" && Sort != "answers")
-      return errorResponse("sort must be \"bytes\" or \"answers\"");
+    if (Sort != "bytes" && Sort != "answers" && Sort != "contention")
+      return errorResponse(
+          "sort must be \"bytes\", \"answers\" or \"contention\"");
     return std::string("{\"ok\":true,\"inspect\":") +
            Session.inspectJson(static_cast<size_t>(Top), Sort) + "}";
+  }
+
+  if (Op == "explain") {
+    const JsonValue *Goal = Doc->find("goal");
+    if (!Goal || !Goal->isString())
+      return errorResponse("explain needs a string \"goal\"");
+    double Top = Doc->numberOr("top", 10);
+    double MaxSol = Doc->numberOr("max_solutions", 10);
+    double DeadlineMs = Doc->numberOr("deadline_ms", 0);
+    if (Top < 0 || MaxSol < 0 || DeadlineMs < 0)
+      return errorResponse(
+          "top/max_solutions/deadline_ms must be nonnegative");
+    auto R = Session.explainJson(Goal->asString(), static_cast<size_t>(Top),
+                                 static_cast<size_t>(MaxSol),
+                                 static_cast<uint64_t>(DeadlineMs));
+    if (!R)
+      return errorResponse(R.getError().str());
+    return std::string("{\"ok\":true,\"explain\":") + *R + "}";
+  }
+
+  if (Op == "metrics") {
+    double MaxSamples = Doc->numberOr("max_samples", 0);
+    if (MaxSamples < 0)
+      return errorResponse("max_samples must be nonnegative");
+    return std::string("{\"ok\":true,\"metrics\":") +
+           Session.metricsJson(static_cast<size_t>(MaxSamples)) + "}";
   }
 
   if (Op == "reset_stats") {

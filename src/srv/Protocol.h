@@ -22,8 +22,14 @@
 ///   {"op":"stats"}   -> {"ok":true,"stats":{...}}   (schema lpa.stats.v1)
 ///   {"op":"health"}  -> {"ok":true,"health":{...}}  (schema lpa.health.v1)
 ///   {"op":"slowlog"} -> {"ok":true,"slowlog":{...}} (schema lpa.slowlog.v1)
-///   {"op":"inspect","top":10,"sort":"bytes"|"answers"}
+///   {"op":"inspect","top":10,"sort":"bytes"|"answers"|"contention"}
 ///       -> {"ok":true,"inspect":{...}}              (schema lpa.inspect.v1)
+///   {"op":"explain","goal":"path(a,X)","top":10,"max_solutions":10,
+///    "deadline_ms":0}
+///       -> {"ok":true,"explain":{...}}              (schema lpa.explain.v1)
+///   {"op":"metrics","max_samples":0}
+///       -> {"ok":true,"metrics":{...}}              (schema lpa.metrics.v1;
+///          "exposition" holds Prometheus text, "history" the trend ring)
 ///   {"op":"reset_stats"} -> {"ok":true}
 ///   {"op":"shutdown"}    -> {"ok":true,"bye":true}
 ///

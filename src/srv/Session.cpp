@@ -20,6 +20,7 @@ using namespace lpa;
 static Solver::Options engineOptions(const AnalysisSession::Options &O) {
   Solver::Options E;
   E.RecordProvenance = O.RecordProvenance;
+  E.RecordCosts = O.RecordCosts;
   E.EvalWorkers = O.EvalWorkers;
   return E;
 }
@@ -27,11 +28,26 @@ static Solver::Options engineOptions(const AnalysisSession::Options &O) {
 AnalysisSession::AnalysisSession(Options O)
     : Opts(std::move(O)), DB(Symbols), Engine(DB, engineOptions(Opts)),
       Stats(Opts.Stats), Fr(Opts.Recorder), Slow(Opts.SlowLog),
-      Log(Opts.Log) {
+      Hist(Opts.History), Log(Opts.Log) {
   Engine.setObservability(&Trace, &Metrics);
   Engine.setSampleCursor(&Cursor);
   Engine.setQueryContext(&Ctx);
   Engine.setFlightRecorder(&Fr);
+  // History series, registered once; tickMetricsHistory() samples them in
+  // exactly this order.
+  Hist.addSeries("queries_served");
+  Hist.addSeries("clause_resolutions");
+  Hist.addSeries("answers_recorded");
+  Hist.addSeries("warm_hits");
+  Hist.addSeries("cold_misses");
+  Hist.addSeries("deadline_hits");
+  Hist.addSeries("incomplete_tables");
+  Hist.addSeries("tables_invalidated");
+  Hist.addSeries("slowlog_captured");
+  Hist.addSeries("recorder_alarms");
+  Hist.addSeries("table_space_bytes", /*Counter=*/false);
+  Hist.addSeries("subgoals", /*Counter=*/false);
+  Hist.addSeries("dep_index_edges", /*Counter=*/false);
   if (Opts.SampleHz) {
     Prof = std::make_unique<Sampler>(Sampler::Options{Opts.SampleHz});
     Prof->addLane(Opts.SampleLane, &Cursor);
@@ -41,6 +57,9 @@ AnalysisSession::AnalysisSession(Options O)
     const auto &WC = Engine.workerCursors();
     for (size_t I = 0; I < WC.size(); ++I)
       Prof->addLane(Opts.SampleLane + ".w" + std::to_string(I), WC[I].get());
+    // Adaptive sampling: when the recorder journals a deadline or taint
+    // alarm mid-query, the sampler boosts its rate for the remainder.
+    Prof->setAlarmSource(Fr.alarmCounter());
     Prof->start();
   }
 }
@@ -147,6 +166,10 @@ AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
   SharedTableSpace::Stats SharedBefore = Engine.sharedTableStats();
 
   EvalStats Before = Engine.stats();
+  // Boost window: alarms recorded from here on (deadline hits, taint)
+  // raise the sampler rate until the query ends.
+  if (Prof)
+    Prof->armBoostBaseline(Fr.alarmCount());
   Stopwatch Watch;
   R.Total = Engine.solve(*Goal, [&]() {
     if (R.Solutions.size() < MaxSolutions)
@@ -156,6 +179,8 @@ AnalysisSession::runQuery(std::string_view GoalText, size_t MaxSolutions,
   });
   R.WallMs = Watch.elapsedSeconds() * 1e3;
   Ctx.DeadlineNs = 0;
+  if (Prof)
+    Prof->disarmBoost();
 
   const EvalStats &After = Engine.stats();
   R.WarmHits = After.WarmTableHits - Before.WarmTableHits;
@@ -259,6 +284,7 @@ std::string AnalysisSession::healthJson() const {
   W.member("shared_retired", Engine.sharedTableStats().Retired);
   W.member("recorder_events", Fr.totalRecorded());
   W.member("recorder_dropped", Fr.droppedCount());
+  W.member("recorder_alarms", Fr.alarmCount());
   W.member("postmortem_dumps", Fr.dumpsWritten());
   W.member("slowlog_entries", static_cast<uint64_t>(Slow.size()));
   W.endObject();
@@ -329,6 +355,23 @@ void AnalysisSession::captureSlowQuery(
   }
 
   Ex.Trace = Fr.eventsForQuery(R.Id);
+
+  // Embed the cost rollup when a profile covered this query (sessions
+  // with RecordCosts on, or an explain evaluation that crossed the
+  // threshold) — the exemplar then says *where* the time went, not just
+  // that it went.
+  if (const CostProfile *CP = Engine.costProfile();
+      CP && CP->queryId() == R.Id) {
+    CostSummary CS = Engine.exportCostSummary();
+    Ex.CostAttributedNs = CS.AttributedNs;
+    Ex.CostRootNs = CS.RootNs;
+    size_t NC = std::min(CS.PerPred.size(), Slow.options().TopK);
+    for (size_t I = 0; I < NC; ++I) {
+      const CostRollup &CR = CS.PerPred[I];
+      Ex.TopCosts.push_back(
+          {CR.Key, CR.SelfNs, CR.Steps, static_cast<uint32_t>(CR.WarmHits)});
+    }
+  }
   Slow.insert(std::move(Ex));
 }
 
@@ -414,6 +457,7 @@ std::string AnalysisSession::inspectJson(size_t TopN, std::string_view Sort) {
   // Top-N tables by bytes or answers.
   std::vector<const Subgoal *> Ranked(Engine.subgoals().begin(),
                                       Engine.subgoals().end());
+  // "contention" ranks the shard list below; tables fall back to bytes.
   bool ByAnswers = Sort == "answers";
   std::sort(Ranked.begin(), Ranked.end(),
             [&](const Subgoal *A, const Subgoal *B) {
@@ -486,17 +530,40 @@ std::string AnalysisSession::inspectJson(size_t TopN, std::string_view Sort) {
   W.member("lock_wait_ns", SS.LockWaitNs);
   W.key("shards");
   W.beginArray();
-  for (const SharedTableSpace::ShardStats &Sh : Engine.sharedShardStats()) {
-    W.beginObject();
-    W.member("lookups", Sh.Lookups);
-    W.member("warm_hits", Sh.WarmHits);
-    W.member("claims", Sh.Claims);
-    W.member("retired", Sh.Retired);
-    W.member("entries", static_cast<uint64_t>(Sh.Entries));
-    W.member("lock_acquisitions", Sh.LockAcquisitions);
-    W.member("lock_contended", Sh.LockContended);
-    W.member("lock_wait_ns", Sh.LockWaitNs);
-    W.endObject();
+  {
+    // Keep the shard index stable under re-ranking: an operator chasing a
+    // hot lock needs "shard 3 is contended", not its sorted position.
+    std::vector<SharedTableSpace::ShardStats> Shards =
+        Engine.sharedShardStats();
+    std::vector<std::pair<uint32_t, const SharedTableSpace::ShardStats *>>
+        Indexed;
+    Indexed.reserve(Shards.size());
+    for (size_t I = 0; I < Shards.size(); ++I)
+      Indexed.emplace_back(static_cast<uint32_t>(I), &Shards[I]);
+    auto Ratio = [](const SharedTableSpace::ShardStats &S) {
+      return S.LockAcquisitions
+                 ? double(S.LockContended) / double(S.LockAcquisitions)
+                 : 0.0;
+    };
+    if (Sort == "contention")
+      std::sort(Indexed.begin(), Indexed.end(),
+                [&](const auto &A, const auto &B) {
+                  return Ratio(*A.second) > Ratio(*B.second);
+                });
+    for (const auto &[Idx, Sh] : Indexed) {
+      W.beginObject();
+      W.member("shard", static_cast<uint64_t>(Idx));
+      W.member("lookups", Sh->Lookups);
+      W.member("warm_hits", Sh->WarmHits);
+      W.member("claims", Sh->Claims);
+      W.member("retired", Sh->Retired);
+      W.member("entries", static_cast<uint64_t>(Sh->Entries));
+      W.member("lock_acquisitions", Sh->LockAcquisitions);
+      W.member("lock_contended", Sh->LockContended);
+      W.member("lock_wait_ns", Sh->LockWaitNs);
+      W.member("contention_ratio", Ratio(*Sh));
+      W.endObject();
+    }
   }
   W.endArray();
   W.endObject();
@@ -538,4 +605,251 @@ void AnalysisSession::resetStats() {
   Stats.reset();
   if (Log)
     Log->info("reset_stats");
+}
+
+//===----------------------------------------------------------------------===//
+// Cost profiles (explain)
+//===----------------------------------------------------------------------===//
+
+ErrorOr<std::string> AnalysisSession::explainJson(std::string_view GoalText,
+                                                  size_t TopK,
+                                                  size_t MaxSolutions,
+                                                  uint64_t DeadlineMs) {
+  // Attach a profile for just this query when the session does not record
+  // costs everywhere; an already-attached profile (RecordCosts, or a test
+  // harness) is reused so its owner keeps seeing its own data.
+  bool Attached = Engine.costProfile() != nullptr;
+  if (!Attached)
+    Engine.setCostProfile(&ExplainCosts);
+  auto R = runQuery(GoalText, MaxSolutions, DeadlineMs);
+  if (!R) {
+    if (!Attached)
+      Engine.setCostProfile(nullptr);
+    return R.getError();
+  }
+  CostSummary CS = Engine.exportCostSummary();
+  if (!Attached)
+    Engine.setCostProfile(nullptr);
+
+  size_t B = GoalText.find_first_not_of(" \t\r\n");
+  size_t E = GoalText.find_last_not_of(" \t\r\n");
+  std::string_view Shown =
+      B == std::string_view::npos ? GoalText : GoalText.substr(B, E - B + 1);
+
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", "lpa.explain.v1");
+  W.member("goal", Shown);
+  W.member("id", R->Id);
+  W.member("solutions", static_cast<uint64_t>(R->Total));
+  W.member("wall_ms", R->WallMs);
+  W.member("truncated", R->Truncated);
+  W.member("incomplete", R->Incomplete);
+  W.key("cost");
+  writeCostSummaryJson(CS, W, TopK);
+  W.endObject();
+  return Out;
+}
+
+std::string AnalysisSession::explainReport(std::string_view GoalText,
+                                           size_t TopK) {
+  bool Attached = Engine.costProfile() != nullptr;
+  if (!Attached)
+    Engine.setCostProfile(&ExplainCosts);
+  auto R = runQuery(GoalText);
+  if (!R) {
+    if (!Attached)
+      Engine.setCostProfile(nullptr);
+    return "explain: " + R.getError().str() + "\n";
+  }
+  CostSummary CS = Engine.exportCostSummary();
+  if (!Attached)
+    Engine.setCostProfile(nullptr);
+
+  std::string Out;
+  char L[200];
+  double WallMs = double(CS.QueryWallNs) / 1e6;
+  double Pct = CS.QueryWallNs
+                   ? 100.0 * double(CS.AttributedNs) / double(CS.QueryWallNs)
+                   : 0.0;
+  std::snprintf(L, sizeof(L),
+                "Query %llu: %zu solutions in %.3f ms; %.1f%% attributed to "
+                "%zu subgoals (root %.3f ms)\n",
+                static_cast<unsigned long long>(CS.QueryId), R->Total, WallMs,
+                Pct, CS.Nodes.size(), double(CS.RootNs) / 1e6);
+  Out += L;
+  if (CS.Nodes.empty())
+    return Out;
+
+  std::vector<const CostNode *> BySelf;
+  BySelf.reserve(CS.Nodes.size());
+  for (const CostNode &N : CS.Nodes)
+    BySelf.push_back(&N);
+  std::sort(BySelf.begin(), BySelf.end(),
+            [](const CostNode *A, const CostNode *B) {
+              return A->SelfNs > B->SelfNs;
+            });
+  if (TopK && BySelf.size() > TopK)
+    BySelf.resize(TopK);
+
+  TextTable Tab;
+  Tab.addRow({"Self ms", "Cum ms", "Steps", "AnsIn", "AnsOut", "Resum",
+              "Warm", "Call"});
+  for (const CostNode *N : BySelf)
+    Tab.addRow({TextTable::fmt(double(N->SelfNs) / 1e6, 3),
+                TextTable::fmt(double(N->CumNs) / 1e6, 3),
+                std::to_string(N->Steps), std::to_string(N->AnswersInserted),
+                std::to_string(N->AnswersConsumed),
+                std::to_string(N->Resumptions), N->Warm ? "yes" : "-",
+                N->Label});
+  Out += Tab.render();
+
+  if (!CS.PerPred.empty()) {
+    Out += "Per predicate:\n";
+    TextTable PT;
+    PT.addRow({"Self ms", "Steps", "Subgoals", "Warm", "Bytes", "Pred"});
+    size_t NP = TopK ? std::min(CS.PerPred.size(), TopK) : CS.PerPred.size();
+    for (size_t I = 0; I < NP; ++I) {
+      const CostRollup &CR = CS.PerPred[I];
+      PT.addRow({TextTable::fmt(double(CR.SelfNs) / 1e6, 3),
+                 std::to_string(CR.Steps), std::to_string(CR.Subgoals),
+                 std::to_string(CR.WarmHits), std::to_string(CR.TableBytes),
+                 CR.Key});
+    }
+    Out += PT.render();
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics exposition + history ring
+//===----------------------------------------------------------------------===//
+
+void AnalysisSession::tickMetricsHistory() {
+  uint64_t Now = Solver::steadyNowNs();
+  if (!Hist.due(Now))
+    return;
+  const EvalStats &S = Engine.stats();
+  // Aligned with the addSeries() order in the constructor.
+  const uint64_t Values[] = {
+      Stats.queriesServed(),
+      S.ClauseResolutions,
+      S.AnswersRecorded,
+      S.WarmTableHits,
+      S.ColdTableMisses,
+      S.DeadlineHits,
+      S.IncompleteTables,
+      S.TablesInvalidated,
+      Slow.captured(),
+      Fr.alarmCount(),
+      static_cast<uint64_t>(Engine.tableSpaceBytes()),
+      static_cast<uint64_t>(Engine.subgoals().size()),
+      static_cast<uint64_t>(Engine.dependencyIndex().edgeCount()),
+  };
+  Hist.sample(Now, Values);
+}
+
+std::string AnalysisSession::metricsText() {
+  Engine.snapshotTableMetrics(Metrics);
+  const EvalStats &S = Engine.stats();
+  const TableWatermarks &WM = Engine.watermarks();
+
+  std::string Out;
+  PrometheusWriter P(Out);
+  P.gauge("lpa_uptime_seconds", "Seconds since service start (or reset)",
+          double(Stats.uptimeMs()) / 1000.0);
+  P.counter("lpa_queries_total", "Queries served", Stats.queriesServed());
+  P.counter("lpa_queries_truncated_total",
+            "Queries whose deadline expired mid-search",
+            Stats.truncatedQueries());
+  P.counter("lpa_clause_resolutions_total",
+            "Program-clause resolution attempts", S.ClauseResolutions);
+  P.counter("lpa_answers_recorded_total",
+            "Unique answers entered into tables", S.AnswersRecorded);
+  P.counter("lpa_answers_duplicate_total",
+            "Answers rejected by the variant check", S.AnswersDuplicate);
+  P.counter("lpa_fixpoint_rounds_total", "SCC fixpoint iteration rounds",
+            S.FixpointRounds);
+  P.counter("lpa_warm_table_hits_total",
+            "Tabled calls answered from an earlier query's table",
+            S.WarmTableHits);
+  P.counter("lpa_cold_table_misses_total",
+            "Tabled calls that created a new subgoal variant",
+            S.ColdTableMisses);
+  P.counter("lpa_deadline_hits_total",
+            "Query deadlines that expired during evaluation", S.DeadlineHits);
+  P.counter("lpa_incomplete_tables_total",
+            "Tables completed under depth or deadline pruning",
+            S.IncompleteTables);
+  P.counter("lpa_tables_invalidated_total",
+            "Completed tables tombstoned by consult/retract sweeps",
+            S.TablesInvalidated);
+  P.counter("lpa_tables_revived_total",
+            "Tombstoned tables re-derived on demand", S.TablesRevived);
+  P.gauge("lpa_table_space_bytes", "Live answer-table footprint",
+          double(Engine.tableSpaceBytes()));
+  P.gauge("lpa_peak_table_space_bytes", "High-water table footprint",
+          double(WM.PeakTableSpaceBytes));
+  P.gauge("lpa_subgoals", "Tabled subgoal variants resident",
+          double(Engine.subgoals().size()));
+  P.gauge("lpa_dep_index_edges", "Dependency-index edges resident",
+          double(Engine.dependencyIndex().edgeCount()));
+  P.gauge("lpa_dep_index_bytes", "Dependency-index footprint",
+          double(Engine.dependencyIndex().memoryBytes()));
+  P.counter("lpa_recorder_events_total", "Flight-recorder events journaled",
+            Fr.totalRecorded());
+  P.counter("lpa_recorder_alarms_total",
+            "Deadline/incomplete anomaly events journaled", Fr.alarmCount());
+  P.gauge("lpa_slowlog_entries", "Slow-query exemplars resident",
+          double(Slow.size()));
+  P.counter("lpa_slowlog_captured_total", "Slow-query exemplars captured",
+            Slow.captured());
+  P.counter("lpa_slowlog_persisted_total",
+            "Slow-query exemplar files written", Slow.persisted());
+  P.counter("lpa_metrics_history_samples_total",
+            "History-ring snapshots taken", Hist.totalSamples());
+  P.counter("lpa_metrics_history_evicted_total",
+            "History-ring snapshots evicted", Hist.evicted());
+  if (Prof) {
+    P.gauge("lpa_sampler_effective_hz",
+            "Sampling rate last sweep (boosted when alarmed)",
+            double(Prof->effectiveHz()));
+    P.counter("lpa_sampler_boosted_sweeps_total",
+              "Sampler sweeps taken at the boosted rate",
+              Prof->boostedSweeps());
+  }
+  P.histogramLog2("lpa_query_latency_us",
+                  "Per-query wall latency in microseconds", Stats.latency());
+  for (const PredMetrics *PM : Metrics.predicates()) {
+    if (!PM->Calls && !PM->TableSubgoals)
+      continue;
+    std::string Name = PM->qualifiedName();
+    P.counterLabeled("lpa_pred_calls_total", "Calls per predicate", "pred",
+                     Name, PM->Calls);
+    P.counterLabeled("lpa_pred_resolutions_total",
+                     "Clause resolutions per predicate", "pred", Name,
+                     PM->Resolutions);
+    P.counterLabeled("lpa_pred_warm_hits_total",
+                     "Warm table hits per predicate", "pred", Name,
+                     PM->WarmHits);
+    P.gaugeLabeled("lpa_pred_table_bytes", "Table footprint per predicate",
+                   "pred", Name, double(PM->TableBytes));
+  }
+  return Out;
+}
+
+std::string AnalysisSession::metricsJson(size_t MaxSamples) {
+  tickMetricsHistory();
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", "lpa.metrics.v1");
+  // The exposition rides as one escaped string member so the protocol's
+  // one-JSON-object-per-line invariant holds; scrapers unwrap one field.
+  W.member("exposition", metricsText());
+  W.key("history");
+  Hist.writeJson(W, MaxSamples);
+  W.endObject();
+  return Out;
 }

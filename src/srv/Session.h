@@ -28,6 +28,7 @@
 #include "obs/FlightRecorder.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/MetricsHistory.h"
 #include "obs/Sampler.h"
 #include "obs/Trace.h"
 #include "srv/ServiceStats.h"
@@ -50,6 +51,11 @@ public:
     /// Record justifications (the REPL's ":why" needs them; the daemon
     /// leaves them off unless asked — long-lived arenas grow).
     bool RecordProvenance = false;
+    /// Record per-subgoal cost profiles on *every* query
+    /// (Solver::Options::RecordCosts). Off by default: `explain` attaches
+    /// a profile for just its own query, so ordinary sessions pay only
+    /// the null-test disabled path.
+    bool RecordCosts = false;
     /// Background sampling profiler rate; 0 = no sampler thread (the
     /// cursor is still attached, so a later profiler could be).
     uint32_t SampleHz = 0;
@@ -69,8 +75,13 @@ public:
     /// dumps only happen when Recorder.DumpDir is set.
     FlightRecorder::Options Recorder;
     /// Slow-query exemplar capture (SlowLog.ThresholdMs: > 0 fixed ms,
-    /// 0 adaptive vs the rolling p95, < 0 off).
+    /// 0 adaptive vs the rolling p95, < 0 off). SlowLog.Dir persists
+    /// evicted/shutdown exemplars and reloads them on start.
     SlowQueryLog::Options SlowLog;
+    /// Telemetry ring of periodic counter/gauge snapshots, sampled
+    /// opportunistically per protocol request and served by the
+    /// `metrics` op.
+    MetricsHistory::Options History;
   };
 
   /// What one query returned. Solutions are rendered as text because the
@@ -136,6 +147,34 @@ public:
   /// The slow-query log (schema "lpa.slowlog.v1"), most-recent first.
   std::string slowlogJson() const;
 
+  /// Evaluates \p GoalText with a cost profile attached (temporarily, when
+  /// the session does not already record costs) and returns the top-\p
+  /// TopK cost tree (schema "lpa.explain.v1"): query outcome plus the
+  /// full CostSummary — per-subgoal self/cumulative ns, steps, answer
+  /// traffic, and the per-predicate / per-SCC rollups.
+  ErrorOr<std::string> explainJson(std::string_view GoalText,
+                                   size_t TopK = 10,
+                                   size_t MaxSolutions = 10,
+                                   uint64_t DeadlineMs = 0);
+
+  /// Human-readable cost profile for the REPL's ":explain" (parse errors
+  /// render inline).
+  std::string explainReport(std::string_view GoalText, size_t TopK = 10);
+
+  /// Current values in Prometheus text exposition format (counters,
+  /// gauges, the latency histogram, per-predicate labeled series).
+  std::string metricsText();
+
+  /// The `metrics` op payload (schema "lpa.metrics.v1"): the exposition
+  /// text as an escaped string field plus the history ring
+  /// (MetricsHistory::writeJson, bounded by \p MaxSamples).
+  std::string metricsJson(size_t MaxSamples = 0);
+
+  /// Samples the history ring if its interval has elapsed. The protocol
+  /// layer calls this once per request — opportunistic sampling, no
+  /// extra thread.
+  void tickMetricsHistory();
+
   /// Live table-space introspection (schema "lpa.inspect.v1"): top-\p
   /// TopN tables by \p Sort ("bytes" or "answers"), per-predicate
   /// warm-hit rates, dependency-index size, shared-space retirement and
@@ -180,6 +219,7 @@ public:
   Logger *log() { return Log; }
   FlightRecorder &flightRecorder() { return Fr; }
   SlowQueryLog &slowlog() { return Slow; }
+  MetricsHistory &metricsHistory() { return Hist; }
   /// @}
 
   uint64_t queriesServed() const { return Stats.queriesServed(); }
@@ -213,6 +253,10 @@ private:
   ServiceStats Stats;
   FlightRecorder Fr; ///< Always-on bounded journal (engine-attached).
   SlowQueryLog Slow; ///< Slow-query exemplars (LRU).
+  MetricsHistory Hist; ///< Periodic counter/gauge snapshot ring.
+  /// The profile `explain` attaches for its one query when the session
+  /// does not record costs everywhere (Options::RecordCosts).
+  CostProfile ExplainCosts;
   Logger *Log = nullptr;
   QueryContext Ctx;        ///< Attached to the engine for the session's life.
   uint64_t NextQueryId = 0;

@@ -32,6 +32,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace lpa {
@@ -73,7 +74,26 @@ struct SlowQueryExemplar {
 
   /// The flight-recorder slice for this query id, captured at insert.
   std::vector<FrEvent> Trace;
+
+  /// Per-predicate self-cost rollup of the query (sessions running with
+  /// RecordCosts only; empty otherwise). Mirrors CostSummary::PerPred,
+  /// top-K rows by self time.
+  struct CostLine {
+    std::string Pred; ///< Qualified "name/arity".
+    uint64_t SelfNs = 0;
+    uint64_t Steps = 0;
+    uint32_t WarmHits = 0;
+  };
+  std::vector<CostLine> TopCosts;
+  uint64_t CostAttributedNs = 0; ///< sum of subgoal self times.
+  uint64_t CostRootNs = 0;       ///< wall outside every producer.
 };
+
+/// Streams one exemplar as a JSON object into \p W. With \p Schema the
+/// object leads with "schema":"lpa.slowlog.exemplar.v1" — the standalone
+/// form persisted to Options::Dir files; the slowlog op's entries omit it.
+void writeExemplarJson(const SlowQueryExemplar &E, JsonWriter &W,
+                       bool Schema = false);
 
 /// Bounded LRU store of SlowQueryExemplars. Not thread-safe (session
 /// discipline: one request stream).
@@ -93,10 +113,24 @@ public:
     double AdaptiveFactor = 3.0;
     /// Per-predicate / per-table rows kept per exemplar.
     size_t TopK = 5;
+    /// Persistence directory ("" = in-memory only). Evicted and
+    /// shutdown-surviving exemplars are written there as one JSON file
+    /// each ("slow-q<id>.json", schema lpa.slowlog.exemplar.v1), and the
+    /// LRU reloads from it on construction — a daemon restart keeps its
+    /// slow-query history.
+    std::string Dir;
   };
 
   SlowQueryLog() : SlowQueryLog(Options{}) {}
-  explicit SlowQueryLog(Options O) : Opts(O) {}
+  explicit SlowQueryLog(Options O) : Opts(std::move(O)) {
+    if (!Opts.Dir.empty())
+      loadFromDir();
+  }
+  /// Persists every surviving exemplar (Options::Dir mode).
+  ~SlowQueryLog() { persistAll(); }
+
+  SlowQueryLog(const SlowQueryLog &) = delete;
+  SlowQueryLog &operator=(const SlowQueryLog &) = delete;
 
   /// The threshold a query must exceed right now, given the service's
   /// rolling-window p95 (microseconds; 0 while the window is empty).
@@ -133,7 +167,12 @@ public:
   size_t capacity() const { return Opts.Capacity; }
   uint64_t captured() const { return Captured; } ///< Inserts, lifetime.
   uint64_t evicted() const { return Evicted; }   ///< LRU evictions, lifetime.
+  uint64_t persisted() const { return Persisted; } ///< Files written.
+  uint64_t loaded() const { return Loaded; } ///< Exemplars reloaded at start.
   const Options &options() const { return Opts; }
+
+  /// Writes every current entry to Options::Dir; no-op without a Dir.
+  void persistAll();
 
   void clear();
 
@@ -144,12 +183,17 @@ public:
   void writeJson(JsonWriter &W, double ThresholdNowMs) const;
 
 private:
+  void persist(const SlowQueryExemplar &E);
+  void loadFromDir();
+
   Options Opts;
   /// Recency list, most-recent first; the map indexes it by query id.
   std::list<SlowQueryExemplar> Order;
   std::unordered_map<uint64_t, std::list<SlowQueryExemplar>::iterator> ById;
   uint64_t Captured = 0;
   uint64_t Evicted = 0;
+  uint64_t Persisted = 0;
+  uint64_t Loaded = 0;
 };
 
 } // namespace lpa

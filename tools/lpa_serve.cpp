@@ -12,8 +12,9 @@
 //
 // Usage:
 //   lpa_serve [--socket PATH] [--log-level debug|info|warn|error]
-//             [--provenance] [--sample-hz N] [--eval-workers N]
-//             [--slow-ms MS] [--dump-dir PATH]
+//             [--provenance] [--record-costs] [--sample-hz N]
+//             [--eval-workers N] [--slow-ms MS] [--slowlog-dir PATH]
+//             [--dump-dir PATH] [--metrics-interval-ms N]
 //
 // Structured logs (JSON lines) go to stderr; protocol responses to the
 // client. Exit: 0 on a clean "shutdown" verb or EOF, 2 on usage errors.
@@ -44,14 +45,21 @@ int usage(const char *Argv0) {
                "  --socket PATH     serve on a Unix socket instead of stdio\n"
                "  --log-level LVL   debug|info|warn|error (info)\n"
                "  --provenance      record justifications (\":why\"-style)\n"
+               "  --record-costs    per-subgoal cost profiles on every query\n"
+               "                    (explain works without this; it attaches "
+               "per query)\n"
                "  --sample-hz N     background sampling profiler rate (0)\n"
                "  --eval-workers N  intra-query parallel eval workers "
                "(0 = serial)\n"
                "  --slow-ms MS      slow-query capture threshold in ms\n"
                "                    (0 = adaptive vs rolling p95, the "
                "default; -1 = off)\n"
+               "  --slowlog-dir PATH  persist slow-query exemplars in PATH\n"
+               "                    and reload them on start\n"
                "  --dump-dir PATH   write post-mortem dumps (anomalies and\n"
-               "                    fatal signals) into PATH\n",
+               "                    fatal signals) into PATH\n"
+               "  --metrics-interval-ms N  telemetry-ring sampling interval "
+               "(1000)\n",
                Argv0);
   return 2;
 }
@@ -158,14 +166,20 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
     } else if (A == "--provenance") {
       SO.RecordProvenance = true;
+    } else if (A == "--record-costs") {
+      SO.RecordCosts = true;
     } else if (A == "--sample-hz" && I + 1 < argc) {
       SO.SampleHz = static_cast<uint32_t>(std::strtoul(argv[++I], nullptr, 10));
     } else if (A == "--eval-workers" && I + 1 < argc) {
       SO.EvalWorkers = std::strtoul(argv[++I], nullptr, 10);
     } else if (A == "--slow-ms" && I + 1 < argc) {
       SO.SlowLog.ThresholdMs = std::strtod(argv[++I], nullptr);
+    } else if (A == "--slowlog-dir" && I + 1 < argc) {
+      SO.SlowLog.Dir = argv[++I];
     } else if (A == "--dump-dir" && I + 1 < argc) {
       SO.Recorder.DumpDir = argv[++I];
+    } else if (A == "--metrics-interval-ms" && I + 1 < argc) {
+      SO.History.IntervalMs = std::strtoull(argv[++I], nullptr, 10);
     } else {
       return usage(argv[0]);
     }

@@ -11,16 +11,22 @@
 // the same data the eviction/shard-tuning work consumes programmatically.
 //
 // Usage:
-//   lpa_top --socket PATH [--top N] [--sort bytes|answers] [--watch SECS]
+//   lpa_top --socket PATH [--top N] [--sort bytes|answers|contention]
+//           [--watch SECS]
 //
 // With --watch the client keeps the connection open and refreshes every
 // SECS seconds (clearing the screen when stdout is a terminal) until
-// interrupted or the server goes away.
+// interrupted or the server goes away; each refresh also pulls the
+// "metrics" verb's history ring and renders sparkline trend columns, so
+// the motion between refreshes is visible without client-side state.
+// --sort contention ranks the shared-space shards by their lock
+// contention ratio (tables fall back to bytes order).
 //
 // Exit: 0 on success, 1 on protocol errors, 2 on usage/connection errors.
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/MetricsHistory.h"
 #include "support/JsonValue.h"
 #include "support/TableFormat.h"
 
@@ -40,7 +46,8 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket PATH [--top N] [--sort bytes|answers]\n"
+               "usage: %s --socket PATH [--top N] "
+               "[--sort bytes|answers|contention]\n"
                "          [--watch SECS]\n",
                Argv0);
   return 2;
@@ -143,10 +150,15 @@ void render(const JsonValue &Inspect) {
     std::printf("\nShared-space shards:\n");
     TextTable Sh;
     Sh.addRow({"Shard", "Lookups", "Warm", "Claims", "Retired", "Entries",
-               "LockAcq", "Contended", "WaitUs"});
+               "LockAcq", "Contended", "Cont%", "WaitUs"});
     size_t Idx = 0;
-    for (const JsonValue &S : Shards->items())
-      Sh.addRow({TextTable::fmt((unsigned long long)Idx++),
+    for (const JsonValue &S : Shards->items()) {
+      // The server stamps each shard with its stable index ("shard") so a
+      // contention-sorted listing still names the hot shard correctly.
+      unsigned long long ShardIdx =
+          S.find("shard") ? u64Or(S, "shard") : (unsigned long long)Idx;
+      ++Idx;
+      Sh.addRow({TextTable::fmt(ShardIdx),
                  TextTable::fmt(u64Or(S, "lookups")),
                  TextTable::fmt(u64Or(S, "warm_hits")),
                  TextTable::fmt(u64Or(S, "claims")),
@@ -154,14 +166,74 @@ void render(const JsonValue &Inspect) {
                  TextTable::fmt(u64Or(S, "entries")),
                  TextTable::fmt(u64Or(S, "lock_acquisitions")),
                  TextTable::fmt(u64Or(S, "lock_contended")),
+                 TextTable::fmt(S.numberOr("contention_ratio", 0) * 100.0, 1),
                  TextTable::fmt(double(u64Or(S, "lock_wait_ns")) / 1000.0, 1)});
+    }
     std::fputs(Sh.render().c_str(), stdout);
   }
 }
 
-/// One request/response over the open connection. \returns false when the
-/// server hung up or the response failed.
-bool fetchAndRender(std::FILE *In, std::FILE *Out, const std::string &Req) {
+/// Renders sparkline trend columns from one lpa.metrics.v1 history ring.
+/// Counters show per-interval deltas (what moved since the last sample);
+/// gauges show raw values. All-flat series are skipped.
+void renderTrends(const JsonValue &Metrics) {
+  const JsonValue *Hist = Metrics.find("history");
+  if (!Hist || !Hist->isObject())
+    return;
+  const JsonValue *Names = Hist->find("series");
+  const JsonValue *Kinds = Hist->find("kinds");
+  const JsonValue *Samples = Hist->find("samples");
+  if (!Names || !Kinds || !Samples || Samples->items().size() < 2)
+    return;
+
+  TextTable Tab;
+  Tab.addRow({"Series", "Now", "Trend"});
+  size_t Rows = 0;
+  for (size_t I = 0; I < Names->items().size(); ++I) {
+    std::vector<uint64_t> Raw;
+    Raw.reserve(Samples->items().size());
+    for (const JsonValue &S : Samples->items()) {
+      const JsonValue *V = S.find("v");
+      if (V && V->isArray() && I < V->items().size() &&
+          V->items()[I].isNumber())
+        Raw.push_back(static_cast<uint64_t>(V->items()[I].asNumber()));
+    }
+    if (Raw.size() < 2)
+      continue;
+    bool Counter = Kinds->items()[I].asString() == "counter";
+    std::vector<uint64_t> Trend;
+    if (Counter) {
+      // Per-interval deltas, clamped at zero across resets.
+      for (size_t J = 1; J < Raw.size(); ++J)
+        Trend.push_back(Raw[J] >= Raw[J - 1] ? Raw[J] - Raw[J - 1] : 0);
+    } else {
+      Trend = Raw;
+    }
+    bool Flat = true;
+    for (uint64_t V : Trend)
+      if (V != (Counter ? 0 : Trend.front())) {
+        Flat = false;
+        break;
+      }
+    if (Flat)
+      continue;
+    Tab.addRow({Names->items()[I].asString(),
+                TextTable::fmt((unsigned long long)Raw.back()),
+                renderSparkline(Trend)});
+    ++Rows;
+  }
+  if (Rows) {
+    std::printf("\nTrends (per %llu ms sample):\n",
+                (unsigned long long)Hist->numberOr("interval_ms", 0));
+    std::fputs(Tab.render().c_str(), stdout);
+  }
+}
+
+/// One request/response over the open connection. On success \p Doc holds
+/// the parsed response and \p Obj points at its \p Key member. \returns
+/// false when the server hung up or the response failed.
+bool fetchObject(std::FILE *In, std::FILE *Out, const std::string &Req,
+                 const char *Key, JsonValue &Doc, const JsonValue *&Obj) {
   std::fwrite(Req.data(), 1, Req.size(), Out);
   std::fputc('\n', Out);
   std::fflush(Out);
@@ -181,20 +253,20 @@ bool fetchAndRender(std::FILE *In, std::FILE *Out, const std::string &Req) {
                  Parsed.getError().str().c_str());
     return false;
   }
-  const JsonValue *Ok = Parsed->find("ok");
+  Doc = std::move(*Parsed);
+  const JsonValue *Ok = Doc.find("ok");
   if (!Ok || !Ok->asBool()) {
-    const JsonValue *Err = Parsed->find("error");
-    std::fprintf(stderr, "lpa_top: inspect failed: %s\n",
+    const JsonValue *Err = Doc.find("error");
+    std::fprintf(stderr, "lpa_top: %s failed: %s\n", Key,
                  Err && Err->isString() ? Err->asString().c_str()
                                         : "(no error message)");
     return false;
   }
-  const JsonValue *Inspect = Parsed->find("inspect");
-  if (!Inspect || !Inspect->isObject()) {
-    std::fprintf(stderr, "lpa_top: response has no \"inspect\" object\n");
+  Obj = Doc.find(Key);
+  if (!Obj || !Obj->isObject()) {
+    std::fprintf(stderr, "lpa_top: response has no \"%s\" object\n", Key);
     return false;
   }
-  render(*Inspect);
   return true;
 }
 
@@ -219,7 +291,8 @@ int main(int argc, char **argv) {
     else
       return usage(argv[0]);
   }
-  if (SocketPath.empty() || (Sort != "bytes" && Sort != "answers"))
+  if (SocketPath.empty() ||
+      (Sort != "bytes" && Sort != "answers" && Sort != "contention"))
     return usage(argv[0]);
 
   int Fd = connectSocket(SocketPath);
@@ -237,13 +310,28 @@ int main(int argc, char **argv) {
 
   std::string Req = "{\"op\":\"inspect\",\"top\":" + std::to_string(TopN) +
                     ",\"sort\":\"" + Sort + "\"}";
+  // Watch mode adds the history-ring trends: a bounded tail is plenty for
+  // a terminal-width sparkline.
+  std::string MetricsReq = "{\"op\":\"metrics\",\"max_samples\":40}";
   int Rc = 0;
   for (;;) {
     if (WatchSecs && ::isatty(STDOUT_FILENO))
       std::fputs("\x1b[H\x1b[2J", stdout); // Home + clear, like top(1).
-    if (!fetchAndRender(In, Out, Req)) {
+    JsonValue Doc;
+    const JsonValue *Inspect = nullptr;
+    if (!fetchObject(In, Out, Req, "inspect", Doc, Inspect)) {
       Rc = 1;
       break;
+    }
+    render(*Inspect);
+    if (WatchSecs) {
+      JsonValue MDoc;
+      const JsonValue *Metrics = nullptr;
+      if (!fetchObject(In, Out, MetricsReq, "metrics", MDoc, Metrics)) {
+        Rc = 1;
+        break;
+      }
+      renderTrends(*Metrics);
     }
     std::fflush(stdout);
     if (!WatchSecs)
